@@ -1,0 +1,68 @@
+//! Ablation study for the exact VMC search — the design choices DESIGN.md
+//! calls out: memoization, greedy read absorption, and demand-driven move
+//! ordering. Each is disabled in turn on the same hard coherent instances.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vermem_coherence::{solve_backtracking, SearchConfig};
+use vermem_trace::gen::gen_hard_coherent;
+use vermem_trace::{Addr, Trace};
+
+fn configs() -> Vec<(&'static str, SearchConfig)> {
+    vec![
+        ("full", SearchConfig::default()),
+        ("no-memo", SearchConfig { memoize: false, ..Default::default() }),
+        (
+            "no-absorption",
+            SearchConfig { greedy_absorption: false, ..Default::default() },
+        ),
+        (
+            "no-hot-order",
+            SearchConfig { hot_move_ordering: false, ..Default::default() },
+        ),
+    ]
+}
+
+fn instance(seed: u64) -> Trace {
+    // 5 processes × 8 ops with value reuse: inside the NP-complete cell but
+    // solvable by all configurations within bench time.
+    gen_hard_coherent(5, 8, 2, seed).0
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/backtracking");
+    g.sample_size(10);
+    let traces: Vec<Trace> = (0..4).map(instance).collect();
+    for (name, cfg) in configs() {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &traces, |b, traces| {
+            b.iter(|| {
+                for t in traces {
+                    assert!(solve_backtracking(t, Addr::ZERO, &cfg).is_coherent());
+                }
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Ablation on a larger constant-k instance, where memoization is the
+/// difference between polynomial and exponential behaviour.
+fn bench_ablation_constant_k(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/constant-k");
+    g.sample_size(10);
+    let trace = gen_hard_coherent(3, 40, 2, 99).0;
+    for (name, cfg) in configs() {
+        // Skip no-memo at this size — it is the exponential configuration.
+        if name == "no-memo" {
+            continue;
+        }
+        g.bench_with_input(BenchmarkId::from_parameter(name), &trace, |b, t| {
+            b.iter(|| {
+                assert!(solve_backtracking(t, Addr::ZERO, &cfg).is_coherent());
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablation, bench_ablation_constant_k);
+criterion_main!(benches);

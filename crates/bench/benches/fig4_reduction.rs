@@ -1,0 +1,61 @@
+//! E-4.1 — the Figure 4.1 reduction: construction cost and solver scaling
+//! on SAT → VMC instances (satisfiable family, so both solvers terminate
+//! without hitting the exponential wall; the UNSAT blow-up is measured in
+//! `fig5_reductions`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vermem_coherence::{solve_backtracking, solve_sat, SearchConfig};
+use vermem_reductions::reduce_sat_to_vmc;
+use vermem_sat::random::{gen_forced_sat, RandomSatConfig};
+use vermem_trace::Addr;
+
+fn bench_construction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4/construct");
+    for m in [4u32, 8, 16, 32] {
+        let f = gen_forced_sat(&RandomSatConfig::three_sat(m, 3.0, u64::from(m)));
+        g.bench_with_input(BenchmarkId::from_parameter(m), &f, |b, f| {
+            b.iter(|| black_box(reduce_sat_to_vmc(f)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_solve_backtracking(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4/solve-backtracking");
+    for m in [3u32, 4, 5, 6] {
+        let f = gen_forced_sat(&RandomSatConfig::three_sat(m, 3.0, u64::from(m)));
+        let red = reduce_sat_to_vmc(&f);
+        g.bench_with_input(BenchmarkId::from_parameter(m), &red.trace, |b, t| {
+            b.iter(|| {
+                let v = solve_backtracking(t, Addr::ZERO, &SearchConfig::default());
+                assert!(v.is_coherent());
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_solve_sat_encoding(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4/solve-sat-encoding");
+    g.sample_size(10);
+    for m in [3u32, 4, 5] {
+        let f = gen_forced_sat(&RandomSatConfig::three_sat(m, 3.0, u64::from(m)));
+        let red = reduce_sat_to_vmc(&f);
+        g.bench_with_input(BenchmarkId::from_parameter(m), &red.trace, |b, t| {
+            b.iter(|| {
+                let v = solve_sat(t, Addr::ZERO);
+                assert!(v.is_coherent());
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_construction,
+    bench_solve_backtracking,
+    bench_solve_sat_encoding
+);
+criterion_main!(benches);

@@ -1,0 +1,137 @@
+//! E-5.3 — the polynomial rows of Figure 5.3: one Criterion group per
+//! implemented fast path over a size ladder, so the regression suite tracks
+//! the measured scaling of every algorithm in the table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use vermem_coherence::{
+    one_op, readmap, rmw, solve_backtracking, solve_with_write_order, SearchConfig,
+};
+use vermem_trace::gen::{gen_sc_trace, GenConfig};
+use vermem_trace::{Addr, Op, OpRef, ProcessHistory, Trace};
+
+const SIZES: [usize; 4] = [256, 1024, 4096, 16384];
+
+fn one_op_simple_instance(n: usize) -> Trace {
+    // Write/read pairs share a value; each value is written ~twice.
+    let vals = (n / 4).max(1);
+    Trace::from_histories((0..n).map(|i| {
+        let v = 1 + ((i / 2) % vals) as u64;
+        ProcessHistory::from_ops([if i % 2 == 0 { Op::w(v) } else { Op::r(v) }])
+    }))
+}
+
+fn one_op_rmw_instance(n: usize) -> Trace {
+    Trace::from_histories((0..n).map(|i| {
+        let next = if i + 1 == n { 0 } else { i as u64 + 1 };
+        ProcessHistory::from_ops([Op::rw(i as u64, next)])
+    }))
+}
+
+fn readmap_instance(n: usize) -> Trace {
+    let procs = 4;
+    let mut hists = vec![Vec::new(); procs];
+    for i in 0..n / 2 {
+        let v = i as u64 + 1;
+        hists[i % procs].push(Op::w(v));
+        hists[(i + 1) % procs].push(Op::r(v));
+    }
+    Trace::from_histories(hists.into_iter().map(ProcessHistory::from_ops))
+}
+
+fn rmw_chain_instance(n: usize) -> Trace {
+    let procs = 4;
+    let mut hists = vec![Vec::new(); procs];
+    for i in 0..n {
+        hists[i % procs].push(Op::rw(i as u64, i as u64 + 1));
+    }
+    Trace::from_histories(hists.into_iter().map(ProcessHistory::from_ops))
+}
+
+fn write_order_instance(n: usize, all_rmw: bool) -> (Trace, Vec<OpRef>) {
+    let cfg = if all_rmw {
+        GenConfig::all_rmw(4, n, n as u64)
+    } else {
+        GenConfig { procs: 4, total_ops: n, value_reuse: 0.5, seed: n as u64, ..Default::default() }
+    };
+    let (trace, witness) = gen_sc_trace(&cfg);
+    let order = witness
+        .refs()
+        .iter()
+        .copied()
+        .filter(|&r| trace.op(r).unwrap().is_writing())
+        .collect();
+    (trace, order)
+}
+
+fn bench_row(
+    c: &mut Criterion,
+    name: &str,
+    build: impl Fn(usize) -> Trace,
+    solve: impl Fn(&Trace),
+) {
+    let mut g = c.benchmark_group(name);
+    for &n in &SIZES {
+        let trace = build(n);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &trace, |b, t| {
+            b.iter(|| solve(t));
+        });
+    }
+    g.finish();
+}
+
+fn fig5_3(c: &mut Criterion) {
+    bench_row(c, "fig5.3/one-op-simple", one_op_simple_instance, |t| {
+        assert!(one_op::solve_one_op(t, Addr::ZERO).is_coherent());
+    });
+    bench_row(c, "fig5.3/one-op-rmw-euler", one_op_rmw_instance, |t| {
+        assert!(rmw::solve_rmw_one_op(t, Addr::ZERO).is_coherent());
+    });
+    bench_row(c, "fig5.3/readmap-simple", readmap_instance, |t| {
+        assert!(readmap::solve_readmap(t, Addr::ZERO).is_coherent());
+    });
+    bench_row(c, "fig5.3/readmap-rmw-chain", rmw_chain_instance, |t| {
+        assert!(rmw::solve_rmw_readmap(t, Addr::ZERO).is_coherent());
+    });
+
+    // Constant-k memoized search (k = 3); smaller ladder — the memo table
+    // costs real memory at large n.
+    let mut g = c.benchmark_group("fig5.3/constant-k3-backtracking");
+    for &n in &[256usize, 512, 1024, 2048] {
+        let (trace, _) = gen_sc_trace(&GenConfig {
+            procs: 3,
+            total_ops: n,
+            addrs: 1,
+            value_reuse: 0.5,
+            seed: n as u64,
+            ..Default::default()
+        });
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &trace, |b, t| {
+            b.iter(|| {
+                assert!(
+                    solve_backtracking(t, Addr::ZERO, &SearchConfig::default()).is_coherent()
+                );
+            });
+        });
+    }
+    g.finish();
+
+    // §5.2 write-order algorithm, simple and all-RMW.
+    for (name, all_rmw) in [("fig5.3/write-order-simple", false), ("fig5.3/write-order-rmw", true)] {
+        let mut g = c.benchmark_group(name);
+        for &n in &SIZES {
+            let (trace, order) = write_order_instance(n, all_rmw);
+            g.throughput(Throughput::Elements(n as u64));
+            g.bench_with_input(BenchmarkId::from_parameter(n), &(trace, order), |b, (t, o)| {
+                b.iter(|| {
+                    assert!(solve_with_write_order(t, Addr::ZERO, o).is_coherent());
+                });
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, fig5_3);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! E-5.1 / E-5.2 — the restricted reductions: construction cost, and the
+//! exponential blow-up of exact search on reduced instances (the
+//! NP-complete cells of Figure 5.3 in action).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vermem_coherence::{solve_backtracking, SearchConfig};
+use vermem_reductions::{reduce_3sat_restricted, reduce_3sat_rmw};
+use vermem_sat::random::{gen_forced_sat, gen_random_ksat, RandomSatConfig};
+use vermem_trace::Addr;
+
+fn bench_construction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5/construct");
+    for m in [4u32, 8, 16, 32] {
+        let f = gen_forced_sat(&RandomSatConfig::three_sat(m, 3.0, u64::from(m)));
+        g.bench_with_input(BenchmarkId::new("restricted", m), &f, |b, f| {
+            b.iter(|| black_box(reduce_3sat_restricted(f)));
+        });
+        g.bench_with_input(BenchmarkId::new("rmw", m), &f, |b, f| {
+            b.iter(|| black_box(reduce_3sat_rmw(f)));
+        });
+    }
+    g.finish();
+}
+
+/// Exact search on *satisfiable* reduced instances — tractable but growing.
+fn bench_solve_sat_instances(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5/solve-forced-sat");
+    g.sample_size(10);
+    for m in [3u32, 4, 5] {
+        let f = gen_forced_sat(&RandomSatConfig::three_sat(m, 3.0, 41 * u64::from(m)));
+        let restricted = reduce_3sat_restricted(&f).trace;
+        g.bench_with_input(BenchmarkId::new("restricted", m), &restricted, |b, t| {
+            b.iter(|| {
+                assert!(solve_backtracking(t, Addr::ZERO, &SearchConfig::default())
+                    .is_coherent());
+            });
+        });
+        let rmw = reduce_3sat_rmw(&f).trace;
+        g.bench_with_input(BenchmarkId::new("rmw", m), &rmw, |b, t| {
+            b.iter(|| {
+                assert!(solve_backtracking(t, Addr::ZERO, &SearchConfig::default())
+                    .is_coherent());
+            });
+        });
+    }
+    g.finish();
+}
+
+/// The blow-up: exact search on over-constrained (mostly UNSAT) instances.
+/// A state budget bounds each call — the measured quantity is the cost of
+/// exploring a fixed slice of the exponential space, which grows with the
+/// instance even under the cap.
+fn bench_solve_unsat_instances(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5/solve-overconstrained");
+    g.sample_size(10);
+    let capped = SearchConfig { max_states: Some(200_000), ..Default::default() };
+    for m in [3u32, 4] {
+        let f = gen_random_ksat(&RandomSatConfig::three_sat(m, 6.0, 53 * u64::from(m)));
+        let rmw = reduce_3sat_rmw(&f).trace;
+        g.bench_with_input(BenchmarkId::new("rmw", m), &rmw, |b, t| {
+            b.iter(|| {
+                black_box(solve_backtracking(t, Addr::ZERO, &capped));
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_construction,
+    bench_solve_sat_instances,
+    bench_solve_unsat_instances
+);
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! E-SIM — the dynamic-verification pipeline: simulator throughput,
+//! capture-and-verify end to end (exact vs §5.2 write-order path), and the
+//! SAT substrate (CDCL vs DPLL) on random 3-SAT near the phase transition.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use vermem_coherence::solve_with_write_order;
+use vermem_sat::random::{gen_random_ksat, RandomSatConfig};
+use vermem_sat::{solve_cdcl, solve_dpll};
+use vermem_sim::{random_program, Machine, MachineConfig, WorkloadConfig};
+
+fn workload(instrs: usize) -> vermem_sim::Program {
+    random_program(&WorkloadConfig {
+        cpus: 4,
+        instrs_per_cpu: instrs / 4,
+        addrs: 4,
+        write_fraction: 0.45,
+        rmw_fraction: 0.1,
+        seed: instrs as u64,
+    })
+}
+
+fn bench_machine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim/machine-run");
+    for &instrs in &[256usize, 1024, 4096] {
+        let p = workload(instrs);
+        g.throughput(Throughput::Elements(instrs as u64));
+        g.bench_with_input(BenchmarkId::new("sc", instrs), &p, |b, p| {
+            b.iter(|| black_box(Machine::run(p, MachineConfig::default())));
+        });
+        g.bench_with_input(BenchmarkId::new("tso", instrs), &p, |b, p| {
+            b.iter(|| {
+                black_box(Machine::run(
+                    p,
+                    MachineConfig { store_buffers: true, ..Default::default() },
+                ))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_capture_and_verify(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim/capture-and-verify");
+    for &instrs in &[256usize, 1024, 4096] {
+        let p = workload(instrs);
+        let cap = Machine::run(&p, MachineConfig::default());
+        g.throughput(Throughput::Elements(instrs as u64));
+        g.bench_with_input(BenchmarkId::new("exact", instrs), &cap.trace, |b, t| {
+            b.iter(|| {
+                assert!(vermem_coherence::verify_execution(t).is_coherent());
+            });
+        });
+        g.bench_with_input(
+            BenchmarkId::new("write-order", instrs),
+            &(cap.trace.clone(), cap.write_order.clone()),
+            |b, (t, orders)| {
+                b.iter(|| {
+                    for (addr, order) in orders {
+                        assert!(solve_with_write_order(t, *addr, order).is_coherent());
+                    }
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_online_checker(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim/online-checker");
+    for &instrs in &[256usize, 1024, 4096, 16384] {
+        let p = workload(instrs);
+        let cap = Machine::run(&p, MachineConfig::default());
+        g.throughput(Throughput::Elements(cap.event_log.len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(instrs), &cap.event_log, |b, log| {
+            b.iter(|| {
+                let mut v = vermem_coherence::OnlineVerifier::new();
+                for &(proc, op) in log {
+                    v.observe(proc, op);
+                }
+                assert!(v.finish().is_empty());
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_sat_substrate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sat/cdcl-vs-dpll");
+    g.sample_size(10);
+    for vars in [20u32, 40, 60] {
+        let f = gen_random_ksat(&RandomSatConfig::three_sat(vars, 4.26, u64::from(vars)));
+        g.bench_with_input(BenchmarkId::new("cdcl", vars), &f, |b, f| {
+            b.iter(|| black_box(solve_cdcl(f)));
+        });
+        // DPLL only at the smallest size — it falls off the cliff fast.
+        if vars == 20 {
+            g.bench_with_input(BenchmarkId::new("dpll", vars), &f, |b, f| {
+                b.iter(|| black_box(solve_dpll(f)));
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_machine,
+    bench_capture_and_verify,
+    bench_online_checker,
+    bench_sat_substrate
+);
+criterion_main!(benches);

@@ -1,0 +1,626 @@
+//! # vermem-cli
+//!
+//! Command-line front end for the `vermem` verifier suite. All command
+//! logic lives here (returning the rendered output as a `String`) so it is
+//! unit-testable; `main.rs` is a thin wrapper.
+//!
+//! ```text
+//! vermem verify <trace> [--addr N] [--strategy auto|backtracking|sat] [--budget N]
+//! vermem sc <trace> [--model sc|tso|pso|coherence]
+//! vermem classify <trace>
+//! vermem explain <trace> [--addr N]
+//! vermem gen --procs N --ops N [--addrs N] [--seed N] [--rmw PCT] [--reuse PCT]
+//! vermem inject <trace> --kind corrupt-read|stale-read|lost-write|reorder [--seed N]
+//! vermem reduce <dimacs> [--figure 4.1|5.1|5.2]
+//! vermem sim --cpus N --instrs N [--addrs N] [--tso|--directory] [--seed N] [--verify] [--online]
+//! vermem sat <dimacs>
+//! vermem litmus
+//! ```
+//!
+//! Traces use the text format of [`vermem_trace::fmt`]; `-` reads stdin.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+use vermem_coherence::{SearchConfig, Strategy, Verdict, VmcVerifier};
+use vermem_consistency::MemoryModel;
+use vermem_trace::{Addr, Trace};
+
+/// A command failure rendered to the user.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+vermem — verify memory coherence and consistency of execution traces
+
+USAGE:
+  vermem verify <trace> [--addr N] [--strategy auto|backtracking|sat] [--budget N]
+  vermem sc <trace> [--model sc|tso|pso|coherence]
+  vermem classify <trace>
+  vermem explain <trace> [--addr N]
+  vermem gen --procs N --ops N [--addrs N] [--seed N] [--rmw PCT] [--reuse PCT]
+  vermem inject <trace> --kind corrupt-read|stale-read|lost-write|reorder [--seed N]
+  vermem reduce <dimacs> [--figure 4.1|5.1|5.2]
+  vermem sim --cpus N --instrs N [--addrs N] [--tso|--directory] [--seed N]
+             [--verify] [--online]
+  vermem sat <dimacs>
+  vermem litmus
+
+Traces use the vermem text format; pass '-' to read stdin.
+";
+
+/// Minimal flag parser: positional arguments plus `--flag [value]` pairs.
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+const BOOL_FLAGS: &[&str] = &["tso", "verify", "online", "directory", "help"];
+
+impl Args {
+    fn parse(args: &[String]) -> Result<Args, CliError> {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut it = args.iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                if BOOL_FLAGS.contains(&name) {
+                    flags.push((name.to_string(), None));
+                } else {
+                    let value = it
+                        .next()
+                        .ok_or_else(|| err(format!("--{name} requires a value")))?;
+                    flags.push((name.to_string(), Some(value.clone())));
+                }
+            } else {
+                positional.push(a.clone());
+            }
+        }
+        Ok(Args { positional, flags })
+    }
+
+    fn flag(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
+        match self.flag(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| err(format!("invalid --{name} value '{v}'"))),
+        }
+    }
+}
+
+/// Run a command line (without the program name); returns rendered output.
+pub fn run(args: &[String], stdin: &str) -> Result<String, CliError> {
+    let Some(command) = args.first() else {
+        return Err(err(USAGE));
+    };
+    let rest = Args::parse(&args[1..])?;
+    if rest.has("help") {
+        return Ok(USAGE.to_string());
+    }
+    match command.as_str() {
+        "verify" => cmd_verify(&rest, stdin),
+        "sc" => cmd_sc(&rest, stdin),
+        "classify" => cmd_classify(&rest, stdin),
+        "explain" => cmd_explain(&rest, stdin),
+        "gen" => cmd_gen(&rest),
+        "inject" => cmd_inject(&rest, stdin),
+        "reduce" => cmd_reduce(&rest, stdin),
+        "sim" => cmd_sim(&rest),
+        "sat" => cmd_sat(&rest, stdin),
+        "litmus" => cmd_litmus(),
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(err(format!("unknown command '{other}'\n\n{USAGE}"))),
+    }
+}
+
+fn load_trace(args: &Args, stdin: &str) -> Result<Trace, CliError> {
+    let path = args
+        .positional
+        .first()
+        .ok_or_else(|| err("expected a trace file argument (or '-')"))?;
+    let text = if path == "-" {
+        stdin.to_string()
+    } else {
+        std::fs::read_to_string(path).map_err(|e| err(format!("cannot read {path}: {e}")))?
+    };
+    vermem_trace::fmt::parse_trace(&text).map_err(|e| err(format!("parse error: {e}")))
+}
+
+fn parse_strategy(args: &Args) -> Result<Strategy, CliError> {
+    Ok(match args.flag("strategy").unwrap_or("auto") {
+        "auto" => Strategy::Auto,
+        "backtracking" => Strategy::Backtracking,
+        "sat" => Strategy::Sat,
+        other => return Err(err(format!("unknown strategy '{other}'"))),
+    })
+}
+
+fn cmd_verify(args: &Args, stdin: &str) -> Result<String, CliError> {
+    let trace = load_trace(args, stdin)?;
+    let budget = args.num::<u64>("budget", 0)?;
+    let verifier = VmcVerifier {
+        strategy: parse_strategy(args)?,
+        search: SearchConfig {
+            max_states: (budget > 0).then_some(budget),
+            ..Default::default()
+        },
+    };
+    let mut out = String::new();
+    let addrs: Vec<Addr> = match args.flag("addr") {
+        Some(a) => vec![Addr(a.parse().map_err(|_| err("invalid --addr"))?)],
+        None => trace.addresses(),
+    };
+    let mut all_ok = true;
+    for addr in addrs {
+        match verifier.verify(&trace, addr) {
+            Verdict::Coherent(s) => {
+                let _ = writeln!(out, "address {}: coherent ({} ops)", addr.0, s.len());
+            }
+            Verdict::Incoherent(v) => {
+                all_ok = false;
+                let _ = writeln!(out, "address {}: VIOLATION — {v}", addr.0);
+            }
+            Verdict::Unknown => {
+                all_ok = false;
+                let _ = writeln!(out, "address {}: unknown (budget exhausted)", addr.0);
+            }
+        }
+    }
+    let _ = writeln!(out, "{}", if all_ok { "execution: coherent" } else { "execution: NOT coherent" });
+    Ok(out)
+}
+
+fn cmd_sc(args: &Args, stdin: &str) -> Result<String, CliError> {
+    let trace = load_trace(args, stdin)?;
+    let model = match args.flag("model").unwrap_or("sc") {
+        "sc" => MemoryModel::Sc,
+        "tso" => MemoryModel::Tso,
+        "pso" => MemoryModel::Pso,
+        "coherence" => MemoryModel::CoherenceOnly,
+        other => return Err(err(format!("unknown model '{other}'"))),
+    };
+    let verdict = vermem_consistency::verify_model(&trace, model);
+    let mut out = String::new();
+    match verdict {
+        vermem_consistency::ConsistencyVerdict::Consistent(s) => {
+            let _ = writeln!(out, "{model}: consistent ({} ops serialized)", s.len());
+        }
+        vermem_consistency::ConsistencyVerdict::Violating(v) => {
+            let _ = writeln!(out, "{model}: VIOLATION — {v}");
+        }
+        vermem_consistency::ConsistencyVerdict::Unknown => {
+            let _ = writeln!(out, "{model}: unknown (budget exhausted)");
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_classify(args: &Args, stdin: &str) -> Result<String, CliError> {
+    let trace = load_trace(args, stdin)?;
+    let mut out = String::new();
+    let stats = vermem_trace::stats::TraceStats::of(&trace);
+    let _ = writeln!(
+        out,
+        "{} processes, {} operations, {} addresses, {:.0}% reads, {} write-shared address(es)",
+        trace.num_procs(),
+        trace.num_ops(),
+        trace.addresses().len(),
+        stats.read_fraction() * 100.0,
+        stats.write_shared_addrs().count()
+    );
+    let verifier = VmcVerifier::new();
+    for addr in trace.addresses() {
+        let profile = vermem_trace::classify::InstanceProfile::of(&trace, addr);
+        let _ = writeln!(
+            out,
+            "address {}: {} ops, ≤{} ops/proc, ≤{} writes/value, mix {:?} → {} ({:?})",
+            addr.0,
+            profile.num_ops,
+            profile.max_ops_per_proc,
+            profile.max_writes_per_value,
+            profile.mix,
+            profile.known_complexity(),
+            verifier.select(&trace, addr),
+        );
+    }
+    Ok(out)
+}
+
+fn cmd_explain(args: &Args, stdin: &str) -> Result<String, CliError> {
+    let trace = load_trace(args, stdin)?;
+    let addrs: Vec<Addr> = match args.flag("addr") {
+        Some(a) => vec![Addr(a.parse().map_err(|_| err("invalid --addr"))?)],
+        None => trace.addresses(),
+    };
+    let mut out = String::new();
+    for addr in addrs {
+        match vermem_coherence::minimize_incoherent_core(
+            &trace,
+            addr,
+            &vermem_coherence::ExplainConfig::default(),
+        ) {
+            None => {
+                let _ = writeln!(out, "address {}: coherent (nothing to explain)", addr.0);
+            }
+            Some(core) => {
+                let _ = writeln!(
+                    out,
+                    "address {}: minimal incoherent core ({} of {} ops):",
+                    addr.0,
+                    core.len(),
+                    trace.project(addr).num_ops()
+                );
+                for &r in &core.kept {
+                    let _ = writeln!(out, "  {:?} {}", r, trace.op(r).expect("kept op"));
+                }
+                let _ = writeln!(out, "  cause: {}", core.violation);
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_gen(args: &Args) -> Result<String, CliError> {
+    let cfg = vermem_trace::gen::GenConfig {
+        procs: args.num("procs", 4usize)?,
+        total_ops: args.num("ops", 64usize)?,
+        addrs: args.num("addrs", 1usize)?,
+        write_fraction: 0.5,
+        rmw_fraction: args.num("rmw", 0u32)? as f64 / 100.0,
+        value_reuse: args.num("reuse", 30u32)? as f64 / 100.0,
+        seed: args.num("seed", 0xC0FFEEu64)?,
+    };
+    let (trace, _) = vermem_trace::gen::gen_sc_trace(&cfg);
+    Ok(vermem_trace::fmt::format_trace(&trace))
+}
+
+fn cmd_inject(args: &Args, stdin: &str) -> Result<String, CliError> {
+    let trace = load_trace(args, stdin)?;
+    let kind = match args.flag("kind").ok_or_else(|| err("--kind required"))? {
+        "corrupt-read" => vermem_trace::gen::ViolationKind::CorruptReadValue,
+        "stale-read" => vermem_trace::gen::ViolationKind::StaleRead,
+        "lost-write" => vermem_trace::gen::ViolationKind::LostWrite,
+        "reorder" => vermem_trace::gen::ViolationKind::ReorderAdjacent,
+        other => return Err(err(format!("unknown violation kind '{other}'"))),
+    };
+    let seed = args.num("seed", 1u64)?;
+    match vermem_trace::gen::inject_violation(&trace, kind, seed) {
+        None => Err(err("no eligible injection site in this trace")),
+        Some((mutated, inj)) => {
+            let mut out = String::new();
+            let _ = writeln!(
+                out,
+                "# injected {:?} at {:?} (guaranteed violation: {})",
+                inj.kind, inj.site, inj.guaranteed
+            );
+            out.push_str(&vermem_trace::fmt::format_trace(&mutated));
+            Ok(out)
+        }
+    }
+}
+
+fn cmd_reduce(args: &Args, stdin: &str) -> Result<String, CliError> {
+    let path = args
+        .positional
+        .first()
+        .ok_or_else(|| err("expected a DIMACS file argument (or '-')"))?;
+    let text = if path == "-" {
+        stdin.to_string()
+    } else {
+        std::fs::read_to_string(path).map_err(|e| err(format!("cannot read {path}: {e}")))?
+    };
+    let cnf = vermem_sat::dimacs::parse_dimacs(&text)
+        .map_err(|e| err(format!("DIMACS parse error: {e}")))?;
+    let trace = match args.flag("figure").unwrap_or("4.1") {
+        "4.1" => vermem_reductions::reduce_sat_to_vmc(&cnf).trace,
+        "5.1" => vermem_reductions::reduce_3sat_restricted(&cnf).trace,
+        "5.2" => vermem_reductions::reduce_3sat_rmw(&cnf).trace,
+        other => return Err(err(format!("unknown figure '{other}' (4.1, 5.1 or 5.2)"))),
+    };
+    Ok(vermem_trace::fmt::format_trace(&trace))
+}
+
+fn cmd_sim(args: &Args) -> Result<String, CliError> {
+    let cpus = args.num("cpus", 4usize)?;
+    let instrs = args.num("instrs", 64usize)?;
+    let program = vermem_sim::random_program(&vermem_sim::WorkloadConfig {
+        cpus,
+        instrs_per_cpu: instrs.div_ceil(cpus.max(1)),
+        addrs: args.num("addrs", 3usize)?,
+        write_fraction: 0.45,
+        rmw_fraction: 0.1,
+        seed: args.num("seed", 1u64)?,
+    });
+    if args.has("tso") && args.has("directory") {
+        return Err(err("--tso and --directory are mutually exclusive"));
+    }
+    let cap = if args.has("directory") {
+        vermem_sim::DirectoryMachine::run(
+            &program,
+            vermem_sim::DirectoryConfig {
+                seed: args.num("seed", 1u64)?,
+                ..Default::default()
+            },
+        )
+    } else {
+        vermem_sim::Machine::run(
+            &program,
+            vermem_sim::MachineConfig {
+                store_buffers: args.has("tso"),
+                seed: args.num("seed", 1u64)?,
+                ..Default::default()
+            },
+        )
+    };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# {} ops, {} hits, {} misses, {} invalidations",
+        cap.trace.num_ops(),
+        cap.stats.hits,
+        cap.stats.misses,
+        cap.stats.invalidations
+    );
+    if args.has("verify") {
+        let coherent = vermem_coherence::verify_execution(&cap.trace).is_coherent();
+        let _ = writeln!(out, "# verification: {}", if coherent { "coherent" } else { "VIOLATION" });
+    }
+    if args.has("online") {
+        let mut v = vermem_coherence::OnlineVerifier::new();
+        for &(proc, op) in &cap.event_log {
+            v.observe(proc, op);
+        }
+        let violations = v.finish();
+        let _ = writeln!(
+            out,
+            "# online check: {}",
+            if violations.is_empty() {
+                "clean".to_string()
+            } else {
+                format!("{} violation(s), first at event {}", violations.len(), violations[0].detected_at)
+            }
+        );
+    }
+    out.push_str(&vermem_trace::fmt::format_trace(&cap.trace));
+    Ok(out)
+}
+
+fn cmd_sat(args: &Args, stdin: &str) -> Result<String, CliError> {
+    let path = args
+        .positional
+        .first()
+        .ok_or_else(|| err("expected a DIMACS file argument (or '-')"))?;
+    let text = if path == "-" {
+        stdin.to_string()
+    } else {
+        std::fs::read_to_string(path).map_err(|e| err(format!("cannot read {path}: {e}")))?
+    };
+    let cnf = vermem_sat::dimacs::parse_dimacs(&text)
+        .map_err(|e| err(format!("DIMACS parse error: {e}")))?;
+    let mut solver = vermem_sat::CdclSolver::new(&cnf);
+    let mut out = String::new();
+    match solver.solve() {
+        vermem_sat::SatResult::Sat(model) => {
+            let _ = write!(out, "s SATISFIABLE\nv");
+            for i in 0..cnf.num_vars() {
+                let v = vermem_sat::Var(i);
+                let lit = v.lit(model.value(v).unwrap_or(false));
+                let _ = write!(out, " {}", lit.to_dimacs());
+            }
+            let _ = writeln!(out, " 0");
+        }
+        vermem_sat::SatResult::Unsat => {
+            let _ = writeln!(out, "s UNSATISFIABLE");
+        }
+    }
+    let stats = solver.stats();
+    let _ = writeln!(
+        out,
+        "c {} decisions, {} conflicts, {} propagations",
+        stats.decisions, stats.conflicts, stats.propagations
+    );
+    Ok(out)
+}
+
+fn cmd_litmus() -> Result<String, CliError> {
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<10} {:>4} {:>4} {:>4} {:>10}", "test", "SC", "TSO", "PSO", "Coherence");
+    for test in vermem_consistency::litmus::all_litmus_tests() {
+        let mut cells = Vec::new();
+        for model in MemoryModel::ALL {
+            let got = vermem_consistency::solve_model_sat(&test.trace, model).is_consistent();
+            cells.push(if got { "yes" } else { "no" });
+        }
+        let _ = writeln!(
+            out,
+            "{:<10} {:>4} {:>4} {:>4} {:>10}",
+            test.name, cells[0], cells[1], cells[2], cells[3]
+        );
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_ok(args: &[&str], stdin: &str) -> String {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        run(&args, stdin).expect("command should succeed")
+    }
+
+    const COHERENT: &str = "P0: W(0,1) R(0,2)\nP1: W(0,2)\n";
+    const VIOLATING: &str = "P0: W(0,1) W(0,2)\nP1: R(0,2) R(0,1)\n";
+
+    #[test]
+    fn verify_coherent_trace() {
+        let out = run_ok(&["verify", "-"], COHERENT);
+        assert!(out.contains("address 0: coherent"));
+        assert!(out.contains("execution: coherent"));
+    }
+
+    #[test]
+    fn verify_detects_violation() {
+        let out = run_ok(&["verify", "-"], VIOLATING);
+        assert!(out.contains("VIOLATION"));
+        assert!(out.contains("NOT coherent"));
+    }
+
+    #[test]
+    fn verify_strategies() {
+        for strat in ["auto", "backtracking", "sat"] {
+            let out = run_ok(&["verify", "-", "--strategy", strat], COHERENT);
+            assert!(out.contains("coherent"), "{strat}");
+        }
+        assert!(run(
+            &["verify".into(), "-".into(), "--strategy".into(), "bogus".into()],
+            COHERENT
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn sc_models() {
+        let sb = "P0: W(0,1) R(1,0)\nP1: W(1,1) R(0,0)\n";
+        let out = run_ok(&["sc", "-", "--model", "sc"], sb);
+        assert!(out.contains("VIOLATION"));
+        let out = run_ok(&["sc", "-", "--model", "tso"], sb);
+        assert!(out.contains("consistent"));
+    }
+
+    #[test]
+    fn classify_reports_complexity() {
+        let out = run_ok(&["classify", "-"], COHERENT);
+        assert!(out.contains("2 processes"));
+        assert!(out.contains("address 0"));
+    }
+
+    #[test]
+    fn explain_violating_trace() {
+        let out = run_ok(&["explain", "-"], VIOLATING);
+        assert!(out.contains("minimal incoherent core"));
+    }
+
+    #[test]
+    fn explain_coherent_trace() {
+        let out = run_ok(&["explain", "-"], COHERENT);
+        assert!(out.contains("nothing to explain"));
+    }
+
+    #[test]
+    fn gen_emits_parseable_trace() {
+        let out = run_ok(&["gen", "--procs", "3", "--ops", "20", "--seed", "5"], "");
+        let t = vermem_trace::fmt::parse_trace(&out).expect("generated trace parses");
+        assert_eq!(t.num_ops(), 20);
+    }
+
+    #[test]
+    fn gen_then_verify_round_trip() {
+        let trace = run_ok(&["gen", "--procs", "3", "--ops", "30"], "");
+        let out = run_ok(&["verify", "-"], &trace);
+        assert!(out.contains("execution: coherent"));
+    }
+
+    #[test]
+    fn inject_then_verify_detects() {
+        let trace = run_ok(&["gen", "--procs", "3", "--ops", "30"], "");
+        let injected = run_ok(&["inject", "-", "--kind", "corrupt-read"], &trace);
+        let out = run_ok(&["verify", "-"], &injected);
+        assert!(out.contains("NOT coherent"));
+    }
+
+    #[test]
+    fn reduce_dimacs() {
+        let dimacs = "p cnf 2 2\n1 2 0\n-1 2 0\n";
+        for figure in ["4.1", "5.1", "5.2"] {
+            let out = run_ok(&["reduce", "-", "--figure", figure], dimacs);
+            let t = vermem_trace::fmt::parse_trace(&out).expect("reduction parses");
+            assert!(t.num_ops() > 0, "{figure}");
+        }
+    }
+
+    #[test]
+    fn reduce_then_verify_is_equisatisfiable() {
+        // (x1)(¬x1): UNSAT → incoherent.
+        let out = run_ok(&["reduce", "-"], "p cnf 1 2\n1 0\n-1 0\n");
+        let verdict = run_ok(&["verify", "-"], &out);
+        assert!(verdict.contains("NOT coherent"));
+    }
+
+    #[test]
+    fn sim_emits_and_verifies() {
+        let out = run_ok(&["sim", "--cpus", "3", "--instrs", "30", "--verify"], "");
+        assert!(out.contains("# verification: coherent"));
+    }
+
+    #[test]
+    fn sim_online_and_directory_modes() {
+        let out = run_ok(&["sim", "--cpus", "3", "--instrs", "30", "--online"], "");
+        assert!(out.contains("# online check: clean"));
+        let out = run_ok(
+            &["sim", "--cpus", "3", "--instrs", "30", "--directory", "--verify"],
+            "",
+        );
+        assert!(out.contains("# verification: coherent"));
+        assert!(run(
+            &["sim".into(), "--tso".into(), "--directory".into()],
+            ""
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn litmus_table() {
+        let out = run_ok(&["litmus"], "");
+        assert!(out.contains("SB"));
+        assert!(out.contains("IRIW"));
+    }
+
+    #[test]
+    fn sat_command_solves_dimacs() {
+        let out = run_ok(&["sat", "-"], "p cnf 2 2\n1 2 0\n-1 2 0\n");
+        assert!(out.contains("s SATISFIABLE"));
+        assert!(out.contains("v "));
+        let out = run_ok(&["sat", "-"], "p cnf 1 2\n1 0\n-1 0\n");
+        assert!(out.contains("s UNSATISFIABLE"));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(run(&[], "").is_err());
+        assert!(run(&["bogus".into()], "").is_err());
+        assert!(run(&["verify".into()], "").is_err()); // missing file
+        assert!(run(&["verify".into(), "-".into()], "P9: W(1)\n").is_err()); // bad trace
+    }
+
+    #[test]
+    fn help_everywhere() {
+        assert!(run_ok(&["help"], "").contains("USAGE"));
+        assert!(run_ok(&["verify", "--help"], "").contains("USAGE"));
+    }
+}

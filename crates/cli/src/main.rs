@@ -1,0 +1,25 @@
+//! Thin binary wrapper over [`vermem_cli::run`].
+
+use std::io::Read;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // Only slurp stdin when some argument asks for it.
+    let stdin = if args.iter().any(|a| a == "-") {
+        let mut buf = String::new();
+        if std::io::stdin().read_to_string(&mut buf).is_err() {
+            eprintln!("error: cannot read stdin");
+            std::process::exit(2);
+        }
+        buf
+    } else {
+        String::new()
+    };
+    match vermem_cli::run(&args, &stdin) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! Violation explanation: shrink an incoherent execution to a **minimal
+//! incoherent core** — a 1-minimal subset of its operations (per-process
+//! order preserved) that is still incoherent, so a protocol engineer sees
+//! the few operations that actually conflict instead of the whole trace.
+//!
+//! Uses greedy delta debugging: repeatedly drop any single operation whose
+//! removal keeps the projection incoherent, until no single removal does
+//! (1-minimality). Each candidate is re-verified with a budgeted exact
+//! solver; a budget miss conservatively keeps the operation.
+
+use crate::backtrack::{solve_backtracking, SearchConfig};
+use crate::verdict::{Verdict, Violation};
+use vermem_trace::{Addr, Op, OpRef, ProcessHistory, Trace};
+
+/// Budget for each verification performed during shrinking.
+#[derive(Clone, Copy, Debug)]
+pub struct ExplainConfig {
+    /// Per-candidate search budget. `None` = unlimited (exact shrinking).
+    pub max_states: Option<u64>,
+}
+
+impl Default for ExplainConfig {
+    fn default() -> Self {
+        // Shrinking performs O(n²) verifications; keep each one bounded.
+        ExplainConfig { max_states: Some(200_000) }
+    }
+}
+
+/// A minimal incoherent core of an execution at one address.
+#[derive(Clone, Debug)]
+pub struct MinimalCore {
+    /// The shrunken trace (operations at `addr` only, per-process order
+    /// preserved; processes left empty are retained for stable indexing).
+    pub trace: Trace,
+    /// For each kept operation: its reference in the *original* trace, in
+    /// (process, program-order) order.
+    pub kept: Vec<OpRef>,
+    /// The violation reported for the core.
+    pub violation: Violation,
+}
+
+impl MinimalCore {
+    /// Number of operations in the core.
+    pub fn len(&self) -> usize {
+        self.kept.len()
+    }
+
+    /// True if the core is empty (cannot happen for a real violation).
+    pub fn is_empty(&self) -> bool {
+        self.kept.is_empty()
+    }
+}
+
+/// Shrink the operations of `trace` at `addr` to a minimal incoherent
+/// core. Returns `None` if the projection verifies coherent (or the budget
+/// cannot confirm a violation at all).
+pub fn minimize_incoherent_core(
+    trace: &Trace,
+    addr: Addr,
+    cfg: &ExplainConfig,
+) -> Option<MinimalCore> {
+    let search = SearchConfig { max_states: cfg.max_states, ..Default::default() };
+
+    // Working set: per-process vectors of (original ref, op), projected.
+    let mut ops: Vec<Vec<(OpRef, Op)>> = trace
+        .histories()
+        .iter()
+        .enumerate()
+        .map(|(p, h)| {
+            h.iter()
+                .enumerate()
+                .filter(|(_, op)| op.addr() == addr)
+                .map(|(i, op)| (OpRef::new(p as u16, i as u32), op))
+                .collect()
+        })
+        .collect();
+
+    let build = |ops: &[Vec<(OpRef, Op)>], with_final: bool| -> Trace {
+        let mut t = Trace::from_histories(
+            ops.iter()
+                .map(|h| h.iter().map(|&(_, op)| op).collect::<ProcessHistory>()),
+        );
+        t.set_initial(addr, trace.initial(addr));
+        if with_final {
+            if let Some(f) = trace.final_value(addr) {
+                t.set_final(addr, f);
+            }
+        }
+        t
+    };
+
+    // The input must be (confirmably) incoherent to begin with.
+    let mut violation = match solve_backtracking(&build(&ops, true), addr, &search) {
+        Verdict::Incoherent(v) => v,
+        _ => return None,
+    };
+
+    // Shrink the *constraint* first: if the violation survives without the
+    // final-value requirement, drop it — otherwise removing writes makes
+    // sub-traces trivially "incoherent" (an empty trace cannot reach a
+    // non-initial final value) and the core degenerates to nothing. When
+    // the constraint is essential, the minimal core may legitimately be
+    // very small or even empty: it certifies that the recorded operations
+    // cannot account for the observed final memory state (a lost-update
+    // signature), not an ordering conflict among specific operations.
+    let with_final = match solve_backtracking(&build(&ops, false), addr, &search) {
+        Verdict::Incoherent(v) => {
+            violation = v;
+            false
+        }
+        _ => true,
+    };
+    loop {
+        let mut shrunk = false;
+        'outer: for p in 0..ops.len() {
+            for i in 0..ops[p].len() {
+                let removed = ops[p].remove(i);
+                match solve_backtracking(&build(&ops, with_final), addr, &search) {
+                    Verdict::Incoherent(v) => {
+                        violation = v;
+                        shrunk = true;
+                        break 'outer;
+                    }
+                    _ => {
+                        ops[p].insert(i, removed);
+                    }
+                }
+            }
+        }
+        if !shrunk {
+            break;
+        }
+    }
+
+    let kept: Vec<OpRef> = ops.iter().flatten().map(|&(r, _)| r).collect();
+    // The violation was reported against the shrunken trace; remap its
+    // operation references back into the original trace so the report
+    // points at real operations.
+    let remap = |core_ref: OpRef| -> OpRef {
+        ops.get(core_ref.proc.0 as usize)
+            .and_then(|h| h.get(core_ref.index as usize))
+            .map(|&(orig, _)| orig)
+            .unwrap_or(core_ref)
+    };
+    violation.kind = match violation.kind {
+        crate::ViolationKind::NoWriterForValue { read, value } => {
+            crate::ViolationKind::NoWriterForValue { read: remap(read), value }
+        }
+        crate::ViolationKind::UnplaceableRead { read, value } => {
+            crate::ViolationKind::UnplaceableRead { read: remap(read), value }
+        }
+        crate::ViolationKind::PrecedenceCycle { cycle } => crate::ViolationKind::PrecedenceCycle {
+            cycle: cycle.into_iter().map(remap).collect(),
+        },
+        other => other,
+    };
+    Some(MinimalCore { trace: build(&ops, with_final), kept, violation })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vermem_trace::{Op, TraceBuilder};
+
+    fn core_of(trace: &Trace) -> MinimalCore {
+        minimize_incoherent_core(trace, Addr::ZERO, &ExplainConfig::default())
+            .expect("trace must be incoherent")
+    }
+
+    #[test]
+    fn coherent_trace_yields_none() {
+        let t = TraceBuilder::new().proc([Op::w(1u64), Op::r(1u64)]).build();
+        assert!(minimize_incoherent_core(&t, Addr::ZERO, &ExplainConfig::default()).is_none());
+    }
+
+    #[test]
+    fn unwritten_read_shrinks_to_single_op() {
+        // Lots of fine ops plus one read of a never-written value.
+        let t = TraceBuilder::new()
+            .proc([Op::w(1u64), Op::r(1u64), Op::w(2u64), Op::r(2u64)])
+            .proc([Op::r(1u64), Op::r(99u64), Op::r(2u64)])
+            .build();
+        let core = core_of(&t);
+        // Minimal cores are not unique (removing a read's writer leaves
+        // another single-read core), but any 1-minimal core here is a
+        // single unservable read.
+        assert_eq!(core.len(), 1);
+        let (_, op) = core.trace.iter_ops().next().expect("one op");
+        assert!(matches!(op, Op::Read { .. }));
+    }
+
+    #[test]
+    fn corr_regression_core_is_small_and_one_minimal() {
+        // CoRR with padding: P1 sees 2 then 1 — core needs both writes and
+        // both reads (4 ops).
+        let t = TraceBuilder::new()
+            .proc([Op::w(5u64), Op::w(1u64), Op::w(2u64), Op::r(2u64)])
+            .proc([Op::r(2u64), Op::r(1u64), Op::r(1u64)])
+            .build();
+        let core = core_of(&t);
+        assert!(core.len() <= 4, "core has {} ops: {:?}", core.len(), core.trace);
+        // 1-minimality: removing any single op makes it coherent (or at
+        // least not provably incoherent under the same budget).
+        let search = SearchConfig::default();
+        for skip in 0..core.len() {
+            let mut b = TraceBuilder::new();
+            let mut idx = 0;
+            for h in core.trace.histories() {
+                let ops: Vec<Op> = h
+                    .iter()
+                    .filter(|_| {
+                        let keep = idx != skip;
+                        idx += 1;
+                        keep
+                    })
+                    .collect();
+                b = b.proc(ops);
+            }
+            let t2 = b.build();
+            assert!(
+                solve_backtracking(&t2, Addr::ZERO, &search).is_coherent(),
+                "removing op {skip} should make the core coherent"
+            );
+        }
+    }
+
+    #[test]
+    fn cores_of_injected_violations_stay_incoherent() {
+        use vermem_trace::gen::{gen_sc_trace, inject_violation, GenConfig, ViolationKind};
+        for seed in 0..10 {
+            let (trace, _) = gen_sc_trace(&GenConfig::single_address(3, 24, 900 + seed));
+            let Some((mutated, inj)) =
+                inject_violation(&trace, ViolationKind::CorruptReadValue, seed)
+            else {
+                continue;
+            };
+            assert!(inj.guaranteed);
+            let core = core_of(&mutated);
+            assert!(!core.is_empty());
+            assert!(core.len() <= mutated.num_ops());
+            // The core itself verifies incoherent.
+            assert!(
+                solve_backtracking(&core.trace, Addr::ZERO, &SearchConfig::default())
+                    .is_incoherent()
+            );
+        }
+    }
+
+    #[test]
+    fn kept_refs_point_at_original_ops() {
+        let t = TraceBuilder::new()
+            .proc([Op::w(1u64)])
+            .proc([Op::r(7u64)])
+            .build();
+        let core = core_of(&t);
+        for (&r, (_, core_op)) in core.kept.iter().zip(core.trace.iter_ops()) {
+            assert_eq!(t.op(r), Some(core_op));
+        }
+    }
+}

@@ -1,0 +1,315 @@
+//! # vermem-coherence
+//!
+//! The core of the `vermem` suite: deciding **Verifying Memory Coherence**
+//! (VMC, Definition 4.1 of Cantin, Lipasti & Smith) — given the per-process
+//! histories of an execution and an address, does a coherent schedule of
+//! the operations at that address exist?
+//!
+//! VMC is NP-complete (Theorem 4.2), so this crate pairs exact solvers with
+//! every polynomial special case from the paper's Figure 5.3:
+//!
+//! | Figure 5.3 case | module | entry point |
+//! |---|---|---|
+//! | general (NP-complete) | [`backtrack`] | [`solve_backtracking`] |
+//! | general via SAT | [`sat_encode`] | [`solve_sat`] |
+//! | constant #processes, O(n^k) | [`backtrack`] (memoized) | [`solve_backtracking`] |
+//! | 1 write/value (read-map), O(n) | [`readmap`] | [`readmap::solve_readmap`] |
+//! | 1 op/process simple, O(n lg n) | [`one_op`] | [`one_op::solve_one_op`] |
+//! | 1 op/process RMW, O(n²)→O(n) | [`rmw`] | [`rmw::solve_rmw_one_op`] |
+//! | RMW read-map, O(n lg n)→O(n) | [`rmw`] | [`rmw::solve_rmw_readmap`] |
+//! | write order given, O(n²)/O(n) (§5.2) | [`write_order`] | [`solve_with_write_order`] |
+//!
+//! The [`verify`] entry point classifies the instance (via
+//! [`vermem_trace::classify`]) and dispatches to the cheapest applicable
+//! algorithm; [`verify_execution`] applies it per address, which by the
+//! definition in §3 decides coherence of the whole execution.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod backtrack;
+pub mod explain;
+pub mod one_op;
+pub mod online;
+pub mod open_problems;
+pub mod readmap;
+pub mod rmw;
+pub mod sat_encode;
+mod verdict;
+pub mod write_order;
+
+pub use backtrack::{solve_backtracking, solve_backtracking_with_stats, SearchConfig, SearchStats};
+pub use explain::{minimize_incoherent_core, ExplainConfig, MinimalCore};
+pub use online::{OnlineCause, OnlineVerifier, OnlineViolation};
+pub use sat_encode::{encode_vmc, solve_sat, solve_sat_certified, VmcEncoding};
+pub use verdict::{Verdict, Violation, ViolationKind};
+pub use write_order::solve_with_write_order;
+
+use std::collections::BTreeMap;
+use vermem_trace::{Addr, Schedule, Trace};
+
+/// Which algorithm the dispatcher selected for an instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Linear read-map algorithm (1 write/value, simple ops).
+    ReadMap,
+    /// Forced-chain algorithm (all RMW, 1 write/value).
+    RmwReadMap,
+    /// Grouped construction (1 simple op per process).
+    OneOpPerProc,
+    /// Eulerian path (1 RMW per process).
+    RmwOneOp,
+    /// Memoized exhaustive search (general case; polynomial for constant k).
+    Backtracking,
+    /// CNF encoding solved with the CDCL solver.
+    SatEncoding,
+}
+
+/// Solver strategy for the general (NP-complete) case.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Strategy {
+    /// Use polynomial fast paths when applicable, backtracking otherwise.
+    #[default]
+    Auto,
+    /// Always use the memoized backtracking solver.
+    Backtracking,
+    /// Always use the SAT encoding.
+    Sat,
+}
+
+/// A configured VMC verifier.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct VmcVerifier {
+    /// Strategy for hard instances.
+    pub strategy: Strategy,
+    /// Budget for the backtracking search.
+    pub search: SearchConfig,
+}
+
+impl VmcVerifier {
+    /// Verifier with default settings (auto dispatch, unlimited search).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Which algorithm [`VmcVerifier::verify`] would run on this instance.
+    pub fn select(&self, trace: &Trace, addr: Addr) -> Algorithm {
+        match self.strategy {
+            Strategy::Backtracking => Algorithm::Backtracking,
+            Strategy::Sat => Algorithm::SatEncoding,
+            Strategy::Auto => {
+                if readmap::applicable(trace, addr) {
+                    Algorithm::ReadMap
+                } else if rmw::readmap_applicable(trace, addr) {
+                    Algorithm::RmwReadMap
+                } else if one_op::applicable(trace, addr) {
+                    Algorithm::OneOpPerProc
+                } else if rmw::one_op_applicable(trace, addr) {
+                    Algorithm::RmwOneOp
+                } else {
+                    Algorithm::Backtracking
+                }
+            }
+        }
+    }
+
+    /// Decide coherence of the operations of `trace` at `addr`.
+    pub fn verify(&self, trace: &Trace, addr: Addr) -> Verdict {
+        match self.select(trace, addr) {
+            Algorithm::ReadMap => readmap::solve_readmap(trace, addr),
+            Algorithm::RmwReadMap => rmw::solve_rmw_readmap(trace, addr),
+            Algorithm::OneOpPerProc => one_op::solve_one_op(trace, addr),
+            Algorithm::RmwOneOp => rmw::solve_rmw_one_op(trace, addr),
+            Algorithm::Backtracking => solve_backtracking(trace, addr, &self.search),
+            Algorithm::SatEncoding => solve_sat(trace, addr),
+        }
+    }
+}
+
+/// Decide coherence at `addr` with default settings.
+///
+/// ```
+/// use vermem_trace::{Addr, Op, TraceBuilder};
+/// // P0 wrote 1 then observed 2; P1 wrote 2: coherent (P1's write lands
+/// // between P0's two operations).
+/// let trace = TraceBuilder::new()
+///     .proc([Op::w(1u64), Op::r(2u64)])
+///     .proc([Op::w(2u64)])
+///     .build();
+/// assert!(vermem_coherence::verify(&trace, Addr::ZERO).is_coherent());
+///
+/// // A value regression is impossible in any interleaving.
+/// let corr = TraceBuilder::new()
+///     .proc([Op::w(1u64), Op::w(2u64)])
+///     .proc([Op::r(2u64), Op::r(1u64)])
+///     .build();
+/// assert!(vermem_coherence::verify(&corr, Addr::ZERO).is_incoherent());
+/// ```
+pub fn verify(trace: &Trace, addr: Addr) -> Verdict {
+    VmcVerifier::new().verify(trace, addr)
+}
+
+/// Outcome of verifying a whole execution: per-address witness schedules,
+/// or the first violation found.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExecutionVerdict {
+    /// Every address has a coherent schedule (the execution is coherent, §3).
+    Coherent(BTreeMap<Addr, Schedule>),
+    /// Some address has no coherent schedule.
+    Incoherent(Violation),
+    /// A budget ran out before the answer was known at some address.
+    Unknown {
+        /// The address whose verification was inconclusive.
+        addr: Addr,
+    },
+}
+
+impl ExecutionVerdict {
+    /// True if the execution is coherent.
+    pub fn is_coherent(&self) -> bool {
+        matches!(self, ExecutionVerdict::Coherent(_))
+    }
+}
+
+/// Verify coherence of every address of an execution (the paper's §3
+/// definition: a coherent schedule must exist per address).
+///
+/// ```
+/// use vermem_trace::{Op, TraceBuilder};
+/// let trace = TraceBuilder::new()
+///     .proc([Op::write(0u32, 1u64), Op::write(1u32, 2u64)])
+///     .proc([Op::read(0u32, 1u64), Op::read(1u32, 2u64)])
+///     .build();
+/// assert!(vermem_coherence::verify_execution(&trace).is_coherent());
+/// ```
+pub fn verify_execution(trace: &Trace) -> ExecutionVerdict {
+    verify_execution_with(trace, &VmcVerifier::new())
+}
+
+/// As [`verify_execution`], with explicit verifier settings.
+pub fn verify_execution_with(trace: &Trace, verifier: &VmcVerifier) -> ExecutionVerdict {
+    let mut witnesses = BTreeMap::new();
+    for addr in trace.addresses() {
+        match verifier.verify(trace, addr) {
+            Verdict::Coherent(s) => {
+                witnesses.insert(addr, s);
+            }
+            Verdict::Incoherent(v) => return ExecutionVerdict::Incoherent(v),
+            Verdict::Unknown => return ExecutionVerdict::Unknown { addr },
+        }
+    }
+    ExecutionVerdict::Coherent(witnesses)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vermem_trace::{check_coherent_schedule, Op, TraceBuilder};
+
+    #[test]
+    fn dispatcher_selects_fast_paths() {
+        let v = VmcVerifier::new();
+        let readmap = TraceBuilder::new()
+            .proc([Op::w(1u64), Op::r(2u64)])
+            .proc([Op::w(2u64)])
+            .build();
+        assert_eq!(v.select(&readmap, Addr::ZERO), Algorithm::ReadMap);
+
+        let rmw_chain = TraceBuilder::new()
+            .proc([Op::rw(0u64, 1u64), Op::rw(1u64, 2u64)])
+            .build();
+        assert_eq!(v.select(&rmw_chain, Addr::ZERO), Algorithm::RmwReadMap);
+
+        let one_op = TraceBuilder::new()
+            .proc([Op::w(1u64)])
+            .proc([Op::w(1u64)])
+            .proc([Op::r(1u64)])
+            .build();
+        assert_eq!(v.select(&one_op, Addr::ZERO), Algorithm::OneOpPerProc);
+
+        let euler = TraceBuilder::new()
+            .proc([Op::rw(0u64, 1u64)])
+            .proc([Op::rw(1u64, 0u64)])
+            .build();
+        assert_eq!(v.select(&euler, Addr::ZERO), Algorithm::RmwOneOp);
+
+        let hard = TraceBuilder::new()
+            .proc([Op::w(1u64), Op::r(1u64), Op::w(2u64)])
+            .proc([Op::w(1u64), Op::r(2u64), Op::w(2u64)])
+            .build();
+        assert_eq!(v.select(&hard, Addr::ZERO), Algorithm::Backtracking);
+    }
+
+    #[test]
+    fn strategies_force_algorithm() {
+        let t = TraceBuilder::new().proc([Op::w(1u64)]).build();
+        let bt = VmcVerifier { strategy: Strategy::Backtracking, ..Default::default() };
+        assert_eq!(bt.select(&t, Addr::ZERO), Algorithm::Backtracking);
+        let sat = VmcVerifier { strategy: Strategy::Sat, ..Default::default() };
+        assert_eq!(sat.select(&t, Addr::ZERO), Algorithm::SatEncoding);
+    }
+
+    #[test]
+    fn verify_execution_multi_address() {
+        let t = TraceBuilder::new()
+            .proc([Op::write(0u32, 1u64), Op::write(1u32, 2u64)])
+            .proc([Op::read(0u32, 1u64), Op::read(1u32, 2u64)])
+            .build();
+        match verify_execution(&t) {
+            ExecutionVerdict::Coherent(w) => {
+                assert_eq!(w.len(), 2);
+                for (&addr, s) in &w {
+                    check_coherent_schedule(&t, addr, s).unwrap();
+                }
+            }
+            other => panic!("expected coherent, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn verify_execution_detects_per_address_violation() {
+        let t = TraceBuilder::new()
+            .proc([Op::write(0u32, 1u64)])
+            .proc([Op::read(1u32, 9u64)]) // address 1 never written, 9 != d_I
+            .build();
+        match verify_execution(&t) {
+            ExecutionVerdict::Incoherent(v) => assert_eq!(v.addr, Addr(1)),
+            other => panic!("expected incoherent, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn all_strategies_agree_on_random_instances() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for seed in 0..60u64 {
+            let mut rng = StdRng::seed_from_u64(9000 + seed);
+            let procs = rng.gen_range(1..=3);
+            let mut b = TraceBuilder::new();
+            for _ in 0..procs {
+                let len = rng.gen_range(0..=4);
+                let ops: Vec<Op> = (0..len)
+                    .map(|_| {
+                        let v = rng.gen_range(0..3u64);
+                        match rng.gen_range(0..3) {
+                            0 => Op::r(v),
+                            1 => Op::w(v),
+                            _ => Op::rw(v, rng.gen_range(0..3u64)),
+                        }
+                    })
+                    .collect();
+                b = b.proc(ops);
+            }
+            let t = b.build();
+            let auto = verify(&t, Addr::ZERO).is_coherent();
+            let bt = VmcVerifier { strategy: Strategy::Backtracking, ..Default::default() }
+                .verify(&t, Addr::ZERO)
+                .is_coherent();
+            let sat = VmcVerifier { strategy: Strategy::Sat, ..Default::default() }
+                .verify(&t, Addr::ZERO)
+                .is_coherent();
+            assert_eq!(auto, bt, "auto vs backtracking, seed {seed}: {t:?}");
+            assert_eq!(auto, sat, "auto vs sat, seed {seed}: {t:?}");
+        }
+    }
+}

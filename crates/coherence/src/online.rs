@@ -1,0 +1,418 @@
+//! Online (streaming) coherence checking — the hardware error detector the
+//! paper's introduction motivates, made possible by the §5.2 observation
+//! that verification is polynomial when the memory system supplies its
+//! write order.
+//!
+//! The checker consumes the machine's event stream *as it executes*:
+//! writes in per-address commit order, and reads/RMWs in program order per
+//! process (the stream any write-invalidate memory system can produce, cf.
+//! Qadeer's logical-order-equals-temporal-order observation cited in §2).
+//! It maintains, per address, the committed value sequence ("slots") and a
+//! per-process placement cursor, and places each read greedily at the
+//! earliest feasible slot — exactly the §5.2 insertion algorithm run
+//! incrementally:
+//!
+//! * a read matching an existing slot within its window is placed in O(log
+//!   n);
+//! * a read with no feasible slot *yet* is deferred (its serving write may
+//!   commit later);
+//! * a deferred read's window closes when its process commits its next
+//!   write to that address — if it is still unplaced, a violation is
+//!   reported at that very event, pinpointing detection latency;
+//! * [`OnlineVerifier::finish`] flushes still-deferred reads as violations.
+//!
+//! The verdict is identical to running [`crate::solve_with_write_order`]
+//! offline on the captured trace (tested against it), but violations
+//! surface *during* execution.
+
+use std::collections::HashMap;
+use vermem_trace::{Addr, Op, ProcId, Value};
+
+/// A violation reported by the online checker.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OnlineViolation {
+    /// Index (in the event stream) at which the violation became certain.
+    pub detected_at: u64,
+    /// Index at which the offending operation was observed (for deferred
+    /// reads this precedes `detected_at`; the gap is the detection latency).
+    pub issued_at: u64,
+    /// The process whose read cannot be served.
+    pub proc: ProcId,
+    /// The address involved.
+    pub addr: Addr,
+    /// The unservable observed value.
+    pub value: Value,
+    /// Human-readable cause.
+    pub cause: OnlineCause,
+}
+
+/// Why the online checker flagged an event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OnlineCause {
+    /// An RMW's read component did not match the last committed value.
+    RmwMismatch,
+    /// A deferred read's window closed (its process committed a newer
+    /// write) while the read was still unservable.
+    WindowClosed,
+    /// The stream ended with the read still unservable.
+    EndOfStream,
+}
+
+#[derive(Clone, Debug)]
+struct PendingRead {
+    proc: ProcId,
+    value: Value,
+    issued_at: u64,
+}
+
+#[derive(Default)]
+struct AddrState {
+    /// Committed values; slot `s` (0-based over `0..=slots.len()`) denotes
+    /// "after `s` writes", so the value at slot 0 is the initial value and
+    /// the value at slot `s > 0` is `slots[s-1]`.
+    slots: Vec<Value>,
+    /// For each value: the sorted slots at which it is current.
+    value_slots: HashMap<Value, Vec<usize>>,
+    /// Per-process placement cursor (earliest slot its next read may use).
+    min_slot: HashMap<u16, usize>,
+    /// Deferred reads, per process, in program order.
+    pending: HashMap<u16, Vec<PendingRead>>,
+}
+
+/// The streaming verifier. Feed events with [`OnlineVerifier::observe`];
+/// call [`OnlineVerifier::finish`] at end of stream.
+///
+/// ```
+/// use vermem_coherence::OnlineVerifier;
+/// use vermem_trace::{Op, ProcId};
+/// let mut v = OnlineVerifier::new();
+/// v.observe(ProcId(0), Op::w(1u64));
+/// v.observe(ProcId(1), Op::r(1u64));
+/// assert!(v.clean());
+/// assert!(v.finish().is_empty());
+/// ```
+#[derive(Default)]
+pub struct OnlineVerifier {
+    addrs: HashMap<Addr, AddrState>,
+    initial: HashMap<Addr, Value>,
+    violations: Vec<OnlineViolation>,
+    events: u64,
+}
+
+impl OnlineVerifier {
+    /// A fresh verifier with all locations initialized to
+    /// [`Value::INITIAL`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare a non-default initial value for a location (before feeding
+    /// events).
+    pub fn set_initial(&mut self, addr: Addr, value: Value) {
+        self.initial.insert(addr, value);
+    }
+
+    fn initial_of(&self, addr: Addr) -> Value {
+        self.initial.get(&addr).copied().unwrap_or(Value::INITIAL)
+    }
+
+    /// Number of events observed so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Violations detected so far.
+    pub fn violations(&self) -> &[OnlineViolation] {
+        &self.violations
+    }
+
+    /// True if no violation has been detected yet.
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Feed the next event: `proc` executed/committed `op`. Writes must
+    /// arrive in their per-address commit order; reads and RMWs in program
+    /// order per process (per address). Returns the number of violations
+    /// this event surfaced.
+    pub fn observe(&mut self, proc: ProcId, op: Op) -> usize {
+        let seq = self.events;
+        self.events += 1;
+        let before = self.violations.len();
+        let addr = op.addr();
+        let initial = self.initial_of(addr);
+
+        match op {
+            Op::Read { value, .. } => {
+                self.on_read(seq, proc, addr, value, initial);
+            }
+            Op::Write { value, .. } => {
+                self.on_write(seq, proc, addr, value, initial);
+            }
+            Op::Rmw { read, write, .. } => {
+                // The read component binds to the immediately preceding
+                // committed value.
+                let state = self.addrs.entry(addr).or_default();
+                let current = state.slots.last().copied().unwrap_or(initial);
+                if current != read {
+                    self.violations.push(OnlineViolation {
+                        detected_at: seq,
+                        issued_at: seq,
+                        proc,
+                        addr,
+                        value: read,
+                        cause: OnlineCause::RmwMismatch,
+                    });
+                }
+                self.on_write(seq, proc, addr, write, initial);
+            }
+        }
+        self.violations.len() - before
+    }
+
+    fn on_read(&mut self, seq: u64, proc: ProcId, addr: Addr, value: Value, initial: Value) {
+        let state = self.addrs.entry(addr).or_default();
+        ensure_initial_slot(state, initial);
+        let queue = state.pending.entry(proc.0).or_default();
+        if !queue.is_empty() {
+            // Preserve program order behind an already-deferred read.
+            queue.push(PendingRead { proc, value, issued_at: seq });
+            return;
+        }
+        let min = state.min_slot.get(&proc.0).copied().unwrap_or(0);
+        match place(state, value, min) {
+            Some(slot) => {
+                state.min_slot.insert(proc.0, slot);
+            }
+            None => {
+                state
+                    .pending
+                    .entry(proc.0)
+                    .or_default()
+                    .push(PendingRead { proc, value, issued_at: seq });
+            }
+        }
+    }
+
+    fn on_write(&mut self, seq: u64, proc: ProcId, addr: Addr, value: Value, initial: Value) {
+        let state = self.addrs.entry(addr).or_default();
+        ensure_initial_slot(state, initial);
+
+        // The writer's own deferred reads' windows close now.
+        if let Some(queue) = state.pending.get_mut(&proc.0) {
+            for stale in queue.drain(..) {
+                self.violations.push(OnlineViolation {
+                    detected_at: seq,
+                    issued_at: stale.issued_at,
+                    proc: stale.proc,
+                    addr,
+                    value: stale.value,
+                    cause: OnlineCause::WindowClosed,
+                });
+            }
+        }
+
+        // Commit the write as a new slot.
+        let slot = state.slots.len() + 1;
+        state.slots.push(value);
+        state.value_slots.entry(value).or_default().push(slot);
+        // The writer's later reads must observe this write or newer.
+        let cursor = state.min_slot.entry(proc.0).or_insert(0);
+        *cursor = (*cursor).max(slot);
+
+        // Retry deferred reads of every process, in program order, stopping
+        // at the first that still cannot be placed.
+        let procs: Vec<u16> = state.pending.keys().copied().collect();
+        for p in procs {
+            let queue = state.pending.get_mut(&p).expect("listed");
+            let mut placed = 0;
+            let mut min = state.min_slot.get(&p).copied().unwrap_or(0);
+            for pr in queue.iter() {
+                match place_readonly(&state.value_slots, state.slots.len(), pr.value, min) {
+                    Some(slot) => {
+                        min = slot;
+                        placed += 1;
+                    }
+                    None => break,
+                }
+            }
+            if placed > 0 {
+                state.min_slot.insert(p, min);
+                state.pending.get_mut(&p).expect("listed").drain(..placed);
+            }
+        }
+    }
+
+    /// End of stream: any still-deferred read is a violation. Returns the
+    /// full violation list.
+    pub fn finish(mut self) -> Vec<OnlineViolation> {
+        let end = self.events;
+        let mut stragglers: Vec<OnlineViolation> = Vec::new();
+        for (&addr, state) in &mut self.addrs {
+            for queue in state.pending.values_mut() {
+                for pr in queue.drain(..) {
+                    stragglers.push(OnlineViolation {
+                        detected_at: end,
+                        issued_at: pr.issued_at,
+                        proc: pr.proc,
+                        addr,
+                        value: pr.value,
+                        cause: OnlineCause::EndOfStream,
+                    });
+                }
+            }
+        }
+        stragglers.sort_by_key(|v| v.issue_key());
+        self.violations.extend(stragglers);
+        self.violations
+    }
+}
+
+impl OnlineViolation {
+    fn issue_key(&self) -> (u64, u64, u32, u16) {
+        (self.detected_at, self.issued_at, self.addr.0, self.proc.0)
+    }
+}
+
+fn ensure_initial_slot(state: &mut AddrState, initial: Value) {
+    // Slot 0 carries the initial value; register it once.
+    state.value_slots.entry(initial).or_insert_with(|| {
+        let mut v = Vec::with_capacity(4);
+        v.insert(0, 0);
+        v
+    });
+}
+
+/// Earliest slot ≥ `min` where `value` is current, if any (and it must not
+/// exceed the number of committed writes).
+fn place(state: &mut AddrState, value: Value, min: usize) -> Option<usize> {
+    place_readonly(&state.value_slots, state.slots.len(), value, min)
+}
+
+fn place_readonly(
+    value_slots: &HashMap<Value, Vec<usize>>,
+    max_slot: usize,
+    value: Value,
+    min: usize,
+) -> Option<usize> {
+    let slots = value_slots.get(&value)?;
+    let idx = slots.partition_point(|&s| s < min);
+    slots.get(idx).copied().filter(|&s| s <= max_slot)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u16) -> ProcId {
+        ProcId(i)
+    }
+
+    #[test]
+    fn simple_stream_is_clean() {
+        let mut v = OnlineVerifier::new();
+        v.observe(p(0), Op::w(1u64));
+        v.observe(p(1), Op::r(1u64));
+        v.observe(p(0), Op::w(2u64));
+        v.observe(p(1), Op::r(2u64));
+        assert!(v.clean());
+        assert!(v.finish().is_empty());
+    }
+
+    #[test]
+    fn regression_read_is_flagged() {
+        // P1 reads 2 then 1 after the writes committed 1 then 2.
+        let mut v = OnlineVerifier::new();
+        v.observe(p(0), Op::w(1u64));
+        v.observe(p(0), Op::w(2u64));
+        v.observe(p(1), Op::r(2u64));
+        assert_eq!(v.observe(p(1), Op::r(1u64)), 0, "deferred, not yet fatal");
+        let violations = v.finish();
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].cause, OnlineCause::EndOfStream);
+        assert_eq!(violations[0].value, Value(1));
+    }
+
+    #[test]
+    fn deferred_read_served_by_later_write() {
+        // The read observes a value committed after it was issued — legal
+        // per-address serialization, accepted once the write commits.
+        let mut v = OnlineVerifier::new();
+        v.observe(p(1), Op::r(7u64)); // deferred
+        assert!(v.clean());
+        v.observe(p(0), Op::w(7u64));
+        assert!(v.clean());
+        assert!(v.finish().is_empty());
+    }
+
+    #[test]
+    fn window_closes_on_own_write() {
+        // P1 defers a read of 9, then commits its own write: the read can
+        // no longer be served by anything later → flagged at that event.
+        let mut v = OnlineVerifier::new();
+        v.observe(p(0), Op::w(1u64));
+        v.observe(p(1), Op::r(9u64)); // deferred
+        let n = v.observe(p(1), Op::w(2u64));
+        assert_eq!(n, 1);
+        assert_eq!(v.violations()[0].cause, OnlineCause::WindowClosed);
+        assert_eq!(v.violations()[0].detected_at, 2);
+    }
+
+    #[test]
+    fn rmw_chain_checked_inline() {
+        let mut v = OnlineVerifier::new();
+        v.observe(p(0), Op::rw(0u64, 1u64));
+        v.observe(p(1), Op::rw(1u64, 2u64));
+        assert!(v.clean());
+        let n = v.observe(p(0), Op::rw(7u64, 8u64)); // expected 2
+        assert_eq!(n, 1);
+        assert_eq!(v.violations()[0].cause, OnlineCause::RmwMismatch);
+    }
+
+    #[test]
+    fn initial_values_respected() {
+        let mut v = OnlineVerifier::new();
+        v.set_initial(Addr::ZERO, Value(5));
+        v.observe(p(0), Op::r(5u64));
+        v.observe(p(0), Op::w(1u64));
+        v.observe(p(1), Op::r(5u64)); // may still bind to slot 0
+        assert!(v.finish().is_empty());
+    }
+
+    #[test]
+    fn per_process_order_enforced() {
+        // P1 reads 2 then 1 while writes commit 1 then 2: the second read's
+        // only slot precedes the first read's placement.
+        let mut v = OnlineVerifier::new();
+        v.observe(p(0), Op::w(1u64));
+        v.observe(p(0), Op::w(2u64));
+        v.observe(p(1), Op::r(2u64)); // placed at slot 2
+        v.observe(p(1), Op::r(1u64)); // needs slot 1 < 2: deferred forever
+        assert_eq!(v.finish().len(), 1);
+    }
+
+    #[test]
+    fn program_order_preserved_behind_deferred_reads() {
+        // P1 defers a read of 5, then issues a read of 1. Even though 1 is
+        // already available, it must not be placed before the deferred read.
+        let mut v = OnlineVerifier::new();
+        v.observe(p(0), Op::w(1u64));
+        v.observe(p(1), Op::r(5u64)); // deferred
+        v.observe(p(1), Op::r(1u64)); // queued behind it
+        v.observe(p(0), Op::w(5u64));
+        // Now 5 is placeable at slot 2 and 1 is NOT placeable at ≥ 2.
+        let violations = v.finish();
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].value, Value(1));
+    }
+
+    #[test]
+    fn addresses_are_independent() {
+        let mut v = OnlineVerifier::new();
+        v.observe(p(0), Op::write(0u32, 1u64));
+        v.observe(p(0), Op::write(1u32, 2u64));
+        v.observe(p(1), Op::read(1u32, 2u64));
+        v.observe(p(1), Op::read(0u32, 1u64));
+        assert!(v.finish().is_empty());
+    }
+}

@@ -1,0 +1,351 @@
+//! VMC with a known read-map (Figure 5.3 row "1 Write/Value"): linear-time
+//! verification for simple reads/writes when every data value is written at
+//! most once, so each read is bound to its unique writer.
+//!
+//! Every write forms a *block* together with the reads of its value; reads
+//! of the (never-rewritten) initial value form a virtual first block. A
+//! coherent schedule exists iff the block precedence graph induced by
+//! program order is acyclic, because within a block the write simply comes
+//! first and reads never change memory state.
+
+use crate::backtrack::precheck;
+use crate::verdict::{Verdict, Violation, ViolationKind};
+use std::collections::HashMap;
+use vermem_trace::{check_coherent_schedule, Addr, OpRef, Schedule, Trace, Value};
+
+/// True if the read-map fast path applies to the operations at `addr`:
+/// simple reads/writes only, every value written at most once, and no write
+/// re-installs the initial value (which would make read binding ambiguous).
+pub fn applicable(trace: &Trace, addr: Addr) -> bool {
+    let initial = trace.initial(addr);
+    let mut seen: HashMap<Value, u32> = HashMap::new();
+    for (_, op) in trace.iter_ops().filter(|(_, op)| op.addr() == addr) {
+        if op.is_rmw() {
+            return false;
+        }
+        if let Some(v) = op.written_value() {
+            if v == initial {
+                return false;
+            }
+            let c = seen.entry(v).or_insert(0);
+            *c += 1;
+            if *c > 1 {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Decide coherence at `addr` assuming [`applicable`]. O(n) modulo hashing.
+///
+/// # Panics
+/// Debug-asserts applicability; behaviour is unspecified otherwise.
+pub fn solve_readmap(trace: &Trace, addr: Addr) -> Verdict {
+    debug_assert!(applicable(trace, addr), "read-map fast path preconditions violated");
+    if let Some(v) = precheck(trace, addr) {
+        return Verdict::Incoherent(v);
+    }
+    let initial = trace.initial(addr);
+
+    // Index the per-address operations; block 0 is the virtual initial
+    // block, block (w+1) belongs to the w-th write.
+    let ops: Vec<(OpRef, vermem_trace::Op)> =
+        trace.iter_ops().filter(|(_, op)| op.addr() == addr).collect();
+    let mut writer_block: HashMap<Value, usize> = HashMap::new();
+    let mut write_of_block: Vec<Option<usize>> = vec![None]; // block 0 has no write
+    for (i, (_, op)) in ops.iter().enumerate() {
+        if let Some(v) = op.written_value() {
+            let b = write_of_block.len();
+            write_of_block.push(Some(i));
+            writer_block.insert(v, b);
+        }
+    }
+    let nblocks = write_of_block.len();
+
+    // Assign each op to a block.
+    let block_of = |i: usize| -> usize {
+        let op = ops[i].1;
+        match op.written_value() {
+            Some(v) => writer_block[&v],
+            None => {
+                let v = op.read_value().expect("simple read");
+                if v == initial {
+                    0
+                } else {
+                    writer_block[&v] // exists after precheck + applicability
+                }
+            }
+        }
+    };
+
+    // A read program-order-before its own writer is a same-block cycle.
+    for (p, _) in trace.histories().iter().enumerate() {
+        let mut writes_seen: HashMap<usize, u32> = HashMap::new(); // block -> write index
+        let proc_ops: Vec<usize> = (0..ops.len())
+            .filter(|&i| ops[i].0.proc.0 as usize == p)
+            .collect();
+        for &i in &proc_ops {
+            if ops[i].1.is_writing() {
+                writes_seen.insert(block_of(i), ops[i].0.index);
+            }
+        }
+        for &i in &proc_ops {
+            if !ops[i].1.is_writing() {
+                let b = block_of(i);
+                if let Some(&widx) = writes_seen.get(&b) {
+                    if ops[i].0.index < widx {
+                        return Verdict::Incoherent(Violation {
+                            addr,
+                            kind: ViolationKind::PrecedenceCycle {
+                                cycle: vec![
+                                    ops[i].0,
+                                    OpRef { proc: ops[i].0.proc, index: widx },
+                                ],
+                            },
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // Block precedence edges from consecutive same-process operations, plus
+    // block 0 before everything (initial reads precede the first write).
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); nblocks];
+    let mut indeg = vec![0usize; nblocks];
+    let add_edge = |adj: &mut Vec<Vec<usize>>, indeg: &mut Vec<usize>, a: usize, b: usize| {
+        adj[a].push(b);
+        indeg[b] += 1;
+    };
+    for b in 1..nblocks {
+        add_edge(&mut adj, &mut indeg, 0, b);
+    }
+    for p in 0..trace.num_procs() {
+        let proc_ops: Vec<usize> = (0..ops.len())
+            .filter(|&i| ops[i].0.proc.0 as usize == p)
+            .collect();
+        for w in proc_ops.windows(2) {
+            let (a, b) = (block_of(w[0]), block_of(w[1]));
+            if a != b {
+                add_edge(&mut adj, &mut indeg, a, b);
+            }
+        }
+    }
+
+    // Final value: its block must carry no outgoing edges so it can be last.
+    let final_block = trace.final_value(addr).map(|f| {
+        if f == initial {
+            // Applicability excludes rewrites of d_I, and precheck accepted,
+            // so there are no writes at all; block 0 is trivially last.
+            0
+        } else {
+            writer_block[&f]
+        }
+    });
+    if let Some(fb) = final_block {
+        if !adj[fb].is_empty() {
+            return Verdict::Incoherent(Violation {
+                addr,
+                kind: ViolationKind::FinalValueUnwritable {
+                    value: trace.final_value(addr).expect("checked"),
+                },
+            });
+        }
+    }
+
+    // Kahn's algorithm; if a final block is required, emit it last.
+    let mut queue: Vec<usize> =
+        (0..nblocks).filter(|&b| indeg[b] == 0 && Some(b) != final_block).collect();
+    let mut order: Vec<usize> = Vec::with_capacity(nblocks);
+    while let Some(b) = queue.pop() {
+        order.push(b);
+        for &next in &adj[b] {
+            indeg[next] -= 1;
+            if indeg[next] == 0 && Some(next) != final_block {
+                queue.push(next);
+            }
+        }
+    }
+    if let Some(fb) = final_block {
+        // fb's in-degree must have been fully satisfied.
+        if indeg[fb] == 0 {
+            order.push(fb);
+        }
+    }
+    if order.len() != nblocks {
+        let cycle: Vec<OpRef> = (0..nblocks)
+            .filter(|&b| !order.contains(&b))
+            .filter_map(|b| write_of_block[b].map(|i| ops[i].0))
+            .collect();
+        return Verdict::Incoherent(Violation {
+            addr,
+            kind: ViolationKind::PrecedenceCycle { cycle },
+        });
+    }
+
+    // Emit the schedule: per block, the write then its reads in (proc,
+    // program-order) order.
+    let mut reads_of_block: Vec<Vec<OpRef>> = vec![Vec::new(); nblocks];
+    for (i, (r, op)) in ops.iter().enumerate() {
+        if !op.is_writing() {
+            reads_of_block[block_of(i)].push(*r);
+        }
+    }
+    let mut refs: Vec<OpRef> = Vec::with_capacity(ops.len());
+    for &b in &order {
+        if let Some(wi) = write_of_block[b] {
+            refs.push(ops[wi].0);
+        }
+        let mut reads = reads_of_block[b].clone();
+        reads.sort_unstable();
+        refs.extend(reads);
+    }
+    let witness = Schedule::from_refs(refs);
+    debug_assert!(
+        check_coherent_schedule(trace, addr, &witness).is_ok(),
+        "read-map solver produced invalid witness"
+    );
+    Verdict::Coherent(witness)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backtrack::{solve_backtracking, SearchConfig};
+    use vermem_trace::{Op, TraceBuilder};
+
+    #[test]
+    fn applicability() {
+        let ok = TraceBuilder::new().proc([Op::w(1u64), Op::r(2u64)]).proc([Op::w(2u64)]).build();
+        assert!(applicable(&ok, Addr::ZERO));
+        let dup = TraceBuilder::new().proc([Op::w(1u64)]).proc([Op::w(1u64)]).build();
+        assert!(!applicable(&dup, Addr::ZERO));
+        let rmw = TraceBuilder::new().proc([Op::rw(0u64, 1u64)]).build();
+        assert!(!applicable(&rmw, Addr::ZERO));
+        let rewrites_initial = TraceBuilder::new().proc([Op::w(0u64)]).build();
+        assert!(!applicable(&rewrites_initial, Addr::ZERO));
+    }
+
+    #[test]
+    fn coherent_chain() {
+        let t = TraceBuilder::new()
+            .proc([Op::w(1u64), Op::r(2u64)])
+            .proc([Op::w(2u64), Op::r(1u64)])
+            .build();
+        // Blocks {W1,R1-reads}, {W2,...}: P0 needs B1<B2, P1 needs B2<B1 →
+        // cycle → incoherent. (Matches exact solver.)
+        let v = solve_readmap(&t, Addr::ZERO);
+        assert!(matches!(
+            v.violation().unwrap().kind,
+            ViolationKind::PrecedenceCycle { .. }
+        ));
+        let exact = solve_backtracking(&t, Addr::ZERO, &SearchConfig::default());
+        assert!(exact.is_incoherent());
+    }
+
+    #[test]
+    fn coherent_case_with_witness() {
+        let t = TraceBuilder::new()
+            .proc([Op::w(1u64), Op::w(2u64)])
+            .proc([Op::r(1u64), Op::r(2u64)])
+            .build();
+        let v = solve_readmap(&t, Addr::ZERO);
+        let s = v.schedule().expect("coherent");
+        check_coherent_schedule(&t, Addr::ZERO, s).unwrap();
+    }
+
+    #[test]
+    fn read_before_own_writer_incoherent() {
+        let t = TraceBuilder::new().proc([Op::r(1u64), Op::w(1u64)]).build();
+        let v = solve_readmap(&t, Addr::ZERO);
+        assert!(matches!(
+            v.violation().unwrap().kind,
+            ViolationKind::PrecedenceCycle { .. }
+        ));
+    }
+
+    #[test]
+    fn initial_reads_precede_writes() {
+        let t = TraceBuilder::new()
+            .proc([Op::w(5u64)])
+            .proc([Op::r(0u64), Op::r(5u64)])
+            .build();
+        let v = solve_readmap(&t, Addr::ZERO);
+        let s = v.schedule().expect("coherent");
+        check_coherent_schedule(&t, Addr::ZERO, s).unwrap();
+    }
+
+    #[test]
+    fn initial_read_after_write_program_order_incoherent() {
+        // P0: W(5) then R(0): the initial-read must precede all writes but
+        // follows one in program order.
+        let t = TraceBuilder::new().proc([Op::w(5u64), Op::r(0u64)]).build();
+        assert!(solve_readmap(&t, Addr::ZERO).is_incoherent());
+    }
+
+    #[test]
+    fn final_value_placement() {
+        let t = TraceBuilder::new()
+            .proc([Op::w(1u64)])
+            .proc([Op::w(2u64)])
+            .final_value(0u32, 1u64)
+            .build();
+        let v = solve_readmap(&t, Addr::ZERO);
+        let s = v.schedule().expect("coherent");
+        check_coherent_schedule(&t, Addr::ZERO, s).unwrap();
+    }
+
+    #[test]
+    fn final_value_with_outgoing_constraint_incoherent() {
+        // P0: W(1) then W(2): final must be 1, but W(1) precedes W(2) in
+        // program order → W(1)'s block can't be last.
+        let t = TraceBuilder::new()
+            .proc([Op::w(1u64), Op::w(2u64)])
+            .final_value(0u32, 1u64)
+            .build();
+        assert!(solve_readmap(&t, Addr::ZERO).is_incoherent());
+    }
+
+    #[test]
+    fn agrees_with_exact_on_random_unique_write_instances() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for seed in 0..100u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let procs = rng.gen_range(1..=4);
+            let mut next_val = 1u64;
+            let mut written: Vec<u64> = Vec::new();
+            let mut b = TraceBuilder::new();
+            for _ in 0..procs {
+                let len = rng.gen_range(0..=4);
+                let ops: Vec<Op> = (0..len)
+                    .map(|_| {
+                        if rng.gen_bool(0.5) {
+                            let v = next_val;
+                            next_val += 1;
+                            written.push(v);
+                            Op::w(v)
+                        } else if !written.is_empty() && rng.gen_bool(0.8) {
+                            Op::r(written[rng.gen_range(0..written.len())])
+                        } else {
+                            Op::r(0u64)
+                        }
+                    })
+                    .collect();
+                b = b.proc(ops);
+            }
+            let t = b.build();
+            if !applicable(&t, Addr::ZERO) {
+                continue;
+            }
+            let fast = solve_readmap(&t, Addr::ZERO);
+            let exact = solve_backtracking(&t, Addr::ZERO, &SearchConfig::default());
+            assert_eq!(
+                fast.is_coherent(),
+                exact.is_coherent(),
+                "divergence on seed {seed}: {t:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Verdicts and violation reports produced by the VMC solvers.
+
+use vermem_trace::{Addr, OpRef, Schedule, Value};
+
+/// Why an execution is (or appears) incoherent at an address.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// A read returns a value that is never written and differs from the
+    /// initial value — no schedule can serve it.
+    NoWriterForValue {
+        /// The offending read (or RMW read component).
+        read: OpRef,
+        /// The unservable value.
+        value: Value,
+    },
+    /// The configured final value is not the initial value and is never
+    /// written, or writes exist but none writes it.
+    FinalValueUnwritable {
+        /// The required final value.
+        value: Value,
+    },
+    /// The exhaustive search space was fully explored without finding a
+    /// coherent schedule.
+    SearchExhausted,
+    /// The supplied write order is inconsistent with program order or does
+    /// not cover exactly the write operations.
+    InvalidWriteOrder {
+        /// Human-readable description of the inconsistency.
+        detail: String,
+    },
+    /// Under the supplied write order, a read could not be placed in its
+    /// feasible window.
+    UnplaceableRead {
+        /// The read that could not be placed.
+        read: OpRef,
+        /// The value it needs to observe.
+        value: Value,
+    },
+    /// A read-modify-write chain cannot be formed (all-RMW instances): the
+    /// value-graph has no Eulerian path with the required endpoints.
+    BrokenRmwChain {
+        /// Human-readable description of the inconsistency.
+        detail: String,
+    },
+    /// The precedence graph required by the read-map is cyclic.
+    PrecedenceCycle {
+        /// Operations participating in (a witness of) the cycle.
+        cycle: Vec<OpRef>,
+    },
+}
+
+/// A coherence violation at a specific address.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// The address whose projection is incoherent.
+    pub addr: Addr,
+    /// The failure class.
+    pub kind: ViolationKind,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "coherence violation at {:?}: ", self.addr)?;
+        match &self.kind {
+            ViolationKind::NoWriterForValue { read, value } => {
+                write!(f, "read {read:?} observes {value:?}, which is never written")
+            }
+            ViolationKind::FinalValueUnwritable { value } => {
+                write!(f, "required final value {value:?} cannot be produced")
+            }
+            ViolationKind::SearchExhausted => {
+                write!(f, "no coherent interleaving exists (search exhausted)")
+            }
+            ViolationKind::InvalidWriteOrder { detail } => {
+                write!(f, "invalid write order: {detail}")
+            }
+            ViolationKind::UnplaceableRead { read, value } => {
+                write!(f, "read {read:?} of {value:?} has no feasible slot in the write order")
+            }
+            ViolationKind::BrokenRmwChain { detail } => {
+                write!(f, "read-modify-write chain cannot be formed: {detail}")
+            }
+            ViolationKind::PrecedenceCycle { cycle } => {
+                write!(f, "read-map precedence cycle through {cycle:?}")
+            }
+        }
+    }
+}
+
+/// The answer to a VMC query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// A coherent schedule exists; the witness is attached and always passes
+    /// [`vermem_trace::check_coherent_schedule`].
+    Coherent(Schedule),
+    /// No coherent schedule exists.
+    Incoherent(Violation),
+    /// The solver's budget was exhausted before reaching an answer.
+    Unknown,
+}
+
+impl Verdict {
+    /// True if a coherent schedule was found.
+    pub fn is_coherent(&self) -> bool {
+        matches!(self, Verdict::Coherent(_))
+    }
+
+    /// True if incoherence was proven.
+    pub fn is_incoherent(&self) -> bool {
+        matches!(self, Verdict::Incoherent(_))
+    }
+
+    /// The witness schedule, if coherent.
+    pub fn schedule(&self) -> Option<&Schedule> {
+        match self {
+            Verdict::Coherent(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The violation, if incoherent.
+    pub fn violation(&self) -> Option<&Violation> {
+        match self {
+            Verdict::Incoherent(v) => Some(v),
+            _ => None,
+        }
+    }
+}

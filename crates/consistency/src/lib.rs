@@ -1,0 +1,81 @@
+//! # vermem-consistency
+//!
+//! Memory *consistency* verification for the `vermem` suite, covering §6 of
+//! Cantin, Lipasti & Smith:
+//!
+//! * [`vsc`] — Verifying Sequential Consistency (Definition 6.1) by exact
+//!   memoized search;
+//! * [`sat_vsc`] — a model-parametric SAT encoding deciding adherence to
+//!   [`MemoryModel::Sc`], [`MemoryModel::Tso`], [`MemoryModel::Pso`] or bare
+//!   [`MemoryModel::CoherenceOnly`];
+//! * [`vsc_conflict`] — the O(n lg n) merge of per-address coherent
+//!   schedules into an SC schedule (and its §6.3 incompleteness);
+//! * [`vscc`] — the VSCC promise-problem pipeline (Definition 6.2):
+//!   coherence first, fast merge, exact fallback;
+//! * [`models`] — the consistency models as program-order relaxations, with
+//!   witness checkers;
+//! * [`litmus`] — the classic litmus suite with per-model expectations;
+//! * [`lrc`] — Lazy Release Consistency for fully synchronized traces
+//!   (Figure 6.1's target model).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod litmus;
+pub mod lrc;
+pub mod models;
+pub mod pso_operational;
+pub mod sat_vsc;
+pub mod tso_operational;
+mod verdict;
+pub mod vsc;
+pub mod vsc_conflict;
+pub mod vscc;
+
+pub use models::{check_model_schedule, MemoryModel};
+pub use sat_vsc::{encode_model, solve_model_sat, VscEncoding};
+pub use pso_operational::{solve_pso_operational, PsoConfig};
+pub use tso_operational::{solve_tso_operational, TsoConfig};
+pub use verdict::{ConsistencyVerdict, ConsistencyViolation, ViolationClass};
+pub use vsc::{solve_sc_backtracking, VscConfig};
+pub use vsc_conflict::{merge_coherent_schedules, MergeOutcome};
+pub use vscc::{verify_vscc, verify_vscc_with, SettledBy, VsccBackend, VsccReport};
+
+use vermem_trace::Trace;
+
+/// Decide adherence of `trace` to `model` with default settings: exact
+/// backtracking for SC, the SAT encoding for relaxed models.
+///
+/// ```
+/// use vermem_consistency::{verify_model, MemoryModel};
+/// use vermem_trace::{Op, TraceBuilder};
+/// // Store buffering: each CPU misses the other's store.
+/// let sb = TraceBuilder::new()
+///     .proc([Op::write(0u32, 1u64), Op::read(1u32, 0u64)])
+///     .proc([Op::write(1u32, 1u64), Op::read(0u32, 0u64)])
+///     .build();
+/// assert!(verify_model(&sb, MemoryModel::Sc).is_violating());
+/// assert!(verify_model(&sb, MemoryModel::Tso).is_consistent());
+/// ```
+pub fn verify_model(trace: &Trace, model: MemoryModel) -> ConsistencyVerdict {
+    match model {
+        MemoryModel::Sc => solve_sc_backtracking(trace, &VscConfig::default()),
+        _ => solve_model_sat(trace, model),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vermem_trace::{Op, TraceBuilder};
+
+    #[test]
+    fn verify_model_dispatch() {
+        let sb = TraceBuilder::new()
+            .proc([Op::write(0u32, 1u64), Op::read(1u32, 0u64)])
+            .proc([Op::write(1u32, 1u64), Op::read(0u32, 0u64)])
+            .build();
+        assert!(verify_model(&sb, MemoryModel::Sc).is_violating());
+        assert!(verify_model(&sb, MemoryModel::Tso).is_consistent());
+    }
+}

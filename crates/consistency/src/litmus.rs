@@ -1,0 +1,236 @@
+//! Classic litmus tests with expected outcomes per memory model.
+//!
+//! Each test encodes an *observed outcome* as a trace (read values are the
+//! observation); "allowed" under a model means a valid schedule for that
+//! model exists. The expectations follow the standard litmus literature
+//! (adapted to this crate's relaxed-order single-serialization semantics,
+//! which matches the usual axiomatic classifications for these tests).
+
+use crate::models::MemoryModel;
+use std::collections::BTreeMap;
+use vermem_trace::{Op, Trace, TraceBuilder};
+
+/// A named litmus test with per-model expectations.
+pub struct LitmusTest {
+    /// Conventional short name (SB, MP, LB, IRIW, ...).
+    pub name: &'static str,
+    /// What the test observes.
+    pub description: &'static str,
+    /// The observed-outcome trace.
+    pub trace: Trace,
+    /// For each model: is the observed outcome allowed?
+    pub expected: BTreeMap<MemoryModel, bool>,
+}
+
+fn expect(sc: bool, tso: bool, pso: bool, coh: bool) -> BTreeMap<MemoryModel, bool> {
+    let mut m = BTreeMap::new();
+    m.insert(MemoryModel::Sc, sc);
+    m.insert(MemoryModel::Tso, tso);
+    m.insert(MemoryModel::Pso, pso);
+    m.insert(MemoryModel::CoherenceOnly, coh);
+    m
+}
+
+/// The full built-in litmus suite.
+pub fn all_litmus_tests() -> Vec<LitmusTest> {
+    let x = 0u32;
+    let y = 1u32;
+    vec![
+        LitmusTest {
+            name: "SB",
+            description: "store buffering: both reads miss the other CPU's store",
+            trace: TraceBuilder::new()
+                .proc([Op::write(x, 1u64), Op::read(y, 0u64)])
+                .proc([Op::write(y, 1u64), Op::read(x, 0u64)])
+                .build(),
+            expected: expect(false, true, true, true),
+        },
+        LitmusTest {
+            name: "SB+rmws",
+            description: "store buffering with atomic RMWs: the RMWs restore order",
+            trace: TraceBuilder::new()
+                .proc([Op::rmw(x, 0u64, 1u64), Op::read(y, 0u64)])
+                .proc([Op::rmw(y, 0u64, 1u64), Op::read(x, 0u64)])
+                .build(),
+            expected: expect(false, false, false, true),
+        },
+        LitmusTest {
+            name: "MP",
+            description: "message passing: flag observed set but payload stale",
+            trace: TraceBuilder::new()
+                .proc([Op::write(x, 1u64), Op::write(y, 1u64)])
+                .proc([Op::read(y, 1u64), Op::read(x, 0u64)])
+                .build(),
+            expected: expect(false, false, true, true),
+        },
+        LitmusTest {
+            name: "MP+rmws",
+            description: "message passing with RMW flag publish/observe",
+            trace: TraceBuilder::new()
+                .proc([Op::write(x, 1u64), Op::rmw(y, 0u64, 1u64)])
+                .proc([Op::rmw(y, 1u64, 2u64), Op::read(x, 0u64)])
+                .build(),
+            expected: expect(false, false, false, true),
+        },
+        LitmusTest {
+            name: "LB",
+            description: "load buffering: both loads see the other CPU's later store",
+            trace: TraceBuilder::new()
+                .proc([Op::read(y, 1u64), Op::write(x, 1u64)])
+                .proc([Op::read(x, 1u64), Op::write(y, 1u64)])
+                .build(),
+            expected: expect(false, false, false, true),
+        },
+        LitmusTest {
+            name: "IRIW",
+            description: "independent reads of independent writes observed in opposite orders",
+            trace: TraceBuilder::new()
+                .proc([Op::write(x, 1u64)])
+                .proc([Op::write(y, 1u64)])
+                .proc([Op::read(x, 1u64), Op::read(y, 0u64)])
+                .proc([Op::read(y, 1u64), Op::read(x, 0u64)])
+                .build(),
+            expected: expect(false, false, false, true),
+        },
+        LitmusTest {
+            name: "2+2W",
+            description: "two writers each writing both locations; finals cross",
+            trace: TraceBuilder::new()
+                .proc([Op::write(x, 1u64), Op::write(y, 2u64)])
+                .proc([Op::write(y, 1u64), Op::write(x, 2u64)])
+                .final_value(x, 1u64)
+                .final_value(y, 1u64)
+                .build(),
+            expected: expect(false, false, true, true),
+        },
+        LitmusTest {
+            name: "CoRR",
+            description: "coherence read-read: one CPU sees a location's value regress",
+            trace: TraceBuilder::new()
+                .proc([Op::write(x, 1u64), Op::write(x, 2u64)])
+                .proc([Op::read(x, 2u64), Op::read(x, 1u64)])
+                .build(),
+            expected: expect(false, false, false, false),
+        },
+        LitmusTest {
+            name: "CoWW",
+            description: "coherence write-write: program-ordered writes commit reversed",
+            trace: TraceBuilder::new()
+                .proc([Op::write(x, 1u64), Op::write(x, 2u64)])
+                .final_value(x, 1u64)
+                .build(),
+            expected: expect(false, false, false, false),
+        },
+        LitmusTest {
+            name: "CoRW1",
+            description: "coherence read-write: a load observes the CPU's own later store",
+            trace: TraceBuilder::new()
+                .proc([Op::read(x, 1u64), Op::write(x, 1u64)])
+                .build(),
+            expected: expect(false, false, false, false),
+        },
+        LitmusTest {
+            name: "WRC",
+            description: "write-to-read causality: P2 misses a write P1 already observed",
+            trace: TraceBuilder::new()
+                .proc([Op::write(x, 1u64)])
+                .proc([Op::read(x, 1u64), Op::write(y, 1u64)])
+                .proc([Op::read(y, 1u64), Op::read(x, 0u64)])
+                .build(),
+            expected: expect(false, false, false, true),
+        },
+        LitmusTest {
+            name: "R",
+            description: "store ordered after a racing write, load misses the first store",
+            trace: TraceBuilder::new()
+                .proc([Op::write(x, 1u64), Op::write(y, 1u64)])
+                .proc([Op::write(y, 2u64), Op::read(x, 0u64)])
+                .final_value(y, 2u64)
+                .build(),
+            expected: expect(false, true, true, true),
+        },
+        LitmusTest {
+            name: "S",
+            description: "write reordered below a later write observed remotely",
+            trace: TraceBuilder::new()
+                .proc([Op::write(x, 2u64), Op::write(y, 1u64)])
+                .proc([Op::read(y, 1u64), Op::write(x, 1u64)])
+                .final_value(x, 2u64)
+                .final_value(y, 1u64)
+                .build(),
+            expected: expect(false, false, true, true),
+        },
+        LitmusTest {
+            name: "CoRW2",
+            description: "coherence read-write: a load observes a store that must follow the CPU's own later store",
+            trace: TraceBuilder::new()
+                .proc([Op::read(x, 2u64), Op::write(x, 1u64)])
+                .proc([Op::write(x, 2u64)])
+                .final_value(x, 2u64)
+                .build(),
+            expected: expect(false, false, false, false),
+        },
+        LitmusTest {
+            name: "MP+final",
+            description: "message passing where the payload is later overwritten",
+            trace: TraceBuilder::new()
+                .proc([Op::write(x, 1u64), Op::write(y, 1u64), Op::write(x, 2u64)])
+                .proc([Op::read(y, 1u64), Op::read(x, 1u64)])
+                .final_value(x, 2u64)
+                .final_value(y, 1u64)
+                .build(),
+            expected: expect(true, true, true, true),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sat_vsc::solve_model_sat;
+    use crate::vsc::{solve_sc_backtracking, VscConfig};
+
+    #[test]
+    fn litmus_suite_matches_expectations() {
+        for test in all_litmus_tests() {
+            for (&model, &allowed) in &test.expected {
+                let got = solve_model_sat(&test.trace, model).is_consistent();
+                assert_eq!(
+                    got, allowed,
+                    "{} under {}: expected allowed={}, got {}",
+                    test.name, model, allowed, got
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sc_expectations_agree_with_backtracking() {
+        for test in all_litmus_tests() {
+            let expected = test.expected[&MemoryModel::Sc];
+            let got =
+                solve_sc_backtracking(&test.trace, &VscConfig::default()).is_consistent();
+            assert_eq!(got, expected, "{} under SC (backtracking)", test.name);
+        }
+    }
+
+    #[test]
+    fn suite_is_nontrivial() {
+        let tests = all_litmus_tests();
+        assert!(tests.len() >= 10);
+        // Some test distinguishes every adjacent model pair.
+        let pairs = [
+            (MemoryModel::Sc, MemoryModel::Tso),
+            (MemoryModel::Tso, MemoryModel::Pso),
+            (MemoryModel::Pso, MemoryModel::CoherenceOnly),
+        ];
+        for (strong, weak) in pairs {
+            assert!(
+                tests
+                    .iter()
+                    .any(|t| !t.expected[&strong] && t.expected[&weak]),
+                "no test separates {strong} from {weak}"
+            );
+        }
+    }
+}

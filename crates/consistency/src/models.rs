@@ -1,0 +1,278 @@
+//! Memory consistency models as program-order relaxations.
+//!
+//! All hardware-implemented consistency models reduce to memory coherence
+//! for single-location executions (§6.2, citing Gharachorloo's survey), and
+//! differ in which *cross-address* program-order edges they enforce.
+//! Same-address program order is always enforced — that is coherence's
+//! per-location serialization, which every model in this family provides.
+//!
+//! A trace adheres to a model iff there is a single total schedule of all
+//! its operations in which
+//!
+//! 1. every enforced program-order pair appears in order, and
+//! 2. every read returns the value of the immediately preceding write to
+//!    the same address (initial values before the first write, final values
+//!    by the last write).
+//!
+//! For [`MemoryModel::Sc`] this is exactly Definition 6.1 (VSC). For the
+//! relaxed models it is the standard "relaxed order, single serialization"
+//! view: TSO additionally allows reads to bypass earlier writes to other
+//! addresses (store buffering), PSO also lets writes to different addresses
+//! reorder, and [`MemoryModel::CoherenceOnly`] keeps nothing but coherence
+//! (the weakest model the paper's reductions cover without explicit
+//! synchronization; RMO without dependency tracking coincides with it).
+//! Atomic RMWs order with everything, as on SPARC/x86.
+
+use std::collections::BTreeMap;
+use vermem_trace::{Addr, Op, OpRef, Schedule, ScheduleError, Trace, Value};
+
+/// A memory consistency model from the paper's §6.2 family. The derived
+/// order runs strongest (SC) to weakest (coherence only).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MemoryModel {
+    /// Sequential consistency (Lamport): all program order enforced.
+    Sc,
+    /// Total Store Order (SPARC TSO / x86-TSO): relaxes write→read to a
+    /// different address.
+    Tso,
+    /// Partial Store Order (SPARC PSO): additionally relaxes write→write to
+    /// a different address.
+    Pso,
+    /// Only same-address order (coherence) is enforced. Also the behaviour
+    /// of RMO when data/control dependencies are not modelled.
+    CoherenceOnly,
+}
+
+impl MemoryModel {
+    /// All models, strongest first.
+    pub const ALL: [MemoryModel; 4] =
+        [MemoryModel::Sc, MemoryModel::Tso, MemoryModel::Pso, MemoryModel::CoherenceOnly];
+
+    /// Is the program-order pair `x` (earlier) → `y` (later) enforced in
+    /// every valid schedule?
+    pub fn enforces(&self, x: Op, y: Op) -> bool {
+        if x.addr() == y.addr() {
+            return true; // per-location order: required by coherence
+        }
+        match self {
+            MemoryModel::Sc => true,
+            MemoryModel::Tso => {
+                // Relax only pure-write → pure-read; RMWs order both ways.
+                !(matches!(x, Op::Write { .. }) && matches!(y, Op::Read { .. }))
+            }
+            MemoryModel::Pso => {
+                // Relax pure-write → anything that is not an RMW read...
+                // precisely: W→R and W→W relaxed; RMW on either side orders.
+                !matches!(x, Op::Write { .. }) || y.is_rmw()
+            }
+            MemoryModel::CoherenceOnly => false,
+        }
+    }
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MemoryModel::Sc => "SC",
+            MemoryModel::Tso => "TSO",
+            MemoryModel::Pso => "PSO",
+            MemoryModel::CoherenceOnly => "Coherence",
+        }
+    }
+
+    /// True if every behaviour allowed by `self` is allowed by `other`
+    /// (i.e. `other` is weaker or equal).
+    pub fn weaker_or_equal(&self, other: &MemoryModel) -> bool {
+        fn rank(m: &MemoryModel) -> u8 {
+            match m {
+                MemoryModel::Sc => 0,
+                MemoryModel::Tso => 1,
+                MemoryModel::Pso => 2,
+                MemoryModel::CoherenceOnly => 3,
+            }
+        }
+        rank(self) <= rank(other)
+    }
+}
+
+impl std::fmt::Display for MemoryModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Check that `schedule` witnesses adherence of `trace` to `model`: a
+/// permutation of all operations, honouring every enforced program-order
+/// pair, with reads returning the immediately preceding same-address write.
+///
+/// For [`MemoryModel::Sc`] this coincides with
+/// [`vermem_trace::check_sc_schedule`].
+pub fn check_model_schedule(
+    trace: &Trace,
+    model: MemoryModel,
+    schedule: &Schedule,
+) -> Result<(), ScheduleError> {
+    // Permutation + duplicates + dangling (but NOT program order, which is
+    // model-relative here).
+    let expected = trace.num_ops();
+    let mut seen = std::collections::BTreeSet::new();
+    for &r in schedule.refs() {
+        if trace.op(r).is_none() {
+            return Err(ScheduleError::DanglingRef(r));
+        }
+        if !seen.insert(r) {
+            return Err(ScheduleError::DuplicateOp(r));
+        }
+    }
+    if schedule.len() != expected {
+        return Err(ScheduleError::MissingOps { expected, found: schedule.len() });
+    }
+
+    // Enforced program order: for each process, every enforced pair must
+    // appear in order. Position lookup, then pairwise check per process.
+    let mut pos: BTreeMap<OpRef, usize> = BTreeMap::new();
+    for (i, &r) in schedule.refs().iter().enumerate() {
+        pos.insert(r, i);
+    }
+    for (p, h) in trace.histories().iter().enumerate() {
+        for i in 0..h.len() {
+            for j in i + 1..h.len() {
+                let (x, y) = (h.op(i).expect("in range"), h.op(j).expect("in range"));
+                if model.enforces(x, y) {
+                    let rx = OpRef::new(p as u16, i as u32);
+                    let ry = OpRef::new(p as u16, j as u32);
+                    if pos[&rx] > pos[&ry] {
+                        return Err(ScheduleError::ProgramOrder { earlier: rx, later: ry });
+                    }
+                }
+            }
+        }
+    }
+
+    // Value legality per address.
+    let mut current: BTreeMap<Addr, Value> = BTreeMap::new();
+    for &r in schedule.refs() {
+        let op = trace.op(r).expect("validated");
+        let addr = op.addr();
+        let cur = current.get(&addr).copied().unwrap_or_else(|| trace.initial(addr));
+        if let Some(read) = op.read_value() {
+            if read != cur {
+                return Err(ScheduleError::ReadValue { read: r, expected: cur, actual: read });
+            }
+        }
+        if let Some(written) = op.written_value() {
+            current.insert(addr, written);
+        }
+    }
+    for (&addr, &expected) in trace.final_values() {
+        let actual = current.get(&addr).copied().unwrap_or_else(|| trace.initial(addr));
+        if actual != expected {
+            return Err(ScheduleError::FinalValue { addr, expected, actual });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vermem_trace::{Op, TraceBuilder};
+
+    fn sched(pairs: &[(u16, u32)]) -> Schedule {
+        pairs.iter().map(|&(p, i)| OpRef::new(p, i)).collect()
+    }
+
+    #[test]
+    fn same_address_always_enforced() {
+        let w = Op::write(0u32, 1u64);
+        let r = Op::read(0u32, 1u64);
+        for m in MemoryModel::ALL {
+            assert!(m.enforces(w, r), "{m}");
+            assert!(m.enforces(r, w), "{m}");
+        }
+    }
+
+    #[test]
+    fn tso_relaxes_only_store_load() {
+        let w = Op::write(0u32, 1u64);
+        let r = Op::read(1u32, 0u64);
+        let w2 = Op::write(1u32, 1u64);
+        let rmw = Op::rmw(1u32, 0u64, 1u64);
+        assert!(!MemoryModel::Tso.enforces(w, r)); // W→R relaxed
+        assert!(MemoryModel::Tso.enforces(w, w2)); // W→W kept
+        assert!(MemoryModel::Tso.enforces(r, w)); // R→W kept
+        assert!(MemoryModel::Tso.enforces(w, rmw)); // W→RMW kept
+        assert!(MemoryModel::Tso.enforces(rmw, r)); // RMW→R kept
+    }
+
+    #[test]
+    fn pso_also_relaxes_store_store() {
+        let w = Op::write(0u32, 1u64);
+        let w2 = Op::write(1u32, 1u64);
+        let r = Op::read(1u32, 0u64);
+        let rmw = Op::rmw(1u32, 0u64, 1u64);
+        assert!(!MemoryModel::Pso.enforces(w, w2));
+        assert!(!MemoryModel::Pso.enforces(w, r));
+        assert!(MemoryModel::Pso.enforces(r, w)); // loads still order
+        assert!(MemoryModel::Pso.enforces(w, rmw)); // RMW orders
+    }
+
+    #[test]
+    fn coherence_only_keeps_nothing_cross_address() {
+        let r1 = Op::read(0u32, 0u64);
+        let r2 = Op::read(1u32, 0u64);
+        assert!(!MemoryModel::CoherenceOnly.enforces(r1, r2));
+    }
+
+    #[test]
+    fn strength_order() {
+        assert!(MemoryModel::Sc.weaker_or_equal(&MemoryModel::Tso));
+        assert!(MemoryModel::Tso.weaker_or_equal(&MemoryModel::CoherenceOnly));
+        assert!(!MemoryModel::Pso.weaker_or_equal(&MemoryModel::Tso));
+    }
+
+    #[test]
+    fn model_schedule_checker_sc_matches_trace_checker() {
+        let t = TraceBuilder::new()
+            .proc([Op::write(0u32, 1u64), Op::write(1u32, 1u64)])
+            .proc([Op::read(1u32, 1u64), Op::read(0u32, 1u64)])
+            .build();
+        let good = sched(&[(0, 0), (0, 1), (1, 0), (1, 1)]);
+        assert!(check_model_schedule(&t, MemoryModel::Sc, &good).is_ok());
+        assert!(vermem_trace::check_sc_schedule(&t, &good).is_ok());
+    }
+
+    #[test]
+    fn store_buffering_schedule_valid_under_tso_not_sc() {
+        // SB: P0: W(x,1) R(y,0); P1: W(y,1) R(x,0).
+        let t = TraceBuilder::new()
+            .proc([Op::write(0u32, 1u64), Op::read(1u32, 0u64)])
+            .proc([Op::write(1u32, 1u64), Op::read(0u32, 0u64)])
+            .build();
+        // Reads first (bypassing the writes), then writes.
+        let s = sched(&[(0, 1), (1, 1), (0, 0), (1, 0)]);
+        assert!(check_model_schedule(&t, MemoryModel::Tso, &s).is_ok());
+        let err = check_model_schedule(&t, MemoryModel::Sc, &s).unwrap_err();
+        assert!(matches!(err, ScheduleError::ProgramOrder { .. }));
+    }
+
+    #[test]
+    fn value_rules_still_apply_under_weak_models() {
+        let t = TraceBuilder::new()
+            .proc([Op::write(0u32, 1u64)])
+            .proc([Op::read(0u32, 9u64)])
+            .build();
+        let s = sched(&[(0, 0), (1, 0)]);
+        let err = check_model_schedule(&t, MemoryModel::CoherenceOnly, &s).unwrap_err();
+        assert!(matches!(err, ScheduleError::ReadValue { .. }));
+    }
+
+    #[test]
+    fn completeness_checked() {
+        let t = TraceBuilder::new().proc([Op::w(1u64), Op::r(1u64)]).build();
+        let s = sched(&[(0, 0)]);
+        assert!(matches!(
+            check_model_schedule(&t, MemoryModel::Sc, &s),
+            Err(ScheduleError::MissingOps { .. })
+        ));
+    }
+}

@@ -1,0 +1,312 @@
+//! An **operational** PSO checker, mirroring
+//! [`crate::tso_operational`]: exhaustive search over machine states of an
+//! idealized Partial-Store-Order multiprocessor.
+//!
+//! PSO's store buffer keeps stores to the *same* address in FIFO order but
+//! lets stores to different addresses drain in any order — modelled here as
+//! one FIFO queue per (processor, address). Loads take the memory value and
+//! stall on a buffered store to their address (no forwarding, as in the TSO
+//! machine); atomic RMWs drain the whole buffer and take effect
+//! immediately. Differential tests pin this operational semantics to the
+//! axiomatic [`crate::MemoryModel::Pso`] (write→write and write→read to
+//! different addresses relaxed).
+
+use crate::verdict::{ConsistencyVerdict, ConsistencyViolation, ViolationClass};
+use crate::vsc::precheck_sc;
+use std::collections::{BTreeMap, HashSet, VecDeque};
+use vermem_trace::{Addr, Op, Schedule, Trace, Value};
+
+/// Budget for the operational search.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PsoConfig {
+    /// Maximum distinct states to visit before answering
+    /// [`ConsistencyVerdict::Unknown`]. `None` = unlimited.
+    pub max_states: Option<u64>,
+}
+
+type Buffers = Vec<BTreeMap<Addr, VecDeque<(Value, u32)>>>;
+
+/// Decide operational-PSO reachability of `trace`. The witness is the
+/// commit order (loads at issue, stores at drain).
+pub fn solve_pso_operational(trace: &Trace, cfg: &PsoConfig) -> ConsistencyVerdict {
+    if let Some(v) = precheck_sc(trace) {
+        return ConsistencyVerdict::Violating(v);
+    }
+
+    let per_proc: Vec<Vec<Op>> =
+        trace.histories().iter().map(|h| h.iter().collect()).collect();
+    let total: usize = per_proc.iter().map(Vec::len).sum();
+
+    let mut memory: BTreeMap<Addr, Value> = BTreeMap::new();
+    for addr in trace.addresses() {
+        memory.insert(addr, trace.initial(addr));
+    }
+
+    let mut search = PsoSearch {
+        trace,
+        per_proc: &per_proc,
+        total,
+        visited: HashSet::new(),
+        commits: Vec::with_capacity(total),
+        states: 0,
+        max_states: cfg.max_states,
+        budget_hit: false,
+    };
+    let mut frontier = vec![0u32; per_proc.len()];
+    let mut buffers: Buffers = vec![BTreeMap::new(); per_proc.len()];
+    let found = search.dfs(&mut frontier, &mut buffers, &mut memory);
+    let budget_hit = search.budget_hit;
+    let commits = std::mem::take(&mut search.commits);
+
+    if found {
+        let witness: Schedule = commits
+            .into_iter()
+            .map(|(p, i)| vermem_trace::OpRef::new(p as u16, i))
+            .collect();
+        debug_assert!(
+            crate::models::check_model_schedule(trace, crate::MemoryModel::Pso, &witness)
+                .is_ok(),
+            "operational PSO produced an invalid commit order"
+        );
+        ConsistencyVerdict::Consistent(witness)
+    } else if budget_hit {
+        ConsistencyVerdict::Unknown
+    } else {
+        ConsistencyVerdict::Violating(ConsistencyViolation {
+            class: ViolationClass::NoConsistentSchedule,
+        })
+    }
+}
+
+type StateKey = (Vec<u32>, Vec<Vec<(u32, u64, u32)>>, Vec<(u32, u64)>);
+
+struct PsoSearch<'a> {
+    trace: &'a Trace,
+    per_proc: &'a [Vec<Op>],
+    total: usize,
+    visited: HashSet<StateKey>,
+    commits: Vec<(usize, u32)>,
+    states: u64,
+    max_states: Option<u64>,
+    budget_hit: bool,
+}
+
+impl PsoSearch<'_> {
+    fn state_key(frontier: &[u32], buffers: &Buffers, memory: &BTreeMap<Addr, Value>) -> StateKey {
+        (
+            frontier.to_vec(),
+            buffers
+                .iter()
+                .map(|qs| {
+                    qs.iter()
+                        .flat_map(|(&a, q)| q.iter().map(move |&(v, i)| (a.0, v.0, i)))
+                        .collect()
+                })
+                .collect(),
+            memory.iter().map(|(&a, &v)| (a.0, v.0)).collect(),
+        )
+    }
+
+    fn buffers_empty(buffers: &Buffers, p: usize) -> bool {
+        buffers[p].values().all(VecDeque::is_empty)
+    }
+
+    fn dfs(
+        &mut self,
+        frontier: &mut Vec<u32>,
+        buffers: &mut Buffers,
+        memory: &mut BTreeMap<Addr, Value>,
+    ) -> bool {
+        if self.commits.len() == self.total
+            && (0..buffers.len()).all(|p| Self::buffers_empty(buffers, p))
+        {
+            return self
+                .trace
+                .final_values()
+                .iter()
+                .all(|(addr, v)| memory.get(addr) == Some(v));
+        }
+
+        let key = Self::state_key(frontier, buffers, memory);
+        if !self.visited.insert(key) {
+            return false;
+        }
+        self.states += 1;
+        if let Some(max) = self.max_states {
+            if self.states > max {
+                self.budget_hit = true;
+                return false;
+            }
+        }
+
+        for p in 0..frontier.len() {
+            // Move 1: drain the head of any per-address queue.
+            let drainable: Vec<Addr> = buffers[p]
+                .iter()
+                .filter(|(_, q)| !q.is_empty())
+                .map(|(&a, _)| a)
+                .collect();
+            for addr in drainable {
+                let (value, index) =
+                    *buffers[p].get(&addr).and_then(VecDeque::front).expect("non-empty");
+                let saved = memory.get(&addr).copied();
+                buffers[p].get_mut(&addr).expect("present").pop_front();
+                memory.insert(addr, value);
+                self.commits.push((p, index));
+                if self.dfs(frontier, buffers, memory) {
+                    return true;
+                }
+                self.commits.pop();
+                match saved {
+                    Some(v) => memory.insert(addr, v),
+                    None => memory.remove(&addr),
+                };
+                buffers[p].get_mut(&addr).expect("present").push_front((value, index));
+            }
+
+            // Move 2: issue the next instruction.
+            let Some(&op) = self.per_proc[p].get(frontier[p] as usize) else { continue };
+            let index = frontier[p];
+            match op {
+                Op::Read { addr, value } => {
+                    let blocked =
+                        buffers[p].get(&addr).is_some_and(|q| !q.is_empty());
+                    let current = memory.get(&addr).copied().unwrap_or(Value::INITIAL);
+                    if !blocked && current == value {
+                        frontier[p] += 1;
+                        self.commits.push((p, index));
+                        if self.dfs(frontier, buffers, memory) {
+                            return true;
+                        }
+                        self.commits.pop();
+                        frontier[p] -= 1;
+                    }
+                }
+                Op::Write { addr, value } => {
+                    frontier[p] += 1;
+                    buffers[p].entry(addr).or_default().push_back((value, index));
+                    if self.dfs(frontier, buffers, memory) {
+                        return true;
+                    }
+                    buffers[p].get_mut(&addr).expect("pushed").pop_back();
+                    frontier[p] -= 1;
+                }
+                Op::Rmw { addr, read, write } => {
+                    if Self::buffers_empty(buffers, p) {
+                        let current =
+                            memory.get(&addr).copied().unwrap_or(Value::INITIAL);
+                        if current == read {
+                            let saved = memory.insert(addr, write);
+                            frontier[p] += 1;
+                            self.commits.push((p, index));
+                            if self.dfs(frontier, buffers, memory) {
+                                return true;
+                            }
+                            self.commits.pop();
+                            frontier[p] -= 1;
+                            match saved {
+                                Some(v) => memory.insert(addr, v),
+                                None => memory.remove(&addr),
+                            };
+                        }
+                    }
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::MemoryModel;
+    use crate::sat_vsc::solve_model_sat;
+    use vermem_trace::{Op, TraceBuilder};
+
+    fn operational(t: &Trace) -> bool {
+        solve_pso_operational(t, &PsoConfig::default()).is_consistent()
+    }
+
+    fn axiomatic(t: &Trace) -> bool {
+        solve_model_sat(t, MemoryModel::Pso).is_consistent()
+    }
+
+    #[test]
+    fn message_passing_reordering_reachable_under_pso() {
+        // MP relaxed outcome requires W→W reordering: PSO yes, TSO no.
+        let t = TraceBuilder::new()
+            .proc([Op::write(0u32, 1u64), Op::write(1u32, 1u64)])
+            .proc([Op::read(1u32, 1u64), Op::read(0u32, 0u64)])
+            .build();
+        assert!(operational(&t));
+        assert!(axiomatic(&t));
+        assert!(!solve_model_sat(&t, MemoryModel::Tso).is_consistent());
+    }
+
+    #[test]
+    fn load_buffering_stays_unreachable() {
+        let t = TraceBuilder::new()
+            .proc([Op::read(1u32, 1u64), Op::write(0u32, 1u64)])
+            .proc([Op::read(0u32, 1u64), Op::write(1u32, 1u64)])
+            .build();
+        assert!(!operational(&t));
+        assert!(!axiomatic(&t));
+    }
+
+    #[test]
+    fn same_address_store_order_preserved() {
+        // CoWW: program-ordered same-address stores cannot commit reversed.
+        let t = TraceBuilder::new()
+            .proc([Op::write(0u32, 1u64), Op::write(0u32, 2u64)])
+            .final_value(0u32, 1u64)
+            .build();
+        assert!(!operational(&t));
+        assert!(!axiomatic(&t));
+    }
+
+    #[test]
+    fn litmus_suite_matches_axiomatic_model() {
+        for test in crate::litmus::all_litmus_tests() {
+            let expected = test.expected[&MemoryModel::Pso];
+            assert_eq!(
+                operational(&test.trace),
+                expected,
+                "operational PSO disagrees on {}",
+                test.name
+            );
+        }
+    }
+
+    #[test]
+    fn agrees_with_axiomatic_on_random_traces() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for seed in 0..120u64 {
+            let mut rng = StdRng::seed_from_u64(700_000 + seed);
+            let procs = rng.gen_range(1..=3);
+            let mut b = TraceBuilder::new();
+            for _ in 0..procs {
+                let len = rng.gen_range(0..=4);
+                let ops: Vec<Op> = (0..len)
+                    .map(|_| {
+                        let a = rng.gen_range(0..2u32);
+                        let v = rng.gen_range(0..3u64);
+                        match rng.gen_range(0..5) {
+                            0 | 1 => Op::read(a, v),
+                            2 | 3 => Op::write(a, v),
+                            _ => Op::rmw(a, v, rng.gen_range(0..3u64)),
+                        }
+                    })
+                    .collect();
+                b = b.proc(ops);
+            }
+            let t = b.build();
+            assert_eq!(
+                operational(&t),
+                axiomatic(&t),
+                "operational vs axiomatic PSO divergence on seed {seed}: {t:?}"
+            );
+        }
+    }
+}

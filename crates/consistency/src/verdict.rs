@@ -1,0 +1,65 @@
+//! Verdicts for consistency-model verification.
+
+use vermem_trace::Schedule;
+
+/// Why a trace violates a consistency model.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ViolationClass {
+    /// Some address is not even coherent (detected by the per-address
+    /// prechecks); every model in the §6.2 family is therefore violated.
+    PerAddressCoherence(vermem_coherence::Violation),
+    /// All static checks pass but no schedule satisfying the model's order
+    /// and value rules exists.
+    NoConsistentSchedule,
+}
+
+/// A consistency violation report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConsistencyViolation {
+    /// The failure class.
+    pub class: ViolationClass,
+}
+
+impl std::fmt::Display for ConsistencyViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.class {
+            ViolationClass::PerAddressCoherence(v) => {
+                write!(f, "consistency violated via incoherence: {v}")
+            }
+            ViolationClass::NoConsistentSchedule => {
+                write!(f, "no schedule satisfies the model's ordering and value rules")
+            }
+        }
+    }
+}
+
+/// Answer to a consistency-model query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConsistencyVerdict {
+    /// The trace adheres to the model; the witness schedule is attached.
+    Consistent(Schedule),
+    /// The trace violates the model.
+    Violating(ConsistencyViolation),
+    /// The solver's budget was exhausted.
+    Unknown,
+}
+
+impl ConsistencyVerdict {
+    /// True if a witness schedule was found.
+    pub fn is_consistent(&self) -> bool {
+        matches!(self, ConsistencyVerdict::Consistent(_))
+    }
+
+    /// True if a violation was proven.
+    pub fn is_violating(&self) -> bool {
+        matches!(self, ConsistencyVerdict::Violating(_))
+    }
+
+    /// The witness schedule, if consistent.
+    pub fn schedule(&self) -> Option<&Schedule> {
+        match self {
+            ConsistencyVerdict::Consistent(s) => Some(s),
+            _ => None,
+        }
+    }
+}

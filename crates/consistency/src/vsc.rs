@@ -1,0 +1,389 @@
+//! Verifying Sequential Consistency (VSC, Definition 6.1): exact decision
+//! by memoized backtracking over global interleavings.
+//!
+//! The search generalizes the single-address VMC search: state is the
+//! per-process frontier plus the current value of every touched address;
+//! reads that match their address's current value are absorbed greedily
+//! (the same exchange argument as for coherence applies per address).
+//! VSC is NP-complete (Gibbons & Korach; also by restriction from VMC,
+//! §6.1), so worst-case exponential behaviour is unavoidable.
+
+use crate::verdict::{ConsistencyVerdict, ConsistencyViolation, ViolationClass};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use vermem_trace::{check_sc_schedule, Addr, Op, OpRef, Schedule, Trace, Value};
+
+/// Budget for the VSC search.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct VscConfig {
+    /// Maximum distinct states to visit before answering
+    /// [`ConsistencyVerdict::Unknown`]. `None` = unlimited.
+    pub max_states: Option<u64>,
+}
+
+/// Static prechecks: per-address unreadable values / unproducible finals.
+pub fn precheck_sc(trace: &Trace) -> Option<ConsistencyViolation> {
+    for addr in trace.addresses() {
+        if let Some(v) = vermem_coherence::backtrack::precheck(trace, addr) {
+            return Some(ConsistencyViolation {
+                class: ViolationClass::PerAddressCoherence(v),
+            });
+        }
+    }
+    None
+}
+
+/// Decide sequential consistency of `trace` by exhaustive memoized search.
+pub fn solve_sc_backtracking(trace: &Trace, cfg: &VscConfig) -> ConsistencyVerdict {
+    if let Some(v) = precheck_sc(trace) {
+        return ConsistencyVerdict::Violating(v);
+    }
+
+    let per_proc: Vec<Vec<(OpRef, Op)>> = trace
+        .histories()
+        .iter()
+        .enumerate()
+        .map(|(p, h)| {
+            h.iter()
+                .enumerate()
+                .map(|(i, op)| (OpRef::new(p as u16, i as u32), op))
+                .collect()
+        })
+        .collect();
+    let total: usize = per_proc.iter().map(|v| v.len()).sum();
+
+    let mut remaining_writes: HashMap<(Addr, Value), u32> = HashMap::new();
+    for ops in &per_proc {
+        for (_, op) in ops {
+            if let Some(v) = op.written_value() {
+                *remaining_writes.entry((op.addr(), v)).or_insert(0) += 1;
+            }
+        }
+    }
+
+    let mut memory: BTreeMap<Addr, Value> = BTreeMap::new();
+    for addr in trace.addresses() {
+        memory.insert(addr, trace.initial(addr));
+    }
+
+    let mut search = ScSearch {
+        trace,
+        per_proc: &per_proc,
+        total,
+        visited: HashSet::new(),
+        schedule: Vec::with_capacity(total),
+        max_states: cfg.max_states,
+        states: 0,
+        budget_hit: false,
+    };
+    let mut frontier = vec![0u32; per_proc.len()];
+    let found = search.dfs(&mut frontier, &mut memory, &mut remaining_writes);
+    let budget_hit = search.budget_hit;
+    let schedule = std::mem::take(&mut search.schedule);
+
+    if found {
+        let witness = Schedule::from_refs(schedule);
+        debug_assert!(
+            check_sc_schedule(trace, &witness).is_ok(),
+            "VSC solver produced invalid witness"
+        );
+        ConsistencyVerdict::Consistent(witness)
+    } else if budget_hit {
+        ConsistencyVerdict::Unknown
+    } else {
+        ConsistencyVerdict::Violating(ConsistencyViolation {
+            class: ViolationClass::NoConsistentSchedule,
+        })
+    }
+}
+
+struct ScSearch<'a> {
+    trace: &'a Trace,
+    per_proc: &'a [Vec<(OpRef, Op)>],
+    total: usize,
+    visited: HashSet<(Vec<u32>, Vec<Value>)>,
+    schedule: Vec<OpRef>,
+    max_states: Option<u64>,
+    states: u64,
+    budget_hit: bool,
+}
+
+impl ScSearch<'_> {
+    fn dfs(
+        &mut self,
+        frontier: &mut Vec<u32>,
+        memory: &mut BTreeMap<Addr, Value>,
+        remaining_writes: &mut HashMap<(Addr, Value), u32>,
+    ) -> bool {
+        // Greedy absorption of reads matching their address's current value.
+        let absorbed_base = self.schedule.len();
+        loop {
+            let mut progressed = false;
+            #[allow(clippy::needless_range_loop)] // frontier is mutated by index
+            for p in 0..frontier.len() {
+                while let Some(&(r, op)) = self.per_proc[p].get(frontier[p] as usize) {
+                    match op {
+                        Op::Read { addr, value } if memory[&addr] == value => {
+                            self.schedule.push(r);
+                            frontier[p] += 1;
+                            progressed = true;
+                        }
+                        _ => break,
+                    }
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        let undo = |s: &mut Self, frontier: &mut Vec<u32>| {
+            while s.schedule.len() > absorbed_base {
+                let r = s.schedule.pop().expect("non-empty");
+                frontier[r.proc.0 as usize] -= 1;
+            }
+        };
+
+        if self.schedule.len() == self.total {
+            let finals_ok = self
+                .trace
+                .final_values()
+                .iter()
+                .all(|(addr, v)| memory.get(addr) == Some(v));
+            if finals_ok {
+                return true;
+            }
+            undo(self, frontier);
+            return false;
+        }
+
+        let key = (frontier.clone(), memory.values().copied().collect::<Vec<_>>());
+        if !self.visited.insert(key) {
+            undo(self, frontier);
+            return false;
+        }
+        self.states += 1;
+        if let Some(max) = self.max_states {
+            if self.states > max {
+                self.budget_hit = true;
+                undo(self, frontier);
+                return false;
+            }
+        }
+
+        // Dead-end: a blocked read needing a value with no remaining writes.
+        for (p, &f) in frontier.iter().enumerate() {
+            if let Some(&(_, op)) = self.per_proc[p].get(f as usize) {
+                if let Some(need) = op.read_value() {
+                    let addr = op.addr();
+                    if memory[&addr] != need
+                        && remaining_writes.get(&(addr, need)).copied().unwrap_or(0) == 0
+                    {
+                        undo(self, frontier);
+                        return false;
+                    }
+                }
+            }
+        }
+
+        // Branch over enabled write-capable ops, demanded values first.
+        let mut demanded: HashSet<(Addr, Value)> = HashSet::new();
+        for (p, &f) in frontier.iter().enumerate() {
+            if let Some(&(_, op)) = self.per_proc[p].get(f as usize) {
+                if let Some(need) = op.read_value() {
+                    if memory[&op.addr()] != need {
+                        demanded.insert((op.addr(), need));
+                    }
+                }
+            }
+        }
+        let mut moves: Vec<(bool, usize, OpRef, Op)> = Vec::new();
+        for (p, &f) in frontier.iter().enumerate() {
+            if let Some(&(r, op)) = self.per_proc[p].get(f as usize) {
+                let enabled = match op {
+                    Op::Write { .. } => true,
+                    Op::Rmw { addr, read, .. } => memory[&addr] == read,
+                    Op::Read { .. } => false,
+                };
+                if enabled {
+                    let hot = op
+                        .written_value()
+                        .is_some_and(|v| demanded.contains(&(op.addr(), v)));
+                    moves.push((hot, p, r, op));
+                }
+            }
+        }
+        moves.sort_by_key(|&(hot, ..)| std::cmp::Reverse(hot));
+
+        for (_, p, r, op) in moves {
+            let addr = op.addr();
+            let written = op.written_value().expect("write-capable");
+            let saved = memory[&addr];
+            self.schedule.push(r);
+            frontier[p] += 1;
+            memory.insert(addr, written);
+            *remaining_writes.get_mut(&(addr, written)).expect("counted") -= 1;
+
+            if self.dfs(frontier, memory, remaining_writes) {
+                return true;
+            }
+
+            *remaining_writes.get_mut(&(addr, written)).expect("counted") += 1;
+            memory.insert(addr, saved);
+            frontier[p] -= 1;
+            self.schedule.pop();
+        }
+
+        undo(self, frontier);
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vermem_trace::{Op, TraceBuilder};
+
+    fn solve(t: &Trace) -> ConsistencyVerdict {
+        solve_sc_backtracking(t, &VscConfig::default())
+    }
+
+    #[test]
+    fn empty_is_sc() {
+        assert!(solve(&Trace::new()).is_consistent());
+    }
+
+    #[test]
+    fn message_passing_pass_outcome_is_sc() {
+        let t = TraceBuilder::new()
+            .proc([Op::write(0u32, 1u64), Op::write(1u32, 1u64)])
+            .proc([Op::read(1u32, 1u64), Op::read(0u32, 1u64)])
+            .build();
+        let v = solve(&t);
+        let s = v.schedule().expect("SC");
+        check_sc_schedule(&t, s).unwrap();
+    }
+
+    #[test]
+    fn message_passing_violation_not_sc() {
+        // R(y)=1 but then R(x)=0: forbidden under SC (and TSO).
+        let t = TraceBuilder::new()
+            .proc([Op::write(0u32, 1u64), Op::write(1u32, 1u64)])
+            .proc([Op::read(1u32, 1u64), Op::read(0u32, 0u64)])
+            .build();
+        assert!(solve(&t).is_violating());
+    }
+
+    #[test]
+    fn store_buffering_violation_not_sc() {
+        let t = TraceBuilder::new()
+            .proc([Op::write(0u32, 1u64), Op::read(1u32, 0u64)])
+            .proc([Op::write(1u32, 1u64), Op::read(0u32, 0u64)])
+            .build();
+        assert!(solve(&t).is_violating());
+    }
+
+    #[test]
+    fn iriw_violation_not_sc() {
+        // IRIW: writers W(x,1), W(y,1); readers see them in opposite orders.
+        let t = TraceBuilder::new()
+            .proc([Op::write(0u32, 1u64)])
+            .proc([Op::write(1u32, 1u64)])
+            .proc([Op::read(0u32, 1u64), Op::read(1u32, 0u64)])
+            .proc([Op::read(1u32, 1u64), Op::read(0u32, 0u64)])
+            .build();
+        assert!(solve(&t).is_violating());
+    }
+
+    #[test]
+    fn final_values_respected() {
+        let t = TraceBuilder::new()
+            .proc([Op::write(0u32, 1u64)])
+            .proc([Op::write(0u32, 2u64)])
+            .final_value(0u32, 1u64)
+            .build();
+        let v = solve(&t);
+        let s = v.schedule().expect("orderable");
+        assert_eq!(
+            t.op(*s.refs().last().unwrap()).unwrap().written_value(),
+            Some(Value(1))
+        );
+    }
+
+    #[test]
+    fn per_address_precheck_fires() {
+        let t = TraceBuilder::new().proc([Op::read(3u32, 7u64)]).build();
+        match solve(&t) {
+            ConsistencyVerdict::Violating(v) => {
+                assert!(matches!(v.class, ViolationClass::PerAddressCoherence(_)))
+            }
+            other => panic!("expected violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn generated_sc_traces_verify() {
+        for seed in 0..10 {
+            let (t, _) = vermem_trace::gen::gen_sc_trace(&vermem_trace::gen::GenConfig {
+                procs: 3,
+                total_ops: 24,
+                addrs: 3,
+                seed,
+                ..Default::default()
+            });
+            let v = solve(&t);
+            let s = v.schedule().unwrap_or_else(|| panic!("seed {seed} must be SC"));
+            check_sc_schedule(&t, s).unwrap();
+        }
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_tiny_instances() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for seed in 0..80u64 {
+            let mut rng = StdRng::seed_from_u64(40_000 + seed);
+            let procs = rng.gen_range(1..=3);
+            let mut b = TraceBuilder::new();
+            for _ in 0..procs {
+                let len = rng.gen_range(0..=3);
+                let ops: Vec<Op> = (0..len)
+                    .map(|_| {
+                        let a = rng.gen_range(0..2u32);
+                        let v = rng.gen_range(0..2u64);
+                        match rng.gen_range(0..3) {
+                            0 => Op::read(a, v),
+                            1 => Op::write(a, v),
+                            _ => Op::rmw(a, v, rng.gen_range(0..2u64)),
+                        }
+                    })
+                    .collect();
+                b = b.proc(ops);
+            }
+            let t = b.build();
+            let expected = brute_force_sc(&t);
+            assert_eq!(solve(&t).is_consistent(), expected, "seed {seed}: {t:?}");
+        }
+    }
+
+    fn brute_force_sc(trace: &Trace) -> bool {
+        fn rec(trace: &Trace, frontier: &mut Vec<u32>, acc: &mut Vec<OpRef>, total: usize) -> bool {
+            if acc.len() == total {
+                return check_sc_schedule(trace, &Schedule::from_refs(acc.iter().copied()))
+                    .is_ok();
+            }
+            for p in 0..frontier.len() {
+                if (frontier[p] as usize) < trace.histories()[p].len() {
+                    acc.push(OpRef::new(p as u16, frontier[p]));
+                    frontier[p] += 1;
+                    if rec(trace, frontier, acc, total) {
+                        return true;
+                    }
+                    frontier[p] -= 1;
+                    acc.pop();
+                }
+            }
+            false
+        }
+        let mut frontier = vec![0u32; trace.num_procs()];
+        rec(trace, &mut frontier, &mut Vec::new(), trace.num_ops())
+    }
+}

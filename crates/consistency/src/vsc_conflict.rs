@@ -1,0 +1,175 @@
+//! VSC-Conflict (§6.3): merging per-address coherent schedules into a
+//! sequentially consistent schedule in near-linear time.
+//!
+//! A set of coherent schedules (one per address) encodes a serial order for
+//! every address's operations — in particular the write order and the
+//! read-map. Treating those per-address total orders as *constraints* and
+//! adding program order, a sequentially consistent schedule exists for that
+//! particular constraint set iff the union graph is acyclic (topological
+//! sort gives the witness); this is the O(n lg n) VSC-Conflict procedure of
+//! Gibbons & Korach the paper invokes.
+//!
+//! **The catch (§6.3):** failure here does *not* refute sequential
+//! consistency — a different set of per-address coherent schedules might
+//! merge. That one-sidedness is exactly why verifying coherence first does
+//! not make VSC tractable; see [`crate::vscc`].
+
+use std::collections::BTreeMap;
+use vermem_trace::{check_sc_schedule, Addr, OpRef, Schedule, Trace};
+
+/// Outcome of a merge attempt.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MergeOutcome {
+    /// The constraint union is acyclic; a sequentially consistent schedule
+    /// consistent with every input schedule is attached.
+    Merged(Schedule),
+    /// The constraint union is cyclic for *these* coherent schedules. The
+    /// trace may or may not be sequentially consistent.
+    Cyclic {
+        /// Number of operations left unordered when the sort stalled.
+        stuck_ops: usize,
+    },
+}
+
+impl MergeOutcome {
+    /// The merged schedule, if any.
+    pub fn schedule(&self) -> Option<&Schedule> {
+        match self {
+            MergeOutcome::Merged(s) => Some(s),
+            MergeOutcome::Cyclic { .. } => None,
+        }
+    }
+}
+
+/// Merge per-address coherent schedules with program order. `schedules`
+/// must contain a coherent schedule for every address touched by `trace`
+/// (as produced by [`vermem_coherence::verify_execution`]).
+///
+/// # Panics
+/// Panics if a schedule references an operation missing from the trace.
+pub fn merge_coherent_schedules(
+    trace: &Trace,
+    schedules: &BTreeMap<Addr, Schedule>,
+) -> MergeOutcome {
+    // Dense numbering of all ops.
+    let ids: BTreeMap<OpRef, usize> =
+        trace.iter_ops().enumerate().map(|(i, (r, _))| (r, i)).collect();
+    let refs: Vec<OpRef> = trace.iter_ops().map(|(r, _)| r).collect();
+    let n = refs.len();
+
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut indeg = vec![0usize; n];
+    let add_edge = |adj: &mut Vec<Vec<usize>>, indeg: &mut Vec<usize>, a: usize, b: usize| {
+        adj[a].push(b);
+        indeg[b] += 1;
+    };
+
+    // Program order: consecutive ops per process.
+    for (p, h) in trace.histories().iter().enumerate() {
+        for i in 1..h.len() {
+            let a = ids[&OpRef::new(p as u16, (i - 1) as u32)];
+            let b = ids[&OpRef::new(p as u16, i as u32)];
+            add_edge(&mut adj, &mut indeg, a, b);
+        }
+    }
+    // Per-address serial orders: consecutive ops in each coherent schedule.
+    for schedule in schedules.values() {
+        for w in schedule.refs().windows(2) {
+            let a = *ids.get(&w[0]).expect("schedule op exists in trace");
+            let b = *ids.get(&w[1]).expect("schedule op exists in trace");
+            add_edge(&mut adj, &mut indeg, a, b);
+        }
+    }
+
+    // Kahn's algorithm with a plain stack (any topological order works).
+    let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut order: Vec<OpRef> = Vec::with_capacity(n);
+    while let Some(i) = queue.pop() {
+        order.push(refs[i]);
+        for &j in &adj[i] {
+            indeg[j] -= 1;
+            if indeg[j] == 0 {
+                queue.push(j);
+            }
+        }
+    }
+    if order.len() != n {
+        return MergeOutcome::Cyclic { stuck_ops: n - order.len() };
+    }
+    let witness = Schedule::from_refs(order);
+    debug_assert!(
+        check_sc_schedule(trace, &witness).is_ok(),
+        "merge produced an invalid SC schedule"
+    );
+    MergeOutcome::Merged(witness)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vermem_coherence::{verify_execution, ExecutionVerdict};
+    use vermem_trace::{Op, TraceBuilder};
+
+    #[test]
+    fn merge_mp_pass() {
+        let t = TraceBuilder::new()
+            .proc([Op::write(0u32, 1u64), Op::write(1u32, 1u64)])
+            .proc([Op::read(1u32, 1u64), Op::read(0u32, 1u64)])
+            .build();
+        let ExecutionVerdict::Coherent(schedules) = verify_execution(&t) else {
+            panic!("trace is coherent");
+        };
+        let out = merge_coherent_schedules(&t, &schedules);
+        let s = out.schedule().expect("mergeable");
+        check_sc_schedule(&t, s).unwrap();
+    }
+
+    #[test]
+    fn merge_detects_cycle_for_sb_violation() {
+        // SB violation is coherent per address but not SC: whatever coherent
+        // schedules are chosen, the merge must be cyclic.
+        let t = TraceBuilder::new()
+            .proc([Op::write(0u32, 1u64), Op::read(1u32, 0u64)])
+            .proc([Op::write(1u32, 1u64), Op::read(0u32, 0u64)])
+            .build();
+        let ExecutionVerdict::Coherent(schedules) = verify_execution(&t) else {
+            panic!("SB is coherent per address");
+        };
+        match merge_coherent_schedules(&t, &schedules) {
+            MergeOutcome::Cyclic { stuck_ops } => assert!(stuck_ops > 0),
+            MergeOutcome::Merged(_) => panic!("SB violation must not merge"),
+        }
+    }
+
+    #[test]
+    fn merged_schedule_respects_input_serial_orders() {
+        let (t, _) = vermem_trace::gen::gen_sc_trace(&vermem_trace::gen::GenConfig {
+            procs: 3,
+            total_ops: 30,
+            addrs: 2,
+            seed: 5,
+            ..Default::default()
+        });
+        let ExecutionVerdict::Coherent(schedules) = verify_execution(&t) else {
+            panic!("generated trace is coherent");
+        };
+        if let MergeOutcome::Merged(s) = merge_coherent_schedules(&t, &schedules) {
+            // Per-address order in the SC schedule equals the input order.
+            for (addr, addr_sched) in &schedules {
+                let projected: Vec<OpRef> = s
+                    .refs()
+                    .iter()
+                    .copied()
+                    .filter(|&r| t.op(r).unwrap().addr() == *addr)
+                    .collect();
+                assert_eq!(projected, addr_sched.refs().to_vec());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_trace_merges() {
+        let out = merge_coherent_schedules(&Trace::new(), &BTreeMap::new());
+        assert!(out.schedule().is_some());
+    }
+}

@@ -1,0 +1,107 @@
+//! Cross-validation of the consistency stack: the VSCC pipeline, the
+//! direct SC solvers, the model hierarchy, and the operational TSO machine
+//! semantics must all tell one coherent story on random traces.
+
+use proptest::prelude::*;
+use vermem_consistency::{
+    solve_model_sat, solve_pso_operational, solve_sc_backtracking, solve_tso_operational,
+    verify_vscc, MemoryModel, PsoConfig, SettledBy, TsoConfig, VscConfig,
+};
+use vermem_trace::{Op, Trace, TraceBuilder};
+
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    let op = (0u8..5, 0u32..2, 0u64..3, 0u64..3).prop_map(|(kind, a, v, w)| match kind {
+        0 | 1 => Op::read(a, v),
+        2 | 3 => Op::write(a, v),
+        _ => Op::rmw(a, v, w),
+    });
+    let history = prop::collection::vec(op, 0..=4);
+    prop::collection::vec(history, 1..=3).prop_map(|hists| {
+        let mut b = TraceBuilder::new();
+        for h in hists {
+            b = b.proc(h);
+        }
+        b.build()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    // The VSCC pipeline's final verdict equals the direct SC decision.
+    #[test]
+    fn vscc_pipeline_agrees_with_direct_sc(trace in arb_trace()) {
+        let direct = solve_sc_backtracking(&trace, &VscConfig::default());
+        let report = verify_vscc(&trace);
+        // When coherence fails, SC fails too (coherence is necessary).
+        prop_assert_eq!(
+            report.verdict.is_consistent(),
+            direct.is_consistent(),
+            "pipeline settled by {:?}",
+            report.settled_by
+        );
+        // A fast merge success must mean the trace really is SC.
+        if report.settled_by == SettledBy::FastMerge {
+            prop_assert!(direct.is_consistent());
+        }
+    }
+
+    // Model hierarchy: SC ⊆ TSO ⊆ PSO ⊆ CoherenceOnly.
+    #[test]
+    fn model_hierarchy_is_monotone(trace in arb_trace()) {
+        let sc = solve_model_sat(&trace, MemoryModel::Sc).is_consistent();
+        let tso = solve_model_sat(&trace, MemoryModel::Tso).is_consistent();
+        let pso = solve_model_sat(&trace, MemoryModel::Pso).is_consistent();
+        let coh = solve_model_sat(&trace, MemoryModel::CoherenceOnly).is_consistent();
+        prop_assert!(!sc || tso);
+        prop_assert!(!tso || pso);
+        prop_assert!(!pso || coh);
+        // Coherence-only consistency equals per-address coherence.
+        prop_assert_eq!(
+            coh,
+            vermem_coherence::verify_execution(&trace).is_coherent()
+        );
+    }
+
+    // Operational and axiomatic TSO agree.
+    #[test]
+    fn operational_tso_equals_axiomatic_tso(trace in arb_trace()) {
+        let operational =
+            solve_tso_operational(&trace, &TsoConfig::default()).is_consistent();
+        let axiomatic = solve_model_sat(&trace, MemoryModel::Tso).is_consistent();
+        prop_assert_eq!(operational, axiomatic);
+    }
+
+    // Operational and axiomatic PSO agree.
+    #[test]
+    fn operational_pso_equals_axiomatic_pso(trace in arb_trace()) {
+        let operational =
+            solve_pso_operational(&trace, &PsoConfig::default()).is_consistent();
+        let axiomatic = solve_model_sat(&trace, MemoryModel::Pso).is_consistent();
+        prop_assert_eq!(operational, axiomatic);
+    }
+
+    // SC backtracking and SC-via-SAT agree (redundant engines).
+    #[test]
+    fn sc_engines_agree(trace in arb_trace()) {
+        let bt = solve_sc_backtracking(&trace, &VscConfig::default()).is_consistent();
+        let sat = solve_model_sat(&trace, MemoryModel::Sc).is_consistent();
+        prop_assert_eq!(bt, sat);
+    }
+}
+
+#[test]
+fn coherence_only_matches_per_address_coherence_on_vscc_instances() {
+    // Figure 6.2 instances are coherent by construction, so they must be
+    // CoherenceOnly-consistent regardless of the formula.
+    for seed in 0..6 {
+        let f = vermem_sat::random::gen_random_ksat(
+            &vermem_sat::random::RandomSatConfig::three_sat(3, 4.0, 88_000 + seed),
+        );
+        let red = vermem_reductions::reduce_sat_to_vscc(&f);
+        assert!(
+            solve_model_sat(&red.trace, MemoryModel::CoherenceOnly).is_consistent(),
+            "seed {seed}"
+        );
+    }
+}

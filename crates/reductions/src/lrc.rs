@@ -1,0 +1,89 @@
+//! The Figure 6.1 reduction: extending SAT → VMC to Lazy Release
+//! Consistency (§6.2).
+//!
+//! LRC relaxes coherence itself, so the bare VMC reduction does not apply —
+//! but LRC still serializes operations protected by acquire/release pairs
+//! on a common lock. Figure 6.1 therefore wraps *every* memory operation of
+//! the Figure 4.1 instance in `Acq … Rel` of one lock: under LRC, the
+//! wrapped operations must appear serialized, so the synchronized execution
+//! adheres to LRC iff the underlying VMC instance is coherent iff the SAT
+//! formula is satisfiable.
+
+use crate::sat_to_vmc::{reduce_sat_to_vmc, VmcReduction};
+use vermem_consistency::lrc::{LockId, SyncHistory, SyncTrace};
+use vermem_sat::Cnf;
+
+/// The lock used by the construction.
+pub const LOCK: LockId = LockId(0);
+
+/// The synchronized instance plus the underlying Figure 4.1 reduction.
+pub struct LrcReduction {
+    /// The fully synchronized trace (every memory operation wrapped in
+    /// `Acq(LOCK) … Rel(LOCK)`).
+    pub sync_trace: SyncTrace,
+    /// The underlying VMC reduction (for assignment extraction).
+    pub vmc: VmcReduction,
+}
+
+/// Build the Figure 6.1 instance: the Figure 4.1 VMC instance with every
+/// operation individually synchronized.
+pub fn reduce_sat_to_lrc(cnf: &Cnf) -> LrcReduction {
+    let vmc = reduce_sat_to_vmc(cnf);
+    let mut sync_trace = SyncTrace::new();
+    for history in vmc.trace.histories() {
+        let mut h = SyncHistory::default();
+        for op in history.iter() {
+            h.push_synchronized(LOCK, op);
+        }
+        sync_trace.push_history(h);
+    }
+    LrcReduction { sync_trace, vmc }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vermem_consistency::lrc::verify_lrc_fully_synchronized;
+    use vermem_sat::{solve_cdcl, Lit};
+
+    fn cnf(clauses: &[&[i64]]) -> Cnf {
+        let mut f = Cnf::new();
+        for c in clauses {
+            f.add_clause(c.iter().map(|&x| Lit::from_dimacs(x)));
+        }
+        f
+    }
+
+    #[test]
+    fn construction_is_fully_synchronized() {
+        let red = reduce_sat_to_lrc(&cnf(&[&[1, 2], &[-1, 2]]));
+        assert!(red.sync_trace.is_fully_synchronized(LOCK));
+        // Three sync ops per memory op.
+        let mem_ops = red.vmc.trace.num_ops();
+        let sync_ops: usize =
+            red.sync_trace.histories().iter().map(|h| h.ops().len()).sum();
+        assert_eq!(sync_ops, 3 * mem_ops);
+    }
+
+    #[test]
+    fn stripping_recovers_the_vmc_instance() {
+        let red = reduce_sat_to_lrc(&cnf(&[&[1]]));
+        assert_eq!(red.sync_trace.strip_sync(), red.vmc.trace);
+    }
+
+    #[test]
+    fn lrc_adherence_iff_satisfiable() {
+        for (f, expect) in [
+            (cnf(&[&[1]]), true),
+            (cnf(&[&[1, 2], &[-1, 2], &[1, -2]]), true),
+            (cnf(&[&[1], &[-1]]), false),
+            (cnf(&[&[1, 2], &[1, -2], &[-1, 2], &[-1, -2]]), false),
+        ] {
+            assert_eq!(solve_cdcl(&f).is_sat(), expect);
+            let red = reduce_sat_to_lrc(&f);
+            let verdict = verify_lrc_fully_synchronized(&red.sync_trace, LOCK)
+                .expect("construction is fully synchronized");
+            assert_eq!(verdict.is_coherent(), expect);
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! CNF formulas: clause collections with a declared variable count, plus a
+//! model representation and evaluation.
+
+use crate::lit::{Lit, Var};
+use std::fmt;
+
+/// A formula in conjunctive normal form.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct Cnf {
+    num_vars: u32,
+    clauses: Vec<Vec<Lit>>,
+}
+
+impl Cnf {
+    /// An empty (trivially satisfiable) formula with no variables.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.num_vars);
+        self.num_vars += 1;
+        v
+    }
+
+    /// Allocate `n` fresh variables, returned in order.
+    pub fn new_vars(&mut self, n: usize) -> Vec<Var> {
+        (0..n).map(|_| self.new_var()).collect()
+    }
+
+    /// Ensure at least `n` variables exist.
+    pub fn reserve_vars(&mut self, n: u32) {
+        self.num_vars = self.num_vars.max(n);
+    }
+
+    /// Number of declared variables.
+    pub fn num_vars(&self) -> u32 {
+        self.num_vars
+    }
+
+    /// Number of clauses.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Add a clause (a disjunction of literals). Variables are implicitly
+    /// declared as needed. An empty clause makes the formula unsatisfiable.
+    pub fn add_clause(&mut self, lits: impl IntoIterator<Item = Lit>) {
+        let clause: Vec<Lit> = lits.into_iter().collect();
+        for &l in &clause {
+            self.reserve_vars(l.var().0 + 1);
+        }
+        self.clauses.push(clause);
+    }
+
+    /// The clauses.
+    pub fn clauses(&self) -> &[Vec<Lit>] {
+        &self.clauses
+    }
+
+    /// Evaluate under a complete assignment (indexed by variable).
+    /// Returns `None` if the model is too short for some variable used.
+    pub fn eval(&self, model: &Model) -> Option<bool> {
+        for clause in &self.clauses {
+            let mut sat = false;
+            for &lit in clause {
+                if model.value(lit.var())? == lit.is_pos() {
+                    sat = true;
+                    break;
+                }
+            }
+            if !sat {
+                return Some(false);
+            }
+        }
+        Some(true)
+    }
+}
+
+impl fmt::Debug for Cnf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Cnf[{} vars, {} clauses]", self.num_vars, self.clauses.len())?;
+        for c in &self.clauses {
+            writeln!(f, "  {c:?}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A complete truth assignment (a satisfying model).
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct Model {
+    values: Vec<bool>,
+}
+
+impl Model {
+    /// Build from per-variable values (index = variable number).
+    pub fn from_values(values: Vec<bool>) -> Self {
+        Model { values }
+    }
+
+    /// The value of a variable, or `None` if out of range.
+    pub fn value(&self, var: Var) -> Option<bool> {
+        self.values.get(var.index()).copied()
+    }
+
+    /// The truth value of a literal.
+    pub fn lit_value(&self, lit: Lit) -> Option<bool> {
+        self.value(lit.var()).map(|v| v == lit.is_pos())
+    }
+
+    /// Number of assigned variables.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if the model assigns no variables.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Raw values, indexed by variable number.
+    pub fn values(&self) -> &[bool] {
+        &self.values
+    }
+}
+
+impl fmt::Debug for Model {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Model[")?;
+        for (i, &v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "x{i}={}", if v { 1 } else { 0 })?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Outcome of a satisfiability query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SatResult {
+    /// Satisfiable, with a witness model.
+    Sat(Model),
+    /// Unsatisfiable.
+    Unsat,
+}
+
+impl SatResult {
+    /// True if satisfiable.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SatResult::Sat(_))
+    }
+
+    /// The model, if satisfiable.
+    pub fn model(&self) -> Option<&Model> {
+        match self {
+            SatResult::Sat(m) => Some(m),
+            SatResult::Unsat => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_allocation() {
+        let mut cnf = Cnf::new();
+        let a = cnf.new_var();
+        let b = cnf.new_var();
+        assert_eq!((a, b), (Var(0), Var(1)));
+        assert_eq!(cnf.num_vars(), 2);
+    }
+
+    #[test]
+    fn add_clause_reserves_vars() {
+        let mut cnf = Cnf::new();
+        cnf.add_clause([Var(4).pos()]);
+        assert_eq!(cnf.num_vars(), 5);
+    }
+
+    #[test]
+    fn eval_satisfied_and_falsified() {
+        let mut cnf = Cnf::new();
+        let a = cnf.new_var();
+        let b = cnf.new_var();
+        cnf.add_clause([a.pos(), b.pos()]);
+        cnf.add_clause([a.neg()]);
+        let good = Model::from_values(vec![false, true]);
+        let bad = Model::from_values(vec![true, true]);
+        assert_eq!(cnf.eval(&good), Some(true));
+        assert_eq!(cnf.eval(&bad), Some(false));
+    }
+
+    #[test]
+    fn eval_short_model_is_none() {
+        let mut cnf = Cnf::new();
+        let a = cnf.new_var();
+        cnf.add_clause([a.pos()]);
+        assert_eq!(cnf.eval(&Model::default()), None);
+    }
+
+    #[test]
+    fn empty_clause_falsifies_everything() {
+        let mut cnf = Cnf::new();
+        cnf.add_clause([]);
+        assert_eq!(cnf.eval(&Model::default()), Some(false));
+    }
+
+    #[test]
+    fn model_lit_value() {
+        let m = Model::from_values(vec![true, false]);
+        assert_eq!(m.lit_value(Var(0).pos()), Some(true));
+        assert_eq!(m.lit_value(Var(0).neg()), Some(false));
+        assert_eq!(m.lit_value(Var(1).neg()), Some(true));
+        assert_eq!(m.lit_value(Var(2).pos()), None);
+    }
+}

@@ -1,0 +1,208 @@
+//! A plain DPLL solver (unit propagation + pure-literal elimination +
+//! chronological backtracking). Kept as a correctness baseline for
+//! differential testing against the CDCL solver, and as the comparison
+//! point for the solver benchmarks.
+
+use crate::cnf::{Cnf, Model, SatResult};
+use crate::lit::{LBool, Lit, Var};
+
+/// Solve a CNF formula with basic DPLL.
+pub fn solve_dpll(cnf: &Cnf) -> SatResult {
+    let n = cnf.num_vars() as usize;
+    let mut assign = vec![LBool::Undef; n];
+    let clauses: Vec<Vec<Lit>> = cnf.clauses().to_vec();
+    if clauses.iter().any(|c| c.is_empty()) {
+        return SatResult::Unsat;
+    }
+    if dpll(&clauses, &mut assign) {
+        let values = assign.iter().map(|&a| matches!(a, LBool::True)).collect();
+        SatResult::Sat(Model::from_values(values))
+    } else {
+        SatResult::Unsat
+    }
+}
+
+/// Clause status under a partial assignment.
+enum Status {
+    Satisfied,
+    /// All literals false.
+    Conflict,
+    /// Exactly one literal unassigned, rest false.
+    Unit(Lit),
+    /// Two or more unassigned literals.
+    Unresolved,
+}
+
+fn clause_status(clause: &[Lit], assign: &[LBool]) -> Status {
+    let mut unassigned = None;
+    let mut unassigned_count = 0;
+    for &lit in clause {
+        match assign[lit.var().index()].of_lit(lit) {
+            LBool::True => return Status::Satisfied,
+            LBool::False => {}
+            LBool::Undef => {
+                unassigned = Some(lit);
+                unassigned_count += 1;
+            }
+        }
+    }
+    match unassigned_count {
+        0 => Status::Conflict,
+        1 => Status::Unit(unassigned.expect("counted")),
+        _ => Status::Unresolved,
+    }
+}
+
+fn dpll(clauses: &[Vec<Lit>], assign: &mut [LBool]) -> bool {
+    // Unit propagation to fixpoint; record what we set to undo on failure.
+    let mut trail: Vec<Var> = Vec::new();
+    let undo = |assign: &mut [LBool], trail: &[Var]| {
+        for &v in trail {
+            assign[v.index()] = LBool::Undef;
+        }
+    };
+    loop {
+        let mut changed = false;
+        for clause in clauses {
+            match clause_status(clause, assign) {
+                Status::Conflict => {
+                    undo(assign, &trail);
+                    return false;
+                }
+                Status::Unit(lit) => {
+                    assign[lit.var().index()] = LBool::from_bool(lit.is_pos());
+                    trail.push(lit.var());
+                    changed = true;
+                }
+                _ => {}
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Pure-literal elimination: a variable appearing with only one polarity
+    // in not-yet-satisfied clauses can be set to that polarity.
+    let mut pos_seen = vec![false; assign.len()];
+    let mut neg_seen = vec![false; assign.len()];
+    for clause in clauses {
+        if matches!(clause_status(clause, assign), Status::Satisfied) {
+            continue;
+        }
+        for &lit in clause {
+            if assign[lit.var().index()] == LBool::Undef {
+                if lit.is_pos() {
+                    pos_seen[lit.var().index()] = true;
+                } else {
+                    neg_seen[lit.var().index()] = true;
+                }
+            }
+        }
+    }
+    for v in 0..assign.len() {
+        if assign[v] == LBool::Undef && (pos_seen[v] ^ neg_seen[v]) {
+            assign[v] = LBool::from_bool(pos_seen[v]);
+            trail.push(Var(v as u32));
+        }
+    }
+
+    // Pick the first unassigned variable occurring in an unresolved clause.
+    let mut branch = None;
+    'outer: for clause in clauses {
+        if let Status::Unresolved = clause_status(clause, assign) {
+            for &lit in clause {
+                if assign[lit.var().index()] == LBool::Undef {
+                    branch = Some(lit.var());
+                    break 'outer;
+                }
+            }
+        }
+    }
+
+    let v = match branch {
+        None => {
+            // Every clause satisfied (or none unresolved): SAT.
+            let all_ok = clauses
+                .iter()
+                .all(|c| matches!(clause_status(c, assign), Status::Satisfied));
+            if all_ok {
+                return true;
+            }
+            undo(assign, &trail);
+            return false;
+        }
+        Some(v) => v,
+    };
+
+    for &value in &[true, false] {
+        assign[v.index()] = LBool::from_bool(value);
+        if dpll(clauses, assign) {
+            return true;
+        }
+        assign[v.index()] = LBool::Undef;
+    }
+    undo(assign, &trail);
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cnf(clauses: &[&[i64]]) -> Cnf {
+        let mut f = Cnf::new();
+        for c in clauses {
+            f.add_clause(c.iter().map(|&x| Lit::from_dimacs(x)));
+        }
+        f
+    }
+
+    #[test]
+    fn trivial_cases() {
+        assert!(solve_dpll(&Cnf::new()).is_sat());
+        assert!(solve_dpll(&cnf(&[&[1]])).is_sat());
+        assert!(!solve_dpll(&cnf(&[&[1], &[-1]])).is_sat());
+    }
+
+    #[test]
+    fn empty_clause_unsat() {
+        let mut f = Cnf::new();
+        f.add_clause([]);
+        assert!(!solve_dpll(&f).is_sat());
+    }
+
+    #[test]
+    fn model_satisfies_formula() {
+        let f = cnf(&[&[1, 2], &[-1, 3], &[-2, -3], &[2, 3]]);
+        match solve_dpll(&f) {
+            SatResult::Sat(m) => assert_eq!(f.eval(&m), Some(true)),
+            SatResult::Unsat => panic!("satisfiable"),
+        }
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_unsat() {
+        let v = |i: i64, j: i64| 2 * (i - 1) + j;
+        let mut clauses: Vec<Vec<i64>> = Vec::new();
+        for i in 1..=3 {
+            clauses.push(vec![v(i, 1), v(i, 2)]);
+        }
+        for j in 1..=2 {
+            for i1 in 1..=3 {
+                for i2 in (i1 + 1)..=3 {
+                    clauses.push(vec![-v(i1, j), -v(i2, j)]);
+                }
+            }
+        }
+        let refs: Vec<&[i64]> = clauses.iter().map(|c| c.as_slice()).collect();
+        assert!(!solve_dpll(&cnf(&refs)).is_sat());
+    }
+
+    #[test]
+    fn pure_literal_suffices() {
+        // x appears only positively; formula satisfiable by pure-literal rule.
+        let f = cnf(&[&[1, 2], &[1, 3]]);
+        assert!(solve_dpll(&f).is_sat());
+    }
+}

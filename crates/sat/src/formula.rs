@@ -1,0 +1,256 @@
+//! Propositional formula AST and Tseitin CNF encoding.
+//!
+//! The reductions crate builds SAT instances structurally (variables and
+//! clauses over them); this module additionally supports arbitrary boolean
+//! circuits for users who want to check satisfiability of non-CNF formulas.
+
+use crate::cnf::{Cnf, Model};
+use crate::lit::{Lit, Var};
+
+/// A propositional formula.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Formula {
+    /// A constant.
+    Const(bool),
+    /// A variable.
+    Var(Var),
+    /// Negation.
+    Not(Box<Formula>),
+    /// Conjunction (empty = true).
+    And(Vec<Formula>),
+    /// Disjunction (empty = false).
+    Or(Vec<Formula>),
+}
+
+impl Formula {
+    /// Variable leaf.
+    pub fn var(v: Var) -> Formula {
+        Formula::Var(v)
+    }
+
+    /// Negate.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Formula {
+        Formula::Not(Box::new(self))
+    }
+
+    /// Binary/then-some conjunction.
+    pub fn and(forms: impl IntoIterator<Item = Formula>) -> Formula {
+        Formula::And(forms.into_iter().collect())
+    }
+
+    /// Binary/then-some disjunction.
+    pub fn or(forms: impl IntoIterator<Item = Formula>) -> Formula {
+        Formula::Or(forms.into_iter().collect())
+    }
+
+    /// Implication sugar: `self → rhs`.
+    pub fn implies(self, rhs: Formula) -> Formula {
+        Formula::or([self.not(), rhs])
+    }
+
+    /// Biconditional sugar: `self ↔ rhs`.
+    pub fn iff(self, rhs: Formula) -> Formula {
+        Formula::and([
+            self.clone().implies(rhs.clone()),
+            rhs.implies(self),
+        ])
+    }
+
+    /// Highest variable index used, plus one (0 if no variables).
+    pub fn num_vars(&self) -> u32 {
+        match self {
+            Formula::Const(_) => 0,
+            Formula::Var(v) => v.0 + 1,
+            Formula::Not(f) => f.num_vars(),
+            Formula::And(fs) | Formula::Or(fs) => {
+                fs.iter().map(Formula::num_vars).max().unwrap_or(0)
+            }
+        }
+    }
+
+    /// Evaluate under a model (must cover all variables).
+    pub fn eval(&self, model: &Model) -> Option<bool> {
+        Some(match self {
+            Formula::Const(b) => *b,
+            Formula::Var(v) => model.value(*v)?,
+            Formula::Not(f) => !f.eval(model)?,
+            Formula::And(fs) => {
+                for f in fs {
+                    if !f.eval(model)? {
+                        return Some(false);
+                    }
+                }
+                true
+            }
+            Formula::Or(fs) => {
+                for f in fs {
+                    if f.eval(model)? {
+                        return Some(true);
+                    }
+                }
+                false
+            }
+        })
+    }
+
+    /// Tseitin-encode into an equisatisfiable CNF. Original variables keep
+    /// their indices; gate variables are allocated above them, so a model of
+    /// the CNF restricted to `0..self.num_vars()` is a model of the formula.
+    pub fn to_cnf(&self) -> Cnf {
+        let mut cnf = Cnf::new();
+        cnf.reserve_vars(self.num_vars());
+        match self.encode(&mut cnf) {
+            Enc::Const(true) => {}
+            Enc::Const(false) => cnf.add_clause([]),
+            Enc::Lit(root) => cnf.add_clause([root]),
+        }
+        cnf
+    }
+
+    fn encode(&self, cnf: &mut Cnf) -> Enc {
+        match self {
+            Formula::Const(b) => Enc::Const(*b),
+            Formula::Var(v) => Enc::Lit(v.pos()),
+            Formula::Not(f) => match f.encode(cnf) {
+                Enc::Const(b) => Enc::Const(!b),
+                Enc::Lit(l) => Enc::Lit(!l),
+            },
+            Formula::And(fs) => {
+                let mut lits = Vec::with_capacity(fs.len());
+                for f in fs {
+                    match f.encode(cnf) {
+                        Enc::Const(false) => return Enc::Const(false),
+                        Enc::Const(true) => {}
+                        Enc::Lit(l) => lits.push(l),
+                    }
+                }
+                match lits.len() {
+                    0 => Enc::Const(true),
+                    1 => Enc::Lit(lits[0]),
+                    _ => {
+                        let g = cnf.new_var().pos();
+                        // g → l_i for each i; (∧ l_i) → g.
+                        for &l in &lits {
+                            cnf.add_clause([!g, l]);
+                        }
+                        let mut big: Vec<Lit> = lits.iter().map(|&l| !l).collect();
+                        big.push(g);
+                        cnf.add_clause(big);
+                        Enc::Lit(g)
+                    }
+                }
+            }
+            Formula::Or(fs) => {
+                let mut lits = Vec::with_capacity(fs.len());
+                for f in fs {
+                    match f.encode(cnf) {
+                        Enc::Const(true) => return Enc::Const(true),
+                        Enc::Const(false) => {}
+                        Enc::Lit(l) => lits.push(l),
+                    }
+                }
+                match lits.len() {
+                    0 => Enc::Const(false),
+                    1 => Enc::Lit(lits[0]),
+                    _ => {
+                        let g = cnf.new_var().pos();
+                        // l_i → g for each i; g → (∨ l_i).
+                        for &l in &lits {
+                            cnf.add_clause([!l, g]);
+                        }
+                        let mut big = lits.clone();
+                        big.push(!g);
+                        cnf.add_clause(big);
+                        Enc::Lit(g)
+                    }
+                }
+            }
+        }
+    }
+}
+
+enum Enc {
+    Const(bool),
+    Lit(Lit),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::solve_cdcl;
+
+    fn v(i: u32) -> Formula {
+        Formula::Var(Var(i))
+    }
+
+    #[test]
+    fn tseitin_sat_examples() {
+        // (x0 ∧ ¬x1) ∨ x2
+        let f = Formula::or([Formula::and([v(0), v(1).not()]), v(2)]);
+        let cnf = f.to_cnf();
+        let r = solve_cdcl(&cnf);
+        let m = r.model().expect("satisfiable");
+        assert_eq!(f.eval(m), Some(true));
+    }
+
+    #[test]
+    fn tseitin_unsat_examples() {
+        // x0 ∧ ¬x0
+        let f = Formula::and([v(0), v(0).not()]);
+        assert!(!solve_cdcl(&f.to_cnf()).is_sat());
+        // (x0 ↔ x1) ∧ (x0 ↔ ¬x1)
+        let g = Formula::and([v(0).iff(v(1)), v(0).iff(v(1).not())]);
+        assert!(!solve_cdcl(&g.to_cnf()).is_sat());
+    }
+
+    #[test]
+    fn constants_fold() {
+        assert!(solve_cdcl(&Formula::Const(true).to_cnf()).is_sat());
+        assert!(!solve_cdcl(&Formula::Const(false).to_cnf()).is_sat());
+        // x ∨ true == true
+        let f = Formula::or([v(0), Formula::Const(true)]);
+        assert_eq!(f.to_cnf().num_clauses(), 0);
+    }
+
+    #[test]
+    fn implication_and_iff() {
+        // (x0 → x1) ∧ x0 ∧ ¬x1 is unsat.
+        let f = Formula::and([v(0).implies(v(1)), v(0), v(1).not()]);
+        assert!(!solve_cdcl(&f.to_cnf()).is_sat());
+    }
+
+    #[test]
+    fn exhaustive_equivalence_small() {
+        // For a small circuit, CNF satisfiability restricted to original
+        // vars must match brute-force evaluation.
+        let f = Formula::and([
+            Formula::or([v(0), v(1), v(2).not()]),
+            Formula::or([v(0).not(), v(2)]),
+            v(1).iff(v(2)),
+        ]);
+        let n = f.num_vars();
+        let mut truth_sat = false;
+        for bits in 0..(1u32 << n) {
+            let model =
+                Model::from_values((0..n).map(|i| bits >> i & 1 == 1).collect());
+            if f.eval(&model) == Some(true) {
+                truth_sat = true;
+            }
+        }
+        let cnf_result = solve_cdcl(&f.to_cnf());
+        assert_eq!(cnf_result.is_sat(), truth_sat);
+        if let Some(m) = cnf_result.model() {
+            // Restriction of the CNF model to original vars satisfies f.
+            let restricted =
+                Model::from_values((0..n as usize).map(|i| m.values()[i]).collect());
+            assert_eq!(f.eval(&restricted), Some(true));
+        }
+    }
+
+    #[test]
+    fn empty_connectives() {
+        assert!(solve_cdcl(&Formula::And(vec![]).to_cnf()).is_sat());
+        assert!(!solve_cdcl(&Formula::Or(vec![]).to_cnf()).is_sat());
+    }
+}

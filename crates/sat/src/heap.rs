@@ -1,0 +1,196 @@
+//! Indexed max-heap over variables ordered by activity, for VSIDS decision
+//! selection. Supports O(log n) insert/remove-max and O(log n) priority
+//! increase of an arbitrary element (required when conflict analysis bumps
+//! the activity of a variable already in the heap).
+
+use crate::lit::Var;
+
+/// Max-heap of variables keyed by an external activity array.
+#[derive(Clone, Debug, Default)]
+pub struct VarHeap {
+    heap: Vec<Var>,
+    /// position[v] = index of v in `heap`, or usize::MAX if absent.
+    position: Vec<usize>,
+}
+
+const ABSENT: usize = usize::MAX;
+
+impl VarHeap {
+    /// An empty heap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ensure capacity for variables `0..n`.
+    pub fn grow_to(&mut self, n: usize) {
+        if self.position.len() < n {
+            self.position.resize(n, ABSENT);
+        }
+    }
+
+    /// True if `v` is currently in the heap.
+    pub fn contains(&self, v: Var) -> bool {
+        self.position.get(v.index()).is_some_and(|&p| p != ABSENT)
+    }
+
+    /// Number of queued variables.
+    #[allow(dead_code)] // part of the heap API, exercised by unit tests
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no variables are queued.
+    #[allow(dead_code)] // part of the heap API, exercised by unit tests
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Insert `v` (no-op if present). `activity` keys the ordering.
+    pub fn insert(&mut self, v: Var, activity: &[f64]) {
+        self.grow_to(v.index() + 1);
+        if self.contains(v) {
+            return;
+        }
+        self.heap.push(v);
+        let i = self.heap.len() - 1;
+        self.position[v.index()] = i;
+        self.sift_up(i, activity);
+    }
+
+    /// Remove and return the variable with maximum activity.
+    pub fn pop_max(&mut self, activity: &[f64]) -> Option<Var> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        let last = self.heap.pop().expect("non-empty");
+        self.position[top.index()] = ABSENT;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.position[last.index()] = 0;
+            self.sift_down(0, activity);
+        }
+        Some(top)
+    }
+
+    /// Restore heap order after `v`'s activity increased.
+    pub fn increased(&mut self, v: Var, activity: &[f64]) {
+        if let Some(&p) = self.position.get(v.index()) {
+            if p != ABSENT {
+                self.sift_up(p, activity);
+            }
+        }
+    }
+
+    /// Rebuild the heap after a global activity rescale (order unchanged by
+    /// uniform scaling, so this is a no-op kept for clarity) or after
+    /// arbitrary key changes.
+    pub fn rebuild(&mut self, activity: &[f64]) {
+        let n = self.heap.len();
+        for i in (0..n / 2).rev() {
+            self.sift_down(i, activity);
+        }
+    }
+
+    fn key(&self, i: usize, activity: &[f64]) -> f64 {
+        activity[self.heap[i].index()]
+    }
+
+    fn sift_up(&mut self, mut i: usize, activity: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.key(i, activity) > self.key(parent, activity) {
+                self.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, activity: &[f64]) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut largest = i;
+            if l < self.heap.len() && self.key(l, activity) > self.key(largest, activity) {
+                largest = l;
+            }
+            if r < self.heap.len() && self.key(r, activity) > self.key(largest, activity) {
+                largest = r;
+            }
+            if largest == i {
+                break;
+            }
+            self.swap(i, largest);
+            i = largest;
+        }
+    }
+
+    fn swap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.position[self.heap[i].index()] = i;
+        self.position[self.heap[j].index()] = j;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_activity_order() {
+        let activity = vec![3.0, 1.0, 4.0, 1.5, 9.0];
+        let mut h = VarHeap::new();
+        for v in 0..5 {
+            h.insert(Var(v), &activity);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| h.pop_max(&activity)).map(|v| v.0).collect();
+        assert_eq!(order, vec![4, 2, 0, 3, 1]);
+    }
+
+    #[test]
+    fn duplicate_insert_is_noop() {
+        let activity = vec![1.0, 2.0];
+        let mut h = VarHeap::new();
+        h.insert(Var(0), &activity);
+        h.insert(Var(0), &activity);
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn increased_restores_order() {
+        let mut activity = vec![1.0, 2.0, 3.0];
+        let mut h = VarHeap::new();
+        for v in 0..3 {
+            h.insert(Var(v), &activity);
+        }
+        activity[0] = 10.0;
+        h.increased(Var(0), &activity);
+        assert_eq!(h.pop_max(&activity), Some(Var(0)));
+    }
+
+    #[test]
+    fn contains_tracks_membership() {
+        let activity = vec![1.0];
+        let mut h = VarHeap::new();
+        assert!(!h.contains(Var(0)));
+        h.insert(Var(0), &activity);
+        assert!(h.contains(Var(0)));
+        h.pop_max(&activity);
+        assert!(!h.contains(Var(0)));
+    }
+
+    #[test]
+    fn interleaved_insert_pop() {
+        let activity = vec![5.0, 1.0, 3.0];
+        let mut h = VarHeap::new();
+        h.insert(Var(1), &activity);
+        h.insert(Var(0), &activity);
+        assert_eq!(h.pop_max(&activity), Some(Var(0)));
+        h.insert(Var(2), &activity);
+        assert_eq!(h.pop_max(&activity), Some(Var(2)));
+        assert_eq!(h.pop_max(&activity), Some(Var(1)));
+        assert_eq!(h.pop_max(&activity), None);
+    }
+}

@@ -1,0 +1,39 @@
+//! # vermem-sat
+//!
+//! A from-scratch SAT-solving substrate for the `vermem` verifier suite.
+//!
+//! The paper (*The Complexity of Verifying Memory Coherence and
+//! Consistency*, Cantin, Lipasti & Smith) proves VMC NP-complete by
+//! reduction *from* SAT; in practice one also solves NP-complete VMC
+//! instances by reducing *to* SAT. Both directions need a real solver:
+//!
+//! * [`CdclSolver`] — conflict-driven clause learning with two-watched
+//!   literals, first-UIP learning, VSIDS + phase saving, Luby restarts and
+//!   learnt-clause database reduction;
+//! * [`solve_dpll`] — a plain DPLL baseline for differential testing and
+//!   benchmarking;
+//! * [`Cnf`] / [`Formula`] — CNF construction and Tseitin encoding;
+//! * [`dimacs`] — standard DIMACS CNF I/O;
+//! * [`random`] — random and forced-satisfiable k-SAT generators.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod cnf;
+pub mod dimacs;
+pub mod drat;
+mod dpll;
+mod formula;
+mod heap;
+mod lit;
+pub mod random;
+pub mod simplify;
+mod solver;
+
+pub use cnf::{Cnf, Model, SatResult};
+pub use dpll::solve_dpll;
+pub use drat::{check_unsat_proof, Proof, ProofCheck};
+pub use formula::Formula;
+pub use lit::{LBool, Lit, Var};
+pub use simplify::{preprocess, solve_with_preprocessing, Simplified};
+pub use solver::{solve_cdcl, CdclSolver, SolverStats};

@@ -1,0 +1,195 @@
+//! Boolean variables and literals.
+//!
+//! Literals use the MiniSat packed encoding: literal index `2·v` is the
+//! positive literal of variable `v`, `2·v + 1` its negation. This makes
+//! watch-list indexing and negation branch-free.
+
+use std::fmt;
+use std::ops::Not;
+
+/// A propositional variable, numbered from 0.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub u32);
+
+/// A literal: a variable or its negation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(u32);
+
+impl Var {
+    /// The positive literal of this variable.
+    #[inline]
+    pub fn pos(self) -> Lit {
+        Lit(self.0 << 1)
+    }
+
+    /// The negative literal of this variable.
+    #[allow(clippy::should_implement_trait)] // paired with `pos`, not a negation of Var
+    #[inline]
+    pub fn neg(self) -> Lit {
+        Lit(self.0 << 1 | 1)
+    }
+
+    /// Literal of this variable with the given sign (`true` = positive).
+    #[inline]
+    pub fn lit(self, sign: bool) -> Lit {
+        if sign {
+            self.pos()
+        } else {
+            self.neg()
+        }
+    }
+
+    /// Index for dense per-variable arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl Lit {
+    /// The variable underlying this literal.
+    #[inline]
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// True if this is a positive (unnegated) literal.
+    #[inline]
+    pub fn is_pos(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// Index for dense per-literal arrays (watch lists).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstruct from a dense index.
+    #[inline]
+    pub fn from_index(index: usize) -> Lit {
+        Lit(index as u32)
+    }
+
+    /// Build from a DIMACS-style signed integer (non-zero; negative means
+    /// negated; magnitude is 1-based).
+    pub fn from_dimacs(code: i64) -> Lit {
+        debug_assert!(code != 0);
+        let v = Var(code.unsigned_abs() as u32 - 1);
+        v.lit(code > 0)
+    }
+
+    /// Convert to a DIMACS-style signed integer.
+    pub fn to_dimacs(self) -> i64 {
+        let v = self.var().0 as i64 + 1;
+        if self.is_pos() {
+            v
+        } else {
+            -v
+        }
+    }
+}
+
+impl Not for Lit {
+    type Output = Lit;
+    #[inline]
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_pos() {
+            write!(f, "x{}", self.var().0)
+        } else {
+            write!(f, "¬x{}", self.var().0)
+        }
+    }
+}
+
+/// Tri-state assignment value.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LBool {
+    /// Assigned true.
+    True,
+    /// Assigned false.
+    False,
+    /// Unassigned.
+    Undef,
+}
+
+impl LBool {
+    /// Truth value of a literal given its variable's assignment.
+    #[inline]
+    pub fn of_lit(self, lit: Lit) -> LBool {
+        match (self, lit.is_pos()) {
+            (LBool::Undef, _) => LBool::Undef,
+            (LBool::True, true) | (LBool::False, false) => LBool::True,
+            _ => LBool::False,
+        }
+    }
+
+    /// From a concrete boolean.
+    #[inline]
+    pub fn from_bool(b: bool) -> LBool {
+        if b {
+            LBool::True
+        } else {
+            LBool::False
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packing_round_trips() {
+        let v = Var(7);
+        assert_eq!(v.pos().var(), v);
+        assert_eq!(v.neg().var(), v);
+        assert!(v.pos().is_pos());
+        assert!(!v.neg().is_pos());
+        assert_eq!(v.pos().index(), 14);
+        assert_eq!(v.neg().index(), 15);
+    }
+
+    #[test]
+    fn negation_is_involution() {
+        let l = Var(3).pos();
+        assert_eq!(!!l, l);
+        assert_eq!(!l, Var(3).neg());
+    }
+
+    #[test]
+    fn dimacs_round_trip() {
+        for code in [-5i64, -1, 1, 5] {
+            assert_eq!(Lit::from_dimacs(code).to_dimacs(), code);
+        }
+        assert_eq!(Lit::from_dimacs(1), Var(0).pos());
+        assert_eq!(Lit::from_dimacs(-3), Var(2).neg());
+    }
+
+    #[test]
+    fn lbool_of_lit() {
+        assert_eq!(LBool::True.of_lit(Var(0).pos()), LBool::True);
+        assert_eq!(LBool::True.of_lit(Var(0).neg()), LBool::False);
+        assert_eq!(LBool::False.of_lit(Var(0).pos()), LBool::False);
+        assert_eq!(LBool::False.of_lit(Var(0).neg()), LBool::True);
+        assert_eq!(LBool::Undef.of_lit(Var(0).pos()), LBool::Undef);
+    }
+
+    #[test]
+    fn var_lit_sign_constructor() {
+        assert_eq!(Var(2).lit(true), Var(2).pos());
+        assert_eq!(Var(2).lit(false), Var(2).neg());
+    }
+}

@@ -1,0 +1,127 @@
+//! Random k-SAT instance generation, for solver benchmarking and for
+//! driving the reduction experiments at scale.
+
+use crate::cnf::Cnf;
+use crate::lit::Var;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for random k-SAT generation.
+#[derive(Clone, Copy, Debug)]
+pub struct RandomSatConfig {
+    /// Number of variables.
+    pub num_vars: u32,
+    /// Number of clauses.
+    pub num_clauses: usize,
+    /// Literals per clause (distinct variables within a clause).
+    pub k: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl RandomSatConfig {
+    /// Random 3-SAT at the given clause/variable ratio. Ratio ≈ 4.26 is the
+    /// classic satisfiability phase-transition point.
+    pub fn three_sat(num_vars: u32, ratio: f64, seed: u64) -> Self {
+        RandomSatConfig {
+            num_vars,
+            num_clauses: (num_vars as f64 * ratio).round() as usize,
+            k: 3,
+            seed,
+        }
+    }
+}
+
+/// Generate a uniformly random k-SAT instance: each clause picks `k`
+/// distinct variables and independent random polarities.
+pub fn gen_random_ksat(cfg: &RandomSatConfig) -> Cnf {
+    assert!(cfg.k as u64 <= cfg.num_vars as u64, "k must not exceed variable count");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut cnf = Cnf::new();
+    cnf.reserve_vars(cfg.num_vars);
+    let vars: Vec<u32> = (0..cfg.num_vars).collect();
+    for _ in 0..cfg.num_clauses {
+        let chosen: Vec<u32> = vars.choose_multiple(&mut rng, cfg.k).copied().collect();
+        cnf.add_clause(chosen.into_iter().map(|v| Var(v).lit(rng.gen_bool(0.5))));
+    }
+    cnf
+}
+
+/// Generate a *forced-satisfiable* random k-SAT instance: a hidden random
+/// assignment is drawn first and every clause is required to contain at
+/// least one literal true under it. Useful for benchmarking the SAT path
+/// of reductions without hitting UNSAT blow-ups.
+pub fn gen_forced_sat(cfg: &RandomSatConfig) -> Cnf {
+    assert!(cfg.k as u64 <= cfg.num_vars as u64, "k must not exceed variable count");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let hidden: Vec<bool> = (0..cfg.num_vars).map(|_| rng.gen_bool(0.5)).collect();
+    let mut cnf = Cnf::new();
+    cnf.reserve_vars(cfg.num_vars);
+    let vars: Vec<u32> = (0..cfg.num_vars).collect();
+    for _ in 0..cfg.num_clauses {
+        loop {
+            let chosen: Vec<u32> = vars.choose_multiple(&mut rng, cfg.k).copied().collect();
+            let lits: Vec<_> =
+                chosen.iter().map(|&v| Var(v).lit(rng.gen_bool(0.5))).collect();
+            let satisfied = lits
+                .iter()
+                .any(|&l| hidden[l.var().index()] == l.is_pos());
+            if satisfied {
+                cnf.add_clause(lits);
+                break;
+            }
+        }
+    }
+    cnf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::Model;
+    use crate::solver::solve_cdcl;
+
+    #[test]
+    fn generates_requested_shape() {
+        let cfg = RandomSatConfig { num_vars: 20, num_clauses: 50, k: 3, seed: 1 };
+        let cnf = gen_random_ksat(&cfg);
+        assert_eq!(cnf.num_vars(), 20);
+        assert_eq!(cnf.num_clauses(), 50);
+        assert!(cnf.clauses().iter().all(|c| c.len() == 3));
+        // Distinct variables within each clause.
+        for c in cnf.clauses() {
+            let mut vars: Vec<u32> = c.iter().map(|l| l.var().0).collect();
+            vars.sort_unstable();
+            vars.dedup();
+            assert_eq!(vars.len(), 3);
+        }
+    }
+
+    #[test]
+    fn forced_sat_is_satisfiable() {
+        for seed in 0..5 {
+            let cfg = RandomSatConfig::three_sat(30, 4.2, seed);
+            let cnf = gen_forced_sat(&cfg);
+            let r = solve_cdcl(&cnf);
+            let m = r.model().expect("forced-sat instance must be satisfiable");
+            assert_eq!(cnf.eval(m), Some(true));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = RandomSatConfig { num_vars: 10, num_clauses: 20, k: 3, seed: 42 };
+        assert_eq!(gen_random_ksat(&cfg).clauses(), gen_random_ksat(&cfg).clauses());
+    }
+
+    #[test]
+    fn hidden_model_satisfies_forced_instances() {
+        // Re-derive the hidden assignment and check it satisfies.
+        let cfg = RandomSatConfig { num_vars: 15, num_clauses: 40, k: 3, seed: 7 };
+        let cnf = gen_forced_sat(&cfg);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let hidden: Vec<bool> = (0..cfg.num_vars).map(|_| rng.gen_bool(0.5)).collect();
+        assert_eq!(cnf.eval(&Model::from_values(hidden)), Some(true));
+    }
+}

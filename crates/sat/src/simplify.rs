@@ -1,0 +1,266 @@
+//! CNF preprocessing: unit propagation, clause subsumption and
+//! self-subsuming resolution (strengthening) — the classic cheap
+//! simplifications run before search. Preserves satisfiability *and*
+//! models over the original variables, so a model of the simplified
+//! formula (extended by the learned units) satisfies the original.
+
+use crate::cnf::Cnf;
+use crate::lit::Lit;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Result of preprocessing.
+pub struct Simplified {
+    /// The simplified formula (same variable numbering).
+    pub cnf: Cnf,
+    /// Literals fixed at toplevel by unit propagation.
+    pub fixed: Vec<Lit>,
+    /// True if preprocessing already proved unsatisfiability.
+    pub unsat: bool,
+    /// Clauses removed by subsumption.
+    pub subsumed: usize,
+    /// Literals removed by self-subsuming resolution.
+    pub strengthened: usize,
+}
+
+/// Preprocess a formula: run toplevel unit propagation to fixpoint, delete
+/// subsumed clauses, and strengthen clauses by self-subsuming resolution,
+/// iterating until no rule applies.
+///
+/// ```
+/// use vermem_sat::{preprocess, Cnf, Lit};
+/// let mut f = Cnf::new();
+/// f.add_clause([Lit::from_dimacs(1)]);
+/// f.add_clause([Lit::from_dimacs(-1), Lit::from_dimacs(2)]);
+/// let s = preprocess(&f);
+/// assert!(!s.unsat);
+/// assert_eq!(s.fixed.len(), 2); // both variables forced
+/// ```
+pub fn preprocess(cnf: &Cnf) -> Simplified {
+    let mut clauses: Vec<BTreeSet<Lit>> = cnf
+        .clauses()
+        .iter()
+        .map(|c| c.iter().copied().collect())
+        .collect();
+    // Drop tautologies immediately.
+    clauses.retain(|c| !c.iter().any(|&l| c.contains(&!l)));
+
+    // A pre-existing empty clause is already a refutation.
+    if clauses.iter().any(BTreeSet::is_empty) {
+        return Simplified {
+            cnf: Cnf::new(),
+            fixed: Vec::new(),
+            unsat: true,
+            subsumed: 0,
+            strengthened: 0,
+        };
+    }
+
+    let mut fixed: BTreeMap<u32, Lit> = BTreeMap::new();
+    let mut subsumed = 0usize;
+    let mut strengthened = 0usize;
+
+    loop {
+        let mut changed = false;
+
+        // 1. Toplevel unit propagation.
+        loop {
+            let unit = clauses.iter().find(|c| c.len() == 1).map(|c| *c.iter().next().unwrap());
+            let Some(u) = unit else { break };
+            match fixed.get(&u.var().0) {
+                Some(&prev) if prev != u => {
+                    return Simplified {
+                        cnf: Cnf::new(),
+                        fixed: fixed.into_values().collect(),
+                        unsat: true,
+                        subsumed,
+                        strengthened,
+                    };
+                }
+                _ => {}
+            }
+            fixed.insert(u.var().0, u);
+            let mut next = Vec::with_capacity(clauses.len());
+            for mut c in clauses.drain(..) {
+                if c.contains(&u) {
+                    continue; // satisfied
+                }
+                if c.remove(&!u) && c.is_empty() {
+                    return Simplified {
+                        cnf: Cnf::new(),
+                        fixed: fixed.into_values().collect(),
+                        unsat: true,
+                        subsumed,
+                        strengthened,
+                    };
+                }
+                next.push(c);
+            }
+            clauses = next;
+            changed = true;
+        }
+
+        // 2. Subsumption: drop any clause that is a superset of another.
+        clauses.sort_by_key(BTreeSet::len);
+        let mut kept: Vec<BTreeSet<Lit>> = Vec::with_capacity(clauses.len());
+        'outer: for c in clauses.drain(..) {
+            for k in &kept {
+                if k.is_subset(&c) {
+                    subsumed += 1;
+                    changed = true;
+                    continue 'outer;
+                }
+            }
+            kept.push(c);
+        }
+        clauses = kept;
+
+        // 3. Self-subsuming resolution: if C = A ∪ {l} and D ⊇ A ∪ {¬l}
+        //    with D \ {¬l} ⊇ A, then D can be strengthened to D \ {¬l}.
+        //    (Equivalently: resolving C with D on l yields a clause that
+        //    subsumes D.)
+        let snapshot: Vec<BTreeSet<Lit>> = clauses.clone();
+        for d in clauses.iter_mut() {
+            let lits: Vec<Lit> = d.iter().copied().collect();
+            for &l in &lits {
+                // Find a clause C with ¬l whose remainder is inside D \ {l}.
+                let strengthens = snapshot.iter().any(|c| {
+                    c.contains(&!l)
+                        && c.len() <= d.len()
+                        && c.iter().all(|&x| x == !l || (x != l && d.contains(&x)))
+                });
+                if strengthens {
+                    d.remove(&l);
+                    strengthened += 1;
+                    changed = true;
+                    break; // re-examined on the next outer iteration
+                }
+            }
+        }
+
+        if !changed {
+            break;
+        }
+    }
+
+    let mut out = Cnf::new();
+    out.reserve_vars(cnf.num_vars());
+    for u in fixed.values() {
+        out.add_clause([*u]);
+    }
+    for c in &clauses {
+        out.add_clause(c.iter().copied());
+    }
+    Simplified {
+        cnf: out,
+        fixed: fixed.into_values().collect(),
+        unsat: false,
+        subsumed,
+        strengthened,
+    }
+}
+
+/// Preprocess, then run the CDCL solver on the residue. Equivalent to
+/// [`crate::solve_cdcl`] but often faster on redundant encodings; the
+/// returned model (if any) covers the original variables.
+pub fn solve_with_preprocessing(cnf: &Cnf) -> crate::SatResult {
+    let s = preprocess(cnf);
+    if s.unsat {
+        return crate::SatResult::Unsat;
+    }
+    crate::solve_cdcl(&s.cnf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lit::Var;
+    use crate::solver::solve_cdcl;
+
+    fn cnf(clauses: &[&[i64]]) -> Cnf {
+        let mut f = Cnf::new();
+        for c in clauses {
+            f.add_clause(c.iter().map(|&x| Lit::from_dimacs(x)));
+        }
+        f
+    }
+
+    #[test]
+    fn unit_propagation_fixes_literals() {
+        let s = preprocess(&cnf(&[&[1], &[-1, 2], &[-2, 3]]));
+        assert!(!s.unsat);
+        assert_eq!(s.fixed.len(), 3); // x1, x2, x3 all forced true
+        assert!(s.fixed.contains(&Var(2).pos()));
+    }
+
+    #[test]
+    fn detects_toplevel_conflict() {
+        assert!(preprocess(&cnf(&[&[1], &[-1]])).unsat);
+        assert!(preprocess(&cnf(&[&[1], &[-1, 2], &[-1, -2]])).unsat);
+    }
+
+    #[test]
+    fn subsumption_removes_supersets() {
+        let s = preprocess(&cnf(&[&[1, 2], &[1, 2, 3], &[1, 2, 4]]));
+        assert_eq!(s.subsumed, 2);
+        assert_eq!(s.cnf.num_clauses(), 1);
+    }
+
+    #[test]
+    fn self_subsumption_strengthens() {
+        // (a ∨ b) and (¬a ∨ b ∨ c): resolving on a gives (b ∨ c) ⊂ second?
+        // No — strengthening drops ¬a? C=(a∨b), D=(¬a∨b∨c): C\{a}={b}⊆D,
+        // so D strengthens to (b∨c).
+        let s = preprocess(&cnf(&[&[1, 2], &[-1, 2, 3]]));
+        assert!(s.strengthened >= 1, "expected strengthening, got {}", s.strengthened);
+        // All clauses now have ≤ 2 literals.
+        assert!(s.cnf.clauses().iter().all(|c| c.len() <= 2));
+    }
+
+    #[test]
+    fn preserves_satisfiability_on_random_instances() {
+        use crate::random::{gen_random_ksat, RandomSatConfig};
+        for seed in 0..60 {
+            let f = gen_random_ksat(&RandomSatConfig::three_sat(12, 4.26, 7_000 + seed));
+            let s = preprocess(&f);
+            let before = solve_cdcl(&f).is_sat();
+            let after = if s.unsat { false } else { solve_cdcl(&s.cnf).is_sat() };
+            assert_eq!(before, after, "seed {seed}");
+            // Models of the simplified formula satisfy the original.
+            if let (false, Some(m)) = (s.unsat, solve_cdcl(&s.cnf).model()) {
+                assert_eq!(f.eval(m), Some(true), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_trivial_inputs() {
+        let s = preprocess(&Cnf::new());
+        assert!(!s.unsat);
+        assert_eq!(s.cnf.num_clauses(), 0);
+        let mut f = Cnf::new();
+        f.add_clause([]);
+        assert!(preprocess(&f).unsat);
+    }
+
+    #[test]
+    fn solve_with_preprocessing_agrees_with_plain_cdcl() {
+        use crate::random::{gen_random_ksat, RandomSatConfig};
+        for seed in 0..40 {
+            let f = gen_random_ksat(&RandomSatConfig::three_sat(15, 4.26, 9_000 + seed));
+            let plain = solve_cdcl(&f).is_sat();
+            let pre = super::solve_with_preprocessing(&f);
+            assert_eq!(plain, pre.is_sat(), "seed {seed}");
+            if let Some(m) = pre.model() {
+                assert_eq!(f.eval(m), Some(true), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn tautologies_are_dropped() {
+        let s = preprocess(&cnf(&[&[1, -1], &[2]]));
+        assert!(!s.unsat);
+        // Only the unit for x2 remains.
+        assert_eq!(s.cnf.num_clauses(), 1);
+    }
+}

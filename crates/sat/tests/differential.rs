@@ -1,0 +1,117 @@
+//! Differential testing of the CDCL solver against the DPLL baseline and
+//! brute-force enumeration on random small formulas.
+
+use proptest::prelude::*;
+use vermem_sat::{solve_cdcl, solve_dpll, Cnf, Lit, Model, Var};
+
+/// Brute-force satisfiability for small variable counts.
+fn brute_force_sat(cnf: &Cnf) -> bool {
+    let n = cnf.num_vars();
+    assert!(n <= 16, "brute force only for small instances");
+    (0..(1u32 << n)).any(|bits| {
+        let model = Model::from_values((0..n).map(|i| bits >> i & 1 == 1).collect());
+        cnf.eval(&model) == Some(true)
+    })
+}
+
+fn arb_cnf(max_vars: u32, max_clauses: usize) -> impl Strategy<Value = Cnf> {
+    let clause = prop::collection::vec((0..max_vars, any::<bool>()), 0..=3);
+    prop::collection::vec(clause, 0..=max_clauses).prop_map(move |clauses| {
+        let mut cnf = Cnf::new();
+        cnf.reserve_vars(max_vars);
+        for c in clauses {
+            cnf.add_clause(c.into_iter().map(|(v, sign)| Var(v).lit(sign)));
+        }
+        cnf
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn cdcl_agrees_with_brute_force(cnf in arb_cnf(8, 24)) {
+        let expected = brute_force_sat(&cnf);
+        let result = solve_cdcl(&cnf);
+        prop_assert_eq!(result.is_sat(), expected);
+        if let Some(m) = result.model() {
+            prop_assert_eq!(cnf.eval(m), Some(true));
+        }
+    }
+
+    #[test]
+    fn dpll_agrees_with_cdcl(cnf in arb_cnf(10, 30)) {
+        let cdcl = solve_cdcl(&cnf);
+        let dpll = solve_dpll(&cnf);
+        prop_assert_eq!(cdcl.is_sat(), dpll.is_sat());
+        if let Some(m) = dpll.model() {
+            prop_assert_eq!(cnf.eval(m), Some(true));
+        }
+    }
+
+    #[test]
+    fn random_3sat_models_verify(seed in 0u64..500) {
+        let cfg = vermem_sat::random::RandomSatConfig::three_sat(25, 3.0, seed);
+        let cnf = vermem_sat::random::gen_random_ksat(&cfg);
+        if let Some(m) = solve_cdcl(&cnf).model() {
+            prop_assert_eq!(cnf.eval(m), Some(true));
+        }
+    }
+}
+
+#[test]
+fn phase_transition_instances_both_directions() {
+    // Near the 3-SAT phase transition both SAT and UNSAT instances occur;
+    // CDCL and DPLL must agree on all of them.
+    let mut sat_seen = 0;
+    let mut unsat_seen = 0;
+    for seed in 0..30 {
+        let cfg = vermem_sat::random::RandomSatConfig::three_sat(30, 4.26, seed);
+        let cnf = vermem_sat::random::gen_random_ksat(&cfg);
+        let cdcl = solve_cdcl(&cnf);
+        let dpll = solve_dpll(&cnf);
+        assert_eq!(cdcl.is_sat(), dpll.is_sat(), "seed {seed}");
+        if cdcl.is_sat() {
+            sat_seen += 1;
+        } else {
+            unsat_seen += 1;
+        }
+    }
+    assert!(sat_seen > 0, "expected some satisfiable instances");
+    assert!(unsat_seen > 0, "expected some unsatisfiable instances");
+}
+
+#[test]
+fn unit_chain_forces_model() {
+    // x0, x0→x1, ..., x(n-1)→xn: all true.
+    let n = 50u32;
+    let mut cnf = Cnf::new();
+    cnf.reserve_vars(n);
+    cnf.add_clause([Var(0).pos()]);
+    for i in 0..n - 1 {
+        cnf.add_clause([Var(i).neg(), Var(i + 1).pos()]);
+    }
+    let r = solve_cdcl(&cnf);
+    let m = r.model().expect("satisfiable");
+    for i in 0..n {
+        assert_eq!(m.value(Var(i)), Some(true));
+    }
+}
+
+#[test]
+fn dimacs_round_trip_preserves_satisfiability() {
+    for seed in 0..10 {
+        let cfg = vermem_sat::random::RandomSatConfig::three_sat(20, 4.0, seed);
+        let cnf = vermem_sat::random::gen_random_ksat(&cfg);
+        let text = vermem_sat::dimacs::write_dimacs(&cnf);
+        let parsed = vermem_sat::dimacs::parse_dimacs(&text).expect("round trip");
+        assert_eq!(solve_cdcl(&cnf).is_sat(), solve_cdcl(&parsed).is_sat());
+    }
+}
+
+#[test]
+fn lit_api_consistency() {
+    let l = Lit::from_dimacs(5);
+    assert_eq!(l.var(), Var(4));
+    assert!(l.is_pos());
+}

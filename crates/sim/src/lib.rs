@@ -1,0 +1,42 @@
+//! # vermem-sim
+//!
+//! An executable multiprocessor memory-system substrate for the `vermem`
+//! verifier suite: per-CPU MESI caches on an atomic snooping bus over a
+//! word-granular shared memory, with optional TSO store buffers
+//! (store-to-load forwarding) and deterministic protocol fault injection.
+//!
+//! The paper motivates its complexity study with *dynamic verification*:
+//! checking the execution of real (possibly faulty) memory-system hardware.
+//! This crate plays the role of that hardware. It produces exactly the
+//! verifiers' input — per-process operation [traces](vermem_trace::Trace)
+//! in program order with observed values — plus the per-address committed
+//! **write order**, the §5.2 augmentation under which coherence checking is
+//! polynomial.
+//!
+//! Simplifications (documented substitutions per DESIGN.md): lines hold a
+//! single word (so coherence is word-granular and captured values are
+//! exact), and bus transactions are atomic (the classic textbook snooping
+//! model). Neither affects the verifier-facing semantics: the machine is
+//! sequentially consistent without store buffers, TSO with them, and
+//! injected faults produce precisely the violation classes the verifiers
+//! are designed to catch.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cache;
+pub mod directory;
+pub mod fault;
+pub mod machine;
+pub mod mesi;
+pub mod program;
+pub mod workload;
+
+pub use directory::{DirState, DirectoryConfig, DirectoryMachine};
+pub use fault::{FaultKind, FaultPlan};
+pub use machine::{CapturedExecution, Machine, MachineConfig, MachineStats};
+pub use mesi::MesiState;
+pub use program::{Instr, Program, RmwKind};
+pub use workload::{
+    ping_pong, producer_consumer, random_program, shared_counter, WorkloadConfig,
+};

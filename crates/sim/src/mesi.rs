@@ -1,0 +1,138 @@
+//! MESI cache-line states and snoop transition logic.
+
+use std::fmt;
+
+/// The four MESI states of a cache line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MesiState {
+    /// Modified: this cache holds the only, dirty copy.
+    Modified,
+    /// Exclusive: this cache holds the only, clean copy.
+    Exclusive,
+    /// Shared: one of possibly several clean copies.
+    Shared,
+    /// Invalid: no valid copy.
+    Invalid,
+}
+
+impl MesiState {
+    /// The line holds usable data.
+    pub fn is_valid(&self) -> bool {
+        !matches!(self, MesiState::Invalid)
+    }
+
+    /// The line may be written without a bus transaction.
+    pub fn can_write_silently(&self) -> bool {
+        matches!(self, MesiState::Modified | MesiState::Exclusive)
+    }
+
+    /// The line must be written back on eviction or remote read.
+    pub fn is_dirty(&self) -> bool {
+        matches!(self, MesiState::Modified)
+    }
+}
+
+impl fmt::Display for MesiState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            MesiState::Modified => 'M',
+            MesiState::Exclusive => 'E',
+            MesiState::Shared => 'S',
+            MesiState::Invalid => 'I',
+        };
+        write!(f, "{c}")
+    }
+}
+
+/// Bus transactions a processor can issue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BusTransaction {
+    /// Read miss: request a shared copy.
+    BusRd,
+    /// Write miss: request an exclusive copy (invalidating others).
+    BusRdX,
+    /// Write hit on a Shared line: invalidate other copies without a data
+    /// transfer.
+    BusUpgr,
+}
+
+/// What a snooping cache must do when it observes a transaction on a line
+/// it holds in the given state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SnoopAction {
+    /// New state for the snooped line.
+    pub next_state: MesiState,
+    /// The snooper must supply/flush its (dirty) data.
+    pub flush: bool,
+}
+
+/// MESI snoop transition: state of the *snooping* cache's line when another
+/// processor issues `txn` on the same address.
+pub fn snoop_transition(state: MesiState, txn: BusTransaction) -> SnoopAction {
+    use BusTransaction::*;
+    use MesiState::*;
+    match (state, txn) {
+        (Modified, BusRd) => SnoopAction { next_state: Shared, flush: true },
+        (Modified, BusRdX) => SnoopAction { next_state: Invalid, flush: true },
+        (Modified, BusUpgr) => {
+            // Cannot occur in a correct protocol: BusUpgr implies the issuer
+            // holds Shared, which excludes a remote Modified copy. Treated
+            // as invalidate-with-flush for robustness under fault injection.
+            SnoopAction { next_state: Invalid, flush: true }
+        }
+        (Exclusive, BusRd) => SnoopAction { next_state: Shared, flush: false },
+        (Exclusive, BusRdX | BusUpgr) => SnoopAction { next_state: Invalid, flush: false },
+        (Shared, BusRd) => SnoopAction { next_state: Shared, flush: false },
+        (Shared, BusRdX | BusUpgr) => SnoopAction { next_state: Invalid, flush: false },
+        (Invalid, _) => SnoopAction { next_state: Invalid, flush: false },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use BusTransaction::*;
+    use MesiState::*;
+
+    #[test]
+    fn state_predicates() {
+        assert!(Modified.is_valid() && Modified.is_dirty() && Modified.can_write_silently());
+        assert!(Exclusive.is_valid() && !Exclusive.is_dirty() && Exclusive.can_write_silently());
+        assert!(Shared.is_valid() && !Shared.can_write_silently());
+        assert!(!Invalid.is_valid());
+    }
+
+    #[test]
+    fn modified_flushes_on_remote_read() {
+        let a = snoop_transition(Modified, BusRd);
+        assert_eq!(a, SnoopAction { next_state: Shared, flush: true });
+    }
+
+    #[test]
+    fn modified_flushes_and_invalidates_on_remote_write() {
+        let a = snoop_transition(Modified, BusRdX);
+        assert_eq!(a, SnoopAction { next_state: Invalid, flush: true });
+    }
+
+    #[test]
+    fn shared_invalidates_on_upgrade() {
+        let a = snoop_transition(Shared, BusUpgr);
+        assert_eq!(a, SnoopAction { next_state: Invalid, flush: false });
+    }
+
+    #[test]
+    fn exclusive_downgrades_quietly() {
+        let a = snoop_transition(Exclusive, BusRd);
+        assert_eq!(a, SnoopAction { next_state: Shared, flush: false });
+    }
+
+    #[test]
+    fn invalid_ignores_everything() {
+        for txn in [BusRd, BusRdX, BusUpgr] {
+            assert_eq!(
+                snoop_transition(Invalid, txn),
+                SnoopAction { next_state: Invalid, flush: false }
+            );
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Property tests for the simulators: for *arbitrary* programs, the
+//! snooping machine without store buffers is sequentially consistent, the
+//! TSO machine satisfies TSO, the directory machine is SC, and both
+//! capture write orders that re-verify through the §5.2 fast path.
+
+use proptest::prelude::*;
+use vermem_sim::{
+    DirectoryConfig, DirectoryMachine, Instr, Machine, MachineConfig, Program, RmwKind,
+};
+use vermem_trace::{Addr, Value};
+
+fn arb_instr(addrs: u32, next_val: std::rc::Rc<std::cell::Cell<u64>>) -> impl Strategy<Value = Instr> {
+    (0u8..10, 0..addrs).prop_map(move |(kind, a)| {
+        let addr = Addr(a);
+        match kind {
+            0..=3 => Instr::Read(addr),
+            4..=6 => {
+                let v = next_val.get();
+                next_val.set(v + 1);
+                Instr::Write(addr, Value(v))
+            }
+            7 => Instr::Rmw(addr, RmwKind::Increment),
+            8 => Instr::Rmw(addr, RmwKind::Swap(Value(1_000_000 + u64::from(a)))),
+            _ => Instr::Fence,
+        }
+    })
+}
+
+fn arb_program() -> impl Strategy<Value = Program> {
+    let next_val = std::rc::Rc::new(std::cell::Cell::new(1u64));
+    prop::collection::vec(
+        prop::collection::vec(arb_instr(3, next_val.clone()), 0..12),
+        1..4,
+    )
+    .prop_map(Program::from_streams)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn snooping_sc_machine_is_sequentially_consistent(
+        program in arb_program(),
+        seed in 0u64..1000,
+    ) {
+        let cap = Machine::run(&program, MachineConfig { seed, ..Default::default() });
+        let v = vermem_consistency::solve_sc_backtracking(
+            &cap.trace,
+            &vermem_consistency::VscConfig::default(),
+        );
+        prop_assert!(v.is_consistent(), "trace: {:?}", cap.trace);
+    }
+
+    #[test]
+    fn tso_machine_satisfies_tso(program in arb_program(), seed in 0u64..1000) {
+        let cap = Machine::run(
+            &program,
+            MachineConfig { store_buffers: true, seed, ..Default::default() },
+        );
+        let v = vermem_consistency::solve_model_sat(
+            &cap.trace,
+            vermem_consistency::MemoryModel::Tso,
+        );
+        prop_assert!(v.is_consistent(), "trace: {:?}", cap.trace);
+    }
+
+    #[test]
+    fn directory_machine_is_sequentially_consistent(
+        program in arb_program(),
+        seed in 0u64..1000,
+    ) {
+        let cap = DirectoryMachine::run(&program, DirectoryConfig { seed, ..Default::default() });
+        let v = vermem_consistency::solve_sc_backtracking(
+            &cap.trace,
+            &vermem_consistency::VscConfig::default(),
+        );
+        prop_assert!(v.is_consistent(), "trace: {:?}", cap.trace);
+    }
+
+    #[test]
+    fn write_orders_reverify_on_both_machines(program in arb_program(), seed in 0u64..500) {
+        let snoop = Machine::run(&program, MachineConfig { seed, ..Default::default() });
+        for (addr, order) in &snoop.write_order {
+            prop_assert!(
+                vermem_coherence::solve_with_write_order(&snoop.trace, *addr, order)
+                    .is_coherent()
+            );
+        }
+        let dir = DirectoryMachine::run(&program, DirectoryConfig { seed, ..Default::default() });
+        for (addr, order) in &dir.write_order {
+            prop_assert!(
+                vermem_coherence::solve_with_write_order(&dir.trace, *addr, order)
+                    .is_coherent()
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_caches_stay_coherent(program in arb_program(), seed in 0u64..200) {
+        // A single-line cache maximizes evictions and writebacks.
+        let cap = Machine::run(
+            &program,
+            MachineConfig { cache_lines: 1, seed, ..Default::default() },
+        );
+        prop_assert!(vermem_coherence::verify_execution(&cap.trace).is_coherent());
+    }
+}

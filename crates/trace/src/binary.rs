@@ -1,0 +1,225 @@
+//! Compact binary encoding of traces, for storing large captured executions.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic   u32 = 0x564D_454D ("VMEM")
+//! version u16 = 1
+//! procs   u16
+//! n_init  u32   then n_init  × (addr u32, value u64)
+//! n_final u32   then n_final × (addr u32, value u64)
+//! per process: n_ops u32, then n_ops × op
+//! op: tag u8 (0=R, 1=W, 2=RW), addr u32, value(s) u64 [×2 for RW]
+//! ```
+
+use crate::history::ProcessHistory;
+use crate::op::{Addr, Op, Value};
+use crate::trace::Trace;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const MAGIC: u32 = 0x564D_454D;
+const VERSION: u16 = 1;
+
+/// A decode failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Input does not start with the expected magic number.
+    BadMagic(u32),
+    /// Unsupported format version.
+    BadVersion(u16),
+    /// Input ended before the structure was complete.
+    Truncated,
+    /// Unknown operation tag byte.
+    BadOpTag(u8),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadMagic(m) => write!(f, "bad magic 0x{m:08x}"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported version {v}"),
+            DecodeError::Truncated => write!(f, "truncated input"),
+            DecodeError::BadOpTag(t) => write!(f, "unknown op tag {t}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Serialize a trace to the binary format.
+pub fn encode_trace(trace: &Trace) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64 + trace.num_ops() * 13);
+    buf.put_u32_le(MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u16_le(trace.num_procs() as u16);
+    buf.put_u32_le(trace.initial_values().len() as u32);
+    for (&addr, &value) in trace.initial_values() {
+        buf.put_u32_le(addr.0);
+        buf.put_u64_le(value.0);
+    }
+    buf.put_u32_le(trace.final_values().len() as u32);
+    for (&addr, &value) in trace.final_values() {
+        buf.put_u32_le(addr.0);
+        buf.put_u64_le(value.0);
+    }
+    for h in trace.histories() {
+        buf.put_u32_le(h.len() as u32);
+        for op in h.iter() {
+            match op {
+                Op::Read { addr, value } => {
+                    buf.put_u8(0);
+                    buf.put_u32_le(addr.0);
+                    buf.put_u64_le(value.0);
+                }
+                Op::Write { addr, value } => {
+                    buf.put_u8(1);
+                    buf.put_u32_le(addr.0);
+                    buf.put_u64_le(value.0);
+                }
+                Op::Rmw { addr, read, write } => {
+                    buf.put_u8(2);
+                    buf.put_u32_le(addr.0);
+                    buf.put_u64_le(read.0);
+                    buf.put_u64_le(write.0);
+                }
+            }
+        }
+    }
+    buf.freeze()
+}
+
+/// Deserialize a trace from the binary format.
+pub fn decode_trace(mut input: &[u8]) -> Result<Trace, DecodeError> {
+    fn need(input: &[u8], n: usize) -> Result<(), DecodeError> {
+        if input.remaining() < n {
+            Err(DecodeError::Truncated)
+        } else {
+            Ok(())
+        }
+    }
+
+    need(input, 8)?;
+    let magic = input.get_u32_le();
+    if magic != MAGIC {
+        return Err(DecodeError::BadMagic(magic));
+    }
+    let version = input.get_u16_le();
+    if version != VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let procs = input.get_u16_le() as usize;
+
+    let mut trace = Trace::new();
+    need(input, 4)?;
+    let n_init = input.get_u32_le();
+    for _ in 0..n_init {
+        need(input, 12)?;
+        let addr = Addr(input.get_u32_le());
+        let value = Value(input.get_u64_le());
+        trace.set_initial(addr, value);
+    }
+    need(input, 4)?;
+    let n_final = input.get_u32_le();
+    for _ in 0..n_final {
+        need(input, 12)?;
+        let addr = Addr(input.get_u32_le());
+        let value = Value(input.get_u64_le());
+        trace.set_final(addr, value);
+    }
+    for _ in 0..procs {
+        need(input, 4)?;
+        let n_ops = input.get_u32_le();
+        let mut h = ProcessHistory::new();
+        for _ in 0..n_ops {
+            need(input, 1)?;
+            let tag = input.get_u8();
+            let op = match tag {
+                0 => {
+                    need(input, 12)?;
+                    Op::Read { addr: Addr(input.get_u32_le()), value: Value(input.get_u64_le()) }
+                }
+                1 => {
+                    need(input, 12)?;
+                    Op::Write { addr: Addr(input.get_u32_le()), value: Value(input.get_u64_le()) }
+                }
+                2 => {
+                    need(input, 20)?;
+                    Op::Rmw {
+                        addr: Addr(input.get_u32_le()),
+                        read: Value(input.get_u64_le()),
+                        write: Value(input.get_u64_le()),
+                    }
+                }
+                t => return Err(DecodeError::BadOpTag(t)),
+            };
+            h.push(op);
+        }
+        trace.push_history(h);
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{gen_sc_trace, GenConfig};
+    use crate::trace::TraceBuilder;
+
+    #[test]
+    fn round_trip_small() {
+        let t = TraceBuilder::new()
+            .proc([Op::write(0u32, 1u64), Op::rmw(1u32, 0u64, 5u64)])
+            .proc([Op::read(0u32, 1u64)])
+            .initial(1u32, 3u64)
+            .final_value(0u32, 1u64)
+            .build();
+        let bytes = encode_trace(&t);
+        assert_eq!(decode_trace(&bytes).unwrap(), t);
+    }
+
+    #[test]
+    fn round_trip_generated() {
+        let (t, _) = gen_sc_trace(&GenConfig {
+            procs: 5,
+            total_ops: 200,
+            addrs: 4,
+            rmw_fraction: 0.2,
+            ..Default::default()
+        });
+        assert_eq!(decode_trace(&encode_trace(&t)).unwrap(), t);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        assert_eq!(decode_trace(&[0u8; 16]), Err(DecodeError::BadMagic(0)));
+    }
+
+    #[test]
+    fn rejects_truncation_everywhere() {
+        let t = TraceBuilder::new().proc([Op::w(1u64)]).initial(0u32, 2u64).build();
+        let bytes = encode_trace(&t);
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_trace(&bytes[..cut]).is_err(),
+                "prefix of length {cut} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let t = Trace::new();
+        let mut bytes = encode_trace(&t).to_vec();
+        bytes[4] = 0xFF;
+        assert!(matches!(decode_trace(&bytes), Err(DecodeError::BadVersion(_))));
+    }
+
+    #[test]
+    fn rejects_bad_op_tag() {
+        let t = TraceBuilder::new().proc([Op::w(1u64)]).build();
+        let mut bytes = encode_trace(&t).to_vec();
+        // op tag is right after header(8) + n_init(4) + n_final(4) + n_ops(4)
+        bytes[20] = 9;
+        assert_eq!(decode_trace(&bytes), Err(DecodeError::BadOpTag(9)));
+    }
+}

@@ -1,0 +1,184 @@
+//! Process histories: the per-processor, program-ordered operation sequences
+//! that make up an execution trace (§3 of the paper).
+
+use crate::op::{Addr, Op, Value};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A sequence of memory operations issued by one process, in program order,
+/// including the values read/written by each operation.
+#[derive(Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ProcessHistory {
+    ops: Vec<Op>,
+}
+
+impl ProcessHistory {
+    /// An empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build a history from an operation sequence (program order).
+    pub fn from_ops(ops: impl IntoIterator<Item = Op>) -> Self {
+        ProcessHistory { ops: ops.into_iter().collect() }
+    }
+
+    /// Append an operation at the end of program order.
+    pub fn push(&mut self, op: Op) {
+        self.ops.push(op);
+    }
+
+    /// Number of operations in the history.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if the history contains no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The operations in program order.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// The operation at program-order position `index`.
+    pub fn op(&self, index: usize) -> Option<Op> {
+        self.ops.get(index).copied()
+    }
+
+    /// Iterate over operations in program order.
+    pub fn iter(&self) -> impl Iterator<Item = Op> + '_ {
+        self.ops.iter().copied()
+    }
+
+    /// The set of distinct addresses touched by this history, sorted.
+    pub fn addresses(&self) -> Vec<Addr> {
+        let mut addrs: Vec<Addr> = self.ops.iter().map(|o| o.addr()).collect();
+        addrs.sort_unstable();
+        addrs.dedup();
+        addrs
+    }
+
+    /// A new history containing only the operations to `addr`, preserving
+    /// program order. This is the per-address projection used to turn a
+    /// multi-location trace into single-location VMC instances.
+    pub fn project(&self, addr: Addr) -> ProcessHistory {
+        ProcessHistory { ops: self.ops.iter().copied().filter(|o| o.addr() == addr).collect() }
+    }
+
+    /// True if every operation in the history is an atomic read-modify-write.
+    pub fn is_all_rmw(&self) -> bool {
+        self.ops.iter().all(|o| o.is_rmw())
+    }
+
+    /// Count of operations with a write component.
+    pub fn write_count(&self) -> usize {
+        self.ops.iter().filter(|o| o.is_writing()).count()
+    }
+
+    /// Count of operations with a read component.
+    pub fn read_count(&self) -> usize {
+        self.ops.iter().filter(|o| o.is_reading()).count()
+    }
+
+    /// All values written by this history (with multiplicity, program order).
+    pub fn written_values(&self) -> impl Iterator<Item = Value> + '_ {
+        self.ops.iter().filter_map(|o| o.written_value())
+    }
+
+    /// Mutable access for in-place mutation (used by violation injectors).
+    pub(crate) fn ops_mut(&mut self) -> &mut Vec<Op> {
+        &mut self.ops
+    }
+}
+
+impl fmt::Debug for ProcessHistory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for op in &self.ops {
+            if !first {
+                write!(f, " ")?;
+            }
+            write!(f, "{op:?}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Op> for ProcessHistory {
+    fn from_iter<T: IntoIterator<Item = Op>>(iter: T) -> Self {
+        ProcessHistory::from_ops(iter)
+    }
+}
+
+impl IntoIterator for ProcessHistory {
+    type Item = Op;
+    type IntoIter = std::vec::IntoIter<Op>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.ops.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a ProcessHistory {
+    type Item = &'a Op;
+    type IntoIter = std::slice::Iter<'a, Op>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.ops.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ProcessHistory {
+        ProcessHistory::from_ops([
+            Op::write(0u32, 1u64),
+            Op::read(1u32, 0u64),
+            Op::rmw(0u32, 1u64, 2u64),
+        ])
+    }
+
+    #[test]
+    fn len_and_indexing() {
+        let h = sample();
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.op(1), Some(Op::read(1u32, 0u64)));
+        assert_eq!(h.op(3), None);
+    }
+
+    #[test]
+    fn projection_preserves_program_order() {
+        let h = sample();
+        let p = h.project(Addr(0));
+        assert_eq!(p.ops(), &[Op::write(0u32, 1u64), Op::rmw(0u32, 1u64, 2u64)]);
+    }
+
+    #[test]
+    fn projection_to_untouched_address_is_empty() {
+        assert!(sample().project(Addr(7)).is_empty());
+    }
+
+    #[test]
+    fn addresses_are_sorted_and_deduped() {
+        assert_eq!(sample().addresses(), vec![Addr(0), Addr(1)]);
+    }
+
+    #[test]
+    fn counts() {
+        let h = sample();
+        assert_eq!(h.write_count(), 2); // W and RMW
+        assert_eq!(h.read_count(), 2); // R and RMW
+        assert!(!h.is_all_rmw());
+        assert!(ProcessHistory::from_ops([Op::rw(0u64, 1u64)]).is_all_rmw());
+    }
+
+    #[test]
+    fn written_values_includes_rmw_write_component() {
+        let vals: Vec<Value> = sample().written_values().collect();
+        assert_eq!(vals, vec![Value(1), Value(2)]);
+    }
+}

@@ -1,0 +1,44 @@
+//! # vermem-trace
+//!
+//! The execution-trace substrate for the `vermem` verifier suite, which
+//! reproduces *“The Complexity of Verifying Memory Coherence and
+//! Consistency”* (Cantin, Lipasti & Smith; SPAA 2003 brief announcement and
+//! UW-Madison TR ECE-03-01).
+//!
+//! This crate models:
+//!
+//! * memory [operations](Op) — `R(a,d)`, `W(a,d)`, `RW(a,d_r,d_w)` (§3);
+//! * [process histories](ProcessHistory) — per-processor program-ordered
+//!   operation sequences;
+//! * [traces](Trace) — sets of histories with initial (`d_I`) and final
+//!   (`d_F`) values, with per-address projection;
+//! * [schedules](Schedule) — interleavings, plus the polynomial certificate
+//!   checkers of Theorem 4.2 ([`check_coherent_schedule`],
+//!   [`check_sc_schedule`]);
+//! * the [Figure 5.3 classifier](classify) mapping instances to the paper's
+//!   complexity table;
+//! * [workload generators and violation injectors](gen);
+//! * [text](fmt) and [binary (`binary` module)](binary) trace formats.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod binary;
+pub mod classify;
+pub mod fmt;
+pub mod gen;
+mod history;
+mod op;
+pub mod readmap_util;
+mod schedule;
+pub mod stats;
+mod trace;
+
+pub use history::ProcessHistory;
+pub use readmap_util::{read_mapping, write_orders, ReadSource};
+pub use op::{Addr, Op, OpRef, ProcId, Value};
+pub use schedule::{
+    check_coherent_schedule, check_sc_schedule, is_coherent_schedule, is_sc_schedule, Schedule,
+    ScheduleError,
+};
+pub use trace::{Trace, TraceBuilder};

@@ -1,0 +1,416 @@
+//! Schedules (interleavings) and the polynomial-time certificate checkers of
+//! Theorem 4.2: given a schedule, decide whether it is a *coherent schedule*
+//! (single address, §3) or a *sequentially consistent schedule* (all
+//! addresses, Definition 6.1).
+
+use crate::op::{Addr, Op, OpRef, Value};
+use crate::trace::Trace;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A schedule: a total order over (a subset of) the operations of a trace,
+/// given as [`OpRef`]s into that trace.
+#[derive(Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schedule {
+    order: Vec<OpRef>,
+}
+
+impl Schedule {
+    /// An empty schedule.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from an explicit order of operation references.
+    pub fn from_refs(order: impl IntoIterator<Item = OpRef>) -> Self {
+        Schedule { order: order.into_iter().collect() }
+    }
+
+    /// Append the next operation.
+    pub fn push(&mut self, op_ref: OpRef) {
+        self.order.push(op_ref);
+    }
+
+    /// The schedule order.
+    pub fn refs(&self) -> &[OpRef] {
+        &self.order
+    }
+
+    /// Number of scheduled operations.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True if nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Resolve the schedule against a trace, yielding `(OpRef, Op)` pairs.
+    /// Returns `None` for the first dangling reference.
+    pub fn resolve<'t>(
+        &'t self,
+        trace: &'t Trace,
+    ) -> impl Iterator<Item = Option<(OpRef, Op)>> + 't {
+        self.order.iter().map(move |&r| trace.op(r).map(|op| (r, op)))
+    }
+}
+
+impl fmt::Debug for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.order.iter()).finish()
+    }
+}
+
+impl FromIterator<OpRef> for Schedule {
+    fn from_iter<T: IntoIterator<Item = OpRef>>(iter: T) -> Self {
+        Schedule::from_refs(iter)
+    }
+}
+
+/// Why a schedule failed validation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// A reference points outside the trace.
+    DanglingRef(OpRef),
+    /// An operation appears more than once.
+    DuplicateOp(OpRef),
+    /// Not every operation of the trace (restricted to the checked address
+    /// set) appears in the schedule.
+    MissingOps {
+        /// Operations the schedule should cover.
+        expected: usize,
+        /// Operations it actually covers.
+        found: usize,
+    },
+    /// Program order violated: `later` was scheduled before `earlier`.
+    ProgramOrder {
+        /// The program-order-earlier operation.
+        earlier: OpRef,
+        /// The program-order-later operation that was scheduled first.
+        later: OpRef,
+    },
+    /// A read returned a value other than the one last written.
+    ReadValue {
+        /// The offending read.
+        read: OpRef,
+        /// The value the schedule makes current at that point.
+        expected: Value,
+        /// The value the read actually returned.
+        actual: Value,
+    },
+    /// The last write to `addr` did not produce the required final value.
+    FinalValue {
+        /// The constrained location.
+        addr: Addr,
+        /// The required final value `d_F`.
+        expected: Value,
+        /// The value the schedule leaves behind.
+        actual: Value,
+    },
+    /// An operation touches an address outside the checked set (only for the
+    /// single-address checker).
+    WrongAddress {
+        /// The offending operation.
+        op: OpRef,
+        /// The unexpected address it touches.
+        addr: Addr,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::DanglingRef(r) => write!(f, "dangling operation reference {r:?}"),
+            ScheduleError::DuplicateOp(r) => write!(f, "operation {r:?} scheduled twice"),
+            ScheduleError::MissingOps { expected, found } => {
+                write!(f, "schedule covers {found} of {expected} operations")
+            }
+            ScheduleError::ProgramOrder { earlier, later } => {
+                write!(f, "program order violated: {later:?} scheduled before {earlier:?}")
+            }
+            ScheduleError::ReadValue { read, expected, actual } => write!(
+                f,
+                "read {read:?} returned {actual:?} but the last write installed {expected:?}"
+            ),
+            ScheduleError::FinalValue { addr, expected, actual } => write!(
+                f,
+                "final value of {addr:?} is {actual:?}, required {expected:?}"
+            ),
+            ScheduleError::WrongAddress { op, addr } => {
+                write!(f, "operation {op:?} touches unexpected address {addr:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// Shared structural validation: the schedule must be a permutation of all
+/// operations of `trace` whose address satisfies `in_scope`, respecting each
+/// process's program order (over in-scope operations only).
+fn check_structure(
+    trace: &Trace,
+    schedule: &Schedule,
+    in_scope: impl Fn(Addr) -> bool,
+) -> Result<(), ScheduleError> {
+    let expected: usize =
+        trace.iter_ops().filter(|(_, op)| in_scope(op.addr())).count();
+    if schedule.len() != expected {
+        // Distinguish dangling/duplicate cases below when possible, but a
+        // plain size mismatch is already an error.
+        if schedule.len() < expected {
+            // fall through: may also be dangling or duplicated; check those
+            // first for a more precise error.
+        }
+    }
+
+    // Track, per process, the next expected program-order position among the
+    // in-scope ops, and detect duplicates with a seen-set.
+    let mut seen: std::collections::BTreeSet<OpRef> = std::collections::BTreeSet::new();
+    let mut last_index: BTreeMap<u16, u32> = BTreeMap::new();
+
+    for &r in schedule.refs() {
+        let op = trace.op(r).ok_or(ScheduleError::DanglingRef(r))?;
+        if !in_scope(op.addr()) {
+            return Err(ScheduleError::WrongAddress { op: r, addr: op.addr() });
+        }
+        if !seen.insert(r) {
+            return Err(ScheduleError::DuplicateOp(r));
+        }
+        if let Some(&prev) = last_index.get(&r.proc.0) {
+            if r.index <= prev {
+                return Err(ScheduleError::ProgramOrder {
+                    earlier: r,
+                    later: OpRef { proc: r.proc, index: prev },
+                });
+            }
+            // Every in-scope op between prev and r.index must have been seen
+            // already — but since in-scope ops of one process must appear in
+            // increasing index order and all must appear, the completeness
+            // check below catches skips.
+        }
+        last_index.insert(r.proc.0, r.index);
+    }
+
+    if schedule.len() != expected {
+        return Err(ScheduleError::MissingOps { expected, found: schedule.len() });
+    }
+
+    // Program order within a process also requires *no skipped in-scope op*:
+    // combined with completeness (exact count + no duplicates + no dangling),
+    // monotone indices per process imply the sequence is exactly the in-scope
+    // subsequence in order.
+    Ok(())
+}
+
+/// Check that `schedule` is a **coherent schedule** for the operations of
+/// `trace` at address `addr` (§3): an interleaving of the per-process
+/// projections in which every read returns the value written by the
+/// immediately preceding write (reads before the first write return the
+/// initial value `d_I`), and — if a final value is configured — the last
+/// write writes `d_F`.
+///
+/// Runs in O(n log n) (set operations); this is the NP certificate checker
+/// from the membership half of Theorem 4.2.
+pub fn check_coherent_schedule(
+    trace: &Trace,
+    addr: Addr,
+    schedule: &Schedule,
+) -> Result<(), ScheduleError> {
+    check_structure(trace, schedule, |a| a == addr)?;
+
+    let mut current = trace.initial(addr);
+    let mut last_write: Option<OpRef> = None;
+    for &r in schedule.refs() {
+        let op = trace.op(r).expect("structure checked");
+        if let Some(read) = op.read_value() {
+            if read != current {
+                return Err(ScheduleError::ReadValue { read: r, expected: current, actual: read });
+            }
+        }
+        if let Some(written) = op.written_value() {
+            current = written;
+            last_write = Some(r);
+        }
+    }
+    if let Some(expected) = trace.final_value(addr) {
+        let actual = current;
+        if actual != expected {
+            let _ = last_write;
+            return Err(ScheduleError::FinalValue { addr, expected, actual });
+        }
+    }
+    Ok(())
+}
+
+/// Check that `schedule` is a **sequentially consistent schedule** for all
+/// operations of `trace` (Definition 6.1): a single interleaving of every
+/// process history in which each read returns the value written by the
+/// immediately preceding write *to the same address*, with per-address
+/// initial and final values honoured.
+pub fn check_sc_schedule(trace: &Trace, schedule: &Schedule) -> Result<(), ScheduleError> {
+    check_structure(trace, schedule, |_| true)?;
+
+    let mut current: BTreeMap<Addr, Value> = BTreeMap::new();
+    for &r in schedule.refs() {
+        let op = trace.op(r).expect("structure checked");
+        let addr = op.addr();
+        let cur = current.get(&addr).copied().unwrap_or_else(|| trace.initial(addr));
+        if let Some(read) = op.read_value() {
+            if read != cur {
+                return Err(ScheduleError::ReadValue { read: r, expected: cur, actual: read });
+            }
+        }
+        if let Some(written) = op.written_value() {
+            current.insert(addr, written);
+        }
+    }
+    for (&addr, &expected) in trace.final_values() {
+        let actual = current.get(&addr).copied().unwrap_or_else(|| trace.initial(addr));
+        if actual != expected {
+            return Err(ScheduleError::FinalValue { addr, expected, actual });
+        }
+    }
+    Ok(())
+}
+
+/// Convenience: true iff the schedule is a coherent schedule for `addr`.
+pub fn is_coherent_schedule(trace: &Trace, addr: Addr, schedule: &Schedule) -> bool {
+    check_coherent_schedule(trace, addr, schedule).is_ok()
+}
+
+/// Convenience: true iff the schedule is sequentially consistent.
+pub fn is_sc_schedule(trace: &Trace, schedule: &Schedule) -> bool {
+    check_sc_schedule(trace, schedule).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceBuilder;
+
+    /// P0: W(1); P1: R(1). Coherent with order W,R.
+    fn simple() -> Trace {
+        TraceBuilder::new().proc([Op::w(1u64)]).proc([Op::r(1u64)]).build()
+    }
+
+    fn sched(pairs: &[(u16, u32)]) -> Schedule {
+        pairs.iter().map(|&(p, i)| OpRef::new(p, i)).collect()
+    }
+
+    #[test]
+    fn accepts_valid_coherent_schedule() {
+        let t = simple();
+        assert!(is_coherent_schedule(&t, Addr::ZERO, &sched(&[(0, 0), (1, 0)])));
+    }
+
+    #[test]
+    fn rejects_read_before_write() {
+        let t = simple();
+        let err = check_coherent_schedule(&t, Addr::ZERO, &sched(&[(1, 0), (0, 0)]))
+            .unwrap_err();
+        assert!(matches!(err, ScheduleError::ReadValue { .. }));
+    }
+
+    #[test]
+    fn rejects_incomplete_schedule() {
+        let t = simple();
+        let err =
+            check_coherent_schedule(&t, Addr::ZERO, &sched(&[(0, 0)])).unwrap_err();
+        assert_eq!(err, ScheduleError::MissingOps { expected: 2, found: 1 });
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        let t = simple();
+        let err = check_coherent_schedule(&t, Addr::ZERO, &sched(&[(0, 0), (0, 0)]))
+            .unwrap_err();
+        assert_eq!(err, ScheduleError::DuplicateOp(OpRef::new(0u16, 0)));
+    }
+
+    #[test]
+    fn rejects_dangling_ref() {
+        let t = simple();
+        let err = check_coherent_schedule(&t, Addr::ZERO, &sched(&[(0, 0), (4, 0)]))
+            .unwrap_err();
+        assert_eq!(err, ScheduleError::DanglingRef(OpRef::new(4u16, 0)));
+    }
+
+    #[test]
+    fn rejects_program_order_violation() {
+        let t = TraceBuilder::new().proc([Op::w(1u64), Op::w(2u64)]).build();
+        let err = check_coherent_schedule(&t, Addr::ZERO, &sched(&[(0, 1), (0, 0)]))
+            .unwrap_err();
+        assert!(matches!(err, ScheduleError::ProgramOrder { .. }));
+    }
+
+    #[test]
+    fn initial_value_serves_early_reads() {
+        let t = TraceBuilder::new()
+            .proc([Op::r(7u64), Op::w(1u64)])
+            .initial(0u32, 7u64)
+            .build();
+        assert!(is_coherent_schedule(&t, Addr::ZERO, &sched(&[(0, 0), (0, 1)])));
+    }
+
+    #[test]
+    fn final_value_constraint_enforced() {
+        let t = TraceBuilder::new()
+            .proc([Op::w(1u64), Op::w(2u64)])
+            .final_value(0u32, 1u64)
+            .build();
+        let err = check_coherent_schedule(&t, Addr::ZERO, &sched(&[(0, 0), (0, 1)]))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ScheduleError::FinalValue { addr: Addr::ZERO, expected: Value(1), actual: Value(2) }
+        );
+    }
+
+    #[test]
+    fn rmw_atomicity_checked() {
+        // RW(0->1) then RW(1->2) is fine; swapping them is not.
+        let t = TraceBuilder::new()
+            .proc([Op::rw(0u64, 1u64)])
+            .proc([Op::rw(1u64, 2u64)])
+            .build();
+        assert!(is_coherent_schedule(&t, Addr::ZERO, &sched(&[(0, 0), (1, 0)])));
+        assert!(!is_coherent_schedule(&t, Addr::ZERO, &sched(&[(1, 0), (0, 0)])));
+    }
+
+    #[test]
+    fn sc_schedule_tracks_addresses_independently() {
+        // Classic message passing: P0: W(x,1) W(y,1); P1: R(y,1) R(x,1).
+        let t = TraceBuilder::new()
+            .proc([Op::write(0u32, 1u64), Op::write(1u32, 1u64)])
+            .proc([Op::read(1u32, 1u64), Op::read(0u32, 1u64)])
+            .build();
+        let ok = sched(&[(0, 0), (0, 1), (1, 0), (1, 1)]);
+        assert!(is_sc_schedule(&t, &ok));
+        let bad = sched(&[(0, 1), (1, 0), (1, 1), (0, 0)]);
+        assert!(!is_sc_schedule(&t, &bad));
+    }
+
+    #[test]
+    fn coherent_checker_rejects_foreign_address_ops() {
+        let t = TraceBuilder::new()
+            .proc([Op::write(0u32, 1u64), Op::write(1u32, 1u64)])
+            .build();
+        let err = check_coherent_schedule(&t, Addr(0), &sched(&[(0, 0), (0, 1)]))
+            .unwrap_err();
+        assert!(matches!(err, ScheduleError::WrongAddress { .. }));
+    }
+
+    #[test]
+    fn sc_final_values_checked_per_address() {
+        let t = TraceBuilder::new()
+            .proc([Op::write(0u32, 1u64)])
+            .proc([Op::write(1u32, 2u64)])
+            .final_value(1u32, 3u64)
+            .build();
+        let err = check_sc_schedule(&t, &sched(&[(0, 0), (1, 0)])).unwrap_err();
+        assert!(matches!(err, ScheduleError::FinalValue { addr: Addr(1), .. }));
+    }
+}

@@ -1,0 +1,180 @@
+//! Trace statistics: the quantitative profile of an execution — operation
+//! mix, per-address sharing and contention, value-reuse — used by the CLI
+//! and useful when deciding which verification strategy will be cheap.
+
+use crate::op::Addr;
+use crate::trace::Trace;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Per-address profile.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AddrStats {
+    /// Total operations touching the address.
+    pub ops: usize,
+    /// Operations with a read component.
+    pub reads: usize,
+    /// Operations with a write component.
+    pub writes: usize,
+    /// Atomic read-modify-writes.
+    pub rmws: usize,
+    /// Distinct processes touching the address.
+    pub sharers: usize,
+    /// Distinct processes writing the address.
+    pub writers: usize,
+    /// Distinct values written.
+    pub distinct_values: usize,
+    /// Maximum times any single value is written.
+    pub max_writes_per_value: usize,
+}
+
+impl AddrStats {
+    /// A location written by more than one process (true sharing with
+    /// write contention — where coherence protocols earn their keep).
+    pub fn is_write_shared(&self) -> bool {
+        self.writers > 1
+    }
+
+    /// Read-only addresses never constrain schedules beyond the initial
+    /// value.
+    pub fn is_read_only(&self) -> bool {
+        self.writes == 0
+    }
+}
+
+/// Whole-trace statistics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Number of processes with at least one operation.
+    pub active_procs: usize,
+    /// Total operations.
+    pub total_ops: usize,
+    /// Per-address profiles.
+    pub per_addr: BTreeMap<Addr, AddrStats>,
+}
+
+impl TraceStats {
+    /// Compute statistics for a trace.
+    pub fn of(trace: &Trace) -> TraceStats {
+        let mut per_addr: BTreeMap<Addr, AddrStats> = BTreeMap::new();
+        let mut sharers: BTreeMap<Addr, BTreeSet<u16>> = BTreeMap::new();
+        let mut writers: BTreeMap<Addr, BTreeSet<u16>> = BTreeMap::new();
+        let mut value_writes: BTreeMap<Addr, BTreeMap<u64, usize>> = BTreeMap::new();
+
+        for (r, op) in trace.iter_ops() {
+            let addr = op.addr();
+            let s = per_addr.entry(addr).or_insert(AddrStats {
+                ops: 0,
+                reads: 0,
+                writes: 0,
+                rmws: 0,
+                sharers: 0,
+                writers: 0,
+                distinct_values: 0,
+                max_writes_per_value: 0,
+            });
+            s.ops += 1;
+            if op.is_reading() {
+                s.reads += 1;
+            }
+            if op.is_writing() {
+                s.writes += 1;
+                writers.entry(addr).or_default().insert(r.proc.0);
+                if let Some(v) = op.written_value() {
+                    *value_writes.entry(addr).or_default().entry(v.0).or_insert(0) += 1;
+                }
+            }
+            if op.is_rmw() {
+                s.rmws += 1;
+            }
+            sharers.entry(addr).or_default().insert(r.proc.0);
+        }
+
+        for (addr, s) in per_addr.iter_mut() {
+            s.sharers = sharers.get(addr).map_or(0, BTreeSet::len);
+            s.writers = writers.get(addr).map_or(0, BTreeSet::len);
+            if let Some(vw) = value_writes.get(addr) {
+                s.distinct_values = vw.len();
+                s.max_writes_per_value = vw.values().copied().max().unwrap_or(0);
+            }
+        }
+
+        TraceStats {
+            active_procs: trace.histories().iter().filter(|h| !h.is_empty()).count(),
+            total_ops: trace.num_ops(),
+            per_addr,
+        }
+    }
+
+    /// Addresses written by more than one process.
+    pub fn write_shared_addrs(&self) -> impl Iterator<Item = Addr> + '_ {
+        self.per_addr
+            .iter()
+            .filter(|(_, s)| s.is_write_shared())
+            .map(|(&a, _)| a)
+    }
+
+    /// Fraction of operations that are reads (0.0 when empty).
+    pub fn read_fraction(&self) -> f64 {
+        if self.total_ops == 0 {
+            return 0.0;
+        }
+        let reads: usize = self.per_addr.values().map(|s| s.reads).sum();
+        reads as f64 / self.total_ops as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Op;
+    use crate::trace::TraceBuilder;
+
+    fn sample() -> Trace {
+        TraceBuilder::new()
+            .proc([Op::write(0u32, 1u64), Op::read(1u32, 0u64), Op::rmw(0u32, 1u64, 2u64)])
+            .proc([Op::read(0u32, 2u64), Op::write(0u32, 1u64)])
+            .proc([])
+            .build()
+    }
+
+    #[test]
+    fn counts_are_right() {
+        let stats = TraceStats::of(&sample());
+        assert_eq!(stats.active_procs, 2);
+        assert_eq!(stats.total_ops, 5);
+        let a0 = &stats.per_addr[&Addr(0)];
+        assert_eq!(a0.ops, 4);
+        assert_eq!(a0.reads, 2); // R + RMW read component
+        assert_eq!(a0.writes, 3); // W + RMW + W
+        assert_eq!(a0.rmws, 1);
+        assert_eq!(a0.sharers, 2);
+        assert_eq!(a0.writers, 2);
+        assert_eq!(a0.distinct_values, 2); // 1 and 2
+        assert_eq!(a0.max_writes_per_value, 2); // value 1 written twice
+    }
+
+    #[test]
+    fn sharing_predicates() {
+        let stats = TraceStats::of(&sample());
+        assert!(stats.per_addr[&Addr(0)].is_write_shared());
+        assert!(!stats.per_addr[&Addr(1)].is_write_shared());
+        assert!(stats.per_addr[&Addr(1)].is_read_only());
+        let shared: Vec<Addr> = stats.write_shared_addrs().collect();
+        assert_eq!(shared, vec![Addr(0)]);
+    }
+
+    #[test]
+    fn read_fraction() {
+        let stats = TraceStats::of(&sample());
+        // 3 reading components of 5 ops.
+        assert!((stats.read_fraction() - 0.6).abs() < 1e-9);
+        assert_eq!(TraceStats::of(&Trace::new()).read_fraction(), 0.0);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let stats = TraceStats::of(&Trace::new());
+        assert_eq!(stats.total_ops, 0);
+        assert!(stats.per_addr.is_empty());
+    }
+}

@@ -1,0 +1,118 @@
+//! Dynamic verification of a (possibly faulty) memory system — the paper's
+//! §1 motivation, end to end: run workloads on the MESI multiprocessor,
+//! capture traces, verify coherence; then inject protocol faults and
+//! measure how often each fault class is caught.
+//!
+//! ```sh
+//! cargo run --release --example dynamic_verification
+//! ```
+
+use vermem::coherence::verify_execution;
+use vermem::sim::{
+    random_program, shared_counter, FaultKind, FaultPlan, Machine, MachineConfig,
+    WorkloadConfig,
+};
+
+const RUNS: u64 = 50;
+
+fn detection_rate(kind: FaultKind, counter_workload: bool) -> (usize, usize) {
+    let mut detected = 0;
+    for seed in 0..RUNS {
+        let program = if counter_workload {
+            shared_counter(4, 10)
+        } else {
+            random_program(&WorkloadConfig {
+                cpus: 4,
+                instrs_per_cpu: 40,
+                addrs: 3,
+                write_fraction: 0.45,
+                rmw_fraction: 0.0,
+                seed,
+            })
+        };
+        let cap = Machine::run(
+            &program,
+            MachineConfig {
+                seed,
+                faults: vec![FaultPlan { kind, at_step: 12 }],
+                ..Default::default()
+            },
+        );
+        if !verify_execution(&cap.trace).is_coherent() {
+            detected += 1;
+        }
+    }
+    (detected, RUNS as usize)
+}
+
+fn main() {
+    // Baseline: healthy machine, no false positives.
+    let mut false_positives = 0;
+    for seed in 0..RUNS {
+        let program = random_program(&WorkloadConfig {
+            cpus: 4,
+            instrs_per_cpu: 40,
+            addrs: 3,
+            write_fraction: 0.45,
+            rmw_fraction: 0.1,
+            seed,
+        });
+        let cap = Machine::run(&program, MachineConfig { seed, ..Default::default() });
+        if !verify_execution(&cap.trace).is_coherent() {
+            false_positives += 1;
+        }
+        if seed == 0 {
+            println!(
+                "sample run: {} ops, {} hits, {} misses, {} invalidations, {} writebacks",
+                cap.trace.num_ops(),
+                cap.stats.hits,
+                cap.stats.misses,
+                cap.stats.invalidations,
+                cap.stats.writebacks
+            );
+        }
+    }
+    println!("healthy runs flagged: {false_positives}/{RUNS} (must be 0)\n");
+
+    println!("fault class                         workload   detected");
+    println!("--------------------------------------------------------");
+    let cases: [(&str, FaultKind, bool); 4] = [
+        ("corrupt fill (bit flips on fill)", FaultKind::CorruptFill { cpu: 1, xor: 0xBEEF_0000 }, false),
+        ("dropped invalidation", FaultKind::DropInvalidation { victim_cpu: 2 }, true),
+        ("lost write (dropped store)", FaultKind::LostWrite { cpu: 0 }, false),
+        ("stale fill (missed owner supply)", FaultKind::StaleFill { cpu: 1 }, true),
+    ];
+    for (name, kind, counter) in cases {
+        let (hit, total) = detection_rate(kind, counter);
+        let wl = if counter { "counter" } else { "random" };
+        println!("{name:<36}{wl:<11}{hit}/{total}");
+    }
+
+    // The directory-based machine goes through the same pipeline.
+    let mut dir_false_pos = 0;
+    for seed in 0..RUNS {
+        let program = random_program(&WorkloadConfig {
+            cpus: 4,
+            instrs_per_cpu: 40,
+            addrs: 3,
+            write_fraction: 0.45,
+            rmw_fraction: 0.1,
+            seed,
+        });
+        let cap = vermem::sim::DirectoryMachine::run(
+            &program,
+            vermem::sim::DirectoryConfig { seed, ..Default::default() },
+        );
+        if !verify_execution(&cap.trace).is_coherent() {
+            dir_false_pos += 1;
+        }
+    }
+    println!("\ndirectory-MSI machine healthy runs flagged: {dir_false_pos}/{RUNS} (must be 0)");
+
+    println!(
+        "\nNote: detection below 100% is inherent, not a verifier gap — a fault \
+         that leaves the trace schedulable produced no observable coherence \
+         violation (the paper's point: violations are subtle, and exact \
+         verification is NP-complete in general)."
+    );
+}
