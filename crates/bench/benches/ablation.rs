@@ -2,22 +2,34 @@
 //! calls out: memoization, greedy read absorption, and demand-driven move
 //! ordering. Each is disabled in turn on the same hard coherent instances.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use vermem_coherence::{solve_backtracking, SearchConfig};
 use vermem_trace::gen::gen_hard_coherent;
 use vermem_trace::{Addr, Trace};
+use vermem_util::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn configs() -> Vec<(&'static str, SearchConfig)> {
     vec![
         ("full", SearchConfig::default()),
-        ("no-memo", SearchConfig { memoize: false, ..Default::default() }),
+        (
+            "no-memo",
+            SearchConfig {
+                memoize: false,
+                ..Default::default()
+            },
+        ),
         (
             "no-absorption",
-            SearchConfig { greedy_absorption: false, ..Default::default() },
+            SearchConfig {
+                greedy_absorption: false,
+                ..Default::default()
+            },
         ),
         (
             "no-hot-order",
-            SearchConfig { hot_move_ordering: false, ..Default::default() },
+            SearchConfig {
+                hot_move_ordering: false,
+                ..Default::default()
+            },
         ),
     ]
 }

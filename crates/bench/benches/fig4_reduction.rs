@@ -3,12 +3,12 @@
 //! without hitting the exponential wall; the UNSAT blow-up is measured in
 //! `fig5_reductions`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use vermem_coherence::{solve_backtracking, solve_sat, SearchConfig};
 use vermem_reductions::reduce_sat_to_vmc;
 use vermem_sat::random::{gen_forced_sat, RandomSatConfig};
 use vermem_trace::Addr;
+use vermem_util::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_construction(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig4/construct");

@@ -2,12 +2,12 @@
 //! implemented fast path over a size ladder, so the regression suite tracks
 //! the measured scaling of every algorithm in the table.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use vermem_coherence::{
     one_op, readmap, rmw, solve_backtracking, solve_with_write_order, SearchConfig,
 };
 use vermem_trace::gen::{gen_sc_trace, GenConfig};
 use vermem_trace::{Addr, Op, OpRef, ProcessHistory, Trace};
+use vermem_util::bench::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 const SIZES: [usize; 4] = [256, 1024, 4096, 16384];
 
@@ -51,7 +51,13 @@ fn write_order_instance(n: usize, all_rmw: bool) -> (Trace, Vec<OpRef>) {
     let cfg = if all_rmw {
         GenConfig::all_rmw(4, n, n as u64)
     } else {
-        GenConfig { procs: 4, total_ops: n, value_reuse: 0.5, seed: n as u64, ..Default::default() }
+        GenConfig {
+            procs: 4,
+            total_ops: n,
+            value_reuse: 0.5,
+            seed: n as u64,
+            ..Default::default()
+        }
     };
     let (trace, witness) = gen_sc_trace(&cfg);
     let order = witness
@@ -109,25 +115,30 @@ fn fig5_3(c: &mut Criterion) {
         g.throughput(Throughput::Elements(n as u64));
         g.bench_with_input(BenchmarkId::from_parameter(n), &trace, |b, t| {
             b.iter(|| {
-                assert!(
-                    solve_backtracking(t, Addr::ZERO, &SearchConfig::default()).is_coherent()
-                );
+                assert!(solve_backtracking(t, Addr::ZERO, &SearchConfig::default()).is_coherent());
             });
         });
     }
     g.finish();
 
     // §5.2 write-order algorithm, simple and all-RMW.
-    for (name, all_rmw) in [("fig5.3/write-order-simple", false), ("fig5.3/write-order-rmw", true)] {
+    for (name, all_rmw) in [
+        ("fig5.3/write-order-simple", false),
+        ("fig5.3/write-order-rmw", true),
+    ] {
         let mut g = c.benchmark_group(name);
         for &n in &SIZES {
             let (trace, order) = write_order_instance(n, all_rmw);
             g.throughput(Throughput::Elements(n as u64));
-            g.bench_with_input(BenchmarkId::from_parameter(n), &(trace, order), |b, (t, o)| {
-                b.iter(|| {
-                    assert!(solve_with_write_order(t, Addr::ZERO, o).is_coherent());
-                });
-            });
+            g.bench_with_input(
+                BenchmarkId::from_parameter(n),
+                &(trace, order),
+                |b, (t, o)| {
+                    b.iter(|| {
+                        assert!(solve_with_write_order(t, Addr::ZERO, o).is_coherent());
+                    });
+                },
+            );
         }
         g.finish();
     }

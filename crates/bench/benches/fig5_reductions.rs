@@ -2,12 +2,12 @@
 //! exponential blow-up of exact search on reduced instances (the
 //! NP-complete cells of Figure 5.3 in action).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use vermem_coherence::{solve_backtracking, SearchConfig};
 use vermem_reductions::{reduce_3sat_restricted, reduce_3sat_rmw};
 use vermem_sat::random::{gen_forced_sat, gen_random_ksat, RandomSatConfig};
 use vermem_trace::Addr;
+use vermem_util::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_construction(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig5/construct");
@@ -32,15 +32,13 @@ fn bench_solve_sat_instances(c: &mut Criterion) {
         let restricted = reduce_3sat_restricted(&f).trace;
         g.bench_with_input(BenchmarkId::new("restricted", m), &restricted, |b, t| {
             b.iter(|| {
-                assert!(solve_backtracking(t, Addr::ZERO, &SearchConfig::default())
-                    .is_coherent());
+                assert!(solve_backtracking(t, Addr::ZERO, &SearchConfig::default()).is_coherent());
             });
         });
         let rmw = reduce_3sat_rmw(&f).trace;
         g.bench_with_input(BenchmarkId::new("rmw", m), &rmw, |b, t| {
             b.iter(|| {
-                assert!(solve_backtracking(t, Addr::ZERO, &SearchConfig::default())
-                    .is_coherent());
+                assert!(solve_backtracking(t, Addr::ZERO, &SearchConfig::default()).is_coherent());
             });
         });
     }
@@ -54,7 +52,10 @@ fn bench_solve_sat_instances(c: &mut Criterion) {
 fn bench_solve_unsat_instances(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig5/solve-overconstrained");
     g.sample_size(10);
-    let capped = SearchConfig { max_states: Some(200_000), ..Default::default() };
+    let capped = SearchConfig {
+        max_states: Some(200_000),
+        ..Default::default()
+    };
     for m in [3u32, 4] {
         let f = gen_random_ksat(&RandomSatConfig::three_sat(m, 6.0, 53 * u64::from(m)));
         let rmw = reduce_3sat_rmw(&f).trace;

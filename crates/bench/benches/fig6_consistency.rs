@@ -3,7 +3,6 @@
 //! VSC-Conflict merge, the LRC-wrapped reduction, and the litmus suite
 //! across all memory models.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use vermem_coherence::ExecutionVerdict;
 use vermem_consistency::litmus::all_litmus_tests;
@@ -12,6 +11,7 @@ use vermem_consistency::{
 };
 use vermem_reductions::{reduce_sat_to_lrc, reduce_sat_to_vscc};
 use vermem_sat::random::{gen_forced_sat, RandomSatConfig};
+use vermem_util::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_vscc_stages(c: &mut Criterion) {
     let mut coh = c.benchmark_group("fig6/vscc-coherence-stage");
@@ -30,8 +30,7 @@ fn bench_vscc_stages(c: &mut Criterion) {
     for m in [3u32, 4, 6, 8] {
         let f = gen_forced_sat(&RandomSatConfig::three_sat(m, 3.0, u64::from(m)));
         let red = reduce_sat_to_vscc(&f);
-        let ExecutionVerdict::Coherent(schedules) =
-            vermem_coherence::verify_execution(&red.trace)
+        let ExecutionVerdict::Coherent(schedules) = vermem_coherence::verify_execution(&red.trace)
         else {
             panic!("promise holds");
         };

@@ -2,12 +2,12 @@
 //! capture-and-verify end to end (exact vs §5.2 write-order path), and the
 //! SAT substrate (CDCL vs DPLL) on random 3-SAT near the phase transition.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 use vermem_coherence::solve_with_write_order;
 use vermem_sat::random::{gen_random_ksat, RandomSatConfig};
 use vermem_sat::{solve_cdcl, solve_dpll};
 use vermem_sim::{random_program, Machine, MachineConfig, WorkloadConfig};
+use vermem_util::bench::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn workload(instrs: usize) -> vermem_sim::Program {
     random_program(&WorkloadConfig {
@@ -32,7 +32,10 @@ fn bench_machine(c: &mut Criterion) {
             b.iter(|| {
                 black_box(Machine::run(
                     p,
-                    MachineConfig { store_buffers: true, ..Default::default() },
+                    MachineConfig {
+                        store_buffers: true,
+                        ..Default::default()
+                    },
                 ))
             });
         });
@@ -72,15 +75,19 @@ fn bench_online_checker(c: &mut Criterion) {
         let p = workload(instrs);
         let cap = Machine::run(&p, MachineConfig::default());
         g.throughput(Throughput::Elements(cap.event_log.len() as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(instrs), &cap.event_log, |b, log| {
-            b.iter(|| {
-                let mut v = vermem_coherence::OnlineVerifier::new();
-                for &(proc, op) in log {
-                    v.observe(proc, op);
-                }
-                assert!(v.finish().is_empty());
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(instrs),
+            &cap.event_log,
+            |b, log| {
+                b.iter(|| {
+                    let mut v = vermem_coherence::OnlineVerifier::new();
+                    for &(proc, op) in log {
+                        v.observe(proc, op);
+                    }
+                    assert!(v.finish().is_empty());
+                });
+            },
+        );
     }
     g.finish();
 }

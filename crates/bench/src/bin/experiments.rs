@@ -18,14 +18,13 @@ use vermem_consistency::{
     merge_coherent_schedules, solve_sc_backtracking, MergeOutcome, VscConfig,
 };
 use vermem_reductions::{
-    example_fig_4_2, reduce_3sat_restricted, reduce_3sat_rmw, reduce_sat_to_lrc,
-    reduce_sat_to_vmc, reduce_sat_to_vscc,
+    example_fig_4_2, reduce_3sat_restricted, reduce_3sat_rmw, reduce_sat_to_lrc, reduce_sat_to_vmc,
+    reduce_sat_to_vscc,
 };
 use vermem_sat::random::{gen_random_ksat, RandomSatConfig};
 use vermem_sat::solve_cdcl;
 use vermem_sim::{
-    random_program, shared_counter, FaultKind, FaultPlan, Machine, MachineConfig,
-    WorkloadConfig,
+    random_program, shared_counter, FaultKind, FaultPlan, Machine, MachineConfig, WorkloadConfig,
 };
 use vermem_trace::classify::InstanceProfile;
 use vermem_trace::gen::{gen_sc_trace, GenConfig};
@@ -82,7 +81,10 @@ fn header(title: &str) {
 fn e4_1_sat_to_vmc() {
     header("E-4.1  SAT → VMC (Figure 4.1): size and equisatisfiability");
     println!("paper: instance has 2m+3 histories and O(mn) operations; coherent iff SAT");
-    println!("{:>4} {:>4} {:>10} {:>8} {:>10} {:>10} {:>8}", "m", "n", "histories", "ops", "SAT", "coherent", "agree");
+    println!(
+        "{:>4} {:>4} {:>10} {:>8} {:>10} {:>10} {:>8}",
+        "m", "n", "histories", "ops", "SAT", "coherent", "agree"
+    );
     let mut agreements = 0;
     let mut total = 0;
     for m in [3u32, 4, 5, 6] {
@@ -91,8 +93,8 @@ fn e4_1_sat_to_vmc() {
             let f = gen_random_ksat(&cfg);
             let red = reduce_sat_to_vmc(&f);
             let sat = solve_cdcl(&f).is_sat();
-            let coh = solve_backtracking(&red.trace, Addr::ZERO, &SearchConfig::default())
-                .is_coherent();
+            let coh =
+                solve_backtracking(&red.trace, Addr::ZERO, &SearchConfig::default()).is_coherent();
             total += 1;
             if sat == coh {
                 agreements += 1;
@@ -143,13 +145,15 @@ fn e5_reduction(title: &str, reduce: &dyn Fn(&vermem_sat::Cnf) -> Trace) {
     // A state budget keeps the harness bounded; a capped row already
     // demonstrates the blow-up.
     const CAP: u64 = 2_000_000;
-    let cfg_capped = SearchConfig { max_states: Some(CAP), ..Default::default() };
+    let cfg_capped = SearchConfig {
+        max_states: Some(CAP),
+        ..Default::default()
+    };
     let mut points = Vec::new();
     let solve_row = |family: &str, m: u32, f: &vermem_sat::Cnf| -> (u64, bool) {
         let trace = reduce(f);
         let profile = InstanceProfile::of(&trace, Addr::ZERO);
-        let (verdict, stats) =
-            solve_backtracking_with_stats(&trace, Addr::ZERO, &cfg_capped);
+        let (verdict, stats) = solve_backtracking_with_stats(&trace, Addr::ZERO, &cfg_capped);
         let verdict_str = match &verdict {
             vermem_coherence::Verdict::Coherent(_) => "coherent",
             vermem_coherence::Verdict::Incoherent(_) => "incoherent",
@@ -165,7 +169,10 @@ fn e5_reduction(title: &str, reduce: &dyn Fn(&vermem_sat::Cnf) -> Trace) {
             stats.states,
             verdict_str
         );
-        (stats.states, matches!(verdict, vermem_coherence::Verdict::Unknown))
+        (
+            stats.states,
+            matches!(verdict, vermem_coherence::Verdict::Unknown),
+        )
     };
 
     // Satisfiable family: the search completes; states grow with m.
@@ -213,15 +220,23 @@ fn e5_3_table() {
     let sizes = [400usize, 800, 1600, 3200, 6400];
 
     // Row: 1 op/process, simple — paper O(n lg n), ours O(n).
-    let slope = sweep(&sizes, |n| one_op_instance(n, false), |t| {
-        assert!(one_op::solve_one_op(t, Addr::ZERO).is_coherent());
-    });
+    let slope = sweep(
+        &sizes,
+        |n| one_op_instance(n, false),
+        |t| {
+            assert!(one_op::solve_one_op(t, Addr::ZERO).is_coherent());
+        },
+    );
     row("1 op/process (simple R/W)", "O(n lg n)", "O(n)", slope);
 
     // Row: 1 op/process, RMW — paper O(n^2), ours O(n) (Eulerian path).
-    let slope = sweep(&sizes, |n| one_op_instance(n, true), |t| {
-        assert!(rmw::solve_rmw_one_op(t, Addr::ZERO).is_coherent());
-    });
+    let slope = sweep(
+        &sizes,
+        |n| one_op_instance(n, true),
+        |t| {
+            assert!(rmw::solve_rmw_one_op(t, Addr::ZERO).is_coherent());
+        },
+    );
     row("1 op/process (RMW)", "O(n^2)", "O(n) Euler", slope);
 
     // Row: 1 write/value (read-map), simple — paper O(n), ours O(n).
@@ -237,19 +252,23 @@ fn e5_3_table() {
     row("1 write/value (RMW chain)", "O(n lg n)", "O(n)", slope);
 
     // Row: constant processes — paper O(n^k); memoized search, k = 3.
-    let slope = sweep(&[200, 400, 800, 1600], |n| {
-        gen_sc_trace(&GenConfig {
-            procs: 3,
-            total_ops: n,
-            addrs: 1,
-            value_reuse: 0.5,
-            seed: n as u64,
-            ..Default::default()
-        })
-        .0
-    }, |t| {
-        assert!(solve_backtracking(t, Addr::ZERO, &SearchConfig::default()).is_coherent());
-    });
+    let slope = sweep(
+        &[200, 400, 800, 1600],
+        |n| {
+            gen_sc_trace(&GenConfig {
+                procs: 3,
+                total_ops: n,
+                addrs: 1,
+                value_reuse: 0.5,
+                seed: n as u64,
+                ..Default::default()
+            })
+            .0
+        },
+        |t| {
+            assert!(solve_backtracking(t, Addr::ZERO, &SearchConfig::default()).is_coherent());
+        },
+    );
     row("constant processes (k=3)", "O(n^k)", "memoized DFS", slope);
 
     // Rows: write order given — paper O(n^2) simple / O(n) all-RMW. The
@@ -353,7 +372,13 @@ fn write_order_instance(n: usize, all_rmw: bool) -> (Trace, Vec<OpRef>) {
     let cfg = if all_rmw {
         GenConfig::all_rmw(4, n, n as u64)
     } else {
-        GenConfig { procs: 4, total_ops: n, value_reuse: 0.5, seed: n as u64, ..Default::default() }
+        GenConfig {
+            procs: 4,
+            total_ops: n,
+            value_reuse: 0.5,
+            seed: n as u64,
+            ..Default::default()
+        }
     };
     let (trace, witness) = gen_sc_trace(&cfg);
     let order: Vec<OpRef> = witness
@@ -370,7 +395,10 @@ fn write_order_instance(n: usize, all_rmw: bool) -> (Trace, Vec<OpRef>) {
 // ---------------------------------------------------------------------------
 fn e6_1_lrc() {
     header("E-6.1  Figure 6.1: LRC-synchronized SAT → VMC");
-    println!("{:>4} {:>10} {:>10} {:>10} {:>8}", "m", "sync ops", "SAT", "LRC ok", "agree");
+    println!(
+        "{:>4} {:>10} {:>10} {:>10} {:>8}",
+        "m", "sync ops", "SAT", "LRC ok", "agree"
+    );
     for m in [3u32, 4, 5] {
         let f = gen_random_ksat(&RandomSatConfig::three_sat(m, 4.0, 11 * u64::from(m)));
         let sat = solve_cdcl(&f).is_sat();
@@ -380,7 +408,12 @@ fn e6_1_lrc() {
             vermem_reductions::lrc::LOCK,
         )
         .expect("fully synchronized by construction");
-        let ops: usize = red.sync_trace.histories().iter().map(|h| h.ops().len()).sum();
+        let ops: usize = red
+            .sync_trace
+            .histories()
+            .iter()
+            .map(|h| h.ops().len())
+            .sum();
         println!(
             "{:>4} {:>10} {:>10} {:>10} {:>8}",
             m,
@@ -417,7 +450,10 @@ fn e6_2_vscc() {
             sc,
             sat == sc
         );
-        assert!(coherent, "Figure 6.3: the promise must hold by construction");
+        assert!(
+            coherent,
+            "Figure 6.3: the promise must hold by construction"
+        );
     }
 }
 
@@ -426,7 +462,10 @@ fn e6_2_vscc() {
 // ---------------------------------------------------------------------------
 fn e_vscc_hardness() {
     header("E-VSCC  §6.3: verifying coherence is cheap; SC stays hard after it");
-    println!("{:>4} {:>8} {:>16} {:>16} {:>10}", "m", "ops", "coherence (µs)", "exact VSC (µs)", "merge?");
+    println!(
+        "{:>4} {:>8} {:>16} {:>16} {:>10}",
+        "m", "ops", "coherence (µs)", "exact VSC (µs)", "merge?"
+    );
     for m in [3u32, 4, 5] {
         let f = gen_random_ksat(&RandomSatConfig::three_sat(m, 4.5, 17 * u64::from(m)));
         let red = reduce_sat_to_vscc(&f);
@@ -443,7 +482,10 @@ fn e_vscc_hardness() {
         let t1 = Instant::now();
         let _ = solve_sc_backtracking(&red.trace, &VscConfig::default());
         let vsc_us = t1.elapsed().as_secs_f64() * 1e6;
-        println!("{m:>4} {:>8} {coh_us:>16.1} {vsc_us:>16.1} {merged:>10}", red.trace.num_ops());
+        println!(
+            "{m:>4} {:>8} {coh_us:>16.1} {vsc_us:>16.1} {merged:>10}",
+            red.trace.num_ops()
+        );
     }
 }
 
@@ -459,11 +501,17 @@ fn e_open_problems() {
     );
     for procs in [4usize, 8, 12, 16] {
         let (ms, c, i) = probe_open_cell(OpenCell::TwoSimpleOpsPerProc, procs, 30, 11);
-        println!("{:<28} {procs:>6} {:>8} {ms:>12} {c:>10} {i:>10}", "2 simple ops/process", 30);
+        println!(
+            "{:<28} {procs:>6} {:>8} {ms:>12} {c:>10} {i:>10}",
+            "2 simple ops/process", 30
+        );
     }
     for procs in [4usize, 8, 16, 32] {
         let (ms, c, i) = probe_open_cell(OpenCell::RmwTwoWritesPerValue, procs, 30, 13);
-        println!("{:<28} {procs:>6} {:>8} {ms:>12} {c:>10} {i:>10}", "RMW, ≤2 writes/value", 30);
+        println!(
+            "{:<28} {procs:>6} {:>8} {ms:>12} {c:>10} {i:>10}",
+            "RMW, ≤2 writes/value", 30
+        );
     }
     println!(
         "interpretation: rapid state growth in a cell is evidence (not proof)\n\
@@ -488,7 +536,13 @@ fn e_online_checker() {
             rmw_fraction: 0.1,
             seed: instrs as u64,
         });
-        let cap = Machine::run(&program, MachineConfig { seed: 3, ..Default::default() });
+        let cap = Machine::run(
+            &program,
+            MachineConfig {
+                seed: 3,
+                ..Default::default()
+            },
+        );
         let t = Instant::now();
         let mut v = vermem_coherence::OnlineVerifier::new();
         for &(proc, op) in &cap.event_log {
@@ -556,25 +610,45 @@ fn e_sim_detection() {
             rmw_fraction: 0.1,
             seed,
         });
-        let cap = Machine::run(&program, MachineConfig { seed, ..Default::default() });
+        let cap = Machine::run(
+            &program,
+            MachineConfig {
+                seed,
+                ..Default::default()
+            },
+        );
         if !vermem_coherence::verify_execution(&cap.trace).is_coherent() {
             false_pos += 1;
         }
     }
     println!("healthy-run false positives: {false_pos}/{RUNS}");
-    println!("{:<36} {:>10} {:>12}", "fault class", "workload", "detected");
+    println!(
+        "{:<36} {:>10} {:>12}",
+        "fault class", "workload", "detected"
+    );
     let cases: [(&str, FaultKind, bool); 4] = [
-        ("corrupt fill", FaultKind::CorruptFill { cpu: 1, xor: 0xBEEF_0000 }, false),
-        ("dropped invalidation", FaultKind::DropInvalidation { victim_cpu: 2 }, true),
+        (
+            "corrupt fill",
+            FaultKind::CorruptFill {
+                cpu: 1,
+                xor: 0xBEEF_0000,
+            },
+            false,
+        ),
+        (
+            "dropped invalidation",
+            FaultKind::DropInvalidation { victim_cpu: 2 },
+            true,
+        ),
         ("lost write", FaultKind::LostWrite { cpu: 0 }, false),
         ("stale fill", FaultKind::StaleFill { cpu: 1 }, true),
     ];
     // The per-class sweeps are independent; fan them out across threads.
-    let results: Vec<(usize, usize)> = crossbeam::thread::scope(|scope| {
+    let results: Vec<(usize, usize)> = std::thread::scope(|scope| {
         let handles: Vec<_> = cases
             .iter()
             .map(|&(_, kind, counter)| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut hits = 0;
                     for seed in 0..RUNS {
                         let program = if counter {
@@ -605,9 +679,11 @@ fn e_sim_detection() {
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-    })
-    .expect("scope");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
     for ((name, _, counter), (hits, total)) in cases.iter().zip(results) {
         let wl = if *counter { "counter" } else { "random" };
         println!("{name:<36} {wl:>10} {hits:>9}/{total}");
@@ -625,11 +701,21 @@ fn e_sim_detection() {
             rmw_fraction: 0.0,
             seed: instrs as u64,
         });
-        let cap = Machine::run(&program, MachineConfig { seed: 9, ..Default::default() });
+        let cap = Machine::run(
+            &program,
+            MachineConfig {
+                seed: 9,
+                ..Default::default()
+            },
+        );
         let t = Instant::now();
         for (addr, order) in &cap.write_order {
             assert!(solve_with_write_order(&cap.trace, *addr, order).is_coherent());
         }
-        println!("{:>8} {:>16.1}", cap.trace.num_ops(), t.elapsed().as_secs_f64() * 1e6);
+        println!(
+            "{:>8} {:>16.1}",
+            cap.trace.num_ops(),
+            t.elapsed().as_secs_f64() * 1e6
+        );
     }
 }

@@ -1,6 +1,8 @@
 //! Shared helpers for the benchmark and experiment harness: timing
 //! utilities, log–log growth-exponent fitting, and instance builders used
-//! by both the Criterion benches and the `experiments` binary.
+//! by both the `vermem_util::bench`-harness benches and the `experiments`
+//! binary that regenerates every table/figure of the paper's evaluation
+//! (Figures 4.1–6.3, the Figure 5.3 complexity table; see EXPERIMENTS.md).
 
 use std::time::Instant;
 
@@ -51,8 +53,9 @@ mod tests {
 
     #[test]
     fn slope_of_quadratic_series_is_two() {
-        let pts: Vec<(f64, f64)> =
-            (1..=6).map(|i| (i as f64 * 100.0, (i as f64 * 100.0).powi(2))).collect();
+        let pts: Vec<(f64, f64)> = (1..=6)
+            .map(|i| (i as f64 * 100.0, (i as f64 * 100.0).powi(2)))
+            .collect();
         let s = loglog_slope(&pts);
         assert!((s - 2.0).abs() < 1e-9, "slope {s}");
     }
@@ -71,7 +74,9 @@ mod tests {
 
     #[test]
     fn median_is_deterministic_for_constant_work() {
-        let t = median_secs(3, || { std::hint::black_box(0); });
+        let t = median_secs(3, || {
+            std::hint::black_box(0);
+        });
         assert!(t >= 0.0);
     }
 }

@@ -108,7 +108,9 @@ impl Args {
     fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
         match self.flag(name) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| err(format!("invalid --{name} value '{v}'"))),
+            Some(v) => v
+                .parse()
+                .map_err(|_| err(format!("invalid --{name} value '{v}'"))),
         }
     }
 }
@@ -191,7 +193,15 @@ fn cmd_verify(args: &Args, stdin: &str) -> Result<String, CliError> {
             }
         }
     }
-    let _ = writeln!(out, "{}", if all_ok { "execution: coherent" } else { "execution: NOT coherent" });
+    let _ = writeln!(
+        out,
+        "{}",
+        if all_ok {
+            "execution: coherent"
+        } else {
+            "execution: NOT coherent"
+        }
+    );
     Ok(out)
 }
 
@@ -388,7 +398,11 @@ fn cmd_sim(args: &Args) -> Result<String, CliError> {
     );
     if args.has("verify") {
         let coherent = vermem_coherence::verify_execution(&cap.trace).is_coherent();
-        let _ = writeln!(out, "# verification: {}", if coherent { "coherent" } else { "VIOLATION" });
+        let _ = writeln!(
+            out,
+            "# verification: {}",
+            if coherent { "coherent" } else { "VIOLATION" }
+        );
     }
     if args.has("online") {
         let mut v = vermem_coherence::OnlineVerifier::new();
@@ -402,7 +416,11 @@ fn cmd_sim(args: &Args) -> Result<String, CliError> {
             if violations.is_empty() {
                 "clean".to_string()
             } else {
-                format!("{} violation(s), first at event {}", violations.len(), violations[0].detected_at)
+                format!(
+                    "{} violation(s), first at event {}",
+                    violations.len(),
+                    violations[0].detected_at
+                )
             }
         );
     }
@@ -449,7 +467,11 @@ fn cmd_sat(args: &Args, stdin: &str) -> Result<String, CliError> {
 
 fn cmd_litmus() -> Result<String, CliError> {
     let mut out = String::new();
-    let _ = writeln!(out, "{:<10} {:>4} {:>4} {:>4} {:>10}", "test", "SC", "TSO", "PSO", "Coherence");
+    let _ = writeln!(
+        out,
+        "{:<10} {:>4} {:>4} {:>4} {:>10}",
+        "test", "SC", "TSO", "PSO", "Coherence"
+    );
     for test in vermem_consistency::litmus::all_litmus_tests() {
         let mut cells = Vec::new();
         for model in MemoryModel::ALL {
@@ -498,7 +520,12 @@ mod tests {
             assert!(out.contains("coherent"), "{strat}");
         }
         assert!(run(
-            &["verify".into(), "-".into(), "--strategy".into(), "bogus".into()],
+            &[
+                "verify".into(),
+                "-".into(),
+                "--strategy".into(),
+                "bogus".into()
+            ],
             COHERENT
         )
         .is_err());
@@ -583,15 +610,19 @@ mod tests {
         let out = run_ok(&["sim", "--cpus", "3", "--instrs", "30", "--online"], "");
         assert!(out.contains("# online check: clean"));
         let out = run_ok(
-            &["sim", "--cpus", "3", "--instrs", "30", "--directory", "--verify"],
+            &[
+                "sim",
+                "--cpus",
+                "3",
+                "--instrs",
+                "30",
+                "--directory",
+                "--verify",
+            ],
             "",
         );
         assert!(out.contains("# verification: coherent"));
-        assert!(run(
-            &["sim".into(), "--tso".into(), "--directory".into()],
-            ""
-        )
-        .is_err());
+        assert!(run(&["sim".into(), "--tso".into(), "--directory".into()], "").is_err());
     }
 
     #[test]

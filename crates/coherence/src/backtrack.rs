@@ -80,7 +80,11 @@ pub fn precheck(trace: &Trace, addr: Addr) -> Option<Violation> {
         }
     }
     if let Some(f) = trace.final_value(addr) {
-        let producible = if written.is_empty() { f == initial } else { written.contains(&f) };
+        let producible = if written.is_empty() {
+            f == initial
+        } else {
+            written.contains(&f)
+        };
         if !producible {
             return Some(Violation {
                 addr,
@@ -160,7 +164,10 @@ pub fn solve_backtracking_with_stats(
     } else if budget_hit {
         Verdict::Unknown
     } else {
-        Verdict::Incoherent(Violation { addr, kind: ViolationKind::SearchExhausted })
+        Verdict::Incoherent(Violation {
+            addr,
+            kind: ViolationKind::SearchExhausted,
+        })
     };
     (verdict, stats)
 }
@@ -246,9 +253,7 @@ impl Search<'_> {
         for (p, &f) in frontier.iter().enumerate() {
             if let Some(&(_, op)) = self.per_proc[p].get(f as usize) {
                 if let Some(need) = op.read_value() {
-                    if need != current
-                        && remaining_writes.get(&need).copied().unwrap_or(0) == 0
-                    {
+                    if need != current && remaining_writes.get(&need).copied().unwrap_or(0) == 0 {
                         undo(self, frontier);
                         return false;
                     }
@@ -282,14 +287,10 @@ impl Search<'_> {
                     Op::Rmw { read, .. } => read == current,
                     // Matching reads are moves only when absorption is off
                     // (ablation mode); with absorption they were consumed.
-                    Op::Read { value, .. } => {
-                        !self.cfg.greedy_absorption && value == current
-                    }
+                    Op::Read { value, .. } => !self.cfg.greedy_absorption && value == current,
                 };
                 if enabled {
-                    let hot = op
-                        .written_value()
-                        .is_some_and(|v| demanded.contains(&v));
+                    let hot = op.written_value().is_some_and(|v| demanded.contains(&v));
                     moves.push((hot, p, r, op));
                 }
             }
@@ -343,7 +344,10 @@ mod tests {
 
     #[test]
     fn single_write_read_pair() {
-        let t = TraceBuilder::new().proc([Op::w(1u64)]).proc([Op::r(1u64)]).build();
+        let t = TraceBuilder::new()
+            .proc([Op::w(1u64)])
+            .proc([Op::r(1u64)])
+            .build();
         let v = solve(&t);
         let s = v.schedule().expect("coherent");
         check_coherent_schedule(&t, Addr::ZERO, s).unwrap();
@@ -351,7 +355,10 @@ mod tests {
 
     #[test]
     fn unwritten_read_value_detected_by_precheck() {
-        let t = TraceBuilder::new().proc([Op::w(1u64)]).proc([Op::r(9u64)]).build();
+        let t = TraceBuilder::new()
+            .proc([Op::w(1u64)])
+            .proc([Op::r(9u64)])
+            .build();
         match solve(&t) {
             Verdict::Incoherent(v) => {
                 assert!(matches!(v.kind, ViolationKind::NoWriterForValue { .. }))
@@ -427,7 +434,10 @@ mod tests {
             .build();
         match solve(&t) {
             Verdict::Incoherent(v) => {
-                assert_eq!(v.kind, ViolationKind::FinalValueUnwritable { value: Value(9) })
+                assert_eq!(
+                    v.kind,
+                    ViolationKind::FinalValueUnwritable { value: Value(9) }
+                )
             }
             other => panic!("expected incoherent, got {other:?}"),
         }
@@ -452,7 +462,10 @@ mod tests {
     #[test]
     fn budget_produces_unknown_on_hard_instance() {
         let (t, _) = vermem_trace::gen::gen_hard_coherent(6, 8, 2, 3);
-        let cfg = SearchConfig { max_states: Some(1), ..Default::default() };
+        let cfg = SearchConfig {
+            max_states: Some(1),
+            ..Default::default()
+        };
         let v = solve_backtracking(&t, Addr::ZERO, &cfg);
         // With a 1-state budget the solver can only answer if the instance
         // is trivially easy; accept Coherent-or-Unknown but never wrong.
@@ -466,22 +479,30 @@ mod tests {
         for seed in 0..20 {
             let (t, _) = vermem_trace::gen::gen_hard_coherent(4, 6, 2, seed);
             let v = solve(&t);
-            let s = v.schedule().unwrap_or_else(|| {
-                panic!("generated trace must be coherent (seed {seed})")
-            });
+            let s = v
+                .schedule()
+                .unwrap_or_else(|| panic!("generated trace must be coherent (seed {seed})"));
             check_coherent_schedule(&t, Addr::ZERO, s).unwrap();
         }
     }
 
     #[test]
     fn ablation_configurations_agree() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use vermem_util::rng::StdRng;
         let configs = [
             SearchConfig::default(),
-            SearchConfig { memoize: false, ..Default::default() },
-            SearchConfig { greedy_absorption: false, ..Default::default() },
-            SearchConfig { hot_move_ordering: false, ..Default::default() },
+            SearchConfig {
+                memoize: false,
+                ..Default::default()
+            },
+            SearchConfig {
+                greedy_absorption: false,
+                ..Default::default()
+            },
+            SearchConfig {
+                hot_move_ordering: false,
+                ..Default::default()
+            },
             SearchConfig {
                 memoize: false,
                 greedy_absorption: false,
@@ -525,8 +546,7 @@ mod tests {
 
     #[test]
     fn agrees_with_brute_force_on_small_instances() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use vermem_util::rng::StdRng;
         for seed in 0..120u64 {
             let mut rng = StdRng::seed_from_u64(seed);
             let procs = rng.gen_range(1..=3);
@@ -554,12 +574,7 @@ mod tests {
 
     /// Brute-force all interleavings (tiny instances only).
     fn brute_force(trace: &Trace) -> Option<Schedule> {
-        fn rec(
-            trace: &Trace,
-            frontier: &mut Vec<u32>,
-            acc: &mut Vec<OpRef>,
-            total: usize,
-        ) -> bool {
+        fn rec(trace: &Trace, frontier: &mut Vec<u32>, acc: &mut Vec<OpRef>, total: usize) -> bool {
             if acc.len() == total {
                 let s = Schedule::from_refs(acc.iter().copied());
                 return check_coherent_schedule(trace, Addr::ZERO, &s).is_ok();

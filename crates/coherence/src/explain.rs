@@ -22,7 +22,9 @@ pub struct ExplainConfig {
 impl Default for ExplainConfig {
     fn default() -> Self {
         // Shrinking performs O(n²) verifications; keep each one bounded.
-        ExplainConfig { max_states: Some(200_000) }
+        ExplainConfig {
+            max_states: Some(200_000),
+        }
     }
 }
 
@@ -59,7 +61,10 @@ pub fn minimize_incoherent_core(
     addr: Addr,
     cfg: &ExplainConfig,
 ) -> Option<MinimalCore> {
-    let search = SearchConfig { max_states: cfg.max_states, ..Default::default() };
+    let search = SearchConfig {
+        max_states: cfg.max_states,
+        ..Default::default()
+    };
 
     // Working set: per-process vectors of (original ref, op), projected.
     let mut ops: Vec<Vec<(OpRef, Op)>> = trace
@@ -144,17 +149,27 @@ pub fn minimize_incoherent_core(
     };
     violation.kind = match violation.kind {
         crate::ViolationKind::NoWriterForValue { read, value } => {
-            crate::ViolationKind::NoWriterForValue { read: remap(read), value }
+            crate::ViolationKind::NoWriterForValue {
+                read: remap(read),
+                value,
+            }
         }
         crate::ViolationKind::UnplaceableRead { read, value } => {
-            crate::ViolationKind::UnplaceableRead { read: remap(read), value }
+            crate::ViolationKind::UnplaceableRead {
+                read: remap(read),
+                value,
+            }
         }
         crate::ViolationKind::PrecedenceCycle { cycle } => crate::ViolationKind::PrecedenceCycle {
             cycle: cycle.into_iter().map(remap).collect(),
         },
         other => other,
     };
-    Some(MinimalCore { trace: build(&ops, with_final), kept, violation })
+    Some(MinimalCore {
+        trace: build(&ops, with_final),
+        kept,
+        violation,
+    })
 }
 
 #[cfg(test)]
@@ -198,7 +213,12 @@ mod tests {
             .proc([Op::r(2u64), Op::r(1u64), Op::r(1u64)])
             .build();
         let core = core_of(&t);
-        assert!(core.len() <= 4, "core has {} ops: {:?}", core.len(), core.trace);
+        assert!(
+            core.len() <= 4,
+            "core has {} ops: {:?}",
+            core.len(),
+            core.trace
+        );
         // 1-minimality: removing any single op makes it coherent (or at
         // least not provably incoherent under the same budget).
         let search = SearchConfig::default();

@@ -243,9 +243,15 @@ mod tests {
     #[test]
     fn strategies_force_algorithm() {
         let t = TraceBuilder::new().proc([Op::w(1u64)]).build();
-        let bt = VmcVerifier { strategy: Strategy::Backtracking, ..Default::default() };
+        let bt = VmcVerifier {
+            strategy: Strategy::Backtracking,
+            ..Default::default()
+        };
         assert_eq!(bt.select(&t, Addr::ZERO), Algorithm::Backtracking);
-        let sat = VmcVerifier { strategy: Strategy::Sat, ..Default::default() };
+        let sat = VmcVerifier {
+            strategy: Strategy::Sat,
+            ..Default::default()
+        };
         assert_eq!(sat.select(&t, Addr::ZERO), Algorithm::SatEncoding);
     }
 
@@ -280,8 +286,7 @@ mod tests {
 
     #[test]
     fn all_strategies_agree_on_random_instances() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use vermem_util::rng::StdRng;
         for seed in 0..60u64 {
             let mut rng = StdRng::seed_from_u64(9000 + seed);
             let procs = rng.gen_range(1..=3);
@@ -302,12 +307,18 @@ mod tests {
             }
             let t = b.build();
             let auto = verify(&t, Addr::ZERO).is_coherent();
-            let bt = VmcVerifier { strategy: Strategy::Backtracking, ..Default::default() }
-                .verify(&t, Addr::ZERO)
-                .is_coherent();
-            let sat = VmcVerifier { strategy: Strategy::Sat, ..Default::default() }
-                .verify(&t, Addr::ZERO)
-                .is_coherent();
+            let bt = VmcVerifier {
+                strategy: Strategy::Backtracking,
+                ..Default::default()
+            }
+            .verify(&t, Addr::ZERO)
+            .is_coherent();
+            let sat = VmcVerifier {
+                strategy: Strategy::Sat,
+                ..Default::default()
+            }
+            .verify(&t, Addr::ZERO)
+            .is_coherent();
             assert_eq!(auto, bt, "auto vs backtracking, seed {seed}: {t:?}");
             assert_eq!(auto, sat, "auto vs sat, seed {seed}: {t:?}");
         }

@@ -25,7 +25,10 @@ pub fn applicable(trace: &Trace, addr: Addr) -> bool {
 /// Decide coherence at `addr` for one-simple-op-per-process instances.
 /// After [`precheck`] passes, such an instance is always coherent.
 pub fn solve_one_op(trace: &Trace, addr: Addr) -> Verdict {
-    debug_assert!(applicable(trace, addr), "one-op fast path preconditions violated");
+    debug_assert!(
+        applicable(trace, addr),
+        "one-op fast path preconditions violated"
+    );
     if let Some(v) = precheck(trace, addr) {
         return Verdict::Incoherent(v);
     }
@@ -105,7 +108,10 @@ mod tests {
 
     #[test]
     fn applicability() {
-        let ok = TraceBuilder::new().proc([Op::w(1u64)]).proc([Op::r(1u64)]).build();
+        let ok = TraceBuilder::new()
+            .proc([Op::w(1u64)])
+            .proc([Op::r(1u64)])
+            .build();
         assert!(applicable(&ok, Addr::ZERO));
         let two_ops = TraceBuilder::new().proc([Op::w(1u64), Op::r(1u64)]).build();
         assert!(!applicable(&two_ops, Addr::ZERO));
@@ -129,7 +135,10 @@ mod tests {
 
     #[test]
     fn unwritten_value_detected() {
-        let t = TraceBuilder::new().proc([Op::w(1u64)]).proc([Op::r(7u64)]).build();
+        let t = TraceBuilder::new()
+            .proc([Op::w(1u64)])
+            .proc([Op::r(7u64)])
+            .build();
         assert!(solve_one_op(&t, Addr::ZERO).is_incoherent());
     }
 
@@ -171,15 +180,18 @@ mod tests {
 
     #[test]
     fn agrees_with_exact_on_random_instances() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use vermem_util::rng::StdRng;
         for seed in 0..150u64 {
             let mut rng = StdRng::seed_from_u64(3000 + seed);
             let n = rng.gen_range(1..=6);
             let mut b = TraceBuilder::new();
             for _ in 0..n {
                 let v = rng.gen_range(0..3u64);
-                b = b.proc([if rng.gen_bool(0.5) { Op::w(v) } else { Op::r(v) }]);
+                b = b.proc([if rng.gen_bool(0.5) {
+                    Op::w(v)
+                } else {
+                    Op::r(v)
+                }]);
             }
             let mut t = b.build();
             if rng.gen_bool(0.3) {

@@ -176,7 +176,11 @@ impl OnlineVerifier {
         let queue = state.pending.entry(proc.0).or_default();
         if !queue.is_empty() {
             // Preserve program order behind an already-deferred read.
-            queue.push(PendingRead { proc, value, issued_at: seq });
+            queue.push(PendingRead {
+                proc,
+                value,
+                issued_at: seq,
+            });
             return;
         }
         let min = state.min_slot.get(&proc.0).copied().unwrap_or(0);
@@ -185,11 +189,11 @@ impl OnlineVerifier {
                 state.min_slot.insert(proc.0, slot);
             }
             None => {
-                state
-                    .pending
-                    .entry(proc.0)
-                    .or_default()
-                    .push(PendingRead { proc, value, issued_at: seq });
+                state.pending.entry(proc.0).or_default().push(PendingRead {
+                    proc,
+                    value,
+                    issued_at: seq,
+                });
             }
         }
     }

@@ -11,11 +11,9 @@
 //! direction.
 
 use crate::backtrack::{solve_backtracking_with_stats, SearchConfig};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
 use vermem_trace::classify::{InstanceProfile, KnownComplexity};
 use vermem_trace::{Addr, Op, ProcessHistory, Trace};
+use vermem_util::rng::{SliceRandom, StdRng};
 
 /// Which open cell of Figure 5.3 to generate.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -102,7 +100,9 @@ pub fn gen_open_instance(cell: OpenCell, procs: usize, seed: u64) -> Trace {
             for _ in 0..total_ops {
                 let candidates: Vec<u64> =
                     (1..=values).filter(|&v| count[v as usize] < 2).collect();
-                let Some(&v) = candidates.choose(&mut rng) else { break };
+                let Some(&v) = candidates.choose(&mut rng) else {
+                    break;
+                };
                 count[v as usize] += 1;
                 chain.push(Op::rw(current, v));
                 current = v;
@@ -143,7 +143,10 @@ pub fn probe_open_cell(
     samples: u64,
     seed: u64,
 ) -> (u64, usize, usize) {
-    let cfg = SearchConfig { max_states: Some(PROBE_STATE_CAP), ..Default::default() };
+    let cfg = SearchConfig {
+        max_states: Some(PROBE_STATE_CAP),
+        ..Default::default()
+    };
     let mut max_states = 0u64;
     let mut coherent = 0;
     let mut incoherent = 0;
@@ -176,12 +179,20 @@ mod tests {
             let p = InstanceProfile::of(&t, Addr::ZERO);
             assert!(p.max_ops_per_proc <= 2);
             assert!(p.max_writes_per_value <= 2);
-            assert_eq!(p.known_complexity(), KnownComplexity::Open, "seed {seed}: {t:?}");
+            assert_eq!(
+                p.known_complexity(),
+                KnownComplexity::Open,
+                "seed {seed}: {t:?}"
+            );
 
             let t = gen_open_instance(OpenCell::RmwTwoWritesPerValue, 4, seed);
             let p = InstanceProfile::of(&t, Addr::ZERO);
             assert!(p.max_writes_per_value <= 2, "seed {seed}");
-            assert_eq!(p.known_complexity(), KnownComplexity::Open, "seed {seed}: {t:?}");
+            assert_eq!(
+                p.known_complexity(),
+                KnownComplexity::Open,
+                "seed {seed}: {t:?}"
+            );
         }
     }
 

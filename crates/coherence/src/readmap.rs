@@ -42,7 +42,10 @@ pub fn applicable(trace: &Trace, addr: Addr) -> bool {
 /// # Panics
 /// Debug-asserts applicability; behaviour is unspecified otherwise.
 pub fn solve_readmap(trace: &Trace, addr: Addr) -> Verdict {
-    debug_assert!(applicable(trace, addr), "read-map fast path preconditions violated");
+    debug_assert!(
+        applicable(trace, addr),
+        "read-map fast path preconditions violated"
+    );
     if let Some(v) = precheck(trace, addr) {
         return Verdict::Incoherent(v);
     }
@@ -50,8 +53,10 @@ pub fn solve_readmap(trace: &Trace, addr: Addr) -> Verdict {
 
     // Index the per-address operations; block 0 is the virtual initial
     // block, block (w+1) belongs to the w-th write.
-    let ops: Vec<(OpRef, vermem_trace::Op)> =
-        trace.iter_ops().filter(|(_, op)| op.addr() == addr).collect();
+    let ops: Vec<(OpRef, vermem_trace::Op)> = trace
+        .iter_ops()
+        .filter(|(_, op)| op.addr() == addr)
+        .collect();
     let mut writer_block: HashMap<Value, usize> = HashMap::new();
     let mut write_of_block: Vec<Option<usize>> = vec![None]; // block 0 has no write
     for (i, (_, op)) in ops.iter().enumerate() {
@@ -100,7 +105,10 @@ pub fn solve_readmap(trace: &Trace, addr: Addr) -> Verdict {
                             kind: ViolationKind::PrecedenceCycle {
                                 cycle: vec![
                                     ops[i].0,
-                                    OpRef { proc: ops[i].0.proc, index: widx },
+                                    OpRef {
+                                        proc: ops[i].0.proc,
+                                        index: widx,
+                                    },
                                 ],
                             },
                         });
@@ -155,8 +163,9 @@ pub fn solve_readmap(trace: &Trace, addr: Addr) -> Verdict {
     }
 
     // Kahn's algorithm; if a final block is required, emit it last.
-    let mut queue: Vec<usize> =
-        (0..nblocks).filter(|&b| indeg[b] == 0 && Some(b) != final_block).collect();
+    let mut queue: Vec<usize> = (0..nblocks)
+        .filter(|&b| indeg[b] == 0 && Some(b) != final_block)
+        .collect();
     let mut order: Vec<usize> = Vec::with_capacity(nblocks);
     while let Some(b) = queue.pop() {
         order.push(b);
@@ -217,9 +226,15 @@ mod tests {
 
     #[test]
     fn applicability() {
-        let ok = TraceBuilder::new().proc([Op::w(1u64), Op::r(2u64)]).proc([Op::w(2u64)]).build();
+        let ok = TraceBuilder::new()
+            .proc([Op::w(1u64), Op::r(2u64)])
+            .proc([Op::w(2u64)])
+            .build();
         assert!(applicable(&ok, Addr::ZERO));
-        let dup = TraceBuilder::new().proc([Op::w(1u64)]).proc([Op::w(1u64)]).build();
+        let dup = TraceBuilder::new()
+            .proc([Op::w(1u64)])
+            .proc([Op::w(1u64)])
+            .build();
         assert!(!applicable(&dup, Addr::ZERO));
         let rmw = TraceBuilder::new().proc([Op::rw(0u64, 1u64)]).build();
         assert!(!applicable(&rmw, Addr::ZERO));
@@ -309,8 +324,7 @@ mod tests {
 
     #[test]
     fn agrees_with_exact_on_random_unique_write_instances() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use vermem_util::rng::StdRng;
         for seed in 0..100u64 {
             let mut rng = StdRng::seed_from_u64(seed);
             let procs = rng.gen_range(1..=4);

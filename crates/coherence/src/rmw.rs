@@ -56,8 +56,10 @@ pub fn solve_rmw_one_op(trace: &Trace, addr: Addr) -> Verdict {
     if let Some(v) = precheck(trace, addr) {
         return Verdict::Incoherent(v);
     }
-    let ops: Vec<(OpRef, vermem_trace::Op)> =
-        trace.iter_ops().filter(|(_, op)| op.addr() == addr).collect();
+    let ops: Vec<(OpRef, vermem_trace::Op)> = trace
+        .iter_ops()
+        .filter(|(_, op)| op.addr() == addr)
+        .collect();
     if ops.is_empty() {
         return match trace.final_value(addr) {
             Some(f) if f != trace.initial(addr) => Verdict::Incoherent(Violation {
@@ -72,7 +74,9 @@ pub fn solve_rmw_one_op(trace: &Trace, addr: Addr) -> Verdict {
     // Out-edges per value: indices of unused ops reading that value.
     let mut out: HashMap<Value, Vec<usize>> = HashMap::new();
     for (i, (_, op)) in ops.iter().enumerate() {
-        out.entry(op.read_value().expect("rmw")).or_default().push(i);
+        out.entry(op.read_value().expect("rmw"))
+            .or_default()
+            .push(i);
     }
 
     // Hierholzer from d_I: walk greedily, splicing detours.
@@ -137,8 +141,10 @@ pub fn solve_rmw_readmap(trace: &Trace, addr: Addr) -> Verdict {
     if let Some(v) = precheck(trace, addr) {
         return Verdict::Incoherent(v);
     }
-    let ops: Vec<(OpRef, vermem_trace::Op)> =
-        trace.iter_ops().filter(|(_, op)| op.addr() == addr).collect();
+    let ops: Vec<(OpRef, vermem_trace::Op)> = trace
+        .iter_ops()
+        .filter(|(_, op)| op.addr() == addr)
+        .collect();
     let initial = trace.initial(addr);
 
     // Each value is written at most once and d_I never rewritten, so at most
@@ -218,7 +224,10 @@ mod tests {
 
     #[test]
     fn one_op_applicability() {
-        let ok = TraceBuilder::new().proc([Op::rw(0u64, 1u64)]).proc([]).build();
+        let ok = TraceBuilder::new()
+            .proc([Op::rw(0u64, 1u64)])
+            .proc([])
+            .build();
         assert!(one_op_applicable(&ok, Addr::ZERO));
         let two = TraceBuilder::new()
             .proc([Op::rw(0u64, 1u64), Op::rw(1u64, 2u64)])
@@ -324,11 +333,10 @@ mod tests {
 
     #[test]
     fn one_op_agrees_with_exact_on_random_instances() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use vermem_util::rng::StdRng;
         for seed in 0..150u64 {
             let mut rng = StdRng::seed_from_u64(seed);
-            let n = rng.gen_range(1..=6);
+            let n = rng.gen_range(1..=6usize);
             let mut b = TraceBuilder::new();
             for _ in 0..n {
                 b = b.proc([Op::rw(rng.gen_range(0..4u64), rng.gen_range(0..4u64))]);
@@ -346,16 +354,13 @@ mod tests {
 
     #[test]
     fn readmap_agrees_with_exact_on_random_instances() {
-        use rand::rngs::StdRng;
-        use rand::seq::SliceRandom;
-        use rand::{Rng, SeedableRng};
+        use vermem_util::rng::{SliceRandom, StdRng};
         for seed in 0..100u64 {
             let mut rng = StdRng::seed_from_u64(7000 + seed);
             // Build a chain of unique values, then shuffle ops across procs.
-            let n = rng.gen_range(1..=6);
-            let chain: Vec<Op> =
-                (0..n).map(|i| Op::rw(i as u64, (i + 1) as u64)).collect();
-            let procs = rng.gen_range(1..=3).min(n);
+            let n = rng.gen_range(1..=6usize);
+            let chain: Vec<Op> = (0..n).map(|i| Op::rw(i as u64, (i + 1) as u64)).collect();
+            let procs = rng.gen_range(1..=3usize).min(n);
             let mut hist: Vec<Vec<Op>> = vec![Vec::new(); procs];
             let mut order: Vec<usize> = (0..n).collect();
             order.shuffle(&mut rng);

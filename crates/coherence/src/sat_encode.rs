@@ -105,8 +105,10 @@ impl VmcEncoding {
 
 /// Build the CNF encoding for the operations of `trace` at `addr`.
 pub fn encode_vmc(trace: &Trace, addr: Addr) -> VmcEncoding {
-    let ops: Vec<(OpRef, Op)> =
-        trace.iter_ops().filter(|(_, op)| op.addr() == addr).collect();
+    let ops: Vec<(OpRef, Op)> = trace
+        .iter_ops()
+        .filter(|(_, op)| op.addr() == addr)
+        .collect();
     let n = ops.len();
     let mut cnf = Cnf::new();
 
@@ -124,7 +126,12 @@ pub fn encode_vmc(trace: &Trace, addr: Addr) -> VmcEncoding {
         order.push(row);
     }
 
-    let mut enc = VmcEncoding { cnf, ops, order, trivially_unsat: false };
+    let mut enc = VmcEncoding {
+        cnf,
+        ops,
+        order,
+        trivially_unsat: false,
+    };
 
     // Clause helper with constant folding: add (¬a ∨ ¬b ∨ c).
     fn add_impl2(cnf: &mut Cnf, a: OrdTerm, b: OrdTerm, c: OrdTerm) {
@@ -155,8 +162,7 @@ pub fn encode_vmc(trace: &Trace, addr: Addr) -> VmcEncoding {
                     continue;
                 }
                 // Skip triples fully inside one process (always consistent).
-                if enc.ops[a].0.proc == enc.ops[b].0.proc
-                    && enc.ops[b].0.proc == enc.ops[c].0.proc
+                if enc.ops[a].0.proc == enc.ops[b].0.proc && enc.ops[b].0.proc == enc.ops[c].0.proc
                 {
                     continue;
                 }
@@ -166,13 +172,14 @@ pub fn encode_vmc(trace: &Trace, addr: Addr) -> VmcEncoding {
         }
     }
 
-    let writes: Vec<usize> =
-        (0..n).filter(|&i| enc.ops[i].1.is_writing()).collect();
+    let writes: Vec<usize> = (0..n).filter(|&i| enc.ops[i].1.is_writing()).collect();
     let initial = trace.initial(addr);
 
     // Read mapping constraints.
     for r in 0..n {
-        let Some(v) = enc.ops[r].1.read_value() else { continue };
+        let Some(v) = enc.ops[r].1.read_value() else {
+            continue;
+        };
         let mut selectors: Vec<Lit> = Vec::new();
 
         if v == initial {
@@ -443,8 +450,7 @@ mod tests {
 
     #[test]
     fn certified_solver_agrees_and_proofs_check() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use vermem_util::rng::StdRng;
         for seed in 0..30u64 {
             let mut rng = StdRng::seed_from_u64(77_000 + seed);
             let procs = rng.gen_range(1..=3);
@@ -474,8 +480,7 @@ mod tests {
 
     #[test]
     fn agrees_with_backtracking_on_random_instances() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use vermem_util::rng::StdRng;
         for seed in 0..80u64 {
             let mut rng = StdRng::seed_from_u64(1000 + seed);
             let procs = rng.gen_range(1..=4);

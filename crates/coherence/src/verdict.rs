@@ -63,7 +63,10 @@ impl std::fmt::Display for Violation {
         write!(f, "coherence violation at {:?}: ", self.addr)?;
         match &self.kind {
             ViolationKind::NoWriterForValue { read, value } => {
-                write!(f, "read {read:?} observes {value:?}, which is never written")
+                write!(
+                    f,
+                    "read {read:?} observes {value:?}, which is never written"
+                )
             }
             ViolationKind::FinalValueUnwritable { value } => {
                 write!(f, "required final value {value:?} cannot be produced")
@@ -75,7 +78,10 @@ impl std::fmt::Display for Violation {
                 write!(f, "invalid write order: {detail}")
             }
             ViolationKind::UnplaceableRead { read, value } => {
-                write!(f, "read {read:?} of {value:?} has no feasible slot in the write order")
+                write!(
+                    f,
+                    "read {read:?} of {value:?} has no feasible slot in the write order"
+                )
             }
             ViolationKind::BrokenRmwChain { detail } => {
                 write!(f, "read-modify-write chain cannot be formed: {detail}")

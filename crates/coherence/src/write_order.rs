@@ -53,7 +53,10 @@ pub fn solve_with_write_order(trace: &Trace, addr: Addr, write_order: &[OpRef]) 
                     kind: ViolationKind::InvalidWriteOrder {
                         detail: format!(
                             "{:?} ordered after {:?} against program order",
-                            OpRef { proc: r.proc, index: prev },
+                            OpRef {
+                                proc: r.proc,
+                                index: prev
+                            },
                             r
                         ),
                     },
@@ -90,7 +93,10 @@ pub fn solve_with_write_order(trace: &Trace, addr: Addr, write_order: &[OpRef]) 
             if value_at_slot[j] != need {
                 return Verdict::Incoherent(Violation {
                     addr,
-                    kind: ViolationKind::UnplaceableRead { read: w, value: need },
+                    kind: ViolationKind::UnplaceableRead {
+                        read: w,
+                        value: need,
+                    },
                 });
             }
         }
@@ -148,8 +154,11 @@ pub fn solve_with_write_order(trace: &Trace, addr: Addr, write_order: &[OpRef]) 
                     .map(|(w, _)| position_of[w])
                     .unwrap_or(m);
                 let mut placed = None;
-                for (i, &val) in
-                    value_at_slot.iter().enumerate().take(max_slot + 1).skip(min_slot)
+                for (i, &val) in value_at_slot
+                    .iter()
+                    .enumerate()
+                    .take(max_slot + 1)
+                    .skip(min_slot)
                 {
                     if val == need {
                         placed = Some(i);
@@ -164,7 +173,10 @@ pub fn solve_with_write_order(trace: &Trace, addr: Addr, write_order: &[OpRef]) 
                     None => {
                         return Verdict::Incoherent(Violation {
                             addr,
-                            kind: ViolationKind::UnplaceableRead { read: r, value: need },
+                            kind: ViolationKind::UnplaceableRead {
+                                read: r,
+                                value: need,
+                            },
                         });
                     }
                 }
@@ -264,10 +276,8 @@ mod tests {
             .proc([Op::w(2u64)])
             .final_value(0u32, 2u64)
             .build();
-        assert!(solve_with_write_order(&t, Addr::ZERO, &refs(&[(0, 0), (1, 0)]))
-            .is_coherent());
-        assert!(solve_with_write_order(&t, Addr::ZERO, &refs(&[(1, 0), (0, 0)]))
-            .is_incoherent());
+        assert!(solve_with_write_order(&t, Addr::ZERO, &refs(&[(0, 0), (1, 0)])).is_coherent());
+        assert!(solve_with_write_order(&t, Addr::ZERO, &refs(&[(1, 0), (0, 0)])).is_incoherent());
     }
 
     #[test]

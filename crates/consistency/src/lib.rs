@@ -33,8 +33,8 @@ pub mod vsc_conflict;
 pub mod vscc;
 
 pub use models::{check_model_schedule, MemoryModel};
-pub use sat_vsc::{encode_model, solve_model_sat, VscEncoding};
 pub use pso_operational::{solve_pso_operational, PsoConfig};
+pub use sat_vsc::{encode_model, solve_model_sat, VscEncoding};
 pub use tso_operational::{solve_tso_operational, TsoConfig};
 pub use verdict::{ConsistencyVerdict, ConsistencyViolation, ViolationClass};
 pub use vsc::{solve_sc_backtracking, VscConfig};

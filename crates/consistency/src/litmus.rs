@@ -208,8 +208,7 @@ mod tests {
     fn sc_expectations_agree_with_backtracking() {
         for test in all_litmus_tests() {
             let expected = test.expected[&MemoryModel::Sc];
-            let got =
-                solve_sc_backtracking(&test.trace, &VscConfig::default()).is_consistent();
+            let got = solve_sc_backtracking(&test.trace, &VscConfig::default()).is_consistent();
             assert_eq!(got, expected, "{} under SC (backtracking)", test.name);
         }
     }

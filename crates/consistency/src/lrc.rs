@@ -42,7 +42,9 @@ pub struct SyncHistory {
 impl SyncHistory {
     /// Build from a sequence.
     pub fn from_ops(ops: impl IntoIterator<Item = SyncOp>) -> Self {
-        SyncHistory { ops: ops.into_iter().collect() }
+        SyncHistory {
+            ops: ops.into_iter().collect(),
+        }
     }
 
     /// The operations in program order.
@@ -194,10 +196,14 @@ mod tests {
     #[test]
     fn lrc_check_is_coherence_of_stripped_trace() {
         let good = synced(vec![vec![Op::w(1u64)], vec![Op::r(1u64)]]);
-        assert!(verify_lrc_fully_synchronized(&good, L).unwrap().is_coherent());
+        assert!(verify_lrc_fully_synchronized(&good, L)
+            .unwrap()
+            .is_coherent());
 
         let bad = synced(vec![vec![Op::w(1u64)], vec![Op::r(9u64)]]);
-        assert!(!verify_lrc_fully_synchronized(&bad, L).unwrap().is_coherent());
+        assert!(!verify_lrc_fully_synchronized(&bad, L)
+            .unwrap()
+            .is_coherent());
     }
 
     #[test]

@@ -45,8 +45,12 @@ pub enum MemoryModel {
 
 impl MemoryModel {
     /// All models, strongest first.
-    pub const ALL: [MemoryModel; 4] =
-        [MemoryModel::Sc, MemoryModel::Tso, MemoryModel::Pso, MemoryModel::CoherenceOnly];
+    pub const ALL: [MemoryModel; 4] = [
+        MemoryModel::Sc,
+        MemoryModel::Tso,
+        MemoryModel::Pso,
+        MemoryModel::CoherenceOnly,
+    ];
 
     /// Is the program-order pair `x` (earlier) → `y` (later) enforced in
     /// every valid schedule?
@@ -124,7 +128,10 @@ pub fn check_model_schedule(
         }
     }
     if schedule.len() != expected {
-        return Err(ScheduleError::MissingOps { expected, found: schedule.len() });
+        return Err(ScheduleError::MissingOps {
+            expected,
+            found: schedule.len(),
+        });
     }
 
     // Enforced program order: for each process, every enforced pair must
@@ -141,7 +148,10 @@ pub fn check_model_schedule(
                     let rx = OpRef::new(p as u16, i as u32);
                     let ry = OpRef::new(p as u16, j as u32);
                     if pos[&rx] > pos[&ry] {
-                        return Err(ScheduleError::ProgramOrder { earlier: rx, later: ry });
+                        return Err(ScheduleError::ProgramOrder {
+                            earlier: rx,
+                            later: ry,
+                        });
                     }
                 }
             }
@@ -153,10 +163,17 @@ pub fn check_model_schedule(
     for &r in schedule.refs() {
         let op = trace.op(r).expect("validated");
         let addr = op.addr();
-        let cur = current.get(&addr).copied().unwrap_or_else(|| trace.initial(addr));
+        let cur = current
+            .get(&addr)
+            .copied()
+            .unwrap_or_else(|| trace.initial(addr));
         if let Some(read) = op.read_value() {
             if read != cur {
-                return Err(ScheduleError::ReadValue { read: r, expected: cur, actual: read });
+                return Err(ScheduleError::ReadValue {
+                    read: r,
+                    expected: cur,
+                    actual: read,
+                });
             }
         }
         if let Some(written) = op.written_value() {
@@ -164,9 +181,16 @@ pub fn check_model_schedule(
         }
     }
     for (&addr, &expected) in trace.final_values() {
-        let actual = current.get(&addr).copied().unwrap_or_else(|| trace.initial(addr));
+        let actual = current
+            .get(&addr)
+            .copied()
+            .unwrap_or_else(|| trace.initial(addr));
         if actual != expected {
-            return Err(ScheduleError::FinalValue { addr, expected, actual });
+            return Err(ScheduleError::FinalValue {
+                addr,
+                expected,
+                actual,
+            });
         }
     }
     Ok(())

@@ -33,8 +33,11 @@ pub fn solve_pso_operational(trace: &Trace, cfg: &PsoConfig) -> ConsistencyVerdi
         return ConsistencyVerdict::Violating(v);
     }
 
-    let per_proc: Vec<Vec<Op>> =
-        trace.histories().iter().map(|h| h.iter().collect()).collect();
+    let per_proc: Vec<Vec<Op>> = trace
+        .histories()
+        .iter()
+        .map(|h| h.iter().collect())
+        .collect();
     let total: usize = per_proc.iter().map(Vec::len).sum();
 
     let mut memory: BTreeMap<Addr, Value> = BTreeMap::new();
@@ -64,8 +67,7 @@ pub fn solve_pso_operational(trace: &Trace, cfg: &PsoConfig) -> ConsistencyVerdi
             .map(|(p, i)| vermem_trace::OpRef::new(p as u16, i))
             .collect();
         debug_assert!(
-            crate::models::check_model_schedule(trace, crate::MemoryModel::Pso, &witness)
-                .is_ok(),
+            crate::models::check_model_schedule(trace, crate::MemoryModel::Pso, &witness).is_ok(),
             "operational PSO produced an invalid commit order"
         );
         ConsistencyVerdict::Consistent(witness)
@@ -147,8 +149,10 @@ impl PsoSearch<'_> {
                 .map(|(&a, _)| a)
                 .collect();
             for addr in drainable {
-                let (value, index) =
-                    *buffers[p].get(&addr).and_then(VecDeque::front).expect("non-empty");
+                let (value, index) = *buffers[p]
+                    .get(&addr)
+                    .and_then(VecDeque::front)
+                    .expect("non-empty");
                 let saved = memory.get(&addr).copied();
                 buffers[p].get_mut(&addr).expect("present").pop_front();
                 memory.insert(addr, value);
@@ -161,16 +165,20 @@ impl PsoSearch<'_> {
                     Some(v) => memory.insert(addr, v),
                     None => memory.remove(&addr),
                 };
-                buffers[p].get_mut(&addr).expect("present").push_front((value, index));
+                buffers[p]
+                    .get_mut(&addr)
+                    .expect("present")
+                    .push_front((value, index));
             }
 
             // Move 2: issue the next instruction.
-            let Some(&op) = self.per_proc[p].get(frontier[p] as usize) else { continue };
+            let Some(&op) = self.per_proc[p].get(frontier[p] as usize) else {
+                continue;
+            };
             let index = frontier[p];
             match op {
                 Op::Read { addr, value } => {
-                    let blocked =
-                        buffers[p].get(&addr).is_some_and(|q| !q.is_empty());
+                    let blocked = buffers[p].get(&addr).is_some_and(|q| !q.is_empty());
                     let current = memory.get(&addr).copied().unwrap_or(Value::INITIAL);
                     if !blocked && current == value {
                         frontier[p] += 1;
@@ -184,7 +192,10 @@ impl PsoSearch<'_> {
                 }
                 Op::Write { addr, value } => {
                     frontier[p] += 1;
-                    buffers[p].entry(addr).or_default().push_back((value, index));
+                    buffers[p]
+                        .entry(addr)
+                        .or_default()
+                        .push_back((value, index));
                     if self.dfs(frontier, buffers, memory) {
                         return true;
                     }
@@ -193,8 +204,7 @@ impl PsoSearch<'_> {
                 }
                 Op::Rmw { addr, read, write } => {
                     if Self::buffers_empty(buffers, p) {
-                        let current =
-                            memory.get(&addr).copied().unwrap_or(Value::INITIAL);
+                        let current = memory.get(&addr).copied().unwrap_or(Value::INITIAL);
                         if current == read {
                             let saved = memory.insert(addr, write);
                             frontier[p] += 1;
@@ -280,8 +290,7 @@ mod tests {
 
     #[test]
     fn agrees_with_axiomatic_on_random_traces() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use vermem_util::rng::StdRng;
         for seed in 0..120u64 {
             let mut rng = StdRng::seed_from_u64(700_000 + seed);
             let procs = rng.gen_range(1..=3);

@@ -105,7 +105,13 @@ pub fn encode_model(trace: &Trace, model: MemoryModel) -> VscEncoding {
         order.push(row);
     }
 
-    let mut enc = VscEncoding { cnf, ops, order, trivially_unsat: false, model };
+    let mut enc = VscEncoding {
+        cnf,
+        ops,
+        order,
+        trivially_unsat: false,
+        model,
+    };
 
     fn add_impl2(cnf: &mut Cnf, a: Term, b: Term, c: Term) {
         let mut lits = Vec::with_capacity(3);
@@ -133,8 +139,7 @@ pub fn encode_model(trace: &Trace, model: MemoryModel) -> VscEncoding {
                 if c == a || c == b {
                     continue;
                 }
-                let (tab, tbc, tac) =
-                    (enc.ord_term(a, b), enc.ord_term(b, c), enc.ord_term(a, c));
+                let (tab, tbc, tac) = (enc.ord_term(a, b), enc.ord_term(b, c), enc.ord_term(a, c));
                 add_impl2(&mut enc.cnf, tab, tbc, tac);
             }
         }
@@ -142,7 +147,9 @@ pub fn encode_model(trace: &Trace, model: MemoryModel) -> VscEncoding {
 
     // Per-address read constraints.
     for r in 0..n {
-        let Some(v) = enc.ops[r].1.read_value() else { continue };
+        let Some(v) = enc.ops[r].1.read_value() else {
+            continue;
+        };
         let addr = enc.ops[r].1.addr();
         let writes: Vec<usize> = (0..n)
             .filter(|&i| enc.ops[i].1.addr() == addr && enc.ops[i].1.is_writing())
@@ -356,8 +363,7 @@ mod tests {
 
     #[test]
     fn sat_sc_agrees_with_backtracking_on_random_traces() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use vermem_util::rng::StdRng;
         for seed in 0..50u64 {
             let mut rng = StdRng::seed_from_u64(60_000 + seed);
             let procs = rng.gen_range(1..=3);
@@ -392,8 +398,7 @@ mod tests {
     fn model_hierarchy_is_monotone_on_random_traces() {
         // Anything SC-consistent is TSO-consistent is PSO-consistent is
         // coherence-consistent.
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use vermem_util::rng::StdRng;
         for seed in 0..30u64 {
             let mut rng = StdRng::seed_from_u64(70_000 + seed);
             let procs = rng.gen_range(1..=3);

@@ -76,8 +76,7 @@ pub fn solve_tso_operational(trace: &Trace, cfg: &TsoConfig) -> ConsistencyVerdi
             .map(|(p, i)| vermem_trace::OpRef::new(p as u16, i))
             .collect();
         debug_assert!(
-            crate::models::check_model_schedule(trace, crate::MemoryModel::Tso, &witness)
-                .is_ok(),
+            crate::models::check_model_schedule(trace, crate::MemoryModel::Tso, &witness).is_ok(),
             "operational TSO produced an invalid commit order"
         );
         ConsistencyVerdict::Consistent(witness)
@@ -166,15 +165,16 @@ impl TsoSearch<'_> {
             }
 
             // Move 2: issue this process's next instruction.
-            let Some(&op) = self.per_proc[p].get(frontier[p] as usize) else { continue };
+            let Some(&op) = self.per_proc[p].get(frontier[p] as usize) else {
+                continue;
+            };
             let index = frontier[p];
             match op {
                 Op::Read { addr, value } => {
                     // No forwarding: a buffered store to the address blocks
                     // the load until drained.
                     let blocked = buffers[p].iter().any(|&(a, _, _)| a == addr);
-                    let current =
-                        memory.get(&addr).copied().unwrap_or(Value::INITIAL);
+                    let current = memory.get(&addr).copied().unwrap_or(Value::INITIAL);
                     if !blocked && current == value {
                         frontier[p] += 1;
                         self.commits.push((p, index));
@@ -198,8 +198,7 @@ impl TsoSearch<'_> {
                     // Atomics drain first (issue only with an empty buffer)
                     // and take effect immediately.
                     if buffers[p].is_empty() {
-                        let current =
-                            memory.get(&addr).copied().unwrap_or(Value::INITIAL);
+                        let current = memory.get(&addr).copied().unwrap_or(Value::INITIAL);
                         if current == read {
                             let saved = memory.insert(addr, write);
                             frontier[p] += 1;
@@ -297,8 +296,7 @@ mod tests {
 
     #[test]
     fn agrees_with_axiomatic_on_random_traces() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use vermem_util::rng::StdRng;
         for seed in 0..120u64 {
             let mut rng = StdRng::seed_from_u64(500_000 + seed);
             let procs = rng.gen_range(1..=3);

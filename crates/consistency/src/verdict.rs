@@ -27,7 +27,10 @@ impl std::fmt::Display for ConsistencyViolation {
                 write!(f, "consistency violated via incoherence: {v}")
             }
             ViolationClass::NoConsistentSchedule => {
-                write!(f, "no schedule satisfies the model's ordering and value rules")
+                write!(
+                    f,
+                    "no schedule satisfies the model's ordering and value rules"
+                )
             }
         }
     }

@@ -155,7 +155,10 @@ impl ScSearch<'_> {
             return false;
         }
 
-        let key = (frontier.clone(), memory.values().copied().collect::<Vec<_>>());
+        let key = (
+            frontier.clone(),
+            memory.values().copied().collect::<Vec<_>>(),
+        );
         if !self.visited.insert(key) {
             undo(self, frontier);
             return false;
@@ -330,15 +333,16 @@ mod tests {
                 ..Default::default()
             });
             let v = solve(&t);
-            let s = v.schedule().unwrap_or_else(|| panic!("seed {seed} must be SC"));
+            let s = v
+                .schedule()
+                .unwrap_or_else(|| panic!("seed {seed} must be SC"));
             check_sc_schedule(&t, s).unwrap();
         }
     }
 
     #[test]
     fn agrees_with_brute_force_on_tiny_instances() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use vermem_util::rng::StdRng;
         for seed in 0..80u64 {
             let mut rng = StdRng::seed_from_u64(40_000 + seed);
             let procs = rng.gen_range(1..=3);
@@ -367,8 +371,7 @@ mod tests {
     fn brute_force_sc(trace: &Trace) -> bool {
         fn rec(trace: &Trace, frontier: &mut Vec<u32>, acc: &mut Vec<OpRef>, total: usize) -> bool {
             if acc.len() == total {
-                return check_sc_schedule(trace, &Schedule::from_refs(acc.iter().copied()))
-                    .is_ok();
+                return check_sc_schedule(trace, &Schedule::from_refs(acc.iter().copied())).is_ok();
             }
             for p in 0..frontier.len() {
                 if (frontier[p] as usize) < trace.histories()[p].len() {

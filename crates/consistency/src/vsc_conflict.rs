@@ -52,8 +52,11 @@ pub fn merge_coherent_schedules(
     schedules: &BTreeMap<Addr, Schedule>,
 ) -> MergeOutcome {
     // Dense numbering of all ops.
-    let ids: BTreeMap<OpRef, usize> =
-        trace.iter_ops().enumerate().map(|(i, (r, _))| (r, i)).collect();
+    let ids: BTreeMap<OpRef, usize> = trace
+        .iter_ops()
+        .enumerate()
+        .map(|(i, (r, _))| (r, i))
+        .collect();
     let refs: Vec<OpRef> = trace.iter_ops().map(|(r, _)| r).collect();
     let n = refs.len();
 
@@ -94,7 +97,9 @@ pub fn merge_coherent_schedules(
         }
     }
     if order.len() != n {
-        return MergeOutcome::Cyclic { stuck_ops: n - order.len() };
+        return MergeOutcome::Cyclic {
+            stuck_ops: n - order.len(),
+        };
     }
     let witness = Schedule::from_refs(order);
     debug_assert!(

@@ -13,11 +13,11 @@
 //! cheap merge fails, falls back to the exact VSC decision, reporting which
 //! stage settled the answer so the incompleteness is observable.
 
-use crate::sat_vsc::solve_model_sat;
 use crate::models::MemoryModel;
+use crate::sat_vsc::solve_model_sat;
+use crate::verdict::ConsistencyVerdict;
 use crate::vsc::{solve_sc_backtracking, VscConfig};
 use crate::vsc_conflict::{merge_coherent_schedules, MergeOutcome};
-use crate::verdict::ConsistencyVerdict;
 use std::collections::BTreeMap;
 use vermem_coherence::{ExecutionVerdict, Violation};
 use vermem_trace::{Addr, Schedule, Trace};
@@ -136,7 +136,11 @@ pub fn misleading_merge_example() -> (Trace, BTreeMap<Addr, Schedule>) {
     use vermem_trace::{Op, OpRef, TraceBuilder};
     let trace = TraceBuilder::new()
         .proc([Op::write(0u32, 1u64), Op::read(1u32, 1u64)])
-        .proc([Op::write(1u32, 1u64), Op::write(1u32, 2u64), Op::write(1u32, 1u64)])
+        .proc([
+            Op::write(1u32, 1u64),
+            Op::write(1u32, 2u64),
+            Op::write(1u32, 1u64),
+        ])
         .proc([Op::read(1u32, 2u64), Op::read(0u32, 0u64)])
         .build();
 

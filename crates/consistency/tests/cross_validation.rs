@@ -2,37 +2,47 @@
 //! direct SC solvers, the model hierarchy, and the operational TSO machine
 //! semantics must all tell one coherent story on random traces.
 
-use proptest::prelude::*;
 use vermem_consistency::{
     solve_model_sat, solve_pso_operational, solve_sc_backtracking, solve_tso_operational,
     verify_vscc, MemoryModel, PsoConfig, SettledBy, TsoConfig, VscConfig,
 };
 use vermem_trace::{Op, Trace, TraceBuilder};
+use vermem_util::prop::PropConfig;
+use vermem_util::rng::StdRng;
+use vermem_util::{prop_assert, prop_assert_eq, prop_check};
 
-fn arb_trace() -> impl Strategy<Value = Trace> {
-    let op = (0u8..5, 0u32..2, 0u64..3, 0u64..3).prop_map(|(kind, a, v, w)| match kind {
-        0 | 1 => Op::read(a, v),
-        2 | 3 => Op::write(a, v),
-        _ => Op::rmw(a, v, w),
-    });
-    let history = prop::collection::vec(op, 0..=4);
-    prop::collection::vec(history, 1..=3).prop_map(|hists| {
-        let mut b = TraceBuilder::new();
-        for h in hists {
-            b = b.proc(h);
-        }
-        b.build()
-    })
+/// Random trace with 1–3 processes of up to 4 ops over 2 addresses and a
+/// 3-value universe (small enough that every solver in the stack finishes).
+fn arb_trace(rng: &mut StdRng, size: usize) -> Trace {
+    let procs = rng.gen_range(1..=3usize);
+    let max_ops = size.min(4);
+    let mut b = TraceBuilder::new();
+    for _ in 0..procs {
+        let len = rng.gen_range(0..=max_ops);
+        let ops: Vec<Op> = (0..len)
+            .map(|_| {
+                let kind = rng.gen_range(0..5u8);
+                let a = rng.gen_range(0..2u32);
+                let v = rng.gen_range(0..3u64);
+                let w = rng.gen_range(0..3u64);
+                match kind {
+                    0 | 1 => Op::read(a, v),
+                    2 | 3 => Op::write(a, v),
+                    _ => Op::rmw(a, v, w),
+                }
+            })
+            .collect();
+        b = b.proc(ops);
+    }
+    b.build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
+#[test]
+fn vscc_pipeline_agrees_with_direct_sc() {
     // The VSCC pipeline's final verdict equals the direct SC decision.
-    #[test]
-    fn vscc_pipeline_agrees_with_direct_sc(trace in arb_trace()) {
-        let direct = solve_sc_backtracking(&trace, &VscConfig::default());
-        let report = verify_vscc(&trace);
+    prop_check!(PropConfig::with_cases(96), arb_trace, |trace: &Trace| {
+        let direct = solve_sc_backtracking(trace, &VscConfig::default());
+        let report = verify_vscc(trace);
         // When coherence fails, SC fails too (coherence is necessary).
         prop_assert_eq!(
             report.verdict.is_consistent(),
@@ -44,50 +54,56 @@ proptest! {
         if report.settled_by == SettledBy::FastMerge {
             prop_assert!(direct.is_consistent());
         }
-    }
+        Ok(())
+    });
+}
 
+#[test]
+fn model_hierarchy_is_monotone() {
     // Model hierarchy: SC ⊆ TSO ⊆ PSO ⊆ CoherenceOnly.
-    #[test]
-    fn model_hierarchy_is_monotone(trace in arb_trace()) {
-        let sc = solve_model_sat(&trace, MemoryModel::Sc).is_consistent();
-        let tso = solve_model_sat(&trace, MemoryModel::Tso).is_consistent();
-        let pso = solve_model_sat(&trace, MemoryModel::Pso).is_consistent();
-        let coh = solve_model_sat(&trace, MemoryModel::CoherenceOnly).is_consistent();
+    prop_check!(PropConfig::with_cases(96), arb_trace, |trace: &Trace| {
+        let sc = solve_model_sat(trace, MemoryModel::Sc).is_consistent();
+        let tso = solve_model_sat(trace, MemoryModel::Tso).is_consistent();
+        let pso = solve_model_sat(trace, MemoryModel::Pso).is_consistent();
+        let coh = solve_model_sat(trace, MemoryModel::CoherenceOnly).is_consistent();
         prop_assert!(!sc || tso);
         prop_assert!(!tso || pso);
         prop_assert!(!pso || coh);
         // Coherence-only consistency equals per-address coherence.
-        prop_assert_eq!(
-            coh,
-            vermem_coherence::verify_execution(&trace).is_coherent()
-        );
-    }
+        prop_assert_eq!(coh, vermem_coherence::verify_execution(trace).is_coherent());
+        Ok(())
+    });
+}
 
-    // Operational and axiomatic TSO agree.
-    #[test]
-    fn operational_tso_equals_axiomatic_tso(trace in arb_trace()) {
-        let operational =
-            solve_tso_operational(&trace, &TsoConfig::default()).is_consistent();
-        let axiomatic = solve_model_sat(&trace, MemoryModel::Tso).is_consistent();
+#[test]
+fn operational_tso_equals_axiomatic_tso() {
+    prop_check!(PropConfig::with_cases(96), arb_trace, |trace: &Trace| {
+        let operational = solve_tso_operational(trace, &TsoConfig::default()).is_consistent();
+        let axiomatic = solve_model_sat(trace, MemoryModel::Tso).is_consistent();
         prop_assert_eq!(operational, axiomatic);
-    }
+        Ok(())
+    });
+}
 
-    // Operational and axiomatic PSO agree.
-    #[test]
-    fn operational_pso_equals_axiomatic_pso(trace in arb_trace()) {
-        let operational =
-            solve_pso_operational(&trace, &PsoConfig::default()).is_consistent();
-        let axiomatic = solve_model_sat(&trace, MemoryModel::Pso).is_consistent();
+#[test]
+fn operational_pso_equals_axiomatic_pso() {
+    prop_check!(PropConfig::with_cases(96), arb_trace, |trace: &Trace| {
+        let operational = solve_pso_operational(trace, &PsoConfig::default()).is_consistent();
+        let axiomatic = solve_model_sat(trace, MemoryModel::Pso).is_consistent();
         prop_assert_eq!(operational, axiomatic);
-    }
+        Ok(())
+    });
+}
 
+#[test]
+fn sc_engines_agree() {
     // SC backtracking and SC-via-SAT agree (redundant engines).
-    #[test]
-    fn sc_engines_agree(trace in arb_trace()) {
-        let bt = solve_sc_backtracking(&trace, &VscConfig::default()).is_consistent();
-        let sat = solve_model_sat(&trace, MemoryModel::Sc).is_consistent();
+    prop_check!(PropConfig::with_cases(96), arb_trace, |trace: &Trace| {
+        let bt = solve_sc_backtracking(trace, &VscConfig::default()).is_consistent();
+        let sat = solve_model_sat(trace, MemoryModel::Sc).is_consistent();
         prop_assert_eq!(bt, sat);
-    }
+        Ok(())
+    });
 }
 
 #[test]

@@ -60,8 +60,12 @@ mod tests {
         assert!(red.sync_trace.is_fully_synchronized(LOCK));
         // Three sync ops per memory op.
         let mem_ops = red.vmc.trace.num_ops();
-        let sync_ops: usize =
-            red.sync_trace.histories().iter().map(|h| h.ops().len()).sum();
+        let sync_ops: usize = red
+            .sync_trace
+            .histories()
+            .iter()
+            .map(|h| h.ops().len())
+            .sum();
         assert_eq!(sync_ops, 3 * mem_ops);
     }
 

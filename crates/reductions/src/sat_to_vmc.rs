@@ -69,8 +69,11 @@ pub fn reduce_sat_to_vmc(cnf: &Cnf) -> VmcReduction {
     // in. Complemented literals read in the opposite order.
     for i in 0..m {
         for positive in [true, false] {
-            let (first, second) =
-                if positive { (d_pos(i), d_neg(i)) } else { (d_neg(i), d_pos(i)) };
+            let (first, second) = if positive {
+                (d_pos(i), d_neg(i))
+            } else {
+                (d_neg(i), d_pos(i))
+            };
             let mut h = ProcessHistory::new();
             h.push(Op::r(first));
             h.push(Op::r(second));
@@ -100,7 +103,12 @@ pub fn reduce_sat_to_vmc(cnf: &Cnf) -> VmcReduction {
     let trace = Trace::from_histories(histories);
     let h1_write = (0..m).map(|i| OpRef::new(0u16, i)).collect();
     let h2_write = (0..m).map(|i| OpRef::new(1u16, i)).collect();
-    VmcReduction { trace, num_vars: m, h1_write, h2_write }
+    VmcReduction {
+        trace,
+        num_vars: m,
+        h1_write,
+        h2_write,
+    }
 }
 
 impl VmcReduction {
@@ -223,7 +231,12 @@ mod tests {
     #[test]
     fn extracted_assignments_satisfy_the_formula() {
         for seed in 0..30u64 {
-            let cfg = vermem_sat::random::RandomSatConfig { num_vars: 4, num_clauses: 8, k: 3, seed };
+            let cfg = vermem_sat::random::RandomSatConfig {
+                num_vars: 4,
+                num_clauses: 8,
+                k: 3,
+                seed,
+            };
             let f = vermem_sat::random::gen_random_ksat(&cfg);
             let red = reduce_sat_to_vmc(&f);
             if let Verdict::Coherent(s) = vmc_coherent(&red.trace) {
@@ -250,7 +263,10 @@ mod tests {
             let sat = solve_cdcl(&f).is_sat();
             let red = reduce_sat_to_vmc(&f);
             let coherent = vmc_coherent(&red.trace).is_coherent();
-            assert_eq!(sat, coherent, "seed {seed}: SAT={sat} but coherent={coherent}");
+            assert_eq!(
+                sat, coherent,
+                "seed {seed}: SAT={sat} but coherent={coherent}"
+            );
         }
     }
 }

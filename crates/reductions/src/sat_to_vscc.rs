@@ -64,22 +64,40 @@ pub fn reduce_sat_to_vscc(cnf: &Cnf) -> VsccReduction {
     // h1: W(a_u, d_X) ∀u; R(a_Δ, d_Z); W(a_u, d_Y) ∀u.
     let mut h1 = ProcessHistory::new();
     for i in 0..m {
-        h1.push(Op::Write { addr: addr_var(i), value: D_X });
+        h1.push(Op::Write {
+            addr: addr_var(i),
+            value: D_X,
+        });
     }
-    h1.push(Op::Read { addr: gate, value: D_Z });
+    h1.push(Op::Read {
+        addr: gate,
+        value: D_Z,
+    });
     for i in 0..m {
-        h1.push(Op::Write { addr: addr_var(i), value: D_Y });
+        h1.push(Op::Write {
+            addr: addr_var(i),
+            value: D_Y,
+        });
     }
     histories.push(h1);
 
     // h2: W(a_u, d_Y) ∀u; R(a_Δ, d_Z); W(a_u, d_X) ∀u.
     let mut h2 = ProcessHistory::new();
     for i in 0..m {
-        h2.push(Op::Write { addr: addr_var(i), value: D_Y });
+        h2.push(Op::Write {
+            addr: addr_var(i),
+            value: D_Y,
+        });
     }
-    h2.push(Op::Read { addr: gate, value: D_Z });
+    h2.push(Op::Read {
+        addr: gate,
+        value: D_Z,
+    });
     for i in 0..m {
-        h2.push(Op::Write { addr: addr_var(i), value: D_X });
+        h2.push(Op::Write {
+            addr: addr_var(i),
+            value: D_X,
+        });
     }
     histories.push(h2);
 
@@ -88,11 +106,20 @@ pub fn reduce_sat_to_vscc(cnf: &Cnf) -> VsccReduction {
         for positive in [true, false] {
             let (first, second) = if positive { (D_X, D_Y) } else { (D_Y, D_X) };
             let mut h = ProcessHistory::new();
-            h.push(Op::Read { addr: addr_var(i), value: first });
-            h.push(Op::Read { addr: addr_var(i), value: second });
+            h.push(Op::Read {
+                addr: addr_var(i),
+                value: first,
+            });
+            h.push(Op::Read {
+                addr: addr_var(i),
+                value: second,
+            });
             for (j, clause) in cnf.clauses().iter().enumerate() {
                 if clause.contains(&Var(i).lit(positive)) {
-                    h.push(Op::Write { addr: addr_clause(m, j), value: D_Z });
+                    h.push(Op::Write {
+                        addr: addr_clause(m, j),
+                        value: D_Z,
+                    });
                 }
             }
             histories.push(h);
@@ -102,15 +129,26 @@ pub fn reduce_sat_to_vscc(cnf: &Cnf) -> VsccReduction {
     // h3: R(a_c, d_Z) ∀c; W(a_Δ, d_Z).
     let mut h3 = ProcessHistory::new();
     for j in 0..n {
-        h3.push(Op::Read { addr: addr_clause(m, j), value: D_Z });
+        h3.push(Op::Read {
+            addr: addr_clause(m, j),
+            value: D_Z,
+        });
     }
-    h3.push(Op::Write { addr: gate, value: D_Z });
+    h3.push(Op::Write {
+        addr: gate,
+        value: D_Z,
+    });
     histories.push(h3);
 
     let trace = Trace::from_histories(histories);
     let h1_write = (0..m).map(|i| OpRef::new(0u16, i)).collect();
     let h2_write = (0..m).map(|i| OpRef::new(1u16, i)).collect();
-    VsccReduction { trace, num_vars: m, h1_write, h2_write }
+    VsccReduction {
+        trace,
+        num_vars: m,
+        h1_write,
+        h2_write,
+    }
 }
 
 impl VsccReduction {

@@ -69,11 +69,17 @@ impl ValueSpace {
 /// Panics if some clause has more than three literals.
 pub fn reduce_3sat_restricted(cnf: &Cnf) -> Restricted3SatReduction {
     for clause in cnf.clauses() {
-        assert!(clause.len() <= 3, "3SAT reduction requires clauses of at most 3 literals");
+        assert!(
+            clause.len() <= 3,
+            "3SAT reduction requires clauses of at most 3 literals"
+        );
     }
     let m = cnf.num_vars();
     let n = cnf.num_clauses();
-    let vs = ValueSpace { m: u64::from(m), n: n as u64 };
+    let vs = ValueSpace {
+        m: u64::from(m),
+        n: n as u64,
+    };
     let mut histories: Vec<ProcessHistory> = Vec::new();
 
     // h1 groups: ≤3 writes of d_u per history.
@@ -174,7 +180,10 @@ pub fn reduce_3sat_restricted(cnf: &Cnf) -> Restricted3SatReduction {
         histories.push(h);
     }
 
-    Restricted3SatReduction { trace: Trace::from_histories(histories), num_vars: m }
+    Restricted3SatReduction {
+        trace: Trace::from_histories(histories),
+        num_vars: m,
+    }
 }
 
 /// Check whether a literal occurs in a clause (used by tests).
@@ -207,7 +216,10 @@ mod tests {
         let red = reduce_3sat_restricted(&f);
         let profile = InstanceProfile::of(&red.trace, Addr::ZERO);
         assert!(profile.max_ops_per_proc <= 3, "≤3 ops per process required");
-        assert!(profile.max_writes_per_value <= 2, "≤2 writes per value required");
+        assert!(
+            profile.max_writes_per_value <= 2,
+            "≤2 writes per value required"
+        );
         assert_eq!(profile.mix, OpMix::SimpleOnly);
     }
 
@@ -220,7 +232,10 @@ mod tests {
         ] {
             assert!(vermem_sat::solve_cdcl(&f).is_sat());
             let red = reduce_3sat_restricted(&f);
-            assert!(coherent(&red.trace), "SAT formula must reduce to coherent instance");
+            assert!(
+                coherent(&red.trace),
+                "SAT formula must reduce to coherent instance"
+            );
         }
     }
 
@@ -233,7 +248,10 @@ mod tests {
         ] {
             assert!(!vermem_sat::solve_cdcl(&f).is_sat());
             let red = reduce_3sat_restricted(&f);
-            assert!(!coherent(&red.trace), "UNSAT formula must reduce to incoherent instance");
+            assert!(
+                !coherent(&red.trace),
+                "UNSAT formula must reduce to incoherent instance"
+            );
         }
     }
 

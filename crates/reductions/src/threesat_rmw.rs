@@ -55,7 +55,10 @@ pub struct Rmw3SatReduction {
 /// Panics if some clause has more than three literals.
 pub fn reduce_3sat_rmw(cnf: &Cnf) -> Rmw3SatReduction {
     for clause in cnf.clauses() {
-        assert!(clause.len() <= 3, "3SAT reduction requires clauses of at most 3 literals");
+        assert!(
+            clause.len() <= 3,
+            "3SAT reduction requires clauses of at most 3 literals"
+        );
     }
     let m = cnf.num_vars() as usize;
     let n = cnf.num_clauses();
@@ -102,7 +105,11 @@ pub fn reduce_3sat_rmw(cnf: &Cnf) -> Rmw3SatReduction {
             // Chain B_i → X_1 → … → B_{i+1}; second RMW does clause work.
             let mut prev = b[i];
             for (k, &j) in occ.iter().enumerate() {
-                let next_val = if k + 1 == occ.len() { b[i + 1] } else { fresh() };
+                let next_val = if k + 1 == occ.len() {
+                    b[i + 1]
+                } else {
+                    fresh()
+                };
                 histories.push(ProcessHistory::from_ops([
                     Op::rw(prev, next_val),
                     Op::rw(t[j], c[j]),
@@ -128,8 +135,7 @@ pub fn reduce_3sat_rmw(cnf: &Cnf) -> Rmw3SatReduction {
 
     // Pass B: serve the remaining r_j = |c_j| - 1 literal consumers per
     // clause, then end in d_F.
-    let pass_b: Vec<usize> =
-        (0..n).filter(|&j| cnf.clauses()[j].len() > 1).collect();
+    let pass_b: Vec<usize> = (0..n).filter(|&j| cnf.clauses()[j].len() > 1).collect();
     if pass_b.is_empty() {
         histories.push(ProcessHistory::from_ops([Op::rw(b[m], final_value)]));
     } else {
@@ -141,14 +147,21 @@ pub fn reduce_3sat_rmw(cnf: &Cnf) -> Rmw3SatReduction {
                 histories.push(ProcessHistory::from_ops([Op::rw(c[j], t[j])]));
             }
             // Out edge to the next pass-B clause, or to the final value.
-            let target = if a + 1 == pass_b.len() { final_value } else { t[pass_b[a + 1]] };
+            let target = if a + 1 == pass_b.len() {
+                final_value
+            } else {
+                t[pass_b[a + 1]]
+            };
             histories.push(ProcessHistory::from_ops([Op::rw(c[j], target)]));
         }
     }
 
     let mut trace = Trace::from_histories(histories);
     trace.set_final(0u32, final_value);
-    Rmw3SatReduction { trace, num_vars: m as u32 }
+    Rmw3SatReduction {
+        trace,
+        num_vars: m as u32,
+    }
 }
 
 #[cfg(test)]
@@ -176,8 +189,14 @@ mod tests {
         let red = reduce_3sat_rmw(&f);
         let profile = InstanceProfile::of(&red.trace, Addr::ZERO);
         assert_eq!(profile.mix, OpMix::RmwOnly, "only RMW operations allowed");
-        assert!(profile.max_ops_per_proc <= 2, "≤2 RMWs per process required");
-        assert!(profile.max_writes_per_value <= 3, "≤3 writes per value required");
+        assert!(
+            profile.max_ops_per_proc <= 2,
+            "≤2 RMWs per process required"
+        );
+        assert!(
+            profile.max_writes_per_value <= 3,
+            "≤3 writes per value required"
+        );
     }
 
     #[test]
@@ -190,7 +209,10 @@ mod tests {
         ] {
             assert!(vermem_sat::solve_cdcl(&f).is_sat());
             let red = reduce_3sat_rmw(&f);
-            assert!(coherent(&red.trace), "SAT formula must reduce to coherent instance");
+            assert!(
+                coherent(&red.trace),
+                "SAT formula must reduce to coherent instance"
+            );
         }
     }
 
@@ -203,7 +225,10 @@ mod tests {
         ] {
             assert!(!vermem_sat::solve_cdcl(&f).is_sat());
             let red = reduce_3sat_rmw(&f);
-            assert!(!coherent(&red.trace), "UNSAT formula must reduce to incoherent instance");
+            assert!(
+                !coherent(&red.trace),
+                "UNSAT formula must reduce to incoherent instance"
+            );
         }
     }
 

@@ -80,7 +80,12 @@ impl Cnf {
 
 impl fmt::Debug for Cnf {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Cnf[{} vars, {} clauses]", self.num_vars, self.clauses.len())?;
+        writeln!(
+            f,
+            "Cnf[{} vars, {} clauses]",
+            self.num_vars,
+            self.clauses.len()
+        )?;
         for c in &self.clauses {
             writeln!(f, "  {c:?}")?;
         }

@@ -36,7 +36,10 @@ pub fn parse_dimacs(input: &str) -> Result<Cnf, DimacsError> {
         }
         if let Some(rest) = line.strip_prefix('p') {
             if header.is_some() {
-                return Err(DimacsError { line: lineno, message: "duplicate header".into() });
+                return Err(DimacsError {
+                    line: lineno,
+                    message: "duplicate header".into(),
+                });
             }
             let parts: Vec<&str> = rest.split_whitespace().collect();
             if parts.len() != 3 || parts[0] != "cnf" {
@@ -58,7 +61,10 @@ pub fn parse_dimacs(input: &str) -> Result<Cnf, DimacsError> {
             continue;
         }
         if header.is_none() {
-            return Err(DimacsError { line: lineno, message: "clause before header".into() });
+            return Err(DimacsError {
+                line: lineno,
+                message: "clause before header".into(),
+            });
         }
         for token in line.split_whitespace() {
             let code = token.parse::<i64>().map_err(|_| DimacsError {
@@ -114,7 +120,10 @@ mod tests {
         let cnf = parse_dimacs("c comment\np cnf 3 2\n1 -2 0\n2 3 0\n").unwrap();
         assert_eq!(cnf.num_vars(), 3);
         assert_eq!(cnf.num_clauses(), 2);
-        assert_eq!(cnf.clauses()[0], vec![Lit::from_dimacs(1), Lit::from_dimacs(-2)]);
+        assert_eq!(
+            cnf.clauses()[0],
+            vec![Lit::from_dimacs(1), Lit::from_dimacs(-2)]
+        );
     }
 
     #[test]

@@ -40,10 +40,14 @@ pub enum ProofCheck {
 pub fn check_unsat_proof(cnf: &Cnf, proof: &Proof) -> ProofCheck {
     let mut clauses: Vec<Vec<Lit>> = cnf.clauses().to_vec();
     let mut derived_empty = clauses.iter().any(Vec::is_empty);
-    let num_vars = cnf
-        .num_vars()
-        .max(proof.iter().flatten().map(|l| l.var().0 + 1).max().unwrap_or(0))
-        as usize;
+    let num_vars = cnf.num_vars().max(
+        proof
+            .iter()
+            .flatten()
+            .map(|l| l.var().0 + 1)
+            .max()
+            .unwrap_or(0),
+    ) as usize;
 
     for (index, lemma) in proof.iter().enumerate() {
         if derived_empty {
@@ -173,7 +177,11 @@ mod tests {
             let refs: Vec<&[i64]> = clauses.iter().map(|c| c.as_slice()).collect();
             let f = cnf(&refs);
             let proof = prove_unsat(&f);
-            assert_eq!(check_unsat_proof(&f, &proof), ProofCheck::Valid, "holes={holes}");
+            assert_eq!(
+                check_unsat_proof(&f, &proof),
+                ProofCheck::Valid,
+                "holes={holes}"
+            );
         }
     }
 
@@ -195,7 +203,10 @@ mod tests {
                 checked += 1;
             }
         }
-        assert!(checked > 5, "expected several UNSAT instances, got {checked}");
+        assert!(
+            checked > 5,
+            "expected several UNSAT instances, got {checked}"
+        );
     }
 
     #[test]
@@ -203,7 +214,10 @@ mod tests {
         let f = cnf(&[&[1, 2], &[-1, 2]]);
         // Claiming the empty clause directly is not RUP here (f is SAT).
         let bogus: Proof = vec![vec![]];
-        assert_eq!(check_unsat_proof(&f, &bogus), ProofCheck::LemmaNotRup { index: 0 });
+        assert_eq!(
+            check_unsat_proof(&f, &bogus),
+            ProofCheck::LemmaNotRup { index: 0 }
+        );
         // A proof without the empty clause refutes nothing.
         let partial: Proof = vec![vec![Lit::from_dimacs(2)]];
         assert_eq!(check_unsat_proof(&f, &partial), ProofCheck::NoEmptyClause);

@@ -51,10 +51,7 @@ impl Formula {
 
     /// Biconditional sugar: `self ↔ rhs`.
     pub fn iff(self, rhs: Formula) -> Formula {
-        Formula::and([
-            self.clone().implies(rhs.clone()),
-            rhs.implies(self),
-        ])
+        Formula::and([self.clone().implies(rhs.clone()), rhs.implies(self)])
     }
 
     /// Highest variable index used, plus one (0 if no variables).
@@ -232,8 +229,7 @@ mod tests {
         let n = f.num_vars();
         let mut truth_sat = false;
         for bits in 0..(1u32 << n) {
-            let model =
-                Model::from_values((0..n).map(|i| bits >> i & 1 == 1).collect());
+            let model = Model::from_values((0..n).map(|i| bits >> i & 1 == 1).collect());
             if f.eval(&model) == Some(true) {
                 truth_sat = true;
             }
@@ -242,8 +238,7 @@ mod tests {
         assert_eq!(cnf_result.is_sat(), truth_sat);
         if let Some(m) = cnf_result.model() {
             // Restriction of the CNF model to original vars satisfies f.
-            let restricted =
-                Model::from_values((0..n as usize).map(|i| m.values()[i]).collect());
+            let restricted = Model::from_values((0..n as usize).map(|i| m.values()[i]).collect());
             assert_eq!(f.eval(&restricted), Some(true));
         }
     }

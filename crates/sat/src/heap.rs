@@ -145,7 +145,9 @@ mod tests {
         for v in 0..5 {
             h.insert(Var(v), &activity);
         }
-        let order: Vec<u32> = std::iter::from_fn(|| h.pop_max(&activity)).map(|v| v.0).collect();
+        let order: Vec<u32> = std::iter::from_fn(|| h.pop_max(&activity))
+            .map(|v| v.0)
+            .collect();
         assert_eq!(order, vec![4, 2, 0, 3, 1]);
     }
 

@@ -21,8 +21,8 @@
 
 mod cnf;
 pub mod dimacs;
-pub mod drat;
 mod dpll;
+pub mod drat;
 mod formula;
 mod heap;
 mod lit;

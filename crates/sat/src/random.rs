@@ -3,9 +3,7 @@
 
 use crate::cnf::Cnf;
 use crate::lit::Var;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use vermem_util::rng::{SliceRandom, StdRng};
 
 /// Configuration for random k-SAT generation.
 #[derive(Clone, Copy, Debug)]
@@ -36,7 +34,10 @@ impl RandomSatConfig {
 /// Generate a uniformly random k-SAT instance: each clause picks `k`
 /// distinct variables and independent random polarities.
 pub fn gen_random_ksat(cfg: &RandomSatConfig) -> Cnf {
-    assert!(cfg.k as u64 <= cfg.num_vars as u64, "k must not exceed variable count");
+    assert!(
+        cfg.k as u64 <= cfg.num_vars as u64,
+        "k must not exceed variable count"
+    );
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut cnf = Cnf::new();
     cnf.reserve_vars(cfg.num_vars);
@@ -53,7 +54,10 @@ pub fn gen_random_ksat(cfg: &RandomSatConfig) -> Cnf {
 /// least one literal true under it. Useful for benchmarking the SAT path
 /// of reductions without hitting UNSAT blow-ups.
 pub fn gen_forced_sat(cfg: &RandomSatConfig) -> Cnf {
-    assert!(cfg.k as u64 <= cfg.num_vars as u64, "k must not exceed variable count");
+    assert!(
+        cfg.k as u64 <= cfg.num_vars as u64,
+        "k must not exceed variable count"
+    );
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let hidden: Vec<bool> = (0..cfg.num_vars).map(|_| rng.gen_bool(0.5)).collect();
     let mut cnf = Cnf::new();
@@ -62,11 +66,11 @@ pub fn gen_forced_sat(cfg: &RandomSatConfig) -> Cnf {
     for _ in 0..cfg.num_clauses {
         loop {
             let chosen: Vec<u32> = vars.choose_multiple(&mut rng, cfg.k).copied().collect();
-            let lits: Vec<_> =
-                chosen.iter().map(|&v| Var(v).lit(rng.gen_bool(0.5))).collect();
-            let satisfied = lits
+            let lits: Vec<_> = chosen
                 .iter()
-                .any(|&l| hidden[l.var().index()] == l.is_pos());
+                .map(|&v| Var(v).lit(rng.gen_bool(0.5)))
+                .collect();
+            let satisfied = lits.iter().any(|&l| hidden[l.var().index()] == l.is_pos());
             if satisfied {
                 cnf.add_clause(lits);
                 break;
@@ -84,7 +88,12 @@ mod tests {
 
     #[test]
     fn generates_requested_shape() {
-        let cfg = RandomSatConfig { num_vars: 20, num_clauses: 50, k: 3, seed: 1 };
+        let cfg = RandomSatConfig {
+            num_vars: 20,
+            num_clauses: 50,
+            k: 3,
+            seed: 1,
+        };
         let cnf = gen_random_ksat(&cfg);
         assert_eq!(cnf.num_vars(), 20);
         assert_eq!(cnf.num_clauses(), 50);
@@ -111,14 +120,27 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let cfg = RandomSatConfig { num_vars: 10, num_clauses: 20, k: 3, seed: 42 };
-        assert_eq!(gen_random_ksat(&cfg).clauses(), gen_random_ksat(&cfg).clauses());
+        let cfg = RandomSatConfig {
+            num_vars: 10,
+            num_clauses: 20,
+            k: 3,
+            seed: 42,
+        };
+        assert_eq!(
+            gen_random_ksat(&cfg).clauses(),
+            gen_random_ksat(&cfg).clauses()
+        );
     }
 
     #[test]
     fn hidden_model_satisfies_forced_instances() {
         // Re-derive the hidden assignment and check it satisfies.
-        let cfg = RandomSatConfig { num_vars: 15, num_clauses: 40, k: 3, seed: 7 };
+        let cfg = RandomSatConfig {
+            num_vars: 15,
+            num_clauses: 40,
+            k: 3,
+            seed: 7,
+        };
         let cnf = gen_forced_sat(&cfg);
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let hidden: Vec<bool> = (0..cfg.num_vars).map(|_| rng.gen_bool(0.5)).collect();

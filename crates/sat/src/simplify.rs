@@ -64,7 +64,10 @@ pub fn preprocess(cnf: &Cnf) -> Simplified {
 
         // 1. Toplevel unit propagation.
         loop {
-            let unit = clauses.iter().find(|c| c.len() == 1).map(|c| *c.iter().next().unwrap());
+            let unit = clauses
+                .iter()
+                .find(|c| c.len() == 1)
+                .map(|c| *c.iter().next().unwrap());
             let Some(u) = unit else { break };
             match fixed.get(&u.var().0) {
                 Some(&prev) if prev != u => {
@@ -211,7 +214,11 @@ mod tests {
         // No — strengthening drops ¬a? C=(a∨b), D=(¬a∨b∨c): C\{a}={b}⊆D,
         // so D strengthens to (b∨c).
         let s = preprocess(&cnf(&[&[1, 2], &[-1, 2, 3]]));
-        assert!(s.strengthened >= 1, "expected strengthening, got {}", s.strengthened);
+        assert!(
+            s.strengthened >= 1,
+            "expected strengthening, got {}",
+            s.strengthened
+        );
         // All clauses now have ≤ 2 literals.
         assert!(s.cnf.clauses().iter().all(|c| c.len() <= 2));
     }
@@ -223,7 +230,11 @@ mod tests {
             let f = gen_random_ksat(&RandomSatConfig::three_sat(12, 4.26, 7_000 + seed));
             let s = preprocess(&f);
             let before = solve_cdcl(&f).is_sat();
-            let after = if s.unsat { false } else { solve_cdcl(&s.cnf).is_sat() };
+            let after = if s.unsat {
+                false
+            } else {
+                solve_cdcl(&s.cnf).is_sat()
+            };
             assert_eq!(before, after, "seed {seed}");
             // Models of the simplified formula satisfy the original.
             if let (false, Some(m)) = (s.unsat, solve_cdcl(&s.cnf).model()) {

@@ -179,7 +179,12 @@ impl CdclSolver {
         if learnt {
             self.num_learnt += 1;
         }
-        self.clauses.push(Clause { lits, learnt, activity: 0.0, deleted: false });
+        self.clauses.push(Clause {
+            lits,
+            learnt,
+            activity: 0.0,
+            deleted: false,
+        });
         self.watches[w0.index()].push(cref);
         self.watches[w1.index()].push(cref);
         cref
@@ -475,7 +480,8 @@ impl CdclSolver {
 
     /// Solve to completion.
     pub fn solve(&mut self) -> SatResult {
-        self.solve_limited(u64::MAX).expect("unlimited solve always completes")
+        self.solve_limited(u64::MAX)
+            .expect("unlimited solve always completes")
     }
 
     /// Solve with a conflict budget; returns `None` if the budget is

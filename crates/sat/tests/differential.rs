@@ -1,8 +1,10 @@
 //! Differential testing of the CDCL solver against the DPLL baseline and
 //! brute-force enumeration on random small formulas.
 
-use proptest::prelude::*;
 use vermem_sat::{solve_cdcl, solve_dpll, Cnf, Lit, Model, Var};
+use vermem_util::prop::PropConfig;
+use vermem_util::rng::{SliceRandom, StdRng};
+use vermem_util::{prop_assert_eq, prop_check};
 
 /// Brute-force satisfiability for small variable counts.
 fn brute_force_sat(cnf: &Cnf) -> bool {
@@ -14,49 +16,72 @@ fn brute_force_sat(cnf: &Cnf) -> bool {
     })
 }
 
-fn arb_cnf(max_vars: u32, max_clauses: usize) -> impl Strategy<Value = Cnf> {
-    let clause = prop::collection::vec((0..max_vars, any::<bool>()), 0..=3);
-    prop::collection::vec(clause, 0..=max_clauses).prop_map(move |clauses| {
-        let mut cnf = Cnf::new();
-        cnf.reserve_vars(max_vars);
-        for c in clauses {
-            cnf.add_clause(c.into_iter().map(|(v, sign)| Var(v).lit(sign)));
-        }
-        cnf
-    })
+/// Random CNF over `max_vars` variables with up to `size` clauses of ≤ 3
+/// literals (distinct-variable choice is not enforced, matching the old
+/// proptest strategy).
+fn arb_cnf(rng: &mut StdRng, max_vars: u32, size: usize) -> Cnf {
+    let mut cnf = Cnf::new();
+    cnf.reserve_vars(max_vars);
+    let vars: Vec<u32> = (0..max_vars).collect();
+    for _ in 0..size {
+        let len = rng.gen_range(0..=3usize);
+        let lits: Vec<Lit> = vars
+            .choose_multiple(rng, len)
+            .map(|&v| Var(v).lit(rng.gen_bool(0.5)))
+            .collect();
+        cnf.add_clause(lits);
+    }
+    cnf
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn cdcl_agrees_with_brute_force(cnf in arb_cnf(8, 24)) {
-        let expected = brute_force_sat(&cnf);
-        let result = solve_cdcl(&cnf);
-        prop_assert_eq!(result.is_sat(), expected);
-        if let Some(m) = result.model() {
-            prop_assert_eq!(cnf.eval(m), Some(true));
+#[test]
+fn cdcl_agrees_with_brute_force() {
+    prop_check!(
+        PropConfig::with_cases(256),
+        |rng, size| arb_cnf(rng, 8, size),
+        |cnf: &Cnf| {
+            let expected = brute_force_sat(cnf);
+            let result = solve_cdcl(cnf);
+            prop_assert_eq!(result.is_sat(), expected);
+            if let Some(m) = result.model() {
+                prop_assert_eq!(cnf.eval(m), Some(true));
+            }
+            Ok(())
         }
-    }
+    );
+}
 
-    #[test]
-    fn dpll_agrees_with_cdcl(cnf in arb_cnf(10, 30)) {
-        let cdcl = solve_cdcl(&cnf);
-        let dpll = solve_dpll(&cnf);
-        prop_assert_eq!(cdcl.is_sat(), dpll.is_sat());
-        if let Some(m) = dpll.model() {
-            prop_assert_eq!(cnf.eval(m), Some(true));
+#[test]
+fn dpll_agrees_with_cdcl() {
+    prop_check!(
+        PropConfig::with_cases(256).max_size(30),
+        |rng, size| arb_cnf(rng, 10, size),
+        |cnf: &Cnf| {
+            let cdcl = solve_cdcl(cnf);
+            let dpll = solve_dpll(cnf);
+            prop_assert_eq!(cdcl.is_sat(), dpll.is_sat());
+            if let Some(m) = dpll.model() {
+                prop_assert_eq!(cnf.eval(m), Some(true));
+            }
+            Ok(())
         }
-    }
+    );
+}
 
-    #[test]
-    fn random_3sat_models_verify(seed in 0u64..500) {
-        let cfg = vermem_sat::random::RandomSatConfig::three_sat(25, 3.0, seed);
-        let cnf = vermem_sat::random::gen_random_ksat(&cfg);
-        if let Some(m) = solve_cdcl(&cnf).model() {
-            prop_assert_eq!(cnf.eval(m), Some(true));
+#[test]
+fn random_3sat_models_verify() {
+    prop_check!(
+        PropConfig::with_cases(256),
+        |rng, _size| rng.gen_range(0..500u64),
+        |&seed: &u64| {
+            let cfg = vermem_sat::random::RandomSatConfig::three_sat(25, 3.0, seed);
+            let cnf = vermem_sat::random::gen_random_ksat(&cfg);
+            if let Some(m) = solve_cdcl(&cnf).model() {
+                prop_assert_eq!(cnf.eval(m), Some(true));
+            }
+            Ok(())
         }
-    }
+    );
 }
 
 #[test]

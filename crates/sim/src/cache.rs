@@ -17,7 +17,11 @@ pub struct Line {
 
 impl Line {
     fn empty() -> Line {
-        Line { addr: Addr(0), value: Value(0), state: MesiState::Invalid }
+        Line {
+            addr: Addr(0),
+            value: Value(0),
+            state: MesiState::Invalid,
+        }
     }
 }
 
@@ -31,7 +35,9 @@ impl Cache {
     /// A cache with `num_lines` direct-mapped lines.
     pub fn new(num_lines: usize) -> Self {
         assert!(num_lines > 0, "cache needs at least one line");
-        Cache { lines: vec![Line::empty(); num_lines] }
+        Cache {
+            lines: vec![Line::empty(); num_lines],
+        }
     }
 
     fn index(&self, addr: Addr) -> usize {
@@ -67,8 +73,7 @@ impl Cache {
     pub fn fill(&mut self, addr: Addr, value: Value, state: MesiState) -> Option<Line> {
         let i = self.index(addr);
         let victim = self.lines[i];
-        let evicted =
-            (victim.state.is_valid() && victim.addr != addr).then_some(victim);
+        let evicted = (victim.state.is_valid() && victim.addr != addr).then_some(victim);
         self.lines[i] = Line { addr, value, state };
         evicted
     }
@@ -98,7 +103,9 @@ mod tests {
         let mut c = Cache::new(2);
         c.fill(Addr(0), Value(1), MesiState::Modified);
         // Addr(2) maps to the same line in a 2-line cache.
-        let victim = c.fill(Addr(2), Value(9), MesiState::Exclusive).expect("conflict");
+        let victim = c
+            .fill(Addr(2), Value(9), MesiState::Exclusive)
+            .expect("conflict");
         assert_eq!(victim.addr, Addr(0));
         assert_eq!(victim.value, Value(1));
         assert!(victim.state.is_dirty());

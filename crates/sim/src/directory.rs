@@ -16,10 +16,9 @@ use crate::fault::{FaultPlan, FaultState};
 use crate::machine::{CapturedExecution, MachineStats};
 use crate::mesi::MesiState;
 use crate::program::{Instr, Program, RmwKind};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
 use vermem_trace::{Addr, Op, OpRef, ProcId, ProcessHistory, Trace, Value};
+use vermem_util::rng::StdRng;
 
 /// Global state of one address in the directory.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -45,7 +44,11 @@ pub struct DirectoryConfig {
 
 impl Default for DirectoryConfig {
     fn default() -> Self {
-        DirectoryConfig { cache_lines: 8, seed: 0xD1E, faults: Vec::new() }
+        DirectoryConfig {
+            cache_lines: 8,
+            seed: 0xD1E,
+            faults: Vec::new(),
+        }
     }
 }
 
@@ -68,7 +71,9 @@ impl DirectoryMachine {
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let faults = FaultState::new(&cfg.faults);
         let mut m = DirectoryMachine {
-            caches: (0..program.num_cpus()).map(|_| Cache::new(cfg.cache_lines)).collect(),
+            caches: (0..program.num_cpus())
+                .map(|_| Cache::new(cfg.cache_lines))
+                .collect(),
             memory: BTreeMap::new(),
             directory: BTreeMap::new(),
             histories: vec![ProcessHistory::new(); program.num_cpus()],
@@ -132,12 +137,14 @@ impl DirectoryMachine {
             Instr::Read(addr) => {
                 let value = self.load(cpu, addr);
                 self.record(cpu, Op::Read { addr, value });
-                self.event_log.push((ProcId(cpu as u16), Op::Read { addr, value }));
+                self.event_log
+                    .push((ProcId(cpu as u16), Op::Read { addr, value }));
             }
             Instr::Write(addr, value) => {
                 let op_ref = self.record(cpu, Op::Write { addr, value });
                 self.store(cpu, addr, value, op_ref);
-                self.event_log.push((ProcId(cpu as u16), Op::Write { addr, value }));
+                self.event_log
+                    .push((ProcId(cpu as u16), Op::Write { addr, value }));
             }
             Instr::Rmw(addr, kind) => {
                 let old = self.get_exclusive(cpu, addr);
@@ -155,10 +162,23 @@ impl DirectoryMachine {
                 let line = self.caches[cpu].lookup_mut(addr).expect("exclusive");
                 line.value = new;
                 line.state = MesiState::Modified;
-                let op_ref = self.record(cpu, Op::Rmw { addr, read: old, write: new });
+                let op_ref = self.record(
+                    cpu,
+                    Op::Rmw {
+                        addr,
+                        read: old,
+                        write: new,
+                    },
+                );
                 self.write_order.entry(addr).or_default().push(op_ref);
-                self.event_log
-                    .push((ProcId(cpu as u16), Op::Rmw { addr, read: old, write: new }));
+                self.event_log.push((
+                    ProcId(cpu as u16),
+                    Op::Rmw {
+                        addr,
+                        read: old,
+                        write: new,
+                    },
+                ));
             }
             Instr::Fence => {} // SC machine: nothing buffered
         }
@@ -246,7 +266,9 @@ impl DirectoryMachine {
                 v
             }
         };
-        let line = self.caches[cpu].lookup_mut(addr).expect("filled or upgraded");
+        let line = self.caches[cpu]
+            .lookup_mut(addr)
+            .expect("filled or upgraded");
         line.state = MesiState::Modified;
         value
     }
@@ -317,7 +339,10 @@ mod tests {
         let cap = DirectoryMachine::run(&p, DirectoryConfig::default());
         assert_eq!(
             cap.trace.histories()[0].ops()[1],
-            Op::Read { addr: Addr(0), value: Value(7) }
+            Op::Read {
+                addr: Addr(0),
+                value: Value(7)
+            }
         );
         assert_eq!(cap.final_memory.get(&Addr(0)), Some(&Value(7)));
     }
@@ -333,7 +358,13 @@ mod tests {
                 rmw_fraction: 0.1,
                 seed,
             });
-            let cap = DirectoryMachine::run(&p, DirectoryConfig { seed, ..Default::default() });
+            let cap = DirectoryMachine::run(
+                &p,
+                DirectoryConfig {
+                    seed,
+                    ..Default::default()
+                },
+            );
             let verdict = vermem_consistency::solve_sc_backtracking(
                 &cap.trace,
                 &vermem_consistency::VscConfig::default(),
@@ -391,7 +422,10 @@ mod tests {
                 DirectoryConfig {
                     seed,
                     faults: vec![FaultPlan {
-                        kind: crate::fault::FaultKind::CorruptFill { cpu: 1, xor: 0xDEAD },
+                        kind: crate::fault::FaultKind::CorruptFill {
+                            cpu: 1,
+                            xor: 0xDEAD,
+                        },
                         at_step: 8,
                     }],
                     ..Default::default()
@@ -414,8 +448,7 @@ mod tests {
             Instr::Rmw(Addr(0), RmwKind::Increment),
         ]]);
         let dir = DirectoryMachine::run(&p, DirectoryConfig::default());
-        let snoop =
-            crate::machine::Machine::run(&p, crate::machine::MachineConfig::default());
+        let snoop = crate::machine::Machine::run(&p, crate::machine::MachineConfig::default());
         assert_eq!(dir.final_memory, snoop.final_memory);
     }
 
@@ -432,8 +465,7 @@ mod tests {
         let cap = DirectoryMachine::run(&p, DirectoryConfig::default());
         for (addr, order) in &cap.write_order {
             assert!(
-                vermem_coherence::solve_with_write_order(&cap.trace, *addr, order)
-                    .is_coherent(),
+                vermem_coherence::solve_with_write_order(&cap.trace, *addr, order).is_coherent(),
                 "directory write order must verify at {addr:?}"
             );
         }

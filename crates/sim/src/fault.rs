@@ -57,7 +57,9 @@ pub struct FaultState {
 impl FaultState {
     /// Initialize from a plan list.
     pub fn new(plans: &[FaultPlan]) -> Self {
-        FaultState { plans: plans.iter().map(|&p| (p, false)).collect() }
+        FaultState {
+            plans: plans.iter().map(|&p| (p, false)).collect(),
+        }
     }
 
     /// Number of plans that have fired.
@@ -70,11 +72,7 @@ impl FaultState {
         self.plans.iter().all(|(_, fired)| *fired)
     }
 
-    fn take(
-        &mut self,
-        step: u64,
-        matcher: impl Fn(&FaultKind) -> bool,
-    ) -> Option<FaultKind> {
+    fn take(&mut self, step: u64, matcher: impl Fn(&FaultKind) -> bool) -> Option<FaultKind> {
         for (plan, fired) in &mut self.plans {
             if !*fired && step >= plan.at_step && matcher(&plan.kind) {
                 *fired = true;
@@ -86,8 +84,11 @@ impl FaultState {
 
     /// Should this CPU drop its pending invalidation snoop?
     pub fn drop_invalidation(&mut self, step: u64, cpu: usize) -> bool {
-        self.take(step, |k| matches!(k, FaultKind::DropInvalidation { victim_cpu } if *victim_cpu == cpu))
-            .is_some()
+        self.take(
+            step,
+            |k| matches!(k, FaultKind::DropInvalidation { victim_cpu } if *victim_cpu == cpu),
+        )
+        .is_some()
     }
 
     /// Corruption mask for this CPU's fill, if armed.
@@ -103,14 +104,20 @@ impl FaultState {
 
     /// Should this CPU's committing write lose its data?
     pub fn lose_write(&mut self, step: u64, cpu: usize) -> bool {
-        self.take(step, |k| matches!(k, FaultKind::LostWrite { cpu: c } if *c == cpu))
-            .is_some()
+        self.take(
+            step,
+            |k| matches!(k, FaultKind::LostWrite { cpu: c } if *c == cpu),
+        )
+        .is_some()
     }
 
     /// Should this CPU's fill bypass a remote owner?
     pub fn stale_fill(&mut self, step: u64, cpu: usize) -> bool {
-        self.take(step, |k| matches!(k, FaultKind::StaleFill { cpu: c } if *c == cpu))
-            .is_some()
+        self.take(
+            step,
+            |k| matches!(k, FaultKind::StaleFill { cpu: c } if *c == cpu),
+        )
+        .is_some()
     }
 }
 

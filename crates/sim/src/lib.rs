@@ -37,6 +37,4 @@ pub use fault::{FaultKind, FaultPlan};
 pub use machine::{CapturedExecution, Machine, MachineConfig, MachineStats};
 pub use mesi::MesiState;
 pub use program::{Instr, Program, RmwKind};
-pub use workload::{
-    ping_pong, producer_consumer, random_program, shared_counter, WorkloadConfig,
-};
+pub use workload::{ping_pong, producer_consumer, random_program, shared_counter, WorkloadConfig};

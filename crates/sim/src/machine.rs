@@ -7,10 +7,9 @@ use crate::cache::Cache;
 use crate::fault::{FaultPlan, FaultState};
 use crate::mesi::{snoop_transition, BusTransaction, MesiState};
 use crate::program::{Instr, Program, RmwKind};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::collections::{BTreeMap, VecDeque};
 use vermem_trace::{Addr, Op, OpRef, ProcId, ProcessHistory, Trace, Value};
+use vermem_util::rng::StdRng;
 
 /// Machine configuration.
 #[derive(Clone, Debug)]
@@ -184,7 +183,8 @@ impl Machine {
             Instr::Read(addr) => {
                 let value = self.load(cpu, addr);
                 self.record(cpu, Op::Read { addr, value });
-                self.event_log.push((ProcId(cpu as u16), Op::Read { addr, value }));
+                self.event_log
+                    .push((ProcId(cpu as u16), Op::Read { addr, value }));
             }
             Instr::Write(addr, value) => {
                 let op_ref = self.record(cpu, Op::Write { addr, value });
@@ -192,7 +192,11 @@ impl Machine {
                     if self.buffers[cpu].len() >= self.cfg.store_buffer_capacity {
                         self.drain_one(cpu);
                     }
-                    self.buffers[cpu].push_back(BufferedStore { addr, value, op_ref });
+                    self.buffers[cpu].push_back(BufferedStore {
+                        addr,
+                        value,
+                        op_ref,
+                    });
                 } else {
                     self.commit_write(cpu, addr, value, op_ref);
                 }
@@ -216,10 +220,23 @@ impl Machine {
                 let line = self.caches[cpu].lookup_mut(addr).expect("acquired");
                 line.value = new;
                 line.state = MesiState::Modified;
-                let op_ref = self.record(cpu, Op::Rmw { addr, read: old, write: new });
+                let op_ref = self.record(
+                    cpu,
+                    Op::Rmw {
+                        addr,
+                        read: old,
+                        write: new,
+                    },
+                );
                 self.write_order.entry(addr).or_default().push(op_ref);
-                self.event_log
-                    .push((ProcId(cpu as u16), Op::Rmw { addr, read: old, write: new }));
+                self.event_log.push((
+                    ProcId(cpu as u16),
+                    Op::Rmw {
+                        addr,
+                        read: old,
+                        write: new,
+                    },
+                ));
             }
             Instr::Fence => {
                 self.drain_all(cpu);
@@ -249,9 +266,7 @@ impl Machine {
     /// is always TSO-legal and keeps the machine's traces checkable.
     fn load(&mut self, cpu: usize, addr: Addr) -> Value {
         if self.cfg.store_buffers {
-            if let Some(last_match) =
-                self.buffers[cpu].iter().rposition(|e| e.addr == addr)
-            {
+            if let Some(last_match) = self.buffers[cpu].iter().rposition(|e| e.addr == addr) {
                 for _ in 0..=last_match {
                     self.drain_one(cpu);
                 }
@@ -268,7 +283,11 @@ impl Machine {
         if let Some(mask) = self.faults.corrupt_fill(self.stats.steps, cpu) {
             value = Value(value.0 ^ mask.0);
         }
-        let state = if shared_elsewhere { MesiState::Shared } else { MesiState::Exclusive };
+        let state = if shared_elsewhere {
+            MesiState::Shared
+        } else {
+            MesiState::Exclusive
+        };
         self.fill(cpu, addr, value, state);
         value
     }
@@ -305,7 +324,8 @@ impl Machine {
         }
         line.state = MesiState::Modified;
         self.write_order.entry(addr).or_default().push(op_ref);
-        self.event_log.push((ProcId(cpu as u16), Op::Write { addr, value }));
+        self.event_log
+            .push((ProcId(cpu as u16), Op::Write { addr, value }));
     }
 
     /// Broadcast `txn` for `addr` to all other caches; returns true if any
@@ -327,7 +347,9 @@ impl Machine {
             if other == cpu {
                 continue;
             }
-            let Some(line) = self.caches[other].lookup(addr) else { continue };
+            let Some(line) = self.caches[other].lookup(addr) else {
+                continue;
+            };
             let action = snoop_transition(line.state, txn);
             if action.flush && !stale {
                 self.memory.insert(addr, line.value);
@@ -367,7 +389,13 @@ mod tests {
     use vermem_trace::check_sc_schedule;
 
     fn run_sc(program: &Program, seed: u64) -> CapturedExecution {
-        Machine::run(program, MachineConfig { seed, ..Default::default() })
+        Machine::run(
+            program,
+            MachineConfig {
+                seed,
+                ..Default::default()
+            },
+        )
     }
 
     #[test]
@@ -378,8 +406,20 @@ mod tests {
         ]]);
         let cap = run_sc(&p, 1);
         let h = &cap.trace.histories()[0];
-        assert_eq!(h.ops()[0], Op::Write { addr: Addr(0), value: Value(7) });
-        assert_eq!(h.ops()[1], Op::Read { addr: Addr(0), value: Value(7) });
+        assert_eq!(
+            h.ops()[0],
+            Op::Write {
+                addr: Addr(0),
+                value: Value(7)
+            }
+        );
+        assert_eq!(
+            h.ops()[1],
+            Op::Read {
+                addr: Addr(0),
+                value: Value(7)
+            }
+        );
         assert_eq!(cap.final_memory.get(&Addr(0)), Some(&Value(7)));
     }
 
@@ -389,7 +429,10 @@ mod tests {
         let cap = run_sc(&p, 1);
         assert_eq!(
             cap.trace.histories()[0].ops()[0],
-            Op::Read { addr: Addr(3), value: Value::INITIAL }
+            Op::Read {
+                addr: Addr(3),
+                value: Value::INITIAL
+            }
         );
     }
 
@@ -410,18 +453,38 @@ mod tests {
         let p = Program::from_streams(vec![vec![
             Instr::Rmw(
                 Addr(0),
-                RmwKind::CompareAndSwap { expected: Value(0), new: Value(5) },
+                RmwKind::CompareAndSwap {
+                    expected: Value(0),
+                    new: Value(5),
+                },
             ),
             Instr::Rmw(
                 Addr(0),
-                RmwKind::CompareAndSwap { expected: Value(0), new: Value(9) },
+                RmwKind::CompareAndSwap {
+                    expected: Value(0),
+                    new: Value(9),
+                },
             ),
         ]]);
         let cap = run_sc(&p, 1);
         let ops = cap.trace.histories()[0].ops();
-        assert_eq!(ops[0], Op::Rmw { addr: Addr(0), read: Value(0), write: Value(5) });
+        assert_eq!(
+            ops[0],
+            Op::Rmw {
+                addr: Addr(0),
+                read: Value(0),
+                write: Value(5)
+            }
+        );
         // Second CAS fails and writes back what it read.
-        assert_eq!(ops[1], Op::Rmw { addr: Addr(0), read: Value(5), write: Value(5) });
+        assert_eq!(
+            ops[1],
+            Op::Rmw {
+                addr: Addr(0),
+                read: Value(5),
+                write: Value(5)
+            }
+        );
     }
 
     #[test]
@@ -434,11 +497,17 @@ mod tests {
         ]]);
         let cap = Machine::run(
             &p,
-            MachineConfig { cache_lines: 1, ..Default::default() },
+            MachineConfig {
+                cache_lines: 1,
+                ..Default::default()
+            },
         );
         assert_eq!(
             cap.trace.histories()[0].ops()[2],
-            Op::Read { addr: Addr(0), value: Value(1) }
+            Op::Read {
+                addr: Addr(0),
+                value: Value(1)
+            }
         );
         assert!(cap.stats.writebacks > 0);
     }
@@ -472,9 +541,9 @@ mod tests {
                 &cap.trace,
                 &vermem_consistency::VscConfig::default(),
             );
-            let s = verdict.schedule().unwrap_or_else(|| {
-                panic!("SC-mode machine must produce SC traces (seed {seed})")
-            });
+            let s = verdict
+                .schedule()
+                .unwrap_or_else(|| panic!("SC-mode machine must produce SC traces (seed {seed})"));
             check_sc_schedule(&cap.trace, s).unwrap();
         }
     }
@@ -542,7 +611,10 @@ mod tests {
                 break;
             }
         }
-        assert!(seen_relaxed, "store buffers should expose the SB reordering");
+        assert!(
+            seen_relaxed,
+            "store buffers should expose the SB reordering"
+        );
     }
 
     #[test]
@@ -555,8 +627,20 @@ mod tests {
             rmw_fraction: 0.2,
             seed: 3,
         });
-        let a = Machine::run(&p, MachineConfig { seed: 9, ..Default::default() });
-        let b = Machine::run(&p, MachineConfig { seed: 9, ..Default::default() });
+        let a = Machine::run(
+            &p,
+            MachineConfig {
+                seed: 9,
+                ..Default::default()
+            },
+        );
+        let b = Machine::run(
+            &p,
+            MachineConfig {
+                seed: 9,
+                ..Default::default()
+            },
+        );
         assert_eq!(a.trace, b.trace);
         assert_eq!(a.write_order, b.write_order);
     }

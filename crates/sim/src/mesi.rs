@@ -72,19 +72,43 @@ pub fn snoop_transition(state: MesiState, txn: BusTransaction) -> SnoopAction {
     use BusTransaction::*;
     use MesiState::*;
     match (state, txn) {
-        (Modified, BusRd) => SnoopAction { next_state: Shared, flush: true },
-        (Modified, BusRdX) => SnoopAction { next_state: Invalid, flush: true },
+        (Modified, BusRd) => SnoopAction {
+            next_state: Shared,
+            flush: true,
+        },
+        (Modified, BusRdX) => SnoopAction {
+            next_state: Invalid,
+            flush: true,
+        },
         (Modified, BusUpgr) => {
             // Cannot occur in a correct protocol: BusUpgr implies the issuer
             // holds Shared, which excludes a remote Modified copy. Treated
             // as invalidate-with-flush for robustness under fault injection.
-            SnoopAction { next_state: Invalid, flush: true }
+            SnoopAction {
+                next_state: Invalid,
+                flush: true,
+            }
         }
-        (Exclusive, BusRd) => SnoopAction { next_state: Shared, flush: false },
-        (Exclusive, BusRdX | BusUpgr) => SnoopAction { next_state: Invalid, flush: false },
-        (Shared, BusRd) => SnoopAction { next_state: Shared, flush: false },
-        (Shared, BusRdX | BusUpgr) => SnoopAction { next_state: Invalid, flush: false },
-        (Invalid, _) => SnoopAction { next_state: Invalid, flush: false },
+        (Exclusive, BusRd) => SnoopAction {
+            next_state: Shared,
+            flush: false,
+        },
+        (Exclusive, BusRdX | BusUpgr) => SnoopAction {
+            next_state: Invalid,
+            flush: false,
+        },
+        (Shared, BusRd) => SnoopAction {
+            next_state: Shared,
+            flush: false,
+        },
+        (Shared, BusRdX | BusUpgr) => SnoopAction {
+            next_state: Invalid,
+            flush: false,
+        },
+        (Invalid, _) => SnoopAction {
+            next_state: Invalid,
+            flush: false,
+        },
     }
 }
 
@@ -105,25 +129,49 @@ mod tests {
     #[test]
     fn modified_flushes_on_remote_read() {
         let a = snoop_transition(Modified, BusRd);
-        assert_eq!(a, SnoopAction { next_state: Shared, flush: true });
+        assert_eq!(
+            a,
+            SnoopAction {
+                next_state: Shared,
+                flush: true
+            }
+        );
     }
 
     #[test]
     fn modified_flushes_and_invalidates_on_remote_write() {
         let a = snoop_transition(Modified, BusRdX);
-        assert_eq!(a, SnoopAction { next_state: Invalid, flush: true });
+        assert_eq!(
+            a,
+            SnoopAction {
+                next_state: Invalid,
+                flush: true
+            }
+        );
     }
 
     #[test]
     fn shared_invalidates_on_upgrade() {
         let a = snoop_transition(Shared, BusUpgr);
-        assert_eq!(a, SnoopAction { next_state: Invalid, flush: false });
+        assert_eq!(
+            a,
+            SnoopAction {
+                next_state: Invalid,
+                flush: false
+            }
+        );
     }
 
     #[test]
     fn exclusive_downgrades_quietly() {
         let a = snoop_transition(Exclusive, BusRd);
-        assert_eq!(a, SnoopAction { next_state: Shared, flush: false });
+        assert_eq!(
+            a,
+            SnoopAction {
+                next_state: Shared,
+                flush: false
+            }
+        );
     }
 
     #[test]
@@ -131,7 +179,10 @@ mod tests {
         for txn in [BusRd, BusRdX, BusUpgr] {
             assert_eq!(
                 snoop_transition(Invalid, txn),
-                SnoopAction { next_state: Invalid, flush: false }
+                SnoopAction {
+                    next_state: Invalid,
+                    flush: false
+                }
             );
         }
     }

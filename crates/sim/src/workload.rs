@@ -1,9 +1,8 @@
 //! Workload program generators for the simulator.
 
 use crate::program::{Instr, Program, RmwKind};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use vermem_trace::{Addr, Value};
+use vermem_util::rng::StdRng;
 
 /// Parameters for random workload generation.
 #[derive(Clone, Copy, Debug)]
@@ -124,7 +123,11 @@ mod tests {
 
     #[test]
     fn random_program_shape() {
-        let cfg = WorkloadConfig { cpus: 3, instrs_per_cpu: 10, ..Default::default() };
+        let cfg = WorkloadConfig {
+            cpus: 3,
+            instrs_per_cpu: 10,
+            ..Default::default()
+        };
         let p = random_program(&cfg);
         assert_eq!(p.num_cpus(), 3);
         assert_eq!(p.len(), 30);

@@ -4,9 +4,7 @@
 //! positives on healthy runs.
 
 use vermem_coherence::{solve_with_write_order, verify_execution, Verdict};
-use vermem_sim::{
-    random_program, FaultKind, FaultPlan, Machine, MachineConfig, WorkloadConfig,
-};
+use vermem_sim::{random_program, FaultKind, FaultPlan, Machine, MachineConfig, WorkloadConfig};
 
 fn workload(seed: u64) -> vermem_sim::Program {
     random_program(&WorkloadConfig {
@@ -22,7 +20,13 @@ fn workload(seed: u64) -> vermem_sim::Program {
 #[test]
 fn healthy_runs_never_flag() {
     for seed in 0..30 {
-        let cap = Machine::run(&workload(seed), MachineConfig { seed, ..Default::default() });
+        let cap = Machine::run(
+            &workload(seed),
+            MachineConfig {
+                seed,
+                ..Default::default()
+            },
+        );
         assert!(
             verify_execution(&cap.trace).is_coherent(),
             "false positive on a fault-free run (seed {seed})"
@@ -35,7 +39,11 @@ fn healthy_tso_runs_never_flag() {
     for seed in 0..30 {
         let cap = Machine::run(
             &workload(1000 + seed),
-            MachineConfig { store_buffers: true, seed, ..Default::default() },
+            MachineConfig {
+                store_buffers: true,
+                seed,
+                ..Default::default()
+            },
         );
         assert!(
             verify_execution(&cap.trace).is_coherent(),
@@ -78,7 +86,13 @@ fn detected(kind: FaultKind, seed: u64) -> bool {
 fn corrupt_fill_is_detected() {
     let mut hits = 0;
     for seed in 0..25 {
-        if detected(FaultKind::CorruptFill { cpu: 1, xor: 0xDEAD_0000 }, seed) {
+        if detected(
+            FaultKind::CorruptFill {
+                cpu: 1,
+                xor: 0xDEAD_0000,
+            },
+            seed,
+        ) {
             hits += 1;
         }
     }
@@ -128,7 +142,10 @@ fn write_order_capture_verifies_healthy_runs_in_polynomial_time() {
     for seed in 0..20 {
         let cap = Machine::run(
             &workload(2000 + seed),
-            MachineConfig { seed, ..Default::default() },
+            MachineConfig {
+                seed,
+                ..Default::default()
+            },
         );
         for (addr, order) in &cap.write_order {
             let verdict = solve_with_write_order(&cap.trace, *addr, order);
@@ -155,9 +172,10 @@ fn write_order_capture_flags_faulty_runs() {
                 ..Default::default()
             },
         );
-        let flagged = cap.write_order.iter().any(|(addr, order)| {
-            !solve_with_write_order(&cap.trace, *addr, order).is_coherent()
-        }) || !verify_execution(&cap.trace).is_coherent();
+        let flagged =
+            cap.write_order.iter().any(|(addr, order)| {
+                !solve_with_write_order(&cap.trace, *addr, order).is_coherent()
+            }) || !verify_execution(&cap.trace).is_coherent();
         if flagged {
             hits += 1;
         }
@@ -170,7 +188,10 @@ fn detection_agrees_between_exact_and_write_order_paths_on_healthy_runs() {
     for seed in 0..15 {
         let cap = Machine::run(
             &workload(4000 + seed),
-            MachineConfig { seed, ..Default::default() },
+            MachineConfig {
+                seed,
+                ..Default::default()
+            },
         );
         let exact = verify_execution(&cap.trace).is_coherent();
         let fast = cap

@@ -99,7 +99,11 @@ impl InstanceProfile {
         };
         let mut mix = None;
         for (_, op) in proj.iter_ops() {
-            let this = if op.is_rmw() { OpMix::RmwOnly } else { OpMix::SimpleOnly };
+            let this = if op.is_rmw() {
+                OpMix::RmwOnly
+            } else {
+                OpMix::SimpleOnly
+            };
             mix = Some(match mix {
                 None => this,
                 Some(m) if m == this => m,
@@ -196,10 +200,15 @@ mod tests {
     #[test]
     fn mix_detection() {
         let simple = TraceBuilder::new().proc([Op::w(1u64)]).build();
-        assert_eq!(InstanceProfile::of(&simple, Addr::ZERO).mix, OpMix::SimpleOnly);
+        assert_eq!(
+            InstanceProfile::of(&simple, Addr::ZERO).mix,
+            OpMix::SimpleOnly
+        );
         let rmw = TraceBuilder::new().proc([Op::rw(0u64, 1u64)]).build();
         assert_eq!(InstanceProfile::of(&rmw, Addr::ZERO).mix, OpMix::RmwOnly);
-        let mixed = TraceBuilder::new().proc([Op::w(1u64), Op::rw(1u64, 2u64)]).build();
+        let mixed = TraceBuilder::new()
+            .proc([Op::w(1u64), Op::rw(1u64, 2u64)])
+            .build();
         assert_eq!(InstanceProfile::of(&mixed, Addr::ZERO).mix, OpMix::Mixed);
     }
 
@@ -272,6 +281,9 @@ mod tests {
             .proc([Op::w(1u64)])
             .build();
         let p = InstanceProfile::of(&t, Addr::ZERO);
-        assert_eq!(p.cases(), vec![Fig53Case::TwoOpsPerProc, Fig53Case::TwoWritesPerValue]);
+        assert_eq!(
+            p.cases(),
+            vec![Fig53Case::TwoOpsPerProc, Fig53Case::TwoWritesPerValue]
+        );
     }
 }

@@ -34,7 +34,10 @@ impl std::fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 fn err(line: usize, message: impl Into<String>) -> ParseError {
-    ParseError { line, message: message.into() }
+    ParseError {
+        line,
+        message: message.into(),
+    }
 }
 
 /// Render a trace in the text format. Inverse of [`parse_trace`].
@@ -122,10 +125,10 @@ fn parse_op(token: &str, lineno: usize) -> Result<Op, ParseError> {
         .strip_suffix(')')
         .ok_or_else(|| err(lineno, format!("missing ')' in '{token}'")))?;
     let parts: Vec<&str> = args.split(',').map(str::trim).collect();
-    let num =
-        |s: &str| -> Result<u64, ParseError> {
-            s.parse::<u64>().map_err(|_| err(lineno, format!("invalid number '{s}' in '{token}'")))
-        };
+    let num = |s: &str| -> Result<u64, ParseError> {
+        s.parse::<u64>()
+            .map_err(|_| err(lineno, format!("invalid number '{s}' in '{token}'")))
+    };
     match (kind, parts.as_slice()) {
         ("R", [a, v]) => Ok(Op::read(num(a)? as u32, num(v)?)),
         ("W", [a, v]) => Ok(Op::write(num(a)? as u32, num(v)?)),
@@ -147,7 +150,11 @@ mod tests {
     #[test]
     fn round_trip() {
         let t = TraceBuilder::new()
-            .proc([Op::write(0u32, 1u64), Op::read(0u32, 1u64), Op::rmw(0u32, 1u64, 2u64)])
+            .proc([
+                Op::write(0u32, 1u64),
+                Op::read(0u32, 1u64),
+                Op::rmw(0u32, 1u64, 2u64),
+            ])
             .proc([Op::read(0u32, 2u64)])
             .initial(0u32, 0u64)
             .final_value(0u32, 2u64)
@@ -159,12 +166,14 @@ mod tests {
 
     #[test]
     fn parses_shorthand_and_comments() {
-        let t = parse_trace(
-            "# single-address example\nP0: W(1) R(1)  # inline comment\nP1: RW(1,2)\n",
-        )
-        .unwrap();
+        let t =
+            parse_trace("# single-address example\nP0: W(1) R(1)  # inline comment\nP1: RW(1,2)\n")
+                .unwrap();
         assert_eq!(t.num_procs(), 2);
-        assert_eq!(t.op(crate::op::OpRef::new(1u16, 0)), Some(Op::rw(1u64, 2u64)));
+        assert_eq!(
+            t.op(crate::op::OpRef::new(1u16, 0)),
+            Some(Op::rw(1u64, 2u64))
+        );
     }
 
     #[test]

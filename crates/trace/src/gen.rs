@@ -10,10 +10,8 @@ use crate::history::ProcessHistory;
 use crate::op::{Addr, Op, OpRef, Value};
 use crate::schedule::Schedule;
 use crate::trace::Trace;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
+use vermem_util::rng::{SliceRandom, StdRng};
 
 /// Configuration for the sequentially-consistent workload generator.
 #[derive(Clone, Debug)]
@@ -54,12 +52,24 @@ impl Default for GenConfig {
 impl GenConfig {
     /// Single-address configuration (a VMC workload).
     pub fn single_address(procs: usize, total_ops: usize, seed: u64) -> Self {
-        GenConfig { procs, total_ops, addrs: 1, seed, ..Default::default() }
+        GenConfig {
+            procs,
+            total_ops,
+            addrs: 1,
+            seed,
+            ..Default::default()
+        }
     }
 
     /// All-RMW configuration.
     pub fn all_rmw(procs: usize, total_ops: usize, seed: u64) -> Self {
-        GenConfig { procs, total_ops, rmw_fraction: 1.0, seed, ..Default::default() }
+        GenConfig {
+            procs,
+            total_ops,
+            rmw_fraction: 1.0,
+            seed,
+            ..Default::default()
+        }
     }
 }
 
@@ -98,12 +108,19 @@ pub fn gen_sc_trace(cfg: &GenConfig) -> (Trace, Schedule) {
 
         let op = if rng.gen_bool(cfg.rmw_fraction) {
             let w = pick_written_value(&mut rng, &written);
-            Op::Rmw { addr, read: current, write: w }
+            Op::Rmw {
+                addr,
+                read: current,
+                write: w,
+            }
         } else if rng.gen_bool(cfg.write_fraction) {
             let w = pick_written_value(&mut rng, &written);
             Op::Write { addr, value: w }
         } else {
-            Op::Read { addr, value: current }
+            Op::Read {
+                addr,
+                value: current,
+            }
         };
 
         if let Some(w) = op.written_value() {
@@ -179,9 +196,16 @@ pub fn inject_violation(
                 .chain(std::iter::once(trace.initial(addr).0))
                 .max()
                 .unwrap_or(0);
-            let bogus = Value(max_written + 1 + rng.gen_range(0..1000));
+            let bogus = Value(max_written + 1 + rng.gen_range(0..1000u64));
             set_op(&mut mutated, site, Op::Read { addr, value: bogus });
-            Some((mutated, Injection { kind, site, guaranteed: true }))
+            Some((
+                mutated,
+                Injection {
+                    kind,
+                    site,
+                    guaranteed: true,
+                },
+            ))
         }
         ViolationKind::StaleRead => {
             // Pick a read; replace its value with a different value written
@@ -204,7 +228,14 @@ pub fn inject_violation(
             pool.dedup();
             let stale = *pool.choose(&mut rng)?;
             set_op(&mut mutated, site, Op::Read { addr, value: stale });
-            Some((mutated, Injection { kind, site, guaranteed: false }))
+            Some((
+                mutated,
+                Injection {
+                    kind,
+                    site,
+                    guaranteed: false,
+                },
+            ))
         }
         ViolationKind::LostWrite => {
             // Find a write of a uniquely-written value that some read observes.
@@ -212,9 +243,9 @@ pub fn inject_violation(
             for (r, op) in trace.iter_ops() {
                 if let Op::Write { addr, value } = op {
                     let unique = trace.writes_per_value(addr).get(&value) == Some(&1);
-                    let observed = trace
-                        .iter_ops()
-                        .any(|(r2, o2)| r2 != r && o2.addr() == addr && o2.read_value() == Some(value));
+                    let observed = trace.iter_ops().any(|(r2, o2)| {
+                        r2 != r && o2.addr() == addr && o2.read_value() == Some(value)
+                    });
                     if unique && observed && value != trace.initial(addr) {
                         candidates.push(r);
                     }
@@ -222,7 +253,14 @@ pub fn inject_violation(
             }
             let site = *candidates.choose(&mut rng)?;
             remove_op(&mut mutated, site);
-            Some((mutated, Injection { kind, site, guaranteed: true }))
+            Some((
+                mutated,
+                Injection {
+                    kind,
+                    site,
+                    guaranteed: true,
+                },
+            ))
         }
         ViolationKind::ReorderAdjacent => {
             let mut candidates: Vec<OpRef> = Vec::new();
@@ -235,7 +273,14 @@ pub fn inject_violation(
             }
             let site = *candidates.choose(&mut rng)?;
             swap_adjacent(&mut mutated, site);
-            Some((mutated, Injection { kind, site, guaranteed: false }))
+            Some((
+                mutated,
+                Injection {
+                    kind,
+                    site,
+                    guaranteed: false,
+                },
+            ))
         }
     }
 }
@@ -286,7 +331,13 @@ mod tests {
 
     #[test]
     fn generated_trace_is_sc_with_witness() {
-        let cfg = GenConfig { procs: 3, total_ops: 50, addrs: 2, seed: 1, ..Default::default() };
+        let cfg = GenConfig {
+            procs: 3,
+            total_ops: 50,
+            addrs: 2,
+            seed: 1,
+            ..Default::default()
+        };
         let (trace, witness) = gen_sc_trace(&cfg);
         assert_eq!(trace.num_ops(), 50);
         check_sc_schedule(&trace, &witness).expect("witness must validate");
@@ -315,7 +366,9 @@ mod tests {
         let op = mutated.op(inj.site).unwrap();
         // The corrupted value is never written anywhere and isn't initial.
         let v = op.read_value().unwrap();
-        assert!(mutated.iter_ops().all(|(_, o)| o.written_value() != Some(v)));
+        assert!(mutated
+            .iter_ops()
+            .all(|(_, o)| o.written_value() != Some(v)));
         assert_ne!(v, mutated.initial(op.addr()));
     }
 
@@ -358,7 +411,10 @@ mod tests {
 
     #[test]
     fn deterministic_for_same_seed() {
-        let cfg = GenConfig { seed: 99, ..Default::default() };
+        let cfg = GenConfig {
+            seed: 99,
+            ..Default::default()
+        };
         let (a, _) = gen_sc_trace(&cfg);
         let (b, _) = gen_sc_trace(&cfg);
         assert_eq!(a, b);

@@ -2,12 +2,11 @@
 //! that make up an execution trace (§3 of the paper).
 
 use crate::op::{Addr, Op, Value};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A sequence of memory operations issued by one process, in program order,
 /// including the values read/written by each operation.
-#[derive(Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
 pub struct ProcessHistory {
     ops: Vec<Op>,
 }
@@ -20,7 +19,9 @@ impl ProcessHistory {
 
     /// Build a history from an operation sequence (program order).
     pub fn from_ops(ops: impl IntoIterator<Item = Op>) -> Self {
-        ProcessHistory { ops: ops.into_iter().collect() }
+        ProcessHistory {
+            ops: ops.into_iter().collect(),
+        }
     }
 
     /// Append an operation at the end of program order.
@@ -65,7 +66,14 @@ impl ProcessHistory {
     /// program order. This is the per-address projection used to turn a
     /// multi-location trace into single-location VMC instances.
     pub fn project(&self, addr: Addr) -> ProcessHistory {
-        ProcessHistory { ops: self.ops.iter().copied().filter(|o| o.addr() == addr).collect() }
+        ProcessHistory {
+            ops: self
+                .ops
+                .iter()
+                .copied()
+                .filter(|o| o.addr() == addr)
+                .collect(),
+        }
     }
 
     /// True if every operation in the history is an atomic read-modify-write.

@@ -35,8 +35,8 @@ pub mod stats;
 mod trace;
 
 pub use history::ProcessHistory;
-pub use readmap_util::{read_mapping, write_orders, ReadSource};
 pub use op::{Addr, Op, OpRef, ProcId, Value};
+pub use readmap_util::{read_mapping, write_orders, ReadSource};
 pub use schedule::{
     check_coherent_schedule, check_sc_schedule, is_coherent_schedule, is_sc_schedule, Schedule,
     ScheduleError,

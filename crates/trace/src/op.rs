@@ -4,19 +4,18 @@
 //! atomic read-modify-writes `RW(a, d_r, d_w)`. Addresses identify aligned
 //! word locations; values are opaque word-sized data.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A shared-memory location (an aligned word address).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Addr(pub u32);
 
 /// A word of data read or written by an operation.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Value(pub u64);
 
 /// A process (logical processor) identifier.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ProcId(pub u16);
 
 impl Addr {
@@ -87,7 +86,7 @@ impl From<u16> for ProcId {
 ///
 /// `Rmw` models an atomic read-modify-write: it returns `read` and installs
 /// `write` with no other operation to the same address in between.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Op {
     /// `R(a, d)` — a load of `addr` that returned `value`.
     Read {
@@ -119,19 +118,29 @@ impl Op {
     /// Convenience constructor for a read.
     #[inline]
     pub fn read(addr: impl Into<Addr>, value: impl Into<Value>) -> Self {
-        Op::Read { addr: addr.into(), value: value.into() }
+        Op::Read {
+            addr: addr.into(),
+            value: value.into(),
+        }
     }
 
     /// Convenience constructor for a write.
     #[inline]
     pub fn write(addr: impl Into<Addr>, value: impl Into<Value>) -> Self {
-        Op::Write { addr: addr.into(), value: value.into() }
+        Op::Write {
+            addr: addr.into(),
+            value: value.into(),
+        }
     }
 
     /// Convenience constructor for an atomic read-modify-write.
     #[inline]
     pub fn rmw(addr: impl Into<Addr>, read: impl Into<Value>, write: impl Into<Value>) -> Self {
-        Op::Rmw { addr: addr.into(), read: read.into(), write: write.into() }
+        Op::Rmw {
+            addr: addr.into(),
+            read: read.into(),
+            write: write.into(),
+        }
     }
 
     /// Single-address shorthand `R(d)` (address 0), per the paper's notation.
@@ -227,7 +236,7 @@ impl fmt::Display for Op {
 
 /// Identifies one operation inside a [`crate::Trace`]: process `proc`, the
 /// `index`-th operation of that process's history (program order).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct OpRef {
     /// The process whose history contains the operation.
     pub proc: ProcId,
@@ -239,7 +248,10 @@ impl OpRef {
     /// Construct an operation reference.
     #[inline]
     pub fn new(proc: impl Into<ProcId>, index: u32) -> Self {
-        OpRef { proc: proc.into(), index }
+        OpRef {
+            proc: proc.into(),
+            index,
+        }
     }
 }
 

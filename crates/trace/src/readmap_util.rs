@@ -78,7 +78,10 @@ mod tests {
         assert!(crate::check_coherent_schedule(&t, Addr::ZERO, &s).is_ok());
         let map = read_mapping(&t, &s);
         assert_eq!(map[&OpRef::new(1u16, 0)], ReadSource::Initial);
-        assert_eq!(map[&OpRef::new(0u16, 1)], ReadSource::Write(OpRef::new(0u16, 0)));
+        assert_eq!(
+            map[&OpRef::new(0u16, 1)],
+            ReadSource::Write(OpRef::new(0u16, 0))
+        );
     }
 
     #[test]
@@ -91,7 +94,10 @@ mod tests {
         let s = sched(&[(0, 0), (1, 0)]);
         let map = read_mapping(&t, &s);
         assert_eq!(map[&OpRef::new(0u16, 0)], ReadSource::Initial);
-        assert_eq!(map[&OpRef::new(1u16, 0)], ReadSource::Write(OpRef::new(0u16, 0)));
+        assert_eq!(
+            map[&OpRef::new(1u16, 0)],
+            ReadSource::Write(OpRef::new(0u16, 0))
+        );
     }
 
     #[test]
@@ -102,7 +108,10 @@ mod tests {
             .build();
         let s = sched(&[(1, 0), (0, 0), (0, 1)]);
         let orders = write_orders(&t, &s);
-        assert_eq!(orders[&Addr(0)], vec![OpRef::new(1u16, 0), OpRef::new(0u16, 0)]);
+        assert_eq!(
+            orders[&Addr(0)],
+            vec![OpRef::new(1u16, 0), OpRef::new(0u16, 0)]
+        );
         assert_eq!(orders[&Addr(1)], vec![OpRef::new(0u16, 1)]);
     }
 
@@ -115,8 +124,7 @@ mod tests {
             let orders = write_orders(&t, &witness);
             // (Verified in the coherence crate's tests; here just shape.)
             let total_writes: usize = orders.values().map(Vec::len).sum();
-            let expected =
-                t.iter_ops().filter(|(_, op)| op.is_writing()).count();
+            let expected = t.iter_ops().filter(|(_, op)| op.is_writing()).count();
             assert_eq!(total_writes, expected, "seed {seed}");
         }
     }

@@ -5,13 +5,12 @@
 
 use crate::op::{Addr, Op, OpRef, Value};
 use crate::trace::Trace;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// A schedule: a total order over (a subset of) the operations of a trace,
 /// given as [`OpRef`]s into that trace.
-#[derive(Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Default, PartialEq, Eq)]
 pub struct Schedule {
     order: Vec<OpRef>,
 }
@@ -24,7 +23,9 @@ impl Schedule {
 
     /// Build from an explicit order of operation references.
     pub fn from_refs(order: impl IntoIterator<Item = OpRef>) -> Self {
-        Schedule { order: order.into_iter().collect() }
+        Schedule {
+            order: order.into_iter().collect(),
+        }
     }
 
     /// Append the next operation.
@@ -53,7 +54,9 @@ impl Schedule {
         &'t self,
         trace: &'t Trace,
     ) -> impl Iterator<Item = Option<(OpRef, Op)>> + 't {
-        self.order.iter().map(move |&r| trace.op(r).map(|op| (r, op)))
+        self.order
+            .iter()
+            .map(move |&r| trace.op(r).map(|op| (r, op)))
     }
 }
 
@@ -128,13 +131,24 @@ impl fmt::Display for ScheduleError {
                 write!(f, "schedule covers {found} of {expected} operations")
             }
             ScheduleError::ProgramOrder { earlier, later } => {
-                write!(f, "program order violated: {later:?} scheduled before {earlier:?}")
+                write!(
+                    f,
+                    "program order violated: {later:?} scheduled before {earlier:?}"
+                )
             }
-            ScheduleError::ReadValue { read, expected, actual } => write!(
+            ScheduleError::ReadValue {
+                read,
+                expected,
+                actual,
+            } => write!(
                 f,
                 "read {read:?} returned {actual:?} but the last write installed {expected:?}"
             ),
-            ScheduleError::FinalValue { addr, expected, actual } => write!(
+            ScheduleError::FinalValue {
+                addr,
+                expected,
+                actual,
+            } => write!(
                 f,
                 "final value of {addr:?} is {actual:?}, required {expected:?}"
             ),
@@ -155,8 +169,10 @@ fn check_structure(
     schedule: &Schedule,
     in_scope: impl Fn(Addr) -> bool,
 ) -> Result<(), ScheduleError> {
-    let expected: usize =
-        trace.iter_ops().filter(|(_, op)| in_scope(op.addr())).count();
+    let expected: usize = trace
+        .iter_ops()
+        .filter(|(_, op)| in_scope(op.addr()))
+        .count();
     if schedule.len() != expected {
         // Distinguish dangling/duplicate cases below when possible, but a
         // plain size mismatch is already an error.
@@ -174,7 +190,10 @@ fn check_structure(
     for &r in schedule.refs() {
         let op = trace.op(r).ok_or(ScheduleError::DanglingRef(r))?;
         if !in_scope(op.addr()) {
-            return Err(ScheduleError::WrongAddress { op: r, addr: op.addr() });
+            return Err(ScheduleError::WrongAddress {
+                op: r,
+                addr: op.addr(),
+            });
         }
         if !seen.insert(r) {
             return Err(ScheduleError::DuplicateOp(r));
@@ -183,7 +202,10 @@ fn check_structure(
             if r.index <= prev {
                 return Err(ScheduleError::ProgramOrder {
                     earlier: r,
-                    later: OpRef { proc: r.proc, index: prev },
+                    later: OpRef {
+                        proc: r.proc,
+                        index: prev,
+                    },
                 });
             }
             // Every in-scope op between prev and r.index must have been seen
@@ -195,7 +217,10 @@ fn check_structure(
     }
 
     if schedule.len() != expected {
-        return Err(ScheduleError::MissingOps { expected, found: schedule.len() });
+        return Err(ScheduleError::MissingOps {
+            expected,
+            found: schedule.len(),
+        });
     }
 
     // Program order within a process also requires *no skipped in-scope op*:
@@ -227,7 +252,11 @@ pub fn check_coherent_schedule(
         let op = trace.op(r).expect("structure checked");
         if let Some(read) = op.read_value() {
             if read != current {
-                return Err(ScheduleError::ReadValue { read: r, expected: current, actual: read });
+                return Err(ScheduleError::ReadValue {
+                    read: r,
+                    expected: current,
+                    actual: read,
+                });
             }
         }
         if let Some(written) = op.written_value() {
@@ -239,7 +268,11 @@ pub fn check_coherent_schedule(
         let actual = current;
         if actual != expected {
             let _ = last_write;
-            return Err(ScheduleError::FinalValue { addr, expected, actual });
+            return Err(ScheduleError::FinalValue {
+                addr,
+                expected,
+                actual,
+            });
         }
     }
     Ok(())
@@ -257,10 +290,17 @@ pub fn check_sc_schedule(trace: &Trace, schedule: &Schedule) -> Result<(), Sched
     for &r in schedule.refs() {
         let op = trace.op(r).expect("structure checked");
         let addr = op.addr();
-        let cur = current.get(&addr).copied().unwrap_or_else(|| trace.initial(addr));
+        let cur = current
+            .get(&addr)
+            .copied()
+            .unwrap_or_else(|| trace.initial(addr));
         if let Some(read) = op.read_value() {
             if read != cur {
-                return Err(ScheduleError::ReadValue { read: r, expected: cur, actual: read });
+                return Err(ScheduleError::ReadValue {
+                    read: r,
+                    expected: cur,
+                    actual: read,
+                });
             }
         }
         if let Some(written) = op.written_value() {
@@ -268,9 +308,16 @@ pub fn check_sc_schedule(trace: &Trace, schedule: &Schedule) -> Result<(), Sched
         }
     }
     for (&addr, &expected) in trace.final_values() {
-        let actual = current.get(&addr).copied().unwrap_or_else(|| trace.initial(addr));
+        let actual = current
+            .get(&addr)
+            .copied()
+            .unwrap_or_else(|| trace.initial(addr));
         if actual != expected {
-            return Err(ScheduleError::FinalValue { addr, expected, actual });
+            return Err(ScheduleError::FinalValue {
+                addr,
+                expected,
+                actual,
+            });
         }
     }
     Ok(())
@@ -293,7 +340,10 @@ mod tests {
 
     /// P0: W(1); P1: R(1). Coherent with order W,R.
     fn simple() -> Trace {
-        TraceBuilder::new().proc([Op::w(1u64)]).proc([Op::r(1u64)]).build()
+        TraceBuilder::new()
+            .proc([Op::w(1u64)])
+            .proc([Op::r(1u64)])
+            .build()
     }
 
     fn sched(pairs: &[(u16, u32)]) -> Schedule {
@@ -303,46 +353,51 @@ mod tests {
     #[test]
     fn accepts_valid_coherent_schedule() {
         let t = simple();
-        assert!(is_coherent_schedule(&t, Addr::ZERO, &sched(&[(0, 0), (1, 0)])));
+        assert!(is_coherent_schedule(
+            &t,
+            Addr::ZERO,
+            &sched(&[(0, 0), (1, 0)])
+        ));
     }
 
     #[test]
     fn rejects_read_before_write() {
         let t = simple();
-        let err = check_coherent_schedule(&t, Addr::ZERO, &sched(&[(1, 0), (0, 0)]))
-            .unwrap_err();
+        let err = check_coherent_schedule(&t, Addr::ZERO, &sched(&[(1, 0), (0, 0)])).unwrap_err();
         assert!(matches!(err, ScheduleError::ReadValue { .. }));
     }
 
     #[test]
     fn rejects_incomplete_schedule() {
         let t = simple();
-        let err =
-            check_coherent_schedule(&t, Addr::ZERO, &sched(&[(0, 0)])).unwrap_err();
-        assert_eq!(err, ScheduleError::MissingOps { expected: 2, found: 1 });
+        let err = check_coherent_schedule(&t, Addr::ZERO, &sched(&[(0, 0)])).unwrap_err();
+        assert_eq!(
+            err,
+            ScheduleError::MissingOps {
+                expected: 2,
+                found: 1
+            }
+        );
     }
 
     #[test]
     fn rejects_duplicates() {
         let t = simple();
-        let err = check_coherent_schedule(&t, Addr::ZERO, &sched(&[(0, 0), (0, 0)]))
-            .unwrap_err();
+        let err = check_coherent_schedule(&t, Addr::ZERO, &sched(&[(0, 0), (0, 0)])).unwrap_err();
         assert_eq!(err, ScheduleError::DuplicateOp(OpRef::new(0u16, 0)));
     }
 
     #[test]
     fn rejects_dangling_ref() {
         let t = simple();
-        let err = check_coherent_schedule(&t, Addr::ZERO, &sched(&[(0, 0), (4, 0)]))
-            .unwrap_err();
+        let err = check_coherent_schedule(&t, Addr::ZERO, &sched(&[(0, 0), (4, 0)])).unwrap_err();
         assert_eq!(err, ScheduleError::DanglingRef(OpRef::new(4u16, 0)));
     }
 
     #[test]
     fn rejects_program_order_violation() {
         let t = TraceBuilder::new().proc([Op::w(1u64), Op::w(2u64)]).build();
-        let err = check_coherent_schedule(&t, Addr::ZERO, &sched(&[(0, 1), (0, 0)]))
-            .unwrap_err();
+        let err = check_coherent_schedule(&t, Addr::ZERO, &sched(&[(0, 1), (0, 0)])).unwrap_err();
         assert!(matches!(err, ScheduleError::ProgramOrder { .. }));
     }
 
@@ -352,7 +407,11 @@ mod tests {
             .proc([Op::r(7u64), Op::w(1u64)])
             .initial(0u32, 7u64)
             .build();
-        assert!(is_coherent_schedule(&t, Addr::ZERO, &sched(&[(0, 0), (0, 1)])));
+        assert!(is_coherent_schedule(
+            &t,
+            Addr::ZERO,
+            &sched(&[(0, 0), (0, 1)])
+        ));
     }
 
     #[test]
@@ -361,11 +420,14 @@ mod tests {
             .proc([Op::w(1u64), Op::w(2u64)])
             .final_value(0u32, 1u64)
             .build();
-        let err = check_coherent_schedule(&t, Addr::ZERO, &sched(&[(0, 0), (0, 1)]))
-            .unwrap_err();
+        let err = check_coherent_schedule(&t, Addr::ZERO, &sched(&[(0, 0), (0, 1)])).unwrap_err();
         assert_eq!(
             err,
-            ScheduleError::FinalValue { addr: Addr::ZERO, expected: Value(1), actual: Value(2) }
+            ScheduleError::FinalValue {
+                addr: Addr::ZERO,
+                expected: Value(1),
+                actual: Value(2)
+            }
         );
     }
 
@@ -376,8 +438,16 @@ mod tests {
             .proc([Op::rw(0u64, 1u64)])
             .proc([Op::rw(1u64, 2u64)])
             .build();
-        assert!(is_coherent_schedule(&t, Addr::ZERO, &sched(&[(0, 0), (1, 0)])));
-        assert!(!is_coherent_schedule(&t, Addr::ZERO, &sched(&[(1, 0), (0, 0)])));
+        assert!(is_coherent_schedule(
+            &t,
+            Addr::ZERO,
+            &sched(&[(0, 0), (1, 0)])
+        ));
+        assert!(!is_coherent_schedule(
+            &t,
+            Addr::ZERO,
+            &sched(&[(1, 0), (0, 0)])
+        ));
     }
 
     #[test]
@@ -398,8 +468,7 @@ mod tests {
         let t = TraceBuilder::new()
             .proc([Op::write(0u32, 1u64), Op::write(1u32, 1u64)])
             .build();
-        let err = check_coherent_schedule(&t, Addr(0), &sched(&[(0, 0), (0, 1)]))
-            .unwrap_err();
+        let err = check_coherent_schedule(&t, Addr(0), &sched(&[(0, 0), (0, 1)])).unwrap_err();
         assert!(matches!(err, ScheduleError::WrongAddress { .. }));
     }
 
@@ -411,6 +480,9 @@ mod tests {
             .final_value(1u32, 3u64)
             .build();
         let err = check_sc_schedule(&t, &sched(&[(0, 0), (1, 0)])).unwrap_err();
-        assert!(matches!(err, ScheduleError::FinalValue { addr: Addr(1), .. }));
+        assert!(matches!(
+            err,
+            ScheduleError::FinalValue { addr: Addr(1), .. }
+        ));
     }
 }

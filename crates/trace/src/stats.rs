@@ -80,7 +80,11 @@ impl TraceStats {
                 s.writes += 1;
                 writers.entry(addr).or_default().insert(r.proc.0);
                 if let Some(v) = op.written_value() {
-                    *value_writes.entry(addr).or_default().entry(v.0).or_insert(0) += 1;
+                    *value_writes
+                        .entry(addr)
+                        .or_default()
+                        .entry(v.0)
+                        .or_insert(0) += 1;
                 }
             }
             if op.is_rmw() {
@@ -131,7 +135,11 @@ mod tests {
 
     fn sample() -> Trace {
         TraceBuilder::new()
-            .proc([Op::write(0u32, 1u64), Op::read(1u32, 0u64), Op::rmw(0u32, 1u64, 2u64)])
+            .proc([
+                Op::write(0u32, 1u64),
+                Op::read(1u32, 0u64),
+                Op::rmw(0u32, 1u64, 2u64),
+            ])
             .proc([Op::read(0u32, 2u64), Op::write(0u32, 1u64)])
             .proc([])
             .build()

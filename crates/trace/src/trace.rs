@@ -3,7 +3,6 @@
 
 use crate::history::ProcessHistory;
 use crate::op::{Addr, Op, OpRef, ProcId, Value};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -12,7 +11,7 @@ use std::fmt;
 /// `d_F[a]` that the last write in any coherent schedule must install.
 ///
 /// Locations with no configured initial value start at [`Value::INITIAL`].
-#[derive(Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Default, PartialEq, Eq)]
 pub struct Trace {
     histories: Vec<ProcessHistory>,
     initial: BTreeMap<Addr, Value>,
@@ -27,7 +26,10 @@ impl Trace {
 
     /// Build a trace from per-process histories; process `i` gets id `P_i`.
     pub fn from_histories(histories: impl IntoIterator<Item = ProcessHistory>) -> Self {
-        Trace { histories: histories.into_iter().collect(), ..Default::default() }
+        Trace {
+            histories: histories.into_iter().collect(),
+            ..Default::default()
+        }
     }
 
     /// Add a process history, returning the new process's id.
@@ -125,8 +127,7 @@ impl Trace {
     /// the *projected* histories. Use [`Trace::projection_map`] to map them
     /// back to the original trace.
     pub fn project(&self, addr: Addr) -> Trace {
-        let mut t =
-            Trace::from_histories(self.histories.iter().map(|h| h.project(addr)));
+        let mut t = Trace::from_histories(self.histories.iter().map(|h| h.project(addr)));
         if let Some(&v) = self.initial.get(&addr) {
             t.set_initial(addr, v);
         }
@@ -179,11 +180,29 @@ impl Trace {
     pub(crate) fn history_mut(&mut self, proc: ProcId) -> Option<&mut ProcessHistory> {
         self.histories.get_mut(proc.0 as usize)
     }
+
+    /// Render this trace in the human-readable text format of
+    /// [`crate::fmt`] (derive-free serialization; inverse of
+    /// [`Trace::from_text`]).
+    pub fn to_text(&self) -> String {
+        crate::fmt::format_trace(self)
+    }
+
+    /// Parse a trace from the text format of [`crate::fmt`] (inverse of
+    /// [`Trace::to_text`]).
+    pub fn from_text(input: &str) -> Result<Self, crate::fmt::ParseError> {
+        crate::fmt::parse_trace(input)
+    }
 }
 
 impl fmt::Debug for Trace {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Trace[{} procs, {} ops]", self.num_procs(), self.num_ops())?;
+        writeln!(
+            f,
+            "Trace[{} procs, {} ops]",
+            self.num_procs(),
+            self.num_ops()
+        )?;
         for (p, h) in self.histories.iter().enumerate() {
             writeln!(f, "  P{p}: {h:?}")?;
         }
@@ -249,7 +268,11 @@ mod tests {
 
     fn two_addr_trace() -> Trace {
         TraceBuilder::new()
-            .proc([Op::write(0u32, 1u64), Op::write(1u32, 2u64), Op::read(0u32, 1u64)])
+            .proc([
+                Op::write(0u32, 1u64),
+                Op::write(1u32, 2u64),
+                Op::read(0u32, 1u64),
+            ])
             .proc([Op::read(1u32, 2u64), Op::write(0u32, 3u64)])
             .initial(0u32, 0u64)
             .final_value(0u32, 3u64)
@@ -315,6 +338,12 @@ mod tests {
     fn default_initial_value_is_zero() {
         let t = Trace::new();
         assert_eq!(t.initial(Addr(42)), Value::INITIAL);
+    }
+
+    #[test]
+    fn text_round_trip_via_trace_methods() {
+        let t = two_addr_trace();
+        assert_eq!(Trace::from_text(&t.to_text()).unwrap(), t);
     }
 
     #[test]

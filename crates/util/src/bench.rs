@@ -1,0 +1,374 @@
+//! Criterion-compatible-ish wall-clock benchmark harness.
+//!
+//! Drop-in for the subset of the `criterion` API the workspace's benches
+//! use: `criterion_group!` / `criterion_main!`, benchmark groups,
+//! [`BenchmarkId`], element throughput, and `Bencher::iter`. A bench file
+//! ports by changing one import line.
+//!
+//! ## Methodology
+//!
+//! For each benchmark the harness:
+//!
+//! 1. **Calibrates**: runs the routine once (always), then repeatedly for
+//!    ≥ 5 ms to estimate the per-iteration cost;
+//! 2. **Batches**: picks an iteration count per sample so one sample takes
+//!    roughly `target_ms / samples` of wall time (at least 1 iteration);
+//! 3. **Samples**: collects `samples` timed batches and reports the
+//!    per-iteration **min / median / p95** plus throughput if configured.
+//!
+//! Medians are robust to scheduler noise; p95 exposes tail effects
+//! (allocator, cache). There is no statistical regression testing — for
+//! that, compare printed medians across runs pinned to the same machine.
+//!
+//! Environment knobs: `VERMEM_BENCH_SAMPLES` (default 20),
+//! `VERMEM_BENCH_TARGET_MS` total measured time per benchmark (default
+//! 200), and `VERMEM_BENCH_FAST=1` (3 samples, 10 ms — smoke mode for CI).
+//! A non-flag CLI argument filters benchmarks by substring, like Criterion.
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Top-level harness state: global configuration plus the CLI filter.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    samples: usize,
+    target: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            samples: 20,
+            target: Duration::from_millis(200),
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Build from environment variables and CLI arguments (flags such as
+    /// `--bench`, passed by `cargo bench`, are ignored; the first non-flag
+    /// argument becomes a substring filter).
+    pub fn from_env() -> Self {
+        let mut c = Criterion::default();
+        if std::env::var_os("VERMEM_BENCH_FAST").is_some_and(|v| v != "0") {
+            c.samples = 3;
+            c.target = Duration::from_millis(10);
+        }
+        if let Some(n) = std::env::var("VERMEM_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+        {
+            c.samples = n;
+        }
+        if let Some(ms) = std::env::var("VERMEM_BENCH_TARGET_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+        {
+            c.target = Duration::from_millis(ms);
+        }
+        c.filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        c
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.into(),
+            sample_size: None,
+            throughput: None,
+            printed_header: false,
+        }
+    }
+}
+
+/// Units for reporting how much work one iteration performs.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier inside a group: `group/name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("solver", 64)` → `solver/64`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Identifier that is just the parameter, e.g. `64`.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'c> {
+    c: &'c Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+    printed_header: bool,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the number of samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0);
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Declare per-iteration throughput so reports include elements/sec.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmark a routine that receives a prepared input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        if self
+            .c
+            .filter
+            .as_deref()
+            .is_some_and(|needle| !full.contains(needle))
+        {
+            return self;
+        }
+        if !self.printed_header {
+            println!("\n{}", self.name);
+            self.printed_header = true;
+        }
+        let samples = self.sample_size.unwrap_or(self.c.samples);
+        let mut b = Bencher {
+            samples,
+            target: self.c.target,
+            stats: None,
+        };
+        f(&mut b, input);
+        let stats = b.stats.expect("benchmark routine must call Bencher::iter");
+        report(&full, &stats, self.throughput);
+        self
+    }
+
+    /// Benchmark a routine with no prepared input.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.bench_with_input(id, &(), |b, _: &()| f(b))
+    }
+
+    /// Finish the group (prints nothing extra; exists for API parity).
+    pub fn finish(self) {}
+}
+
+/// Per-iteration timing statistics, in seconds.
+#[derive(Clone, Copy, Debug)]
+pub struct Stats {
+    /// Fastest sample.
+    pub min: f64,
+    /// Median sample.
+    pub median: f64,
+    /// 95th-percentile sample.
+    pub p95: f64,
+    /// Iterations batched into each sample.
+    pub iters_per_sample: u64,
+    /// Number of samples.
+    pub samples: usize,
+}
+
+/// Passed to the benchmark routine; call [`Bencher::iter`] exactly once.
+pub struct Bencher {
+    samples: usize,
+    target: Duration,
+    stats: Option<Stats>,
+}
+
+impl Bencher {
+    /// Measure `routine`, batching iterations per the module methodology.
+    /// The routine's return value is passed through [`black_box`] so the
+    /// optimizer cannot delete the measured work.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Calibrate: one mandatory run, then keep running for >= 5 ms.
+        let calib_start = Instant::now();
+        let mut calib_iters = 0u64;
+        loop {
+            black_box(routine());
+            calib_iters += 1;
+            if calib_start.elapsed() >= Duration::from_millis(5) {
+                break;
+            }
+        }
+        let per_iter = calib_start.elapsed().as_secs_f64() / calib_iters as f64;
+
+        // Batch so that all samples together fill the time budget.
+        let sample_secs = self.target.as_secs_f64() / self.samples as f64;
+        let iters = ((sample_secs / per_iter.max(1e-12)) as u64).clamp(1, 1 << 24);
+
+        let mut samples = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            samples.push(t.elapsed().as_secs_f64() / iters as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("times are finite"));
+        let pick = |q: f64| samples[((samples.len() - 1) as f64 * q).round() as usize];
+        self.stats = Some(Stats {
+            min: samples[0],
+            median: pick(0.5),
+            p95: pick(0.95),
+            iters_per_sample: iters,
+            samples: samples.len(),
+        });
+    }
+}
+
+fn report(name: &str, s: &Stats, throughput: Option<Throughput>) {
+    let thrpt = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  thrpt: {}/s", si(n as f64 / s.median, "elem"))
+        }
+        Some(Throughput::Bytes(n)) => format!("  thrpt: {}/s", si(n as f64 / s.median, "B")),
+        None => String::new(),
+    };
+    println!(
+        "  {name:<44} time: [min {:>10}  median {:>10}  p95 {:>10}]  ({} samples × {} iters){thrpt}",
+        fmt_secs(s.min),
+        fmt_secs(s.median),
+        fmt_secs(s.p95),
+        s.samples,
+        s.iters_per_sample,
+    );
+}
+
+fn fmt_secs(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+fn si(rate: f64, unit: &str) -> String {
+    if rate >= 1e9 {
+        format!("{:.2} G{unit}", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.2} M{unit}", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.2} K{unit}", rate / 1e3)
+    } else {
+        format!("{rate:.2} {unit}")
+    }
+}
+
+/// Define a benchmark group function, Criterion-style:
+/// `criterion_group!(benches, bench_a, bench_b);`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::bench::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Define `main` running one or more [`crate::criterion_group!`] groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::bench::Criterion::from_env();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+// Re-export the macros under `vermem_util::bench::` so bench files can use
+// one flat import list, mirroring `criterion::{criterion_group, ...}`.
+pub use crate::{criterion_group, criterion_main};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_produces_ordered_stats() {
+        let mut b = Bencher {
+            samples: 5,
+            target: Duration::from_millis(5),
+            stats: None,
+        };
+        b.iter(|| black_box(2u64.wrapping_mul(3)));
+        let s = b.stats.expect("stats recorded");
+        assert!(s.min <= s.median && s.median <= s.p95);
+        assert!(s.iters_per_sample >= 1);
+        assert_eq!(s.samples, 5);
+    }
+
+    #[test]
+    fn benchmark_ids_compose() {
+        assert_eq!(BenchmarkId::new("solver", 64).id, "solver/64");
+        assert_eq!(BenchmarkId::from_parameter(7).id, "7");
+    }
+
+    #[test]
+    fn group_runs_and_respects_filter() {
+        let mut c = Criterion {
+            samples: 2,
+            target: Duration::from_millis(2),
+            filter: Some("match-me".into()),
+        };
+        let mut g = c.benchmark_group("g");
+        let mut ran = 0;
+        g.bench_function(BenchmarkId::from_parameter("match-me"), |b| {
+            ran += 1;
+            b.iter(|| black_box(1 + 1));
+        });
+        g.bench_function(BenchmarkId::from_parameter("skipped"), |b| {
+            ran += 10;
+            b.iter(|| black_box(1 + 1));
+        });
+        g.finish();
+        assert_eq!(ran, 1);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_secs(2.5), "2.500 s");
+        assert_eq!(fmt_secs(2.5e-3), "2.500 ms");
+        assert_eq!(fmt_secs(2.5e-6), "2.500 µs");
+        assert_eq!(fmt_secs(2.5e-9), "2.5 ns");
+        assert_eq!(si(3.2e9, "elem"), "3.20 Gelem");
+        assert_eq!(si(12.0, "B"), "12.00 B");
+    }
+}

@@ -1,0 +1,252 @@
+//! Hand-rolled binary codec: fixed-width little-endian integers plus LEB128
+//! unsigned varints, with a bounds-checked cursor for decoding.
+//!
+//! Replaces the `bytes` crate's `Buf`/`BufMut` for the trace wire format.
+//! Writers append to a plain `Vec<u8>`; readers go through [`Reader`],
+//! whose every accessor is total — out-of-bounds reads return
+//! [`CodecError::Truncated`] instead of panicking, so a corrupted or
+//! adversarial header (e.g. one claiming 2³² operations) can never cause
+//! an out-of-bounds access or a giant upfront allocation.
+//!
+//! ```
+//! use vermem_util::codec::{put_u32_le, put_uvarint, Reader};
+//!
+//! let mut buf = Vec::new();
+//! put_u32_le(&mut buf, 0xDEAD_BEEF);
+//! put_uvarint(&mut buf, 300);
+//! let mut r = Reader::new(&buf);
+//! assert_eq!(r.get_u32_le().unwrap(), 0xDEAD_BEEF);
+//! assert_eq!(r.get_uvarint().unwrap(), 300);
+//! assert_eq!(r.remaining(), 0);
+//! ```
+
+/// A decode failure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// The input ended before the requested field was complete.
+    Truncated,
+    /// A varint encoded a value wider than 64 bits.
+    VarintOverflow,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "truncated input"),
+            CodecError::VarintOverflow => write!(f, "varint wider than 64 bits"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Append a byte.
+#[inline]
+pub fn put_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+
+/// Append a little-endian `u16`.
+#[inline]
+pub fn put_u16_le(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a little-endian `u32`.
+#[inline]
+pub fn put_u32_le(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a little-endian `u64`.
+#[inline]
+pub fn put_u64_le(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append an unsigned LEB128 varint (1 byte for values < 128, at most 10
+/// bytes for `u64::MAX`).
+#[inline]
+pub fn put_uvarint(buf: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        buf.push((v as u8) | 0x80);
+        v >>= 7;
+    }
+    buf.push(v as u8);
+}
+
+/// A bounds-checked decoding cursor over a byte slice.
+#[derive(Clone, Copy, Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    /// Wrap a slice.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf }
+    }
+
+    /// Bytes not yet consumed.
+    #[inline]
+    pub fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    #[inline]
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.buf.len() < n {
+            return Err(CodecError::Truncated);
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    /// Read one byte.
+    #[inline]
+    pub fn get_u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u16`.
+    #[inline]
+    pub fn get_u16_le(&mut self) -> Result<u16, CodecError> {
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
+    }
+
+    /// Read a little-endian `u32`.
+    #[inline]
+    pub fn get_u32_le(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Read a little-endian `u64`.
+    #[inline]
+    pub fn get_u64_le(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Read an unsigned LEB128 varint.
+    #[inline]
+    pub fn get_uvarint(&mut self) -> Result<u64, CodecError> {
+        let mut value = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.get_u8()?;
+            let payload = u64::from(byte & 0x7F);
+            if shift == 63 && payload > 1 {
+                return Err(CodecError::VarintOverflow);
+            }
+            if shift > 63 {
+                return Err(CodecError::VarintOverflow);
+            }
+            value |= payload << shift;
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+            shift += 7;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_width_round_trip() {
+        let mut buf = Vec::new();
+        put_u8(&mut buf, 0xAB);
+        put_u16_le(&mut buf, 0xBEEF);
+        put_u32_le(&mut buf, 0xDEAD_BEEF);
+        put_u64_le(&mut buf, 0x0123_4567_89AB_CDEF);
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.get_u8().unwrap(), 0xAB);
+        assert_eq!(r.get_u16_le().unwrap(), 0xBEEF);
+        assert_eq!(r.get_u32_le().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64_le().unwrap(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(r.remaining(), 0);
+        assert_eq!(r.get_u8(), Err(CodecError::Truncated));
+    }
+
+    #[test]
+    fn varint_round_trip_boundaries() {
+        let cases = [
+            0u64,
+            1,
+            0x7F,
+            0x80,
+            0x3FFF,
+            0x4000,
+            300,
+            u64::from(u32::MAX),
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        for &v in &cases {
+            let mut buf = Vec::new();
+            put_uvarint(&mut buf, v);
+            let mut r = Reader::new(&buf);
+            assert_eq!(r.get_uvarint().unwrap(), v, "value {v}");
+            assert_eq!(r.remaining(), 0);
+        }
+    }
+
+    #[test]
+    fn varint_sizes() {
+        let size = |v: u64| {
+            let mut b = Vec::new();
+            put_uvarint(&mut b, v);
+            b.len()
+        };
+        assert_eq!(size(0), 1);
+        assert_eq!(size(0x7F), 1);
+        assert_eq!(size(0x80), 2);
+        assert_eq!(size(u64::MAX), 10);
+    }
+
+    #[test]
+    fn varint_rejects_overflow_and_truncation() {
+        // 11 continuation bytes: wider than any u64.
+        let bad = [0xFFu8; 11];
+        assert_eq!(
+            Reader::new(&bad).get_uvarint(),
+            Err(CodecError::VarintOverflow)
+        );
+        // 10th byte with payload > 1 overflows the top bit.
+        let mut edge = [0x80u8; 10];
+        edge[9] = 0x02;
+        assert_eq!(
+            Reader::new(&edge).get_uvarint(),
+            Err(CodecError::VarintOverflow)
+        );
+        // Dangling continuation bit.
+        assert_eq!(
+            Reader::new(&[0x80]).get_uvarint(),
+            Err(CodecError::Truncated)
+        );
+    }
+
+    #[test]
+    fn every_truncation_of_a_stream_fails_cleanly() {
+        let mut buf = Vec::new();
+        put_u32_le(&mut buf, 7);
+        put_uvarint(&mut buf, 1 << 40);
+        put_u64_le(&mut buf, 9);
+        for cut in 0..buf.len() {
+            let mut r = Reader::new(&buf[..cut]);
+            let decoded = r
+                .get_u32_le()
+                .and_then(|_| r.get_uvarint())
+                .and_then(|_| r.get_u64_le());
+            assert_eq!(decoded, Err(CodecError::Truncated), "prefix {cut}");
+        }
+    }
+}

@@ -1,0 +1,301 @@
+//! `proptest`-lite: seeded property testing with size-descent shrinking.
+//!
+//! A property test here is a pair of closures: a **generator**
+//! `fn(&mut StdRng, usize) -> T` that builds a random input of roughly the
+//! given *size* (the test's only complexity knob), and a **property**
+//! `fn(&T) -> Result<(), String>` that accepts or rejects it. The harness
+//! runs `cases` iterations, ramping the size from 1 up to `max_size` so
+//! early cases are tiny and later ones are stressful, with each case's RNG
+//! seeded deterministically from the configured base seed — a failure
+//! report is always reproducible by re-running the same test binary.
+//!
+//! **Shrinking** is *size-descent regeneration*, not structural: when case
+//! `i` fails at size `s`, the harness re-generates inputs from the same
+//! per-case seed at sizes `0, 1, …, s − 1` (bounded by
+//! [`PropConfig::max_shrink_iters`]) and reports the smallest size that
+//! still fails. This is weaker than `proptest`'s integrated shrinking but
+//! has no per-type machinery, always terminates, and in practice turns
+//! "fails on a 40-op trace" into "fails on a 3-op trace".
+//!
+//! ```
+//! use vermem_util::{prop_assert, prop_check};
+//! use vermem_util::prop::PropConfig;
+//!
+//! prop_check!(PropConfig::with_cases(64), |rng, size| {
+//!     (0..size).map(|_| rng.gen_range(0..100u32)).collect::<Vec<_>>()
+//! }, |xs: &Vec<u32>| {
+//!     let mut sorted = xs.clone();
+//!     sorted.sort_unstable();
+//!     prop_assert!(sorted.len() == xs.len(), "sorting must not lose elements");
+//!     Ok(())
+//! });
+//! ```
+
+use crate::rng::{SplitMix64, StdRng};
+
+/// Configuration for a [`check`] run.
+#[derive(Clone, Copy, Debug)]
+pub struct PropConfig {
+    /// Number of generated cases.
+    pub cases: u32,
+    /// Base seed; per-case seeds are derived from it deterministically.
+    pub seed: u64,
+    /// Largest size passed to the generator (reached by the final case).
+    pub max_size: usize,
+    /// Upper bound on regeneration attempts during shrinking.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for PropConfig {
+    fn default() -> Self {
+        PropConfig {
+            cases: 64,
+            seed: 0x5EED_0BAD_CAFE,
+            max_size: 24,
+            max_shrink_iters: 256,
+        }
+    }
+}
+
+impl PropConfig {
+    /// Default configuration with an explicit case count
+    /// (mirrors `ProptestConfig::with_cases`).
+    pub fn with_cases(cases: u32) -> Self {
+        PropConfig {
+            cases,
+            ..Default::default()
+        }
+    }
+
+    /// Same configuration with a different base seed.
+    pub fn seed(self, seed: u64) -> Self {
+        PropConfig { seed, ..self }
+    }
+
+    /// Same configuration with a different maximum generator size.
+    pub fn max_size(self, max_size: usize) -> Self {
+        PropConfig { max_size, ..self }
+    }
+}
+
+fn case_rng(base_seed: u64, case: u32) -> StdRng {
+    // Derive well-separated per-case seeds through SplitMix64 so that
+    // consecutive cases do not share stream prefixes.
+    let mut sm = SplitMix64::new(base_seed ^ (u64::from(case) << 32 | u64::from(case)));
+    StdRng::seed_from_u64(sm.next_u64())
+}
+
+/// Run a property over `cfg.cases` generated inputs; panic with a
+/// reproducible, shrunk report on the first failure.
+///
+/// Prefer the [`crate::prop_check!`] macro, which fills in `name` from the
+/// call site.
+pub fn check<T: std::fmt::Debug>(
+    name: &str,
+    cfg: &PropConfig,
+    mut gen: impl FnMut(&mut StdRng, usize) -> T,
+    mut prop: impl FnMut(&T) -> Result<(), String>,
+) {
+    assert!(cfg.cases > 0, "prop_check: need at least one case");
+    for case in 0..cfg.cases {
+        // Ramp size 1 → max_size across the run (at least 1 so the common
+        // "generate size elements" pattern is exercised from the start).
+        let size = if cfg.cases == 1 {
+            cfg.max_size
+        } else {
+            1 + (case as usize * cfg.max_size.saturating_sub(1)) / (cfg.cases as usize - 1)
+        };
+        let input = gen(&mut case_rng(cfg.seed, case), size);
+        if let Err(msg) = prop(&input) {
+            let (min_size, min_input, min_msg) =
+                shrink(cfg, case, size, input, msg, &mut gen, &mut prop);
+            panic!(
+                "property `{name}` failed\n\
+                 \x20 case:          {case}/{}\n\
+                 \x20 base seed:     {:#x}\n\
+                 \x20 failing size:  {size} (shrunk to {min_size})\n\
+                 \x20 minimal input: {min_input:?}\n\
+                 \x20 failure:       {min_msg}",
+                cfg.cases, cfg.seed,
+            );
+        }
+    }
+}
+
+/// Size-descent shrinking: regenerate the failing case at ascending smaller
+/// sizes and return the smallest still-failing input.
+fn shrink<T: std::fmt::Debug>(
+    cfg: &PropConfig,
+    case: u32,
+    failing_size: usize,
+    failing_input: T,
+    failing_msg: String,
+    gen: &mut impl FnMut(&mut StdRng, usize) -> T,
+    prop: &mut impl FnMut(&T) -> Result<(), String>,
+) -> (usize, T, String) {
+    let budget = (cfg.max_shrink_iters as usize).min(failing_size);
+    for size in 0..budget {
+        let candidate = gen(&mut case_rng(cfg.seed, case), size);
+        if let Err(msg) = prop(&candidate) {
+            return (size, candidate, msg);
+        }
+    }
+    (failing_size, failing_input, failing_msg)
+}
+
+/// Run a property test: `prop_check!(config, generator, property)`.
+///
+/// `generator` is `|rng: &mut StdRng, size: usize| -> T`; `property` is
+/// `|input: &T| -> Result<(), String>` (use [`crate::prop_assert!`] /
+/// [`crate::prop_assert_eq!`] inside it). The test name in failure reports
+/// is the macro call's `file:line`.
+#[macro_export]
+macro_rules! prop_check {
+    ($cfg:expr, $gen:expr, $prop:expr $(,)?) => {
+        $crate::prop::check(concat!(file!(), ":", line!()), &$cfg, $gen, $prop)
+    };
+}
+
+/// `proptest`-style assertion for use inside a [`crate::prop_check!`]
+/// property closure: returns `Err(String)` instead of panicking, so the
+/// harness can shrink before reporting.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed at {}:{}: {}",
+                file!(), line!(), stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed at {}:{}: {}",
+                file!(), line!(), format!($($fmt)+)
+            ));
+        }
+    };
+}
+
+/// Equality counterpart of [`crate::prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!(
+                "assertion failed at {}:{}: {:?} != {:?}",
+                file!(), line!(), l, r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!(
+                "assertion failed at {}:{}: {:?} != {:?} — {}",
+                file!(), line!(), l, r, format!($($fmt)+)
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut runs = 0u32;
+        check(
+            "always-true",
+            &PropConfig::with_cases(10),
+            |rng, size| (0..size).map(|_| rng.next_u64()).collect::<Vec<_>>(),
+            |_| {
+                runs += 1;
+                Ok(())
+            },
+        );
+        assert_eq!(runs, 10);
+    }
+
+    #[test]
+    fn failing_property_panics_with_shrunk_report() {
+        let result = std::panic::catch_unwind(|| {
+            check(
+                "len-under-5",
+                &PropConfig {
+                    cases: 32,
+                    seed: 1,
+                    max_size: 20,
+                    max_shrink_iters: 64,
+                },
+                |rng, size| {
+                    (0..size)
+                        .map(|_| rng.gen_range(0..10u32))
+                        .collect::<Vec<_>>()
+                },
+                |v| {
+                    if v.len() >= 5 {
+                        Err(format!("len {} >= 5", v.len()))
+                    } else {
+                        Ok(())
+                    }
+                },
+            );
+        });
+        let msg = *result
+            .unwrap_err()
+            .downcast::<String>()
+            .expect("string panic");
+        // Size-descent must find the minimal failing size, 5.
+        assert!(msg.contains("shrunk to 5"), "report was: {msg}");
+    }
+
+    #[test]
+    fn cases_are_deterministic_per_seed() {
+        let collect = || {
+            let mut seen = Vec::new();
+            check(
+                "collect",
+                &PropConfig {
+                    cases: 5,
+                    seed: 99,
+                    max_size: 8,
+                    max_shrink_iters: 0,
+                },
+                |rng, size| (0..size).map(|_| rng.next_u64()).collect::<Vec<_>>(),
+                |v| {
+                    seen.push(v.clone());
+                    Ok(())
+                },
+            );
+            seen
+        };
+        assert_eq!(collect(), collect());
+    }
+
+    #[test]
+    fn size_ramps_from_one_to_max() {
+        let mut sizes = Vec::new();
+        check(
+            "sizes",
+            &PropConfig {
+                cases: 7,
+                seed: 0,
+                max_size: 13,
+                max_shrink_iters: 0,
+            },
+            |_, size| size,
+            |&s| {
+                sizes.push(s);
+                Ok(())
+            },
+        );
+        assert_eq!(sizes.first(), Some(&1));
+        assert_eq!(sizes.last(), Some(&13));
+        assert!(sizes.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

@@ -1,0 +1,394 @@
+//! Deterministic, seedable pseudo-random number generation.
+//!
+//! The generator is **xoshiro256\*\*** (Blackman & Vigna), seeded from a
+//! single `u64` through **SplitMix64** exactly like `rand`'s
+//! `SeedableRng::seed_from_u64` convention. Both algorithms are public
+//! domain, pass BigCrush, and are trivially reproducible from their
+//! published reference C — which is what makes the repo's "same seed ⇒
+//! identical trace across releases" policy auditable.
+//!
+//! The API deliberately mirrors the subset of `rand` 0.8 the workspace
+//! used, so porting a call site is a one-line import change:
+//!
+//! ```
+//! use vermem_util::rng::{SliceRandom, StdRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(42);
+//! let die = rng.gen_range(1..=6u32);
+//! assert!((1..=6).contains(&die));
+//! let coin = rng.gen_bool(0.5);
+//! let mut deck: Vec<u32> = (0..52).collect();
+//! deck.shuffle(&mut rng);
+//! let card = deck.choose(&mut rng).copied();
+//! assert!(coin || !coin);
+//! assert!(card.is_some());
+//! ```
+
+/// SplitMix64: a tiny 64-bit generator used to expand one `u64` seed into
+/// the xoshiro state (and usable on its own for cheap stream derivation).
+///
+/// Reference: Steele, Lea & Flood, "Fast splittable pseudorandom number
+/// generators" (OOPSLA 2014); public-domain C by Sebastiano Vigna.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a SplitMix64 stream from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256\*\*: the workspace's standard generator. 256 bits of state,
+/// period 2^256 − 1, excellent statistical quality, a handful of xors and
+/// rotates per output.
+///
+/// Named `StdRng` because every downstream crate uses it as *the* RNG, and
+/// so that call sites ported from `rand` keep reading naturally.
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    /// Seed the generator from a single `u64` by expanding it through
+    /// [`SplitMix64`] — the same convention `rand`'s `seed_from_u64` uses,
+    /// and the only constructor the workspace permits (no OS entropy:
+    /// every run must be reproducible from its recorded seed).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = sm.next_u64();
+        }
+        // The all-zero state is the one fixed point of xoshiro; SplitMix64
+        // cannot emit four consecutive zeros, but guard anyway.
+        if s == [0; 4] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        StdRng { s }
+    }
+
+    /// Next 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Next 32-bit output (upper half of [`StdRng::next_u64`]).
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform value in `[0, n)` via Lemire's unbiased multiply-shift
+    /// rejection. `n` must be nonzero.
+    #[inline]
+    pub fn uniform_below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        let mut x = self.next_u64();
+        let mut m = u128::from(x) * u128::from(n);
+        let mut low = m as u64;
+        if low < n {
+            let threshold = n.wrapping_neg() % n;
+            while low < threshold {
+                x = self.next_u64();
+                m = u128::from(x) * u128::from(n);
+                low = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform sample from an integer range (`a..b` or `a..=b`).
+    ///
+    /// Panics on an empty range, like `rand`.
+    #[inline]
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p`. Panics unless `0.0 <= p <= 1.0`.
+    ///
+    /// Uses the top 53 bits of one output, so `p = 0.0` is never true and
+    /// `p = 1.0` is always true.
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} out of [0, 1]");
+        const SCALE: f64 = 1.0 / (1u64 << 53) as f64;
+        ((self.next_u64() >> 11) as f64) * SCALE < p
+    }
+}
+
+/// Integer ranges that [`StdRng::gen_range`] can sample uniformly.
+pub trait SampleRange {
+    /// The sampled integer type.
+    type Output;
+    /// Draw a uniform sample from the range.
+    fn sample(self, rng: &mut StdRng) -> Self::Output;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleRange for core::ops::Range<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample(self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                // Work in u64 offset space; spans here always fit because
+                // start < end bounds the span by the type's width (≤ 64 bits
+                // and the full-width span is unrepresentable for `..`).
+                let span = (self.end as i128 - self.start as i128) as u64;
+                let off = rng.uniform_below(span);
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+        impl SampleRange for core::ops::RangeInclusive<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample(self, rng: &mut StdRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                let span = (end as i128 - start as i128 + 1) as u128;
+                let off = if span > u128::from(u64::MAX) {
+                    rng.next_u64() // full-width inclusive range
+                } else {
+                    rng.uniform_below(span as u64)
+                };
+                (start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// `rand`-style slice helpers: in-place shuffling and random element choice.
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// Fisher–Yates shuffle in place.
+    fn shuffle(&mut self, rng: &mut StdRng);
+
+    /// A uniformly random element, or `None` if empty.
+    fn choose(&self, rng: &mut StdRng) -> Option<&Self::Item>;
+
+    /// `min(k, len)` distinct elements, uniformly without replacement.
+    /// Order is unspecified (selection order of a partial shuffle).
+    fn choose_multiple(&self, rng: &mut StdRng, k: usize) -> std::vec::IntoIter<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle(&mut self, rng: &mut StdRng) {
+        for i in (1..self.len()).rev() {
+            let j = rng.uniform_below(i as u64 + 1) as usize;
+            self.swap(i, j);
+        }
+    }
+
+    fn choose(&self, rng: &mut StdRng) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            self.get(rng.uniform_below(self.len() as u64) as usize)
+        }
+    }
+
+    fn choose_multiple(&self, rng: &mut StdRng, k: usize) -> std::vec::IntoIter<&T> {
+        let k = k.min(self.len());
+        // Partial Fisher–Yates over an index vector.
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        for i in 0..k {
+            let j = i + rng.uniform_below((self.len() - i) as u64) as usize;
+            idx.swap(i, j);
+        }
+        idx.truncate(k);
+        idx.into_iter()
+            .map(|i| &self[i])
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Published reference outputs of SplitMix64 for seed 0 (Vigna's C).
+    #[test]
+    fn splitmix64_reference_vector_seed_0() {
+        let mut sm = SplitMix64::new(0);
+        assert_eq!(sm.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(sm.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(sm.next_u64(), 0x06C4_5D18_8009_454F);
+        assert_eq!(sm.next_u64(), 0xF88B_B8A8_724C_81EC);
+    }
+
+    /// Frozen known-answer vectors for the seeded generator. These pin the
+    /// "same seed ⇒ identical stream across releases" policy from DESIGN.md:
+    /// if this test ever needs editing, the trace/bench reproducibility
+    /// story breaks and the format version must be bumped alongside it.
+    /// (Seed 0 matches the independently published xoshiro256** test vector
+    /// for SplitMix64-expanded seeding, e.g. the `rand_xoshiro` crate.)
+    #[test]
+    fn stdrng_known_answer_vectors() {
+        let cases: [(u64, [u64; 4]); 3] = [
+            (
+                0,
+                [
+                    0x99EC_5F36_CB75_F2B4,
+                    0xBF6E_1F78_4956_452A,
+                    0x1A5F_849D_4933_E6E0,
+                    0x6AA5_94F1_262D_2D2C,
+                ],
+            ),
+            (
+                1,
+                [
+                    0xB3F2_AF6D_0FC7_10C5,
+                    0x853B_5596_4736_4CEA,
+                    0x92F8_9756_082A_4514,
+                    0x642E_1C7B_C266_A3A7,
+                ],
+            ),
+            (
+                0xDEAD_BEEF,
+                [
+                    0xC555_5444_A74D_7E83,
+                    0x65C3_0D37_B4B1_6E38,
+                    0x54F7_7320_0A4E_FA23,
+                    0x429A_ED75_FB95_8AF7,
+                ],
+            ),
+        ];
+        for (seed, expected) in cases {
+            let mut rng = StdRng::seed_from_u64(seed);
+            for (i, &want) in expected.iter().enumerate() {
+                assert_eq!(rng.next_u64(), want, "seed {seed:#x}, output {i}");
+            }
+        }
+    }
+
+    /// Shuffle must produce a permutation (same multiset), and a different
+    /// seed must (for this input size) produce a different order.
+    #[test]
+    fn shuffle_is_a_permutation() {
+        for seed in 0..32u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut v: Vec<u32> = (0..50).collect();
+            v.shuffle(&mut rng);
+            let mut sorted = v.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..50).collect::<Vec<u32>>(), "seed {seed}");
+        }
+        let mut a: Vec<u32> = (0..50).collect();
+        let mut b: Vec<u32> = (0..50).collect();
+        a.shuffle(&mut StdRng::seed_from_u64(0));
+        b.shuffle(&mut StdRng::seed_from_u64(1));
+        assert_ne!(a, b);
+    }
+
+    /// gen_range stays in bounds for a spread of random ranges and covers
+    /// both endpoints of small ones.
+    #[test]
+    fn gen_range_bounds_hold_for_random_ranges() {
+        let mut meta = StdRng::seed_from_u64(0x5EED);
+        let mut rng = StdRng::seed_from_u64(0xFACE);
+        for _ in 0..200 {
+            let lo = meta.gen_range(-1000..1000i64);
+            let hi = lo + meta.gen_range(1..1000i64);
+            let v = rng.gen_range(lo..hi);
+            assert!((lo..hi).contains(&v), "{v} outside {lo}..{hi}");
+        }
+    }
+
+    #[test]
+    fn uniform_below_is_in_bounds_and_hits_everything() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[rng.uniform_below(5) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert!(!rng.gen_bool(0.0));
+            assert!(rng.gen_bool(1.0));
+        }
+    }
+
+    #[test]
+    fn signed_ranges_cover_negative_values() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut lo = 0i32;
+        let mut hi = 0i32;
+        for _ in 0..500 {
+            let v = rng.gen_range(-5..5);
+            assert!((-5..5).contains(&v));
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        assert_eq!(lo, -5);
+        assert_eq!(hi, 4);
+    }
+
+    #[test]
+    fn inclusive_range_includes_endpoint() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut saw_end = false;
+        for _ in 0..200 {
+            let v = rng.gen_range(0..=3u64);
+            assert!(v <= 3);
+            saw_end |= v == 3;
+        }
+        assert!(saw_end);
+    }
+
+    #[test]
+    fn choose_multiple_is_distinct_and_complete_when_k_exceeds_len() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let items = [10u32, 20, 30];
+        let mut got: Vec<u32> = items.choose_multiple(&mut rng, 99).copied().collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn streams_differ_across_seeds() {
+        let a: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(0);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(1);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_ne!(a, b);
+    }
+}

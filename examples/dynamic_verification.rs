@@ -9,8 +9,7 @@
 
 use vermem::coherence::verify_execution;
 use vermem::sim::{
-    random_program, shared_counter, FaultKind, FaultPlan, Machine, MachineConfig,
-    WorkloadConfig,
+    random_program, shared_counter, FaultKind, FaultPlan, Machine, MachineConfig, WorkloadConfig,
 };
 
 const RUNS: u64 = 50;
@@ -57,7 +56,13 @@ fn main() {
             rmw_fraction: 0.1,
             seed,
         });
-        let cap = Machine::run(&program, MachineConfig { seed, ..Default::default() });
+        let cap = Machine::run(
+            &program,
+            MachineConfig {
+                seed,
+                ..Default::default()
+            },
+        );
         if !verify_execution(&cap.trace).is_coherent() {
             false_positives += 1;
         }
@@ -77,10 +82,29 @@ fn main() {
     println!("fault class                         workload   detected");
     println!("--------------------------------------------------------");
     let cases: [(&str, FaultKind, bool); 4] = [
-        ("corrupt fill (bit flips on fill)", FaultKind::CorruptFill { cpu: 1, xor: 0xBEEF_0000 }, false),
-        ("dropped invalidation", FaultKind::DropInvalidation { victim_cpu: 2 }, true),
-        ("lost write (dropped store)", FaultKind::LostWrite { cpu: 0 }, false),
-        ("stale fill (missed owner supply)", FaultKind::StaleFill { cpu: 1 }, true),
+        (
+            "corrupt fill (bit flips on fill)",
+            FaultKind::CorruptFill {
+                cpu: 1,
+                xor: 0xBEEF_0000,
+            },
+            false,
+        ),
+        (
+            "dropped invalidation",
+            FaultKind::DropInvalidation { victim_cpu: 2 },
+            true,
+        ),
+        (
+            "lost write (dropped store)",
+            FaultKind::LostWrite { cpu: 0 },
+            false,
+        ),
+        (
+            "stale fill (missed owner supply)",
+            FaultKind::StaleFill { cpu: 1 },
+            true,
+        ),
     ];
     for (name, kind, counter) in cases {
         let (hit, total) = detection_rate(kind, counter);
@@ -101,7 +125,10 @@ fn main() {
         });
         let cap = vermem::sim::DirectoryMachine::run(
             &program,
-            vermem::sim::DirectoryConfig { seed, ..Default::default() },
+            vermem::sim::DirectoryConfig {
+                seed,
+                ..Default::default()
+            },
         );
         if !verify_execution(&cap.trace).is_coherent() {
             dir_false_pos += 1;

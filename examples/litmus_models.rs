@@ -11,7 +11,10 @@ use vermem::consistency::{solve_model_sat, MemoryModel};
 
 fn main() {
     let tests = all_litmus_tests();
-    println!("{:<10} {:>4} {:>4} {:>4} {:>10}   description", "test", "SC", "TSO", "PSO", "Coherence");
+    println!(
+        "{:<10} {:>4} {:>4} {:>4} {:>10}   description",
+        "test", "SC", "TSO", "PSO", "Coherence"
+    );
     println!("{}", "-".repeat(86));
     let mut mismatches = 0;
     for test in &tests {
@@ -42,7 +45,11 @@ fn main() {
     }
 
     // Bonus: show the §6.3 VSCC pipeline on the store-buffering outcome.
-    let sb = &tests.iter().find(|t| t.name == "SB").expect("SB present").trace;
+    let sb = &tests
+        .iter()
+        .find(|t| t.name == "SB")
+        .expect("SB present")
+        .trace;
     let report = vermem::consistency::verify_vscc(sb);
     println!(
         "\nVSCC pipeline on SB: coherent promise = {}, settled by {:?}, SC = {}",

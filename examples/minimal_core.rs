@@ -28,7 +28,10 @@ fn main() {
             MachineConfig {
                 seed,
                 faults: vec![FaultPlan {
-                    kind: FaultKind::CorruptFill { cpu: 2, xor: 0xBAD0 },
+                    kind: FaultKind::CorruptFill {
+                        cpu: 2,
+                        xor: 0xBAD0,
+                    },
                     at_step: 10,
                 }],
                 ..Default::default()

@@ -27,10 +27,21 @@ fn main() {
     // (x1 ∨ x2 ∨ x3)(¬x1 ∨ ¬x2)(¬x2 ∨ ¬x3)(¬x1 ∨ ¬x3)(x2 ∨ x3)
     let sat_formula = formula(&[&[1, 2, 3], &[-1, -2], &[-2, -3], &[-1, -3], &[2, 3]]);
     // The same with (x1) forced: unsatisfiable.
-    let unsat_formula =
-        formula(&[&[1, 2, 3], &[-1, -2], &[-2, -3], &[-1, -3], &[2, 3], &[1], &[-2], &[-3]]);
+    let unsat_formula = formula(&[
+        &[1, 2, 3],
+        &[-1, -2],
+        &[-2, -3],
+        &[-1, -3],
+        &[2, 3],
+        &[1],
+        &[-2],
+        &[-3],
+    ]);
 
-    for (name, f) in [("satisfiable", &sat_formula), ("unsatisfiable", &unsat_formula)] {
+    for (name, f) in [
+        ("satisfiable", &sat_formula),
+        ("unsatisfiable", &unsat_formula),
+    ] {
         println!("=== {name} formula ===");
         let direct = solve_cdcl(f);
         println!("CDCL on the formula:      {}", verdict_str(direct.is_sat()));
@@ -42,17 +53,28 @@ fn main() {
             red.trace.num_ops()
         );
         let vmc = solve_backtracking(&red.trace, Addr::ZERO, &SearchConfig::default());
-        println!("exact VMC on the trace:   {}", verdict_str(vmc.is_coherent()));
+        println!(
+            "exact VMC on the trace:   {}",
+            verdict_str(vmc.is_coherent())
+        );
 
         if let Verdict::Coherent(schedule) = &vmc {
             let model = red.extract_assignment(schedule);
             let values: Vec<String> = (0..f.num_vars())
                 .map(|i| {
-                    format!("x{}={}", i + 1, u8::from(model.value(vermem::sat::Var(i)).unwrap()))
+                    format!(
+                        "x{}={}",
+                        i + 1,
+                        u8::from(model.value(vermem::sat::Var(i)).unwrap())
+                    )
                 })
                 .collect();
             println!("assignment from schedule: {}", values.join(" "));
-            assert_eq!(f.eval(&model), Some(true), "extracted assignment must satisfy");
+            assert_eq!(
+                f.eval(&model),
+                Some(true),
+                "extracted assignment must satisfy"
+            );
         }
 
         // The reverse direction: VMC → SAT. Encode the constructed trace's

@@ -14,7 +14,10 @@ use vermem::coherence::{solve_backtracking, solve_with_write_order, SearchConfig
 use vermem::sim::{random_program, Machine, MachineConfig, WorkloadConfig};
 
 fn main() {
-    println!("{:>8} {:>12} {:>16} {:>16}", "ops", "addresses", "write-order (µs)", "exact (µs)");
+    println!(
+        "{:>8} {:>12} {:>16} {:>16}",
+        "ops", "addresses", "write-order (µs)", "exact (µs)"
+    );
     for &instrs in &[50usize, 100, 200, 400, 800] {
         let program = random_program(&WorkloadConfig {
             cpus: 4,
@@ -26,7 +29,10 @@ fn main() {
         });
         let cap = Machine::run(
             &program,
-            MachineConfig { seed: 7, ..Default::default() },
+            MachineConfig {
+                seed: 7,
+                ..Default::default()
+            },
         );
 
         let t0 = Instant::now();

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Full offline verification gate for the vermem workspace.
+#
+# Everything runs with --offline: the workspace has zero registry
+# dependencies (see the hermeticity check below), so a network-less
+# container must be able to build, test, lint, and format-check from a
+# cold checkout.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> hermeticity: no registry dependencies in any Cargo.toml"
+# Dependency lines are either `name = { path = ... }` / `name.workspace =
+# true` (allowed) or registry forms like `name = "1.0"` / `name = {
+# version = ... }` (forbidden). Flag any dependency entry that names a
+# version, which only registry (or git) dependencies do.
+bad=$(grep -rn --include=Cargo.toml -E '^[[:space:]]*[A-Za-z0-9_-]+[[:space:]]*=[[:space:]]*("|.*version[[:space:]]*=)' \
+    Cargo.toml crates/*/Cargo.toml \
+    | grep -vE '^[^:]+:[0-9]+:[[:space:]]*(version|edition|license|repository|rust-version|name|description|debug|resolver|harness|path)[[:space:]]*=' \
+    || true)
+if [[ -n "$bad" ]]; then
+    echo "registry-style dependency entries found:" >&2
+    echo "$bad" >&2
+    exit 1
+fi
+# Belt and braces: the six crates this workspace replaced must never be
+# reintroduced as dependency keys.
+for dep in rand proptest criterion crossbeam serde bytes; do
+    if grep -rn --include=Cargo.toml -E "^[[:space:]]*${dep}[[:space:]]*(=|\.)" \
+        Cargo.toml crates/*/Cargo.toml; then
+        echo "forbidden dependency '${dep}' reintroduced" >&2
+        exit 1
+    fi
+done
+echo "    ok"
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline --workspace
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline --workspace
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --offline -- -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> all checks passed"

@@ -35,6 +35,8 @@
 //! * [`reductions`] — Figures 4.1, 4.2, 5.1, 5.2, 6.1, 6.2 as code.
 //! * [`sim`] — the MESI/TSO multiprocessor with fault injection and
 //!   write-order capture.
+//! * [`util`] — the zero-dependency substrate: deterministic PRNG,
+//!   property-testing harness, bench harness, and binary codec.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -45,3 +47,4 @@ pub use vermem_reductions as reductions;
 pub use vermem_sat as sat;
 pub use vermem_sim as sim;
 pub use vermem_trace as trace;
+pub use vermem_util as util;

@@ -36,7 +36,13 @@ fn workload(seed: u64) -> vermem::sim::Program {
 #[test]
 fn online_accepts_healthy_snooping_runs() {
     for seed in 0..25 {
-        let cap = Machine::run(&workload(seed), MachineConfig { seed, ..Default::default() });
+        let cap = Machine::run(
+            &workload(seed),
+            MachineConfig {
+                seed,
+                ..Default::default()
+            },
+        );
         assert!(online_clean(&cap), "false positive online (seed {seed})");
     }
 }
@@ -46,25 +52,43 @@ fn online_accepts_healthy_tso_runs() {
     for seed in 0..25 {
         let cap = Machine::run(
             &workload(100 + seed),
-            MachineConfig { store_buffers: true, seed, ..Default::default() },
+            MachineConfig {
+                store_buffers: true,
+                seed,
+                ..Default::default()
+            },
         );
-        assert!(online_clean(&cap), "false positive online under TSO (seed {seed})");
+        assert!(
+            online_clean(&cap),
+            "false positive online under TSO (seed {seed})"
+        );
     }
 }
 
 #[test]
 fn online_accepts_healthy_directory_runs() {
     for seed in 0..25 {
-        let cap =
-            DirectoryMachine::run(&workload(200 + seed), DirectoryConfig { seed, ..Default::default() });
-        assert!(online_clean(&cap), "false positive online on directory machine (seed {seed})");
+        let cap = DirectoryMachine::run(
+            &workload(200 + seed),
+            DirectoryConfig {
+                seed,
+                ..Default::default()
+            },
+        );
+        assert!(
+            online_clean(&cap),
+            "false positive online on directory machine (seed {seed})"
+        );
     }
 }
 
 #[test]
 fn online_agrees_with_offline_on_faulty_runs() {
     let kinds = [
-        FaultKind::CorruptFill { cpu: 1, xor: 0xF00D },
+        FaultKind::CorruptFill {
+            cpu: 1,
+            xor: 0xF00D,
+        },
         FaultKind::DropInvalidation { victim_cpu: 2 },
         FaultKind::LostWrite { cpu: 0 },
         FaultKind::StaleFill { cpu: 1 },
@@ -72,7 +96,11 @@ fn online_agrees_with_offline_on_faulty_runs() {
     let mut detections = 0;
     for (i, kind) in kinds.into_iter().enumerate() {
         for seed in 0..20 {
-            let program = if i % 2 == 0 { workload(300 + seed) } else { shared_counter(3, 8) };
+            let program = if i % 2 == 0 {
+                workload(300 + seed)
+            } else {
+                shared_counter(3, 8)
+            };
             let cap = Machine::run(
                 &program,
                 MachineConfig {
@@ -145,6 +173,9 @@ fn online_matches_offline_on_generated_traces_with_witness_order() {
             let op = trace.op(r).expect("witness ref");
             v.observe(r.proc, op);
         }
-        assert!(v.finish().is_empty(), "witness stream must be clean (seed {seed})");
+        assert!(
+            v.finish().is_empty(),
+            "witness stream must be clean (seed {seed})"
+        );
     }
 }

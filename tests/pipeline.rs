@@ -22,7 +22,13 @@ fn full_pipeline_on_random_workloads() {
             rmw_fraction: 0.15,
             seed,
         });
-        let cap = Machine::run(&program, MachineConfig { seed, ..Default::default() });
+        let cap = Machine::run(
+            &program,
+            MachineConfig {
+                seed,
+                ..Default::default()
+            },
+        );
 
         // Coherence with witnesses.
         let ExecutionVerdict::Coherent(schedules) = verify_execution(&cap.trace) else {
@@ -46,7 +52,13 @@ fn full_pipeline_on_random_workloads() {
 #[test]
 fn producer_consumer_workload_is_sc() {
     let program = producer_consumer(2, 4);
-    let cap = Machine::run(&program, MachineConfig { seed: 3, ..Default::default() });
+    let cap = Machine::run(
+        &program,
+        MachineConfig {
+            seed: 3,
+            ..Default::default()
+        },
+    );
     let report = verify_vscc(&cap.trace);
     assert!(report.verdict.is_consistent());
     assert!(report.coherence.is_ok());
@@ -86,18 +98,30 @@ fn tso_machine_traces_satisfy_tso_but_may_violate_sc() {
             },
         );
         let tso = vermem::consistency::solve_model_sat(&cap.trace, MemoryModel::Tso);
-        assert!(tso.is_consistent(), "TSO machine must satisfy TSO (seed {seed})");
+        assert!(
+            tso.is_consistent(),
+            "TSO machine must satisfy TSO (seed {seed})"
+        );
         if solve_sc_backtracking(&cap.trace, &VscConfig::default()).is_violating() {
             sc_violations += 1;
         }
     }
-    assert!(sc_violations > 0, "store buffers should violate SC on some runs");
+    assert!(
+        sc_violations > 0,
+        "store buffers should violate SC on some runs"
+    );
 }
 
 #[test]
 fn vsc_conflict_merge_respects_hardware_write_order() {
     let program = ping_pong(10);
-    let cap = Machine::run(&program, MachineConfig { seed: 5, ..Default::default() });
+    let cap = Machine::run(
+        &program,
+        MachineConfig {
+            seed: 5,
+            ..Default::default()
+        },
+    );
     let ExecutionVerdict::Coherent(schedules) = verify_execution(&cap.trace) else {
         panic!("ping-pong must be coherent");
     };
@@ -106,9 +130,7 @@ fn vsc_conflict_merge_respects_hardware_write_order() {
         MergeOutcome::Cyclic { .. } => {
             // The particular witnesses may not merge (§6.3); the exact
             // solver must still find SC for the SC-mode machine.
-            assert!(
-                solve_sc_backtracking(&cap.trace, &VscConfig::default()).is_consistent()
-            );
+            assert!(solve_sc_backtracking(&cap.trace, &VscConfig::default()).is_consistent());
         }
     }
 }
