@@ -31,6 +31,15 @@ fn configs() -> Vec<(&'static str, SearchConfig)> {
                 ..Default::default()
             },
         ),
+        // Memo-key ablation: SipHash'd Vec<u32> keys instead of the packed
+        // u64 / interned FxHash representation. Same states, slower table.
+        (
+            "legacy-memo-keys",
+            SearchConfig {
+                legacy_memo_keys: true,
+                ..Default::default()
+            },
+        ),
     ]
 }
 

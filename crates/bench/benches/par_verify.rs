@@ -1,0 +1,85 @@
+//! Thread-count ladder for the deterministic parallel execution verifier
+//! ([`vermem_coherence::verify_execution_par`]) on multi-address traces:
+//! generator-produced SC traces and MESI-simulator captures. The verdict is
+//! bit-identical at every rung (see `crates/coherence/src/par.rs`), so this
+//! measures pure scheduling overhead/speedup, not answer drift.
+
+use std::hint::black_box;
+use vermem_coherence::{verify_execution_par, VmcVerifier};
+use vermem_sim::{random_program, Machine, MachineConfig, WorkloadConfig};
+use vermem_trace::gen::{gen_sc_trace, GenConfig};
+use vermem_trace::Trace;
+use vermem_util::bench::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+const JOBS_LADDER: [usize; 4] = [1, 2, 4, 8];
+
+fn sc_trace(total_ops: usize, addrs: usize) -> Trace {
+    gen_sc_trace(&GenConfig {
+        procs: 4,
+        total_ops,
+        addrs,
+        value_reuse: 0.5,
+        seed: (total_ops ^ addrs) as u64,
+        ..Default::default()
+    })
+    .0
+}
+
+fn bench_generated(c: &mut Criterion) {
+    let verifier = VmcVerifier::new();
+    let mut g = c.benchmark_group("par/verify-generated");
+    g.sample_size(10);
+    for &(ops, addrs) in &[(2048usize, 16usize), (8192, 64)] {
+        let t = sc_trace(ops, addrs);
+        g.throughput(Throughput::Elements(t.num_ops() as u64));
+        for jobs in JOBS_LADDER {
+            g.bench_with_input(
+                BenchmarkId::new(format!("{ops}ops-{addrs}addrs"), jobs),
+                &t,
+                |b, t| {
+                    b.iter(|| {
+                        let report = verify_execution_par(t, &verifier, jobs);
+                        assert!(report.is_coherent());
+                        black_box(report)
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_sim_capture(c: &mut Criterion) {
+    let verifier = VmcVerifier::new();
+    let mut g = c.benchmark_group("par/verify-sim-capture");
+    g.sample_size(10);
+    for &instrs in &[1024usize, 4096] {
+        let program = random_program(&WorkloadConfig {
+            cpus: 4,
+            instrs_per_cpu: instrs / 4,
+            addrs: 16,
+            write_fraction: 0.45,
+            rmw_fraction: 0.1,
+            seed: instrs as u64,
+        });
+        let cap = Machine::run(&program, MachineConfig::default());
+        g.throughput(Throughput::Elements(cap.trace.num_ops() as u64));
+        for jobs in JOBS_LADDER {
+            g.bench_with_input(
+                BenchmarkId::new(format!("{instrs}instrs"), jobs),
+                &cap.trace,
+                |b, t| {
+                    b.iter(|| {
+                        let report = verify_execution_par(t, &verifier, jobs);
+                        assert!(report.is_coherent());
+                        black_box(report)
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_generated, bench_sim_capture);
+criterion_main!(benches);

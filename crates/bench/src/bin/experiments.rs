@@ -6,13 +6,20 @@
 //! ```sh
 //! cargo run --release -p vermem-bench --bin experiments            # all
 //! cargo run --release -p vermem-bench --bin experiments -- e5.3   # one
+//! cargo run --release -p vermem-bench --bin experiments -- --json # BENCH_vmc.json
 //! ```
+//!
+//! `--json` runs the E-PAR thread ladder and the memo-key ablation and
+//! writes machine-readable receipts (per-case medians, op/s, speedup vs
+//! 1 thread) to `BENCH_vmc.json` in the current directory. Set
+//! `VERMEM_BENCH_FAST=1` to shrink instance sizes and repetitions for
+//! smoke-test runs.
 
 use std::time::Instant;
 use vermem_bench::{loglog_slope, mean_growth_ratio, median_secs};
 use vermem_coherence::{
     one_op, readmap, rmw, solve_backtracking, solve_backtracking_with_stats,
-    solve_with_write_order, SearchConfig,
+    solve_with_write_order, verify_execution_par, SearchConfig, VmcVerifier,
 };
 use vermem_consistency::{
     merge_coherent_schedules, solve_sc_backtracking, MergeOutcome, VscConfig,
@@ -31,7 +38,21 @@ use vermem_trace::gen::{gen_sc_trace, GenConfig};
 use vermem_trace::{Addr, OpRef, Trace};
 
 fn main() {
-    let filter = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let json = argv.iter().any(|a| a == "--json");
+    let filter = argv
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        // Bare `--json` means "produce the receipts": run only E-PAR + the
+        // memo ablation rather than the whole console suite.
+        .unwrap_or_else(|| {
+            if json {
+                "epar".to_string()
+            } else {
+                "all".to_string()
+            }
+        });
     let run = |id: &str| filter == "all" || filter == id;
 
     if run("e4.1") {
@@ -66,6 +87,9 @@ fn main() {
     }
     if run("eopen") {
         e_open_problems();
+    }
+    if run("epar") {
+        e_par_scaling(json);
     }
 }
 
@@ -592,6 +616,270 @@ fn e_online_checker() {
             latencies.last().unwrap()
         );
     }
+}
+
+// ---------------------------------------------------------------------------
+// E-PAR: the parallel per-address engine (thread ladder) and the memo-key
+// ablation, with optional machine-readable receipts (BENCH_vmc.json).
+// ---------------------------------------------------------------------------
+struct ParPoint {
+    jobs: usize,
+    secs: f64,
+    ops_per_sec: f64,
+    speedup: f64,
+}
+
+struct ParCase {
+    name: String,
+    ops: usize,
+    addrs: usize,
+    points: Vec<ParPoint>,
+}
+
+struct MemoRow {
+    case: String,
+    config: &'static str,
+    secs: f64,
+    states: u64,
+    verdict: &'static str,
+}
+
+fn e_par_scaling(write_json: bool) {
+    header("E-PAR  parallel per-address verification: thread ladder + memo ablation");
+    let fast = std::env::var("VERMEM_BENCH_FAST").is_ok();
+    let reps = if fast { 3 } else { 7 };
+    let host = vermem_util::pool::available_jobs();
+    println!("host parallelism: {host} (ladder rungs above it measure overhead, not speedup)");
+
+    let verifier = VmcVerifier::new();
+    let mut cases = Vec::new();
+    let sizes: &[(usize, usize)] = if fast {
+        &[(512, 16)]
+    } else {
+        &[(2048, 16), (8192, 64), (32768, 64)]
+    };
+    for &(ops, addrs) in sizes {
+        let t = gen_sc_trace(&GenConfig {
+            procs: 4,
+            total_ops: ops,
+            addrs,
+            value_reuse: 0.5,
+            seed: (ops ^ addrs) as u64,
+            ..Default::default()
+        })
+        .0;
+        cases.push(par_case(
+            format!("sc-4p-{ops}ops-{addrs}addrs"),
+            &t,
+            &verifier,
+            reps,
+        ));
+    }
+    let instrs = if fast { 512 } else { 4096 };
+    let program = random_program(&WorkloadConfig {
+        cpus: 4,
+        instrs_per_cpu: instrs / 4,
+        addrs: 16,
+        write_fraction: 0.45,
+        rmw_fraction: 0.1,
+        seed: instrs as u64,
+    });
+    let cap = Machine::run(&program, MachineConfig::default());
+    cases.push(par_case(
+        format!("sim-4cpu-{instrs}instrs"),
+        &cap.trace,
+        &verifier,
+        reps,
+    ));
+
+    println!(
+        "{:>26} {:>8} {:>6} {:>5} {:>12} {:>12} {:>9}",
+        "case", "ops", "addrs", "jobs", "median (ms)", "ops/s", "speedup"
+    );
+    for c in &cases {
+        for p in &c.points {
+            println!(
+                "{:>26} {:>8} {:>6} {:>5} {:>12.3} {:>12.0} {:>8.2}x",
+                c.name,
+                c.ops,
+                c.addrs,
+                p.jobs,
+                p.secs * 1e3,
+                p.ops_per_sec,
+                p.speedup
+            );
+        }
+    }
+
+    let memo = memo_ablation(reps, fast);
+    println!("\nmemo-key ablation (single thread, E-5.1/E-5.2 reduction instances):");
+    println!(
+        "{:>12} {:>18} {:>12} {:>12} {:>10}",
+        "case", "config", "median (ms)", "states", "verdict"
+    );
+    for r in &memo {
+        println!(
+            "{:>12} {:>18} {:>12.3} {:>12} {:>10}",
+            r.case,
+            r.config,
+            r.secs * 1e3,
+            r.states,
+            r.verdict
+        );
+    }
+
+    if write_json {
+        let path = "BENCH_vmc.json";
+        std::fs::write(path, bench_json(host, &cases, &memo)).expect("write BENCH_vmc.json");
+        println!("\nwrote {path}");
+    }
+}
+
+/// Run the jobs ladder on one trace, asserting the verdict is identical to
+/// the sequential engine at every rung (the determinism contract).
+fn par_case(name: String, trace: &Trace, verifier: &VmcVerifier, reps: usize) -> ParCase {
+    let expected = vermem_coherence::verify_execution_with(trace, verifier);
+    let mut points = Vec::new();
+    let mut t1: Option<f64> = None;
+    for jobs in [1usize, 2, 4, 8] {
+        let secs = median_secs(reps, || {
+            let report = verify_execution_par(trace, verifier, jobs);
+            assert_eq!(
+                report.verdict, expected,
+                "determinism violated at {jobs} jobs"
+            );
+        })
+        .max(1e-12);
+        let base = *t1.get_or_insert(secs);
+        points.push(ParPoint {
+            jobs,
+            secs,
+            ops_per_sec: trace.num_ops() as f64 / secs,
+            speedup: base / secs,
+        });
+    }
+    ParCase {
+        name,
+        ops: trace.num_ops(),
+        addrs: trace.addresses().len(),
+        points,
+    }
+}
+
+/// Time the exact search with the overhauled memo keys (packed/interned
+/// FxHash) against the legacy SipHash'd `Vec<u32>` representation on the
+/// E-5.1/E-5.2 blow-up instances (forced-SAT at the wall and the
+/// over-constrained family), state-capped so the run is bounded: every
+/// visited state is a memo probe, so the table cost dominates. Both
+/// representations memoize the same state set, so the state counts (and
+/// verdicts) must agree; only the wall time differs.
+fn memo_ablation(reps: usize, fast: bool) -> Vec<MemoRow> {
+    let cap: u64 = if fast { 50_000 } else { 500_000 };
+    let configs: [(&'static str, SearchConfig); 2] = [
+        (
+            "fx-overhaul",
+            SearchConfig {
+                max_states: Some(cap),
+                ..Default::default()
+            },
+        ),
+        (
+            "legacy-memo-keys",
+            SearchConfig {
+                max_states: Some(cap),
+                legacy_memo_keys: true,
+                ..Default::default()
+            },
+        ),
+    ];
+    // E-5.1/E-5.2 cases at and past the exponential wall (see e5.1/e5.2):
+    // the forced-SAT family at m = 6 and the over-constrained family both
+    // exceed any practical cap, so the search does exactly `cap` states.
+    let wall = vermem_sat::random::gen_forced_sat(&RandomSatConfig::three_sat(6, 1.0, 31 * 6));
+    let overcons = gen_random_ksat(&RandomSatConfig::three_sat(3, 5.0, 93));
+    let instances: [(String, Trace); 3] = [
+        (
+            "e5.1-m6-wall".to_string(),
+            reduce_3sat_restricted(&wall).trace,
+        ),
+        (
+            "e5.1-overcons".to_string(),
+            reduce_3sat_restricted(&overcons).trace,
+        ),
+        (
+            "e5.2-overcons".to_string(),
+            reduce_3sat_rmw(&overcons).trace,
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (case, trace) in &instances {
+        let mut state_counts = Vec::new();
+        for (name, cfg) in &configs {
+            let (verdict, stats) = solve_backtracking_with_stats(trace, Addr::ZERO, cfg);
+            let verdict_str = match verdict {
+                vermem_coherence::Verdict::Coherent(_) => "coherent",
+                vermem_coherence::Verdict::Incoherent(_) => "incoherent",
+                vermem_coherence::Verdict::Unknown => "capped",
+            };
+            state_counts.push(stats.states);
+            let secs = median_secs(reps, || {
+                let _ = solve_backtracking(trace, Addr::ZERO, cfg);
+            })
+            .max(1e-12);
+            rows.push(MemoRow {
+                case: case.clone(),
+                config: name,
+                secs,
+                states: stats.states,
+                verdict: verdict_str,
+            });
+        }
+        assert!(
+            state_counts.windows(2).all(|w| w[0] == w[1]),
+            "memo representations must visit identical state sets ({case})"
+        );
+    }
+    rows
+}
+
+/// Hand-rolled JSON (the workspace is dependency-free): all strings are
+/// internally generated identifiers, so no escaping is needed.
+fn bench_json(host: usize, cases: &[ParCase], memo: &[MemoRow]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"vermem-bench-vmc/v1\",\n");
+    s.push_str(&format!("  \"host_parallelism\": {host},\n"));
+    s.push_str("  \"par_verify\": [\n");
+    for (i, c) in cases.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"case\": \"{}\", \"ops\": {}, \"addresses\": {}, \"points\": [",
+            c.name, c.ops, c.addrs
+        ));
+        for (j, p) in c.points.iter().enumerate() {
+            if j > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!(
+                "{{\"jobs\": {}, \"median_secs\": {:.9}, \"ops_per_sec\": {:.1}, \
+                 \"speedup_vs_1\": {:.4}}}",
+                p.jobs, p.secs, p.ops_per_sec, p.speedup
+            ));
+        }
+        s.push_str("]}");
+        s.push_str(if i + 1 < cases.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"memo_ablation\": [\n");
+    for (i, r) in memo.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"case\": \"{}\", \"config\": \"{}\", \"median_secs\": {:.9}, \
+             \"states\": {}, \"verdict\": \"{}\"}}",
+            r.case, r.config, r.secs, r.states, r.verdict
+        ));
+        s.push_str(if i + 1 < memo.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
 }
 
 // ---------------------------------------------------------------------------

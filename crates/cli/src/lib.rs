@@ -5,14 +5,14 @@
 //! unit-testable; `main.rs` is a thin wrapper.
 //!
 //! ```text
-//! vermem verify <trace> [--addr N] [--strategy auto|backtracking|sat] [--budget N]
+//! vermem verify <trace> [--addr N] [--strategy auto|backtracking|sat] [--budget N] [--jobs N]
 //! vermem sc <trace> [--model sc|tso|pso|coherence]
 //! vermem classify <trace>
 //! vermem explain <trace> [--addr N]
 //! vermem gen --procs N --ops N [--addrs N] [--seed N] [--rmw PCT] [--reuse PCT]
 //! vermem inject <trace> --kind corrupt-read|stale-read|lost-write|reorder [--seed N]
 //! vermem reduce <dimacs> [--figure 4.1|5.1|5.2]
-//! vermem sim --cpus N --instrs N [--addrs N] [--tso|--directory] [--seed N] [--verify] [--online]
+//! vermem sim --cpus N --instrs N [--addrs N] [--tso|--directory] [--seed N] [--verify] [--online] [--jobs N]
 //! vermem sat <dimacs>
 //! vermem litmus
 //! ```
@@ -49,6 +49,7 @@ vermem — verify memory coherence and consistency of execution traces
 
 USAGE:
   vermem verify <trace> [--addr N] [--strategy auto|backtracking|sat] [--budget N]
+                [--jobs N]
   vermem sc <trace> [--model sc|tso|pso|coherence]
   vermem classify <trace>
   vermem explain <trace> [--addr N]
@@ -56,11 +57,13 @@ USAGE:
   vermem inject <trace> --kind corrupt-read|stale-read|lost-write|reorder [--seed N]
   vermem reduce <dimacs> [--figure 4.1|5.1|5.2]
   vermem sim --cpus N --instrs N [--addrs N] [--tso|--directory] [--seed N]
-             [--verify] [--online]
+             [--verify] [--online] [--jobs N]
   vermem sat <dimacs>
   vermem litmus
 
 Traces use the vermem text format; pass '-' to read stdin.
+--jobs N verifies addresses on N worker threads (0 or default: all cores);
+the verdict is deterministic and identical at every thread count.
 ";
 
 /// Minimal flag parser: positional arguments plus `--flag [value]` pairs.
@@ -165,6 +168,7 @@ fn parse_strategy(args: &Args) -> Result<Strategy, CliError> {
 fn cmd_verify(args: &Args, stdin: &str) -> Result<String, CliError> {
     let trace = load_trace(args, stdin)?;
     let budget = args.num::<u64>("budget", 0)?;
+    let jobs = args.num::<usize>("jobs", 0)?; // 0 = available_parallelism
     let verifier = VmcVerifier {
         strategy: parse_strategy(args)?,
         search: SearchConfig {
@@ -173,26 +177,55 @@ fn cmd_verify(args: &Args, stdin: &str) -> Result<String, CliError> {
         },
     };
     let mut out = String::new();
-    let addrs: Vec<Addr> = match args.flag("addr") {
-        Some(a) => vec![Addr(a.parse().map_err(|_| err("invalid --addr"))?)],
-        None => trace.addresses(),
-    };
-    let mut all_ok = true;
-    for addr in addrs {
-        match verifier.verify(&trace, addr) {
+
+    // Single-address mode: keep the historical direct solve.
+    if let Some(a) = args.flag("addr") {
+        let addr = Addr(a.parse().map_err(|_| err("invalid --addr"))?);
+        let all_ok = match verifier.verify(&trace, addr) {
             Verdict::Coherent(s) => {
                 let _ = writeln!(out, "address {}: coherent ({} ops)", addr.0, s.len());
+                true
             }
             Verdict::Incoherent(v) => {
-                all_ok = false;
                 let _ = writeln!(out, "address {}: VIOLATION — {v}", addr.0);
+                false
             }
             Verdict::Unknown => {
-                all_ok = false;
                 let _ = writeln!(out, "address {}: unknown (budget exhausted)", addr.0);
+                false
             }
-        }
+        };
+        let _ = writeln!(
+            out,
+            "{}",
+            if all_ok {
+                "execution: coherent"
+            } else {
+                "execution: NOT coherent"
+            }
+        );
+        return Ok(out);
     }
+
+    // Whole-execution mode: the parallel per-address engine (deterministic
+    // at every thread count; jobs == 1 runs inline with no threads).
+    let report = vermem_coherence::verify_execution_par(&trace, &verifier, jobs);
+    let all_ok = match &report.verdict {
+        vermem_coherence::ExecutionVerdict::Coherent(witnesses) => {
+            for (addr, s) in witnesses {
+                let _ = writeln!(out, "address {}: coherent ({} ops)", addr.0, s.len());
+            }
+            true
+        }
+        vermem_coherence::ExecutionVerdict::Incoherent(v) => {
+            let _ = writeln!(out, "address {}: VIOLATION — {v}", v.addr.0);
+            false
+        }
+        vermem_coherence::ExecutionVerdict::Unknown { addr } => {
+            let _ = writeln!(out, "address {}: unknown (budget exhausted)", addr.0);
+            false
+        }
+    };
     let _ = writeln!(
         out,
         "{}",
@@ -201,6 +234,11 @@ fn cmd_verify(args: &Args, stdin: &str) -> Result<String, CliError> {
         } else {
             "execution: NOT coherent"
         }
+    );
+    let _ = writeln!(
+        out,
+        "# {} address(es), {} job(s), {} search states",
+        report.addresses, report.jobs, report.stats.states
     );
     Ok(out)
 }
@@ -397,11 +435,22 @@ fn cmd_sim(args: &Args) -> Result<String, CliError> {
         cap.stats.invalidations
     );
     if args.has("verify") {
-        let coherent = vermem_coherence::verify_execution(&cap.trace).is_coherent();
+        let jobs = args.num::<usize>("jobs", 0)?; // 0 = available_parallelism
+        let report = vermem_coherence::verify_execution_par(
+            &cap.trace,
+            &vermem_coherence::VmcVerifier::new(),
+            jobs,
+        );
         let _ = writeln!(
             out,
-            "# verification: {}",
-            if coherent { "coherent" } else { "VIOLATION" }
+            "# verification: {} ({} addresses, {} jobs)",
+            if report.is_coherent() {
+                "coherent"
+            } else {
+                "VIOLATION"
+            },
+            report.addresses,
+            report.jobs
         );
     }
     if args.has("online") {
@@ -532,6 +581,33 @@ mod tests {
     }
 
     #[test]
+    fn verify_jobs_flag_is_deterministic() {
+        let trace = run_ok(&["gen", "--procs", "3", "--ops", "60", "--addrs", "5"], "");
+        let strip = |s: &str| -> String {
+            s.lines()
+                .filter(|l| !l.starts_with('#'))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let baseline = run_ok(&["verify", "-", "--jobs", "1"], &trace);
+        for jobs in ["2", "8"] {
+            let out = run_ok(&["verify", "-", "--jobs", jobs], &trace);
+            assert_eq!(strip(&out), strip(&baseline), "jobs {jobs}");
+        }
+        assert!(baseline.contains("execution: coherent"));
+        assert!(baseline.contains("1 job(s)"));
+    }
+
+    #[test]
+    fn verify_jobs_flag_on_violating_trace() {
+        for jobs in ["1", "2", "8"] {
+            let out = run_ok(&["verify", "-", "--jobs", jobs], VIOLATING);
+            assert!(out.contains("VIOLATION"), "jobs {jobs}");
+            assert!(out.contains("NOT coherent"), "jobs {jobs}");
+        }
+    }
+
+    #[test]
     fn sc_models() {
         let sb = "P0: W(0,1) R(1,0)\nP1: W(1,1) R(0,0)\n";
         let out = run_ok(&["sc", "-", "--model", "sc"], sb);
@@ -603,6 +679,19 @@ mod tests {
     fn sim_emits_and_verifies() {
         let out = run_ok(&["sim", "--cpus", "3", "--instrs", "30", "--verify"], "");
         assert!(out.contains("# verification: coherent"));
+    }
+
+    #[test]
+    fn sim_verify_with_jobs() {
+        for jobs in ["1", "4"] {
+            let out = run_ok(
+                &[
+                    "sim", "--cpus", "3", "--instrs", "30", "--verify", "--jobs", jobs,
+                ],
+                "",
+            );
+            assert!(out.contains("# verification: coherent"), "jobs {jobs}");
+        }
     }
 
     #[test]

@@ -16,15 +16,32 @@
 //!
 //! Dead-end detection: a pending read needing value `v ≠ current` with no
 //! remaining writes of `v` can never be served; prune immediately.
+//!
+//! ## Memoization hot path
+//!
+//! The visited-state set is the single hottest structure of the search: it
+//! is probed once per explored state. Two overhauls keep it cheap (see
+//! [`SearchConfig::legacy_memo_keys`] for the ablation baseline):
+//!
+//! * **Fx hashing** ([`vermem_util::hash`]) instead of SipHash — one
+//!   rotate/xor/multiply per word instead of a keyed cryptographic-ish
+//!   permutation.
+//! * **Packed frontier keys** — with ≤ 8 processes and ≤ 255 operations
+//!   per process (every Figure 4/5 reduction and most practical traces),
+//!   the whole frontier packs into one `u64` (one byte per process), so a
+//!   visited probe allocates nothing. Larger instances fall back to an
+//!   *interned* frontier: each distinct frontier is boxed once, given a
+//!   dense `u32` id, and re-probes hash only `(id, value)`.
 
 use crate::verdict::{Verdict, Violation, ViolationKind};
-use std::collections::{HashMap, HashSet};
-use vermem_trace::{Addr, Op, OpRef, Schedule, Trace, Value};
+use std::collections::HashSet;
+use vermem_trace::{Addr, AddrOps, Op, OpRef, Schedule, Trace, Value};
+use vermem_util::hash::{FxHashMap, FxHashSet};
 
-/// Budget and ablation knobs for the exact search. The three optimization
+/// Budget and ablation knobs for the exact search. The optimization
 /// switches exist for the ablation benchmarks (`bench/benches/ablation.rs`)
-/// and default to on; disabling any of them changes performance only, never
-/// answers.
+/// and default to the fast configuration; flipping any of them changes
+/// performance only, never answers.
 #[derive(Clone, Copy, Debug)]
 pub struct SearchConfig {
     /// Maximum distinct states to visit before giving up with
@@ -38,6 +55,10 @@ pub struct SearchConfig {
     pub greedy_absorption: bool,
     /// Try writes whose value a blocked read demands first.
     pub hot_move_ordering: bool,
+    /// Use the pre-overhaul memo representation (SipHash set keyed by
+    /// `(Vec<u32>, Value)`, one heap allocation per probe) instead of the
+    /// packed/interned Fx representation. Ablation knob only.
+    pub legacy_memo_keys: bool,
 }
 
 impl Default for SearchConfig {
@@ -47,6 +68,7 @@ impl Default for SearchConfig {
             memoize: true,
             greedy_absorption: true,
             hot_move_ordering: true,
+            legacy_memo_keys: false,
         }
     }
 }
@@ -62,32 +84,38 @@ pub struct SearchStats {
 
 /// Static prechecks shared by all solvers: values read but never written,
 /// and unproducible final values. Returns a violation if one is certain.
+///
+/// Standalone signature kept for existing callers; it indexes the address
+/// itself. Solvers that already hold an [`AddrOps`] (the dispatcher, the
+/// parallel engine) call [`precheck_ops`] and skip the re-scan.
 pub fn precheck(trace: &Trace, addr: Addr) -> Option<Violation> {
-    let initial = trace.initial(addr);
-    let written: HashSet<Value> = trace
-        .iter_ops()
-        .filter(|(_, op)| op.addr() == addr)
-        .filter_map(|(_, op)| op.written_value())
-        .collect();
-    for (r, op) in trace.iter_ops().filter(|(_, op)| op.addr() == addr) {
+    precheck_ops(&AddrOps::of(trace, addr))
+}
+
+/// As [`precheck`], on a pre-built per-address index entry (no trace scan).
+/// Reports the same first violation as `precheck`: [`AddrOps::iter`] yields
+/// operations in exactly the filtered-`iter_ops` order.
+pub fn precheck_ops(ops: &AddrOps) -> Option<Violation> {
+    let initial = ops.initial();
+    for (r, op) in ops.iter() {
         if let Some(v) = op.read_value() {
-            if v != initial && !written.contains(&v) {
+            if v != initial && ops.writes_of(v) == 0 {
                 return Some(Violation {
-                    addr,
+                    addr: ops.addr(),
                     kind: ViolationKind::NoWriterForValue { read: r, value: v },
                 });
             }
         }
     }
-    if let Some(f) = trace.final_value(addr) {
-        let producible = if written.is_empty() {
+    if let Some(f) = ops.final_value() {
+        let producible = if ops.write_counts().is_empty() {
             f == initial
         } else {
-            written.contains(&f)
+            ops.writes_of(f) > 0
         };
         if !producible {
             return Some(Violation {
-                addr,
+                addr: ops.addr(),
                 kind: ViolationKind::FinalValueUnwritable { value: f },
             });
         }
@@ -108,42 +136,49 @@ pub fn solve_backtracking_with_stats(
     addr: Addr,
     cfg: &SearchConfig,
 ) -> (Verdict, SearchStats) {
+    let (verdict, stats) = solve_backtracking_ops_with_stats(&AddrOps::of(trace, addr), cfg);
+    if let Verdict::Coherent(witness) = &verdict {
+        debug_assert!(
+            vermem_trace::check_coherent_schedule(trace, addr, witness).is_ok(),
+            "solver produced invalid witness"
+        );
+    }
+    (verdict, stats)
+}
+
+/// As [`solve_backtracking`], on a pre-built per-address index entry.
+pub fn solve_backtracking_ops(ops: &AddrOps, cfg: &SearchConfig) -> Verdict {
+    solve_backtracking_ops_with_stats(ops, cfg).0
+}
+
+/// As [`solve_backtracking_with_stats`], on a pre-built per-address index
+/// entry — the zero-rescan entry point used by the dispatcher and the
+/// parallel engine.
+pub fn solve_backtracking_ops_with_stats(
+    ops: &AddrOps,
+    cfg: &SearchConfig,
+) -> (Verdict, SearchStats) {
     let mut stats = SearchStats::default();
-    if let Some(v) = precheck(trace, addr) {
+    if let Some(v) = precheck_ops(ops) {
         return (Verdict::Incoherent(v), stats);
     }
 
-    // Dense per-process op lists restricted to `addr`, with original refs.
-    let per_proc: Vec<Vec<(OpRef, Op)>> = trace
-        .histories()
-        .iter()
-        .enumerate()
-        .map(|(p, h)| {
-            h.iter()
-                .enumerate()
-                .filter(|(_, op)| op.addr() == addr)
-                .map(|(i, op)| (OpRef::new(p as u16, i as u32), op))
-                .collect()
-        })
-        .collect();
-    let total: usize = per_proc.iter().map(|v| v.len()).sum();
-    let initial = trace.initial(addr);
-    let final_value = trace.final_value(addr);
+    let per_proc = ops.per_proc();
+    let total = ops.num_ops();
+    let initial = ops.initial();
+    let final_value = ops.final_value();
 
-    let mut remaining_writes: HashMap<Value, u32> = HashMap::new();
-    for ops in &per_proc {
-        for (_, op) in ops {
-            if let Some(v) = op.written_value() {
-                *remaining_writes.entry(v).or_insert(0) += 1;
-            }
-        }
-    }
+    let mut remaining_writes: FxHashMap<Value, u32> = ops
+        .write_counts()
+        .iter()
+        .map(|(&v, &c)| (v, c as u32))
+        .collect();
 
     let mut search = Search {
-        per_proc: &per_proc,
+        per_proc,
         total,
         final_value,
-        visited: HashSet::new(),
+        visited: Visited::for_instance(per_proc, cfg),
         schedule: Vec::with_capacity(total),
         cfg: *cfg,
         stats: &mut stats,
@@ -155,28 +190,85 @@ pub fn solve_backtracking_with_stats(
     let schedule = std::mem::take(&mut search.schedule);
 
     let verdict = if found {
-        let witness = Schedule::from_refs(schedule);
-        debug_assert!(
-            vermem_trace::check_coherent_schedule(trace, addr, &witness).is_ok(),
-            "solver produced invalid witness"
-        );
-        Verdict::Coherent(witness)
+        Verdict::Coherent(Schedule::from_refs(schedule))
     } else if budget_hit {
         Verdict::Unknown
     } else {
         Verdict::Incoherent(Violation {
-            addr,
+            addr: ops.addr(),
             kind: ViolationKind::SearchExhausted,
         })
     };
     (verdict, stats)
 }
 
+/// The visited-state set, specialised to the instance shape (see the
+/// module docs). All three representations memoize exactly the set of
+/// `(frontier, value)` pairs; they differ only in key encoding and hasher,
+/// so the search explores the identical state sequence under each.
+enum Visited {
+    /// ≤ 8 processes, ≤ 255 ops/process: the frontier packs into one `u64`
+    /// (byte per process). Zero allocations per probe.
+    Packed(FxHashSet<(u64, Value)>),
+    /// General shape: intern each distinct frontier once, probe by dense id.
+    /// Allocates only on first sight of a frontier.
+    Interned {
+        /// Frontier → dense id.
+        ids: FxHashMap<Box<[u32]>, u32>,
+        /// Visited `(frontier id, value)` pairs.
+        seen: FxHashSet<(u32, Value)>,
+    },
+    /// Pre-overhaul representation (SipHash, `Vec` key per probe); kept for
+    /// the memo-key ablation benchmark.
+    Legacy(HashSet<(Vec<u32>, Value)>),
+}
+
+impl Visited {
+    fn for_instance(per_proc: &[Vec<(OpRef, Op)>], cfg: &SearchConfig) -> Visited {
+        if cfg.legacy_memo_keys {
+            Visited::Legacy(HashSet::new())
+        } else if per_proc.len() <= 8 && per_proc.iter().all(|v| v.len() <= u8::MAX as usize) {
+            Visited::Packed(FxHashSet::default())
+        } else {
+            Visited::Interned {
+                ids: FxHashMap::default(),
+                seen: FxHashSet::default(),
+            }
+        }
+    }
+
+    /// Record `(frontier, value)`; true if it was not already present.
+    fn insert(&mut self, frontier: &[u32], value: Value) -> bool {
+        match self {
+            Visited::Packed(set) => {
+                let mut key = 0u64;
+                for (p, &f) in frontier.iter().enumerate() {
+                    debug_assert!(f <= u8::MAX as u32 && p < 8, "packed key precondition");
+                    key |= u64::from(f) << (8 * p);
+                }
+                set.insert((key, value))
+            }
+            Visited::Interned { ids, seen } => {
+                let next = ids.len() as u32;
+                let id = match ids.get(frontier) {
+                    Some(&id) => id,
+                    None => {
+                        ids.insert(frontier.to_vec().into_boxed_slice(), next);
+                        next
+                    }
+                };
+                seen.insert((id, value))
+            }
+            Visited::Legacy(set) => set.insert((frontier.to_vec(), value)),
+        }
+    }
+}
+
 struct Search<'a> {
     per_proc: &'a [Vec<(OpRef, Op)>],
     total: usize,
     final_value: Option<Value>,
-    visited: HashSet<(Vec<u32>, Value)>,
+    visited: Visited,
     schedule: Vec<OpRef>,
     cfg: SearchConfig,
     stats: &'a mut SearchStats,
@@ -190,7 +282,7 @@ impl Search<'_> {
         &mut self,
         frontier: &mut Vec<u32>,
         mut current: Value,
-        remaining_writes: &mut HashMap<Value, u32>,
+        remaining_writes: &mut FxHashMap<Value, u32>,
     ) -> bool {
         // Greedy absorption of matching pure reads.
         let absorbed_base = self.schedule.len();
@@ -233,12 +325,9 @@ impl Search<'_> {
         }
 
         // Memoization and budget.
-        if self.cfg.memoize {
-            let key = (frontier.clone(), current);
-            if !self.visited.insert(key) {
-                undo(self, frontier);
-                return false;
-            }
+        if self.cfg.memoize && !self.visited.insert(frontier, current) {
+            undo(self, frontier);
+            return false;
         }
         self.stats.states += 1;
         if let Some(max) = self.cfg.max_states {
@@ -269,7 +358,7 @@ impl Search<'_> {
 
         // Collect write-capable moves, preferring writes whose value some
         // blocked read is waiting for.
-        let mut demanded: HashSet<Value> = HashSet::new();
+        let mut demanded: FxHashSet<Value> = FxHashSet::default();
         for (p, &f) in frontier.iter().enumerate() {
             if let Some(&(_, op)) = self.per_proc[p].get(f as usize) {
                 if let Some(need) = op.read_value() {
@@ -504,9 +593,14 @@ mod tests {
                 ..Default::default()
             },
             SearchConfig {
+                legacy_memo_keys: true,
+                ..Default::default()
+            },
+            SearchConfig {
                 memoize: false,
                 greedy_absorption: false,
                 hot_move_ordering: false,
+                legacy_memo_keys: false,
                 max_states: None,
             },
         ];
@@ -542,6 +636,69 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn memo_representations_visit_identical_state_sequences() {
+        // Packed (≤8 procs), interned (forced by 9 procs) and legacy keys
+        // must agree on verdict *and* on the exact states/branches counts:
+        // the memo set contents are representation-independent.
+        use vermem_util::rng::StdRng;
+        let legacy = SearchConfig {
+            legacy_memo_keys: true,
+            ..Default::default()
+        };
+        for seed in 0..40u64 {
+            let mut rng = StdRng::seed_from_u64(777_000 + seed);
+            // 9 processes forces the interned representation; the same trace
+            // re-solved with legacy keys must match exactly.
+            let procs = 9;
+            let mut b = TraceBuilder::new();
+            for _ in 0..procs {
+                let len = rng.gen_range(0..=3);
+                let ops: Vec<Op> = (0..len)
+                    .map(|_| {
+                        let v = rng.gen_range(0..3u64);
+                        match rng.gen_range(0..3) {
+                            0 => Op::r(v),
+                            1 => Op::w(v),
+                            _ => Op::rw(v, rng.gen_range(0..3u64)),
+                        }
+                    })
+                    .collect();
+                b = b.proc(ops);
+            }
+            let t = b.build();
+            let (v_fast, s_fast) =
+                solve_backtracking_with_stats(&t, Addr::ZERO, &SearchConfig::default());
+            let (v_legacy, s_legacy) = solve_backtracking_with_stats(&t, Addr::ZERO, &legacy);
+            assert_eq!(v_fast, v_legacy, "seed {seed}: {t:?}");
+            assert_eq!(s_fast, s_legacy, "seed {seed}: {t:?}");
+        }
+        // And a packed-representation instance (2 procs), same exactness.
+        for seed in 0..40u64 {
+            let (t, _) = vermem_trace::gen::gen_hard_coherent(2, 6, 2, seed);
+            let (v_fast, s_fast) =
+                solve_backtracking_with_stats(&t, Addr::ZERO, &SearchConfig::default());
+            let (v_legacy, s_legacy) = solve_backtracking_with_stats(&t, Addr::ZERO, &legacy);
+            assert_eq!(v_fast, v_legacy, "seed {seed}");
+            assert_eq!(s_fast, s_legacy, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn ops_entry_points_match_trace_entry_points() {
+        let t = TraceBuilder::new()
+            .proc([Op::w(1u64), Op::r(2u64)])
+            .proc([Op::w(2u64), Op::r(1u64), Op::w(2u64)])
+            .build();
+        let ops = vermem_trace::AddrOps::of(&t, Addr::ZERO);
+        let cfg = SearchConfig::default();
+        assert_eq!(
+            solve_backtracking_ops_with_stats(&ops, &cfg),
+            solve_backtracking_with_stats(&t, Addr::ZERO, &cfg)
+        );
+        assert_eq!(precheck_ops(&ops), precheck(&t, Addr::ZERO));
     }
 
     #[test]

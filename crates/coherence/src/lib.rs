@@ -32,6 +32,7 @@ pub mod explain;
 pub mod one_op;
 pub mod online;
 pub mod open_problems;
+pub mod par;
 pub mod readmap;
 pub mod rmw;
 pub mod sat_encode;
@@ -41,12 +42,13 @@ pub mod write_order;
 pub use backtrack::{solve_backtracking, solve_backtracking_with_stats, SearchConfig, SearchStats};
 pub use explain::{minimize_incoherent_core, ExplainConfig, MinimalCore};
 pub use online::{OnlineCause, OnlineVerifier, OnlineViolation};
+pub use par::{verify_execution_par, ExecutionReport};
 pub use sat_encode::{encode_vmc, solve_sat, solve_sat_certified, VmcEncoding};
 pub use verdict::{Verdict, Violation, ViolationKind};
 pub use write_order::solve_with_write_order;
 
 use std::collections::BTreeMap;
-use vermem_trace::{Addr, Schedule, Trace};
+use vermem_trace::{Addr, AddrIndex, AddrOps, Schedule, Trace};
 
 /// Which algorithm the dispatcher selected for an instance.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -94,17 +96,24 @@ impl VmcVerifier {
 
     /// Which algorithm [`VmcVerifier::verify`] would run on this instance.
     pub fn select(&self, trace: &Trace, addr: Addr) -> Algorithm {
+        self.select_ops(&AddrOps::of(trace, addr))
+    }
+
+    /// As [`VmcVerifier::select`], from a pre-built per-address index entry.
+    /// All applicability checks read the entry's cached structure, so
+    /// selection costs O(procs + values) instead of O(total trace ops).
+    pub fn select_ops(&self, ops: &AddrOps) -> Algorithm {
         match self.strategy {
             Strategy::Backtracking => Algorithm::Backtracking,
             Strategy::Sat => Algorithm::SatEncoding,
             Strategy::Auto => {
-                if readmap::applicable(trace, addr) {
+                if readmap::applicable_ops(ops) {
                     Algorithm::ReadMap
-                } else if rmw::readmap_applicable(trace, addr) {
+                } else if rmw::readmap_applicable_ops(ops) {
                     Algorithm::RmwReadMap
-                } else if one_op::applicable(trace, addr) {
+                } else if one_op::applicable_ops(ops) {
                     Algorithm::OneOpPerProc
-                } else if rmw::one_op_applicable(trace, addr) {
+                } else if rmw::one_op_applicable_ops(ops) {
                     Algorithm::RmwOneOp
                 } else {
                     Algorithm::Backtracking
@@ -115,14 +124,36 @@ impl VmcVerifier {
 
     /// Decide coherence of the operations of `trace` at `addr`.
     pub fn verify(&self, trace: &Trace, addr: Addr) -> Verdict {
-        match self.select(trace, addr) {
-            Algorithm::ReadMap => readmap::solve_readmap(trace, addr),
-            Algorithm::RmwReadMap => rmw::solve_rmw_readmap(trace, addr),
-            Algorithm::OneOpPerProc => one_op::solve_one_op(trace, addr),
-            Algorithm::RmwOneOp => rmw::solve_rmw_one_op(trace, addr),
-            Algorithm::Backtracking => solve_backtracking(trace, addr, &self.search),
-            Algorithm::SatEncoding => solve_sat(trace, addr),
+        self.verify_ops(trace, &AddrOps::of(trace, addr))
+    }
+
+    /// As [`VmcVerifier::verify`], on a pre-built per-address index entry
+    /// (`trace` is only consulted by the SAT strategy and by debug witness
+    /// checking — no full-trace rescans on the hot path).
+    pub fn verify_ops(&self, trace: &Trace, ops: &AddrOps) -> Verdict {
+        self.verify_ops_with_stats(trace, ops).0
+    }
+
+    /// As [`VmcVerifier::verify_ops`], also returning the backtracking
+    /// search statistics (zero for the polynomial fast paths).
+    pub fn verify_ops_with_stats(&self, trace: &Trace, ops: &AddrOps) -> (Verdict, SearchStats) {
+        let out = match self.select_ops(ops) {
+            Algorithm::ReadMap => (readmap::solve_readmap_ops(ops), SearchStats::default()),
+            Algorithm::RmwReadMap => (rmw::solve_rmw_readmap_ops(ops), SearchStats::default()),
+            Algorithm::OneOpPerProc => (one_op::solve_one_op_ops(ops), SearchStats::default()),
+            Algorithm::RmwOneOp => (rmw::solve_rmw_one_op_ops(ops), SearchStats::default()),
+            Algorithm::Backtracking => {
+                backtrack::solve_backtracking_ops_with_stats(ops, &self.search)
+            }
+            Algorithm::SatEncoding => (solve_sat(trace, ops.addr()), SearchStats::default()),
+        };
+        if let Verdict::Coherent(witness) = &out.0 {
+            debug_assert!(
+                vermem_trace::check_coherent_schedule(trace, ops.addr(), witness).is_ok(),
+                "solver produced invalid witness"
+            );
         }
+        out
     }
 }
 
@@ -187,15 +218,22 @@ pub fn verify_execution(trace: &Trace) -> ExecutionVerdict {
 }
 
 /// As [`verify_execution`], with explicit verifier settings.
+///
+/// Builds the [`AddrIndex`] once (a single O(ops) pass) and hands each
+/// solver its pre-indexed entry, so whole-execution setup no longer costs
+/// O(addresses × ops). Address order matches [`Trace::addresses`], so the
+/// first reported violation is unchanged from the historical per-address
+/// loop.
 pub fn verify_execution_with(trace: &Trace, verifier: &VmcVerifier) -> ExecutionVerdict {
+    let index = AddrIndex::build(trace);
     let mut witnesses = BTreeMap::new();
-    for addr in trace.addresses() {
-        match verifier.verify(trace, addr) {
+    for ops in index.iter() {
+        match verifier.verify_ops(trace, ops) {
             Verdict::Coherent(s) => {
-                witnesses.insert(addr, s);
+                witnesses.insert(ops.addr(), s);
             }
             Verdict::Incoherent(v) => return ExecutionVerdict::Incoherent(v),
-            Verdict::Unknown => return ExecutionVerdict::Unknown { addr },
+            Verdict::Unknown => return ExecutionVerdict::Unknown { addr: ops.addr() },
         }
     }
     ExecutionVerdict::Coherent(witnesses)

@@ -8,37 +8,53 @@
 //! reads immediately after it, the `d_F` group last. The paper lists
 //! O(n lg n); grouping with hashing gives O(n).
 
-use crate::backtrack::precheck;
+use crate::backtrack::precheck_ops;
 use crate::verdict::Verdict;
 use std::collections::HashMap;
-use vermem_trace::{check_coherent_schedule, Addr, OpRef, Schedule, Trace, Value};
+use vermem_trace::{check_coherent_schedule, Addr, AddrOps, OpRef, Schedule, Trace, Value};
 
 /// True if every process issues at most one operation at `addr`, and all of
 /// them are simple reads/writes.
 pub fn applicable(trace: &Trace, addr: Addr) -> bool {
-    trace.histories().iter().all(|h| {
-        let ops: Vec<_> = h.iter().filter(|o| o.addr() == addr).collect();
-        ops.len() <= 1 && ops.iter().all(|o| !o.is_rmw())
-    })
+    applicable_ops(&AddrOps::of(trace, addr))
+}
+
+/// As [`applicable`], decided in O(procs) from a pre-built per-address
+/// index entry's cached structure.
+pub fn applicable_ops(ops: &AddrOps) -> bool {
+    !ops.has_rmw() && ops.max_ops_per_proc() <= 1
 }
 
 /// Decide coherence at `addr` for one-simple-op-per-process instances.
-/// After [`precheck`] passes, such an instance is always coherent.
+/// After [`crate::backtrack::precheck`] passes, such an instance is always
+/// coherent.
 pub fn solve_one_op(trace: &Trace, addr: Addr) -> Verdict {
+    let verdict = solve_one_op_ops(&AddrOps::of(trace, addr));
+    if let Verdict::Coherent(witness) = &verdict {
+        debug_assert!(
+            check_coherent_schedule(trace, addr, witness).is_ok(),
+            "one-op solver produced invalid witness"
+        );
+    }
+    verdict
+}
+
+/// As [`solve_one_op`], on a pre-built per-address index entry.
+pub fn solve_one_op_ops(indexed: &AddrOps) -> Verdict {
     debug_assert!(
-        applicable(trace, addr),
+        applicable_ops(indexed),
         "one-op fast path preconditions violated"
     );
-    if let Some(v) = precheck(trace, addr) {
+    if let Some(v) = precheck_ops(indexed) {
         return Verdict::Incoherent(v);
     }
-    let initial = trace.initial(addr);
-    let final_value = trace.final_value(addr);
+    let initial = indexed.initial();
+    let final_value = indexed.final_value();
 
     let mut initial_reads: Vec<OpRef> = Vec::new();
     let mut writes_by_value: HashMap<Value, Vec<OpRef>> = HashMap::new();
     let mut reads_by_value: HashMap<Value, Vec<OpRef>> = HashMap::new();
-    for (r, op) in trace.iter_ops().filter(|(_, op)| op.addr() == addr) {
+    for (r, op) in indexed.iter() {
         if let Some(v) = op.written_value() {
             writes_by_value.entry(v).or_default().push(r);
         } else {
@@ -92,12 +108,7 @@ pub fn solve_one_op(trace: &Trace, addr: Addr) -> Verdict {
         }
     }
 
-    let witness = Schedule::from_refs(refs);
-    debug_assert!(
-        check_coherent_schedule(trace, addr, &witness).is_ok(),
-        "one-op solver produced invalid witness"
-    );
-    Verdict::Coherent(witness)
+    Verdict::Coherent(Schedule::from_refs(refs))
 }
 
 #[cfg(test)]

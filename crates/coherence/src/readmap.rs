@@ -8,33 +8,22 @@
 //! program order is acyclic, because within a block the write simply comes
 //! first and reads never change memory state.
 
-use crate::backtrack::precheck;
+use crate::backtrack::precheck_ops;
 use crate::verdict::{Verdict, Violation, ViolationKind};
 use std::collections::HashMap;
-use vermem_trace::{check_coherent_schedule, Addr, OpRef, Schedule, Trace, Value};
+use vermem_trace::{check_coherent_schedule, Addr, AddrOps, OpRef, Schedule, Trace, Value};
 
 /// True if the read-map fast path applies to the operations at `addr`:
 /// simple reads/writes only, every value written at most once, and no write
 /// re-installs the initial value (which would make read binding ambiguous).
 pub fn applicable(trace: &Trace, addr: Addr) -> bool {
-    let initial = trace.initial(addr);
-    let mut seen: HashMap<Value, u32> = HashMap::new();
-    for (_, op) in trace.iter_ops().filter(|(_, op)| op.addr() == addr) {
-        if op.is_rmw() {
-            return false;
-        }
-        if let Some(v) = op.written_value() {
-            if v == initial {
-                return false;
-            }
-            let c = seen.entry(v).or_insert(0);
-            *c += 1;
-            if *c > 1 {
-                return false;
-            }
-        }
-    }
-    true
+    applicable_ops(&AddrOps::of(trace, addr))
+}
+
+/// As [`applicable`], decided in O(values) from the cached structure of a
+/// pre-built per-address index entry (no trace scan).
+pub fn applicable_ops(ops: &AddrOps) -> bool {
+    !ops.has_rmw() && ops.max_writes_per_value() <= 1 && ops.writes_of(ops.initial()) == 0
 }
 
 /// Decide coherence at `addr` assuming [`applicable`]. O(n) modulo hashing.
@@ -42,21 +31,32 @@ pub fn applicable(trace: &Trace, addr: Addr) -> bool {
 /// # Panics
 /// Debug-asserts applicability; behaviour is unspecified otherwise.
 pub fn solve_readmap(trace: &Trace, addr: Addr) -> Verdict {
+    let verdict = solve_readmap_ops(&AddrOps::of(trace, addr));
+    if let Verdict::Coherent(witness) = &verdict {
+        debug_assert!(
+            check_coherent_schedule(trace, addr, witness).is_ok(),
+            "read-map solver produced invalid witness"
+        );
+    }
+    verdict
+}
+
+/// As [`solve_readmap`], on a pre-built per-address index entry.
+pub fn solve_readmap_ops(indexed: &AddrOps) -> Verdict {
     debug_assert!(
-        applicable(trace, addr),
+        applicable_ops(indexed),
         "read-map fast path preconditions violated"
     );
-    if let Some(v) = precheck(trace, addr) {
+    let addr = indexed.addr();
+    if let Some(v) = precheck_ops(indexed) {
         return Verdict::Incoherent(v);
     }
-    let initial = trace.initial(addr);
+    let initial = indexed.initial();
 
-    // Index the per-address operations; block 0 is the virtual initial
-    // block, block (w+1) belongs to the w-th write.
-    let ops: Vec<(OpRef, vermem_trace::Op)> = trace
-        .iter_ops()
-        .filter(|(_, op)| op.addr() == addr)
-        .collect();
+    // Flatten the per-address operations (proc-major, program order, the
+    // same order the historical trace scan produced); block 0 is the
+    // virtual initial block, block (w+1) belongs to the w-th write.
+    let ops: Vec<(OpRef, vermem_trace::Op)> = indexed.iter().collect();
     let mut writer_block: HashMap<Value, usize> = HashMap::new();
     let mut write_of_block: Vec<Option<usize>> = vec![None]; // block 0 has no write
     for (i, (_, op)) in ops.iter().enumerate() {
@@ -84,18 +84,24 @@ pub fn solve_readmap(trace: &Trace, addr: Addr) -> Verdict {
         }
     };
 
+    // Per-process index ranges into the flat `ops` (the layout is
+    // proc-major, so each process owns one contiguous range).
+    let mut proc_ranges: Vec<std::ops::Range<usize>> = Vec::with_capacity(indexed.per_proc().len());
+    let mut start = 0usize;
+    for pp in indexed.per_proc() {
+        proc_ranges.push(start..start + pp.len());
+        start += pp.len();
+    }
+
     // A read program-order-before its own writer is a same-block cycle.
-    for (p, _) in trace.histories().iter().enumerate() {
+    for range in &proc_ranges {
         let mut writes_seen: HashMap<usize, u32> = HashMap::new(); // block -> write index
-        let proc_ops: Vec<usize> = (0..ops.len())
-            .filter(|&i| ops[i].0.proc.0 as usize == p)
-            .collect();
-        for &i in &proc_ops {
+        for i in range.clone() {
             if ops[i].1.is_writing() {
                 writes_seen.insert(block_of(i), ops[i].0.index);
             }
         }
-        for &i in &proc_ops {
+        for i in range.clone() {
             if !ops[i].1.is_writing() {
                 let b = block_of(i);
                 if let Some(&widx) = writes_seen.get(&b) {
@@ -129,12 +135,9 @@ pub fn solve_readmap(trace: &Trace, addr: Addr) -> Verdict {
     for b in 1..nblocks {
         add_edge(&mut adj, &mut indeg, 0, b);
     }
-    for p in 0..trace.num_procs() {
-        let proc_ops: Vec<usize> = (0..ops.len())
-            .filter(|&i| ops[i].0.proc.0 as usize == p)
-            .collect();
-        for w in proc_ops.windows(2) {
-            let (a, b) = (block_of(w[0]), block_of(w[1]));
+    for range in &proc_ranges {
+        for i in range.clone().skip(1) {
+            let (a, b) = (block_of(i - 1), block_of(i));
             if a != b {
                 add_edge(&mut adj, &mut indeg, a, b);
             }
@@ -142,7 +145,7 @@ pub fn solve_readmap(trace: &Trace, addr: Addr) -> Verdict {
     }
 
     // Final value: its block must carry no outgoing edges so it can be last.
-    let final_block = trace.final_value(addr).map(|f| {
+    let final_block = indexed.final_value().map(|f| {
         if f == initial {
             // Applicability excludes rewrites of d_I, and precheck accepted,
             // so there are no writes at all; block 0 is trivially last.
@@ -156,7 +159,7 @@ pub fn solve_readmap(trace: &Trace, addr: Addr) -> Verdict {
             return Verdict::Incoherent(Violation {
                 addr,
                 kind: ViolationKind::FinalValueUnwritable {
-                    value: trace.final_value(addr).expect("checked"),
+                    value: indexed.final_value().expect("checked"),
                 },
             });
         }
@@ -210,12 +213,7 @@ pub fn solve_readmap(trace: &Trace, addr: Addr) -> Verdict {
         reads.sort_unstable();
         refs.extend(reads);
     }
-    let witness = Schedule::from_refs(refs);
-    debug_assert!(
-        check_coherent_schedule(trace, addr, &witness).is_ok(),
-        "read-map solver produced invalid witness"
-    );
-    Verdict::Coherent(witness)
+    Verdict::Coherent(Schedule::from_refs(refs))
 }
 
 #[cfg(test)]

@@ -14,62 +14,62 @@
 //!   candidate continuation — so a single O(n) scan that also checks
 //!   program order decides the instance.
 
-use crate::backtrack::precheck;
+use crate::backtrack::precheck_ops;
 use crate::verdict::{Verdict, Violation, ViolationKind};
 use std::collections::HashMap;
-use vermem_trace::{check_coherent_schedule, Addr, OpRef, Schedule, Trace, Value};
+use vermem_trace::{check_coherent_schedule, Addr, AddrOps, OpRef, Schedule, Trace, Value};
 
 /// True if every operation at `addr` is an RMW and each process issues at
 /// most one of them.
 pub fn one_op_applicable(trace: &Trace, addr: Addr) -> bool {
-    trace.histories().iter().all(|h| {
-        let ops: Vec<_> = h.iter().filter(|o| o.addr() == addr).collect();
-        ops.len() <= 1 && ops.iter().all(|o| o.is_rmw())
-    })
+    one_op_applicable_ops(&AddrOps::of(trace, addr))
+}
+
+/// As [`one_op_applicable`], from a pre-built index entry's cached
+/// structure (no trace scan).
+pub fn one_op_applicable_ops(ops: &AddrOps) -> bool {
+    ops.all_rmw() && ops.max_ops_per_proc() <= 1
 }
 
 /// True if every operation at `addr` is an RMW, every value is written at
 /// most once, and no operation re-installs the initial value.
 pub fn readmap_applicable(trace: &Trace, addr: Addr) -> bool {
-    let initial = trace.initial(addr);
-    let mut written: HashMap<Value, u32> = HashMap::new();
-    for (_, op) in trace.iter_ops().filter(|(_, op)| op.addr() == addr) {
-        if !op.is_rmw() {
-            return false;
-        }
-        let w = op.written_value().expect("rmw writes");
-        if w == initial {
-            return false;
-        }
-        let c = written.entry(w).or_insert(0);
-        *c += 1;
-        if *c > 1 {
-            return false;
-        }
-    }
-    true
+    readmap_applicable_ops(&AddrOps::of(trace, addr))
+}
+
+/// As [`readmap_applicable`], from a pre-built index entry's cached
+/// structure (no trace scan).
+pub fn readmap_applicable_ops(ops: &AddrOps) -> bool {
+    ops.all_rmw() && ops.max_writes_per_value() <= 1 && ops.writes_of(ops.initial()) == 0
 }
 
 /// Eulerian-path decision for single-RMW-per-process instances. O(n).
 pub fn solve_rmw_one_op(trace: &Trace, addr: Addr) -> Verdict {
-    debug_assert!(one_op_applicable(trace, addr));
-    if let Some(v) = precheck(trace, addr) {
+    let verdict = solve_rmw_one_op_ops(&AddrOps::of(trace, addr));
+    if let Verdict::Coherent(witness) = &verdict {
+        debug_assert!(check_coherent_schedule(trace, addr, witness).is_ok());
+    }
+    verdict
+}
+
+/// As [`solve_rmw_one_op`], on a pre-built per-address index entry.
+pub fn solve_rmw_one_op_ops(indexed: &AddrOps) -> Verdict {
+    debug_assert!(one_op_applicable_ops(indexed));
+    let addr = indexed.addr();
+    if let Some(v) = precheck_ops(indexed) {
         return Verdict::Incoherent(v);
     }
-    let ops: Vec<(OpRef, vermem_trace::Op)> = trace
-        .iter_ops()
-        .filter(|(_, op)| op.addr() == addr)
-        .collect();
+    let ops: Vec<(OpRef, vermem_trace::Op)> = indexed.iter().collect();
     if ops.is_empty() {
-        return match trace.final_value(addr) {
-            Some(f) if f != trace.initial(addr) => Verdict::Incoherent(Violation {
+        return match indexed.final_value() {
+            Some(f) if f != indexed.initial() => Verdict::Incoherent(Violation {
                 addr,
                 kind: ViolationKind::FinalValueUnwritable { value: f },
             }),
             _ => Verdict::Coherent(Schedule::new()),
         };
     }
-    let initial = trace.initial(addr);
+    let initial = indexed.initial();
 
     // Out-edges per value: indices of unused ops reading that value.
     let mut out: HashMap<Value, Vec<usize>> = HashMap::new();
@@ -122,7 +122,7 @@ pub fn solve_rmw_one_op(trace: &Trace, addr: Addr) -> Verdict {
         }
         current = ops[i].1.written_value().expect("rmw");
     }
-    if let Some(f) = trace.final_value(addr) {
+    if let Some(f) = indexed.final_value() {
         if current != f {
             return Verdict::Incoherent(Violation {
                 addr,
@@ -130,22 +130,27 @@ pub fn solve_rmw_one_op(trace: &Trace, addr: Addr) -> Verdict {
             });
         }
     }
-    let witness = Schedule::from_refs(path_ops.iter().map(|&i| ops[i].0));
-    debug_assert!(check_coherent_schedule(trace, addr, &witness).is_ok());
-    Verdict::Coherent(witness)
+    Verdict::Coherent(Schedule::from_refs(path_ops.iter().map(|&i| ops[i].0)))
 }
 
 /// Forced-chain decision for all-RMW instances with a known read-map. O(n).
 pub fn solve_rmw_readmap(trace: &Trace, addr: Addr) -> Verdict {
-    debug_assert!(readmap_applicable(trace, addr));
-    if let Some(v) = precheck(trace, addr) {
+    let verdict = solve_rmw_readmap_ops(&AddrOps::of(trace, addr));
+    if let Verdict::Coherent(witness) = &verdict {
+        debug_assert!(check_coherent_schedule(trace, addr, witness).is_ok());
+    }
+    verdict
+}
+
+/// As [`solve_rmw_readmap`], on a pre-built per-address index entry.
+pub fn solve_rmw_readmap_ops(indexed: &AddrOps) -> Verdict {
+    debug_assert!(readmap_applicable_ops(indexed));
+    let addr = indexed.addr();
+    if let Some(v) = precheck_ops(indexed) {
         return Verdict::Incoherent(v);
     }
-    let ops: Vec<(OpRef, vermem_trace::Op)> = trace
-        .iter_ops()
-        .filter(|(_, op)| op.addr() == addr)
-        .collect();
-    let initial = trace.initial(addr);
+    let ops: Vec<(OpRef, vermem_trace::Op)> = indexed.iter().collect();
+    let initial = indexed.initial();
 
     // Each value is written at most once and d_I never rewritten, so at most
     // one reader per value is serviceable; a second reader is immediately
@@ -203,7 +208,7 @@ pub fn solve_rmw_readmap(trace: &Trace, addr: Addr) -> Verdict {
             },
         });
     }
-    if let Some(f) = trace.final_value(addr) {
+    if let Some(f) = indexed.final_value() {
         if current != f {
             return Verdict::Incoherent(Violation {
                 addr,
@@ -211,9 +216,7 @@ pub fn solve_rmw_readmap(trace: &Trace, addr: Addr) -> Verdict {
             });
         }
     }
-    let witness = Schedule::from_refs(chain.iter().map(|&i| ops[i].0));
-    debug_assert!(check_coherent_schedule(trace, addr, &witness).is_ok());
-    Verdict::Coherent(witness)
+    Verdict::Coherent(Schedule::from_refs(chain.iter().map(|&i| ops[i].0)))
 }
 
 #[cfg(test)]

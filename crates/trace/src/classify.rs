@@ -5,6 +5,7 @@
 //! worst-case complexity is. The two cells the paper leaves open (§7) are
 //! reported as [`KnownComplexity::Open`].
 
+use crate::index::AddrOps;
 use crate::op::Addr;
 use crate::trace::Trace;
 use std::fmt;
@@ -89,38 +90,30 @@ pub enum Fig53Case {
 }
 
 impl InstanceProfile {
-    /// Profile the operations of `trace` at `addr` (use the full trace if it
-    /// is already single-address).
+    /// Profile the operations of `trace` at `addr` (a single O(ops at addr)
+    /// pass over a freshly built index entry). When several addresses are
+    /// profiled, build an [`crate::AddrIndex`] once and use
+    /// [`InstanceProfile::of_ops`] per entry instead.
     pub fn of(trace: &Trace, addr: Addr) -> InstanceProfile {
-        let proj = if trace.is_single_address() && trace.addresses().first() == Some(&addr) {
-            trace.clone()
+        InstanceProfile::of_ops(&AddrOps::of(trace, addr))
+    }
+
+    /// Profile a pre-built per-address index entry in O(procs + values):
+    /// everything Figure 5.3 conditions on is already cached on the entry.
+    pub fn of_ops(ops: &AddrOps) -> InstanceProfile {
+        let mix = if !ops.has_rmw() {
+            OpMix::SimpleOnly
+        } else if ops.all_rmw() {
+            OpMix::RmwOnly
         } else {
-            trace.project(addr)
+            OpMix::Mixed
         };
-        let mut mix = None;
-        for (_, op) in proj.iter_ops() {
-            let this = if op.is_rmw() {
-                OpMix::RmwOnly
-            } else {
-                OpMix::SimpleOnly
-            };
-            mix = Some(match mix {
-                None => this,
-                Some(m) if m == this => m,
-                Some(_) => OpMix::Mixed,
-            });
-        }
         InstanceProfile {
-            num_procs: proj.histories().iter().filter(|h| !h.is_empty()).count(),
-            num_ops: proj.num_ops(),
-            max_ops_per_proc: proj.max_ops_per_proc(),
-            max_writes_per_value: proj
-                .writes_per_value(addr)
-                .values()
-                .copied()
-                .max()
-                .unwrap_or(0),
-            mix: mix.unwrap_or(OpMix::SimpleOnly),
+            num_procs: ops.nonempty_procs(),
+            num_ops: ops.num_ops(),
+            max_ops_per_proc: ops.max_ops_per_proc(),
+            max_writes_per_value: ops.max_writes_per_value(),
+            mix,
         }
     }
 
@@ -195,6 +188,30 @@ mod tests {
         assert_eq!(p.max_ops_per_proc, 3);
         assert_eq!(p.max_writes_per_value, 2); // value 1 written twice
         assert_eq!(p.mix, OpMix::SimpleOnly);
+    }
+
+    #[test]
+    fn of_ops_matches_of_on_random_traces() {
+        use crate::gen::{gen_sc_trace, GenConfig};
+        use crate::index::AddrIndex;
+        for seed in 0..10u64 {
+            let (t, _) = gen_sc_trace(&GenConfig {
+                procs: 3,
+                total_ops: 40,
+                addrs: 4,
+                seed,
+                ..Default::default()
+            });
+            let idx = AddrIndex::build(&t);
+            for ops in idx.iter() {
+                assert_eq!(
+                    InstanceProfile::of_ops(ops),
+                    InstanceProfile::of(&t, ops.addr()),
+                    "addr {:?} seed {seed}",
+                    ops.addr()
+                );
+            }
+        }
     }
 
     #[test]

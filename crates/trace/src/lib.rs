@@ -28,6 +28,7 @@ pub mod classify;
 pub mod fmt;
 pub mod gen;
 mod history;
+pub mod index;
 mod op;
 pub mod readmap_util;
 mod schedule;
@@ -35,6 +36,7 @@ pub mod stats;
 mod trace;
 
 pub use history::ProcessHistory;
+pub use index::{AddrIndex, AddrOps};
 pub use op::{Addr, Op, OpRef, ProcId, Value};
 pub use readmap_util::{read_mapping, write_orders, ReadSource};
 pub use schedule::{

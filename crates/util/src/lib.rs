@@ -12,9 +12,12 @@
 //! | [`prop`]  | `proptest`          | `prop_check!` seeded cases + size-descent shrinking |
 //! | [`bench`] | `criterion`         | warmup + median/p95 wall-clock bench harness        |
 //! | [`codec`] | `bytes` (+ `serde`) | varint/fixed-width binary reader & writer           |
+//! | [`hash`]  | `rustc-hash`/`fxhash` | frozen-stream Fx hasher + `FxHashMap`/`FxHashSet` |
+//! | [`pool`]  | `rayon`/`crossbeam` | scoped work-stealing chunk pool with cancellation   |
 //!
 //! (`crossbeam::thread::scope` is replaced directly by [`std::thread::scope`]
-//! at its one call site and needs no shim here.)
+//! at its one call site; [`pool`] builds the work-stealing layer on top of
+//! it for the parallel verification engine.)
 //!
 //! ## Seed-stability policy
 //!
@@ -32,5 +35,7 @@
 
 pub mod bench;
 pub mod codec;
+pub mod hash;
+pub mod pool;
 pub mod prop;
 pub mod rng;

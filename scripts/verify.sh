@@ -46,4 +46,30 @@ cargo fmt --check
 echo "==> cargo clippy --offline -- -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+echo "==> bench smoke (VERMEM_BENCH_FAST=1): thread-ladder bench runs"
+VERMEM_BENCH_FAST=1 cargo bench -q --offline -p vermem-bench --bench par_verify \
+    > /dev/null
+
+echo "==> experiments --json emits parseable BENCH_vmc.json"
+tmp=$(mktemp -d)
+(
+    cd "$tmp"
+    VERMEM_BENCH_FAST=1 \
+        "$OLDPWD/target/release/experiments" --json > /dev/null
+)
+python3 - "$tmp/BENCH_vmc.json" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["schema"].startswith("vermem-bench-vmc/"), d["schema"]
+assert d["par_verify"] and d["memo_ablation"], "empty receipts"
+for case in d["par_verify"]:
+    jobs = [p["jobs"] for p in case["points"]]
+    assert jobs[0] == 1 and len(jobs) >= 3, jobs
+    for p in case["points"]:
+        assert p["median_secs"] > 0 and p["ops_per_sec"] > 0
+print(f"    ok ({len(d['par_verify'])} par cases, "
+      f"{len(d['memo_ablation'])} ablation rows)")
+EOF
+rm -rf "$tmp"
+
 echo "==> all checks passed"
