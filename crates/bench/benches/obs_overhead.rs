@@ -1,0 +1,96 @@
+//! The "zero overhead when off" claim of DESIGN.md §Observability, made
+//! falsifiable:
+//!
+//! 1. **Macro micro-bench** — a tight loop of disabled `counter!` /
+//!    `histogram!` calls against the same loop with no instrumentation at
+//!    all. Disabled, each macro is one relaxed atomic load and a
+//!    never-taken branch; the two loops should be indistinguishable.
+//! 2. **End-to-end** — the E-5.2 over-constrained blow-up instance (the
+//!    memo-ablation workload) solved under a state cap with the
+//!    observability layer off and on. The off run is the production
+//!    default; EXPERIMENTS.md E-OBS records the measured delta.
+//!
+//! The obs state is process-global, so each configuration sets it
+//! explicitly before timing and the bench restores the default (off,
+//! empty) at the end.
+
+use vermem_coherence::{solve_backtracking, SearchConfig};
+use vermem_sat::random::{gen_random_ksat, RandomSatConfig};
+use vermem_trace::Addr;
+use vermem_util::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vermem_util::obs;
+
+/// The E-5.2 instance at the exponential wall, capped so every run does the
+/// same bounded amount of work (each visited state is a memo probe and —
+/// when obs is on — a depth-histogram record).
+fn capped_instance() -> (vermem_trace::Trace, SearchConfig) {
+    let fast = std::env::var("VERMEM_BENCH_FAST").is_ok();
+    let overcons = gen_random_ksat(&RandomSatConfig::three_sat(3, 5.0, 93));
+    let trace = vermem_reductions::reduce_3sat_rmw(&overcons).trace;
+    let cfg = SearchConfig {
+        max_states: Some(if fast { 50_000 } else { 500_000 }),
+        ..Default::default()
+    };
+    (trace, cfg)
+}
+
+fn bench_disabled_macros(c: &mut Criterion) {
+    let mut g = c.benchmark_group("obs/disabled-macros");
+    g.sample_size(20);
+    obs::set_enabled(false);
+    const N: u64 = 100_000;
+
+    // Baseline: the loop body with no instrumentation at all. `black_box`
+    // keeps the compiler from folding the loop away.
+    g.bench_function(BenchmarkId::from_parameter("uninstrumented"), |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..N {
+                acc = acc.wrapping_add(std::hint::black_box(i));
+            }
+            std::hint::black_box(acc)
+        });
+    });
+
+    // Same loop with a disabled counter! + histogram! per iteration.
+    g.bench_function(BenchmarkId::from_parameter("disabled-macros"), |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..N {
+                acc = acc.wrapping_add(std::hint::black_box(i));
+                vermem_util::counter!("bench.obs.noop", 1);
+                vermem_util::histogram!("bench.obs.noop_hist", i);
+            }
+            std::hint::black_box(acc)
+        });
+    });
+    g.finish();
+}
+
+fn bench_e52_off_vs_on(c: &mut Criterion) {
+    let (trace, cfg) = capped_instance();
+    let mut g = c.benchmark_group("obs/e5.2-capped-search");
+    g.sample_size(10);
+
+    obs::set_enabled(false);
+    g.bench_with_input(BenchmarkId::from_parameter("obs-off"), &trace, |b, t| {
+        b.iter(|| {
+            let _ = solve_backtracking(t, Addr::ZERO, &cfg);
+        });
+    });
+
+    obs::set_enabled(true);
+    g.bench_with_input(BenchmarkId::from_parameter("obs-on"), &trace, |b, t| {
+        b.iter(|| {
+            let _ = solve_backtracking(t, Addr::ZERO, &cfg);
+        });
+    });
+    g.finish();
+
+    // Restore the process default: off, nothing accumulated.
+    obs::set_enabled(false);
+    obs::reset();
+}
+
+criterion_group!(benches, bench_disabled_macros, bench_e52_off_vs_on);
+criterion_main!(benches);

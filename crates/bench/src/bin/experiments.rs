@@ -9,11 +9,17 @@
 //! cargo run --release -p vermem-bench --bin experiments -- --json # BENCH_vmc.json
 //! ```
 //!
-//! `--json` runs the E-PAR thread ladder and the memo-key ablation and
-//! writes machine-readable receipts (per-case medians, op/s, speedup vs
-//! 1 thread) to `BENCH_vmc.json` in the current directory. Set
-//! `VERMEM_BENCH_FAST=1` to shrink instance sizes and repetitions for
-//! smoke-test runs.
+//! `--json` runs the E-PAR thread ladder, the memo-key ablation, and the
+//! observability-overhead probe, and writes machine-readable receipts
+//! (per-case medians, op/s, speedup vs 1 thread, memo hit/miss counts,
+//! enabled-vs-disabled obs cost) to `BENCH_vmc.json` in the current
+//! directory. Set `VERMEM_BENCH_FAST=1` to shrink instance sizes and
+//! repetitions for smoke-test runs.
+//!
+//! `--metrics` prints the unified run report (counters/gauges/histograms
+//! accumulated across the selected experiments) when the run finishes;
+//! `--trace-out FILE` additionally writes a Chrome trace-event file
+//! loadable in Perfetto / `chrome://tracing`.
 
 use std::time::Instant;
 use vermem_bench::{loglog_slope, mean_growth_ratio, median_secs};
@@ -38,7 +44,36 @@ use vermem_trace::gen::{gen_sc_trace, GenConfig};
 use vermem_trace::{Addr, OpRef, Trace};
 
 fn main() {
-    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    // `--trace-out` takes a value: pre-extract it (both `--trace-out FILE`
+    // and `--trace-out=FILE`) before the filter scan below so the path is
+    // not mistaken for an experiment id.
+    let mut trace_out: Option<String> = None;
+    let mut metrics = false;
+    let mut argv: Vec<String> = Vec::with_capacity(raw.len());
+    let mut it = raw.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--trace-out" {
+            match it.next() {
+                Some(path) => trace_out = Some(path),
+                None => {
+                    eprintln!("--trace-out requires a file argument");
+                    std::process::exit(2);
+                }
+            }
+        } else if let Some(path) = a.strip_prefix("--trace-out=") {
+            trace_out = Some(path.to_string());
+        } else if a == "--metrics" {
+            metrics = true;
+        } else {
+            argv.push(a);
+        }
+    }
+    let obs_on = metrics || trace_out.is_some();
+    if obs_on {
+        vermem_util::obs::reset();
+        vermem_util::obs::set_enabled(true);
+    }
     let json = argv.iter().any(|a| a == "--json");
     let filter = argv
         .iter()
@@ -90,6 +125,22 @@ fn main() {
     }
     if run("epar") {
         e_par_scaling(json);
+    }
+
+    if obs_on {
+        vermem_util::obs::set_enabled(false);
+        let events = vermem_util::obs::take_events();
+        if let Some(path) = &trace_out {
+            std::fs::write(path, vermem_util::obs::chrome::render_chrome_trace(&events))
+                .expect("write trace-out file");
+            println!("\nwrote Chrome trace ({} events) to {path}", events.len());
+        }
+        if metrics {
+            let mut report = vermem_util::obs::report::RunReport::new();
+            report.extend_from_metrics(&vermem_util::obs::snapshot());
+            header("run report (accumulated across selected experiments)");
+            print!("{}", report.to_text());
+        }
     }
 }
 
@@ -641,7 +692,19 @@ struct MemoRow {
     config: &'static str,
     secs: f64,
     states: u64,
+    memo_hits: u64,
+    memo_misses: u64,
     verdict: &'static str,
+}
+
+/// Enabled-vs-disabled cost of the observability layer on a state-capped
+/// E-5.2 blow-up instance (every state records into the depth histogram
+/// when enabled, so this is the worst case for the hot path).
+struct ObsOverhead {
+    case: &'static str,
+    median_secs_disabled: f64,
+    median_secs_enabled: f64,
+    enabled_overhead_pct: f64,
 }
 
 fn e_par_scaling(write_json: bool) {
@@ -714,24 +777,74 @@ fn e_par_scaling(write_json: bool) {
     let memo = memo_ablation(reps, fast);
     println!("\nmemo-key ablation (single thread, E-5.1/E-5.2 reduction instances):");
     println!(
-        "{:>12} {:>18} {:>12} {:>12} {:>10}",
-        "case", "config", "median (ms)", "states", "verdict"
+        "{:>14} {:>18} {:>12} {:>10} {:>10} {:>10} {:>10}",
+        "case", "config", "median (ms)", "states", "hits", "misses", "verdict"
     );
     for r in &memo {
         println!(
-            "{:>12} {:>18} {:>12.3} {:>12} {:>10}",
+            "{:>14} {:>18} {:>12.3} {:>10} {:>10} {:>10} {:>10}",
             r.case,
             r.config,
             r.secs * 1e3,
             r.states,
+            r.memo_hits,
+            r.memo_misses,
             r.verdict
         );
     }
 
+    let obs = obs_overhead_probe(reps, fast);
+    println!(
+        "\nobservability overhead ({}): disabled {:.3} ms, enabled {:.3} ms ({:+.2}%)",
+        obs.case,
+        obs.median_secs_disabled * 1e3,
+        obs.median_secs_enabled * 1e3,
+        obs.enabled_overhead_pct
+    );
+
     if write_json {
         let path = "BENCH_vmc.json";
-        std::fs::write(path, bench_json(host, &cases, &memo)).expect("write BENCH_vmc.json");
+        std::fs::write(path, bench_json(host, &cases, &memo, &obs)).expect("write BENCH_vmc.json");
         println!("\nwrote {path}");
+    }
+}
+
+/// Measure the exact search on the E-5.2 over-constrained instance with the
+/// observability layer off and on. The off run is the production default;
+/// the delta is what `--metrics`/`--trace-out` cost. Restores the previous
+/// enabled state (the probe may run inside a `--metrics` session).
+fn obs_overhead_probe(reps: usize, fast: bool) -> ObsOverhead {
+    let cap: u64 = if fast { 50_000 } else { 500_000 };
+    let cfg = SearchConfig {
+        max_states: Some(cap),
+        ..Default::default()
+    };
+    let overcons = gen_random_ksat(&RandomSatConfig::three_sat(3, 5.0, 93));
+    let trace = reduce_3sat_rmw(&overcons).trace;
+    let was = vermem_util::obs::enabled();
+
+    vermem_util::obs::set_enabled(false);
+    let off = median_secs(reps, || {
+        let _ = solve_backtracking(&trace, Addr::ZERO, &cfg);
+    })
+    .max(1e-12);
+
+    vermem_util::obs::set_enabled(true);
+    let on = median_secs(reps, || {
+        let _ = solve_backtracking(&trace, Addr::ZERO, &cfg);
+    })
+    .max(1e-12);
+
+    vermem_util::obs::set_enabled(was);
+    if !was {
+        // Not inside a `--metrics` session: drop what the probe recorded.
+        vermem_util::obs::reset();
+    }
+    ObsOverhead {
+        case: "e5.2-overcons-capped",
+        median_secs_disabled: off,
+        median_secs_enabled: on,
+        enabled_overhead_pct: (on / off - 1.0) * 100.0,
     }
 }
 
@@ -831,6 +944,8 @@ fn memo_ablation(reps: usize, fast: bool) -> Vec<MemoRow> {
                 config: name,
                 secs,
                 states: stats.states,
+                memo_hits: stats.memo_hits,
+                memo_misses: stats.memo_misses,
                 verdict: verdict_str,
             });
         }
@@ -844,10 +959,10 @@ fn memo_ablation(reps: usize, fast: bool) -> Vec<MemoRow> {
 
 /// Hand-rolled JSON (the workspace is dependency-free): all strings are
 /// internally generated identifiers, so no escaping is needed.
-fn bench_json(host: usize, cases: &[ParCase], memo: &[MemoRow]) -> String {
+fn bench_json(host: usize, cases: &[ParCase], memo: &[MemoRow], obs: &ObsOverhead) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"vermem-bench-vmc/v1\",\n");
+    s.push_str("  \"schema\": \"vermem-bench-vmc/v2\",\n");
     s.push_str(&format!("  \"host_parallelism\": {host},\n"));
     s.push_str("  \"par_verify\": [\n");
     for (i, c) in cases.iter().enumerate() {
@@ -873,12 +988,18 @@ fn bench_json(host: usize, cases: &[ParCase], memo: &[MemoRow]) -> String {
     for (i, r) in memo.iter().enumerate() {
         s.push_str(&format!(
             "    {{\"case\": \"{}\", \"config\": \"{}\", \"median_secs\": {:.9}, \
-             \"states\": {}, \"verdict\": \"{}\"}}",
-            r.case, r.config, r.secs, r.states, r.verdict
+             \"states\": {}, \"memo_hits\": {}, \"memo_misses\": {}, \"verdict\": \"{}\"}}",
+            r.case, r.config, r.secs, r.states, r.memo_hits, r.memo_misses, r.verdict
         ));
         s.push_str(if i + 1 < memo.len() { ",\n" } else { "\n" });
     }
-    s.push_str("  ]\n}\n");
+    s.push_str("  ],\n");
+    s.push_str(&format!(
+        "  \"obs_overhead\": {{\"case\": \"{}\", \"median_secs_disabled\": {:.9}, \
+         \"median_secs_enabled\": {:.9}, \"enabled_overhead_pct\": {:.4}}}\n",
+        obs.case, obs.median_secs_disabled, obs.median_secs_enabled, obs.enabled_overhead_pct
+    ));
+    s.push_str("}\n");
     s
 }
 

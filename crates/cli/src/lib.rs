@@ -6,6 +6,7 @@
 //!
 //! ```text
 //! vermem verify <trace> [--addr N] [--strategy auto|backtracking|sat] [--budget N] [--jobs N]
+//!               [--metrics[=json|text]] [--trace-out FILE]
 //! vermem sc <trace> [--model sc|tso|pso|coherence]
 //! vermem classify <trace>
 //! vermem explain <trace> [--addr N]
@@ -13,11 +14,20 @@
 //! vermem inject <trace> --kind corrupt-read|stale-read|lost-write|reorder [--seed N]
 //! vermem reduce <dimacs> [--figure 4.1|5.1|5.2]
 //! vermem sim --cpus N --instrs N [--addrs N] [--tso|--directory] [--seed N] [--verify] [--online] [--jobs N]
+//!            [--metrics[=json|text]] [--trace-out FILE]
 //! vermem sat <dimacs>
 //! vermem litmus
 //! ```
 //!
 //! Traces use the text format of [`vermem_trace::fmt`]; `-` reads stdin.
+//!
+//! ## Observability
+//!
+//! `--metrics` appends the unified [`RunReport`] (text by default,
+//! `--metrics=json` for the schema-tagged JSON form) to the command
+//! output; `--trace-out FILE` writes a Chrome trace-event file loadable
+//! in `chrome://tracing` / Perfetto. Neither flag changes verdicts or
+//! `SearchStats` — observability is a write-only side channel.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -26,6 +36,8 @@ use std::fmt::Write as _;
 use vermem_coherence::{SearchConfig, Strategy, Verdict, VmcVerifier};
 use vermem_consistency::MemoryModel;
 use vermem_trace::{Addr, Trace};
+use vermem_util::obs;
+use vermem_util::obs::report::{RunReport, RunReportSection};
 
 /// A command failure rendered to the user.
 #[derive(Debug)]
@@ -49,7 +61,7 @@ vermem — verify memory coherence and consistency of execution traces
 
 USAGE:
   vermem verify <trace> [--addr N] [--strategy auto|backtracking|sat] [--budget N]
-                [--jobs N]
+                [--jobs N] [--metrics[=json|text]] [--trace-out FILE]
   vermem sc <trace> [--model sc|tso|pso|coherence]
   vermem classify <trace>
   vermem explain <trace> [--addr N]
@@ -57,22 +69,29 @@ USAGE:
   vermem inject <trace> --kind corrupt-read|stale-read|lost-write|reorder [--seed N]
   vermem reduce <dimacs> [--figure 4.1|5.1|5.2]
   vermem sim --cpus N --instrs N [--addrs N] [--tso|--directory] [--seed N]
-             [--verify] [--online] [--jobs N]
+             [--verify] [--online] [--jobs N] [--metrics[=json|text]]
+             [--trace-out FILE]
   vermem sat <dimacs>
   vermem litmus
 
 Traces use the vermem text format; pass '-' to read stdin.
 --jobs N verifies addresses on N worker threads (0 or default: all cores);
 the verdict is deterministic and identical at every thread count.
+--metrics appends the unified run report (text, or JSON with
+--metrics=json); --trace-out FILE writes a Chrome trace-event JSON file
+loadable in chrome://tracing or https://ui.perfetto.dev.
 ";
 
-/// Minimal flag parser: positional arguments plus `--flag [value]` pairs.
+/// Minimal flag parser: positional arguments plus `--flag [value]` pairs
+/// (also `--flag=value`).
 struct Args {
     positional: Vec<String>,
     flags: Vec<(String, Option<String>)>,
 }
 
-const BOOL_FLAGS: &[&str] = &["tso", "verify", "online", "directory", "help"];
+/// Flags that take no value. `metrics` is special: bare `--metrics`
+/// means text, `--metrics=json` selects the JSON rendering.
+const BOOL_FLAGS: &[&str] = &["tso", "verify", "online", "directory", "help", "metrics"];
 
 impl Args {
     fn parse(args: &[String]) -> Result<Args, CliError> {
@@ -81,7 +100,9 @@ impl Args {
         let mut it = args.iter().peekable();
         while let Some(a) = it.next() {
             if let Some(name) = a.strip_prefix("--") {
-                if BOOL_FLAGS.contains(&name) {
+                if let Some((n, v)) = name.split_once('=') {
+                    flags.push((n.to_string(), Some(v.to_string())));
+                } else if BOOL_FLAGS.contains(&name) {
                     flags.push((name.to_string(), None));
                 } else {
                     let value = it
@@ -116,6 +137,112 @@ impl Args {
                 .map_err(|_| err(format!("invalid --{name} value '{v}'"))),
         }
     }
+
+    /// Reject flags this command does not understand (`--help` is always
+    /// allowed). Every command calls this so a typo like `--sed 7` is an
+    /// error instead of a silently ignored no-op.
+    fn expect_flags(&self, allowed: &[&str]) -> Result<(), CliError> {
+        for (name, _) in &self.flags {
+            if name != "help" && !allowed.contains(&name.as_str()) {
+                return Err(err(format!(
+                    "unknown flag --{name} for this command (try --help)"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The `--metrics` / `--trace-out` observability surface of a command.
+///
+/// The obs state is process-global, so concurrent sessions would bleed
+/// into each other; a process-wide mutex serializes them. Dropping the
+/// session always disables recording, even on the error path.
+struct ObsSession {
+    json: bool,
+    emit_metrics: bool,
+    trace_out: Option<String>,
+    _guard: std::sync::MutexGuard<'static, ()>,
+}
+
+static OBS_SESSION_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+impl ObsSession {
+    /// Parse the obs flags; `Ok(None)` when neither is present (and
+    /// recording stays off — a no-flags run emits nothing).
+    fn start(args: &Args) -> Result<Option<ObsSession>, CliError> {
+        let emit_metrics = args.has("metrics");
+        let json = match args.flag("metrics") {
+            None | Some("text") => false,
+            Some("json") => true,
+            Some(other) => {
+                return Err(err(format!(
+                    "invalid --metrics value '{other}' (expected json or text)"
+                )))
+            }
+        };
+        let trace_out = args.flag("trace-out").map(str::to_string);
+        if !emit_metrics && trace_out.is_none() {
+            return Ok(None);
+        }
+        let guard = match OBS_SESSION_LOCK.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        obs::reset();
+        obs::set_enabled(true);
+        Ok(Some(ObsSession {
+            json,
+            emit_metrics,
+            trace_out,
+            _guard: guard,
+        }))
+    }
+
+    /// Stop recording, fold the registry and the top-5 slowest addresses
+    /// into `report`, append the requested rendering to `out`, and write
+    /// the Chrome trace file if requested.
+    fn finish(self, out: &mut String, mut report: RunReport) -> Result<(), CliError> {
+        obs::set_enabled(false);
+        let events = obs::take_events();
+        let snap = obs::snapshot();
+        let top = vermem_util::obs::report::top_k_slowest(&events, "verify.addr", 5);
+        if !top.is_empty() {
+            let mut s = RunReportSection::new("slowest_addrs");
+            for e in &top {
+                let addr = e
+                    .args
+                    .iter()
+                    .find(|(k, _)| k == "addr")
+                    .map_or(0, |(_, v)| *v);
+                s.field(&format!("addr_{addr}_us"), e.dur_us);
+            }
+            report.push_section(s);
+        }
+        report.extend_from_metrics(&snap);
+        if self.emit_metrics {
+            if self.json {
+                out.push_str(&report.to_json());
+                out.push('\n');
+            } else {
+                for line in report.to_text().lines() {
+                    let _ = writeln!(out, "# {line}");
+                }
+            }
+        }
+        if let Some(path) = &self.trace_out {
+            let doc = vermem_util::obs::chrome::render_chrome_trace(&events);
+            std::fs::write(path, doc).map_err(|e| err(format!("cannot write {path}: {e}")))?;
+        }
+        Ok(())
+    }
+}
+
+impl Drop for ObsSession {
+    fn drop(&mut self) {
+        // Error paths must not leave global recording on.
+        obs::set_enabled(false);
+    }
 }
 
 /// Run a command line (without the program name); returns rendered output.
@@ -137,7 +264,10 @@ pub fn run(args: &[String], stdin: &str) -> Result<String, CliError> {
         "reduce" => cmd_reduce(&rest, stdin),
         "sim" => cmd_sim(&rest),
         "sat" => cmd_sat(&rest, stdin),
-        "litmus" => cmd_litmus(),
+        "litmus" => {
+            rest.expect_flags(&[])?;
+            cmd_litmus()
+        }
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(err(format!("unknown command '{other}'\n\n{USAGE}"))),
     }
@@ -166,6 +296,8 @@ fn parse_strategy(args: &Args) -> Result<Strategy, CliError> {
 }
 
 fn cmd_verify(args: &Args, stdin: &str) -> Result<String, CliError> {
+    args.expect_flags(&["addr", "strategy", "budget", "jobs", "metrics", "trace-out"])?;
+    let session = ObsSession::start(args)?;
     let trace = load_trace(args, stdin)?;
     let budget = args.num::<u64>("budget", 0)?;
     let jobs = args.num::<usize>("jobs", 0)?; // 0 = available_parallelism
@@ -181,7 +313,8 @@ fn cmd_verify(args: &Args, stdin: &str) -> Result<String, CliError> {
     // Single-address mode: keep the historical direct solve.
     if let Some(a) = args.flag("addr") {
         let addr = Addr(a.parse().map_err(|_| err("invalid --addr"))?);
-        let all_ok = match verifier.verify(&trace, addr) {
+        let (verdict, stats) = verifier.verify_with_stats(&trace, addr);
+        let all_ok = match verdict {
             Verdict::Coherent(s) => {
                 let _ = writeln!(out, "address {}: coherent ({} ops)", addr.0, s.len());
                 true
@@ -204,6 +337,18 @@ fn cmd_verify(args: &Args, stdin: &str) -> Result<String, CliError> {
                 "execution: NOT coherent"
             }
         );
+        let _ = writeln!(out, "# {}", stats.to_report().to_inline());
+        if let Some(session) = session {
+            let mut run = RunReport::new();
+            run.push_section(
+                RunReportSection::new("verify")
+                    .with("mode", "single-address")
+                    .with("addr", u64::from(addr.0))
+                    .with("coherent", u64::from(all_ok)),
+            );
+            run.push_section(stats.to_report());
+            session.finish(&mut out, run)?;
+        }
         return Ok(out);
     }
 
@@ -235,15 +380,23 @@ fn cmd_verify(args: &Args, stdin: &str) -> Result<String, CliError> {
             "execution: NOT coherent"
         }
     );
-    let _ = writeln!(
-        out,
-        "# {} address(es), {} job(s), {} search states",
-        report.addresses, report.jobs, report.stats.states
-    );
+    let verify_section = RunReportSection::new("verify")
+        .with("addresses", report.addresses)
+        .with("jobs", report.jobs)
+        .with("coherent", u64::from(all_ok));
+    let _ = writeln!(out, "# {}", verify_section.to_inline());
+    let _ = writeln!(out, "# {}", report.stats.to_report().to_inline());
+    if let Some(session) = session {
+        let mut run = RunReport::new();
+        run.push_section(verify_section);
+        run.push_section(report.stats.to_report());
+        session.finish(&mut out, run)?;
+    }
     Ok(out)
 }
 
 fn cmd_sc(args: &Args, stdin: &str) -> Result<String, CliError> {
+    args.expect_flags(&["model"])?;
     let trace = load_trace(args, stdin)?;
     let model = match args.flag("model").unwrap_or("sc") {
         "sc" => MemoryModel::Sc,
@@ -269,18 +422,11 @@ fn cmd_sc(args: &Args, stdin: &str) -> Result<String, CliError> {
 }
 
 fn cmd_classify(args: &Args, stdin: &str) -> Result<String, CliError> {
+    args.expect_flags(&[])?;
     let trace = load_trace(args, stdin)?;
     let mut out = String::new();
     let stats = vermem_trace::stats::TraceStats::of(&trace);
-    let _ = writeln!(
-        out,
-        "{} processes, {} operations, {} addresses, {:.0}% reads, {} write-shared address(es)",
-        trace.num_procs(),
-        trace.num_ops(),
-        trace.addresses().len(),
-        stats.read_fraction() * 100.0,
-        stats.write_shared_addrs().count()
-    );
+    let _ = writeln!(out, "{}", stats.to_report().to_inline());
     let verifier = VmcVerifier::new();
     for addr in trace.addresses() {
         let profile = vermem_trace::classify::InstanceProfile::of(&trace, addr);
@@ -300,6 +446,7 @@ fn cmd_classify(args: &Args, stdin: &str) -> Result<String, CliError> {
 }
 
 fn cmd_explain(args: &Args, stdin: &str) -> Result<String, CliError> {
+    args.expect_flags(&["addr"])?;
     let trace = load_trace(args, stdin)?;
     let addrs: Vec<Addr> = match args.flag("addr") {
         Some(a) => vec![Addr(a.parse().map_err(|_| err("invalid --addr"))?)],
@@ -334,6 +481,7 @@ fn cmd_explain(args: &Args, stdin: &str) -> Result<String, CliError> {
 }
 
 fn cmd_gen(args: &Args) -> Result<String, CliError> {
+    args.expect_flags(&["procs", "ops", "addrs", "seed", "rmw", "reuse"])?;
     let cfg = vermem_trace::gen::GenConfig {
         procs: args.num("procs", 4usize)?,
         total_ops: args.num("ops", 64usize)?,
@@ -348,6 +496,7 @@ fn cmd_gen(args: &Args) -> Result<String, CliError> {
 }
 
 fn cmd_inject(args: &Args, stdin: &str) -> Result<String, CliError> {
+    args.expect_flags(&["kind", "seed"])?;
     let trace = load_trace(args, stdin)?;
     let kind = match args.flag("kind").ok_or_else(|| err("--kind required"))? {
         "corrupt-read" => vermem_trace::gen::ViolationKind::CorruptReadValue,
@@ -373,6 +522,7 @@ fn cmd_inject(args: &Args, stdin: &str) -> Result<String, CliError> {
 }
 
 fn cmd_reduce(args: &Args, stdin: &str) -> Result<String, CliError> {
+    args.expect_flags(&["figure"])?;
     let path = args
         .positional
         .first()
@@ -394,6 +544,20 @@ fn cmd_reduce(args: &Args, stdin: &str) -> Result<String, CliError> {
 }
 
 fn cmd_sim(args: &Args) -> Result<String, CliError> {
+    args.expect_flags(&[
+        "cpus",
+        "instrs",
+        "addrs",
+        "tso",
+        "directory",
+        "seed",
+        "verify",
+        "online",
+        "jobs",
+        "metrics",
+        "trace-out",
+    ])?;
+    let session = ObsSession::start(args)?;
     let cpus = args.num("cpus", 4usize)?;
     let instrs = args.num("instrs", 64usize)?;
     let program = vermem_sim::random_program(&vermem_sim::WorkloadConfig {
@@ -426,14 +590,14 @@ fn cmd_sim(args: &Args) -> Result<String, CliError> {
         )
     };
     let mut out = String::new();
+    let mut run = RunReport::new();
     let _ = writeln!(
         out,
-        "# {} ops, {} hits, {} misses, {} invalidations",
+        "# {} ops, {}",
         cap.trace.num_ops(),
-        cap.stats.hits,
-        cap.stats.misses,
-        cap.stats.invalidations
+        cap.stats.to_report().to_inline()
     );
+    run.push_section(cap.stats.to_report());
     if args.has("verify") {
         let jobs = args.num::<usize>("jobs", 0)?; // 0 = available_parallelism
         let report = vermem_coherence::verify_execution_par(
@@ -452,6 +616,14 @@ fn cmd_sim(args: &Args) -> Result<String, CliError> {
             report.addresses,
             report.jobs
         );
+        let _ = writeln!(out, "# {}", report.stats.to_report().to_inline());
+        run.push_section(
+            RunReportSection::new("verify")
+                .with("addresses", report.addresses)
+                .with("jobs", report.jobs)
+                .with("coherent", u64::from(report.is_coherent())),
+        );
+        run.push_section(report.stats.to_report());
     }
     if args.has("online") {
         let mut v = vermem_coherence::OnlineVerifier::new();
@@ -474,10 +646,14 @@ fn cmd_sim(args: &Args) -> Result<String, CliError> {
         );
     }
     out.push_str(&vermem_trace::fmt::format_trace(&cap.trace));
+    if let Some(session) = session {
+        session.finish(&mut out, run)?;
+    }
     Ok(out)
 }
 
 fn cmd_sat(args: &Args, stdin: &str) -> Result<String, CliError> {
+    args.expect_flags(&[])?;
     let path = args
         .positional
         .first()
@@ -506,11 +682,7 @@ fn cmd_sat(args: &Args, stdin: &str) -> Result<String, CliError> {
         }
     }
     let stats = solver.stats();
-    let _ = writeln!(
-        out,
-        "c {} decisions, {} conflicts, {} propagations",
-        stats.decisions, stats.conflicts, stats.propagations
-    );
+    let _ = writeln!(out, "c {}", stats.to_report().to_inline());
     Ok(out)
 }
 
@@ -595,7 +767,7 @@ mod tests {
             assert_eq!(strip(&out), strip(&baseline), "jobs {jobs}");
         }
         assert!(baseline.contains("execution: coherent"));
-        assert!(baseline.contains("1 job(s)"));
+        assert!(baseline.contains("jobs=1"));
     }
 
     #[test]
@@ -619,7 +791,7 @@ mod tests {
     #[test]
     fn classify_reports_complexity() {
         let out = run_ok(&["classify", "-"], COHERENT);
-        assert!(out.contains("2 processes"));
+        assert!(out.contains("procs=2"));
         assert!(out.contains("address 0"));
     }
 
@@ -742,5 +914,112 @@ mod tests {
     fn help_everywhere() {
         assert!(run_ok(&["help"], "").contains("USAGE"));
         assert!(run_ok(&["verify", "--help"], "").contains("USAGE"));
+    }
+
+    // ---- observability flags -----------------------------------------
+
+    /// A write-contended trace that forces the backtracking search to do
+    /// real work (so search counters and the depth histogram are non-empty).
+    const CONTENDED: &str = "P0: W(0,1) R(0,2) W(0,3) R(0,1)\nP1: W(0,2) R(0,3) W(0,1) R(0,2)\n";
+
+    /// Unique scratch path in the system temp dir (no tempfile crate).
+    fn scratch(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!(
+            "vermem-cli-test-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ))
+    }
+
+    #[test]
+    fn metrics_json_last_line_parses() {
+        let out = run_ok(&["verify", "-", "--metrics=json", "--jobs", "2"], CONTENDED);
+        let last = out.lines().last().expect("output has lines");
+        let json = vermem_util::json::parse_json(last).expect("metrics line is valid JSON");
+        assert_eq!(
+            json.get("schema").and_then(|s| s.as_str()),
+            Some(vermem_util::obs::report::RUN_REPORT_SCHEMA)
+        );
+        let sections = json
+            .get("sections")
+            .and_then(|s| s.as_arr())
+            .expect("sections array");
+        let names: Vec<&str> = sections
+            .iter()
+            .filter_map(|s| s.get("name").and_then(|n| n.as_str()))
+            .collect();
+        assert!(names.contains(&"verify"), "got sections {names:?}");
+        assert!(names.contains(&"search"), "got sections {names:?}");
+        assert!(names.contains(&"counters"), "got sections {names:?}");
+    }
+
+    #[test]
+    fn metrics_text_mode_prefixes_hash() {
+        let out = run_ok(&["verify", "-", "--metrics"], CONTENDED);
+        assert!(
+            out.lines().any(|l| l.starts_with("# counters:")),
+            "expected a '# counters: ...' line in:\n{out}"
+        );
+        assert!(run(
+            &["verify".into(), "-".into(), "--metrics=xml".into()],
+            COHERENT
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn trace_out_writes_monotonic_chrome_trace() {
+        let path = scratch("trace");
+        let out = run_ok(
+            &["sim", "--verify", "--trace-out", path.to_str().unwrap()],
+            "",
+        );
+        assert!(out.contains(" ops,"), "sim output intact:\n{out}");
+        let text = std::fs::read_to_string(&path).expect("trace file written");
+        let _ = std::fs::remove_file(&path);
+        let json = vermem_util::json::parse_json(&text).expect("trace file is valid JSON");
+        let events = json
+            .get("traceEvents")
+            .and_then(|e| e.as_arr())
+            .expect("traceEvents array");
+        assert!(!events.is_empty(), "expected at least one trace event");
+        let ts: Vec<u64> = events
+            .iter()
+            .filter_map(|e| e.get("ts").and_then(|t| t.as_u64()))
+            .collect();
+        assert_eq!(ts.len(), events.len(), "every event carries ts");
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]), "ts monotonic: {ts:?}");
+        assert!(events
+            .iter()
+            .any(|e| e.get("name").and_then(|n| n.as_str()) == Some("sim.run")));
+    }
+
+    #[test]
+    fn no_obs_flags_emit_nothing() {
+        let out = run_ok(&["verify", "-", "--jobs", "2"], COHERENT);
+        assert!(!out.contains("\"schema\""), "no JSON report:\n{out}");
+        assert!(!out.contains("# counters:"), "no text metrics:\n{out}");
+        let out = run_ok(&["sim"], "");
+        assert!(!out.contains("\"schema\""), "no JSON report:\n{out}");
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected() {
+        for cmd in [
+            vec!["sim", "--bogus"],
+            vec!["sim", "--bogus", "3"],
+            vec!["verify", "-", "--bogus"],
+            vec!["sat", "-", "--metrics"],
+        ] {
+            let args: Vec<String> = cmd.iter().map(|s| s.to_string()).collect();
+            let e = run(&args, COHERENT).expect_err(&format!("{cmd:?} should fail"));
+            // A bare trailing `--bogus` fails at parse time ("requires a
+            // value"); a valued one reaches the per-command flag check.
+            assert!(
+                e.0.contains("unknown flag") || e.0.contains("requires a value"),
+                "{cmd:?}: {}",
+                e.0
+            );
+        }
     }
 }

@@ -37,6 +37,7 @@ use crate::verdict::{Verdict, Violation, ViolationKind};
 use std::collections::HashSet;
 use vermem_trace::{Addr, AddrOps, Op, OpRef, Schedule, Trace, Value};
 use vermem_util::hash::{FxHashMap, FxHashSet};
+use vermem_util::obs;
 
 /// Budget and ablation knobs for the exact search. The optimization
 /// switches exist for the ablation benchmarks (`bench/benches/ablation.rs`)
@@ -74,12 +75,45 @@ impl Default for SearchConfig {
 }
 
 /// Counters from a search run.
+///
+/// Plain always-on fields (not gated by observability): they are part of
+/// the determinism contract — identical whether `vermem_util::obs` is
+/// enabled or not, and summed field-wise by the parallel reducer
+/// ([`SearchStats::absorb`]).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SearchStats {
     /// Distinct (post-absorption) states visited.
     pub states: u64,
     /// Branching decisions explored.
     pub branches: u64,
+    /// Memo-table probes that found the state already visited (the
+    /// search subtree was pruned).
+    pub memo_hits: u64,
+    /// Memo-table probes that recorded a fresh state. `memo_misses`
+    /// equals `states` when memoization is on; both stay 0 when it is
+    /// off.
+    pub memo_misses: u64,
+}
+
+impl SearchStats {
+    /// Field-wise summation — the reduction used by the parallel
+    /// engine when combining per-address runs.
+    pub fn absorb(&mut self, other: &SearchStats) {
+        self.states += other.states;
+        self.branches += other.branches;
+        self.memo_hits += other.memo_hits;
+        self.memo_misses += other.memo_misses;
+    }
+
+    /// Render as a `search` section of the unified run report (the one
+    /// shared pretty-printer in [`vermem_util::obs::report`]).
+    pub fn to_report(&self) -> vermem_util::obs::report::RunReportSection {
+        vermem_util::obs::report::RunReportSection::new("search")
+            .with("states", self.states)
+            .with("branches", self.branches)
+            .with("memo_hits", self.memo_hits)
+            .with("memo_misses", self.memo_misses)
+    }
 }
 
 /// Static prechecks shared by all solvers: values read but never written,
@@ -183,11 +217,39 @@ pub fn solve_backtracking_ops_with_stats(
         cfg: *cfg,
         stats: &mut stats,
         budget_hit: false,
+        // Decide once per solve: a local depth histogram only when
+        // observability is recording, so the disabled hot path carries
+        // no `Option` update at all (the `if let` never matches).
+        depth_hist: if obs::enabled() {
+            Some(obs::Histogram::new())
+        } else {
+            None
+        },
     };
     let mut frontier = vec![0u32; per_proc.len()];
     let found = search.dfs(&mut frontier, initial, &mut remaining_writes);
     let budget_hit = search.budget_hit;
     let schedule = std::mem::take(&mut search.schedule);
+    let memo_key_kind = match &search.visited {
+        Visited::Packed(_) => "packed",
+        Visited::Interned { .. } => "interned",
+        Visited::Legacy(_) => "legacy",
+    };
+    let depth_hist = search.depth_hist.take();
+    drop(search);
+
+    // Batch-flush the whole solve into the registry (one lock touch per
+    // address, never per state). `SearchStats` itself stays obs-free.
+    if obs::enabled() {
+        obs::counter_add("search.states", stats.states);
+        obs::counter_add("search.branches", stats.branches);
+        obs::counter_add("search.memo.hits", stats.memo_hits);
+        obs::counter_add("search.memo.misses", stats.memo_misses);
+        obs::counter_add(&format!("search.memo.keys.{memo_key_kind}"), 1);
+        if let Some(h) = &depth_hist {
+            obs::merge_histogram("search.depth", h);
+        }
+    }
 
     let verdict = if found {
         Verdict::Coherent(Schedule::from_refs(schedule))
@@ -273,6 +335,9 @@ struct Search<'a> {
     cfg: SearchConfig,
     stats: &'a mut SearchStats,
     budget_hit: bool,
+    /// `Some` only while observability is enabled: per-state schedule
+    /// depths, batch-merged into the registry at solve end.
+    depth_hist: Option<obs::Histogram>,
 }
 
 impl Search<'_> {
@@ -325,11 +390,18 @@ impl Search<'_> {
         }
 
         // Memoization and budget.
-        if self.cfg.memoize && !self.visited.insert(frontier, current) {
-            undo(self, frontier);
-            return false;
+        if self.cfg.memoize {
+            if !self.visited.insert(frontier, current) {
+                self.stats.memo_hits += 1;
+                undo(self, frontier);
+                return false;
+            }
+            self.stats.memo_misses += 1;
         }
         self.stats.states += 1;
+        if let Some(h) = &mut self.depth_hist {
+            h.record(self.schedule.len() as u64);
+        }
         if let Some(max) = self.cfg.max_states {
             if self.stats.states > max {
                 self.budget_hit = true;

@@ -127,6 +127,12 @@ impl VmcVerifier {
         self.verify_ops(trace, &AddrOps::of(trace, addr))
     }
 
+    /// As [`VmcVerifier::verify`], also returning the backtracking search
+    /// statistics (zero for the polynomial fast paths).
+    pub fn verify_with_stats(&self, trace: &Trace, addr: Addr) -> (Verdict, SearchStats) {
+        self.verify_ops_with_stats(trace, &AddrOps::of(trace, addr))
+    }
+
     /// As [`VmcVerifier::verify`], on a pre-built per-address index entry
     /// (`trace` is only consulted by the SAT strategy and by debug witness
     /// checking — no full-trace rescans on the hot path).

@@ -77,9 +77,22 @@ pub fn verify_execution_par(trace: &Trace, verifier: &VmcVerifier, jobs: usize) 
     let n = index.len();
     let jobs = if jobs == 0 { available_jobs() } else { jobs }.max(1);
 
+    let mut exec_span = vermem_util::span!("verify.execution");
+    exec_span.arg("addresses", n as u64);
+    exec_span.arg("jobs", jobs as u64);
+
     let cancel = CancelToken::new();
     let results = scoped_map(jobs, n, &cancel, |i| {
-        let out = verifier.verify_ops_with_stats(trace, index.entry(i));
+        // Per-address solve span: `dur` makes the top-K slowest-addresses
+        // table fall out of the trace; disabled = a no-op guard.
+        let mut span = vermem_util::span!("verify.addr");
+        let ops_i = index.entry(i);
+        let out = verifier.verify_ops_with_stats(trace, ops_i);
+        if span.is_recording() {
+            span.arg("addr", ops_i.addr().0 as u64);
+            span.arg("ops", ops_i.num_ops() as u64);
+            span.arg("states", out.1.states);
+        }
         if !matches!(out.0, Verdict::Coherent(_)) {
             // First failure (in wall-clock order) stops in-flight work; the
             // in-order reduction below restores address-order determinism.
@@ -96,10 +109,21 @@ pub fn verify_execution_par(trace: &Trace, verifier: &VmcVerifier, jobs: usize) 
         let ops = index.entry(i);
         let (verdict, s) = match slot {
             Some(solved) => solved,
-            None => verifier.verify_ops_with_stats(trace, ops),
+            None => {
+                // Cancel-skipped slot re-solved inline: record it under the
+                // same span name so its cost is visible in the trace too.
+                let mut span = vermem_util::span!("verify.addr");
+                let out = verifier.verify_ops_with_stats(trace, ops);
+                if span.is_recording() {
+                    span.arg("addr", ops.addr().0 as u64);
+                    span.arg("ops", ops.num_ops() as u64);
+                    span.arg("states", out.1.states);
+                    span.arg("resolved_inline", 1);
+                }
+                out
+            }
         };
-        stats.states += s.states;
-        stats.branches += s.branches;
+        stats.absorb(&s);
         match verdict {
             Verdict::Coherent(w) => {
                 witnesses.insert(ops.addr(), w);

@@ -36,6 +36,20 @@ pub struct SolverStats {
     pub removed: u64,
 }
 
+impl SolverStats {
+    /// Render as a `sat` section of the unified run report (the one
+    /// shared pretty-printer in [`vermem_util::obs::report`]).
+    pub fn to_report(&self) -> vermem_util::obs::report::RunReportSection {
+        vermem_util::obs::report::RunReportSection::new("sat")
+            .with("decisions", self.decisions)
+            .with("propagations", self.propagations)
+            .with("conflicts", self.conflicts)
+            .with("restarts", self.restarts)
+            .with("learned", self.learned)
+            .with("removed", self.removed)
+    }
+}
+
 /// A CDCL SAT solver instance. Clauses are added up front (or between
 /// `solve` calls at decision level zero); `solve` is incremental in the
 /// sense that learnt clauses persist across calls.
@@ -479,9 +493,38 @@ impl CdclSolver {
     }
 
     /// Solve to completion.
+    ///
+    /// With observability enabled, the call is wrapped in a `sat.solve`
+    /// span and the *delta* of [`SolverStats`] accumulated by this call
+    /// is batch-flushed into the metrics registry (the solver is
+    /// incremental, so flushing deltas keeps repeated `solve` calls
+    /// additive in the registry).
     pub fn solve(&mut self) -> SatResult {
-        self.solve_limited(u64::MAX)
-            .expect("unlimited solve always completes")
+        let mut span = vermem_util::span!("sat.solve");
+        let before = self.stats;
+        let result = self
+            .solve_limited(u64::MAX)
+            .expect("unlimited solve always completes");
+        if span.is_recording() {
+            use vermem_util::obs;
+            let d = SolverStats {
+                decisions: self.stats.decisions - before.decisions,
+                propagations: self.stats.propagations - before.propagations,
+                conflicts: self.stats.conflicts - before.conflicts,
+                restarts: self.stats.restarts - before.restarts,
+                learned: self.stats.learned - before.learned,
+                removed: self.stats.removed - before.removed,
+            };
+            span.arg("decisions", d.decisions);
+            span.arg("conflicts", d.conflicts);
+            obs::counter_add("sat.decisions", d.decisions);
+            obs::counter_add("sat.propagations", d.propagations);
+            obs::counter_add("sat.conflicts", d.conflicts);
+            obs::counter_add("sat.restarts", d.restarts);
+            obs::counter_add("sat.learned", d.learned);
+            obs::counter_add("sat.removed", d.removed);
+        }
+        result
     }
 
     /// Solve with a conflict budget; returns `None` if the budget is

@@ -68,6 +68,7 @@ pub struct DirectoryMachine {
 impl DirectoryMachine {
     /// Execute `program` to completion under the directory protocol.
     pub fn run(program: &Program, cfg: DirectoryConfig) -> CapturedExecution {
+        let mut span = vermem_util::span!("sim.run");
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let faults = FaultState::new(&cfg.faults);
         let mut m = DirectoryMachine {
@@ -112,6 +113,11 @@ impl DirectoryMachine {
         let final_memory = m.memory.clone();
         for (&addr, &value) in &final_memory {
             trace.set_final(addr, value);
+        }
+        if span.is_recording() {
+            span.arg("cpus", program.num_cpus() as u64);
+            span.arg("steps", m.stats.steps);
+            m.stats.flush_obs();
         }
         CapturedExecution {
             trace,

@@ -60,6 +60,35 @@ pub struct MachineStats {
     pub steps: u64,
 }
 
+impl MachineStats {
+    /// Render as a `sim` section of the unified run report (the one
+    /// shared pretty-printer in [`vermem_util::obs::report`]).
+    pub fn to_report(&self) -> vermem_util::obs::report::RunReportSection {
+        vermem_util::obs::report::RunReportSection::new("sim")
+            .with("hits", self.hits)
+            .with("misses", self.misses)
+            .with("invalidations", self.invalidations)
+            .with("writebacks", self.writebacks)
+            .with("drains", self.drains)
+            .with("steps", self.steps)
+    }
+
+    /// Batch-flush these counters into the metrics registry under
+    /// `sim.*`. No-op when observability is disabled.
+    pub fn flush_obs(&self) {
+        use vermem_util::obs;
+        if !obs::enabled() {
+            return;
+        }
+        obs::counter_add("sim.hits", self.hits);
+        obs::counter_add("sim.misses", self.misses);
+        obs::counter_add("sim.invalidations", self.invalidations);
+        obs::counter_add("sim.writebacks", self.writebacks);
+        obs::counter_add("sim.drains", self.drains);
+        obs::counter_add("sim.steps", self.steps);
+    }
+}
+
 /// Everything captured from a run: the per-process operation trace (issue
 /// order = program order), the per-address write order in commit order, and
 /// the final memory image.
@@ -123,6 +152,7 @@ impl Machine {
     /// Execute `program` to completion (all instructions issued, all store
     /// buffers drained) and return the captured execution.
     pub fn run(program: &Program, cfg: MachineConfig) -> CapturedExecution {
+        let mut span = vermem_util::span!("sim.run");
         let mut m = Machine::new(program.num_cpus(), cfg);
         let mut pc = vec![0usize; program.num_cpus()];
         loop {
@@ -162,6 +192,11 @@ impl Machine {
         let final_memory = m.memory.clone();
         for (&addr, &value) in &final_memory {
             trace.set_final(addr, value);
+        }
+        if span.is_recording() {
+            span.arg("cpus", program.num_cpus() as u64);
+            span.arg("steps", m.stats.steps);
+            m.stats.flush_obs();
         }
         CapturedExecution {
             trace,

@@ -125,6 +125,17 @@ impl TraceStats {
         let reads: usize = self.per_addr.values().map(|s| s.reads).sum();
         reads as f64 / self.total_ops as f64
     }
+
+    /// Render as a `trace` section of the unified run report (the one
+    /// shared pretty-printer in [`vermem_util::obs::report`]).
+    pub fn to_report(&self) -> vermem_util::obs::report::RunReportSection {
+        vermem_util::obs::report::RunReportSection::new("trace")
+            .with("procs", self.active_procs)
+            .with("ops", self.total_ops)
+            .with("addrs", self.per_addr.len())
+            .with("write_shared", self.write_shared_addrs().count())
+            .with("read_fraction", self.read_fraction())
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,651 @@
+//! Minimal JSON writer and parser — the serialization substrate for the
+//! observability layer ([`crate::obs`]) and the benchmark receipts.
+//!
+//! The workspace is dependency-free (no `serde`), so machine-readable
+//! output is produced through [`JsonWriter`], a small streaming emitter
+//! that tracks container nesting and comma placement, and consumed (in
+//! tests and tools) through [`parse_json`], a strict recursive-descent
+//! parser into the order-preserving [`Json`] value tree.
+//!
+//! ```
+//! use vermem_util::json::{parse_json, Json, JsonWriter};
+//!
+//! let mut w = JsonWriter::new();
+//! w.begin_object();
+//! w.key("name");
+//! w.string("vermem");
+//! w.key("counts");
+//! w.begin_array();
+//! w.u64(1);
+//! w.u64(2);
+//! w.end_array();
+//! w.end_object();
+//! let text = w.finish();
+//! assert_eq!(text, r#"{"name":"vermem","counts":[1,2]}"#);
+//!
+//! let v = parse_json(&text).unwrap();
+//! assert_eq!(v.get("name").and_then(Json::as_str), Some("vermem"));
+//! ```
+
+/// A parsed JSON value. Object members keep **source order** (a `Vec`, not
+/// a map), so field-order contracts — e.g. the deterministic section order
+/// of a [`crate::obs::report::RunReport`] — are testable.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, members in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object member lookup (first match).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, if it is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if it is a number that
+    /// round-trips exactly through `u64` (timestamps, counters).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as object members, if it is one.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(members) => Some(members),
+            _ => None,
+        }
+    }
+}
+
+/// A parse failure: byte offset plus message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the failure.
+    pub at: usize,
+    /// What went wrong.
+    pub msg: &'static str,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parse a complete JSON document (trailing whitespace allowed, trailing
+/// garbage rejected). Nesting is capped at 128 levels.
+pub fn parse_json(text: &str) -> Result<Json, JsonError> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+        depth: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing garbage"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &'static str) -> JsonError {
+        JsonError { at: self.pos, msg }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8, msg: &'static str) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(msg))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        if self.depth >= 128 {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{', "expected '{'")?;
+        self.depth += 1;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':', "expected ':'")?;
+            self.skip_ws();
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[', "expected '['")?;
+        self.depth += 1;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"', "expected '\"'")?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // High surrogate: a \uXXXX low surrogate
+                                // must follow.
+                                if self.peek() != Some(b'\\') {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                                self.pos += 1;
+                                self.expect(b'u', "expected low surrogate")?;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(c).ok_or_else(|| self.err("invalid codepoint"))?,
+                            );
+                            // hex4 advanced past the digits; compensate for
+                            // the `pos += 1` shared by all escape arms below.
+                            self.pos -= 1;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) if c < 0x20 => return Err(self.err("raw control character")),
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is &str, so slicing at
+                    // char boundaries is safe).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
+                    let ch = s.chars().next().ok_or_else(|| self.err("unexpected end"))?;
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let d = match self.peek() {
+                Some(c @ b'0'..=b'9') => u32::from(c - b'0'),
+                Some(c @ b'a'..=b'f') => u32::from(c - b'a') + 10,
+                Some(c @ b'A'..=b'F') => u32::from(c - b'A') + 10,
+                _ => return Err(self.err("invalid \\u escape")),
+            };
+            v = v * 16 + d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part: `0` or a nonzero-led digit run.
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.err("invalid number")),
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("digits required after '.'"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("digits required in exponent"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err("number out of range"))
+    }
+}
+
+/// Append `s` to `out` as a JSON string literal (with quotes and escapes).
+pub fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Frame {
+    Object { first: bool },
+    Array { first: bool },
+}
+
+/// A streaming JSON emitter with automatic comma placement.
+///
+/// Call sequence is enforced only by debug assertions (the writer is used
+/// with internally generated shapes); `finish` asserts that every opened
+/// container was closed.
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    out: String,
+    stack: Vec<Frame>,
+}
+
+impl JsonWriter {
+    /// A fresh writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn pre_value(&mut self) {
+        if let Some(Frame::Array { first }) = self.stack.last_mut() {
+            if *first {
+                *first = false;
+            } else {
+                self.out.push(',');
+            }
+        }
+    }
+
+    /// Write an object member key (inside an object only).
+    pub fn key(&mut self, k: &str) -> &mut Self {
+        match self.stack.last_mut() {
+            Some(Frame::Object { first }) => {
+                if *first {
+                    *first = false;
+                } else {
+                    self.out.push(',');
+                }
+            }
+            _ => debug_assert!(false, "key() outside an object"),
+        }
+        escape_into(&mut self.out, k);
+        self.out.push(':');
+        self
+    }
+
+    /// Open an object (as a value).
+    pub fn begin_object(&mut self) -> &mut Self {
+        self.pre_value();
+        self.out.push('{');
+        self.stack.push(Frame::Object { first: true });
+        self
+    }
+
+    /// Close the innermost object.
+    pub fn end_object(&mut self) -> &mut Self {
+        debug_assert!(matches!(self.stack.last(), Some(Frame::Object { .. })));
+        self.stack.pop();
+        self.out.push('}');
+        self
+    }
+
+    /// Open an array (as a value).
+    pub fn begin_array(&mut self) -> &mut Self {
+        self.pre_value();
+        self.out.push('[');
+        self.stack.push(Frame::Array { first: true });
+        self
+    }
+
+    /// Close the innermost array.
+    pub fn end_array(&mut self) -> &mut Self {
+        debug_assert!(matches!(self.stack.last(), Some(Frame::Array { .. })));
+        self.stack.pop();
+        self.out.push(']');
+        self
+    }
+
+    /// Write a string value.
+    pub fn string(&mut self, s: &str) -> &mut Self {
+        self.pre_value();
+        escape_into(&mut self.out, s);
+        self
+    }
+
+    /// Write an unsigned integer value.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.pre_value();
+        self.out.push_str(&v.to_string());
+        self
+    }
+
+    /// Write a signed integer value.
+    pub fn i64(&mut self, v: i64) -> &mut Self {
+        self.pre_value();
+        self.out.push_str(&v.to_string());
+        self
+    }
+
+    /// Write a float value (`NaN`/`±∞` become `null`; Rust's shortest
+    /// round-trip `Display` is valid JSON for all finite values).
+    pub fn f64(&mut self, v: f64) -> &mut Self {
+        self.pre_value();
+        if v.is_finite() {
+            let s = v.to_string();
+            self.out.push_str(&s);
+        } else {
+            self.out.push_str("null");
+        }
+        self
+    }
+
+    /// Write a boolean value.
+    pub fn bool(&mut self, v: bool) -> &mut Self {
+        self.pre_value();
+        self.out.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Write `null`.
+    pub fn null(&mut self) -> &mut Self {
+        self.pre_value();
+        self.out.push_str("null");
+        self
+    }
+
+    /// Insert a raw newline (cosmetic; valid between any two tokens at the
+    /// places this codebase uses it — after commas and container openers).
+    pub fn newline(&mut self) -> &mut Self {
+        self.out.push('\n');
+        self
+    }
+
+    /// Finish and return the document.
+    pub fn finish(self) -> String {
+        debug_assert!(self.stack.is_empty(), "unbalanced containers");
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_produces_parseable_nested_documents() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("a");
+        w.u64(1);
+        w.key("b");
+        w.begin_array();
+        w.string("x\"y\\z\n");
+        w.f64(0.5);
+        w.i64(-3);
+        w.bool(true);
+        w.null();
+        w.begin_object();
+        w.end_object();
+        w.end_array();
+        w.key("c");
+        w.f64(f64::NAN);
+        w.end_object();
+        let text = w.finish();
+        let v = parse_json(&text).unwrap();
+        assert_eq!(v.get("a").and_then(Json::as_f64), Some(1.0));
+        let b = v.get("b").and_then(Json::as_arr).unwrap();
+        assert_eq!(b[0].as_str(), Some("x\"y\\z\n"));
+        assert_eq!(b[1].as_f64(), Some(0.5));
+        assert_eq!(b[2].as_f64(), Some(-3.0));
+        assert_eq!(b[3], Json::Bool(true));
+        assert_eq!(b[4], Json::Null);
+        assert_eq!(b[5], Json::Obj(Vec::new()));
+        assert_eq!(v.get("c"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn object_member_order_is_preserved() {
+        let v = parse_json(r#"{"z":1,"a":2,"m":3}"#).unwrap();
+        let keys: Vec<&str> = v
+            .as_obj()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(keys, ["z", "a", "m"]);
+    }
+
+    #[test]
+    fn parser_accepts_standard_forms() {
+        for (text, want) in [
+            ("0", Json::Num(0.0)),
+            ("-0.5e2", Json::Num(-50.0)),
+            ("1e3", Json::Num(1000.0)),
+            ("true", Json::Bool(true)),
+            ("null", Json::Null),
+            ("\"\"", Json::Str(String::new())),
+            ("[]", Json::Arr(Vec::new())),
+            ("{}", Json::Obj(Vec::new())),
+            (
+                "  [ 1 , 2 ]  ",
+                Json::Arr(vec![Json::Num(1.0), Json::Num(2.0)]),
+            ),
+        ] {
+            assert_eq!(parse_json(text).unwrap(), want, "{text}");
+        }
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_unicode() {
+        let v = parse_json(r#""aA\n\té ü 😀""#).unwrap();
+        assert_eq!(v.as_str(), Some("aA\n\té ü 😀"));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "}",
+            "[1,",
+            "[1 2]",
+            "{\"a\"}",
+            "{\"a\":}",
+            "{a:1}",
+            "01",
+            "1.",
+            "1e",
+            "--1",
+            "\"\\q\"",
+            "\"\\u12\"",
+            "\"\\ud800\"",
+            "tru",
+            "[1]x",
+            "\"unterminated",
+            "\u{1}",
+        ] {
+            assert!(parse_json(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_is_bounded() {
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        assert!(parse_json(&deep).is_err());
+        let ok = "[".repeat(100) + &"]".repeat(100);
+        assert!(parse_json(&ok).is_ok());
+    }
+
+    #[test]
+    fn escape_round_trips_control_characters() {
+        let mut out = String::new();
+        escape_into(&mut out, "a\u{1}b\u{1f}c");
+        assert_eq!(out, "\"a\\u0001b\\u001fc\"");
+        assert_eq!(parse_json(&out).unwrap().as_str(), Some("a\u{1}b\u{1f}c"));
+    }
+}

@@ -14,6 +14,8 @@
 //! | [`codec`] | `bytes` (+ `serde`) | varint/fixed-width binary reader & writer           |
 //! | [`hash`]  | `rustc-hash`/`fxhash` | frozen-stream Fx hasher + `FxHashMap`/`FxHashSet` |
 //! | [`pool`]  | `rayon`/`crossbeam` | scoped work-stealing chunk pool with cancellation   |
+//! | [`json`]  | `serde_json`        | order-preserving JSON writer + strict parser        |
+//! | [`obs`]   | `tracing`/`metrics` | toggleable registry, spans, Chrome-trace, RunReport |
 //!
 //! (`crossbeam::thread::scope` is replaced directly by [`std::thread::scope`]
 //! at its one call site; [`pool`] builds the work-stealing layer on top of
@@ -36,6 +38,8 @@
 pub mod bench;
 pub mod codec;
 pub mod hash;
+pub mod json;
+pub mod obs;
 pub mod pool;
 pub mod prop;
 pub mod rng;

@@ -1,0 +1,151 @@
+//! Chrome trace-event JSON rendering.
+//!
+//! Produces a JSON document loadable by `chrome://tracing` and
+//! [Perfetto](https://ui.perfetto.dev) (open → drag the file in):
+//!
+//! ```json
+//! {"displayTimeUnit":"ms","traceEvents":[
+//!   {"name":"verify.addr","cat":"vermem","ph":"X","ts":12,"dur":340,
+//!    "pid":1,"tid":2,"args":{"addr":7,"states":1912}},
+//!   {"name":"pool.queue","cat":"vermem","ph":"C","ts":400,
+//!    "pid":1,"tid":0,"args":{"pool.queue":3}}
+//! ]}
+//! ```
+//!
+//! Events are sorted by `(ts, tid, name)` before emission so the
+//! output is deterministic given the same recorded set and the `ts`
+//! fields are monotonically non-decreasing — a property
+//! `scripts/verify.sh` shape-checks.
+
+use crate::json::JsonWriter;
+use crate::obs::span::TraceEvent;
+
+/// Render recorded events as a Chrome trace-event JSON document.
+pub fn render_chrome_trace(events: &[TraceEvent]) -> String {
+    let mut sorted: Vec<&TraceEvent> = events.iter().collect();
+    sorted
+        .sort_by(|a, b| (a.ts_us, a.tid, a.name.as_str()).cmp(&(b.ts_us, b.tid, b.name.as_str())));
+
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("displayTimeUnit");
+    w.string("ms");
+    w.key("traceEvents");
+    w.begin_array();
+    for e in sorted {
+        w.begin_object();
+        w.key("name");
+        w.string(&e.name);
+        w.key("cat");
+        w.string("vermem");
+        w.key("ph");
+        w.string(&e.ph.to_string());
+        w.key("ts");
+        w.u64(e.ts_us);
+        if e.ph == 'X' {
+            w.key("dur");
+            w.u64(e.dur_us);
+        }
+        w.key("pid");
+        w.u64(1);
+        w.key("tid");
+        w.u64(e.tid as u64);
+        w.key("args");
+        w.begin_object();
+        for (k, v) in &e.args {
+            w.key(k);
+            w.u64(*v);
+        }
+        w.end_object();
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse_json, Json};
+
+    fn ev(name: &str, ph: char, ts: u64, dur: u64, tid: u32) -> TraceEvent {
+        TraceEvent {
+            name: name.to_string(),
+            ph,
+            ts_us: ts,
+            dur_us: dur,
+            tid,
+            args: vec![("k".to_string(), ts + 1)],
+        }
+    }
+
+    #[test]
+    fn renders_sorted_parseable_trace() {
+        let events = vec![
+            ev("b", 'X', 50, 10, 1),
+            ev("a", 'C', 10, 0, 0),
+            ev("c", 'X', 10, 5, 2),
+        ];
+        let out = render_chrome_trace(&events);
+        let doc = parse_json(&out).expect("valid json");
+        let Json::Obj(top) = &doc else {
+            panic!("object")
+        };
+        assert_eq!(top[0].0, "displayTimeUnit");
+        let Json::Arr(items) = &top[1].1 else {
+            panic!("traceEvents array")
+        };
+        assert_eq!(items.len(), 3);
+        // Sorted by (ts, tid, name): a@10/tid0, c@10/tid2, b@50.
+        let names: Vec<&str> = items
+            .iter()
+            .map(|it| match it {
+                Json::Obj(fs) => match &fs[0].1 {
+                    Json::Str(s) => s.as_str(),
+                    _ => panic!("name"),
+                },
+                _ => panic!("event object"),
+            })
+            .collect();
+        assert_eq!(names, ["a", "c", "b"]);
+        // ts fields monotonically non-decreasing; dur only on 'X'.
+        let mut last_ts = 0.0;
+        for it in items {
+            let Json::Obj(fs) = it else { panic!("obj") };
+            let ts = fs
+                .iter()
+                .find(|(k, _)| k == "ts")
+                .map(|(_, v)| match v {
+                    Json::Num(n) => *n,
+                    _ => panic!("ts number"),
+                })
+                .unwrap();
+            assert!(ts >= last_ts);
+            last_ts = ts;
+            let ph = fs
+                .iter()
+                .find(|(k, _)| k == "ph")
+                .map(|(_, v)| match v {
+                    Json::Str(s) => s.clone(),
+                    _ => panic!("ph string"),
+                })
+                .unwrap();
+            let has_dur = fs.iter().any(|(k, _)| k == "dur");
+            assert_eq!(has_dur, ph == "X");
+        }
+    }
+
+    #[test]
+    fn empty_event_list_is_still_valid() {
+        let out = render_chrome_trace(&[]);
+        let doc = parse_json(&out).expect("valid json");
+        let Json::Obj(top) = &doc else {
+            panic!("object")
+        };
+        let Json::Arr(items) = &top[1].1 else {
+            panic!("traceEvents array")
+        };
+        assert!(items.is_empty());
+    }
+}

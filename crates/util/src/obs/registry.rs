@@ -1,0 +1,329 @@
+//! The metrics registry: counters, gauges, and log2-bucketed histograms.
+//!
+//! Keys are strings stored in `BTreeMap`s so every rendering (text,
+//! JSON, [`crate::obs::report::RunReport`]) enumerates metrics in a
+//! **deterministic order** — no HashMap iteration-order noise in diffs
+//! of recorded output.
+//!
+//! The registry type doubles as its own snapshot ([`MetricsSnapshot`]):
+//! the global instance lives behind the `obs` mutex, and
+//! [`crate::obs::snapshot`] hands out clones.
+
+use std::collections::BTreeMap;
+
+/// A last-value gauge with max and sample tracking.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Gauge {
+    /// Most recently set value.
+    pub last: u64,
+    /// Maximum value ever set.
+    pub max: u64,
+    /// Number of times the gauge was set.
+    pub samples: u64,
+}
+
+/// Number of log2 buckets: bucket 0 holds the value 0, bucket `i ≥ 1`
+/// holds values in `[2^(i-1), 2^i)`; bucket 64 tops out at `u64::MAX`.
+const BUCKETS: usize = 65;
+
+/// A log2-bucketed histogram of `u64` samples with exact count/sum/min/max
+/// and bucket-resolution percentiles.
+///
+/// Recording is one compare, one `leading_zeros`, and one array
+/// increment — cheap enough for per-state accumulation in a *local*
+/// histogram that is batch-merged into the registry at flush time
+/// ([`crate::obs::merge_histogram`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: [u64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+}
+
+fn bucket_of(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of bucket `i` (the value reported for
+/// percentiles that land in it).
+fn bucket_top(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        64 => u64::MAX,
+        i => (1u64 << i) - 1,
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.buckets[bucket_of(value)] += 1;
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The value at quantile `q ∈ [0, 1]`, at log2-bucket resolution: the
+    /// inclusive upper bound of the bucket containing the q-th sample,
+    /// clamped to the exact recorded `max`. Returns 0 when empty.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target sample, 1-based, ceil so p100 = last sample.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_top(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median at bucket resolution.
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// 90th percentile at bucket resolution.
+    pub fn p90(&self) -> u64 {
+        self.percentile(0.90)
+    }
+
+    /// 99th percentile at bucket resolution.
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
+    }
+}
+
+/// The registry contents: all metric families keyed by name in sorted
+/// (deterministic) order. Cloned out of the global state by
+/// [`crate::obs::snapshot`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-value gauges.
+    pub gauges: BTreeMap<String, Gauge>,
+    /// Log2-bucketed histograms.
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsSnapshot {
+    /// Add `delta` to counter `name`.
+    pub fn counter_add(&mut self, name: &str, delta: u64) {
+        match self.counters.get_mut(name) {
+            Some(c) => *c = c.saturating_add(delta),
+            None => {
+                self.counters.insert(name.to_string(), delta);
+            }
+        }
+    }
+
+    /// Set gauge `name` to `value`.
+    pub fn gauge_set(&mut self, name: &str, value: u64) {
+        let g = self.gauges.entry(name.to_string()).or_default();
+        g.last = value;
+        g.max = g.max.max(value);
+        g.samples += 1;
+    }
+
+    /// Record `value` into histogram `name`.
+    pub fn histogram_record(&mut self, name: &str, value: u64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(value);
+    }
+
+    /// Merge a locally accumulated histogram into histogram `name`.
+    pub fn merge_histogram(&mut self, name: &str, h: &Histogram) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .merge(h);
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_is_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_top(0), 0);
+        assert_eq!(bucket_top(1), 1);
+        assert_eq!(bucket_top(10), 1023);
+        assert_eq!(bucket_top(64), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_summary_statistics() {
+        let mut h = Histogram::new();
+        assert_eq!((h.count(), h.min(), h.max(), h.p50()), (0, 0, 0, 0));
+        assert_eq!(h.mean(), 0.0);
+        for v in [0u64, 1, 5, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1106);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 1000);
+        assert!((h.mean() - 221.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_at_bucket_resolution() {
+        let mut h = Histogram::new();
+        for _ in 0..90 {
+            h.record(10); // bucket 4, top 15
+        }
+        for _ in 0..10 {
+            h.record(1000); // bucket 10, top 1023
+        }
+        assert_eq!(h.p50(), 15);
+        assert_eq!(h.p90(), 15);
+        // The 99th sample is in the 1000s bucket; top clamped to max.
+        assert_eq!(h.p99(), 1000);
+        assert_eq!(h.percentile(1.0), 1000);
+        assert_eq!(h.percentile(0.0), 15);
+
+        let mut single = Histogram::new();
+        single.record(7);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(single.percentile(q), 7);
+        }
+    }
+
+    #[test]
+    fn histogram_merge_matches_interleaved_recording() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut both = Histogram::new();
+        for v in 0..200u64 {
+            if v % 3 == 0 {
+                a.record(v * 7);
+            } else {
+                b.record(v * 7);
+            }
+            both.record(v * 7);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged, both);
+        // Merging an empty histogram is a no-op (min stays intact).
+        merged.merge(&Histogram::new());
+        assert_eq!(merged, both);
+    }
+
+    #[test]
+    fn snapshot_families_are_independent_and_sorted() {
+        let mut m = MetricsSnapshot::default();
+        assert!(m.is_empty());
+        m.counter_add("z.count", 1);
+        m.counter_add("a.count", 2);
+        m.counter_add("z.count", 1);
+        m.gauge_set("g", 9);
+        m.histogram_record("h", 3);
+        assert!(!m.is_empty());
+        assert_eq!(
+            m.counters.keys().collect::<Vec<_>>(),
+            ["a.count", "z.count"]
+        );
+        assert_eq!(m.counters["z.count"], 2);
+        assert_eq!(m.gauges["g"].last, 9);
+        assert_eq!(m.histograms["h"].count(), 1);
+    }
+
+    #[test]
+    fn counter_saturates_instead_of_overflowing() {
+        let mut m = MetricsSnapshot::default();
+        m.counter_add("c", u64::MAX - 1);
+        m.counter_add("c", 5);
+        assert_eq!(m.counters["c"], u64::MAX);
+    }
+}

@@ -1,0 +1,368 @@
+//! The unified run report: one serializable shape for every
+//! subsystem's statistics.
+//!
+//! Before this module the workspace had five scattered stats structs
+//! (`SearchStats`, `SolverStats`, `MachineStats`, `TraceStats`, pool
+//! timings) each with its own ad-hoc `format!` block. A [`RunReport`]
+//! is an ordered list of [`RunReportSection`]s — `name` plus ordered
+//! `key = value` fields — rendered by exactly **one** pretty-printer
+//! ([`RunReport::to_text`] / [`RunReportSection::to_inline`]) or by the
+//! in-tree JSON writer ([`RunReport::to_json`], schema
+//! [`RUN_REPORT_SCHEMA`]). Field order is insertion order and sections
+//! keep their push order, so renderings are byte-deterministic.
+
+use crate::json::JsonWriter;
+use crate::obs::registry::MetricsSnapshot;
+use crate::obs::span::TraceEvent;
+
+/// Schema tag embedded in every JSON rendering of a [`RunReport`].
+pub const RUN_REPORT_SCHEMA: &str = "vermem-run-report/v1";
+
+/// One field value: integers for counts, floats for rates/means,
+/// strings for verdicts and labels.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ReportValue {
+    /// An exact count.
+    U64(u64),
+    /// A derived rate or mean.
+    F64(f64),
+    /// A label, verdict, or name.
+    Str(String),
+}
+
+impl From<u64> for ReportValue {
+    fn from(v: u64) -> Self {
+        ReportValue::U64(v)
+    }
+}
+
+impl From<usize> for ReportValue {
+    fn from(v: usize) -> Self {
+        ReportValue::U64(v as u64)
+    }
+}
+
+impl From<u32> for ReportValue {
+    fn from(v: u32) -> Self {
+        ReportValue::U64(v as u64)
+    }
+}
+
+impl From<f64> for ReportValue {
+    fn from(v: f64) -> Self {
+        ReportValue::F64(v)
+    }
+}
+
+impl From<&str> for ReportValue {
+    fn from(v: &str) -> Self {
+        ReportValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for ReportValue {
+    fn from(v: String) -> Self {
+        ReportValue::Str(v)
+    }
+}
+
+impl std::fmt::Display for ReportValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReportValue::U64(v) => write!(f, "{v}"),
+            // Rust's f64 Display is shortest-round-trip: deterministic
+            // and lossless, no trailing-zero noise.
+            ReportValue::F64(v) => write!(f, "{v}"),
+            ReportValue::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// One named group of ordered `key = value` fields — e.g. `search`,
+/// `sat`, `sim`, `pool`, `trace`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunReportSection {
+    /// Section name (the prefix in text rendering).
+    pub name: String,
+    /// Ordered fields; order is exactly the push order.
+    pub fields: Vec<(String, ReportValue)>,
+}
+
+impl RunReportSection {
+    /// An empty section named `name`.
+    pub fn new(name: &str) -> Self {
+        RunReportSection {
+            name: name.to_string(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Append a field (keeps insertion order).
+    pub fn field(&mut self, key: &str, value: impl Into<ReportValue>) -> &mut Self {
+        self.fields.push((key.to_string(), value.into()));
+        self
+    }
+
+    /// Builder-style [`field`](Self::field).
+    pub fn with(mut self, key: &str, value: impl Into<ReportValue>) -> Self {
+        self.fields.push((key.to_string(), value.into()));
+        self
+    }
+
+    /// The one shared pretty-printer: `name: k=v k=v …`.
+    ///
+    /// Every subsystem's `to_report()` output goes through this (or
+    /// [`RunReport::to_text`], which delegates here), replacing the
+    /// four ad-hoc format blocks the CLI used to carry.
+    pub fn to_inline(&self) -> String {
+        let mut out = String::with_capacity(16 + 16 * self.fields.len());
+        out.push_str(&self.name);
+        out.push(':');
+        for (k, v) in &self.fields {
+            out.push(' ');
+            out.push_str(k);
+            out.push('=');
+            out.push_str(&v.to_string());
+        }
+        out
+    }
+
+    fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.key("name");
+        w.string(&self.name);
+        w.key("fields");
+        w.begin_object();
+        for (k, v) in &self.fields {
+            w.key(k);
+            match v {
+                ReportValue::U64(n) => w.u64(*n),
+                ReportValue::F64(n) => w.f64(*n),
+                ReportValue::Str(s) => w.string(s),
+            };
+        }
+        w.end_object();
+        w.end_object();
+    }
+}
+
+/// An ordered collection of [`RunReportSection`]s with one text and one
+/// JSON rendering.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RunReport {
+    /// Sections in push order.
+    pub sections: Vec<RunReportSection>,
+}
+
+impl RunReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        RunReport::default()
+    }
+
+    /// Append a section.
+    pub fn push_section(&mut self, section: RunReportSection) {
+        self.sections.push(section);
+    }
+
+    /// Find a section by name (first match).
+    pub fn section(&self, name: &str) -> Option<&RunReportSection> {
+        self.sections.iter().find(|s| s.name == name)
+    }
+
+    /// Append the metrics registry contents as three sections
+    /// (`counters`, `gauges`, and one `hist.<name>` section per
+    /// histogram with count/sum/mean/p50/p90/p99/max). `BTreeMap`
+    /// iteration keeps this deterministic. Empty families are skipped.
+    pub fn extend_from_metrics(&mut self, m: &MetricsSnapshot) {
+        if !m.counters.is_empty() {
+            let mut s = RunReportSection::new("counters");
+            for (k, v) in &m.counters {
+                s.field(k, *v);
+            }
+            self.sections.push(s);
+        }
+        if !m.gauges.is_empty() {
+            let mut s = RunReportSection::new("gauges");
+            for (k, g) in &m.gauges {
+                s.field(&format!("{k}.last"), g.last);
+                s.field(&format!("{k}.max"), g.max);
+            }
+            self.sections.push(s);
+        }
+        for (k, h) in &m.histograms {
+            if h.count() == 0 {
+                continue;
+            }
+            self.sections.push(
+                RunReportSection::new(&format!("hist.{k}"))
+                    .with("count", h.count())
+                    .with("sum", h.sum())
+                    .with("mean", h.mean())
+                    .with("p50", h.p50())
+                    .with("p90", h.p90())
+                    .with("p99", h.p99())
+                    .with("max", h.max()),
+            );
+        }
+    }
+
+    /// Text rendering: one [`RunReportSection::to_inline`] line per
+    /// section.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for s in &self.sections {
+            out.push_str(&s.to_inline());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// JSON rendering (schema [`RUN_REPORT_SCHEMA`], deterministic
+    /// field order via [`JsonWriter`]).
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("schema");
+        w.string(RUN_REPORT_SCHEMA);
+        w.key("sections");
+        w.begin_array();
+        for s in &self.sections {
+            s.write_json(&mut w);
+        }
+        w.end_array();
+        w.end_object();
+        w.finish()
+    }
+}
+
+/// The `k` slowest `'X'` events named `name`, longest first
+/// (deterministic tie-break on `(ts, tid)`). This is how the CLI's
+/// top-K slowest-addresses table falls out of the per-address
+/// `verify.addr` spans.
+pub fn top_k_slowest(events: &[TraceEvent], name: &str, k: usize) -> Vec<TraceEvent> {
+    let mut matching: Vec<&TraceEvent> = events
+        .iter()
+        .filter(|e| e.ph == 'X' && e.name == name)
+        .collect();
+    matching.sort_by(|a, b| {
+        b.dur_us
+            .cmp(&a.dur_us)
+            .then(a.ts_us.cmp(&b.ts_us))
+            .then(a.tid.cmp(&b.tid))
+    });
+    matching.into_iter().take(k).cloned().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse_json, Json};
+    use crate::obs::registry::MetricsSnapshot;
+
+    #[test]
+    fn inline_rendering_preserves_field_order() {
+        let s = RunReportSection::new("search")
+            .with("states", 12u64)
+            .with("rate", 1.5f64)
+            .with("verdict", "coherent");
+        assert_eq!(s.to_inline(), "search: states=12 rate=1.5 verdict=coherent");
+    }
+
+    #[test]
+    fn report_text_is_one_line_per_section() {
+        let mut r = RunReport::new();
+        r.push_section(RunReportSection::new("a").with("x", 1u64));
+        r.push_section(RunReportSection::new("b").with("y", 2u64));
+        assert_eq!(r.to_text(), "a: x=1\nb: y=2\n");
+        assert_eq!(r.section("b").unwrap().fields[0].0, "y");
+        assert!(r.section("zzz").is_none());
+    }
+
+    #[test]
+    fn json_rendering_has_schema_and_parses() {
+        let mut r = RunReport::new();
+        r.push_section(
+            RunReportSection::new("search")
+                .with("states", 3u64)
+                .with("mean", 0.5f64)
+                .with("verdict", "coherent"),
+        );
+        let json = r.to_json();
+        let doc = parse_json(&json).expect("valid json");
+        let Json::Obj(top) = &doc else {
+            panic!("object")
+        };
+        assert_eq!(top[0].0, "schema");
+        assert_eq!(top[0].1, Json::Str(RUN_REPORT_SCHEMA.to_string()));
+        let Json::Arr(sections) = &top[1].1 else {
+            panic!("sections array")
+        };
+        assert_eq!(sections.len(), 1);
+        let Json::Obj(sec) = &sections[0] else {
+            panic!("obj")
+        };
+        assert_eq!(sec[0].1, Json::Str("search".to_string()));
+        let Json::Obj(fields) = &sec[1].1 else {
+            panic!("fields obj")
+        };
+        assert_eq!(
+            fields.iter().map(|(k, _)| k.as_str()).collect::<Vec<_>>(),
+            ["states", "mean", "verdict"]
+        );
+    }
+
+    #[test]
+    fn metrics_snapshot_extends_into_sections() {
+        let mut m = MetricsSnapshot::default();
+        m.counter_add("b.count", 2);
+        m.counter_add("a.count", 1);
+        m.gauge_set("q", 5);
+        for v in [1u64, 2, 1000] {
+            m.histogram_record("depth", v);
+        }
+        let mut r = RunReport::new();
+        r.extend_from_metrics(&m);
+        let names: Vec<&str> = r.sections.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["counters", "gauges", "hist.depth"]);
+        // Counters are sorted (BTreeMap order).
+        assert_eq!(r.sections[0].fields[0].0, "a.count");
+        let hist = r.section("hist.depth").unwrap();
+        assert_eq!(hist.fields[0], ("count".to_string(), ReportValue::U64(3)));
+        // Empty snapshot adds nothing.
+        let mut empty = RunReport::new();
+        empty.extend_from_metrics(&MetricsSnapshot::default());
+        assert!(empty.sections.is_empty());
+    }
+
+    #[test]
+    fn top_k_slowest_sorts_and_truncates() {
+        let ev = |ts: u64, dur: u64, name: &str| TraceEvent {
+            name: name.to_string(),
+            ph: 'X',
+            ts_us: ts,
+            dur_us: dur,
+            tid: 1,
+            args: vec![("addr".to_string(), ts)],
+        };
+        let mut events = vec![
+            ev(10, 5, "verify.addr"),
+            ev(20, 50, "verify.addr"),
+            ev(30, 50, "verify.addr"),
+            ev(40, 7, "other"),
+        ];
+        events.push(TraceEvent {
+            name: "verify.addr".to_string(),
+            ph: 'C',
+            ts_us: 0,
+            dur_us: 999,
+            tid: 1,
+            args: vec![],
+        });
+        let top = top_k_slowest(&events, "verify.addr", 2);
+        assert_eq!(top.len(), 2);
+        // Equal durations tie-break by ts ascending.
+        assert_eq!((top[0].ts_us, top[0].dur_us), (20, 50));
+        assert_eq!((top[1].ts_us, top[1].dur_us), (30, 50));
+    }
+}

@@ -1,0 +1,143 @@
+//! Trace events and hierarchical span timers.
+//!
+//! A [`Span`] measures the wall-clock duration of a scope. When
+//! observability is disabled ([`crate::obs::enabled`] is false) a span
+//! is a `None`-carrying ZST-sized wrapper: construction, `arg`, and
+//! `Drop` all reduce to a branch on an `Option` — no clock reads, no
+//! allocation, no locking. When enabled, dropping the span records one
+//! Chrome-trace `ph:"X"` duration event into the global event buffer.
+//!
+//! Events use the Chrome trace-event vocabulary directly so the
+//! renderer ([`crate::obs::chrome`]) is a plain serialization pass:
+//! `ph` is `'X'` for complete/duration events and `'C'` for counter
+//! samples (emitted by [`crate::obs::gauge_set`]).
+
+use crate::obs::{now_us, record_event, thread_id};
+
+/// One Chrome-trace event: a completed span (`ph = 'X'`) or a counter
+/// sample (`ph = 'C'`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Event name (span or counter name).
+    pub name: String,
+    /// Chrome trace-event phase: `'X'` duration or `'C'` counter.
+    pub ph: char,
+    /// Start timestamp in microseconds since the obs epoch.
+    pub ts_us: u64,
+    /// Duration in microseconds (`'X'` events only; 0 for `'C'`).
+    pub dur_us: u64,
+    /// Dense per-thread id ([`crate::obs::thread_id`]).
+    pub tid: u32,
+    /// Per-event arguments shown in the trace viewer's detail pane.
+    pub args: Vec<(String, u64)>,
+}
+
+/// The recording half of a live span: everything needed to emit the
+/// `'X'` event at drop time.
+#[derive(Debug)]
+struct SpanInner {
+    name: String,
+    start_us: u64,
+    tid: u32,
+    args: Vec<(String, u64)>,
+}
+
+/// A scope timer that records a Chrome-trace duration event on drop.
+///
+/// Create one through the [`span!`](crate::span) macro (which checks
+/// the runtime toggle before evaluating the name) or through
+/// [`crate::obs::span_start`]. A disabled span is inert.
+#[derive(Debug)]
+pub struct Span(Option<SpanInner>);
+
+impl Span {
+    /// A span that records nothing — the disabled fast path.
+    #[inline]
+    pub fn disabled() -> Span {
+        Span(None)
+    }
+
+    /// A live span started at `start_us` (obtained from
+    /// [`crate::obs::now_us`] by the caller).
+    pub fn started(name: &str, start_us: u64) -> Span {
+        Span(Some(SpanInner {
+            name: name.to_string(),
+            start_us,
+            tid: thread_id(),
+            args: Vec::new(),
+        }))
+    }
+
+    /// Attach a `name = value` argument to the event (no-op when the
+    /// span is disabled, so callers may compute `value` lazily behind
+    /// [`Span::is_recording`] if it is expensive).
+    #[inline]
+    pub fn arg(&mut self, name: &str, value: u64) {
+        if let Some(inner) = &mut self.0 {
+            inner.args.push((name.to_string(), value));
+        }
+    }
+
+    /// True when this span will record an event on drop.
+    #[inline]
+    pub fn is_recording(&self) -> bool {
+        self.0.is_some()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(inner) = self.0.take() {
+            let end = now_us();
+            record_event(TraceEvent {
+                name: inner.name,
+                ph: 'X',
+                ts_us: inner.start_us,
+                dur_us: end.saturating_sub(inner.start_us),
+                tid: inner.tid,
+                args: inner.args,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obs;
+
+    #[test]
+    fn disabled_span_records_nothing() {
+        let _guard = obs::tests::lock();
+        obs::reset();
+        obs::set_enabled(false);
+        {
+            let mut s = Span::disabled();
+            assert!(!s.is_recording());
+            s.arg("x", 1);
+        }
+        let events = obs::take_events();
+        assert!(events.iter().all(|e| e.name != "never-named"));
+    }
+
+    #[test]
+    fn live_span_records_duration_event_with_args() {
+        let _guard = obs::tests::lock();
+        obs::reset();
+        obs::set_enabled(true);
+        {
+            let mut s = obs::span_start("span-test-live");
+            assert!(s.is_recording());
+            s.arg("answer", 42);
+        }
+        obs::set_enabled(false);
+        let events = obs::take_events();
+        let ev: Vec<_> = events
+            .iter()
+            .filter(|e| e.name == "span-test-live")
+            .collect();
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].ph, 'X');
+        assert_eq!(ev[0].args, vec![("answer".to_string(), 42)]);
+    }
+}

@@ -50,7 +50,20 @@ echo "==> bench smoke (VERMEM_BENCH_FAST=1): thread-ladder bench runs"
 VERMEM_BENCH_FAST=1 cargo bench -q --offline -p vermem-bench --bench par_verify \
     > /dev/null
 
-echo "==> experiments --json emits parseable BENCH_vmc.json"
+echo "==> obs hot path: exactly one clock-read site in crates/util/src/obs/"
+# The zero-overhead-when-off contract (DESIGN.md §Observability): every
+# clock read funnels through obs::now_us(), which is only reached from
+# enabled branches. Any other Instant::now() in the obs tree is a bug.
+clock_sites=$(grep -rn 'Instant::now' crates/util/src/obs/ \
+    | grep -cvE ':[0-9]+:[[:space:]]*//' || true)
+if [[ "$clock_sites" -ne 1 ]]; then
+    echo "expected exactly 1 Instant::now code site in crates/util/src/obs/, found ${clock_sites}:" >&2
+    grep -rn 'Instant::now' crates/util/src/obs/ | grep -vE ':[0-9]+:[[:space:]]*//' >&2
+    exit 1
+fi
+echo "    ok"
+
+echo "==> experiments --json emits parseable BENCH_vmc.json (+ obs receipts)"
 tmp=$(mktemp -d)
 (
     cd "$tmp"
@@ -60,15 +73,42 @@ tmp=$(mktemp -d)
 python3 - "$tmp/BENCH_vmc.json" <<'EOF'
 import json, sys
 d = json.load(open(sys.argv[1]))
-assert d["schema"].startswith("vermem-bench-vmc/"), d["schema"]
+assert d["schema"] == "vermem-bench-vmc/v2", d["schema"]
 assert d["par_verify"] and d["memo_ablation"], "empty receipts"
 for case in d["par_verify"]:
     jobs = [p["jobs"] for p in case["points"]]
     assert jobs[0] == 1 and len(jobs) >= 3, jobs
     for p in case["points"]:
         assert p["median_secs"] > 0 and p["ops_per_sec"] > 0
+for row in d["memo_ablation"]:
+    assert row["memo_hits"] >= 0 and row["memo_misses"] > 0, row
+    assert row["states"] == row["memo_misses"], \
+        "every visited state is a memo miss: %r" % row
+obs = d["obs_overhead"]
+assert obs["median_secs_disabled"] > 0 and obs["median_secs_enabled"] > 0, obs
 print(f"    ok ({len(d['par_verify'])} par cases, "
-      f"{len(d['memo_ablation'])} ablation rows)")
+      f"{len(d['memo_ablation'])} ablation rows, "
+      f"obs overhead {obs['enabled_overhead_pct']:+.2f}%)")
+EOF
+rm -rf "$tmp"
+
+echo "==> --trace-out emits a Perfetto-loadable Chrome trace"
+tmp=$(mktemp -d)
+target/release/vermem sim --verify --trace-out "$tmp/sim.trace.json" > /dev/null
+python3 - "$tmp/sim.trace.json" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+ev = d["traceEvents"]
+assert ev, "no trace events"
+assert all(e["ph"] in ("X", "C") for e in ev), "unexpected phase"
+assert all(e["pid"] == 1 and e["tid"] >= 1 for e in ev), "pid/tid shape"
+ts = [e["ts"] for e in ev]
+assert ts == sorted(ts), "ts must be monotonic"
+names = {e["name"] for e in ev}
+assert "sim.run" in names and "verify.execution" in names, names
+durs = [e for e in ev if e["ph"] == "X"]
+assert all("dur" in e and e["dur"] >= 0 for e in durs), "X events need dur"
+print(f"    ok ({len(ev)} events, {len(names)} distinct names)")
 EOF
 rm -rf "$tmp"
 
