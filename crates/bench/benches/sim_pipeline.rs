@@ -69,6 +69,34 @@ fn bench_capture_and_verify(c: &mut Criterion) {
     g.finish();
 }
 
+/// The PR-4 `AddrIndex::build` allocation-churn fix: exact-capacity
+/// two-pass counting build vs the historical doubling-growth build. More
+/// addresses per trace means more per-(address, process) vectors whose
+/// realloc chains the counting pass now avoids.
+fn bench_addr_index(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim/addr-index");
+    for &(instrs, addrs) in &[(1024usize, 4usize), (4096, 16), (16384, 64)] {
+        let p = random_program(&WorkloadConfig {
+            cpus: 4,
+            instrs_per_cpu: instrs / 4,
+            addrs,
+            write_fraction: 0.45,
+            rmw_fraction: 0.1,
+            seed: (instrs ^ addrs) as u64,
+        });
+        let cap = Machine::run(&p, MachineConfig::default());
+        g.throughput(Throughput::Elements(cap.trace.num_ops() as u64));
+        g.bench_with_input(
+            BenchmarkId::new(format!("{addrs}addrs"), instrs),
+            &cap.trace,
+            |b, t| {
+                b.iter(|| black_box(vermem_trace::AddrIndex::build(t)));
+            },
+        );
+    }
+    g.finish();
+}
+
 fn bench_online_checker(c: &mut Criterion) {
     let mut g = c.benchmark_group("sim/online-checker");
     for &instrs in &[256usize, 1024, 4096, 16384] {
@@ -114,6 +142,7 @@ criterion_group!(
     benches,
     bench_machine,
     bench_capture_and_verify,
+    bench_addr_index,
     bench_online_checker,
     bench_sat_substrate
 );

@@ -25,7 +25,7 @@ use std::time::Instant;
 use vermem_bench::{loglog_slope, mean_growth_ratio, median_secs};
 use vermem_coherence::{
     one_op, readmap, rmw, solve_backtracking, solve_backtracking_with_stats,
-    solve_with_write_order, verify_execution_par, SearchConfig, VmcVerifier,
+    solve_with_write_order, verify_execution_par, PruneConfig, SearchConfig, VmcVerifier,
 };
 use vermem_consistency::{
     merge_coherent_schedules, solve_sc_backtracking, MergeOutcome, VscConfig,
@@ -126,6 +126,10 @@ fn main() {
     if run("epar") {
         e_par_scaling(json);
     }
+    if filter == "eprune" {
+        // Included in `epar`'s receipt run; also runnable standalone.
+        e_prune();
+    }
 
     if obs_on {
         vermem_util::obs::set_enabled(false);
@@ -218,10 +222,13 @@ fn e5_reduction(title: &str, reduce: &dyn Fn(&vermem_sat::Cnf) -> Trace) {
         "family", "m", "ops", "ops/proc", "writes/value", "states", "verdict"
     );
     // A state budget keeps the harness bounded; a capped row already
-    // demonstrates the blow-up.
+    // demonstrates the blow-up. Pruning is off here by design: E-5.1/E-5.2
+    // measure the *baseline* exponential wall of the exact search; how much
+    // of it the PR-4 inference layer recovers is E-PRUNE's question.
     const CAP: u64 = 2_000_000;
     let cfg_capped = SearchConfig {
         max_states: Some(CAP),
+        prune: PruneConfig::none(),
         ..Default::default()
     };
     let mut points = Vec::new();
@@ -697,6 +704,22 @@ struct MemoRow {
     verdict: &'static str,
 }
 
+/// One row of the E-PRUNE inference-layer ablation: a blow-up instance
+/// solved under one [`PruneConfig`], with every prune counter recorded.
+struct PruneRow {
+    case: String,
+    config: &'static str,
+    secs: f64,
+    states: u64,
+    memo_hits: u64,
+    memo_misses: u64,
+    window_prunes: u64,
+    symmetry_prunes: u64,
+    nogood_hits: u64,
+    nogoods_learned: u64,
+    verdict: &'static str,
+}
+
 /// Enabled-vs-disabled cost of the observability layer on a state-capped
 /// E-5.2 blow-up instance (every state records into the depth histogram
 /// when enabled, so this is the worst case for the hot path).
@@ -793,6 +816,10 @@ fn e_par_scaling(write_json: bool) {
         );
     }
 
+    let prune = prune_ablation(reps, fast);
+    println!("\nE-PRUNE inference-layer ablation (single thread, same instances):");
+    print_prune_table(&prune);
+
     let obs = obs_overhead_probe(reps, fast);
     println!(
         "\nobservability overhead ({}): disabled {:.3} ms, enabled {:.3} ms ({:+.2}%)",
@@ -804,7 +831,8 @@ fn e_par_scaling(write_json: bool) {
 
     if write_json {
         let path = "BENCH_vmc.json";
-        std::fs::write(path, bench_json(host, &cases, &memo, &obs)).expect("write BENCH_vmc.json");
+        std::fs::write(path, bench_json(host, &cases, &memo, &prune, &obs))
+            .expect("write BENCH_vmc.json");
         println!("\nwrote {path}");
     }
 }
@@ -815,8 +843,11 @@ fn e_par_scaling(write_json: bool) {
 /// enabled state (the probe may run inside a `--metrics` session).
 fn obs_overhead_probe(reps: usize, fast: bool) -> ObsOverhead {
     let cap: u64 = if fast { 50_000 } else { 500_000 };
+    // Pruning off so the probe keeps exercising the full capped state set
+    // (the worst case for per-state obs cost), as in the PR-3 receipt.
     let cfg = SearchConfig {
         max_states: Some(cap),
+        prune: PruneConfig::none(),
         ..Default::default()
     };
     let overcons = gen_random_ksat(&RandomSatConfig::three_sat(3, 5.0, 93));
@@ -888,11 +919,15 @@ fn par_case(name: String, trace: &Trace, verifier: &VmcVerifier, reps: usize) ->
 /// verdicts) must agree; only the wall time differs.
 fn memo_ablation(reps: usize, fast: bool) -> Vec<MemoRow> {
     let cap: u64 = if fast { 50_000 } else { 500_000 };
+    // Pruning off: this ablation isolates the memo *representation* cost on
+    // the full capped state set (the PR-4 inference layer would collapse
+    // the workload — its effect is measured separately by `prune_ablation`).
     let configs: [(&'static str, SearchConfig); 2] = [
         (
             "fx-overhaul",
             SearchConfig {
                 max_states: Some(cap),
+                prune: PruneConfig::none(),
                 ..Default::default()
             },
         ),
@@ -901,6 +936,7 @@ fn memo_ablation(reps: usize, fast: bool) -> Vec<MemoRow> {
             SearchConfig {
                 max_states: Some(cap),
                 legacy_memo_keys: true,
+                prune: PruneConfig::none(),
                 ..Default::default()
             },
         ),
@@ -957,17 +993,170 @@ fn memo_ablation(reps: usize, fast: bool) -> Vec<MemoRow> {
     rows
 }
 
+/// E-PRUNE: the PR-4 inference-layer ablation on the E-5.1/E-5.2 blow-up
+/// instances. Each technique runs alone and all together, against the
+/// unpruned baseline, under the same state cap as `memo_ablation`. All
+/// configurations must agree on the verdict (they provably do — the
+/// assertion enforces it), and every pruned configuration must explore at
+/// most the baseline's states (monotonicity).
+fn prune_ablation(reps: usize, fast: bool) -> Vec<PruneRow> {
+    let cap: u64 = if fast { 50_000 } else { 500_000 };
+    let configs: [(&'static str, PruneConfig); 5] = [
+        ("none", PruneConfig::none()),
+        ("windows", PruneConfig::parse("windows").unwrap()),
+        ("symmetry", PruneConfig::parse("symmetry").unwrap()),
+        ("nogoods", PruneConfig::parse("nogoods").unwrap()),
+        ("all", PruneConfig::all()),
+    ];
+    let wall = vermem_sat::random::gen_forced_sat(&RandomSatConfig::three_sat(6, 1.0, 31 * 6));
+    let overcons = gen_random_ksat(&RandomSatConfig::three_sat(3, 5.0, 93));
+    let instances: [(String, Trace); 3] = [
+        (
+            "e5.1-m6-wall".to_string(),
+            reduce_3sat_restricted(&wall).trace,
+        ),
+        (
+            "e5.1-overcons".to_string(),
+            reduce_3sat_restricted(&overcons).trace,
+        ),
+        (
+            "e5.2-overcons".to_string(),
+            reduce_3sat_rmw(&overcons).trace,
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (case, trace) in &instances {
+        let mut baseline_states: Option<u64> = None;
+        let mut decided_verdicts: Vec<bool> = Vec::new();
+        for (name, prune) in &configs {
+            let cfg = SearchConfig {
+                max_states: Some(cap),
+                prune: *prune,
+                ..Default::default()
+            };
+            let (verdict, stats) = solve_backtracking_with_stats(trace, Addr::ZERO, &cfg);
+            let verdict_str = match &verdict {
+                vermem_coherence::Verdict::Coherent(_) => "coherent",
+                vermem_coherence::Verdict::Incoherent(_) => "incoherent",
+                vermem_coherence::Verdict::Unknown => "capped",
+            };
+            // Verdict parity among configurations that decided (a capped
+            // run decides nothing, so it constrains nothing).
+            if let vermem_coherence::Verdict::Coherent(_)
+            | vermem_coherence::Verdict::Incoherent(_) = &verdict
+            {
+                decided_verdicts.push(verdict.is_coherent());
+            }
+            // States monotonicity vs the unpruned baseline.
+            match (*name, baseline_states) {
+                ("none", _) => baseline_states = Some(stats.states),
+                (_, Some(base)) => assert!(
+                    stats.states <= base,
+                    "{case}/{name}: pruned search explored more states ({} > {base})",
+                    stats.states
+                ),
+                _ => unreachable!("baseline row runs first"),
+            }
+            let secs = median_secs(reps, || {
+                let _ = solve_backtracking(trace, Addr::ZERO, &cfg);
+            })
+            .max(1e-12);
+            rows.push(PruneRow {
+                case: case.clone(),
+                config: name,
+                secs,
+                states: stats.states,
+                memo_hits: stats.memo_hits,
+                memo_misses: stats.memo_misses,
+                window_prunes: stats.window_prunes,
+                symmetry_prunes: stats.symmetry_prunes,
+                nogood_hits: stats.nogood_hits,
+                nogoods_learned: stats.nogoods_learned,
+                verdict: verdict_str,
+            });
+        }
+        assert!(
+            decided_verdicts.windows(2).all(|w| w[0] == w[1]),
+            "prune configurations disagree on {case}"
+        );
+    }
+    rows
+}
+
+fn print_prune_table(rows: &[PruneRow]) {
+    println!(
+        "{:>14} {:>9} {:>12} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>10}",
+        "case",
+        "config",
+        "median (ms)",
+        "states",
+        "win.pr",
+        "sym.pr",
+        "ng.hits",
+        "ng.learn",
+        "hits",
+        "verdict"
+    );
+    for r in rows {
+        println!(
+            "{:>14} {:>9} {:>12.3} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>10}",
+            r.case,
+            r.config,
+            r.secs * 1e3,
+            r.states,
+            r.window_prunes,
+            r.symmetry_prunes,
+            r.nogood_hits,
+            r.nogoods_learned,
+            r.memo_hits,
+            r.verdict
+        );
+    }
+    // Headline: states-explored reduction of `all` vs `none` per case.
+    for case in ["e5.1-m6-wall", "e5.1-overcons", "e5.2-overcons"] {
+        let states_of = |cfg: &str| {
+            rows.iter()
+                .find(|r| r.case == case && r.config == cfg)
+                .map(|r| r.states)
+        };
+        if let (Some(none), Some(all)) = (states_of("none"), states_of("all")) {
+            let ratio = none as f64 / (all.max(1)) as f64;
+            println!("{case}: states {none} -> {all} ({ratio:.1}x fewer with --prune=all)");
+        }
+    }
+}
+
+/// Console-only entry for the E-PRUNE ablation (`experiments eprune`); the
+/// `--json` receipt run includes the same rows in BENCH_vmc.json.
+fn e_prune() {
+    header("E-PRUNE  inference-layer ablation: windows / symmetry / nogoods");
+    let fast = std::env::var("VERMEM_BENCH_FAST").is_ok();
+    let reps = if fast { 3 } else { 7 };
+    let rows = prune_ablation(reps, fast);
+    print_prune_table(&rows);
+}
+
 /// Hand-rolled JSON (the workspace is dependency-free): all strings are
 /// internally generated identifiers, so no escaping is needed.
-fn bench_json(host: usize, cases: &[ParCase], memo: &[MemoRow], obs: &ObsOverhead) -> String {
+fn bench_json(
+    host: usize,
+    cases: &[ParCase],
+    memo: &[MemoRow],
+    prune: &[PruneRow],
+    obs: &ObsOverhead,
+) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"vermem-bench-vmc/v2\",\n");
+    s.push_str("  \"schema\": \"vermem-bench-vmc/v3\",\n");
     s.push_str(&format!("  \"host_parallelism\": {host},\n"));
     s.push_str("  \"par_verify\": [\n");
     for (i, c) in cases.iter().enumerate() {
+        // Bench honesty: every case records the host parallelism it ran
+        // under, and each ladder point above it is flagged so downstream
+        // readers chart it as scheduling overhead, not scaling.
         s.push_str(&format!(
-            "    {{\"case\": \"{}\", \"ops\": {}, \"addresses\": {}, \"points\": [",
+            "    {{\"case\": \"{}\", \"ops\": {}, \"addresses\": {}, \
+             \"host_parallelism\": {host}, \"points\": [",
             c.name, c.ops, c.addrs
         ));
         for (j, p) in c.points.iter().enumerate() {
@@ -976,8 +1165,12 @@ fn bench_json(host: usize, cases: &[ParCase], memo: &[MemoRow], obs: &ObsOverhea
             }
             s.push_str(&format!(
                 "{{\"jobs\": {}, \"median_secs\": {:.9}, \"ops_per_sec\": {:.1}, \
-                 \"speedup_vs_1\": {:.4}}}",
-                p.jobs, p.secs, p.ops_per_sec, p.speedup
+                 \"speedup_vs_1\": {:.4}, \"overhead_only\": {}}}",
+                p.jobs,
+                p.secs,
+                p.ops_per_sec,
+                p.speedup,
+                p.jobs > host
             ));
         }
         s.push_str("]}");
@@ -992,6 +1185,28 @@ fn bench_json(host: usize, cases: &[ParCase], memo: &[MemoRow], obs: &ObsOverhea
             r.case, r.config, r.secs, r.states, r.memo_hits, r.memo_misses, r.verdict
         ));
         s.push_str(if i + 1 < memo.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"prune_ablation\": [\n");
+    for (i, r) in prune.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"case\": \"{}\", \"config\": \"{}\", \"median_secs\": {:.9}, \
+             \"states\": {}, \"memo_hits\": {}, \"memo_misses\": {}, \
+             \"window_prunes\": {}, \"symmetry_prunes\": {}, \"nogood_hits\": {}, \
+             \"nogoods_learned\": {}, \"verdict\": \"{}\"}}",
+            r.case,
+            r.config,
+            r.secs,
+            r.states,
+            r.memo_hits,
+            r.memo_misses,
+            r.window_prunes,
+            r.symmetry_prunes,
+            r.nogood_hits,
+            r.nogoods_learned,
+            r.verdict
+        ));
+        s.push_str(if i + 1 < prune.len() { ",\n" } else { "\n" });
     }
     s.push_str("  ],\n");
     s.push_str(&format!(

@@ -6,6 +6,7 @@
 //!
 //! ```text
 //! vermem verify <trace> [--addr N] [--strategy auto|backtracking|sat] [--budget N] [--jobs N]
+//!               [--prune all|none|windows,symmetry,nogoods]
 //!               [--metrics[=json|text]] [--trace-out FILE]
 //! vermem sc <trace> [--model sc|tso|pso|coherence]
 //! vermem classify <trace>
@@ -33,7 +34,7 @@
 #![forbid(unsafe_code)]
 
 use std::fmt::Write as _;
-use vermem_coherence::{SearchConfig, Strategy, Verdict, VmcVerifier};
+use vermem_coherence::{PruneConfig, SearchConfig, Strategy, Verdict, VmcVerifier};
 use vermem_consistency::MemoryModel;
 use vermem_trace::{Addr, Trace};
 use vermem_util::obs;
@@ -61,7 +62,7 @@ vermem — verify memory coherence and consistency of execution traces
 
 USAGE:
   vermem verify <trace> [--addr N] [--strategy auto|backtracking|sat] [--budget N]
-                [--jobs N] [--metrics[=json|text]] [--trace-out FILE]
+                [--jobs N] [--prune SPEC] [--metrics[=json|text]] [--trace-out FILE]
   vermem sc <trace> [--model sc|tso|pso|coherence]
   vermem classify <trace>
   vermem explain <trace> [--addr N]
@@ -69,14 +70,17 @@ USAGE:
   vermem inject <trace> --kind corrupt-read|stale-read|lost-write|reorder [--seed N]
   vermem reduce <dimacs> [--figure 4.1|5.1|5.2]
   vermem sim --cpus N --instrs N [--addrs N] [--tso|--directory] [--seed N]
-             [--verify] [--online] [--jobs N] [--metrics[=json|text]]
-             [--trace-out FILE]
+             [--verify] [--online] [--jobs N] [--prune SPEC]
+             [--metrics[=json|text]] [--trace-out FILE]
   vermem sat <dimacs>
   vermem litmus
 
 Traces use the vermem text format; pass '-' to read stdin.
 --jobs N verifies addresses on N worker threads (0 or default: all cores);
 the verdict is deterministic and identical at every thread count.
+--prune SPEC selects the verdict-preserving search prunings: 'all'
+(default), 'none', or a comma-separated subset of
+windows,symmetry,nogoods (e.g. --prune=windows,nogoods).
 --metrics appends the unified run report (text, or JSON with
 --metrics=json); --trace-out FILE writes a Chrome trace-event JSON file
 loadable in chrome://tracing or https://ui.perfetto.dev.
@@ -295,8 +299,21 @@ fn parse_strategy(args: &Args) -> Result<Strategy, CliError> {
     })
 }
 
+/// Parse `--prune` into a [`PruneConfig`] (default: all prunings on).
+fn parse_prune(args: &Args) -> Result<PruneConfig, CliError> {
+    PruneConfig::parse(args.flag("prune").unwrap_or("all")).map_err(err)
+}
+
 fn cmd_verify(args: &Args, stdin: &str) -> Result<String, CliError> {
-    args.expect_flags(&["addr", "strategy", "budget", "jobs", "metrics", "trace-out"])?;
+    args.expect_flags(&[
+        "addr",
+        "strategy",
+        "budget",
+        "jobs",
+        "prune",
+        "metrics",
+        "trace-out",
+    ])?;
     let session = ObsSession::start(args)?;
     let trace = load_trace(args, stdin)?;
     let budget = args.num::<u64>("budget", 0)?;
@@ -305,6 +322,7 @@ fn cmd_verify(args: &Args, stdin: &str) -> Result<String, CliError> {
         strategy: parse_strategy(args)?,
         search: SearchConfig {
             max_states: (budget > 0).then_some(budget),
+            prune: parse_prune(args)?,
             ..Default::default()
         },
     };
@@ -554,6 +572,7 @@ fn cmd_sim(args: &Args) -> Result<String, CliError> {
         "verify",
         "online",
         "jobs",
+        "prune",
         "metrics",
         "trace-out",
     ])?;
@@ -600,11 +619,14 @@ fn cmd_sim(args: &Args) -> Result<String, CliError> {
     run.push_section(cap.stats.to_report());
     if args.has("verify") {
         let jobs = args.num::<usize>("jobs", 0)?; // 0 = available_parallelism
-        let report = vermem_coherence::verify_execution_par(
-            &cap.trace,
-            &vermem_coherence::VmcVerifier::new(),
-            jobs,
-        );
+        let verifier = VmcVerifier {
+            search: SearchConfig {
+                prune: parse_prune(args)?,
+                ..Default::default()
+            },
+            ..VmcVerifier::new()
+        };
+        let report = vermem_coherence::verify_execution_par(&cap.trace, &verifier, jobs);
         let _ = writeln!(
             out,
             "# verification: {} ({} addresses, {} jobs)",
@@ -777,6 +799,74 @@ mod tests {
             assert!(out.contains("VIOLATION"), "jobs {jobs}");
             assert!(out.contains("NOT coherent"), "jobs {jobs}");
         }
+    }
+
+    #[test]
+    fn verify_prune_configs_agree() {
+        let trace = run_ok(&["gen", "--procs", "3", "--ops", "60", "--addrs", "2"], "");
+        let strip = |s: &str| -> String {
+            s.lines()
+                .filter(|l| !l.starts_with('#'))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let baseline = run_ok(&["verify", "-"], &trace);
+        for spec in ["all", "none", "windows", "symmetry,nogoods"] {
+            let out = run_ok(&["verify", "-", &format!("--prune={spec}")], &trace);
+            assert_eq!(strip(&out), strip(&baseline), "prune {spec}");
+        }
+        // Verdict parity on a violating trace too.
+        for spec in ["all", "none", "windows,symmetry,nogoods"] {
+            let out = run_ok(&["verify", "-", &format!("--prune={spec}")], VIOLATING);
+            assert!(out.contains("NOT coherent"), "prune {spec}");
+        }
+    }
+
+    #[test]
+    fn verify_prune_rejects_unknown_technique() {
+        for spec in ["bogus", "windows,bogus", ""] {
+            let e = run(
+                &["verify".into(), "-".into(), format!("--prune={spec}")],
+                COHERENT,
+            )
+            .expect_err(&format!("--prune={spec} should fail"));
+            assert!(e.0.contains("prune"), "{spec}: {}", e.0);
+        }
+    }
+
+    #[test]
+    fn verify_metrics_include_prune_counters() {
+        let out = run_ok(&["verify", "-", "--metrics"], CONTENDED);
+        for field in ["window_prunes=", "symmetry_prunes=", "nogood_hits="] {
+            assert!(out.contains(field), "expected {field} in:\n{out}");
+        }
+        // Inline `# search:` line carries them even without --metrics.
+        let out = run_ok(&["verify", "-"], CONTENDED);
+        assert!(out.contains("window_prunes="), "inline report:\n{out}");
+    }
+
+    #[test]
+    fn sim_verify_accepts_prune() {
+        for spec in ["all", "none"] {
+            let out = run_ok(
+                &[
+                    "sim",
+                    "--cpus",
+                    "3",
+                    "--instrs",
+                    "30",
+                    "--verify",
+                    &format!("--prune={spec}"),
+                ],
+                "",
+            );
+            assert!(out.contains("# verification: coherent"), "prune {spec}");
+        }
+        assert!(run(
+            &["sim".into(), "--verify".into(), "--prune=bogus".into()],
+            ""
+        )
+        .is_err());
     }
 
     #[test]

@@ -34,10 +34,106 @@
 //!   dense `u32` id, and re-probes hash only `(id, value)`.
 
 use crate::verdict::{Verdict, Violation, ViolationKind};
+use crate::windows::{self, WindowOutcome, WindowTable};
 use std::collections::HashSet;
 use vermem_trace::{Addr, AddrOps, Op, OpRef, Schedule, Trace, Value};
 use vermem_util::hash::{FxHashMap, FxHashSet};
 use vermem_util::obs;
+
+/// Which inference-driven prunings the exact search applies. All three
+/// are *admissible*: they shrink the explored tree but provably never
+/// change the verdict (soundness arguments in DESIGN.md §4b), so each is
+/// independently switchable for ablation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PruneConfig {
+    /// Feasibility-interval propagation ([`crate::windows`]): a polynomial
+    /// pre-pass that can fast-reject (emptied serving window / must-precede
+    /// cycle / RMW pigeonhole), fast-accept (acyclic forced serving order
+    /// that simulates coherent), and otherwise leaves per-op position
+    /// windows that prune DFS branches scheduling an op outside them.
+    pub windows: bool,
+    /// Value-symmetry breaking: branch-time canonicalization of moves whose
+    /// remaining program-order suffixes are identical (interchangeable
+    /// processes) — only the lowest-numbered process branches.
+    pub symmetry: bool,
+    /// Conflict-driven nogood learning: refuted `(frontier, value)` states
+    /// are recorded under a process-identity-erased canonical key, so the
+    /// refutation also prunes every permuted twin state (a strict
+    /// generalization of the exact-state memo table).
+    pub nogoods: bool,
+}
+
+impl Default for PruneConfig {
+    fn default() -> Self {
+        PruneConfig::all()
+    }
+}
+
+impl PruneConfig {
+    /// All three techniques enabled (the default).
+    pub fn all() -> Self {
+        PruneConfig {
+            windows: true,
+            symmetry: true,
+            nogoods: true,
+        }
+    }
+
+    /// Every technique disabled — the PR-2 baseline search.
+    pub fn none() -> Self {
+        PruneConfig {
+            windows: false,
+            symmetry: false,
+            nogoods: false,
+        }
+    }
+
+    /// Parse a CLI spec: `all`, `none`, or a comma-separated subset of
+    /// `windows`, `symmetry`, `nogoods` (e.g. `windows,nogoods`).
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        match spec {
+            "all" => return Ok(Self::all()),
+            "none" => return Ok(Self::none()),
+            _ => {}
+        }
+        let mut cfg = Self::none();
+        for part in spec.split(',') {
+            match part.trim() {
+                "windows" => cfg.windows = true,
+                "symmetry" => cfg.symmetry = true,
+                "nogoods" => cfg.nogoods = true,
+                other => {
+                    return Err(format!(
+                        "unknown prune technique '{other}' (expected all, none, \
+                         or a comma-separated subset of windows/symmetry/nogoods)"
+                    ))
+                }
+            }
+        }
+        Ok(cfg)
+    }
+
+    /// Canonical spec string (`all`, `none`, or the comma-joined subset).
+    pub fn spec(&self) -> String {
+        match (self.windows, self.symmetry, self.nogoods) {
+            (true, true, true) => "all".into(),
+            (false, false, false) => "none".into(),
+            _ => {
+                let mut parts = Vec::new();
+                if self.windows {
+                    parts.push("windows");
+                }
+                if self.symmetry {
+                    parts.push("symmetry");
+                }
+                if self.nogoods {
+                    parts.push("nogoods");
+                }
+                parts.join(",")
+            }
+        }
+    }
+}
 
 /// Budget and ablation knobs for the exact search. The optimization
 /// switches exist for the ablation benchmarks (`bench/benches/ablation.rs`)
@@ -60,6 +156,8 @@ pub struct SearchConfig {
     /// `(Vec<u32>, Value)`, one heap allocation per probe) instead of the
     /// packed/interned Fx representation. Ablation knob only.
     pub legacy_memo_keys: bool,
+    /// Inference-driven pruning techniques (PR 4). Defaults to all on.
+    pub prune: PruneConfig,
 }
 
 impl Default for SearchConfig {
@@ -70,6 +168,7 @@ impl Default for SearchConfig {
             greedy_absorption: true,
             hot_move_ordering: true,
             legacy_memo_keys: false,
+            prune: PruneConfig::all(),
         }
     }
 }
@@ -93,6 +192,17 @@ pub struct SearchStats {
     /// equals `states` when memoization is on; both stay 0 when it is
     /// off.
     pub memo_misses: u64,
+    /// Branches skipped (or whole instances fast-rejected) by
+    /// feasibility-interval propagation ([`PruneConfig::windows`]).
+    pub window_prunes: u64,
+    /// Branches skipped by value-symmetry canonicalization
+    /// ([`PruneConfig::symmetry`]).
+    pub symmetry_prunes: u64,
+    /// States refuted by a learned nogood that was *not* an exact memo
+    /// repeat ([`PruneConfig::nogoods`]).
+    pub nogood_hits: u64,
+    /// Nogoods recorded from refuted subtrees.
+    pub nogoods_learned: u64,
 }
 
 impl SearchStats {
@@ -103,6 +213,10 @@ impl SearchStats {
         self.branches += other.branches;
         self.memo_hits += other.memo_hits;
         self.memo_misses += other.memo_misses;
+        self.window_prunes += other.window_prunes;
+        self.symmetry_prunes += other.symmetry_prunes;
+        self.nogood_hits += other.nogood_hits;
+        self.nogoods_learned += other.nogoods_learned;
     }
 
     /// Render as a `search` section of the unified run report (the one
@@ -113,6 +227,10 @@ impl SearchStats {
             .with("branches", self.branches)
             .with("memo_hits", self.memo_hits)
             .with("memo_misses", self.memo_misses)
+            .with("window_prunes", self.window_prunes)
+            .with("symmetry_prunes", self.symmetry_prunes)
+            .with("nogood_hits", self.nogood_hits)
+            .with("nogoods_learned", self.nogoods_learned)
     }
 }
 
@@ -197,6 +315,39 @@ pub fn solve_backtracking_ops_with_stats(
         return (Verdict::Incoherent(v), stats);
     }
 
+    // Feasibility-interval propagation (PR 4, technique 1): a polynomial
+    // pre-pass that can decide the instance outright, and otherwise leaves
+    // per-op position windows for DFS branch pruning.
+    let mut window_table: Option<WindowTable> = None;
+    if cfg.prune.windows {
+        match windows::analyze(ops) {
+            WindowOutcome::Infeasible => {
+                // Equivalent to exhausting the search without a witness:
+                // report the same violation kind for first-violation parity
+                // with the unpruned engine.
+                stats.window_prunes = 1;
+                if obs::enabled() {
+                    obs::counter_add("search.window.prunes", stats.window_prunes);
+                    obs::counter_add("search.window.fast_reject", 1);
+                }
+                return (
+                    Verdict::Incoherent(Violation {
+                        addr: ops.addr(),
+                        kind: ViolationKind::SearchExhausted,
+                    }),
+                    stats,
+                );
+            }
+            WindowOutcome::Schedule(s) => {
+                if obs::enabled() {
+                    obs::counter_add("search.window.fast_accept", 1);
+                }
+                return (Verdict::Coherent(Schedule::from_refs(s)), stats);
+            }
+            WindowOutcome::Table(t) => window_table = Some(t),
+        }
+    }
+
     let per_proc = ops.per_proc();
     let total = ops.num_ops();
     let initial = ops.initial();
@@ -208,6 +359,24 @@ pub fn solve_backtracking_ops_with_stats(
         .map(|(&v, &c)| (v, c as u32))
         .collect();
 
+    // Hash-consed program-order suffix classes (computed only when a
+    // technique that consumes them is on): two `(proc, index)` positions
+    // share a class iff the op sequences from there to the end of their
+    // histories are identical. Class at index 0 is the *full-history*
+    // class used by nogood canonicalization.
+    let suffix_class = if cfg.prune.symmetry || cfg.prune.nogoods {
+        suffix_classes(per_proc)
+    } else {
+        Vec::new()
+    };
+    // Nogood learning only pays (and is only distinct from the memo table)
+    // when at least two processes have identical full histories.
+    let has_twins = cfg.prune.nogoods && {
+        let mut roots: Vec<u32> = suffix_class.iter().map(|c| c[0]).collect();
+        roots.sort_unstable();
+        roots.windows(2).any(|w| w[0] == w[1])
+    };
+
     let mut search = Search {
         per_proc,
         total,
@@ -217,6 +386,12 @@ pub fn solve_backtracking_ops_with_stats(
         cfg: *cfg,
         stats: &mut stats,
         budget_hit: false,
+        window: window_table,
+        suffix_class,
+        has_twins,
+        nogoods: FxHashSet::default(),
+        nogood_scratch: Vec::new(),
+        class_scratch: Vec::new(),
         // Decide once per solve: a local depth histogram only when
         // observability is recording, so the disabled hot path carries
         // no `Option` update at all (the `if let` never matches).
@@ -245,6 +420,10 @@ pub fn solve_backtracking_ops_with_stats(
         obs::counter_add("search.branches", stats.branches);
         obs::counter_add("search.memo.hits", stats.memo_hits);
         obs::counter_add("search.memo.misses", stats.memo_misses);
+        obs::counter_add("search.window.prunes", stats.window_prunes);
+        obs::counter_add("search.symmetry.prunes", stats.symmetry_prunes);
+        obs::counter_add("search.nogood.hits", stats.nogood_hits);
+        obs::counter_add("search.nogood.learned", stats.nogoods_learned);
         obs::counter_add(&format!("search.memo.keys.{memo_key_kind}"), 1);
         if let Some(h) = &depth_hist {
             obs::merge_histogram("search.depth", h);
@@ -326,6 +505,34 @@ impl Visited {
     }
 }
 
+/// Hash-cons program-order suffixes from the back: `out[p][j]` is the
+/// class id of the op sequence `per_proc[p][j..]`, with `0` reserved for
+/// the empty suffix. Equal ids ⇔ identical remaining op sequences.
+fn suffix_classes(per_proc: &[Vec<(OpRef, Op)>]) -> Vec<Vec<u32>> {
+    let mut intern: FxHashMap<(Op, u32), u32> = FxHashMap::default();
+    let mut next = 1u32;
+    per_proc
+        .iter()
+        .map(|h| {
+            let mut cls = vec![0u32; h.len() + 1];
+            for j in (0..h.len()).rev() {
+                let key = (h[j].1, cls[j + 1]);
+                let id = match intern.get(&key) {
+                    Some(&id) => id,
+                    None => {
+                        let id = next;
+                        next += 1;
+                        intern.insert(key, id);
+                        id
+                    }
+                };
+                cls[j] = id;
+            }
+            cls
+        })
+        .collect()
+}
+
 struct Search<'a> {
     per_proc: &'a [Vec<(OpRef, Op)>],
     total: usize,
@@ -335,6 +542,26 @@ struct Search<'a> {
     cfg: SearchConfig,
     stats: &'a mut SearchStats,
     budget_hit: bool,
+    /// Surviving feasibility windows from [`crate::windows::analyze`]
+    /// (`None` when the technique is off or the pre-pass was skipped).
+    window: Option<WindowTable>,
+    /// Program-order suffix classes (see [`suffix_classes`]); empty when
+    /// neither symmetry breaking nor nogood learning is on.
+    suffix_class: Vec<Vec<u32>>,
+    /// True iff nogood learning is on *and* at least two processes have
+    /// identical full histories (otherwise the canonical key is a
+    /// bijection of the memo key and the table would only duplicate it).
+    has_twins: bool,
+    /// Learned nogoods: canonical keys of refuted `(frontier, value)`
+    /// states. The key erases process identity — the sorted multiset of
+    /// per-process `(full-history class, frontier position)` pairs with
+    /// the current value appended — so one refutation prunes every state
+    /// reachable by permuting identical-history processes.
+    nogoods: FxHashSet<Box<[u64]>>,
+    /// Key-construction scratch (probe allocates nothing).
+    nogood_scratch: Vec<u64>,
+    /// Branch-time symmetry dedup scratch.
+    class_scratch: Vec<u32>,
     /// `Some` only while observability is enabled: per-state schedule
     /// depths, batch-merged into the registry at solve end.
     depth_hist: Option<obs::Histogram>,
@@ -428,6 +655,24 @@ impl Search<'_> {
             }
         }
 
+        // Nogood probe (PR 4, technique 3): the canonical key erases
+        // process identity, so a hit means some permuted twin of this
+        // state was already refuted — and the instance is invariant under
+        // permutations of identical-history processes, so this state is
+        // refuted too. Probed after the memo insert so the
+        // `memo_misses == states` invariant is unchanged.
+        if self.has_twins {
+            let mut key = std::mem::take(&mut self.nogood_scratch);
+            build_nogood_key(&mut key, &self.suffix_class, frontier, current);
+            let hit = self.nogoods.contains(key.as_slice());
+            self.nogood_scratch = key;
+            if hit {
+                self.stats.nogood_hits += 1;
+                undo(self, frontier);
+                return false;
+            }
+        }
+
         // Collect write-capable moves, preferring writes whose value some
         // blocked read is waiting for.
         let mut demanded: FxHashSet<Value> = FxHashSet::default();
@@ -456,12 +701,47 @@ impl Search<'_> {
                 }
             }
         }
+        // Value-symmetry breaking (PR 4, technique 2): moves whose
+        // processes have identical remaining suffixes are interchangeable
+        // — a coherent completion taking one exists iff one taking the
+        // other does (role-swap of the identical suffixes) — so only the
+        // first (lowest process id) branches. Done before the hot sort,
+        // which is stable and cannot separate equal-suffix moves (equal
+        // suffix ⇒ equal op ⇒ equal hotness).
+        if self.cfg.prune.symmetry && moves.len() > 1 {
+            let mut seen = std::mem::take(&mut self.class_scratch);
+            seen.clear();
+            let mut pruned = 0u64;
+            moves.retain(|&(_, p, _, _)| {
+                let sc = self.suffix_class[p][frontier[p] as usize];
+                if seen.contains(&sc) {
+                    pruned += 1;
+                    false
+                } else {
+                    seen.push(sc);
+                    true
+                }
+            });
+            self.class_scratch = seen;
+            self.stats.symmetry_prunes += pruned;
+        }
+
         // Hot moves first.
         if self.cfg.hot_move_ordering {
             moves.sort_by_key(|&(hot, ..)| std::cmp::Reverse(hot));
         }
 
         for (_, p, r, op) in moves {
+            // Window prune (PR 4, technique 1): the op would occupy
+            // schedule position `len`; if its propagated feasibility
+            // window excludes that position, no coherent schedule places
+            // it there and the branch is dead.
+            if let Some(w) = &self.window {
+                if !w.allows(p, frontier[p], self.schedule.len()) {
+                    self.stats.window_prunes += 1;
+                    continue;
+                }
+            }
             self.stats.branches += 1;
             let saved = current;
             self.schedule.push(r);
@@ -483,9 +763,35 @@ impl Search<'_> {
             self.schedule.pop();
         }
 
+        // Every move failed: this `(frontier, value)` state is refuted.
+        // Learn its canonical projection as a nogood — unless a budget
+        // exhaustion anywhere below makes "failed" mean "gave up".
+        if self.has_twins && !self.budget_hit {
+            let mut key = std::mem::take(&mut self.nogood_scratch);
+            build_nogood_key(&mut key, &self.suffix_class, frontier, current);
+            if self.nogoods.insert(key.clone().into_boxed_slice()) {
+                self.stats.nogoods_learned += 1;
+            }
+            self.nogood_scratch = key;
+        }
+
         undo(self, frontier);
         false
     }
+}
+
+/// Canonical nogood key of a post-absorption search state: the sorted
+/// multiset of per-process `(full-history class << 32) | frontier` words,
+/// with the current value appended. Sorting erases process identity, which
+/// is exactly the invariance the instance has under permutations of
+/// identical-history processes.
+fn build_nogood_key(key: &mut Vec<u64>, suffix_class: &[Vec<u32>], frontier: &[u32], value: Value) {
+    key.clear();
+    for (p, &f) in frontier.iter().enumerate() {
+        key.push((u64::from(suffix_class[p][0]) << 32) | u64::from(f));
+    }
+    key.sort_unstable();
+    key.push(value.0);
 }
 
 #[cfg(test)]
@@ -669,11 +975,28 @@ mod tests {
                 ..Default::default()
             },
             SearchConfig {
+                prune: PruneConfig::none(),
+                ..Default::default()
+            },
+            SearchConfig {
+                prune: PruneConfig::parse("windows").unwrap(),
+                ..Default::default()
+            },
+            SearchConfig {
+                prune: PruneConfig::parse("symmetry").unwrap(),
+                ..Default::default()
+            },
+            SearchConfig {
+                prune: PruneConfig::parse("nogoods").unwrap(),
+                ..Default::default()
+            },
+            SearchConfig {
                 memoize: false,
                 greedy_absorption: false,
                 hot_move_ordering: false,
                 legacy_memo_keys: false,
                 max_states: None,
+                prune: PruneConfig::none(),
             },
         ];
         for seed in 0..60u64 {

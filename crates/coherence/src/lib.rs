@@ -37,9 +37,12 @@ pub mod readmap;
 pub mod rmw;
 pub mod sat_encode;
 mod verdict;
+pub mod windows;
 pub mod write_order;
 
-pub use backtrack::{solve_backtracking, solve_backtracking_with_stats, SearchConfig, SearchStats};
+pub use backtrack::{
+    solve_backtracking, solve_backtracking_with_stats, PruneConfig, SearchConfig, SearchStats,
+};
 pub use explain::{minimize_incoherent_core, ExplainConfig, MinimalCore};
 pub use online::{OnlineCause, OnlineVerifier, OnlineViolation};
 pub use par::{verify_execution_par, ExecutionReport};

@@ -143,8 +143,12 @@ pub fn probe_open_cell(
     samples: u64,
     seed: u64,
 ) -> (u64, usize, usize) {
+    // Pruning off: the probe's evidence is the difficulty of the *naive*
+    // exact search in each open cell (rapid growth hints at hardness); the
+    // PR-4 inference layer would mask exactly the signal being probed.
     let cfg = SearchConfig {
         max_states: Some(PROBE_STATE_CAP),
+        prune: crate::backtrack::PruneConfig::none(),
         ..Default::default()
     };
     let mut max_states = 0u64;

@@ -46,6 +46,25 @@ impl AddrOps {
         }
     }
 
+    /// As [`AddrOps::empty`], with each per-process list pre-sized to an
+    /// exact capacity (the [`AddrIndex::build`] counting pass), so filling
+    /// it never reallocates.
+    fn with_capacities(trace: &Trace, addr: Addr, caps: &[u32]) -> AddrOps {
+        debug_assert_eq!(caps.len(), trace.num_procs());
+        AddrOps {
+            addr,
+            initial: trace.initial(addr),
+            final_value: trace.final_value(addr),
+            per_proc: caps
+                .iter()
+                .map(|&c| Vec::with_capacity(c as usize))
+                .collect(),
+            write_counts: BTreeMap::new(),
+            num_ops: 0,
+            rmw_ops: 0,
+        }
+    }
+
     fn push(&mut self, r: OpRef, op: Op) {
         debug_assert_eq!(op.addr(), self.addr);
         self.per_proc[r.proc.0 as usize].push((r, op));
@@ -153,17 +172,42 @@ pub struct AddrIndex {
 }
 
 impl AddrIndex {
-    /// Index every address of `trace` in one O(ops + addrs·procs) pass.
-    /// The address set and order match [`Trace::addresses`] exactly.
+    /// Index every address of `trace` in O(ops + addrs·procs). The address
+    /// set and order match [`Trace::addresses`] exactly.
+    ///
+    /// Two passes, zero reallocation: the first pass only *counts* ops per
+    /// `(address, process)` into one flat buffer, the second fills
+    /// exact-capacity per-process vectors. The historical single-pass
+    /// build grew every per-process `Vec` by doubling, so large traces
+    /// paid O(ops) redundant element moves plus one realloc chain per
+    /// `(address, process)` pair; now every element is written exactly
+    /// once into its final slot (measured in `bench/benches/
+    /// sim_pipeline.rs`, `sim/addr-index`).
     pub fn build(trace: &Trace) -> AddrIndex {
+        let procs = trace.num_procs();
         let mut slot: std::collections::HashMap<Addr, usize> = std::collections::HashMap::new();
-        let mut entries: Vec<AddrOps> = Vec::new();
+        // Discovery order of addresses; `counts[slot * procs + p]` is the
+        // number of ops of process `p` at that address.
+        let mut discovered: Vec<Addr> = Vec::new();
+        let mut counts: Vec<u32> = Vec::new();
         for (r, op) in trace.iter_ops() {
             let addr = op.addr();
             let i = *slot.entry(addr).or_insert_with(|| {
-                entries.push(AddrOps::empty(trace, addr));
-                entries.len() - 1
+                discovered.push(addr);
+                counts.resize(counts.len() + procs, 0);
+                discovered.len() - 1
             });
+            counts[i * procs + r.proc.0 as usize] += 1;
+        }
+        let mut entries: Vec<AddrOps> = discovered
+            .iter()
+            .enumerate()
+            .map(|(i, &addr)| {
+                AddrOps::with_capacities(trace, addr, &counts[i * procs..(i + 1) * procs])
+            })
+            .collect();
+        for (r, op) in trace.iter_ops() {
+            let i = slot[&op.addr()];
             entries[i].push(r, op);
         }
         entries.sort_unstable_by_key(AddrOps::addr);

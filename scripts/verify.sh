@@ -70,24 +70,74 @@ tmp=$(mktemp -d)
     VERMEM_BENCH_FAST=1 \
         "$OLDPWD/target/release/experiments" --json > /dev/null
 )
-python3 - "$tmp/BENCH_vmc.json" <<'EOF'
+python3 - "$tmp/BENCH_vmc.json" "BENCH_vmc.json" <<'EOF'
 import json, sys
 d = json.load(open(sys.argv[1]))
-assert d["schema"] == "vermem-bench-vmc/v2", d["schema"]
-assert d["par_verify"] and d["memo_ablation"], "empty receipts"
+assert d["schema"] == "vermem-bench-vmc/v3", d["schema"]
+assert d["par_verify"] and d["memo_ablation"] and d["prune_ablation"], \
+    "empty receipts"
+host = d["host_parallelism"]
+assert host >= 1, host
 for case in d["par_verify"]:
+    # Bench honesty (PR-4): every case records host parallelism; every
+    # ladder point above it is flagged overhead-only.
+    assert case["host_parallelism"] == host, case
     jobs = [p["jobs"] for p in case["points"]]
     assert jobs[0] == 1 and len(jobs) >= 3, jobs
     for p in case["points"]:
         assert p["median_secs"] > 0 and p["ops_per_sec"] > 0
+        assert p["overhead_only"] == (p["jobs"] > host), p
 for row in d["memo_ablation"]:
     assert row["memo_hits"] >= 0 and row["memo_misses"] > 0, row
     assert row["states"] == row["memo_misses"], \
         "every visited state is a memo miss: %r" % row
+
+# E-PRUNE shape: 5 configs per case, prune counters present, and within
+# each case every pruned config explores at most the baseline's states.
+prune = d["prune_ablation"]
+by_case = {}
+for row in prune:
+    for k in ("states", "window_prunes", "symmetry_prunes",
+              "nogood_hits", "nogoods_learned"):
+        assert row[k] >= 0, row
+    by_case.setdefault(row["case"], {})[row["config"]] = row
+for case, rows in by_case.items():
+    assert set(rows) == {"none", "windows", "symmetry", "nogoods", "all"}, \
+        (case, sorted(rows))
+    base = rows["none"]["states"]
+    for cfg, row in rows.items():
+        assert row["states"] <= base, \
+            f"{case}/{cfg}: pruning grew the search ({row['states']} > {base})"
+
+# Headline claim: on the §5.2 blow-up instance, --prune=all shrinks
+# memo_misses (== states explored) by at least 5x vs --prune=none.
+e52 = by_case["e5.2-overcons"]
+ratio = e52["none"]["memo_misses"] / max(e52["all"]["memo_misses"], 1)
+assert ratio >= 5.0, f"e5.2 prune ratio regressed to {ratio:.1f}x (< 5x)"
+
+# Non-regression against the committed receipt: a decided pruned row must
+# not explore more states than the committed run plus 5% slack (decided
+# rows are cap-independent, so fast/full receipts are comparable).
+committed = json.load(open(sys.argv[2]))
+if committed.get("schema") == "vermem-bench-vmc/v3":
+    comm_by_case = {}
+    for row in committed["prune_ablation"]:
+        comm_by_case.setdefault(row["case"], {})[row["config"]] = row
+    for case, rows in by_case.items():
+        for cfg, row in rows.items():
+            old = comm_by_case.get(case, {}).get(cfg)
+            if old is None or row["verdict"] == "capped" \
+               or old["verdict"] == "capped":
+                continue
+            limit = old["states"] * 1.05
+            assert row["states"] <= limit, \
+                f"{case}/{cfg}: states regressed {old['states']} -> {row['states']}"
+
 obs = d["obs_overhead"]
 assert obs["median_secs_disabled"] > 0 and obs["median_secs_enabled"] > 0, obs
 print(f"    ok ({len(d['par_verify'])} par cases, "
-      f"{len(d['memo_ablation'])} ablation rows, "
+      f"{len(d['memo_ablation'])} memo rows, {len(prune)} prune rows, "
+      f"e5.2 prune ratio {ratio:.0f}x, "
       f"obs overhead {obs['enabled_overhead_pct']:+.2f}%)")
 EOF
 rm -rf "$tmp"
