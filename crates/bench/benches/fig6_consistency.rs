@@ -7,7 +7,8 @@ use std::hint::black_box;
 use vermem_coherence::ExecutionVerdict;
 use vermem_consistency::litmus::all_litmus_tests;
 use vermem_consistency::{
-    merge_coherent_schedules, solve_model_sat, solve_sc_backtracking, MemoryModel, VscConfig,
+    merge_coherent_schedules, solve_model_sat, solve_sc_backtracking, verify_model_operational,
+    KernelConfig, MemoryModel,
 };
 use vermem_reductions::{reduce_sat_to_lrc, reduce_sat_to_vscc};
 use vermem_sat::random::{gen_forced_sat, RandomSatConfig};
@@ -51,7 +52,7 @@ fn bench_vscc_stages(c: &mut Criterion) {
         let red = reduce_sat_to_vscc(&f);
         exact.bench_with_input(BenchmarkId::from_parameter(m), &red.trace, |b, t| {
             b.iter(|| {
-                assert!(solve_sc_backtracking(t, &VscConfig::default()).is_consistent());
+                assert!(solve_sc_backtracking(t, &KernelConfig::default()).is_consistent());
             });
         });
     }
@@ -93,5 +94,52 @@ fn bench_litmus(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_vscc_stages, bench_lrc, bench_litmus);
+/// The shared exact-search kernel across all three operational machines
+/// (SC / TSO / PSO), packed-or-interned memo keys against the legacy
+/// alloc-per-probe representation, on one contended generated workload.
+fn bench_model_kernel(c: &mut Criterion) {
+    use vermem_trace::gen::{gen_sc_trace, GenConfig};
+    let (trace, _) = gen_sc_trace(&GenConfig {
+        procs: 3,
+        total_ops: 24,
+        addrs: 2,
+        value_reuse: 0.6,
+        seed: 4242,
+        ..Default::default()
+    });
+    let configs = [
+        ("kernel", KernelConfig::default()),
+        (
+            "legacy-keys",
+            KernelConfig {
+                legacy_keys: true,
+                ..Default::default()
+            },
+        ),
+    ];
+    let mut g = c.benchmark_group("fig6/model-kernel");
+    for model in [MemoryModel::Sc, MemoryModel::Tso, MemoryModel::Pso] {
+        for (name, cfg) in &configs {
+            g.bench_with_input(
+                BenchmarkId::new(format!("{model}"), name),
+                &(&trace, cfg),
+                |b, (t, cfg)| {
+                    b.iter(|| {
+                        let (verdict, _) = verify_model_operational(t, model, cfg);
+                        assert!(verdict.is_consistent());
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_vscc_stages,
+    bench_lrc,
+    bench_litmus,
+    bench_model_kernel
+);
 criterion_main!(benches);

@@ -9,11 +9,13 @@
 //! cargo run --release -p vermem-bench --bin experiments -- --json # BENCH_vmc.json
 //! ```
 //!
-//! `--json` runs the E-PAR thread ladder, the memo-key ablation, and the
+//! `--json` runs the E-PAR thread ladder, the memo-key ablation, the
+//! E-KERNEL operational-machine ablation (SC/TSO/PSO on the shared
+//! exact-search kernel, packed/interned vs legacy memo keys), and the
 //! observability-overhead probe, and writes machine-readable receipts
 //! (per-case medians, op/s, speedup vs 1 thread, memo hit/miss counts,
-//! enabled-vs-disabled obs cost) to `BENCH_vmc.json` in the current
-//! directory. Set `VERMEM_BENCH_FAST=1` to shrink instance sizes and
+//! per-model key-allocation counts, enabled-vs-disabled obs cost) to
+//! `BENCH_vmc.json` in the current directory. Set `VERMEM_BENCH_FAST=1` to shrink instance sizes and
 //! repetitions for smoke-test runs.
 //!
 //! `--metrics` prints the unified run report (counters/gauges/histograms
@@ -28,7 +30,8 @@ use vermem_coherence::{
     solve_with_write_order, verify_execution_par, PruneConfig, SearchConfig, VmcVerifier,
 };
 use vermem_consistency::{
-    merge_coherent_schedules, solve_sc_backtracking, MergeOutcome, VscConfig,
+    merge_coherent_schedules, solve_sc_backtracking, verify_model_operational, KernelConfig,
+    MemoryModel, MergeOutcome,
 };
 use vermem_reductions::{
     example_fig_4_2, reduce_3sat_restricted, reduce_3sat_rmw, reduce_sat_to_lrc, reduce_sat_to_vmc,
@@ -129,6 +132,10 @@ fn main() {
     if filter == "eprune" {
         // Included in `epar`'s receipt run; also runnable standalone.
         e_prune();
+    }
+    if filter == "ekernel" {
+        // Included in `epar`'s receipt run; also runnable standalone.
+        e_kernel();
     }
 
     if obs_on {
@@ -521,7 +528,7 @@ fn e6_2_vscc() {
         let sat = solve_cdcl(&f).is_sat();
         let red = reduce_sat_to_vscc(&f);
         let coherent = vermem_coherence::verify_execution(&red.trace).is_coherent();
-        let sc = solve_sc_backtracking(&red.trace, &VscConfig::default()).is_consistent();
+        let sc = solve_sc_backtracking(&red.trace, &KernelConfig::default()).is_consistent();
         println!(
             "{:>4} {:>6} {:>6} {:>10} {:>10} {:>10} {:>8}",
             m,
@@ -562,7 +569,7 @@ fn e_vscc_hardness() {
             MergeOutcome::Merged(_)
         );
         let t1 = Instant::now();
-        let _ = solve_sc_backtracking(&red.trace, &VscConfig::default());
+        let _ = solve_sc_backtracking(&red.trace, &KernelConfig::default());
         let vsc_us = t1.elapsed().as_secs_f64() * 1e6;
         println!(
             "{m:>4} {:>8} {coh_us:>16.1} {vsc_us:>16.1} {merged:>10}",
@@ -720,6 +727,21 @@ struct PruneRow {
     verdict: &'static str,
 }
 
+/// One row of the E-KERNEL ablation: an operational consistency machine
+/// (SC / TSO / PSO) on the shared exact-search kernel, timed under the
+/// packed/interned memo keys and under the legacy alloc-per-probe
+/// representation, with the key-allocation count recorded for each.
+struct ModelKernelRow {
+    model: &'static str,
+    case: String,
+    config: &'static str,
+    secs: f64,
+    states: u64,
+    memo_misses: u64,
+    key_allocs: u64,
+    verdict: &'static str,
+}
+
 /// Enabled-vs-disabled cost of the observability layer on a state-capped
 /// E-5.2 blow-up instance (every state records into the depth histogram
 /// when enabled, so this is the worst case for the hot path).
@@ -820,6 +842,10 @@ fn e_par_scaling(write_json: bool) {
     println!("\nE-PRUNE inference-layer ablation (single thread, same instances):");
     print_prune_table(&prune);
 
+    let model_kernel = model_kernel_ablation(reps, fast);
+    println!("\nE-KERNEL operational machines on the shared kernel (memo-key ablation):");
+    print_model_kernel_table(&model_kernel);
+
     let obs = obs_overhead_probe(reps, fast);
     println!(
         "\nobservability overhead ({}): disabled {:.3} ms, enabled {:.3} ms ({:+.2}%)",
@@ -831,10 +857,158 @@ fn e_par_scaling(write_json: bool) {
 
     if write_json {
         let path = "BENCH_vmc.json";
-        std::fs::write(path, bench_json(host, &cases, &memo, &prune, &obs))
-            .expect("write BENCH_vmc.json");
+        std::fs::write(
+            path,
+            bench_json(host, &cases, &memo, &prune, &model_kernel, &obs),
+        )
+        .expect("write BENCH_vmc.json");
         println!("\nwrote {path}");
     }
+}
+
+/// E-KERNEL: the VSC / TSO / PSO operational machines all run on the shared
+/// exact-search kernel; this ablation times each against the legacy
+/// SipHash'd `Vec<u64>` memo keys on contended generated workloads. Both
+/// key representations memoize the same state set, so states (and verdicts)
+/// must be identical per (model, case); the kernel path must never allocate
+/// *more* key storage than the legacy alloc-per-probe path.
+fn model_kernel_ablation(reps: usize, fast: bool) -> Vec<ModelKernelRow> {
+    let ops = if fast { 16 } else { 48 };
+    let instances: [(String, Trace); 2] = [
+        (
+            // Multi-address workload: memo keys exceed two words, so the
+            // kernel tier interns them (one allocation per *fresh* state).
+            format!("gen-3p-{ops}ops-2addrs"),
+            gen_sc_trace(&GenConfig {
+                procs: 3,
+                total_ops: ops,
+                addrs: 2,
+                value_reuse: 0.6,
+                seed: 4242,
+                ..Default::default()
+            })
+            .0,
+        ),
+        (
+            // Single-address workload: SC keys fit two words and the fast
+            // memo tier allocates nothing at all.
+            format!("gen-3p-{ops}ops-1addr"),
+            gen_sc_trace(&GenConfig {
+                procs: 3,
+                total_ops: ops,
+                addrs: 1,
+                value_reuse: 0.7,
+                seed: 99,
+                ..Default::default()
+            })
+            .0,
+        ),
+    ];
+    let configs: [(&'static str, KernelConfig); 2] = [
+        ("kernel", KernelConfig::default()),
+        (
+            "legacy-keys",
+            KernelConfig {
+                legacy_keys: true,
+                ..Default::default()
+            },
+        ),
+    ];
+    let models: [MemoryModel; 3] = [MemoryModel::Sc, MemoryModel::Tso, MemoryModel::Pso];
+    let mut rows = Vec::new();
+    for (case, trace) in &instances {
+        for model in models {
+            let mut per_config: Vec<(u64, u64)> = Vec::new(); // (states, key_allocs)
+            for (name, cfg) in &configs {
+                // One instrumented run for stats + the key-alloc counter
+                // (delta of the global obs counter around the run).
+                let was = vermem_util::obs::enabled();
+                vermem_util::obs::set_enabled(true);
+                let allocs_before = key_alloc_counter();
+                let (verdict, stats) = verify_model_operational(trace, model, cfg);
+                let key_allocs = key_alloc_counter() - allocs_before;
+                vermem_util::obs::set_enabled(was);
+                if !was {
+                    vermem_util::obs::reset();
+                }
+                let verdict_str = if verdict.is_consistent() {
+                    "consistent"
+                } else if verdict.is_violating() {
+                    "violating"
+                } else {
+                    "unknown"
+                };
+                per_config.push((stats.states, key_allocs));
+                let secs = median_secs(reps, || {
+                    let _ = verify_model_operational(trace, model, cfg);
+                })
+                .max(1e-12);
+                rows.push(ModelKernelRow {
+                    model: model.name(),
+                    case: case.clone(),
+                    config: name,
+                    secs,
+                    states: stats.states,
+                    memo_misses: stats.memo_misses,
+                    key_allocs,
+                    verdict: verdict_str,
+                });
+            }
+            let [(kernel_states, kernel_allocs), (legacy_states, legacy_allocs)] = per_config[..]
+            else {
+                unreachable!("two configs per (model, case)");
+            };
+            assert_eq!(
+                kernel_states, legacy_states,
+                "{case}/{model}: memo representations must visit identical state sets"
+            );
+            assert!(
+                kernel_allocs <= legacy_allocs,
+                "{case}/{model}: kernel keys allocated more than legacy ({kernel_allocs} > {legacy_allocs})"
+            );
+        }
+    }
+    rows
+}
+
+/// Read the cumulative `kernel.memo.key_allocs` counter from the global
+/// observability registry (0 if never recorded).
+fn key_alloc_counter() -> u64 {
+    vermem_util::obs::snapshot()
+        .counters
+        .get("kernel.memo.key_allocs")
+        .copied()
+        .unwrap_or(0)
+}
+
+fn print_model_kernel_table(rows: &[ModelKernelRow]) {
+    println!(
+        "{:>22} {:>6} {:>12} {:>12} {:>9} {:>9} {:>10} {:>11}",
+        "case", "model", "config", "median (ms)", "states", "misses", "key allocs", "verdict"
+    );
+    for r in rows {
+        println!(
+            "{:>22} {:>6} {:>12} {:>12.3} {:>9} {:>9} {:>10} {:>11}",
+            r.case,
+            r.model,
+            r.config,
+            r.secs * 1e3,
+            r.states,
+            r.memo_misses,
+            r.key_allocs,
+            r.verdict
+        );
+    }
+}
+
+/// Console-only entry for the E-KERNEL ablation (`experiments ekernel`);
+/// the `--json` receipt run includes the same rows in BENCH_vmc.json.
+fn e_kernel() {
+    header("E-KERNEL  one exact-search kernel: SC/TSO/PSO memo-key ablation");
+    let fast = std::env::var("VERMEM_BENCH_FAST").is_ok();
+    let reps = if fast { 3 } else { 7 };
+    let rows = model_kernel_ablation(reps, fast);
+    print_model_kernel_table(&rows);
 }
 
 /// Measure the exact search on the E-5.2 over-constrained instance with the
@@ -1143,11 +1317,12 @@ fn bench_json(
     cases: &[ParCase],
     memo: &[MemoRow],
     prune: &[PruneRow],
+    model_kernel: &[ModelKernelRow],
     obs: &ObsOverhead,
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"vermem-bench-vmc/v3\",\n");
+    s.push_str("  \"schema\": \"vermem-bench-vmc/v4\",\n");
     s.push_str(&format!("  \"host_parallelism\": {host},\n"));
     s.push_str("  \"par_verify\": [\n");
     for (i, c) in cases.iter().enumerate() {
@@ -1207,6 +1382,21 @@ fn bench_json(
             r.verdict
         ));
         s.push_str(if i + 1 < prune.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"model_kernel\": [\n");
+    for (i, r) in model_kernel.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"model\": \"{}\", \"case\": \"{}\", \"config\": \"{}\", \
+             \"median_secs\": {:.9}, \"states\": {}, \"memo_misses\": {}, \
+             \"key_allocs\": {}, \"verdict\": \"{}\"}}",
+            r.model, r.case, r.config, r.secs, r.states, r.memo_misses, r.key_allocs, r.verdict
+        ));
+        s.push_str(if i + 1 < model_kernel.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
     }
     s.push_str("  ],\n");
     s.push_str(&format!(

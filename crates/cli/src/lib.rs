@@ -8,7 +8,8 @@
 //! vermem verify <trace> [--addr N] [--strategy auto|backtracking|sat] [--budget N] [--jobs N]
 //!               [--prune all|none|windows,symmetry,nogoods]
 //!               [--metrics[=json|text]] [--trace-out FILE]
-//! vermem sc <trace> [--model sc|tso|pso|coherence]
+//! vermem sc <trace> [--model sc|tso|pso|coherence] [--budget N]
+//!           [--metrics[=json|text]] [--trace-out FILE]
 //! vermem classify <trace>
 //! vermem explain <trace> [--addr N]
 //! vermem gen --procs N --ops N [--addrs N] [--seed N] [--rmw PCT] [--reuse PCT]
@@ -63,7 +64,8 @@ vermem — verify memory coherence and consistency of execution traces
 USAGE:
   vermem verify <trace> [--addr N] [--strategy auto|backtracking|sat] [--budget N]
                 [--jobs N] [--prune SPEC] [--metrics[=json|text]] [--trace-out FILE]
-  vermem sc <trace> [--model sc|tso|pso|coherence]
+  vermem sc <trace> [--model sc|tso|pso|coherence] [--budget N]
+            [--metrics[=json|text]] [--trace-out FILE]
   vermem classify <trace>
   vermem explain <trace> [--addr N]
   vermem gen --procs N --ops N [--addrs N] [--seed N] [--rmw PCT] [--reuse PCT]
@@ -414,7 +416,8 @@ fn cmd_verify(args: &Args, stdin: &str) -> Result<String, CliError> {
 }
 
 fn cmd_sc(args: &Args, stdin: &str) -> Result<String, CliError> {
-    args.expect_flags(&["model"])?;
+    args.expect_flags(&["model", "budget", "metrics", "trace-out"])?;
+    let session = ObsSession::start(args)?;
     let trace = load_trace(args, stdin)?;
     let model = match args.flag("model").unwrap_or("sc") {
         "sc" => MemoryModel::Sc,
@@ -423,18 +426,44 @@ fn cmd_sc(args: &Args, stdin: &str) -> Result<String, CliError> {
         "coherence" => MemoryModel::CoherenceOnly,
         other => return Err(err(format!("unknown model '{other}'"))),
     };
-    let verdict = vermem_consistency::verify_model(&trace, model);
+    let budget = args.num::<u64>("budget", 0)?;
+    let cfg = vermem_consistency::KernelConfig {
+        max_states: (budget > 0).then_some(budget),
+        ..Default::default()
+    };
+    let (verdict, stats) = vermem_consistency::verify_model_operational(&trace, model, &cfg);
     let mut out = String::new();
-    match verdict {
+    let consistent = match &verdict {
         vermem_consistency::ConsistencyVerdict::Consistent(s) => {
             let _ = writeln!(out, "{model}: consistent ({} ops serialized)", s.len());
+            true
         }
         vermem_consistency::ConsistencyVerdict::Violating(v) => {
             let _ = writeln!(out, "{model}: VIOLATION — {v}");
+            false
         }
-        vermem_consistency::ConsistencyVerdict::Unknown => {
-            let _ = writeln!(out, "{model}: unknown (budget exhausted)");
+        vermem_consistency::ConsistencyVerdict::Unknown { stats } => {
+            let _ = writeln!(
+                out,
+                "{model}: unknown (budget of {budget} states exhausted after {} states)",
+                stats.states
+            );
+            false
         }
+    };
+    // Same pretty-printer path as `verify`: the kernel's SearchStats
+    // rendered through the unified run-report section.
+    let _ = writeln!(out, "# {}", stats.to_report().to_inline());
+    if let Some(session) = session {
+        let mut run = RunReport::new();
+        run.push_section(
+            RunReportSection::new("sc")
+                .with("model", format!("{model}"))
+                .with("consistent", u64::from(consistent))
+                .with("budget", budget),
+        );
+        run.push_section(stats.to_report());
+        session.finish(&mut out, run)?;
     }
     Ok(out)
 }
@@ -876,6 +905,47 @@ mod tests {
         assert!(out.contains("VIOLATION"));
         let out = run_ok(&["sc", "-", "--model", "tso"], sb);
         assert!(out.contains("consistent"));
+    }
+
+    #[test]
+    fn sc_reports_search_stats_inline() {
+        // The kernel-backed engines render SearchStats through the same
+        // `# search:` pretty-printer path as `verify`.
+        let sb = "P0: W(0,1) R(1,0)\nP1: W(1,1) R(0,0)\n";
+        for model in ["sc", "tso", "pso"] {
+            let out = run_ok(&["sc", "-", "--model", model], sb);
+            assert!(out.contains("# search:"), "model {model}:\n{out}");
+            assert!(out.contains("states="), "model {model}:\n{out}");
+        }
+    }
+
+    #[test]
+    fn sc_budget_reports_unknown_with_progress() {
+        let contended =
+            "P0: W(0,1) W(1,1) R(2,0)\nP1: W(1,2) W(2,1) R(0,0)\nP2: W(2,2) W(0,2) R(1,0)\n";
+        let out = run_ok(&["sc", "-", "--model", "tso", "--budget", "1"], contended);
+        assert!(out.contains("unknown"), "{out}");
+        assert!(out.contains("states"), "{out}");
+    }
+
+    #[test]
+    fn sc_metrics_emit_run_report() {
+        let sb = "P0: W(0,1) R(1,0)\nP1: W(1,1) R(0,0)\n";
+        let out = run_ok(&["sc", "-", "--model", "pso", "--metrics"], sb);
+        assert!(out.contains("# sc:"), "{out}");
+        assert!(out.contains("model=PSO"), "{out}");
+        let json = run_ok(&["sc", "-", "--model", "sc", "--metrics=json"], sb);
+        assert!(json.contains("\"search\""), "{json}");
+    }
+
+    #[test]
+    fn sc_rejects_unknown_flags() {
+        let e = run(
+            &["sc".into(), "-".into(), "--jobs".into(), "2".into()],
+            "P0: W(0,1)\n",
+        )
+        .expect_err("--jobs is not an sc flag");
+        assert!(e.0.contains("unknown flag"), "{}", e.0);
     }
 
     #[test]

@@ -38,6 +38,7 @@ use crate::windows::{self, WindowOutcome, WindowTable};
 use std::collections::HashSet;
 use vermem_trace::{Addr, AddrOps, Op, OpRef, Schedule, Trace, Value};
 use vermem_util::hash::{FxHashMap, FxHashSet};
+use vermem_util::intern::SliceInterner;
 use vermem_util::obs;
 
 /// Which inference-driven prunings the exact search applies. All three
@@ -452,10 +453,12 @@ enum Visited {
     /// (byte per process). Zero allocations per probe.
     Packed(FxHashSet<(u64, Value)>),
     /// General shape: intern each distinct frontier once, probe by dense id.
-    /// Allocates only on first sight of a frontier.
+    /// Allocates only on first sight of a frontier (the shared
+    /// [`vermem_util::intern`] machinery, also under the model-agnostic
+    /// kernel of [`crate::kernel`]).
     Interned {
         /// Frontier → dense id.
-        ids: FxHashMap<Box<[u32]>, u32>,
+        ids: SliceInterner<u32>,
         /// Visited `(frontier id, value)` pairs.
         seen: FxHashSet<(u32, Value)>,
     },
@@ -472,7 +475,7 @@ impl Visited {
             Visited::Packed(FxHashSet::default())
         } else {
             Visited::Interned {
-                ids: FxHashMap::default(),
+                ids: SliceInterner::new(),
                 seen: FxHashSet::default(),
             }
         }
@@ -490,14 +493,7 @@ impl Visited {
                 set.insert((key, value))
             }
             Visited::Interned { ids, seen } => {
-                let next = ids.len() as u32;
-                let id = match ids.get(frontier) {
-                    Some(&id) => id,
-                    None => {
-                        ids.insert(frontier.to_vec().into_boxed_slice(), next);
-                        next
-                    }
-                };
+                let (id, _) = ids.intern(frontier);
                 seen.insert((id, value))
             }
             Visited::Legacy(set) => set.insert((frontier.to_vec(), value)),

@@ -29,6 +29,7 @@
 
 pub mod backtrack;
 pub mod explain;
+pub mod kernel;
 pub mod one_op;
 pub mod online;
 pub mod open_problems;
@@ -44,6 +45,7 @@ pub use backtrack::{
     solve_backtracking, solve_backtracking_with_stats, PruneConfig, SearchConfig, SearchStats,
 };
 pub use explain::{minimize_incoherent_core, ExplainConfig, MinimalCore};
+pub use kernel::{KernelConfig, KernelOutcome, TransitionSystem};
 pub use online::{OnlineCause, OnlineVerifier, OnlineViolation};
 pub use par::{verify_execution_par, ExecutionReport};
 pub use sat_encode::{encode_vmc, solve_sat, solve_sat_certified, VmcEncoding};

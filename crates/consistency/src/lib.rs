@@ -4,7 +4,9 @@
 //! Cantin, Lipasti & Smith:
 //!
 //! * [`vsc`] — Verifying Sequential Consistency (Definition 6.1) by exact
-//!   memoized search;
+//!   memoized search on the shared exact-search kernel
+//!   ([`vermem_coherence::kernel`]), as are the operational
+//!   [`tso_operational`] and [`pso_operational`] machines;
 //! * [`sat_vsc`] — a model-parametric SAT encoding deciding adherence to
 //!   [`MemoryModel::Sc`], [`MemoryModel::Tso`], [`MemoryModel::Pso`] or bare
 //!   [`MemoryModel::CoherenceOnly`];
@@ -23,6 +25,7 @@
 
 pub mod litmus;
 pub mod lrc;
+mod machine;
 pub mod models;
 pub mod pso_operational;
 pub mod sat_vsc;
@@ -33,11 +36,17 @@ pub mod vsc_conflict;
 pub mod vscc;
 
 pub use models::{check_model_schedule, MemoryModel};
-pub use pso_operational::{solve_pso_operational, PsoConfig};
+pub use pso_operational::{solve_pso_operational, solve_pso_operational_with_stats};
 pub use sat_vsc::{encode_model, solve_model_sat, VscEncoding};
-pub use tso_operational::{solve_tso_operational, TsoConfig};
+pub use tso_operational::{solve_tso_operational, solve_tso_operational_with_stats};
 pub use verdict::{ConsistencyVerdict, ConsistencyViolation, ViolationClass};
-pub use vsc::{solve_sc_backtracking, VscConfig};
+/// Budget/ablation knobs shared by every kernel-backed search (re-exported
+/// from the coherence crate so consistency callers need no extra import).
+pub use vermem_coherence::KernelConfig;
+/// Search counters shared with the VMC engine (re-exported alongside
+/// [`KernelConfig`]).
+pub use vermem_coherence::SearchStats;
+pub use vsc::{precheck_sc, solve_sc_backtracking, solve_sc_backtracking_with_stats};
 pub use vsc_conflict::{merge_coherent_schedules, MergeOutcome};
 pub use vscc::{verify_vscc, verify_vscc_with, SettledBy, VsccBackend, VsccReport};
 
@@ -59,8 +68,27 @@ use vermem_trace::Trace;
 /// ```
 pub fn verify_model(trace: &Trace, model: MemoryModel) -> ConsistencyVerdict {
     match model {
-        MemoryModel::Sc => solve_sc_backtracking(trace, &VscConfig::default()),
+        MemoryModel::Sc => solve_sc_backtracking(trace, &KernelConfig::default()),
         _ => solve_model_sat(trace, model),
+    }
+}
+
+/// Decide adherence of `trace` to `model` with the *operational* engines
+/// where one exists: the kernel-backed SC, TSO and PSO machines (which
+/// honour `cfg`'s budget and report [`SearchStats`]), falling back to the
+/// SAT encoding for [`MemoryModel::CoherenceOnly`] (which has no
+/// operational machine; `cfg` is ignored there and the returned stats are
+/// zero).
+pub fn verify_model_operational(
+    trace: &Trace,
+    model: MemoryModel,
+    cfg: &KernelConfig,
+) -> (ConsistencyVerdict, SearchStats) {
+    match model {
+        MemoryModel::Sc => solve_sc_backtracking_with_stats(trace, cfg, None),
+        MemoryModel::Tso => solve_tso_operational_with_stats(trace, cfg, None),
+        MemoryModel::Pso => solve_pso_operational_with_stats(trace, cfg, None),
+        MemoryModel::CoherenceOnly => (solve_model_sat(trace, model), SearchStats::default()),
     }
 }
 

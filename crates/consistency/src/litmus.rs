@@ -170,6 +170,49 @@ pub fn all_litmus_tests() -> Vec<LitmusTest> {
                 .build(),
             expected: expect(false, false, false, false),
         },
+        // --- no-store-forwarding pins -------------------------------------
+        // The crate's TSO/PSO machines have *no* store-to-load forwarding:
+        // a CPU's load stalls on its own buffered store until it drains.
+        // Each case below reads the CPU's own store before observing the
+        // classic relaxed outcome. Real forwarding hardware (x86-TSO,
+        // SPARC) still allows the relaxed outcome — the own-read is served
+        // from the buffer — but the forwarding-free semantics modelled here
+        // (and by the axiomatic single-serialization oracle, where the
+        // same-address W→R edge is always enforced) forbid it: the own-read
+        // forces the store to drain before the CPU proceeds.
+        LitmusTest {
+            name: "SB+own-reads",
+            description: "store buffering where each CPU first reads back its own store; \
+                          allowed on forwarding hardware, forbidden without forwarding",
+            trace: TraceBuilder::new()
+                .proc([Op::write(x, 1u64), Op::read(x, 1u64), Op::read(y, 0u64)])
+                .proc([Op::write(y, 1u64), Op::read(y, 1u64), Op::read(x, 0u64)])
+                .build(),
+            expected: expect(false, false, false, true),
+        },
+        LitmusTest {
+            name: "MP+own-read",
+            description: "message passing where the writer reads back the payload before \
+                          raising the flag; forwarding PSO allows the stale read, \
+                          forwarding-free PSO does not",
+            trace: TraceBuilder::new()
+                .proc([Op::write(x, 1u64), Op::read(x, 1u64), Op::write(y, 1u64)])
+                .proc([Op::read(y, 1u64), Op::read(x, 0u64)])
+                .build(),
+            expected: expect(false, false, false, true),
+        },
+        LitmusTest {
+            name: "IRIW+own-reads",
+            description: "IRIW where each writer reads back its own store: the own-reads \
+                          force both stores to drain before the writers retire",
+            trace: TraceBuilder::new()
+                .proc([Op::write(x, 1u64), Op::read(x, 1u64)])
+                .proc([Op::write(y, 1u64), Op::read(y, 1u64)])
+                .proc([Op::read(x, 1u64), Op::read(y, 0u64)])
+                .proc([Op::read(y, 1u64), Op::read(x, 0u64)])
+                .build(),
+            expected: expect(false, false, false, true),
+        },
         LitmusTest {
             name: "MP+final",
             description: "message passing where the payload is later overwritten",
@@ -188,7 +231,8 @@ pub fn all_litmus_tests() -> Vec<LitmusTest> {
 mod tests {
     use super::*;
     use crate::sat_vsc::solve_model_sat;
-    use crate::vsc::{solve_sc_backtracking, VscConfig};
+    use crate::vsc::solve_sc_backtracking;
+    use vermem_coherence::KernelConfig;
 
     #[test]
     fn litmus_suite_matches_expectations() {
@@ -208,7 +252,7 @@ mod tests {
     fn sc_expectations_agree_with_backtracking() {
         for test in all_litmus_tests() {
             let expected = test.expected[&MemoryModel::Sc];
-            let got = solve_sc_backtracking(&test.trace, &VscConfig::default()).is_consistent();
+            let got = solve_sc_backtracking(&test.trace, &KernelConfig::default()).is_consistent();
             assert_eq!(got, expected, "{} under SC (backtracking)", test.name);
         }
     }

@@ -1,0 +1,207 @@
+//! Shared machinery for the operational consistency machines.
+//!
+//! The VSC interleaving machine ([`crate::vsc`]) and the TSO/PSO
+//! store-buffer machines ([`crate::tso_operational`],
+//! [`crate::pso_operational`]) are all instances of the exact-search kernel
+//! ([`vermem_coherence::kernel`]): each implements
+//! [`vermem_coherence::TransitionSystem`] and inherits the kernel's memo,
+//! budget, cancellation, statistics and observability stack. What they
+//! share *besides* the kernel — the per-process instruction frontiers, the
+//! dense slot-indexed memory, the value-availability supply map and the
+//! canonical key prefix — lives here.
+//!
+//! ## Supply-map semantics
+//!
+//! `supply[(slot, v)]` counts the *future memory-write events* of value `v`
+//! to `slot`: write-capable operations that have not yet taken global
+//! effect. Each machine decrements at the moment the write hits memory —
+//! at issue for the VSC machine and for RMWs, at drain for buffered stores
+//! — so a buffered-but-undrained store still counts as supply. This makes
+//! the shared feasibility refutation sound for all three models: a frontier
+//! read (or final-value constraint) demanding `(slot, v)` while
+//! `memory[slot] != v` and `supply[(slot, v)] == 0` can never be satisfied,
+//! because memory can never hold `v` again.
+
+use crate::verdict::{ConsistencyVerdict, ConsistencyViolation, ViolationClass};
+use vermem_coherence::kernel::{encode_frontier, frontier_packs, KernelOutcome};
+use vermem_coherence::SearchStats;
+use vermem_trace::{Addr, Op, OpRef, Schedule, Trace, Value};
+use vermem_util::hash::FxHashMap;
+
+/// State shared by every operational consistency machine: program text,
+/// frontiers, dense memory, supply accounting and final-value constraints.
+pub(crate) struct MachineBase {
+    /// Program text, per process.
+    pub per_proc: Vec<Vec<Op>>,
+    /// Next program index to issue, per process.
+    pub frontier: Vec<u32>,
+    /// Touched addresses, sorted; index = *slot*.
+    pub addrs: Vec<Addr>,
+    /// Current memory value, by slot.
+    pub memory: Vec<Value>,
+    /// Remaining future memory-writes of `(slot, value)` (see module docs).
+    pub supply: FxHashMap<(u32, Value), u32>,
+    /// Final-value constraints as `(slot, value)`.
+    pub finals: Vec<(u32, Value)>,
+    /// A final-value constraint names an address no operation touches: the
+    /// machines (like their pre-kernel ancestors) can never accept.
+    pub finals_unmatched: bool,
+    /// Total number of operations (= commits in a complete run).
+    pub total: usize,
+    /// Whether the frontier packs into a single key word.
+    pub packed: bool,
+}
+
+impl MachineBase {
+    pub(crate) fn new(trace: &Trace) -> MachineBase {
+        let per_proc: Vec<Vec<Op>> = trace
+            .histories()
+            .iter()
+            .map(|h| h.iter().collect())
+            .collect();
+        let total = per_proc.iter().map(Vec::len).sum();
+        let addrs = trace.addresses(); // sorted + deduped
+        let memory: Vec<Value> = addrs.iter().map(|&a| trace.initial(a)).collect();
+
+        let mut supply: FxHashMap<(u32, Value), u32> = FxHashMap::default();
+        for ops in &per_proc {
+            for op in ops {
+                if let Some(v) = op.written_value() {
+                    let slot = addrs.binary_search(&op.addr()).expect("touched") as u32;
+                    *supply.entry((slot, v)).or_insert(0) += 1;
+                }
+            }
+        }
+
+        let mut finals = Vec::new();
+        let mut finals_unmatched = false;
+        for (&a, &v) in trace.final_values() {
+            match addrs.binary_search(&a) {
+                Ok(slot) => finals.push((slot as u32, v)),
+                Err(_) => finals_unmatched = true,
+            }
+        }
+
+        let packed = frontier_packs(per_proc.iter().map(Vec::len));
+        MachineBase {
+            frontier: vec![0; per_proc.len()],
+            per_proc,
+            addrs,
+            memory,
+            supply,
+            finals,
+            finals_unmatched,
+            total,
+            packed,
+        }
+    }
+
+    /// Slot of a touched address.
+    #[inline]
+    pub(crate) fn slot(&self, addr: Addr) -> u32 {
+        self.addrs.binary_search(&addr).expect("touched address") as u32
+    }
+
+    /// The next unissued operation of process `p`, if any.
+    #[inline]
+    pub(crate) fn next_op(&self, p: usize) -> Option<Op> {
+        self.per_proc[p].get(self.frontier[p] as usize).copied()
+    }
+
+    /// Reference to the next unissued operation of process `p`.
+    #[inline]
+    pub(crate) fn op_ref(&self, p: usize) -> OpRef {
+        OpRef::new(p as u16, self.frontier[p])
+    }
+
+    /// Are the final-value constraints satisfied by current memory?
+    pub(crate) fn finals_ok(&self) -> bool {
+        !self.finals_unmatched
+            && self
+                .finals
+                .iter()
+                .all(|&(s, v)| self.memory[s as usize] == v)
+    }
+
+    #[inline]
+    pub(crate) fn supply_of(&self, slot: u32, v: Value) -> u32 {
+        self.supply.get(&(slot, v)).copied().unwrap_or(0)
+    }
+
+    /// Account one write of `(slot, v)` taking global effect.
+    #[inline]
+    pub(crate) fn take_supply(&mut self, slot: u32, v: Value) {
+        *self.supply.get_mut(&(slot, v)).expect("counted") -= 1;
+    }
+
+    /// Undo [`MachineBase::take_supply`].
+    #[inline]
+    pub(crate) fn put_supply(&mut self, slot: u32, v: Value) {
+        *self.supply.get_mut(&(slot, v)).expect("counted") += 1;
+    }
+
+    /// Sound value-availability refutation, shared by all three models: a
+    /// frontier read or final-value constraint demands `(slot, v)` while
+    /// memory differs and no future memory-write of `v` remains.
+    ///
+    /// (An RMW's own write counts toward supply even though it cannot feed
+    /// its own read — that only ever *withholds* a prune, never makes one
+    /// unsound.)
+    pub(crate) fn demand_infeasible(&self) -> bool {
+        for p in 0..self.frontier.len() {
+            if let Some(op) = self.next_op(p) {
+                if let Some(need) = op.read_value() {
+                    let s = self.slot(op.addr());
+                    if self.memory[s as usize] != need && self.supply_of(s, need) == 0 {
+                        return true;
+                    }
+                }
+            }
+        }
+        self.finals
+            .iter()
+            .any(|&(s, v)| self.memory[s as usize] != v && self.supply_of(s, v) == 0)
+    }
+
+    /// The `(slot, value)` pairs some frontier read is waiting for — used
+    /// by the machines to explore supplying moves first.
+    pub(crate) fn demanded(&self) -> Vec<(u32, Value)> {
+        let mut out = Vec::new();
+        for p in 0..self.frontier.len() {
+            if let Some(op) = self.next_op(p) {
+                if let Some(need) = op.read_value() {
+                    let s = self.slot(op.addr());
+                    if self.memory[s as usize] != need {
+                        out.push((s, need));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Canonical key prefix common to all machines: the frontier (packed
+    /// when the instance shape allows) followed by the fixed-width memory
+    /// image. Machines append their buffer state, length-prefixed.
+    pub(crate) fn key_base(&self, key: &mut Vec<u64>) {
+        encode_frontier(&self.frontier, self.packed, key);
+        key.extend(self.memory.iter().map(|v| v.0));
+    }
+}
+
+/// Map a kernel outcome onto the consistency-verdict vocabulary. `stats`
+/// accompany inconclusive outcomes so budget-limited callers can report
+/// how far the search got.
+pub(crate) fn outcome_to_verdict(outcome: KernelOutcome, stats: SearchStats) -> ConsistencyVerdict {
+    match outcome {
+        KernelOutcome::Accepted(commits) => {
+            ConsistencyVerdict::Consistent(Schedule::from_refs(commits))
+        }
+        KernelOutcome::Refuted => ConsistencyVerdict::Violating(ConsistencyViolation {
+            class: ViolationClass::NoConsistentSchedule,
+        }),
+        KernelOutcome::BudgetExhausted | KernelOutcome::Cancelled => {
+            ConsistencyVerdict::Unknown { stats }
+        }
+    }
+}

@@ -4,226 +4,271 @@
 //!
 //! PSO's store buffer keeps stores to the *same* address in FIFO order but
 //! lets stores to different addresses drain in any order — modelled here as
-//! one FIFO queue per (processor, address). Loads take the memory value and
-//! stall on a buffered store to their address (no forwarding, as in the TSO
-//! machine); atomic RMWs drain the whole buffer and take effect
+//! one FIFO queue per (processor, address slot). Loads take the memory
+//! value and stall on a buffered store to their address (no forwarding, as
+//! in the TSO machine); atomic RMWs drain the whole buffer and take effect
 //! immediately. Differential tests pin this operational semantics to the
 //! axiomatic [`crate::MemoryModel::Pso`] (write→write and write→read to
-//! different addresses relaxed).
+//! different addresses relaxed). The search — memoized DFS with budgets,
+//! cancellation, statistics and observability — is
+//! [`vermem_coherence::kernel`]; this module only defines the machine.
 
-use crate::verdict::{ConsistencyVerdict, ConsistencyViolation, ViolationClass};
+use crate::machine::{outcome_to_verdict, MachineBase};
+use crate::verdict::ConsistencyVerdict;
 use crate::vsc::precheck_sc;
-use std::collections::{BTreeMap, HashSet, VecDeque};
-use vermem_trace::{Addr, Op, Schedule, Trace, Value};
-
-/// Budget for the operational search.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct PsoConfig {
-    /// Maximum distinct states to visit before answering
-    /// [`ConsistencyVerdict::Unknown`]. `None` = unlimited.
-    pub max_states: Option<u64>,
-}
-
-type Buffers = Vec<BTreeMap<Addr, VecDeque<(Value, u32)>>>;
+use std::collections::VecDeque;
+use vermem_coherence::kernel::{run_search, KernelConfig, KernelOutcome, TransitionSystem};
+use vermem_coherence::SearchStats;
+use vermem_trace::{Op, OpRef, Schedule, Trace, Value};
+use vermem_util::pool::CancelToken;
 
 /// Decide operational-PSO reachability of `trace`. The witness is the
 /// commit order (loads at issue, stores at drain).
-pub fn solve_pso_operational(trace: &Trace, cfg: &PsoConfig) -> ConsistencyVerdict {
+pub fn solve_pso_operational(trace: &Trace, cfg: &KernelConfig) -> ConsistencyVerdict {
+    solve_pso_operational_with_stats(trace, cfg, None).0
+}
+
+/// [`solve_pso_operational`] with kernel [`SearchStats`] and cooperative
+/// cancellation.
+pub fn solve_pso_operational_with_stats(
+    trace: &Trace,
+    cfg: &KernelConfig,
+    cancel: Option<&CancelToken>,
+) -> (ConsistencyVerdict, SearchStats) {
     if let Some(v) = precheck_sc(trace) {
-        return ConsistencyVerdict::Violating(v);
+        return (ConsistencyVerdict::Violating(v), SearchStats::default());
     }
-
-    let per_proc: Vec<Vec<Op>> = trace
-        .histories()
-        .iter()
-        .map(|h| h.iter().collect())
-        .collect();
-    let total: usize = per_proc.iter().map(Vec::len).sum();
-
-    let mut memory: BTreeMap<Addr, Value> = BTreeMap::new();
-    for addr in trace.addresses() {
-        memory.insert(addr, trace.initial(addr));
-    }
-
-    let mut search = PsoSearch {
-        trace,
-        per_proc: &per_proc,
-        total,
-        visited: HashSet::new(),
-        commits: Vec::with_capacity(total),
-        states: 0,
-        max_states: cfg.max_states,
-        budget_hit: false,
+    let nprocs = trace.num_procs();
+    let nslots = trace.addresses().len();
+    let mut sys = PsoMachine {
+        base: MachineBase::new(trace),
+        queues: vec![vec![VecDeque::new(); nslots]; nprocs],
+        buffered: vec![0; nprocs],
     };
-    let mut frontier = vec![0u32; per_proc.len()];
-    let mut buffers: Buffers = vec![BTreeMap::new(); per_proc.len()];
-    let found = search.dfs(&mut frontier, &mut buffers, &mut memory);
-    let budget_hit = search.budget_hit;
-    let commits = std::mem::take(&mut search.commits);
-
-    if found {
-        let witness: Schedule = commits
-            .into_iter()
-            .map(|(p, i)| vermem_trace::OpRef::new(p as u16, i))
-            .collect();
+    let (outcome, stats) = run_search(&mut sys, cfg, cancel);
+    if let KernelOutcome::Accepted(commits) = &outcome {
+        let witness = Schedule::from_refs(commits.iter().copied());
         debug_assert!(
             crate::models::check_model_schedule(trace, crate::MemoryModel::Pso, &witness).is_ok(),
             "operational PSO produced an invalid commit order"
         );
-        ConsistencyVerdict::Consistent(witness)
-    } else if budget_hit {
-        ConsistencyVerdict::Unknown
-    } else {
-        ConsistencyVerdict::Violating(ConsistencyViolation {
-            class: ViolationClass::NoConsistentSchedule,
-        })
     }
+    (outcome_to_verdict(outcome, stats), stats)
 }
 
-type StateKey = (Vec<u32>, Vec<Vec<(u32, u64, u32)>>, Vec<(u32, u64)>);
-
-struct PsoSearch<'a> {
-    trace: &'a Trace,
-    per_proc: &'a [Vec<Op>],
-    total: usize,
-    visited: HashSet<StateKey>,
-    commits: Vec<(usize, u32)>,
-    states: u64,
-    max_states: Option<u64>,
-    budget_hit: bool,
+/// The PSO store-buffer machine: one FIFO queue of `(value, program index)`
+/// per (process, slot), plus a per-process buffered-store count for O(1)
+/// RMW empty-buffer checks.
+struct PsoMachine {
+    base: MachineBase,
+    queues: Vec<Vec<VecDeque<(Value, u32)>>>,
+    buffered: Vec<u32>,
 }
 
-impl PsoSearch<'_> {
-    fn state_key(frontier: &[u32], buffers: &Buffers, memory: &BTreeMap<Addr, Value>) -> StateKey {
-        (
-            frontier.to_vec(),
-            buffers
-                .iter()
-                .map(|qs| {
-                    qs.iter()
-                        .flat_map(|(&a, q)| q.iter().map(move |&(v, i)| (a.0, v.0, i)))
-                        .collect()
-                })
-                .collect(),
-            memory.iter().map(|(&a, &v)| (a.0, v.0)).collect(),
-        )
+/// One state-changing PSO move, with undo state captured at enumeration.
+#[derive(Clone, Copy)]
+enum PsoMove {
+    /// Drain the head of `p`'s queue for `slot` (the captured entry);
+    /// `saved` is the memory value it overwrites.
+    Drain {
+        p: u16,
+        slot: u32,
+        value: Value,
+        index: u32,
+        saved: Value,
+    },
+    /// Issue process `p`'s next instruction (a `Write` entering its
+    /// per-address queue, or an enabled `Rmw`; `saved` is meaningful only
+    /// for the latter). Loads commit through kernel absorption.
+    Issue { p: u16, saved: Value },
+}
+
+impl TransitionSystem for PsoMachine {
+    type Move = PsoMove;
+
+    fn total_commits(&self) -> usize {
+        self.base.total
     }
 
-    fn buffers_empty(buffers: &Buffers, p: usize) -> bool {
-        buffers[p].values().all(VecDeque::is_empty)
+    fn accepting(&self) -> bool {
+        // Every commit implies every store drained: buffers are empty here.
+        debug_assert!(self.buffered.iter().all(|&n| n == 0));
+        self.base.finals_ok()
     }
 
-    fn dfs(
-        &mut self,
-        frontier: &mut Vec<u32>,
-        buffers: &mut Buffers,
-        memory: &mut BTreeMap<Addr, Value>,
-    ) -> bool {
-        if self.commits.len() == self.total
-            && (0..buffers.len()).all(|p| Self::buffers_empty(buffers, p))
-        {
-            return self
-                .trace
-                .final_values()
-                .iter()
-                .all(|(addr, v)| memory.get(addr) == Some(v));
-        }
-
-        let key = Self::state_key(frontier, buffers, memory);
-        if !self.visited.insert(key) {
-            return false;
-        }
-        self.states += 1;
-        if let Some(max) = self.max_states {
-            if self.states > max {
-                self.budget_hit = true;
-                return false;
-            }
-        }
-
-        for p in 0..frontier.len() {
-            // Move 1: drain the head of any per-address queue.
-            let drainable: Vec<Addr> = buffers[p]
-                .iter()
-                .filter(|(_, q)| !q.is_empty())
-                .map(|(&a, _)| a)
-                .collect();
-            for addr in drainable {
-                let (value, index) = *buffers[p]
-                    .get(&addr)
-                    .and_then(VecDeque::front)
-                    .expect("non-empty");
-                let saved = memory.get(&addr).copied();
-                buffers[p].get_mut(&addr).expect("present").pop_front();
-                memory.insert(addr, value);
-                self.commits.push((p, index));
-                if self.dfs(frontier, buffers, memory) {
-                    return true;
+    fn absorb(&mut self, commits: &mut Vec<OpRef>) {
+        for p in 0..self.base.frontier.len() {
+            while let Some(op) = self.base.next_op(p) {
+                match op {
+                    Op::Read { addr, value } => {
+                        let s = self.base.slot(addr);
+                        if self.queues[p][s as usize].is_empty()
+                            && self.base.memory[s as usize] == value
+                        {
+                            commits.push(self.base.op_ref(p));
+                            self.base.frontier[p] += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    _ => break,
                 }
-                self.commits.pop();
-                match saved {
-                    Some(v) => memory.insert(addr, v),
-                    None => memory.remove(&addr),
-                };
-                buffers[p]
-                    .get_mut(&addr)
-                    .expect("present")
-                    .push_front((value, index));
             }
+        }
+    }
 
-            // Move 2: issue the next instruction.
-            let Some(&op) = self.per_proc[p].get(frontier[p] as usize) else {
-                continue;
+    fn retract_read(&mut self, r: OpRef) {
+        let p = r.proc.0 as usize;
+        self.base.frontier[p] -= 1;
+        debug_assert_eq!(self.base.frontier[p], r.index);
+    }
+
+    fn infeasible(&self) -> bool {
+        self.base.demand_infeasible()
+    }
+
+    fn state_key(&self, key: &mut Vec<u64>) {
+        self.base.key_base(key);
+        for qs in &self.queues {
+            let nonempty = qs.iter().filter(|q| !q.is_empty()).count();
+            key.push(nonempty as u64);
+            for (slot, q) in qs.iter().enumerate() {
+                if q.is_empty() {
+                    continue;
+                }
+                key.push(((slot as u64) << 32) | q.len() as u64);
+                for &(value, index) in q {
+                    key.push(value.0);
+                    key.push(u64::from(index));
+                }
+            }
+        }
+    }
+
+    fn enabled_moves(&self, moves: &mut Vec<PsoMove>) {
+        let demanded = self.base.demanded();
+        for p in 0..self.base.frontier.len() {
+            // Drains: the head of any non-empty per-address queue, in
+            // ascending slot order.
+            for (slot, q) in self.queues[p].iter().enumerate() {
+                if let Some(&(value, index)) = q.front() {
+                    moves.push(PsoMove::Drain {
+                        p: p as u16,
+                        slot: slot as u32,
+                        value,
+                        index,
+                        saved: self.base.memory[slot],
+                    });
+                }
+            }
+            if let Some(op) = self.base.next_op(p) {
+                match op {
+                    Op::Write { .. } => moves.push(PsoMove::Issue {
+                        p: p as u16,
+                        saved: Value::INITIAL, // unused for writes
+                    }),
+                    Op::Rmw { addr, read, .. } => {
+                        // Atomics drain the whole buffer first, then take
+                        // effect immediately.
+                        let s = self.base.slot(addr);
+                        if self.buffered[p] == 0 && self.base.memory[s as usize] == read {
+                            moves.push(PsoMove::Issue {
+                                p: p as u16,
+                                saved: self.base.memory[s as usize],
+                            });
+                        }
+                    }
+                    Op::Read { .. } => {} // absorption only
+                }
+            }
+        }
+        // Memory-effecting moves that supply a demanded value first.
+        moves.sort_by_key(|m| {
+            let hot = match *m {
+                PsoMove::Drain { slot, value, .. } => demanded.contains(&(slot, value)),
+                PsoMove::Issue { p, .. } => match self.base.next_op(p as usize) {
+                    Some(Op::Rmw { addr, write, .. }) => {
+                        demanded.contains(&(self.base.slot(addr), write))
+                    }
+                    _ => false,
+                },
             };
-            let index = frontier[p];
-            match op {
-                Op::Read { addr, value } => {
-                    let blocked = buffers[p].get(&addr).is_some_and(|q| !q.is_empty());
-                    let current = memory.get(&addr).copied().unwrap_or(Value::INITIAL);
-                    if !blocked && current == value {
-                        frontier[p] += 1;
-                        self.commits.push((p, index));
-                        if self.dfs(frontier, buffers, memory) {
-                            return true;
-                        }
-                        self.commits.pop();
-                        frontier[p] -= 1;
+            std::cmp::Reverse(hot)
+        });
+    }
+
+    fn apply(&mut self, mv: PsoMove) -> Option<OpRef> {
+        match mv {
+            PsoMove::Drain {
+                p,
+                slot,
+                value,
+                index,
+                ..
+            } => {
+                let popped = self.queues[p as usize][slot as usize].pop_front();
+                debug_assert_eq!(popped, Some((value, index)));
+                self.buffered[p as usize] -= 1;
+                self.base.memory[slot as usize] = value;
+                self.base.take_supply(slot, value);
+                Some(OpRef::new(p, index))
+            }
+            PsoMove::Issue { p, .. } => {
+                let p = p as usize;
+                let op = self.base.next_op(p).expect("enabled");
+                let index = self.base.frontier[p];
+                self.base.frontier[p] += 1;
+                match op {
+                    Op::Write { addr, value } => {
+                        let s = self.base.slot(addr);
+                        self.queues[p][s as usize].push_back((value, index));
+                        self.buffered[p] += 1;
+                        None // commits at drain
                     }
-                }
-                Op::Write { addr, value } => {
-                    frontier[p] += 1;
-                    buffers[p]
-                        .entry(addr)
-                        .or_default()
-                        .push_back((value, index));
-                    if self.dfs(frontier, buffers, memory) {
-                        return true;
+                    Op::Rmw { addr, write, .. } => {
+                        let s = self.base.slot(addr);
+                        self.base.memory[s as usize] = write;
+                        self.base.take_supply(s, write);
+                        Some(OpRef::new(p as u16, index))
                     }
-                    buffers[p].get_mut(&addr).expect("pushed").pop_back();
-                    frontier[p] -= 1;
-                }
-                Op::Rmw { addr, read, write } => {
-                    if Self::buffers_empty(buffers, p) {
-                        let current = memory.get(&addr).copied().unwrap_or(Value::INITIAL);
-                        if current == read {
-                            let saved = memory.insert(addr, write);
-                            frontier[p] += 1;
-                            self.commits.push((p, index));
-                            if self.dfs(frontier, buffers, memory) {
-                                return true;
-                            }
-                            self.commits.pop();
-                            frontier[p] -= 1;
-                            match saved {
-                                Some(v) => memory.insert(addr, v),
-                                None => memory.remove(&addr),
-                            };
-                        }
-                    }
+                    Op::Read { .. } => unreachable!("reads are absorbed, not issued"),
                 }
             }
         }
-        false
+    }
+
+    fn undo(&mut self, mv: PsoMove) {
+        match mv {
+            PsoMove::Drain {
+                p,
+                slot,
+                value,
+                index,
+                saved,
+            } => {
+                self.base.put_supply(slot, value);
+                self.base.memory[slot as usize] = saved;
+                self.queues[p as usize][slot as usize].push_front((value, index));
+                self.buffered[p as usize] += 1;
+            }
+            PsoMove::Issue { p, saved } => {
+                let p = p as usize;
+                self.base.frontier[p] -= 1;
+                match self.base.next_op(p).expect("applied") {
+                    Op::Write { addr, .. } => {
+                        let s = self.base.slot(addr);
+                        self.queues[p][s as usize].pop_back();
+                        self.buffered[p] -= 1;
+                    }
+                    Op::Rmw { addr, write, .. } => {
+                        let s = self.base.slot(addr);
+                        self.base.put_supply(s, write);
+                        self.base.memory[s as usize] = saved;
+                    }
+                    Op::Read { .. } => unreachable!("reads are absorbed, not issued"),
+                }
+            }
+        }
     }
 }
 
@@ -235,7 +280,7 @@ mod tests {
     use vermem_trace::{Op, TraceBuilder};
 
     fn operational(t: &Trace) -> bool {
-        solve_pso_operational(t, &PsoConfig::default()).is_consistent()
+        solve_pso_operational(t, &KernelConfig::default()).is_consistent()
     }
 
     fn axiomatic(t: &Trace) -> bool {
@@ -273,6 +318,31 @@ mod tests {
             .build();
         assert!(!operational(&t));
         assert!(!axiomatic(&t));
+    }
+
+    #[test]
+    fn tiny_budget_answers_unknown_with_stats() {
+        let t = TraceBuilder::new()
+            .proc([
+                Op::write(0u32, 1u64),
+                Op::write(1u32, 1u64),
+                Op::read(2u32, 0u64),
+            ])
+            .proc([
+                Op::write(1u32, 2u64),
+                Op::write(2u32, 1u64),
+                Op::read(0u32, 0u64),
+            ])
+            .proc([
+                Op::write(2u32, 2u64),
+                Op::write(0u32, 2u64),
+                Op::read(1u32, 0u64),
+            ])
+            .build();
+        match solve_pso_operational(&t, &KernelConfig::with_budget(1)) {
+            ConsistencyVerdict::Unknown { stats } => assert!(stats.states >= 1),
+            other => panic!("expected Unknown, got {other:?}"),
+        }
     }
 
     #[test]

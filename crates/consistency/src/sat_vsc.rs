@@ -306,7 +306,8 @@ pub fn solve_model_sat(trace: &Trace, model: MemoryModel) -> ConsistencyVerdict 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::vsc::{solve_sc_backtracking, VscConfig};
+    use crate::vsc::solve_sc_backtracking;
+    use vermem_coherence::KernelConfig;
     use vermem_trace::{Op, TraceBuilder};
 
     fn sb_trace() -> Trace {
@@ -384,7 +385,7 @@ mod tests {
                 b = b.proc(ops);
             }
             let t = b.build();
-            let bt = solve_sc_backtracking(&t, &VscConfig::default());
+            let bt = solve_sc_backtracking(&t, &KernelConfig::default());
             let sat = solve_model_sat(&t, MemoryModel::Sc);
             assert_eq!(
                 bt.is_consistent(),

@@ -14,22 +14,20 @@
 //! pending stores, memory). Transitions: issue the next operation of some
 //! process (loads must match memory and have no buffered store to the same
 //! address — no forwarding; RMWs require an empty buffer and match memory),
-//! or drain the oldest buffered store of some process. Memoized DFS;
-//! exponential worst case, as it must be (§6.2: TSO verification is
+//! or drain the oldest buffered store of some process. The search itself —
+//! memoized DFS with budgets, cancellation, statistics and observability —
+//! is [`vermem_coherence::kernel`]; this module only defines the machine.
+//! Exponential worst case, as it must be (§6.2: TSO verification is
 //! NP-hard).
 
-use crate::verdict::{ConsistencyVerdict, ConsistencyViolation, ViolationClass};
+use crate::machine::{outcome_to_verdict, MachineBase};
+use crate::verdict::ConsistencyVerdict;
 use crate::vsc::precheck_sc;
-use std::collections::{BTreeMap, HashSet, VecDeque};
-use vermem_trace::{Addr, Op, Schedule, Trace, Value};
-
-/// Budget for the operational search.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct TsoConfig {
-    /// Maximum distinct states to visit before answering
-    /// [`ConsistencyVerdict::Unknown`]. `None` = unlimited.
-    pub max_states: Option<u64>,
-}
+use std::collections::VecDeque;
+use vermem_coherence::kernel::{run_search, KernelConfig, KernelOutcome, TransitionSystem};
+use vermem_coherence::SearchStats;
+use vermem_trace::{Op, OpRef, Schedule, Trace, Value};
+use vermem_util::pool::CancelToken;
 
 /// Decide operational-TSO reachability of `trace`.
 ///
@@ -37,187 +35,238 @@ pub struct TsoConfig {
 /// which operations took global effect (loads at issue, stores at drain) —
 /// a valid witness for [`crate::check_model_schedule`] under
 /// [`crate::MemoryModel::Tso`].
-pub fn solve_tso_operational(trace: &Trace, cfg: &TsoConfig) -> ConsistencyVerdict {
+pub fn solve_tso_operational(trace: &Trace, cfg: &KernelConfig) -> ConsistencyVerdict {
+    solve_tso_operational_with_stats(trace, cfg, None).0
+}
+
+/// [`solve_tso_operational`] with kernel [`SearchStats`] and cooperative
+/// cancellation.
+pub fn solve_tso_operational_with_stats(
+    trace: &Trace,
+    cfg: &KernelConfig,
+    cancel: Option<&CancelToken>,
+) -> (ConsistencyVerdict, SearchStats) {
     if let Some(v) = precheck_sc(trace) {
-        return ConsistencyVerdict::Violating(v);
+        return (ConsistencyVerdict::Violating(v), SearchStats::default());
     }
-
-    let per_proc: Vec<Vec<Op>> = trace
-        .histories()
-        .iter()
-        .map(|h| h.iter().collect())
-        .collect();
-    let total: usize = per_proc.iter().map(Vec::len).sum();
-
-    let mut memory: BTreeMap<Addr, Value> = BTreeMap::new();
-    for addr in trace.addresses() {
-        memory.insert(addr, trace.initial(addr));
-    }
-
-    let mut search = TsoSearch {
-        trace,
-        per_proc: &per_proc,
-        total,
-        visited: HashSet::new(),
-        commits: Vec::with_capacity(total),
-        states: 0,
-        max_states: cfg.max_states,
-        budget_hit: false,
+    let nprocs = trace.num_procs();
+    let mut sys = TsoMachine {
+        base: MachineBase::new(trace),
+        buffers: vec![VecDeque::new(); nprocs],
     };
-    let mut frontier = vec![0u32; per_proc.len()];
-    let mut buffers: Vec<VecDeque<(Addr, Value, u32)>> = vec![VecDeque::new(); per_proc.len()];
-    let found = search.dfs(&mut frontier, &mut buffers, &mut memory);
-    let budget_hit = search.budget_hit;
-    let commits = std::mem::take(&mut search.commits);
-
-    if found {
-        let witness: Schedule = commits
-            .into_iter()
-            .map(|(p, i)| vermem_trace::OpRef::new(p as u16, i))
-            .collect();
+    let (outcome, stats) = run_search(&mut sys, cfg, cancel);
+    if let KernelOutcome::Accepted(commits) = &outcome {
+        let witness = Schedule::from_refs(commits.iter().copied());
         debug_assert!(
             crate::models::check_model_schedule(trace, crate::MemoryModel::Tso, &witness).is_ok(),
             "operational TSO produced an invalid commit order"
         );
-        ConsistencyVerdict::Consistent(witness)
-    } else if budget_hit {
-        ConsistencyVerdict::Unknown
-    } else {
-        ConsistencyVerdict::Violating(ConsistencyViolation {
-            class: ViolationClass::NoConsistentSchedule,
-        })
+    }
+    (outcome_to_verdict(outcome, stats), stats)
+}
+
+/// The TSO store-buffer machine. Buffer entries are
+/// `(slot, value, program index)`; stores commit at drain.
+struct TsoMachine {
+    base: MachineBase,
+    buffers: Vec<VecDeque<(u32, Value, u32)>>,
+}
+
+/// One state-changing TSO move, with undo state captured at enumeration.
+#[derive(Clone, Copy)]
+enum TsoMove {
+    /// Drain process `p`'s oldest buffered store (the captured entry);
+    /// `saved` is the memory value it overwrites.
+    Drain {
+        p: u16,
+        slot: u32,
+        value: Value,
+        index: u32,
+        saved: Value,
+    },
+    /// Issue process `p`'s next instruction (a `Write` entering the buffer,
+    /// or an enabled `Rmw` taking immediate effect; `saved` is meaningful
+    /// only for the latter). Loads are never issued as moves — they commit
+    /// through kernel absorption.
+    Issue { p: u16, saved: Value },
+}
+
+impl TsoMachine {
+    /// Does `p` hold a buffered store to `slot`? (No forwarding: such a
+    /// store blocks `p`'s loads from that address.)
+    fn blocked(&self, p: usize, slot: u32) -> bool {
+        self.buffers[p].iter().any(|&(s, _, _)| s == slot)
     }
 }
 
-type StateKey = (Vec<u32>, Vec<Vec<(u32, u64, u32)>>, Vec<(u32, u64)>);
+impl TransitionSystem for TsoMachine {
+    type Move = TsoMove;
 
-struct TsoSearch<'a> {
-    trace: &'a Trace,
-    per_proc: &'a [Vec<Op>],
-    total: usize,
-    visited: HashSet<StateKey>,
-    commits: Vec<(usize, u32)>,
-    states: u64,
-    max_states: Option<u64>,
-    budget_hit: bool,
-}
-
-impl TsoSearch<'_> {
-    /// Exact structural key — a hash would risk collisions and therefore
-    /// unsound "unreachable" answers.
-    fn state_key(
-        frontier: &[u32],
-        buffers: &[VecDeque<(Addr, Value, u32)>],
-        memory: &BTreeMap<Addr, Value>,
-    ) -> StateKey {
-        (
-            frontier.to_vec(),
-            buffers
-                .iter()
-                .map(|b| b.iter().map(|&(a, v, i)| (a.0, v.0, i)).collect())
-                .collect(),
-            memory.iter().map(|(&a, &v)| (a.0, v.0)).collect(),
-        )
+    fn total_commits(&self) -> usize {
+        self.base.total
     }
 
-    fn dfs(
-        &mut self,
-        frontier: &mut Vec<u32>,
-        buffers: &mut Vec<VecDeque<(Addr, Value, u32)>>,
-        memory: &mut BTreeMap<Addr, Value>,
-    ) -> bool {
-        if self.commits.len() == self.total && buffers.iter().all(VecDeque::is_empty) {
-            return self
-                .trace
-                .final_values()
-                .iter()
-                .all(|(addr, v)| memory.get(addr) == Some(v));
-        }
+    fn accepting(&self) -> bool {
+        // Every commit implies every store drained: buffers are empty here.
+        debug_assert!(self.buffers.iter().all(VecDeque::is_empty));
+        self.base.finals_ok()
+    }
 
-        let key = Self::state_key(frontier, buffers, memory);
-        if !self.visited.insert(key) {
-            return false;
-        }
-        self.states += 1;
-        if let Some(max) = self.max_states {
-            if self.states > max {
-                self.budget_hit = true;
-                return false;
-            }
-        }
-
-        for p in 0..frontier.len() {
-            // Move 1: drain this process's oldest buffered store.
-            if let Some(&(addr, value, index)) = buffers[p].front() {
-                let saved = memory.get(&addr).copied();
-                buffers[p].pop_front();
-                memory.insert(addr, value);
-                self.commits.push((p, index));
-                if self.dfs(frontier, buffers, memory) {
-                    return true;
+    fn absorb(&mut self, commits: &mut Vec<OpRef>) {
+        for p in 0..self.base.frontier.len() {
+            while let Some(op) = self.base.next_op(p) {
+                match op {
+                    Op::Read { addr, value } => {
+                        let s = self.base.slot(addr);
+                        if !self.blocked(p, s) && self.base.memory[s as usize] == value {
+                            commits.push(self.base.op_ref(p));
+                            self.base.frontier[p] += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    _ => break,
                 }
-                self.commits.pop();
-                match saved {
-                    Some(v) => memory.insert(addr, v),
-                    None => memory.remove(&addr),
-                };
-                buffers[p].push_front((addr, value, index));
             }
+        }
+    }
 
-            // Move 2: issue this process's next instruction.
-            let Some(&op) = self.per_proc[p].get(frontier[p] as usize) else {
-                continue;
+    fn retract_read(&mut self, r: OpRef) {
+        let p = r.proc.0 as usize;
+        self.base.frontier[p] -= 1;
+        debug_assert_eq!(self.base.frontier[p], r.index);
+    }
+
+    fn infeasible(&self) -> bool {
+        self.base.demand_infeasible()
+    }
+
+    fn state_key(&self, key: &mut Vec<u64>) {
+        self.base.key_base(key);
+        for b in &self.buffers {
+            key.push(b.len() as u64);
+            for &(slot, value, index) in b {
+                key.push((u64::from(slot) << 32) | u64::from(index));
+                key.push(value.0);
+            }
+        }
+    }
+
+    fn enabled_moves(&self, moves: &mut Vec<TsoMove>) {
+        let demanded = self.base.demanded();
+        for p in 0..self.base.frontier.len() {
+            if let Some(&(slot, value, index)) = self.buffers[p].front() {
+                moves.push(TsoMove::Drain {
+                    p: p as u16,
+                    slot,
+                    value,
+                    index,
+                    saved: self.base.memory[slot as usize],
+                });
+            }
+            if let Some(op) = self.base.next_op(p) {
+                match op {
+                    Op::Write { .. } => moves.push(TsoMove::Issue {
+                        p: p as u16,
+                        saved: Value::INITIAL, // unused for writes
+                    }),
+                    Op::Rmw { addr, read, .. } => {
+                        // Atomics drain first (issue only with an empty
+                        // buffer) and take effect immediately.
+                        let s = self.base.slot(addr);
+                        if self.buffers[p].is_empty() && self.base.memory[s as usize] == read {
+                            moves.push(TsoMove::Issue {
+                                p: p as u16,
+                                saved: self.base.memory[s as usize],
+                            });
+                        }
+                    }
+                    Op::Read { .. } => {} // absorption only
+                }
+            }
+        }
+        // Memory-effecting moves that supply a demanded value first.
+        moves.sort_by_key(|m| {
+            let hot = match *m {
+                TsoMove::Drain { slot, value, .. } => demanded.contains(&(slot, value)),
+                TsoMove::Issue { p, .. } => match self.base.next_op(p as usize) {
+                    Some(Op::Rmw { addr, write, .. }) => {
+                        demanded.contains(&(self.base.slot(addr), write))
+                    }
+                    _ => false, // a buffered write supplies nothing yet
+                },
             };
-            let index = frontier[p];
-            match op {
-                Op::Read { addr, value } => {
-                    // No forwarding: a buffered store to the address blocks
-                    // the load until drained.
-                    let blocked = buffers[p].iter().any(|&(a, _, _)| a == addr);
-                    let current = memory.get(&addr).copied().unwrap_or(Value::INITIAL);
-                    if !blocked && current == value {
-                        frontier[p] += 1;
-                        self.commits.push((p, index));
-                        if self.dfs(frontier, buffers, memory) {
-                            return true;
-                        }
-                        self.commits.pop();
-                        frontier[p] -= 1;
+            std::cmp::Reverse(hot)
+        });
+    }
+
+    fn apply(&mut self, mv: TsoMove) -> Option<OpRef> {
+        match mv {
+            TsoMove::Drain {
+                p,
+                slot,
+                value,
+                index,
+                ..
+            } => {
+                let popped = self.buffers[p as usize].pop_front();
+                debug_assert_eq!(popped, Some((slot, value, index)));
+                self.base.memory[slot as usize] = value;
+                self.base.take_supply(slot, value);
+                Some(OpRef::new(p, index))
+            }
+            TsoMove::Issue { p, .. } => {
+                let p = p as usize;
+                let op = self.base.next_op(p).expect("enabled");
+                let index = self.base.frontier[p];
+                self.base.frontier[p] += 1;
+                match op {
+                    Op::Write { addr, value } => {
+                        let s = self.base.slot(addr);
+                        self.buffers[p].push_back((s, value, index));
+                        None // commits at drain
                     }
-                }
-                Op::Write { addr, value } => {
-                    frontier[p] += 1;
-                    buffers[p].push_back((addr, value, index));
-                    if self.dfs(frontier, buffers, memory) {
-                        return true;
+                    Op::Rmw { addr, write, .. } => {
+                        let s = self.base.slot(addr);
+                        self.base.memory[s as usize] = write;
+                        self.base.take_supply(s, write);
+                        Some(OpRef::new(p as u16, index))
                     }
-                    buffers[p].pop_back();
-                    frontier[p] -= 1;
-                }
-                Op::Rmw { addr, read, write } => {
-                    // Atomics drain first (issue only with an empty buffer)
-                    // and take effect immediately.
-                    if buffers[p].is_empty() {
-                        let current = memory.get(&addr).copied().unwrap_or(Value::INITIAL);
-                        if current == read {
-                            let saved = memory.insert(addr, write);
-                            frontier[p] += 1;
-                            self.commits.push((p, index));
-                            if self.dfs(frontier, buffers, memory) {
-                                return true;
-                            }
-                            self.commits.pop();
-                            frontier[p] -= 1;
-                            match saved {
-                                Some(v) => memory.insert(addr, v),
-                                None => memory.remove(&addr),
-                            };
-                        }
-                    }
+                    Op::Read { .. } => unreachable!("reads are absorbed, not issued"),
                 }
             }
         }
-        false
+    }
+
+    fn undo(&mut self, mv: TsoMove) {
+        match mv {
+            TsoMove::Drain {
+                p,
+                slot,
+                value,
+                index,
+                saved,
+            } => {
+                self.base.put_supply(slot, value);
+                self.base.memory[slot as usize] = saved;
+                self.buffers[p as usize].push_front((slot, value, index));
+            }
+            TsoMove::Issue { p, saved } => {
+                let p = p as usize;
+                self.base.frontier[p] -= 1;
+                match self.base.next_op(p).expect("applied") {
+                    Op::Write { .. } => {
+                        self.buffers[p].pop_back();
+                    }
+                    Op::Rmw { addr, write, .. } => {
+                        let s = self.base.slot(addr);
+                        self.base.put_supply(s, write);
+                        self.base.memory[s as usize] = saved;
+                    }
+                    Op::Read { .. } => unreachable!("reads are absorbed, not issued"),
+                }
+            }
+        }
     }
 }
 
@@ -229,7 +278,7 @@ mod tests {
     use vermem_trace::{Op, TraceBuilder};
 
     fn operational(t: &Trace) -> bool {
-        solve_tso_operational(t, &TsoConfig::default()).is_consistent()
+        solve_tso_operational(t, &KernelConfig::default()).is_consistent()
     }
 
     fn axiomatic(t: &Trace) -> bool {
@@ -279,6 +328,31 @@ mod tests {
             .final_value(0u32, 9u64)
             .build();
         assert!(!operational(&t2));
+    }
+
+    #[test]
+    fn tiny_budget_answers_unknown_with_stats() {
+        let t = TraceBuilder::new()
+            .proc([
+                Op::write(0u32, 1u64),
+                Op::write(1u32, 1u64),
+                Op::read(2u32, 0u64),
+            ])
+            .proc([
+                Op::write(1u32, 2u64),
+                Op::write(2u32, 1u64),
+                Op::read(0u32, 0u64),
+            ])
+            .proc([
+                Op::write(2u32, 2u64),
+                Op::write(0u32, 2u64),
+                Op::read(1u32, 0u64),
+            ])
+            .build();
+        match solve_tso_operational(&t, &KernelConfig::with_budget(1)) {
+            ConsistencyVerdict::Unknown { stats } => assert!(stats.states >= 1),
+            other => panic!("expected Unknown, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Verdicts for consistency-model verification.
 
+use vermem_coherence::SearchStats;
 use vermem_trace::Schedule;
 
 /// Why a trace violates a consistency model.
@@ -43,8 +44,12 @@ pub enum ConsistencyVerdict {
     Consistent(Schedule),
     /// The trace violates the model.
     Violating(ConsistencyViolation),
-    /// The solver's budget was exhausted.
-    Unknown,
+    /// The solver's budget was exhausted (or it was cancelled) before an
+    /// answer was known; the kernel's counters report how far it got.
+    Unknown {
+        /// Search statistics at the moment the solver gave up.
+        stats: SearchStats,
+    },
 }
 
 impl ConsistencyVerdict {
@@ -62,6 +67,14 @@ impl ConsistencyVerdict {
     pub fn schedule(&self) -> Option<&Schedule> {
         match self {
             ConsistencyVerdict::Consistent(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The search statistics, if the verdict is inconclusive.
+    pub fn unknown_stats(&self) -> Option<&SearchStats> {
+        match self {
+            ConsistencyVerdict::Unknown { stats } => Some(stats),
             _ => None,
         }
     }

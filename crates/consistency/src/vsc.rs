@@ -7,18 +7,19 @@
 //! (the same exchange argument as for coherence applies per address).
 //! VSC is NP-complete (Gibbons & Korach; also by restriction from VMC,
 //! §6.1), so worst-case exponential behaviour is unavoidable.
+//!
+//! Since the kernel extraction, this module only defines the *machine* —
+//! an atomic-memory interleaving [`TransitionSystem`] — and delegates the
+//! search itself (memoization, budgets, cancellation, statistics,
+//! observability) to [`vermem_coherence::kernel`], the same engine that
+//! runs the production VMC search and the TSO/PSO machines.
 
+use crate::machine::{outcome_to_verdict, MachineBase};
 use crate::verdict::{ConsistencyVerdict, ConsistencyViolation, ViolationClass};
-use std::collections::{BTreeMap, HashMap, HashSet};
-use vermem_trace::{check_sc_schedule, Addr, Op, OpRef, Schedule, Trace, Value};
-
-/// Budget for the VSC search.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct VscConfig {
-    /// Maximum distinct states to visit before answering
-    /// [`ConsistencyVerdict::Unknown`]. `None` = unlimited.
-    pub max_states: Option<u64>,
-}
+use vermem_coherence::kernel::{run_search, KernelConfig, KernelOutcome, TransitionSystem};
+use vermem_coherence::SearchStats;
+use vermem_trace::{check_sc_schedule, Op, OpRef, Schedule, Trace, Value};
+use vermem_util::pool::CancelToken;
 
 /// Static prechecks: per-address unreadable values / unproducible finals.
 pub fn precheck_sc(trace: &Trace) -> Option<ConsistencyViolation> {
@@ -33,220 +34,152 @@ pub fn precheck_sc(trace: &Trace) -> Option<ConsistencyViolation> {
 }
 
 /// Decide sequential consistency of `trace` by exhaustive memoized search.
-pub fn solve_sc_backtracking(trace: &Trace, cfg: &VscConfig) -> ConsistencyVerdict {
+pub fn solve_sc_backtracking(trace: &Trace, cfg: &KernelConfig) -> ConsistencyVerdict {
+    solve_sc_backtracking_with_stats(trace, cfg, None).0
+}
+
+/// [`solve_sc_backtracking`] with kernel [`SearchStats`] and cooperative
+/// cancellation.
+pub fn solve_sc_backtracking_with_stats(
+    trace: &Trace,
+    cfg: &KernelConfig,
+    cancel: Option<&CancelToken>,
+) -> (ConsistencyVerdict, SearchStats) {
     if let Some(v) = precheck_sc(trace) {
-        return ConsistencyVerdict::Violating(v);
+        return (ConsistencyVerdict::Violating(v), SearchStats::default());
     }
-
-    let per_proc: Vec<Vec<(OpRef, Op)>> = trace
-        .histories()
-        .iter()
-        .enumerate()
-        .map(|(p, h)| {
-            h.iter()
-                .enumerate()
-                .map(|(i, op)| (OpRef::new(p as u16, i as u32), op))
-                .collect()
-        })
-        .collect();
-    let total: usize = per_proc.iter().map(|v| v.len()).sum();
-
-    let mut remaining_writes: HashMap<(Addr, Value), u32> = HashMap::new();
-    for ops in &per_proc {
-        for (_, op) in ops {
-            if let Some(v) = op.written_value() {
-                *remaining_writes.entry((op.addr(), v)).or_insert(0) += 1;
-            }
-        }
-    }
-
-    let mut memory: BTreeMap<Addr, Value> = BTreeMap::new();
-    for addr in trace.addresses() {
-        memory.insert(addr, trace.initial(addr));
-    }
-
-    let mut search = ScSearch {
-        trace,
-        per_proc: &per_proc,
-        total,
-        visited: HashSet::new(),
-        schedule: Vec::with_capacity(total),
-        max_states: cfg.max_states,
-        states: 0,
-        budget_hit: false,
+    let mut sys = ScMachine {
+        base: MachineBase::new(trace),
     };
-    let mut frontier = vec![0u32; per_proc.len()];
-    let found = search.dfs(&mut frontier, &mut memory, &mut remaining_writes);
-    let budget_hit = search.budget_hit;
-    let schedule = std::mem::take(&mut search.schedule);
-
-    if found {
-        let witness = Schedule::from_refs(schedule);
+    let (outcome, stats) = run_search(&mut sys, cfg, cancel);
+    if let KernelOutcome::Accepted(commits) = &outcome {
+        let witness = Schedule::from_refs(commits.iter().copied());
         debug_assert!(
             check_sc_schedule(trace, &witness).is_ok(),
-            "VSC solver produced invalid witness"
+            "VSC machine produced invalid witness"
         );
-        ConsistencyVerdict::Consistent(witness)
-    } else if budget_hit {
-        ConsistencyVerdict::Unknown
-    } else {
-        ConsistencyVerdict::Violating(ConsistencyViolation {
-            class: ViolationClass::NoConsistentSchedule,
-        })
     }
+    (outcome_to_verdict(outcome, stats), stats)
 }
 
-struct ScSearch<'a> {
-    trace: &'a Trace,
-    per_proc: &'a [Vec<(OpRef, Op)>],
-    total: usize,
-    visited: HashSet<(Vec<u32>, Vec<Value>)>,
-    schedule: Vec<OpRef>,
-    max_states: Option<u64>,
-    states: u64,
-    budget_hit: bool,
+/// The atomic-memory interleaving machine: every operation takes global
+/// effect at issue. Reads commit through kernel absorption; the branching
+/// moves are the write-capable issues.
+struct ScMachine {
+    base: MachineBase,
 }
 
-impl ScSearch<'_> {
-    fn dfs(
-        &mut self,
-        frontier: &mut Vec<u32>,
-        memory: &mut BTreeMap<Addr, Value>,
-        remaining_writes: &mut HashMap<(Addr, Value), u32>,
-    ) -> bool {
-        // Greedy absorption of reads matching their address's current value.
-        let absorbed_base = self.schedule.len();
-        loop {
-            let mut progressed = false;
-            #[allow(clippy::needless_range_loop)] // frontier is mutated by index
-            for p in 0..frontier.len() {
-                while let Some(&(r, op)) = self.per_proc[p].get(frontier[p] as usize) {
-                    match op {
-                        Op::Read { addr, value } if memory[&addr] == value => {
-                            self.schedule.push(r);
-                            frontier[p] += 1;
-                            progressed = true;
-                        }
-                        _ => break,
-                    }
-                }
-            }
-            if !progressed {
-                break;
-            }
-        }
-        let undo = |s: &mut Self, frontier: &mut Vec<u32>| {
-            while s.schedule.len() > absorbed_base {
-                let r = s.schedule.pop().expect("non-empty");
-                frontier[r.proc.0 as usize] -= 1;
-            }
-        };
+/// One write-capable issue by process `p`. `saved` is the memory value the
+/// write will overwrite, captured at enumeration time for undo.
+#[derive(Clone, Copy)]
+struct ScMove {
+    p: u16,
+    saved: Value,
+}
 
-        if self.schedule.len() == self.total {
-            let finals_ok = self
-                .trace
-                .final_values()
-                .iter()
-                .all(|(addr, v)| memory.get(addr) == Some(v));
-            if finals_ok {
-                return true;
-            }
-            undo(self, frontier);
-            return false;
-        }
+impl TransitionSystem for ScMachine {
+    type Move = ScMove;
 
-        let key = (
-            frontier.clone(),
-            memory.values().copied().collect::<Vec<_>>(),
-        );
-        if !self.visited.insert(key) {
-            undo(self, frontier);
-            return false;
-        }
-        self.states += 1;
-        if let Some(max) = self.max_states {
-            if self.states > max {
-                self.budget_hit = true;
-                undo(self, frontier);
-                return false;
-            }
-        }
+    fn total_commits(&self) -> usize {
+        self.base.total
+    }
 
-        // Dead-end: a blocked read needing a value with no remaining writes.
-        for (p, &f) in frontier.iter().enumerate() {
-            if let Some(&(_, op)) = self.per_proc[p].get(f as usize) {
-                if let Some(need) = op.read_value() {
-                    let addr = op.addr();
-                    if memory[&addr] != need
-                        && remaining_writes.get(&(addr, need)).copied().unwrap_or(0) == 0
+    fn accepting(&self) -> bool {
+        self.base.finals_ok()
+    }
+
+    fn absorb(&mut self, commits: &mut Vec<OpRef>) {
+        for p in 0..self.base.frontier.len() {
+            while let Some(op) = self.base.next_op(p) {
+                match op {
+                    Op::Read { addr, value }
+                        if self.base.memory[self.base.slot(addr) as usize] == value =>
                     {
-                        undo(self, frontier);
-                        return false;
+                        commits.push(self.base.op_ref(p));
+                        self.base.frontier[p] += 1;
                     }
+                    _ => break,
                 }
             }
         }
+    }
 
-        // Branch over enabled write-capable ops, demanded values first.
-        let mut demanded: HashSet<(Addr, Value)> = HashSet::new();
-        for (p, &f) in frontier.iter().enumerate() {
-            if let Some(&(_, op)) = self.per_proc[p].get(f as usize) {
-                if let Some(need) = op.read_value() {
-                    if memory[&op.addr()] != need {
-                        demanded.insert((op.addr(), need));
-                    }
-                }
-            }
-        }
-        let mut moves: Vec<(bool, usize, OpRef, Op)> = Vec::new();
-        for (p, &f) in frontier.iter().enumerate() {
-            if let Some(&(r, op)) = self.per_proc[p].get(f as usize) {
+    fn retract_read(&mut self, r: OpRef) {
+        let p = r.proc.0 as usize;
+        self.base.frontier[p] -= 1;
+        debug_assert_eq!(self.base.frontier[p], r.index);
+    }
+
+    fn infeasible(&self) -> bool {
+        self.base.demand_infeasible()
+    }
+
+    fn state_key(&self, key: &mut Vec<u64>) {
+        self.base.key_base(key);
+    }
+
+    fn enabled_moves(&self, moves: &mut Vec<ScMove>) {
+        let demanded = self.base.demanded();
+        for p in 0..self.base.frontier.len() {
+            if let Some(op) = self.base.next_op(p) {
                 let enabled = match op {
                     Op::Write { .. } => true,
-                    Op::Rmw { addr, read, .. } => memory[&addr] == read,
-                    Op::Read { .. } => false,
+                    Op::Rmw { addr, read, .. } => {
+                        self.base.memory[self.base.slot(addr) as usize] == read
+                    }
+                    Op::Read { .. } => false, // reads commit via absorption
                 };
                 if enabled {
-                    let hot = op
-                        .written_value()
-                        .is_some_and(|v| demanded.contains(&(op.addr(), v)));
-                    moves.push((hot, p, r, op));
+                    let s = self.base.slot(op.addr());
+                    moves.push(ScMove {
+                        p: p as u16,
+                        saved: self.base.memory[s as usize],
+                    });
                 }
             }
         }
-        moves.sort_by_key(|&(hot, ..)| std::cmp::Reverse(hot));
+        // Explore writes of demanded values first (stable, so program
+        // order breaks ties deterministically).
+        moves.sort_by_key(|m| {
+            let op = self.base.next_op(m.p as usize).expect("enabled");
+            let s = self.base.slot(op.addr());
+            let hot = op
+                .written_value()
+                .is_some_and(|v| demanded.contains(&(s, v)));
+            std::cmp::Reverse(hot)
+        });
+    }
 
-        for (_, p, r, op) in moves {
-            let addr = op.addr();
-            let written = op.written_value().expect("write-capable");
-            let saved = memory[&addr];
-            self.schedule.push(r);
-            frontier[p] += 1;
-            memory.insert(addr, written);
-            *remaining_writes.get_mut(&(addr, written)).expect("counted") -= 1;
+    fn apply(&mut self, mv: ScMove) -> Option<OpRef> {
+        let p = mv.p as usize;
+        let r = self.base.op_ref(p);
+        let op = self.base.next_op(p).expect("enabled");
+        let s = self.base.slot(op.addr());
+        let w = op.written_value().expect("write-capable");
+        self.base.frontier[p] += 1;
+        self.base.memory[s as usize] = w;
+        self.base.take_supply(s, w);
+        Some(r)
+    }
 
-            if self.dfs(frontier, memory, remaining_writes) {
-                return true;
-            }
-
-            *remaining_writes.get_mut(&(addr, written)).expect("counted") += 1;
-            memory.insert(addr, saved);
-            frontier[p] -= 1;
-            self.schedule.pop();
-        }
-
-        undo(self, frontier);
-        false
+    fn undo(&mut self, mv: ScMove) {
+        let p = mv.p as usize;
+        self.base.frontier[p] -= 1;
+        let op = self.base.next_op(p).expect("applied");
+        let s = self.base.slot(op.addr());
+        let w = op.written_value().expect("write-capable");
+        self.base.put_supply(s, w);
+        self.base.memory[s as usize] = mv.saved;
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vermem_trace::{Op, TraceBuilder};
+    use vermem_trace::{Op, OpRef, TraceBuilder};
 
     fn solve(t: &Trace) -> ConsistencyVerdict {
-        solve_sc_backtracking(t, &VscConfig::default())
+        solve_sc_backtracking(t, &KernelConfig::default())
     }
 
     #[test]
@@ -323,6 +256,22 @@ mod tests {
     }
 
     #[test]
+    fn tiny_budget_answers_unknown_with_stats() {
+        // A contended instance the one-state budget cannot settle.
+        let t = TraceBuilder::new()
+            .proc([Op::write(0u32, 1u64), Op::write(1u32, 1u64)])
+            .proc([Op::write(1u32, 2u64), Op::write(0u32, 2u64)])
+            .proc([Op::read(0u32, 2u64), Op::read(1u32, 2u64)])
+            .final_value(0u32, 1u64)
+            .final_value(1u32, 1u64)
+            .build();
+        match solve_sc_backtracking(&t, &KernelConfig::with_budget(1)) {
+            ConsistencyVerdict::Unknown { stats } => assert!(stats.states >= 1),
+            other => panic!("expected Unknown, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn generated_sc_traces_verify() {
         for seed in 0..10 {
             let (t, _) = vermem_trace::gen::gen_sc_trace(&vermem_trace::gen::GenConfig {
@@ -365,6 +314,42 @@ mod tests {
             let t = b.build();
             let expected = brute_force_sc(&t);
             assert_eq!(solve(&t).is_consistent(), expected, "seed {seed}: {t:?}");
+        }
+    }
+
+    #[test]
+    fn feasibility_knob_never_changes_verdicts() {
+        use vermem_util::rng::StdRng;
+        for seed in 0..40u64 {
+            let mut rng = StdRng::seed_from_u64(41_000 + seed);
+            let procs = rng.gen_range(1..=3);
+            let mut b = TraceBuilder::new();
+            for _ in 0..procs {
+                let len = rng.gen_range(0..=4);
+                let ops: Vec<Op> = (0..len)
+                    .map(|_| {
+                        let a = rng.gen_range(0..2u32);
+                        let v = rng.gen_range(0..3u64);
+                        if rng.gen_range(0..2) == 0 {
+                            Op::read(a, v)
+                        } else {
+                            Op::write(a, v)
+                        }
+                    })
+                    .collect();
+                b = b.proc(ops);
+            }
+            let t = b.build();
+            let on = solve_sc_backtracking(&t, &KernelConfig::default());
+            let off = solve_sc_backtracking(
+                &t,
+                &KernelConfig {
+                    feasibility: false,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(on.is_consistent(), off.is_consistent(), "seed {seed}");
+            assert_eq!(on.is_violating(), off.is_violating(), "seed {seed}");
         }
     }
 

@@ -16,10 +16,10 @@
 use crate::models::MemoryModel;
 use crate::sat_vsc::solve_model_sat;
 use crate::verdict::ConsistencyVerdict;
-use crate::vsc::{solve_sc_backtracking, VscConfig};
+use crate::vsc::solve_sc_backtracking;
 use crate::vsc_conflict::{merge_coherent_schedules, MergeOutcome};
 use std::collections::BTreeMap;
-use vermem_coherence::{ExecutionVerdict, Violation};
+use vermem_coherence::{ExecutionVerdict, KernelConfig, SearchStats, Violation};
 use vermem_trace::{Addr, Schedule, Trace};
 
 /// Which stage of the VSCC pipeline produced the answer.
@@ -61,11 +61,11 @@ pub struct VsccReport {
 
 /// Run the VSCC pipeline with default settings.
 pub fn verify_vscc(trace: &Trace) -> VsccReport {
-    verify_vscc_with(trace, VsccBackend::default(), &VscConfig::default())
+    verify_vscc_with(trace, VsccBackend::default(), &KernelConfig::default())
 }
 
 /// Run the VSCC pipeline with an explicit exact backend and budget.
-pub fn verify_vscc_with(trace: &Trace, backend: VsccBackend, cfg: &VscConfig) -> VsccReport {
+pub fn verify_vscc_with(trace: &Trace, backend: VsccBackend, cfg: &KernelConfig) -> VsccReport {
     // Stage 1: coherence per address.
     let schedules = match vermem_coherence::verify_execution(trace) {
         ExecutionVerdict::Coherent(s) => s,
@@ -82,7 +82,9 @@ pub fn verify_vscc_with(trace: &Trace, backend: VsccBackend, cfg: &VscConfig) ->
         ExecutionVerdict::Unknown { .. } => {
             return VsccReport {
                 coherence: Ok(BTreeMap::new()),
-                verdict: ConsistencyVerdict::Unknown,
+                verdict: ConsistencyVerdict::Unknown {
+                    stats: SearchStats::default(),
+                },
                 settled_by: SettledBy::CoherenceCheck,
                 merge_was_misleading: false,
             };
@@ -222,7 +224,7 @@ mod tests {
             MergeOutcome::Cyclic { .. }
         ));
         // ...even though the trace IS sequentially consistent.
-        let exact = solve_sc_backtracking(&t, &VscConfig::default());
+        let exact = solve_sc_backtracking(&t, &KernelConfig::default());
         assert!(exact.is_consistent(), "trace must be SC");
     }
 
@@ -232,8 +234,8 @@ mod tests {
             .proc([Op::write(0u32, 1u64), Op::read(1u32, 0u64)])
             .proc([Op::write(1u32, 1u64), Op::read(0u32, 0u64)])
             .build();
-        let a = verify_vscc_with(&t, VsccBackend::Backtracking, &VscConfig::default());
-        let b = verify_vscc_with(&t, VsccBackend::Sat, &VscConfig::default());
+        let a = verify_vscc_with(&t, VsccBackend::Backtracking, &KernelConfig::default());
+        let b = verify_vscc_with(&t, VsccBackend::Sat, &KernelConfig::default());
         assert_eq!(a.verdict.is_consistent(), b.verdict.is_consistent());
     }
 }

@@ -4,7 +4,7 @@
 
 use vermem_consistency::{
     solve_model_sat, solve_pso_operational, solve_sc_backtracking, solve_tso_operational,
-    verify_vscc, MemoryModel, PsoConfig, SettledBy, TsoConfig, VscConfig,
+    verify_vscc, KernelConfig, MemoryModel, SettledBy,
 };
 use vermem_trace::{Op, Trace, TraceBuilder};
 use vermem_util::prop::PropConfig;
@@ -41,7 +41,7 @@ fn arb_trace(rng: &mut StdRng, size: usize) -> Trace {
 fn vscc_pipeline_agrees_with_direct_sc() {
     // The VSCC pipeline's final verdict equals the direct SC decision.
     prop_check!(PropConfig::with_cases(96), arb_trace, |trace: &Trace| {
-        let direct = solve_sc_backtracking(trace, &VscConfig::default());
+        let direct = solve_sc_backtracking(trace, &KernelConfig::default());
         let report = verify_vscc(trace);
         // When coherence fails, SC fails too (coherence is necessary).
         prop_assert_eq!(
@@ -78,7 +78,7 @@ fn model_hierarchy_is_monotone() {
 #[test]
 fn operational_tso_equals_axiomatic_tso() {
     prop_check!(PropConfig::with_cases(96), arb_trace, |trace: &Trace| {
-        let operational = solve_tso_operational(trace, &TsoConfig::default()).is_consistent();
+        let operational = solve_tso_operational(trace, &KernelConfig::default()).is_consistent();
         let axiomatic = solve_model_sat(trace, MemoryModel::Tso).is_consistent();
         prop_assert_eq!(operational, axiomatic);
         Ok(())
@@ -88,7 +88,7 @@ fn operational_tso_equals_axiomatic_tso() {
 #[test]
 fn operational_pso_equals_axiomatic_pso() {
     prop_check!(PropConfig::with_cases(96), arb_trace, |trace: &Trace| {
-        let operational = solve_pso_operational(trace, &PsoConfig::default()).is_consistent();
+        let operational = solve_pso_operational(trace, &KernelConfig::default()).is_consistent();
         let axiomatic = solve_model_sat(trace, MemoryModel::Pso).is_consistent();
         prop_assert_eq!(operational, axiomatic);
         Ok(())
@@ -99,7 +99,7 @@ fn operational_pso_equals_axiomatic_pso() {
 fn sc_engines_agree() {
     // SC backtracking and SC-via-SAT agree (redundant engines).
     prop_check!(PropConfig::with_cases(96), arb_trace, |trace: &Trace| {
-        let bt = solve_sc_backtracking(trace, &VscConfig::default()).is_consistent();
+        let bt = solve_sc_backtracking(trace, &KernelConfig::default()).is_consistent();
         let sat = solve_model_sat(trace, MemoryModel::Sc).is_consistent();
         prop_assert_eq!(bt, sat);
         Ok(())

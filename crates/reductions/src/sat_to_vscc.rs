@@ -169,7 +169,7 @@ impl VsccReduction {
 mod tests {
     use super::*;
     use vermem_coherence::verify_execution;
-    use vermem_consistency::{solve_sc_backtracking, VscConfig};
+    use vermem_consistency::{solve_sc_backtracking, KernelConfig};
     use vermem_sat::{solve_cdcl, Lit};
 
     fn cnf(clauses: &[&[i64]]) -> Cnf {
@@ -181,7 +181,7 @@ mod tests {
     }
 
     fn sc(trace: &Trace) -> bool {
-        solve_sc_backtracking(trace, &VscConfig::default()).is_consistent()
+        solve_sc_backtracking(trace, &KernelConfig::default()).is_consistent()
     }
 
     #[test]
@@ -230,7 +230,7 @@ mod tests {
             };
             let f = vermem_sat::random::gen_random_ksat(&cfg);
             let red = reduce_sat_to_vscc(&f);
-            let verdict = solve_sc_backtracking(&red.trace, &VscConfig::default());
+            let verdict = solve_sc_backtracking(&red.trace, &KernelConfig::default());
             if let Some(s) = verdict.schedule() {
                 let model = red.extract_assignment(s);
                 assert_eq!(f.eval(&model), Some(true), "seed {seed}");

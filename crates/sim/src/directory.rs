@@ -373,7 +373,7 @@ mod tests {
             );
             let verdict = vermem_consistency::solve_sc_backtracking(
                 &cap.trace,
-                &vermem_consistency::VscConfig::default(),
+                &vermem_consistency::KernelConfig::default(),
             );
             assert!(
                 verdict.is_consistent(),

@@ -574,7 +574,7 @@ mod tests {
             let cap = run_sc(&p, seed);
             let verdict = vermem_consistency::solve_sc_backtracking(
                 &cap.trace,
-                &vermem_consistency::VscConfig::default(),
+                &vermem_consistency::KernelConfig::default(),
             );
             let s = verdict
                 .schedule()
@@ -635,7 +635,7 @@ mod tests {
                 seen_relaxed = true;
                 let sc = vermem_consistency::solve_sc_backtracking(
                     &cap.trace,
-                    &vermem_consistency::VscConfig::default(),
+                    &vermem_consistency::KernelConfig::default(),
                 );
                 assert!(sc.is_violating(), "SB relaxed outcome must violate SC");
                 let tso = vermem_consistency::solve_model_sat(

@@ -60,7 +60,7 @@ fn snooping_sc_machine_is_sequentially_consistent() {
             );
             let v = vermem_consistency::solve_sc_backtracking(
                 &cap.trace,
-                &vermem_consistency::VscConfig::default(),
+                &vermem_consistency::KernelConfig::default(),
             );
             prop_assert!(v.is_consistent(), "trace: {:?}", cap.trace);
             Ok(())
@@ -107,7 +107,7 @@ fn directory_machine_is_sequentially_consistent() {
             );
             let v = vermem_consistency::solve_sc_backtracking(
                 &cap.trace,
-                &vermem_consistency::VscConfig::default(),
+                &vermem_consistency::KernelConfig::default(),
             );
             prop_assert!(v.is_consistent(), "trace: {:?}", cap.trace);
             Ok(())

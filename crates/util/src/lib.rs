@@ -38,6 +38,7 @@
 pub mod bench;
 pub mod codec;
 pub mod hash;
+pub mod intern;
 pub mod json;
 pub mod obs;
 pub mod pool;

@@ -50,6 +50,18 @@ echo "==> bench smoke (VERMEM_BENCH_FAST=1): thread-ladder bench runs"
 VERMEM_BENCH_FAST=1 cargo bench -q --offline -p vermem-bench --bench par_verify \
     > /dev/null
 
+echo "==> kernel substrate: no private memo plumbing in crates/consistency/src"
+# The PR-5 contract: the operational searches (VSC/TSO/PSO) run on the
+# shared exact-search kernel (crates/coherence/src/kernel.rs), which owns
+# the memo table, budget, and cancellation. A `visited: HashSet` (or any
+# tuple-keyed HashSet) reappearing in the consistency crate means a solver
+# grew its own memoization again.
+if grep -rn 'visited: HashSet\|HashSet<(' crates/consistency/src; then
+    echo "private memo plumbing found in crates/consistency/src (use the kernel)" >&2
+    exit 1
+fi
+echo "    ok"
+
 echo "==> obs hot path: exactly one clock-read site in crates/util/src/obs/"
 # The zero-overhead-when-off contract (DESIGN.md §Observability): every
 # clock read funnels through obs::now_us(), which is only reached from
@@ -73,9 +85,9 @@ tmp=$(mktemp -d)
 python3 - "$tmp/BENCH_vmc.json" "BENCH_vmc.json" <<'EOF'
 import json, sys
 d = json.load(open(sys.argv[1]))
-assert d["schema"] == "vermem-bench-vmc/v3", d["schema"]
-assert d["par_verify"] and d["memo_ablation"] and d["prune_ablation"], \
-    "empty receipts"
+assert d["schema"] == "vermem-bench-vmc/v4", d["schema"]
+assert d["par_verify"] and d["memo_ablation"] and d["prune_ablation"] \
+    and d["model_kernel"], "empty receipts"
 host = d["host_parallelism"]
 assert host >= 1, host
 for case in d["par_verify"]:
@@ -109,6 +121,24 @@ for case, rows in by_case.items():
         assert row["states"] <= base, \
             f"{case}/{cfg}: pruning grew the search ({row['states']} > {base})"
 
+# E-KERNEL shape: per (case, model) exactly the kernel and legacy-keys
+# configs; both walk the identical state set (memo_misses == states, as
+# memoization is integral to the kernel); the packed/interned key path
+# never allocates more key storage than legacy alloc-per-probe.
+mk_by = {}
+for row in d["model_kernel"]:
+    assert row["model"] in ("SC", "TSO", "PSO"), row
+    assert row["states"] > 0 and row["states"] == row["memo_misses"], row
+    assert row["verdict"] in ("consistent", "violating", "unknown"), row
+    mk_by.setdefault((row["case"], row["model"]), {})[row["config"]] = row
+for (case, model), rows in mk_by.items():
+    assert set(rows) == {"kernel", "legacy-keys"}, (case, model, sorted(rows))
+    k, l = rows["kernel"], rows["legacy-keys"]
+    assert k["states"] == l["states"], \
+        f"{case}/{model}: key representations visited different state sets"
+    assert k["key_allocs"] <= l["key_allocs"], \
+        f"{case}/{model}: kernel keys allocated more than legacy"
+
 # Headline claim: on the §5.2 blow-up instance, --prune=all shrinks
 # memo_misses (== states explored) by at least 5x vs --prune=none.
 e52 = by_case["e5.2-overcons"]
@@ -119,7 +149,7 @@ assert ratio >= 5.0, f"e5.2 prune ratio regressed to {ratio:.1f}x (< 5x)"
 # not explore more states than the committed run plus 5% slack (decided
 # rows are cap-independent, so fast/full receipts are comparable).
 committed = json.load(open(sys.argv[2]))
-if committed.get("schema") == "vermem-bench-vmc/v3":
+if committed.get("schema") == "vermem-bench-vmc/v4":
     comm_by_case = {}
     for row in committed["prune_ablation"]:
         comm_by_case.setdefault(row["case"], {})[row["config"]] = row
@@ -137,6 +167,7 @@ obs = d["obs_overhead"]
 assert obs["median_secs_disabled"] > 0 and obs["median_secs_enabled"] > 0, obs
 print(f"    ok ({len(d['par_verify'])} par cases, "
       f"{len(d['memo_ablation'])} memo rows, {len(prune)} prune rows, "
+      f"{len(d['model_kernel'])} model-kernel rows, "
       f"e5.2 prune ratio {ratio:.0f}x, "
       f"obs overhead {obs['enabled_overhead_pct']:+.2f}%)")
 EOF

@@ -2,8 +2,8 @@
 
 use vermem::coherence::{verify_execution, ExecutionVerdict};
 use vermem::consistency::{
-    merge_coherent_schedules, solve_sc_backtracking, verify_vscc, MemoryModel, MergeOutcome,
-    SettledBy, VscConfig,
+    merge_coherent_schedules, solve_sc_backtracking, verify_vscc, KernelConfig, MemoryModel,
+    MergeOutcome, SettledBy,
 };
 use vermem::sim::{
     ping_pong, producer_consumer, random_program, shared_counter, Machine, MachineConfig,
@@ -39,7 +39,7 @@ fn full_pipeline_on_random_workloads() {
         }
 
         // SC (the machine without store buffers is SC).
-        let sc = solve_sc_backtracking(&cap.trace, &VscConfig::default());
+        let sc = solve_sc_backtracking(&cap.trace, &KernelConfig::default());
         check_sc_schedule(&cap.trace, sc.schedule().expect("SC machine")).unwrap();
 
         // The coherent witnesses merge into an SC schedule or the exact
@@ -102,7 +102,7 @@ fn tso_machine_traces_satisfy_tso_but_may_violate_sc() {
             tso.is_consistent(),
             "TSO machine must satisfy TSO (seed {seed})"
         );
-        if solve_sc_backtracking(&cap.trace, &VscConfig::default()).is_violating() {
+        if solve_sc_backtracking(&cap.trace, &KernelConfig::default()).is_violating() {
             sc_violations += 1;
         }
     }
@@ -130,7 +130,7 @@ fn vsc_conflict_merge_respects_hardware_write_order() {
         MergeOutcome::Cyclic { .. } => {
             // The particular witnesses may not merge (§6.3); the exact
             // solver must still find SC for the SC-mode machine.
-            assert!(solve_sc_backtracking(&cap.trace, &VscConfig::default()).is_consistent());
+            assert!(solve_sc_backtracking(&cap.trace, &KernelConfig::default()).is_consistent());
         }
     }
 }
