@@ -11,10 +11,12 @@
 //!
 //! `--json` runs the E-PAR thread ladder, the memo-key ablation, the
 //! E-KERNEL operational-machine ablation (SC/TSO/PSO on the shared
-//! exact-search kernel, packed/interned vs legacy memo keys), and the
-//! observability-overhead probe, and writes machine-readable receipts
-//! (per-case medians, op/s, speedup vs 1 thread, memo hit/miss counts,
-//! per-model key-allocation counts, enabled-vs-disabled obs cost) to
+//! exact-search kernel, packed/interned vs legacy memo keys), the E-TIER
+//! tiered-verification ablation (closure frontline vs exact-only, per
+//! trace family), and the observability-overhead probe, and writes
+//! machine-readable receipts (per-case medians, op/s, speedup vs 1
+//! thread, memo hit/miss counts, per-model key-allocation counts,
+//! per-tier address accounting, enabled-vs-disabled obs cost) to
 //! `BENCH_vmc.json` in the current directory. Set `VERMEM_BENCH_FAST=1` to shrink instance sizes and
 //! repetitions for smoke-test runs.
 //!
@@ -27,7 +29,8 @@ use std::time::Instant;
 use vermem_bench::{loglog_slope, mean_growth_ratio, median_secs};
 use vermem_coherence::{
     one_op, readmap, rmw, solve_backtracking, solve_backtracking_with_stats,
-    solve_with_write_order, verify_execution_par, PruneConfig, SearchConfig, VmcVerifier,
+    solve_with_write_order, verify_execution_par, PruneConfig, SearchConfig, TierConfig, TierStats,
+    VmcVerifier,
 };
 use vermem_consistency::{
     merge_coherent_schedules, solve_sc_backtracking, verify_model_operational, KernelConfig,
@@ -136,6 +139,10 @@ fn main() {
     if filter == "ekernel" {
         // Included in `epar`'s receipt run; also runnable standalone.
         e_kernel();
+    }
+    if filter == "etier" {
+        // Included in `epar`'s receipt run; also runnable standalone.
+        e_tier();
     }
 
     if obs_on {
@@ -752,6 +759,23 @@ struct ObsOverhead {
     enabled_overhead_pct: f64,
 }
 
+/// One row of the E-TIER ablation: a trace family verified under one tier
+/// pipeline (`closure,exact` vs `exact`), with per-tier address accounting
+/// and verdict counts. Verdicts are bit-identical across pipelines by
+/// construction (asserted); only the accounting and wall time may differ.
+struct TierRow {
+    family: &'static str,
+    tier: &'static str,
+    traces: usize,
+    addresses: u64,
+    frontline_decided: u64,
+    escalated: u64,
+    median_secs: f64,
+    coherent: usize,
+    incoherent: usize,
+    unknown: usize,
+}
+
 fn e_par_scaling(write_json: bool) {
     header("E-PAR  parallel per-address verification: thread ladder + memo ablation");
     let fast = std::env::var("VERMEM_BENCH_FAST").is_ok();
@@ -846,6 +870,10 @@ fn e_par_scaling(write_json: bool) {
     println!("\nE-KERNEL operational machines on the shared kernel (memo-key ablation):");
     print_model_kernel_table(&model_kernel);
 
+    let tier = tier_ablation(reps, fast);
+    println!("\nE-TIER tiered verification (closure frontline vs exact-only):");
+    print_tier_table(&tier);
+
     let obs = obs_overhead_probe(reps, fast);
     println!(
         "\nobservability overhead ({}): disabled {:.3} ms, enabled {:.3} ms ({:+.2}%)",
@@ -859,7 +887,7 @@ fn e_par_scaling(write_json: bool) {
         let path = "BENCH_vmc.json";
         std::fs::write(
             path,
-            bench_json(host, &cases, &memo, &prune, &model_kernel, &obs),
+            bench_json(host, &cases, &memo, &prune, &model_kernel, &tier, &obs),
         )
         .expect("write BENCH_vmc.json");
         println!("\nwrote {path}");
@@ -1009,6 +1037,205 @@ fn e_kernel() {
     let reps = if fast { 3 } else { 7 };
     let rows = model_kernel_ablation(reps, fast);
     print_model_kernel_table(&rows);
+}
+
+/// The E-TIER trace families: realistic protocol captures (healthy and
+/// fault-injected MESI runs), SC-generated traces, and the litmus corpus.
+/// The healthy-sim family uses the same workload shape as the
+/// `tier_differential` suite, so the committed receipt and the test gate
+/// measure the same population.
+fn tier_families(fast: bool) -> Vec<(&'static str, Vec<Trace>)> {
+    let healthy_seeds = if fast { 4 } else { 16 };
+    let fault_seeds = if fast { 2 } else { 5 };
+    let gen_seeds = if fast { 2 } else { 6 };
+    let healthy: Vec<Trace> = (0..healthy_seeds)
+        .map(|seed| {
+            Machine::run(
+                &random_program(&WorkloadConfig {
+                    cpus: 4,
+                    instrs_per_cpu: 30,
+                    addrs: 4,
+                    write_fraction: 0.45,
+                    rmw_fraction: 0.1,
+                    seed,
+                }),
+                MachineConfig {
+                    seed,
+                    ..Default::default()
+                },
+            )
+            .trace
+        })
+        .collect();
+    let generated: Vec<Trace> = (0..gen_seeds)
+        .map(|seed| {
+            gen_sc_trace(&GenConfig {
+                procs: 4,
+                total_ops: 240,
+                addrs: 6,
+                value_reuse: 0.5,
+                seed,
+                ..Default::default()
+            })
+            .0
+        })
+        .collect();
+    let litmus: Vec<Trace> = vermem_consistency::litmus::all_litmus_tests()
+        .into_iter()
+        .map(|t| t.trace)
+        .collect();
+    let kinds = [
+        FaultKind::CorruptFill {
+            cpu: 1,
+            xor: 0xDEAD_0000,
+        },
+        FaultKind::LostWrite { cpu: 0 },
+        FaultKind::StaleFill { cpu: 1 },
+        FaultKind::DropInvalidation { victim_cpu: 2 },
+    ];
+    let faulty: Vec<Trace> = kinds
+        .into_iter()
+        .flat_map(|kind| {
+            (0..fault_seeds).map(move |seed| {
+                Machine::run(
+                    &random_program(&WorkloadConfig {
+                        cpus: 4,
+                        instrs_per_cpu: 25,
+                        addrs: 4,
+                        write_fraction: 0.5,
+                        rmw_fraction: 0.0,
+                        seed: 700 + seed,
+                    }),
+                    MachineConfig {
+                        seed,
+                        faults: vec![FaultPlan { kind, at_step: 8 }],
+                        ..Default::default()
+                    },
+                )
+                .trace
+            })
+        })
+        .collect();
+    vec![
+        ("healthy-sim", healthy),
+        ("generated", generated),
+        ("litmus", litmus),
+        ("fault-injected", faulty),
+    ]
+}
+
+/// E-TIER: the tiered-verification ablation. Each family is verified under
+/// the default `closure,exact` pipeline and the `exact`-only ablation;
+/// verdicts must match bit-for-bit (asserted — the differential suite
+/// proves the same at every thread count), while the accounting shows how
+/// many addresses the polynomial frontline decided without escalation.
+fn tier_ablation(reps: usize, fast: bool) -> Vec<TierRow> {
+    let families = tier_families(fast);
+    let configs: [(&'static str, TierConfig); 2] = [
+        ("closure,exact", TierConfig::tiered()),
+        ("exact", TierConfig::exact_only()),
+    ];
+    let mut rows = Vec::new();
+    for (family, traces) in &families {
+        let mut per_config_verdicts: Vec<Vec<bool>> = Vec::new();
+        for (spec, tier) in configs {
+            let verifier = VmcVerifier {
+                tier,
+                ..VmcVerifier::new()
+            };
+            let mut tiers = TierStats::default();
+            let mut coherent = 0;
+            let mut incoherent = 0;
+            let mut unknown = 0;
+            let mut verdicts = Vec::with_capacity(traces.len());
+            for t in traces {
+                let report = verify_execution_par(t, &verifier, 1);
+                tiers.absorb(&report.tiers);
+                match &report.verdict {
+                    vermem_coherence::ExecutionVerdict::Coherent(_) => coherent += 1,
+                    vermem_coherence::ExecutionVerdict::Incoherent(_) => incoherent += 1,
+                    vermem_coherence::ExecutionVerdict::Unknown { .. } => unknown += 1,
+                }
+                verdicts.push(report.is_coherent());
+            }
+            per_config_verdicts.push(verdicts);
+            let median_secs = median_secs(reps, || {
+                for t in traces {
+                    let _ = verify_execution_par(t, &verifier, 1);
+                }
+            })
+            .max(1e-12);
+            rows.push(TierRow {
+                family,
+                tier: spec,
+                traces: traces.len(),
+                addresses: tiers.total(),
+                frontline_decided: tiers.frontline_decided,
+                escalated: tiers.escalated,
+                median_secs,
+                coherent,
+                incoherent,
+                unknown,
+            });
+        }
+        assert!(
+            per_config_verdicts.windows(2).all(|w| w[0] == w[1]),
+            "{family}: tier pipelines must agree on every verdict"
+        );
+    }
+    rows
+}
+
+fn print_tier_table(rows: &[TierRow]) {
+    println!(
+        "{:>15} {:>14} {:>7} {:>6} {:>10} {:>10} {:>12} {:>5} {:>5} {:>5}",
+        "family",
+        "tier",
+        "traces",
+        "addrs",
+        "frontline",
+        "escalated",
+        "median (ms)",
+        "coh",
+        "inc",
+        "unk"
+    );
+    for r in rows {
+        println!(
+            "{:>15} {:>14} {:>7} {:>6} {:>10} {:>10} {:>12.3} {:>5} {:>5} {:>5}",
+            r.family,
+            r.tier,
+            r.traces,
+            r.addresses,
+            r.frontline_decided,
+            r.escalated,
+            r.median_secs * 1e3,
+            r.coherent,
+            r.incoherent,
+            r.unknown
+        );
+    }
+    // Headline: the frontline share of the realistic healthy family.
+    if let Some(r) = rows
+        .iter()
+        .find(|r| r.family == "healthy-sim" && r.tier == "closure,exact")
+    {
+        let pct = 100.0 * r.frontline_decided as f64 / (r.addresses.max(1)) as f64;
+        println!(
+            "healthy-sim: frontline decided {}/{} addresses ({pct:.1}%) without escalation",
+            r.frontline_decided, r.addresses
+        );
+    }
+}
+
+/// Console-only entry for the E-TIER ablation (`experiments etier`); the
+/// `--json` receipt run includes the same rows in BENCH_vmc.json.
+fn e_tier() {
+    header("E-TIER  tiered verification: closure frontline vs exact-only");
+    let fast = std::env::var("VERMEM_BENCH_FAST").is_ok();
+    let reps = if fast { 3 } else { 7 };
+    let rows = tier_ablation(reps, fast);
+    print_tier_table(&rows);
 }
 
 /// Measure the exact search on the E-5.2 over-constrained instance with the
@@ -1318,11 +1545,12 @@ fn bench_json(
     memo: &[MemoRow],
     prune: &[PruneRow],
     model_kernel: &[ModelKernelRow],
+    tier: &[TierRow],
     obs: &ObsOverhead,
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"vermem-bench-vmc/v4\",\n");
+    s.push_str("  \"schema\": \"vermem-bench-vmc/v5\",\n");
     s.push_str(&format!("  \"host_parallelism\": {host},\n"));
     s.push_str("  \"par_verify\": [\n");
     for (i, c) in cases.iter().enumerate() {
@@ -1397,6 +1625,27 @@ fn bench_json(
         } else {
             "\n"
         });
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"tier_ablation\": [\n");
+    for (i, r) in tier.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"family\": \"{}\", \"tier\": \"{}\", \"traces\": {}, \
+             \"addresses\": {}, \"frontline_decided\": {}, \"escalated\": {}, \
+             \"median_secs\": {:.9}, \"coherent\": {}, \"incoherent\": {}, \
+             \"unknown\": {}}}",
+            r.family,
+            r.tier,
+            r.traces,
+            r.addresses,
+            r.frontline_decided,
+            r.escalated,
+            r.median_secs,
+            r.coherent,
+            r.incoherent,
+            r.unknown
+        ));
+        s.push_str(if i + 1 < tier.len() { ",\n" } else { "\n" });
     }
     s.push_str("  ],\n");
     s.push_str(&format!(

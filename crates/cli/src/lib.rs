@@ -6,7 +6,7 @@
 //!
 //! ```text
 //! vermem verify <trace> [--addr N] [--strategy auto|backtracking|sat] [--budget N] [--jobs N]
-//!               [--prune all|none|windows,symmetry,nogoods]
+//!               [--tier closure,exact|exact] [--prune all|none|windows,symmetry,nogoods]
 //!               [--metrics[=json|text]] [--trace-out FILE]
 //! vermem sc <trace> [--model sc|tso|pso|coherence] [--budget N]
 //!           [--metrics[=json|text]] [--trace-out FILE]
@@ -16,7 +16,7 @@
 //! vermem inject <trace> --kind corrupt-read|stale-read|lost-write|reorder [--seed N]
 //! vermem reduce <dimacs> [--figure 4.1|5.1|5.2]
 //! vermem sim --cpus N --instrs N [--addrs N] [--tso|--directory] [--seed N] [--verify] [--online] [--jobs N]
-//!            [--metrics[=json|text]] [--trace-out FILE]
+//!            [--tier SPEC] [--prune SPEC] [--metrics[=json|text]] [--trace-out FILE]
 //! vermem sat <dimacs>
 //! vermem litmus
 //! ```
@@ -35,7 +35,7 @@
 #![forbid(unsafe_code)]
 
 use std::fmt::Write as _;
-use vermem_coherence::{PruneConfig, SearchConfig, Strategy, Verdict, VmcVerifier};
+use vermem_coherence::{PruneConfig, SearchConfig, Strategy, TierConfig, Verdict, VmcVerifier};
 use vermem_consistency::MemoryModel;
 use vermem_trace::{Addr, Trace};
 use vermem_util::obs;
@@ -63,7 +63,8 @@ vermem — verify memory coherence and consistency of execution traces
 
 USAGE:
   vermem verify <trace> [--addr N] [--strategy auto|backtracking|sat] [--budget N]
-                [--jobs N] [--prune SPEC] [--metrics[=json|text]] [--trace-out FILE]
+                [--jobs N] [--tier SPEC] [--prune SPEC]
+                [--metrics[=json|text]] [--trace-out FILE]
   vermem sc <trace> [--model sc|tso|pso|coherence] [--budget N]
             [--metrics[=json|text]] [--trace-out FILE]
   vermem classify <trace>
@@ -72,7 +73,7 @@ USAGE:
   vermem inject <trace> --kind corrupt-read|stale-read|lost-write|reorder [--seed N]
   vermem reduce <dimacs> [--figure 4.1|5.1|5.2]
   vermem sim --cpus N --instrs N [--addrs N] [--tso|--directory] [--seed N]
-             [--verify] [--online] [--jobs N] [--prune SPEC]
+             [--verify] [--online] [--jobs N] [--tier SPEC] [--prune SPEC]
              [--metrics[=json|text]] [--trace-out FILE]
   vermem sat <dimacs>
   vermem litmus
@@ -80,6 +81,11 @@ USAGE:
 Traces use the vermem text format; pass '-' to read stdin.
 --jobs N verifies addresses on N worker threads (0 or default: all cores);
 the verdict is deterministic and identical at every thread count.
+--tier SPEC selects the verification pipeline: 'closure,exact' (default)
+runs the polynomial constraint-closure frontline and escalates only
+ambiguous addresses to the exact search; 'exact' is the ablation that
+sends every general instance straight to the exact tier. Verdicts are
+bit-identical under both.
 --prune SPEC selects the verdict-preserving search prunings: 'all'
 (default), 'none', or a comma-separated subset of
 windows,symmetry,nogoods (e.g. --prune=windows,nogoods).
@@ -306,12 +312,19 @@ fn parse_prune(args: &Args) -> Result<PruneConfig, CliError> {
     PruneConfig::parse(args.flag("prune").unwrap_or("all")).map_err(err)
 }
 
+/// Parse `--tier` into a [`TierConfig`] (default: closure frontline +
+/// exact escalation).
+fn parse_tier(args: &Args) -> Result<TierConfig, CliError> {
+    TierConfig::parse(args.flag("tier").unwrap_or("closure,exact")).map_err(err)
+}
+
 fn cmd_verify(args: &Args, stdin: &str) -> Result<String, CliError> {
     args.expect_flags(&[
         "addr",
         "strategy",
         "budget",
         "jobs",
+        "tier",
         "prune",
         "metrics",
         "trace-out",
@@ -327,6 +340,7 @@ fn cmd_verify(args: &Args, stdin: &str) -> Result<String, CliError> {
             prune: parse_prune(args)?,
             ..Default::default()
         },
+        tier: parse_tier(args)?,
     };
     let mut out = String::new();
 
@@ -404,11 +418,17 @@ fn cmd_verify(args: &Args, stdin: &str) -> Result<String, CliError> {
         .with("addresses", report.addresses)
         .with("jobs", report.jobs)
         .with("coherent", u64::from(all_ok));
+    let tier_section = RunReportSection::new("tier")
+        .with("pipeline", verifier.tier.spec())
+        .with("frontline_decided", report.tiers.frontline_decided)
+        .with("escalated", report.tiers.escalated);
     let _ = writeln!(out, "# {}", verify_section.to_inline());
+    let _ = writeln!(out, "# {}", tier_section.to_inline());
     let _ = writeln!(out, "# {}", report.stats.to_report().to_inline());
     if let Some(session) = session {
         let mut run = RunReport::new();
         run.push_section(verify_section);
+        run.push_section(tier_section);
         run.push_section(report.stats.to_report());
         session.finish(&mut out, run)?;
     }
@@ -601,6 +621,7 @@ fn cmd_sim(args: &Args) -> Result<String, CliError> {
         "verify",
         "online",
         "jobs",
+        "tier",
         "prune",
         "metrics",
         "trace-out",
@@ -653,6 +674,7 @@ fn cmd_sim(args: &Args) -> Result<String, CliError> {
                 prune: parse_prune(args)?,
                 ..Default::default()
             },
+            tier: parse_tier(args)?,
             ..VmcVerifier::new()
         };
         let report = vermem_coherence::verify_execution_par(&cap.trace, &verifier, jobs);
@@ -667,6 +689,11 @@ fn cmd_sim(args: &Args) -> Result<String, CliError> {
             report.addresses,
             report.jobs
         );
+        let tier_section = RunReportSection::new("tier")
+            .with("pipeline", verifier.tier.spec())
+            .with("frontline_decided", report.tiers.frontline_decided)
+            .with("escalated", report.tiers.escalated);
+        let _ = writeln!(out, "# {}", tier_section.to_inline());
         let _ = writeln!(out, "# {}", report.stats.to_report().to_inline());
         run.push_section(
             RunReportSection::new("verify")
@@ -674,6 +701,7 @@ fn cmd_sim(args: &Args) -> Result<String, CliError> {
                 .with("jobs", report.jobs)
                 .with("coherent", u64::from(report.is_coherent())),
         );
+        run.push_section(tier_section);
         run.push_section(report.stats.to_report());
     }
     if args.has("online") {
@@ -849,6 +877,59 @@ mod tests {
             let out = run_ok(&["verify", "-", &format!("--prune={spec}")], VIOLATING);
             assert!(out.contains("NOT coherent"), "prune {spec}");
         }
+    }
+
+    #[test]
+    fn verify_tier_configs_agree() {
+        // The tier split is accounting + routing only: verdict lines are
+        // identical under both pipelines (the `#` report lines differ —
+        // that is the point of the ablation).
+        let trace = run_ok(&["gen", "--procs", "3", "--ops", "60", "--addrs", "2"], "");
+        let strip = |s: &str| -> String {
+            s.lines()
+                .filter(|l| !l.starts_with('#'))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let baseline = run_ok(&["verify", "-"], &trace);
+        assert!(
+            baseline.contains("tier: pipeline=closure,exact"),
+            "{baseline}"
+        );
+        for spec in ["closure,exact", "exact"] {
+            let out = run_ok(&["verify", "-", &format!("--tier={spec}")], &trace);
+            assert_eq!(strip(&out), strip(&baseline), "tier {spec}");
+            assert!(out.contains(&format!("tier: pipeline={spec}")), "{out}");
+        }
+        for spec in ["closure,exact", "exact"] {
+            let out = run_ok(&["verify", "-", &format!("--tier={spec}")], VIOLATING);
+            assert!(out.contains("NOT coherent"), "tier {spec}");
+        }
+    }
+
+    #[test]
+    fn verify_tier_rejects_unknown_pipeline() {
+        for spec in ["bogus", "exact,closure", ""] {
+            let e = run(
+                &["verify".into(), "-".into(), format!("--tier={spec}")],
+                COHERENT,
+            )
+            .expect_err(&format!("--tier={spec} should fail"));
+            assert!(e.0.contains("tier"), "{spec}: {}", e.0);
+        }
+    }
+
+    #[test]
+    fn sim_reports_tier_accounting() {
+        let out = run_ok(&["sim", "--cpus", "3", "--instrs", "30", "--verify"], "");
+        assert!(out.contains("tier: pipeline=closure,exact"), "{out}");
+        let exact = run_ok(
+            &[
+                "sim", "--cpus", "3", "--instrs", "30", "--verify", "--tier", "exact",
+            ],
+            "",
+        );
+        assert!(exact.contains("tier: pipeline=exact"), "{exact}");
     }
 
     #[test]

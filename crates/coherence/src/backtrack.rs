@@ -348,7 +348,26 @@ pub fn solve_backtracking_ops_with_stats(
             WindowOutcome::Table(t) => window_table = Some(t),
         }
     }
+    solve_escalated_ops_with_stats(ops, cfg, window_table)
+}
 
+/// Exact-tier **escalation** entry point: run the memoized DFS with the
+/// [`WindowTable`] the closure frontline ([`crate::closure`]) already
+/// computed, instead of re-running the fixpoint analysis.
+///
+/// Contract: the caller must have run [`precheck_ops`] (the frontline
+/// does), and `window` must be the table from that same analysis when
+/// `cfg.prune.windows` is on (`None` disables window pruning in the DFS,
+/// matching `prune.windows = false`). Under that contract the result —
+/// verdict, witness, and [`SearchStats`] — is bit-identical to
+/// [`solve_backtracking_ops_with_stats`], which itself now delegates here
+/// after its inline pre-passes.
+pub fn solve_escalated_ops_with_stats(
+    ops: &AddrOps,
+    cfg: &SearchConfig,
+    window_table: Option<WindowTable>,
+) -> (Verdict, SearchStats) {
+    let mut stats = SearchStats::default();
     let per_proc = ops.per_proc();
     let total = ops.num_ops();
     let initial = ops.initial();

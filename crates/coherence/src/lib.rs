@@ -23,11 +23,25 @@
 //! [`vermem_trace::classify`]) and dispatches to the cheapest applicable
 //! algorithm; [`verify_execution`] applies it per address, which by the
 //! definition in §3 decides coherence of the whole execution.
+//!
+//! ## Tiered verification
+//!
+//! By default the general (NP-complete) case no longer goes straight to
+//! the exact search: a polynomial constraint-**closure** frontline
+//! ([`closure`], TSOtool-style per Roy et al.) runs first and decides most
+//! real addresses outright, escalating only ambiguous residues to the
+//! exact tier — with the already-computed constraint table, so nothing is
+//! analyzed twice. [`TierConfig`] selects the pipeline
+//! (`closure,exact`, the default, vs the `exact` ablation); verdicts and
+//! [`SearchStats`] are bit-identical either way (soundness argument in
+//! DESIGN.md §4d), and [`par::ExecutionReport::tiers`] reports how many
+//! addresses each tier decided.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod backtrack;
+pub mod closure;
 pub mod explain;
 pub mod kernel;
 pub mod one_op;
@@ -44,6 +58,7 @@ pub mod write_order;
 pub use backtrack::{
     solve_backtracking, solve_backtracking_with_stats, PruneConfig, SearchConfig, SearchStats,
 };
+pub use closure::{ClosureOutcome, Tier, TierStats};
 pub use explain::{minimize_incoherent_core, ExplainConfig, MinimalCore};
 pub use kernel::{KernelConfig, KernelOutcome, TransitionSystem};
 pub use online::{OnlineCause, OnlineVerifier, OnlineViolation};
@@ -84,6 +99,63 @@ pub enum Strategy {
     Sat,
 }
 
+/// Which verification tiers run, and in what order (`--tier` on the CLI).
+///
+/// The default pipeline is `closure,exact`: the polynomial constraint
+/// closure ([`closure`]) fronts the exact search, which only sees
+/// escalated residues. `exact` is the ablation baseline that sends every
+/// general instance straight to the exponential tier. The Figure 5.3
+/// polynomial fast paths are part of the dispatcher, not a tier, so they
+/// run (and count as frontline-decided) under both configurations;
+/// verdicts and [`SearchStats`] are bit-identical under both.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TierConfig {
+    /// Run the closure frontline before the exact search on general
+    /// instances. Only effective while `search.prune.windows` is on: the
+    /// frontline *is* the window-inference pass, so `--prune=none` (and
+    /// any windows-off ablation) disables it to keep ablation semantics.
+    pub frontline: bool,
+}
+
+impl Default for TierConfig {
+    fn default() -> Self {
+        TierConfig::tiered()
+    }
+}
+
+impl TierConfig {
+    /// The default `closure,exact` pipeline.
+    pub fn tiered() -> Self {
+        TierConfig { frontline: true }
+    }
+
+    /// The `exact` ablation: every general instance goes straight to the
+    /// exact search.
+    pub fn exact_only() -> Self {
+        TierConfig { frontline: false }
+    }
+
+    /// Parse a CLI spec: `closure,exact` (the default) or `exact`.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        match spec.trim() {
+            "closure,exact" => Ok(Self::tiered()),
+            "exact" => Ok(Self::exact_only()),
+            other => Err(format!(
+                "unknown tier pipeline '{other}' (expected closure,exact or exact)"
+            )),
+        }
+    }
+
+    /// Canonical spec string (`closure,exact` or `exact`).
+    pub fn spec(&self) -> &'static str {
+        if self.frontline {
+            "closure,exact"
+        } else {
+            "exact"
+        }
+    }
+}
+
 /// A configured VMC verifier.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct VmcVerifier {
@@ -91,6 +163,8 @@ pub struct VmcVerifier {
     pub strategy: Strategy,
     /// Budget for the backtracking search.
     pub search: SearchConfig,
+    /// Tier pipeline (closure frontline on/off). Defaults to tiered.
+    pub tier: TierConfig,
 }
 
 impl VmcVerifier {
@@ -148,16 +222,109 @@ impl VmcVerifier {
     /// As [`VmcVerifier::verify_ops`], also returning the backtracking
     /// search statistics (zero for the polynomial fast paths).
     pub fn verify_ops_with_stats(&self, trace: &Trace, ops: &AddrOps) -> (Verdict, SearchStats) {
+        let (verdict, stats, _) = self.verify_ops_tiered(trace, ops);
+        (verdict, stats)
+    }
+
+    /// The tiered entry point: as [`VmcVerifier::verify_ops_with_stats`],
+    /// also reporting which [`Tier`] decided the address.
+    ///
+    /// On general instances with the frontline enabled (the default), the
+    /// polynomial [`closure`] runs first; only an ambiguous residue is
+    /// escalated to the exact search — together with the already-computed
+    /// constraint table, so the fixpoint is never analyzed twice. The
+    /// verdict and stats are bit-identical to the exact-only pipeline on
+    /// every input (DESIGN.md §4d), and a budget [`Verdict::Unknown`] from
+    /// the exact tier always passes through unmasked.
+    ///
+    /// ```
+    /// use vermem_coherence::{Tier, TierConfig, VmcVerifier};
+    /// use vermem_trace::{Addr, AddrOps, Op, TraceBuilder};
+    /// let trace = TraceBuilder::new()
+    ///     .proc([Op::w(1u64), Op::r(1u64), Op::r(2u64)])
+    ///     .proc([Op::w(2u64), Op::w(1u64)])
+    ///     .build();
+    /// let ops = AddrOps::of(&trace, Addr::ZERO);
+    /// let tiered = VmcVerifier::new(); // closure,exact by default
+    /// let (verdict, stats, tier) = tiered.verify_ops_tiered(&trace, &ops);
+    /// let exact = VmcVerifier { tier: TierConfig::exact_only(), ..VmcVerifier::new() };
+    /// let (v2, s2, t2) = exact.verify_ops_tiered(&trace, &ops);
+    /// assert_eq!((verdict, stats), (v2, s2)); // bit-identical verdicts
+    /// assert_eq!(t2, Tier::Exact); // but the ablation skipped the frontline
+    /// ```
+    pub fn verify_ops_tiered(&self, trace: &Trace, ops: &AddrOps) -> (Verdict, SearchStats, Tier) {
+        use vermem_util::obs;
+        let record = obs::enabled();
+        let t0 = if record { obs::now_us() } else { 0 };
         let out = match self.select_ops(ops) {
-            Algorithm::ReadMap => (readmap::solve_readmap_ops(ops), SearchStats::default()),
-            Algorithm::RmwReadMap => (rmw::solve_rmw_readmap_ops(ops), SearchStats::default()),
-            Algorithm::OneOpPerProc => (one_op::solve_one_op_ops(ops), SearchStats::default()),
-            Algorithm::RmwOneOp => (rmw::solve_rmw_one_op_ops(ops), SearchStats::default()),
+            Algorithm::ReadMap => (
+                readmap::solve_readmap_ops(ops),
+                SearchStats::default(),
+                Tier::Frontline,
+            ),
+            Algorithm::RmwReadMap => (
+                rmw::solve_rmw_readmap_ops(ops),
+                SearchStats::default(),
+                Tier::Frontline,
+            ),
+            Algorithm::OneOpPerProc => (
+                one_op::solve_one_op_ops(ops),
+                SearchStats::default(),
+                Tier::Frontline,
+            ),
+            Algorithm::RmwOneOp => (
+                rmw::solve_rmw_one_op_ops(ops),
+                SearchStats::default(),
+                Tier::Frontline,
+            ),
             Algorithm::Backtracking => {
-                backtrack::solve_backtracking_ops_with_stats(ops, &self.search)
+                // The frontline *is* the precheck + window-inference pass;
+                // with `prune.windows` off the exact search would not run
+                // it either, so eligibility follows the prune knob.
+                if self.tier.frontline && self.search.prune.windows {
+                    match closure::analyze_ops(ops) {
+                        (ClosureOutcome::Coherent(s), stats) => {
+                            (Verdict::Coherent(s), stats, Tier::Frontline)
+                        }
+                        (ClosureOutcome::Violation(v), stats) => {
+                            (Verdict::Incoherent(v), stats, Tier::Frontline)
+                        }
+                        (ClosureOutcome::Escalate(table), _) => {
+                            let (v, s) = backtrack::solve_escalated_ops_with_stats(
+                                ops,
+                                &self.search,
+                                Some(table),
+                            );
+                            (v, s, Tier::Exact)
+                        }
+                    }
+                } else {
+                    let (v, s) = backtrack::solve_backtracking_ops_with_stats(ops, &self.search);
+                    (v, s, Tier::Exact)
+                }
             }
-            Algorithm::SatEncoding => (solve_sat(trace, ops.addr()), SearchStats::default()),
+            Algorithm::SatEncoding => (
+                solve_sat(trace, ops.addr()),
+                SearchStats::default(),
+                Tier::Exact,
+            ),
         };
+        if record {
+            // Per-tier accounting: decided counts plus a latency histogram
+            // per deciding tier (escalated addresses land in the exact
+            // histogram with their full frontline + search duration).
+            let dur = obs::now_us().saturating_sub(t0);
+            match out.2 {
+                Tier::Frontline => {
+                    obs::counter_add("tier.frontline.decided", 1);
+                    obs::histogram_record("tier.frontline.us", dur);
+                }
+                Tier::Exact => {
+                    obs::counter_add("tier.escalated", 1);
+                    obs::histogram_record("tier.exact.us", dur);
+                }
+            }
+        }
         if let Verdict::Coherent(witness) = &out.0 {
             debug_assert!(
                 vermem_trace::check_coherent_schedule(trace, ops.addr(), witness).is_ok(),

@@ -31,7 +31,7 @@
 //!   sequential engine a special case of the parallel one.
 
 use crate::verdict::Verdict;
-use crate::{ExecutionVerdict, SearchStats, VmcVerifier};
+use crate::{ExecutionVerdict, SearchStats, TierStats, VmcVerifier};
 use std::collections::BTreeMap;
 use vermem_trace::{AddrIndex, Trace};
 use vermem_util::pool::{available_jobs, scoped_map, CancelToken};
@@ -45,6 +45,10 @@ pub struct ExecutionReport {
     /// Per-address [`SearchStats`] summed in address order up to and
     /// including the reported failure (all addresses when coherent).
     pub stats: SearchStats,
+    /// Per-tier accounting over the same deterministic address prefix:
+    /// how many addresses the polynomial frontline decided vs how many
+    /// were escalated to an exponential engine (see [`crate::closure`]).
+    pub tiers: TierStats,
     /// Number of distinct addresses in the trace.
     pub addresses: usize,
     /// Worker count actually used (after resolving `jobs == 0`).
@@ -87,7 +91,7 @@ pub fn verify_execution_par(trace: &Trace, verifier: &VmcVerifier, jobs: usize) 
         // table fall out of the trace; disabled = a no-op guard.
         let mut span = vermem_util::span!("verify.addr");
         let ops_i = index.entry(i);
-        let out = verifier.verify_ops_with_stats(trace, ops_i);
+        let out = verifier.verify_ops_tiered(trace, ops_i);
         if span.is_recording() {
             span.arg("addr", ops_i.addr().0 as u64);
             span.arg("ops", ops_i.num_ops() as u64);
@@ -105,15 +109,16 @@ pub fn verify_execution_par(trace: &Trace, verifier: &VmcVerifier, jobs: usize) 
     // a cancelled worker skipped, and stop at the first failure.
     let mut witnesses = BTreeMap::new();
     let mut stats = SearchStats::default();
+    let mut tiers = TierStats::default();
     for (i, slot) in results.into_iter().enumerate() {
         let ops = index.entry(i);
-        let (verdict, s) = match slot {
+        let (verdict, s, tier) = match slot {
             Some(solved) => solved,
             None => {
                 // Cancel-skipped slot re-solved inline: record it under the
                 // same span name so its cost is visible in the trace too.
                 let mut span = vermem_util::span!("verify.addr");
-                let out = verifier.verify_ops_with_stats(trace, ops);
+                let out = verifier.verify_ops_tiered(trace, ops);
                 if span.is_recording() {
                     span.arg("addr", ops.addr().0 as u64);
                     span.arg("ops", ops.num_ops() as u64);
@@ -124,6 +129,7 @@ pub fn verify_execution_par(trace: &Trace, verifier: &VmcVerifier, jobs: usize) 
             }
         };
         stats.absorb(&s);
+        tiers.record(tier);
         match verdict {
             Verdict::Coherent(w) => {
                 witnesses.insert(ops.addr(), w);
@@ -132,6 +138,7 @@ pub fn verify_execution_par(trace: &Trace, verifier: &VmcVerifier, jobs: usize) 
                 return ExecutionReport {
                     verdict: ExecutionVerdict::Incoherent(v),
                     stats,
+                    tiers,
                     addresses: n,
                     jobs,
                 };
@@ -140,6 +147,7 @@ pub fn verify_execution_par(trace: &Trace, verifier: &VmcVerifier, jobs: usize) 
                 return ExecutionReport {
                     verdict: ExecutionVerdict::Unknown { addr: ops.addr() },
                     stats,
+                    tiers,
                     addresses: n,
                     jobs,
                 };
@@ -149,6 +157,7 @@ pub fn verify_execution_par(trace: &Trace, verifier: &VmcVerifier, jobs: usize) 
     ExecutionReport {
         verdict: ExecutionVerdict::Coherent(witnesses),
         stats,
+        tiers,
         addresses: n,
         jobs,
     }
@@ -228,6 +237,7 @@ mod tests {
             for jobs in [2, 4, 8] {
                 let par = verify_execution_par(&t, &verifier, jobs);
                 assert_eq!(par.stats, baseline.stats, "seed {seed} jobs {jobs}");
+                assert_eq!(par.tiers, baseline.tiers, "seed {seed} jobs {jobs}");
                 assert_eq!(par.verdict, baseline.verdict, "seed {seed} jobs {jobs}");
             }
         }
@@ -271,6 +281,7 @@ mod tests {
         assert!(report.is_coherent());
         assert_eq!(report.addresses, 0);
         assert_eq!(report.stats, SearchStats::default());
+        assert_eq!(report.tiers, TierStats::default());
         assert!(report.jobs >= 1);
     }
 }

@@ -26,10 +26,26 @@
 //!   edges from singleton candidate sets). A must-precede cycle, an empty
 //!   window, or an emptied candidate set proves incoherence without any
 //!   search ([`WindowOutcome::Infeasible`]).
-//! * **Fast accept.** When the must-precede graph is acyclic, its
-//!   deterministic topological order is simulated; if it happens to be a
-//!   coherent schedule, the instance is decided positively with that
-//!   witness ([`WindowOutcome::Schedule`]) — again without search.
+//! * **fr-edge propagation** (TSOtool-style, cf. Roy et al.). A read `r`
+//!   with a *unique* serving candidate `w` sits between `w` and the next
+//!   write, so `r` must precede every write ordered after `w`, and every
+//!   write ordered before `r` must precede `w`. A read that can only see
+//!   the initial value precedes every write. Symmetrically, a candidate
+//!   dies when another write provably lands between it and the read (it
+//!   can no longer be the *latest* write before the read). These rules
+//!   feed the same fixpoint: new edges tighten windows, tighter windows
+//!   kill candidates, dead candidates force more edges. A cycle derived
+//!   this way is a polynomial incoherence proof.
+//! * **Final-value edge.** When the dumped final value has a unique
+//!   writer, that write is the last write of every coherent schedule, so
+//!   every other write must precede it.
+//! * **Fast accept.** When the must-precede graph is acyclic, a
+//!   deterministic *value-aware* topological simulation runs: released
+//!   reads of the current value are absorbed first, an RMW consuming the
+//!   current value outranks plain writes, remaining writes go in
+//!   `(lo, hi, id)` window order. If the simulation is a coherent
+//!   schedule, the instance is decided positively with that witness
+//!   ([`WindowOutcome::Schedule`]) — again without search.
 //!
 //! Everything here computes **necessary** conditions: a window/candidate
 //! is only discarded when *no* coherent schedule can use it, so pruning a
@@ -45,7 +61,7 @@ use vermem_util::hash::{FxHashMap, FxHashSet};
 
 /// Per-operation feasible position windows, indexed densely by
 /// `(process, program-order index)`.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct WindowTable {
     offsets: Vec<u32>,
     lo: Vec<u32>,
@@ -97,6 +113,32 @@ const MAX_CANDIDATE_PAIRS: usize = 1 << 22;
 /// sets, so convergence is guaranteed; the cap bounds worst-case cost
 /// (stopping early merely prunes less — still sound).
 const MAX_ROUNDS: usize = 32;
+
+/// Deep-rule budget. The quadratic-ish rules — fr-edge propagation (a
+/// transitive closure of the must-precede graph each round), the
+/// final-value write fan-out, and the init-read fan-out — only pay for
+/// themselves on small, constraint-dense addresses; above this many ops
+/// per address they are skipped and the cheap linear fixpoint still runs
+/// (skipping only prunes less — still sound).
+const MAX_DEEP_OPS: usize = 256;
+
+/// Record `a → b` in the must-precede graph unless already present.
+/// Returns true when the edge is new.
+fn add_edge(
+    a: u32,
+    b: u32,
+    succs: &mut [Vec<u32>],
+    preds: &mut [Vec<u32>],
+    seen: &mut FxHashSet<(u32, u32)>,
+) -> bool {
+    if a != b && seen.insert((a, b)) {
+        succs[a as usize].push(b);
+        preds[b as usize].push(a);
+        true
+    } else {
+        false
+    }
+}
 
 struct ReadInfo {
     /// Dense id of the read (or RMW read component).
@@ -209,8 +251,8 @@ pub fn analyze(ops: &AddrOps) -> WindowOutcome {
         }
     }
 
-    // Must-precede graph: program order seeds it; forced serving edges
-    // join during the fixpoint.
+    // Must-precede graph: program order seeds it; forced serving, fr, and
+    // final-value edges join during the fixpoint.
     let mut succs: Vec<Vec<u32>> = vec![Vec::new(); n];
     let mut preds: Vec<Vec<u32>> = vec![Vec::new(); n];
     let mut edge_seen: FxHashSet<(u32, u32)> = FxHashSet::default();
@@ -224,7 +266,37 @@ pub fn analyze(ops: &AddrOps) -> WindowOutcome {
         }
     }
 
+    let write_ids: Vec<u32> = flat
+        .iter()
+        .enumerate()
+        .filter(|(_, &(_, _, _, op))| op.is_writing())
+        .map(|(i, _)| i as u32)
+        .collect();
+
     let skip_fixpoint = pairs > MAX_CANDIDATE_PAIRS;
+    let deep = !skip_fixpoint && n <= MAX_DEEP_OPS;
+
+    // Final-value edge: the last write of every coherent schedule produces
+    // the dumped final value, so a *unique* writer of that value must
+    // follow every other write (an O(writes) fan-out — deep rule). No
+    // writer at all is a contradiction unless the final value is the
+    // (never overwritten) initial value; that check is always on.
+    if let Some(f) = ops.final_value() {
+        match writers.get(&f).map(Vec::as_slice) {
+            Some(&[wf]) if deep => {
+                for &w in &write_ids {
+                    add_edge(w, wf, &mut succs, &mut preds, &mut edge_seen);
+                }
+            }
+            Some(_) => {}
+            None => {
+                if f != initial || !write_ids.is_empty() {
+                    return WindowOutcome::Infeasible;
+                }
+            }
+        }
+    }
+
     let mut order: Vec<u32> = Vec::with_capacity(n);
     let mut rounds = 0;
     let mut changed = true;
@@ -272,20 +344,65 @@ pub fn analyze(ops: &AddrOps) -> WindowOutcome {
             }
         }
 
-        // Candidate filtering + forced serving edges.
+        // Transitive closure of this round's must-precede snapshot
+        // (reverse-topological bitset accumulation), for the fr rules.
+        // `reach[i]` holds the ops strictly after `i` in every schedule.
+        let words = n.div_ceil(64);
+        let mut reach: Vec<u64> = Vec::new();
+        if deep {
+            reach = vec![0u64; n * words];
+            let mut row = vec![0u64; words];
+            for &i in order.iter().rev() {
+                row.iter_mut().for_each(|x| *x = 0);
+                for &s in &succs[i as usize] {
+                    row[(s >> 6) as usize] |= 1 << (s & 63);
+                    let base = s as usize * words;
+                    for (k, x) in row.iter_mut().enumerate() {
+                        *x |= reach[base + k];
+                    }
+                }
+                reach[i as usize * words..][..words].copy_from_slice(&row);
+            }
+        }
+        let reaches =
+            |a: u32, b: u32| reach[a as usize * words + (b >> 6) as usize] >> (b & 63) & 1 == 1;
+
+        // Candidate filtering + forced serving edges + fr propagation.
+        let mut writes_before = vec![0u64; words];
         for r in &mut reads {
             let rid = r.id as usize;
             let before = r.cands.len();
             let prev = r.prev_write;
+            // Writes that must precede this read (fr rules below).
+            if deep {
+                writes_before.iter_mut().for_each(|x| *x = 0);
+                for &w in &write_ids {
+                    if reaches(w, r.id) {
+                        writes_before[(w >> 6) as usize] |= 1 << (w & 63);
+                    }
+                }
+            }
             r.cands.retain(|&w| {
                 let wid = w as usize;
                 // The serving write must be strictly before the read...
                 if lo[wid] >= hi[rid] {
                     return false;
                 }
-                // ...and strictly after the last own-process write.
+                // ...strictly after the last own-process write...
                 if let Some(pw) = prev {
                     if w != pw && lo[pw as usize] >= hi[wid] {
+                        return false;
+                    }
+                }
+                // ...and the *latest* write before the read: it is dead
+                // when another write provably lands between the two.
+                if deep {
+                    let base = wid * words;
+                    if writes_before
+                        .iter()
+                        .enumerate()
+                        .any(|(k, &wb)| reach[base + k] & wb != 0)
+                    {
                         return false;
                     }
                 }
@@ -299,54 +416,107 @@ pub fn analyze(ops: &AddrOps) -> WindowOutcome {
             }
             if !r.has_init && r.cands.len() == 1 {
                 let w = r.cands[0];
-                if edge_seen.insert((w, r.id)) {
-                    succs[w as usize].push(r.id);
-                    preds[r.id as usize].push(w);
-                    changed = true;
-                }
+                changed |= add_edge(w, r.id, &mut succs, &mut preds, &mut edge_seen);
                 if let Some(pw) = r.prev_write {
-                    if pw != w && edge_seen.insert((pw, w)) {
-                        succs[pw as usize].push(w);
-                        preds[w as usize].push(pw);
-                        changed = true;
+                    if pw != w {
+                        changed |= add_edge(pw, w, &mut succs, &mut preds, &mut edge_seen);
                     }
+                }
+                if deep {
+                    // fr edges: the read sits between its unique server
+                    // `w` and the next write, so it precedes every write
+                    // ordered after `w`, and every write ordered before
+                    // the read precedes `w`.
+                    for &w2 in &write_ids {
+                        if w2 == w || w2 == r.id {
+                            continue;
+                        }
+                        if reaches(w, w2) {
+                            changed |= add_edge(r.id, w2, &mut succs, &mut preds, &mut edge_seen);
+                        }
+                        if writes_before[(w2 >> 6) as usize] >> (w2 & 63) & 1 == 1 {
+                            changed |= add_edge(w2, w, &mut succs, &mut preds, &mut edge_seen);
+                        }
+                    }
+                }
+            }
+            if deep && r.has_init && r.cands.is_empty() {
+                // Must read the initial value, which no write re-produces
+                // (any such write would be a candidate): the read precedes
+                // every write (O(writes) fan-out per such read — deep rule).
+                for &w2 in &write_ids {
+                    changed |= add_edge(r.id, w2, &mut succs, &mut preds, &mut edge_seen);
                 }
             }
         }
     }
 
-    // Fast accept: simulate the deterministic topological order of the
-    // final must-precede graph. Success is self-certifying (the order is
-    // itself the witness schedule); failure just falls through to DFS.
+    // Fast accept: a value-aware greedy simulation of the must-precede
+    // graph. Reads are *absorbed* as soon as they are released and match
+    // the current value (the same admissible move the exact search makes
+    // greedily); an RMW whose read matches the current value outranks any
+    // plain write (skipping it could strand the RMW behind an overwrite);
+    // remaining writes go in deterministic `(lo, hi, id)` window order.
+    // Success is self-certifying — every scheduled read was checked
+    // against the value it sees, so the order is itself the witness
+    // schedule. Failure just falls through to DFS.
     if n > 0 && !skip_fixpoint {
         let mut indeg: Vec<u32> = preds.iter().map(|p| p.len() as u32).collect();
-        let mut ready: BinaryHeap<Reverse<(u32, u32, u32)>> = (0..n as u32)
-            .filter(|&i| indeg[i as usize] == 0)
-            .map(|i| Reverse((lo[i as usize], hi[i as usize], i)))
-            .collect();
+        // Released-but-unscheduled ops, bucketed by what can unblock them:
+        // plain reads and RMWs wait for their read value to become
+        // current; plain writes are always eligible.
+        type Bucket = FxHashMap<Value, BinaryHeap<Reverse<(u32, u32, u32)>>>;
+        fn pop_bucket(bucket: &mut Bucket, v: Value) -> Option<u32> {
+            let q = bucket.get_mut(&v)?;
+            let i = q.pop().map(|Reverse((_, _, i))| i);
+            if q.is_empty() {
+                bucket.remove(&v);
+            }
+            i
+        }
+        let mut ready_reads: Bucket = FxHashMap::default();
+        let mut ready_rmws: Bucket = FxHashMap::default();
+        let mut ready_writes: BinaryHeap<Reverse<(u32, u32, u32)>> = BinaryHeap::new();
+        let release = |i: u32,
+                       reads: &mut Bucket,
+                       rmws: &mut Bucket,
+                       writes: &mut BinaryHeap<Reverse<(u32, u32, u32)>>| {
+            let (_, _, _, op) = flat[i as usize];
+            let key = Reverse((lo[i as usize], hi[i as usize], i));
+            match op.read_value() {
+                Some(v) if op.written_value().is_some() => rmws.entry(v).or_default().push(key),
+                Some(v) => reads.entry(v).or_default().push(key),
+                None => writes.push(key),
+            }
+        };
+        for i in 0..n as u32 {
+            if indeg[i as usize] == 0 {
+                release(i, &mut ready_reads, &mut ready_rmws, &mut ready_writes);
+            }
+        }
         let mut sched: Vec<u32> = Vec::with_capacity(n);
         let mut current = initial;
-        let mut coherent = true;
-        while let Some(Reverse((_, _, i))) = ready.pop() {
-            let (_, _, _, op) = flat[i as usize];
-            if let Some(v) = op.read_value() {
-                if v != current {
-                    coherent = false;
-                    break;
-                }
-            }
-            if let Some(v) = op.written_value() {
+        while sched.len() < n {
+            // Absorb phase first, then the RMW consuming the current
+            // value, then the lowest-window plain write.
+            let next = pop_bucket(&mut ready_reads, current)
+                .or_else(|| pop_bucket(&mut ready_rmws, current))
+                .or_else(|| ready_writes.pop().map(|Reverse((_, _, i))| i));
+            let Some(i) = next else {
+                break; // released ops all wait on a value nobody can produce now
+            };
+            if let Some(v) = flat[i as usize].3.written_value() {
                 current = v;
             }
             sched.push(i);
             for &s in &succs[i as usize] {
                 indeg[s as usize] -= 1;
                 if indeg[s as usize] == 0 {
-                    ready.push(Reverse((lo[s as usize], hi[s as usize], s)));
+                    release(s, &mut ready_reads, &mut ready_rmws, &mut ready_writes);
                 }
             }
         }
-        if coherent && sched.len() == n && ops.final_value().is_none_or(|f| f == current) {
+        if sched.len() == n && ops.final_value().is_none_or(|f| f == current) {
             return WindowOutcome::Schedule(
                 sched.into_iter().map(|i| flat[i as usize].2).collect(),
             );
@@ -432,9 +602,10 @@ mod tests {
 
     #[test]
     fn undecided_instance_returns_windows_covering_program_order() {
-        // Coherent (W(1) R(1) W(2) R(2)), but the deterministic
-        // topological simulation pops W(2) before R(1) — the inference
-        // layer cannot decide it and must fall back to a window table.
+        // Whether the value-aware simulation decides this instance or
+        // falls back to a table, both outcomes must be well-formed: a
+        // returned schedule is a verified witness, returned windows cover
+        // program order.
         let t = TraceBuilder::new()
             .proc([Op::w(1u64), Op::w(2u64)])
             .proc([Op::r(1u64), Op::r(2u64)])

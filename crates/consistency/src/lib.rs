@@ -13,7 +13,9 @@
 //! * [`vsc_conflict`] — the O(n lg n) merge of per-address coherent
 //!   schedules into an SC schedule (and its §6.3 incompleteness);
 //! * [`vscc`] — the VSCC promise-problem pipeline (Definition 6.2):
-//!   coherence first, fast merge, exact fallback;
+//!   coherence first (through the coherence crate's default *tiered*
+//!   pipeline — closure frontline, exact escalation; see
+//!   [`vermem_coherence::closure`]), fast merge, exact fallback;
 //! * [`models`] — the consistency models as program-order relaxations, with
 //!   witness checkers;
 //! * [`litmus`] — the classic litmus suite with per-model expectations;
@@ -79,6 +81,26 @@ pub fn verify_model(trace: &Trace, model: MemoryModel) -> ConsistencyVerdict {
 /// SAT encoding for [`MemoryModel::CoherenceOnly`] (which has no
 /// operational machine; `cfg` is ignored there and the returned stats are
 /// zero).
+///
+/// ```
+/// use vermem_consistency::{verify_model_operational, KernelConfig, MemoryModel};
+/// use vermem_trace::{Op, TraceBuilder};
+/// // Store buffering again: TSO's per-process FIFO buffer explains it.
+/// let sb = TraceBuilder::new()
+///     .proc([Op::write(0u32, 1u64), Op::read(1u32, 0u64)])
+///     .proc([Op::write(1u32, 1u64), Op::read(0u32, 0u64)])
+///     .build();
+/// let (verdict, stats) = verify_model_operational(
+///     &sb, MemoryModel::Tso, &KernelConfig::default());
+/// assert!(verdict.is_consistent());
+/// assert!(stats.states > 0); // the machine really searched
+///
+/// // A budget of one state is exhausted immediately: explicit Unknown,
+/// // never a silent give-up.
+/// let tight = KernelConfig { max_states: Some(1), ..KernelConfig::default() };
+/// let (verdict, _) = verify_model_operational(&sb, MemoryModel::Tso, &tight);
+/// assert!(verdict.unknown_stats().is_some());
+/// ```
 pub fn verify_model_operational(
     trace: &Trace,
     model: MemoryModel,

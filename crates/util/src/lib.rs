@@ -10,7 +10,7 @@
 //! |-----------|---------------------|-----------------------------------------------------|
 //! | [`rng`]   | `rand`              | SplitMix64 + xoshiro256\*\* seedable PRNG           |
 //! | [`prop`]  | `proptest`          | `prop_check!` seeded cases + size-descent shrinking |
-//! | [`bench`] | `criterion`         | warmup + median/p95 wall-clock bench harness        |
+//! | [`mod@bench`] | `criterion`     | warmup + median/p95 wall-clock bench harness        |
 //! | [`codec`] | `bytes` (+ `serde`) | varint/fixed-width binary reader & writer           |
 //! | [`hash`]  | `rustc-hash`/`fxhash` | frozen-stream Fx hasher + `FxHashMap`/`FxHashSet` |
 //! | [`pool`]  | `rayon`/`crossbeam` | scoped work-stealing chunk pool with cancellation   |

@@ -19,8 +19,9 @@
 //! ## The zero-overhead-when-off contract
 //!
 //! Observability is **off by default** and gated by a single process-wide
-//! [`AtomicBool`]. The [`counter!`], [`gauge!`], [`histogram!`] and
-//! [`span!`] macros compile to a relaxed load plus a never-taken branch
+//! [`AtomicBool`]. The [`crate::counter!`], [`crate::gauge!`],
+//! [`crate::histogram!`] and [`crate::span!`] macros compile to a
+//! relaxed load plus a never-taken branch
 //! when disabled — no clock read, no allocation, no lock. Two rules keep
 //! that provable:
 //!
@@ -204,7 +205,7 @@ pub fn record_event(event: TraceEvent) {
 
 /// Start a span named `name`. Returns a no-op guard when disabled; when
 /// enabled, the guard records an `'X'` duration event on drop. Prefer the
-/// [`span!`] macro.
+/// [`crate::span!`] macro.
 pub fn span_start(name: &str) -> Span {
     if !enabled() {
         return Span::disabled();
@@ -249,7 +250,7 @@ macro_rules! counter {
     };
 }
 
-/// Set a gauge iff observability is enabled (see [`counter!`]).
+/// Set a gauge iff observability is enabled (see [`crate::counter!`]).
 #[macro_export]
 macro_rules! gauge {
     ($name:expr, $value:expr) => {
@@ -260,7 +261,7 @@ macro_rules! gauge {
 }
 
 /// Record a histogram value iff observability is enabled (see
-/// [`counter!`]).
+/// [`crate::counter!`]).
 #[macro_export]
 macro_rules! histogram {
     ($name:expr, $value:expr) => {

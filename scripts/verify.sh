@@ -46,6 +46,9 @@ cargo fmt --check
 echo "==> cargo clippy --offline -- -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc --no-deps --offline (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace > /dev/null
+
 echo "==> bench smoke (VERMEM_BENCH_FAST=1): thread-ladder bench runs"
 VERMEM_BENCH_FAST=1 cargo bench -q --offline -p vermem-bench --bench par_verify \
     > /dev/null
@@ -85,9 +88,9 @@ tmp=$(mktemp -d)
 python3 - "$tmp/BENCH_vmc.json" "BENCH_vmc.json" <<'EOF'
 import json, sys
 d = json.load(open(sys.argv[1]))
-assert d["schema"] == "vermem-bench-vmc/v4", d["schema"]
+assert d["schema"] == "vermem-bench-vmc/v5", d["schema"]
 assert d["par_verify"] and d["memo_ablation"] and d["prune_ablation"] \
-    and d["model_kernel"], "empty receipts"
+    and d["model_kernel"] and d["tier_ablation"], "empty receipts"
 host = d["host_parallelism"]
 assert host >= 1, host
 for case in d["par_verify"]:
@@ -139,6 +142,35 @@ for (case, model), rows in mk_by.items():
     assert k["key_allocs"] <= l["key_allocs"], \
         f"{case}/{model}: kernel keys allocated more than legacy"
 
+# E-TIER shape: per family exactly the tiered and exact-only configs;
+# the tier split always accounts for every processed address; and the two
+# configs return identical verdict counts (bit-identity of the frontline).
+def tier_check(doc, which):
+    t_by = {}
+    for row in doc["tier_ablation"]:
+        assert row["frontline_decided"] >= 0 and row["escalated"] >= 0, row
+        assert row["frontline_decided"] + row["escalated"] == row["addresses"], \
+            f"{which}: tier split != addresses: {row}"
+        assert row["traces"] > 0 and row["median_secs"] > 0, row
+        t_by.setdefault(row["family"], {})[row["tier"]] = row
+    assert set(t_by) >= {"healthy-sim", "generated", "litmus",
+                         "fault-injected"}, sorted(t_by)
+    for family, rows in t_by.items():
+        assert set(rows) == {"closure,exact", "exact"}, (family, sorted(rows))
+        a, b = rows["closure,exact"], rows["exact"]
+        for k in ("coherent", "incoherent", "unknown", "traces", "addresses"):
+            assert a[k] == b[k], \
+                f"{which}: {family}: tier configs disagree on {k}: {a[k]} != {b[k]}"
+    # Headline gate: the closure frontline decides >= 90% of healthy-sim
+    # capture addresses without escalating to the exact kernel.
+    hs = t_by["healthy-sim"]["closure,exact"]
+    assert hs["frontline_decided"] * 10 >= hs["addresses"] * 9, \
+        (f"{which}: healthy-sim frontline below 90%: "
+         f"{hs['frontline_decided']}/{hs['addresses']}")
+    return t_by
+
+tier_check(d, "fresh")
+
 # Headline claim: on the §5.2 blow-up instance, --prune=all shrinks
 # memo_misses (== states explored) by at least 5x vs --prune=none.
 e52 = by_case["e5.2-overcons"]
@@ -149,7 +181,12 @@ assert ratio >= 5.0, f"e5.2 prune ratio regressed to {ratio:.1f}x (< 5x)"
 # not explore more states than the committed run plus 5% slack (decided
 # rows are cap-independent, so fast/full receipts are comparable).
 committed = json.load(open(sys.argv[2]))
-if committed.get("schema") == "vermem-bench-vmc/v4":
+if committed.get("schema") == "vermem-bench-vmc/v5":
+    # The committed receipt must itself pass the tier shape checks and the
+    # 90% healthy-sim frontline gate (acceptance: the checked-in
+    # BENCH_vmc.json shows the frontline deciding the majority of
+    # healthy-trace addresses).
+    tier_check(committed, "committed")
     comm_by_case = {}
     for row in committed["prune_ablation"]:
         comm_by_case.setdefault(row["case"], {})[row["config"]] = row
@@ -168,6 +205,7 @@ assert obs["median_secs_disabled"] > 0 and obs["median_secs_enabled"] > 0, obs
 print(f"    ok ({len(d['par_verify'])} par cases, "
       f"{len(d['memo_ablation'])} memo rows, {len(prune)} prune rows, "
       f"{len(d['model_kernel'])} model-kernel rows, "
+      f"{len(d['tier_ablation'])} tier rows, "
       f"e5.2 prune ratio {ratio:.0f}x, "
       f"obs overhead {obs['enabled_overhead_pct']:+.2f}%)")
 EOF
