@@ -13,10 +13,12 @@
 //! E-KERNEL operational-machine ablation (SC/TSO/PSO on the shared
 //! exact-search kernel, packed/interned vs legacy memo keys), the E-TIER
 //! tiered-verification ablation (closure frontline vs exact-only, per
-//! trace family), and the observability-overhead probe, and writes
-//! machine-readable receipts (per-case medians, op/s, speedup vs 1
-//! thread, memo hit/miss counts, per-model key-allocation counts,
-//! per-tier address accounting, enabled-vs-disabled obs cost) to
+//! trace family), the E-STREAM streaming-engine family (sustained ops/s,
+//! p99 detection latency, and the bounded-memory peak-retained-windows
+//! probe at 1/4/16 concurrent streams), and the observability-overhead
+//! probe, and writes machine-readable receipts (per-case medians, op/s,
+//! speedup vs 1 thread, memo hit/miss counts, per-model key-allocation
+//! counts, per-tier address accounting, enabled-vs-disabled obs cost) to
 //! `BENCH_vmc.json` in the current directory. Set `VERMEM_BENCH_FAST=1` to shrink instance sizes and
 //! repetitions for smoke-test runs.
 //!
@@ -143,6 +145,10 @@ fn main() {
     if filter == "etier" {
         // Included in `epar`'s receipt run; also runnable standalone.
         e_tier();
+    }
+    if filter == "estream" {
+        // Included in `epar`'s receipt run; also runnable standalone.
+        e_stream();
     }
 
     if obs_on {
@@ -874,6 +880,10 @@ fn e_par_scaling(write_json: bool) {
     println!("\nE-TIER tiered verification (closure frontline vs exact-only):");
     print_tier_table(&tier);
 
+    let (estream, bounded) = estream_bench(reps, fast);
+    println!("\nE-STREAM sharded bounded-memory streaming engine:");
+    print_estream_table(&estream, &bounded);
+
     let obs = obs_overhead_probe(reps, fast);
     println!(
         "\nobservability overhead ({}): disabled {:.3} ms, enabled {:.3} ms ({:+.2}%)",
@@ -887,7 +897,17 @@ fn e_par_scaling(write_json: bool) {
         let path = "BENCH_vmc.json";
         std::fs::write(
             path,
-            bench_json(host, &cases, &memo, &prune, &model_kernel, &tier, &obs),
+            bench_json(
+                host,
+                &cases,
+                &memo,
+                &prune,
+                &model_kernel,
+                &tier,
+                &estream,
+                &bounded,
+                &obs,
+            ),
         )
         .expect("write BENCH_vmc.json");
         println!("\nwrote {path}");
@@ -1238,6 +1258,258 @@ fn e_tier() {
     print_tier_table(&rows);
 }
 
+/// One row of the E-STREAM receipt: the sharded bounded-memory streaming
+/// engine (`coherence::stream`) over N concurrent v3 event streams (half
+/// healthy, half fault-injected so the p99 detection-latency receipt has a
+/// data source), with batch verdict parity asserted per stream.
+struct EstreamRow {
+    streams: usize,
+    window: usize,
+    window_slack: usize,
+    jobs: usize,
+    events: u64,
+    median_secs: f64,
+    sustained_ops_per_sec: f64,
+    detections: usize,
+    p99_detect_latency_us: u64,
+    peak_retained_windows: u64,
+    incoherent: usize,
+    verdict_parity: bool,
+}
+
+/// The bounded-memory demonstration: a periodic synthetic event stream at
+/// R rounds and 10R rounds retains an **identical** peak number of
+/// windows — memory is O(window × addresses), independent of length.
+struct BoundedMemoryProbe {
+    window: usize,
+    events: u64,
+    peak_retained_windows: u64,
+    events_10x: u64,
+    peak_retained_windows_10x: u64,
+}
+
+/// N sim captures for one E-STREAM row: odd-indexed streams carry a
+/// corrupt-fill protocol fault (detections + incoherent verdicts), even
+/// ones are healthy.
+fn estream_captures(streams: usize, instrs_per_cpu: usize) -> Vec<vermem_sim::CapturedExecution> {
+    (0..streams)
+        .map(|i| {
+            let seed = 40 + i as u64;
+            let faults = if i % 2 == 1 {
+                vec![FaultPlan {
+                    kind: FaultKind::CorruptFill {
+                        cpu: 1,
+                        xor: 0xDEAD_0000,
+                    },
+                    at_step: 6,
+                }]
+            } else {
+                Vec::new()
+            };
+            Machine::run(
+                &random_program(&WorkloadConfig {
+                    cpus: 4,
+                    instrs_per_cpu,
+                    addrs: 4,
+                    write_fraction: 0.45,
+                    rmw_fraction: 0.0,
+                    seed,
+                }),
+                MachineConfig {
+                    seed,
+                    faults,
+                    ..Default::default()
+                },
+            )
+        })
+        .collect()
+}
+
+/// A perfectly periodic 2-process v3 event stream (unique-value write/read
+/// ping-pong over `addrs` addresses): after warm-up the retained state is
+/// periodic, so the peak is exactly length-invariant.
+fn periodic_stream(rounds: usize, addrs: u32) -> Vec<u8> {
+    use std::collections::BTreeMap;
+    use vermem_trace::{Op, ProcId, Value};
+    let mut initials = BTreeMap::new();
+    let mut finals = BTreeMap::new();
+    let mut events = Vec::with_capacity(rounds * addrs as usize * 2);
+    let mut v = 1u64;
+    for _ in 0..rounds {
+        for a in 0..addrs {
+            events.push((ProcId(0), Op::write(a, v)));
+            events.push((ProcId(1), Op::read(a, v)));
+            finals.insert(Addr(a), Value(v));
+            v += 1;
+        }
+    }
+    for a in 0..addrs {
+        initials.insert(Addr(a), Value(0));
+    }
+    vermem_trace::binary::encode_event_stream(2, &initials, &finals, &events)
+}
+
+/// E-STREAM: sustained streaming throughput + p99 detection latency at
+/// 1/4/16 concurrent streams, with per-stream batch verdict parity
+/// (asserted) and the peak-retained-windows receipt that `verify.sh`
+/// gates against `streams × window_slack`.
+fn estream_bench(reps: usize, fast: bool) -> (Vec<EstreamRow>, BoundedMemoryProbe) {
+    const WINDOW: usize = 256;
+    const SLACK: usize = 16;
+    let instrs = if fast { 30 } else { 120 };
+    let config = || vermem_coherence::StreamConfig {
+        window: Some(WINDOW),
+        jobs: 1,
+        temporal: true,
+        verifier: VmcVerifier::new(),
+    };
+    let mut rows = Vec::new();
+    for streams in [1usize, 4, 16] {
+        let caps = estream_captures(streams, instrs);
+        let byte_streams: Vec<Vec<u8>> = caps
+            .iter()
+            .map(|c| vermem_sim::event_stream_bytes(c).expect("SC capture streams"))
+            .collect();
+        // One instrumented pass for the receipt fields + batch parity.
+        let mut events = 0u64;
+        let mut peak = 0u64;
+        let mut detections = 0usize;
+        let mut latencies: Vec<u64> = Vec::new();
+        let mut incoherent = 0usize;
+        let mut parity = true;
+        for (cap, bytes) in caps.iter().zip(&byte_streams) {
+            let report =
+                vermem_coherence::verify_stream_bytes(bytes, config()).expect("stream decodes");
+            let batch = verify_execution_par(&cap.trace, &VmcVerifier::new(), 1);
+            parity &= report.verdict.matches_batch(&batch.verdict);
+            events += report.events;
+            peak += report.metrics.peak_retained_windows;
+            detections += report.detections.len();
+            latencies.extend_from_slice(&report.detect_latencies_us);
+            if !report.is_coherent() {
+                incoherent += 1;
+            }
+        }
+        assert!(
+            parity,
+            "E-STREAM: streaming verdicts must be bit-identical to batch"
+        );
+        assert!(
+            peak <= (streams * SLACK) as u64,
+            "E-STREAM: peak retained windows {peak} exceeds {streams} × {SLACK}"
+        );
+        let secs = median_secs(reps, || {
+            for bytes in &byte_streams {
+                let report =
+                    vermem_coherence::verify_stream_bytes(bytes, config()).expect("stream decodes");
+                assert!(report.events > 0);
+            }
+        })
+        .max(1e-12);
+        rows.push(EstreamRow {
+            streams,
+            window: WINDOW,
+            window_slack: SLACK,
+            jobs: 1,
+            events,
+            median_secs: secs,
+            sustained_ops_per_sec: events as f64 / secs,
+            detections,
+            p99_detect_latency_us: vermem_coherence::stream::percentile(&latencies, 99)
+                .unwrap_or(0),
+            peak_retained_windows: peak,
+            incoherent,
+            verdict_parity: parity,
+        });
+    }
+
+    // Bounded memory: same periodic workload at R and 10R rounds must
+    // retain an identical peak (asserted here, gated again by verify.sh).
+    const PROBE_WINDOW: usize = 64;
+    let rounds = if fast { 400 } else { 2_000 };
+    let probe_run = |rounds: usize| {
+        let bytes = periodic_stream(rounds, 3);
+        let report = vermem_coherence::verify_stream_bytes(
+            &bytes,
+            vermem_coherence::StreamConfig {
+                window: Some(PROBE_WINDOW),
+                jobs: 1,
+                temporal: true,
+                verifier: VmcVerifier::new(),
+            },
+        )
+        .expect("stream decodes");
+        assert!(report.is_coherent(), "periodic stream is coherent");
+        (report.events, report.metrics.peak_retained_windows)
+    };
+    let (events, peak) = probe_run(rounds);
+    let (events_10x, peak_10x) = probe_run(rounds * 10);
+    assert_eq!(
+        peak, peak_10x,
+        "peak retained windows must be independent of stream length"
+    );
+    (
+        rows,
+        BoundedMemoryProbe {
+            window: PROBE_WINDOW,
+            events,
+            peak_retained_windows: peak,
+            events_10x,
+            peak_retained_windows_10x: peak_10x,
+        },
+    )
+}
+
+fn print_estream_table(rows: &[EstreamRow], probe: &BoundedMemoryProbe) {
+    println!(
+        "{:>8} {:>7} {:>8} {:>12} {:>12} {:>7} {:>9} {:>9} {:>4} {:>7}",
+        "streams",
+        "window",
+        "events",
+        "median (ms)",
+        "ops/s",
+        "det",
+        "p99 (us)",
+        "peak win",
+        "inc",
+        "parity"
+    );
+    for r in rows {
+        println!(
+            "{:>8} {:>7} {:>8} {:>12.3} {:>12.0} {:>7} {:>9} {:>9} {:>4} {:>7}",
+            r.streams,
+            r.window,
+            r.events,
+            r.median_secs * 1e3,
+            r.sustained_ops_per_sec,
+            r.detections,
+            r.p99_detect_latency_us,
+            r.peak_retained_windows,
+            r.incoherent,
+            r.verdict_parity
+        );
+    }
+    println!(
+        "bounded memory (window {}): {} events peak {} windows; 10x length \
+         ({} events) peak {} windows",
+        probe.window,
+        probe.events,
+        probe.peak_retained_windows,
+        probe.events_10x,
+        probe.peak_retained_windows_10x
+    );
+}
+
+/// Console-only entry for the E-STREAM family (`experiments estream`); the
+/// `--json` receipt run includes the same rows in BENCH_vmc.json.
+fn e_stream() {
+    header("E-STREAM  sharded bounded-memory streaming verification");
+    let fast = std::env::var("VERMEM_BENCH_FAST").is_ok();
+    let reps = if fast { 3 } else { 7 };
+    let (rows, probe) = estream_bench(reps, fast);
+    print_estream_table(&rows, &probe);
+}
+
 /// Measure the exact search on the E-5.2 over-constrained instance with the
 /// observability layer off and on. The off run is the production default;
 /// the delta is what `--metrics`/`--trace-out` cost. Restores the previous
@@ -1539,6 +1811,7 @@ fn e_prune() {
 
 /// Hand-rolled JSON (the workspace is dependency-free): all strings are
 /// internally generated identifiers, so no escaping is needed.
+#[allow(clippy::too_many_arguments)]
 fn bench_json(
     host: usize,
     cases: &[ParCase],
@@ -1546,11 +1819,13 @@ fn bench_json(
     prune: &[PruneRow],
     model_kernel: &[ModelKernelRow],
     tier: &[TierRow],
+    estream: &[EstreamRow],
+    bounded: &BoundedMemoryProbe,
     obs: &ObsOverhead,
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"vermem-bench-vmc/v5\",\n");
+    s.push_str("  \"schema\": \"vermem-bench-vmc/v6\",\n");
     s.push_str(&format!("  \"host_parallelism\": {host},\n"));
     s.push_str("  \"par_verify\": [\n");
     for (i, c) in cases.iter().enumerate() {
@@ -1648,6 +1923,40 @@ fn bench_json(
         s.push_str(if i + 1 < tier.len() { ",\n" } else { "\n" });
     }
     s.push_str("  ],\n");
+    s.push_str("  \"estream\": [\n");
+    for (i, r) in estream.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"streams\": {}, \"window\": {}, \"window_slack\": {}, \
+             \"jobs\": {}, \"events\": {}, \"median_secs\": {:.9}, \
+             \"sustained_ops_per_sec\": {:.1}, \"detections\": {}, \
+             \"p99_detect_latency_us\": {}, \"peak_retained_windows\": {}, \
+             \"incoherent\": {}, \"verdict_parity\": {}}}",
+            r.streams,
+            r.window,
+            r.window_slack,
+            r.jobs,
+            r.events,
+            r.median_secs,
+            r.sustained_ops_per_sec,
+            r.detections,
+            r.p99_detect_latency_us,
+            r.peak_retained_windows,
+            r.incoherent,
+            r.verdict_parity
+        ));
+        s.push_str(if i + 1 < estream.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n");
+    s.push_str(&format!(
+        "  \"estream_bounded_memory\": {{\"window\": {}, \"events\": {}, \
+         \"peak_retained_windows\": {}, \"events_10x\": {}, \
+         \"peak_retained_windows_10x\": {}}},\n",
+        bounded.window,
+        bounded.events,
+        bounded.peak_retained_windows,
+        bounded.events_10x,
+        bounded.peak_retained_windows_10x
+    ));
     s.push_str(&format!(
         "  \"obs_overhead\": {{\"case\": \"{}\", \"median_secs_disabled\": {:.9}, \
          \"median_secs_enabled\": {:.9}, \"enabled_overhead_pct\": {:.4}}}\n",

@@ -17,6 +17,9 @@
 //! vermem reduce <dimacs> [--figure 4.1|5.1|5.2]
 //! vermem sim --cpus N --instrs N [--addrs N] [--tso|--directory] [--seed N] [--verify] [--online] [--jobs N]
 //!            [--tier SPEC] [--prune SPEC] [--metrics[=json|text]] [--trace-out FILE]
+//! vermem serve [<stream.bin>...] [--streams N] [--window W|unbounded] [--jobs N] [--chunk BYTES]
+//!              [--cpus N] [--instrs N] [--addrs N] [--seed N] [--fault]
+//!              [--metrics[=json|text]] [--trace-out FILE]
 //! vermem sat <dimacs>
 //! vermem litmus
 //! ```
@@ -75,6 +78,9 @@ USAGE:
   vermem sim --cpus N --instrs N [--addrs N] [--tso|--directory] [--seed N]
              [--verify] [--online] [--jobs N] [--tier SPEC] [--prune SPEC]
              [--metrics[=json|text]] [--trace-out FILE]
+  vermem serve [<stream.bin>...] [--streams N] [--window W|unbounded] [--jobs N]
+               [--chunk BYTES] [--cpus N] [--instrs N] [--addrs N] [--seed N]
+               [--fault] [--metrics[=json|text]] [--trace-out FILE]
   vermem sat <dimacs>
   vermem litmus
 
@@ -92,6 +98,13 @@ windows,symmetry,nogoods (e.g. --prune=windows,nogoods).
 --metrics appends the unified run report (text, or JSON with
 --metrics=json); --trace-out FILE writes a Chrome trace-event JSON file
 loadable in chrome://tracing or https://ui.perfetto.dev.
+serve runs the sharded bounded-memory streaming engine over binary trace
+streams (v2 proc-major files or v3 temporal event logs), feeding each in
+--chunk-byte slices; with no file arguments it synthesizes --streams
+simulator event streams (--fault injects a protocol fault into each).
+--window W bounds retained state per address (ops/slots); 'unbounded' or
+0 disables retirement. Streaming verdicts are bit-identical to batch
+verification.
 ";
 
 /// Minimal flag parser: positional arguments plus `--flag [value]` pairs
@@ -103,7 +116,15 @@ struct Args {
 
 /// Flags that take no value. `metrics` is special: bare `--metrics`
 /// means text, `--metrics=json` selects the JSON rendering.
-const BOOL_FLAGS: &[&str] = &["tso", "verify", "online", "directory", "help", "metrics"];
+const BOOL_FLAGS: &[&str] = &[
+    "tso",
+    "verify",
+    "online",
+    "directory",
+    "fault",
+    "help",
+    "metrics",
+];
 
 impl Args {
     fn parse(args: &[String]) -> Result<Args, CliError> {
@@ -275,6 +296,7 @@ pub fn run(args: &[String], stdin: &str) -> Result<String, CliError> {
         "inject" => cmd_inject(&rest, stdin),
         "reduce" => cmd_reduce(&rest, stdin),
         "sim" => cmd_sim(&rest),
+        "serve" => cmd_serve(&rest),
         "sat" => cmd_sat(&rest, stdin),
         "litmus" => {
             rest.expect_flags(&[])?;
@@ -731,6 +753,199 @@ fn cmd_sim(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Parse `--window` for `serve`: a positive op/slot budget per address,
+/// or `unbounded` / `0` to disable retirement.
+fn parse_window(args: &Args) -> Result<Option<usize>, CliError> {
+    match args.flag("window") {
+        None => Ok(Some(4096)),
+        Some("unbounded") => Ok(None),
+        Some(v) => {
+            let n: usize = v
+                .parse()
+                .map_err(|_| err(format!("invalid --window value '{v}'")))?;
+            Ok(if n == 0 { None } else { Some(n) })
+        }
+    }
+}
+
+fn cmd_serve(args: &Args) -> Result<String, CliError> {
+    args.expect_flags(&[
+        "streams",
+        "window",
+        "jobs",
+        "chunk",
+        "cpus",
+        "instrs",
+        "addrs",
+        "seed",
+        "fault",
+        "metrics",
+        "trace-out",
+    ])?;
+    let session = ObsSession::start(args)?;
+    let window = parse_window(args)?;
+    let jobs = args.num::<usize>("jobs", 0)?; // 0 = available_parallelism
+    let chunk = args.num("chunk", 64 * 1024usize)?.max(1);
+
+    // Gather the input streams: binary files if given, otherwise
+    // synthesized simulator event logs (one SC machine run per stream).
+    let mut inputs: Vec<(String, Vec<u8>)> = Vec::new();
+    if args.positional.is_empty() {
+        let streams = args.num("streams", 4usize)?.max(1);
+        let cpus = args.num("cpus", 4usize)?;
+        let instrs = args.num("instrs", 256usize)?;
+        let seed = args.num("seed", 1u64)?;
+        for i in 0..streams {
+            let s = seed.wrapping_add(i as u64);
+            let program = vermem_sim::random_program(&vermem_sim::WorkloadConfig {
+                cpus,
+                instrs_per_cpu: instrs.div_ceil(cpus.max(1)),
+                addrs: args.num("addrs", 4usize)?,
+                write_fraction: 0.45,
+                rmw_fraction: 0.0,
+                seed: s,
+            });
+            let faults = if args.has("fault") {
+                vec![vermem_sim::FaultPlan {
+                    kind: vermem_sim::FaultKind::CorruptFill {
+                        cpu: 1,
+                        xor: 0xDEAD_0000,
+                    },
+                    at_step: 6,
+                }]
+            } else {
+                Vec::new()
+            };
+            let cap = vermem_sim::Machine::run(
+                &program,
+                vermem_sim::MachineConfig {
+                    seed: s,
+                    faults,
+                    ..Default::default()
+                },
+            );
+            let bytes = vermem_sim::event_stream_bytes(&cap)
+                .map_err(|e| err(format!("stream {i}: {e}")))?;
+            inputs.push((format!("sim:{s}"), bytes));
+        }
+    } else {
+        for path in &args.positional {
+            let bytes = std::fs::read(path).map_err(|e| err(format!("cannot read {path}: {e}")))?;
+            inputs.push((path.clone(), bytes));
+        }
+    }
+
+    let mut out = String::new();
+    let mut run = RunReport::new();
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut total_events = 0u64;
+    let mut total_us = 0u64;
+    let mut incoherent = 0usize;
+    let mut peak_windows = 0u64;
+    for (i, (name, bytes)) in inputs.iter().enumerate() {
+        // The v3 framing carries a temporal event log with meaningful
+        // detection latencies; v2 proc-major files do not.
+        let temporal = bytes.len() >= 6 && u16::from_le_bytes([bytes[4], bytes[5]]) == 3;
+        let t0 = obs::now_us();
+        let mut engine = vermem_coherence::StreamVerifier::new(vermem_coherence::StreamConfig {
+            window,
+            jobs,
+            temporal,
+            verifier: VmcVerifier::new(),
+        });
+        for piece in bytes.chunks(chunk) {
+            engine
+                .ingest(piece)
+                .map_err(|e| err(format!("{name}: {e}")))?;
+        }
+        engine
+            .end_input()
+            .map_err(|e| err(format!("{name}: {e}")))?;
+        if engine.needs_replay() {
+            for piece in bytes.chunks(chunk) {
+                engine
+                    .ingest_replay(piece)
+                    .map_err(|e| err(format!("{name}: {e}")))?;
+            }
+        }
+        let report = engine.finish();
+        let elapsed = obs::now_us().saturating_sub(t0).max(1);
+        let ops_per_sec = report.events.saturating_mul(1_000_000) / elapsed;
+        total_events += report.events;
+        total_us += elapsed;
+        peak_windows = peak_windows.max(report.metrics.peak_retained_windows);
+        if !report.is_coherent() {
+            incoherent += 1;
+        }
+        latencies.extend_from_slice(&report.detect_latencies_us);
+        let verdict = match &report.verdict {
+            vermem_coherence::StreamVerdict::Coherent => "coherent".to_string(),
+            vermem_coherence::StreamVerdict::Incoherent(v) => {
+                format!("VIOLATION at address {}", v.addr.0)
+            }
+            vermem_coherence::StreamVerdict::Unknown { addr } => {
+                format!("unknown at address {}", addr.0)
+            }
+        };
+        let _ = writeln!(
+            out,
+            "# stream {i} ({name}): {verdict} — {} events, {} addrs, {} ops/s, \
+             peak {} windows, {} detections",
+            report.events,
+            report.addresses,
+            ops_per_sec,
+            report.metrics.peak_retained_windows,
+            report.detections.len()
+        );
+        run.push_section(
+            RunReportSection::new(&format!("stream{i}"))
+                .with("events", report.events)
+                .with("coherent", u64::from(report.is_coherent()))
+                .with("sustained_ops_per_sec", ops_per_sec)
+                .with(
+                    "peak_retained_windows",
+                    report.metrics.peak_retained_windows,
+                )
+                .with("retired_ops", report.metrics.retired_ops)
+                .with("retired_bytes", report.metrics.retired_bytes)
+                .with("sealed_addresses", report.metrics.sealed_addresses)
+                .with("exact_addresses", report.metrics.exact_addresses)
+                .with("replayed_addresses", report.metrics.replayed_addresses)
+                .with("detections", report.detections.len()),
+        );
+    }
+    let aggregate_ops = total_events.saturating_mul(1_000_000) / total_us.max(1);
+    let p99 = vermem_coherence::stream::percentile(&latencies, 99);
+    let _ = writeln!(
+        out,
+        "# serve: {} stream(s), {} incoherent, {} events, {} ops/s sustained, \
+         p99 detect latency {}, peak {} windows (window {})",
+        inputs.len(),
+        incoherent,
+        total_events,
+        aggregate_ops,
+        p99.map_or_else(|| "-".to_string(), |v| format!("{v} us")),
+        peak_windows,
+        window.map_or_else(|| "unbounded".to_string(), |w| w.to_string()),
+    );
+    let mut serve_section = RunReportSection::new("serve")
+        .with("streams", inputs.len())
+        .with("incoherent", incoherent)
+        .with("events", total_events)
+        .with("sustained_ops_per_sec", aggregate_ops)
+        .with("peak_retained_windows", peak_windows)
+        .with("jobs", jobs)
+        .with("window", window.unwrap_or(0));
+    if let Some(p99) = p99 {
+        serve_section = serve_section.with("p99_detect_latency_us", p99);
+    }
+    run.push_section(serve_section);
+    if let Some(session) = session {
+        session.finish(&mut out, run)?;
+    }
+    Ok(out)
+}
+
 fn cmd_sat(args: &Args, stdin: &str) -> Result<String, CliError> {
     args.expect_flags(&[])?;
     let path = args
@@ -1125,6 +1340,103 @@ mod tests {
         );
         assert!(out.contains("# verification: coherent"));
         assert!(run(&["sim".into(), "--tso".into(), "--directory".into()], "").is_err());
+    }
+
+    #[test]
+    fn serve_synthesizes_and_verifies_streams() {
+        let out = run_ok(
+            &[
+                "serve",
+                "--streams",
+                "2",
+                "--instrs",
+                "60",
+                "--window",
+                "64",
+                "--jobs",
+                "1",
+            ],
+            "",
+        );
+        assert!(out.contains("# stream 0 (sim:1): coherent"), "{out}");
+        assert!(out.contains("# stream 1 (sim:2): coherent"), "{out}");
+        assert!(out.contains("# serve: 2 stream(s), 0 incoherent"), "{out}");
+        assert!(out.contains("ops/s sustained"), "{out}");
+    }
+
+    #[test]
+    fn serve_surfaces_faulty_streams() {
+        // A corrupt-fill fault in every synthesized stream: at least one
+        // must verify incoherent, and serve must say so per stream and in
+        // the aggregate line.
+        let out = run_ok(
+            &[
+                "serve",
+                "--streams",
+                "3",
+                "--instrs",
+                "60",
+                "--fault",
+                "--window",
+                "32",
+            ],
+            "",
+        );
+        assert!(out.contains("VIOLATION at address"), "{out}");
+        assert!(!out.contains(" 0 incoherent"), "{out}");
+    }
+
+    #[test]
+    fn serve_reads_stream_files_and_is_window_invariant() {
+        // Write one v2 batch file and one faulty v3 event stream, then
+        // serve both; verdicts must match batch verification regardless
+        // of window and chunk size.
+        let cap = vermem_sim::Machine::run(
+            &vermem_sim::random_program(&vermem_sim::WorkloadConfig {
+                cpus: 3,
+                instrs_per_cpu: 20,
+                addrs: 3,
+                write_fraction: 0.5,
+                rmw_fraction: 0.0,
+                seed: 11,
+            }),
+            vermem_sim::MachineConfig {
+                seed: 11,
+                ..Default::default()
+            },
+        );
+        let v2 = scratch("serve-v2");
+        std::fs::write(&v2, vermem_trace::binary::encode_trace(&cap.trace)).unwrap();
+        let v3 = scratch("serve-v3");
+        std::fs::write(&v3, vermem_sim::event_stream_bytes(&cap).unwrap()).unwrap();
+        let v2s = v2.to_string_lossy().to_string();
+        let v3s = v3.to_string_lossy().to_string();
+        for window in ["16", "unbounded"] {
+            for chunk in ["7", "65536"] {
+                let out = run_ok(
+                    &["serve", &v2s, &v3s, "--window", window, "--chunk", chunk],
+                    "",
+                );
+                assert!(
+                    out.contains("# serve: 2 stream(s), 0 incoherent"),
+                    "window {window} chunk {chunk}: {out}"
+                );
+            }
+        }
+        let _ = std::fs::remove_file(&v2);
+        let _ = std::fs::remove_file(&v3);
+    }
+
+    #[test]
+    fn serve_metrics_report_streaming_receipts() {
+        let out = run_ok(
+            &["serve", "--streams", "1", "--instrs", "40", "--metrics"],
+            "",
+        );
+        assert!(out.contains("sustained_ops_per_sec"), "{out}");
+        assert!(out.contains("peak_retained_windows"), "{out}");
+        let e = run(&["serve".into(), "--bogus".into(), "7".into()], "").unwrap_err();
+        assert!(e.0.contains("unknown flag"), "{}", e.0);
     }
 
     #[test]

@@ -51,6 +51,7 @@ pub mod par;
 pub mod readmap;
 pub mod rmw;
 pub mod sat_encode;
+pub mod stream;
 mod verdict;
 pub mod windows;
 pub mod write_order;
@@ -64,6 +65,9 @@ pub use kernel::{KernelConfig, KernelOutcome, TransitionSystem};
 pub use online::{OnlineCause, OnlineVerifier, OnlineViolation};
 pub use par::{verify_execution_par, ExecutionReport};
 pub use sat_encode::{encode_vmc, solve_sat, solve_sat_certified, VmcEncoding};
+pub use stream::{
+    verify_stream_bytes, StreamConfig, StreamMetrics, StreamReport, StreamVerdict, StreamVerifier,
+};
 pub use verdict::{Verdict, Violation, ViolationKind};
 pub use write_order::solve_with_write_order;
 
@@ -253,6 +257,37 @@ impl VmcVerifier {
     /// assert_eq!(t2, Tier::Exact); // but the ablation skipped the frontline
     /// ```
     pub fn verify_ops_tiered(&self, trace: &Trace, ops: &AddrOps) -> (Verdict, SearchStats, Tier) {
+        self.verify_ops_tiered_inner(Some(trace), ops)
+    }
+
+    /// As [`VmcVerifier::verify_ops_tiered`], without a backing [`Trace`].
+    ///
+    /// Every algorithm except the SAT encoding works entirely from the
+    /// [`AddrOps`] entry, so a caller that only has per-address operation
+    /// lists — the streaming engine re-materialising a pinned address —
+    /// gets the same verdict, [`SearchStats`], and [`Tier`] the batch path
+    /// produces for an equal entry (bit-identical by construction: it *is*
+    /// the same dispatch). The witness debug check (which needs the trace)
+    /// is skipped.
+    ///
+    /// # Panics
+    ///
+    /// If the verifier is configured with [`Strategy::Sat`], which encodes
+    /// from the full trace; detached callers must reject that strategy up
+    /// front.
+    pub fn verify_ops_detached(&self, ops: &AddrOps) -> (Verdict, SearchStats, Tier) {
+        assert!(
+            self.strategy != Strategy::Sat,
+            "Strategy::Sat needs a backing trace; detached verification does not support it"
+        );
+        self.verify_ops_tiered_inner(None, ops)
+    }
+
+    fn verify_ops_tiered_inner(
+        &self,
+        trace: Option<&Trace>,
+        ops: &AddrOps,
+    ) -> (Verdict, SearchStats, Tier) {
         use vermem_util::obs;
         let record = obs::enabled();
         let t0 = if record { obs::now_us() } else { 0 };
@@ -304,7 +339,10 @@ impl VmcVerifier {
                 }
             }
             Algorithm::SatEncoding => (
-                solve_sat(trace, ops.addr()),
+                solve_sat(
+                    trace.expect("Strategy::Sat rejected by detached entry point"),
+                    ops.addr(),
+                ),
                 SearchStats::default(),
                 Tier::Exact,
             ),
@@ -325,7 +363,7 @@ impl VmcVerifier {
                 }
             }
         }
-        if let Verdict::Coherent(witness) = &out.0 {
+        if let (Verdict::Coherent(witness), Some(trace)) = (&out.0, trace) {
             debug_assert!(
                 vermem_trace::check_coherent_schedule(trace, ops.addr(), witness).is_ok(),
                 "solver produced invalid witness"

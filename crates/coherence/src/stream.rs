@@ -1,0 +1,1415 @@
+//! Sharded bounded-memory streaming verification — the engine behind
+//! `vermem serve`.
+//!
+//! The paper's introduction motivates coherence verification as an *online
+//! hardware error detector*; [`crate::online`] is the single-threaded
+//! prototype of that idea, but it never retires state and only understands
+//! one in-memory event feed. This module turns it into a real engine:
+//!
+//! * **Input** is the binary wire format, fed in arbitrary chunks through
+//!   [`vermem_trace::binary::ChunkReader`] — both v2 batch files and v3
+//!   interleaved event streams, with records split anywhere.
+//! * **Sharding**: events are routed per-address onto `jobs` worker
+//!   threads over bounded SPSC queues ([`vermem_util::pool::spsc_channel`],
+//!   backpressure visible on the `pool.spsc.queue` gauge). Addresses are
+//!   independent (§3: coherence is a per-address property), so a shard owns
+//!   its addresses outright and no cross-shard synchronization exists.
+//! * **Windowed retirement**: each address keeps (a) a greedy §5.2
+//!   placement monitor — the *summary*: committed-value slots, a read-map
+//!   frontier of per-process cursors, deferred reads — and (b) a retention
+//!   buffer of the raw ops. Once the buffer outgrows the configured window
+//!   while the address is still on the polynomial fast path, the raw ops
+//!   are **retired** (dropped, counted in `retired_bytes`) and the summary
+//!   alone carries the verification forward; committed slots below every
+//!   process's frontier are retired the same way. Memory is O(window ×
+//!   live addresses) regardless of stream length.
+//! * **Escalation preserves bit-identical verdicts**: any address the
+//!   summary cannot seal (RMWs, duplicate written values, writes of the
+//!   initial value, an unplaced read, a final-value mismatch) is *pinned*
+//!   and handed to the exact tiered kernel at end of stream, on exactly
+//!   the ops the batch [`vermem_trace::AddrIndex`] would have produced —
+//!   from the retention buffer when it survived, or re-collected by a
+//!   second [`StreamVerifier::ingest_replay`] pass when it was retired.
+//!   The final reduction walks addresses in ascending order and stops at
+//!   the first failure, mirroring [`crate::verify_execution_par`], so the
+//!   verdict, first [`Violation`], [`SearchStats`] and [`TierStats`] are
+//!   bit-identical to the batch engine at every `jobs` and window setting.
+//!
+//! ## Why a sealed summary is sound
+//!
+//! A *sealed-clean* address satisfies: no RMWs, no value written twice, no
+//! write of the initial value (the read-map class of Figure 5.3), every
+//! read greedily placed, no deferred reads left, and the declared final
+//! value equal to the last committed write. The greedy placement *is* a
+//! coherent schedule for the address — commit order as the write order,
+//! each read inserted at its placed slot — so the address is coherent; and
+//! because the class is exactly the one the batch dispatcher sends to the
+//! (complete) read-map solver, the batch verdict is `Coherent` with
+//! `Tier::Frontline` and zero search stats: precisely what the sealed path
+//! reports. Every other case escalates to the same exact kernel the batch
+//! engine runs. Retirement never flips a verdict: dropping raw ops is only
+//! a bet that the address will seal — if it later pins, the ops are
+//! re-materialized losslessly by the replay pass; retiring committed slots
+//! below the global read frontier can at worst make the monitor *defer* a
+//! read that batch placement would have served, which pins the address and
+//! escalates it (extra work, never a wrong answer).
+//!
+//! Detection events ([`OnlineViolation`]) and their issue→detect latency
+//! gap are recorded only when the stream is declared *temporal*
+//! ([`StreamConfig::temporal`]) — i.e. the interleaving is the machine's
+//! commit order, where "the greedy monitor got stuck" is meaningful as a
+//! hardware error detection. They are metrics, not verdicts: the verdict
+//! always comes from the sealed/exact reduction above.
+
+use crate::online::{OnlineCause, OnlineViolation};
+use crate::verdict::Verdict;
+use crate::{SearchStats, Strategy, Tier, TierStats, Violation, VmcVerifier};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::thread::JoinHandle;
+use vermem_trace::binary::{ChunkReader, DecodeError, StreamEvent};
+use vermem_trace::{Addr, AddrOps, Op, OpRef, ProcId, Value};
+use vermem_util::obs;
+use vermem_util::pool::{available_jobs, scoped_map, spsc_channel, CancelToken, SpscSender};
+
+/// Events per routed batch handed to a shard queue.
+const BATCH: usize = 256;
+/// Batches in flight per shard before the router blocks (backpressure).
+const QUEUE_CAP: usize = 8;
+/// Maximum detection events retained in a report.
+const DETECTION_CAP: usize = 1024;
+/// Maximum latency samples retained per shard.
+const LATENCY_CAP: usize = 65_536;
+/// Accounting quantum for `peak_retained_windows` when no window is set.
+const UNBOUNDED_SLAB: usize = 4096;
+
+/// Configuration for a [`StreamVerifier`].
+#[derive(Clone, Debug)]
+pub struct StreamConfig {
+    /// Retention window in ops per address: once an address buffers more
+    /// raw ops than this while still on the polynomial fast path, the
+    /// buffer is retired. `None` retains everything (no replay ever
+    /// needed, memory grows with the stream).
+    pub window: Option<usize>,
+    /// Worker shards (`0` = [`available_jobs`]). `1` runs inline on the
+    /// ingesting thread — the deterministic baseline the differential
+    /// tests compare against.
+    pub jobs: usize,
+    /// Whether the event interleaving is the machine's temporal commit
+    /// order. Gates detection-event and latency recording (a proc-major v2
+    /// file is a valid op multiset but its interleaving carries no timing,
+    /// so monitor stalls there are not "detections").
+    pub temporal: bool,
+    /// The tiered verifier escalated addresses fall through to. Must not
+    /// be [`Strategy::Sat`] (the SAT encoder needs a whole trace).
+    pub verifier: VmcVerifier,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            window: None,
+            jobs: 1,
+            temporal: true,
+            verifier: VmcVerifier::new(),
+        }
+    }
+}
+
+/// The witness-free verdict of a streaming run.
+///
+/// Sealed addresses prove coherence without materializing a schedule, so —
+/// unlike [`crate::ExecutionVerdict`] — the coherent arm carries no
+/// witnesses. The failure arms are bit-identical to the batch engine's.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StreamVerdict {
+    /// Every address admits a coherent schedule.
+    Coherent,
+    /// The first failing address (in ascending address order) with the
+    /// same [`Violation`] the batch engine reports.
+    Incoherent(Violation),
+    /// The exact kernel exhausted its budget on `addr` (first such
+    /// address in ascending order).
+    Unknown {
+        /// The address whose verification was inconclusive.
+        addr: Addr,
+    },
+}
+
+impl StreamVerdict {
+    /// True if the stream verified coherent.
+    pub fn is_coherent(&self) -> bool {
+        matches!(self, StreamVerdict::Coherent)
+    }
+
+    /// True if this verdict agrees with a batch [`crate::ExecutionVerdict`]
+    /// (modulo the witness schedules the streaming engine never builds).
+    pub fn matches_batch(&self, batch: &crate::ExecutionVerdict) -> bool {
+        match (self, batch) {
+            (StreamVerdict::Coherent, crate::ExecutionVerdict::Coherent(_)) => true,
+            (StreamVerdict::Incoherent(a), crate::ExecutionVerdict::Incoherent(b)) => a == b,
+            (StreamVerdict::Unknown { addr }, crate::ExecutionVerdict::Unknown { addr: b }) => {
+                addr == b
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Memory/retirement accounting for a streaming run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StreamMetrics {
+    /// The configured retention window.
+    pub window: Option<usize>,
+    /// Peak of `ceil(retained units / window)` summed per shard: the
+    /// bounded-memory gate. Independent of stream *length* once steady
+    /// state is reached (gated in `scripts/verify.sh`).
+    pub peak_retained_windows: u64,
+    /// Peak retained units (buffered ops + live slots + deferred reads).
+    pub peak_retained_units: u64,
+    /// Raw ops dropped by window retirement.
+    pub retired_ops: u64,
+    /// Encoded bytes those ops occupied (the retired-bytes counter).
+    pub retired_bytes: u64,
+    /// Committed-value slots retired below the global read frontier.
+    pub retired_slots: u64,
+    /// Addresses decided by their sealed summary alone (no exact solve,
+    /// no raw ops at end of stream).
+    pub sealed_addresses: usize,
+    /// Addresses escalated to the exact tiered kernel.
+    pub exact_addresses: usize,
+    /// Escalated addresses whose ops had been retired and were
+    /// re-materialized by the replay pass.
+    pub replayed_addresses: usize,
+}
+
+/// Outcome of a streaming verification run.
+#[derive(Clone, Debug)]
+pub struct StreamReport {
+    /// The deterministic verdict (bit-identical to batch; see module docs).
+    pub verdict: StreamVerdict,
+    /// Per-address [`SearchStats`] summed in ascending address order up to
+    /// and including the reported failure — same contract as
+    /// [`crate::ExecutionReport::stats`].
+    pub stats: SearchStats,
+    /// Per-tier accounting over the same deterministic address prefix.
+    pub tiers: TierStats,
+    /// Distinct addresses that carried operations.
+    pub addresses: usize,
+    /// Operation events consumed.
+    pub events: u64,
+    /// Worker count actually used.
+    pub jobs: usize,
+    /// Detection events (temporal streams only), sorted by detection
+    /// order; capped at a fixed size.
+    pub detections: Vec<OnlineViolation>,
+    /// Issue→detect wall-clock gaps in microseconds, one per detection
+    /// event observed (temporal streams only; uncapped ordering not
+    /// meaningful — use [`StreamReport::p99_detect_latency_us`]).
+    pub detect_latencies_us: Vec<u64>,
+    /// Retirement/memory accounting.
+    pub metrics: StreamMetrics,
+}
+
+impl StreamReport {
+    /// True if the stream verified coherent.
+    pub fn is_coherent(&self) -> bool {
+        self.verdict.is_coherent()
+    }
+
+    /// The 99th-percentile issue→detect latency, if any detections fired.
+    pub fn p99_detect_latency_us(&self) -> Option<u64> {
+        percentile(&self.detect_latencies_us, 99)
+    }
+}
+
+/// The `p`-th percentile (nearest-rank) of `samples`, if non-empty.
+pub fn percentile(samples: &[u64], p: u64) -> Option<u64> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((sorted.len() as u64 * p).div_ceil(100)).max(1) as usize;
+    Some(sorted[rank - 1])
+}
+
+/// A deferred read waiting for its serving write to commit.
+#[derive(Clone, Debug)]
+struct PendingRead {
+    proc: ProcId,
+    value: Value,
+    issued_at: u64,
+    issued_us: u64,
+}
+
+/// Per-address streaming state: the greedy §5.2 monitor (summary), the
+/// read-map class bits, and the raw-op retention buffer.
+struct AddrStream {
+    initial: Value,
+    final_value: Option<Value>,
+    // --- summary: the greedy placement monitor (cf. `crate::online`) ---
+    /// Committed writes so far; slot `s` (0-based over `0..=slots_len`)
+    /// denotes "after `s` writes".
+    slots_len: usize,
+    /// Lowest slot still live; slots below were retired.
+    live_from: usize,
+    /// Values of the live slots `max(1, live_from)..=slots_len` (slot 0
+    /// carries `initial` and has no entry here).
+    live_values: VecDeque<Value>,
+    /// Value of the most recent committed write.
+    last_value: Option<Value>,
+    /// For each value: the sorted live slots at which it is current.
+    value_slots: HashMap<Value, VecDeque<usize>>,
+    /// Per-process placement cursor (earliest slot its next read may use).
+    min_slot: HashMap<u16, usize>,
+    /// Deferred reads, per process, in program order.
+    pending: HashMap<u16, Vec<PendingRead>>,
+    pending_total: usize,
+    // --- read-map class bits (exact, kept for the whole stream) ---
+    /// Times each value was written. O(distinct written values) — the one
+    /// per-address map retirement does not bound (disclosed in DESIGN.md).
+    write_counts: HashMap<Value, u32>,
+    rmw_seen: bool,
+    dup_value: bool,
+    wrote_initial: bool,
+    /// The exact kernel must decide this address at end of stream.
+    pinned: bool,
+    /// The retention buffer was retired; escalation needs a replay pass.
+    dropped: bool,
+    // --- retention buffer ---
+    /// Raw ops per process, in program order — exactly what
+    /// [`AddrOps::from_parts`] needs to reproduce the batch index entry.
+    buffer: Vec<Vec<(OpRef, Op)>>,
+    buffer_ops: usize,
+    buffer_bytes: u64,
+    // --- accounting (cached for O(1) shard-level deltas) ---
+    units: usize,
+    windows: u64,
+}
+
+impl AddrStream {
+    fn new(procs: usize, initial: Value, final_value: Option<Value>) -> AddrStream {
+        let mut value_slots = HashMap::new();
+        // Slot 0 carries the initial value.
+        value_slots.insert(initial, VecDeque::from([0usize]));
+        AddrStream {
+            initial,
+            final_value,
+            slots_len: 0,
+            live_from: 0,
+            live_values: VecDeque::new(),
+            last_value: None,
+            value_slots,
+            min_slot: HashMap::new(),
+            pending: HashMap::new(),
+            pending_total: 0,
+            write_counts: HashMap::new(),
+            rmw_seen: false,
+            dup_value: false,
+            wrote_initial: false,
+            pinned: false,
+            dropped: false,
+            buffer: vec![Vec::new(); procs],
+            buffer_ops: 0,
+            buffer_bytes: 0,
+            units: 0,
+            windows: 0,
+        }
+    }
+
+    /// Track the Figure 5.3 read-map class; exiting it pins the address.
+    fn class_track(&mut self, op: &Op) {
+        if op.is_rmw() {
+            self.rmw_seen = true;
+        }
+        if let Some(v) = op.written_value() {
+            let count = self.write_counts.entry(v).or_insert(0);
+            *count += 1;
+            if *count > 1 {
+                self.dup_value = true;
+            }
+            if v == self.initial {
+                self.wrote_initial = true;
+            }
+        }
+        if self.rmw_seen || self.dup_value || self.wrote_initial {
+            self.pinned = true;
+        }
+    }
+
+    fn on_read(&mut self, seq: u64, proc: ProcId, value: Value, temporal: bool) {
+        // The issue timestamp is only needed for latency accounting on
+        // reads that actually defer — keep the clock off the hot path.
+        let stamp = || if temporal { obs::now_us() } else { 0 };
+        let queue = self.pending.entry(proc.0).or_default();
+        if !queue.is_empty() {
+            // Preserve program order behind an already-deferred read.
+            queue.push(PendingRead {
+                proc,
+                value,
+                issued_at: seq,
+                issued_us: stamp(),
+            });
+            self.pending_total += 1;
+            return;
+        }
+        let min = self.min_slot.get(&proc.0).copied().unwrap_or(0);
+        match place(&self.value_slots, self.slots_len, value, min) {
+            Some(slot) => {
+                self.min_slot.insert(proc.0, slot);
+            }
+            None => {
+                self.pending.entry(proc.0).or_default().push(PendingRead {
+                    proc,
+                    value,
+                    issued_at: seq,
+                    issued_us: stamp(),
+                });
+                self.pending_total += 1;
+            }
+        }
+    }
+
+    fn on_write(&mut self, seq: u64, addr: Addr, proc: ProcId, value: Value, sink: &mut Sink) {
+        // The writer's own deferred reads' windows close now: they can
+        // never be served, so the address escalates (and, on temporal
+        // streams, the stall is reported as a detection).
+        if let Some(queue) = self.pending.get_mut(&proc.0) {
+            for stale in queue.drain(..) {
+                self.pending_total -= 1;
+                self.pinned = true;
+                sink.report(
+                    OnlineViolation {
+                        detected_at: seq,
+                        issued_at: stale.issued_at,
+                        proc: stale.proc,
+                        addr,
+                        value: stale.value,
+                        cause: OnlineCause::WindowClosed,
+                    },
+                    stale.issued_us,
+                );
+            }
+        }
+
+        // Commit the write as a new slot.
+        let slot = self.slots_len + 1;
+        self.slots_len = slot;
+        self.live_values.push_back(value);
+        self.value_slots.entry(value).or_default().push_back(slot);
+        self.last_value = Some(value);
+        let cursor = self.min_slot.entry(proc.0).or_insert(0);
+        *cursor = (*cursor).max(slot);
+
+        // Retry deferred reads of every process, in program order, stopping
+        // at the first that still cannot be placed. Processes are
+        // independent here (each retry touches only its own cursor), so
+        // map iteration order cannot affect the outcome.
+        let procs: Vec<u16> = self.pending.keys().copied().collect();
+        for p in procs {
+            let queue = self.pending.get(&p).expect("listed");
+            let mut min = self.min_slot.get(&p).copied().unwrap_or(0);
+            let mut placed = 0;
+            for pr in queue.iter() {
+                match place(&self.value_slots, self.slots_len, pr.value, min) {
+                    Some(slot) => {
+                        min = slot;
+                        placed += 1;
+                    }
+                    None => break,
+                }
+            }
+            if placed > 0 {
+                self.min_slot.insert(p, min);
+                self.pending.get_mut(&p).expect("listed").drain(..placed);
+                self.pending_total -= placed;
+            }
+        }
+    }
+
+    fn monitor(&mut self, seq: u64, addr: Addr, proc: ProcId, op: Op, sink: &mut Sink) {
+        match op {
+            Op::Read { value, .. } => self.on_read(seq, proc, value, sink.temporal),
+            Op::Write { value, .. } => self.on_write(seq, addr, proc, value, sink),
+            Op::Rmw { read, write, .. } => {
+                // The read component binds to the immediately preceding
+                // committed value.
+                let current = self.last_value.unwrap_or(self.initial);
+                if current != read {
+                    self.pinned = true;
+                    sink.report(
+                        OnlineViolation {
+                            detected_at: seq,
+                            issued_at: seq,
+                            proc,
+                            addr,
+                            value: read,
+                            cause: OnlineCause::RmwMismatch,
+                        },
+                        if sink.temporal { obs::now_us() } else { 0 },
+                    );
+                }
+                self.on_write(seq, addr, proc, write, sink);
+            }
+        }
+    }
+
+    /// Apply window retirement; returns `(ops, bytes, slots)` retired.
+    fn retire(&mut self, window: usize) -> (u64, u64, u64) {
+        let mut retired = (0u64, 0u64, 0u64);
+        // Raw ops: only while the address is still expected to seal —
+        // pinned addresses keep their buffer so escalation can skip the
+        // replay pass (unless it was already dropped).
+        if !self.pinned && self.buffer_ops > window {
+            retired.0 = self.buffer_ops as u64;
+            retired.1 = self.buffer_bytes;
+            for queue in &mut self.buffer {
+                queue.clear();
+            }
+            self.buffer_ops = 0;
+            self.buffer_bytes = 0;
+            self.dropped = true;
+        }
+        // Committed slots: everything below every process's cursor can no
+        // longer serve any read of a process this address has seen. A
+        // process arriving later may still have wanted one — then its read
+        // defers, the address pins, and the exact kernel (with replayed
+        // ops) decides: slower, never wrong.
+        if self.slots_len - self.live_from > window {
+            let floor = self.min_slot.values().copied().min().unwrap_or(0);
+            while self.live_from < floor {
+                if self.live_from == 0 {
+                    remove_slot(&mut self.value_slots, self.initial, 0);
+                } else {
+                    let value = self.live_values.pop_front().expect("live slot value");
+                    remove_slot(&mut self.value_slots, value, self.live_from);
+                }
+                self.live_from += 1;
+                retired.2 += 1;
+            }
+        }
+        retired
+    }
+
+    fn current_units(&self) -> usize {
+        self.buffer_ops + (self.slots_len - self.live_from) + self.pending_total
+    }
+
+    /// The summary alone proves this address coherent (see module docs).
+    fn sealed_clean(&self) -> bool {
+        if self.pinned || self.pending_total > 0 {
+            return false;
+        }
+        debug_assert!(!self.rmw_seen && !self.dup_value && !self.wrote_initial);
+        match self.final_value {
+            None => true,
+            Some(f) => f == self.last_value.unwrap_or(self.initial),
+        }
+    }
+}
+
+/// Earliest live slot ≥ `min` where `value` is current, if any.
+fn place(
+    value_slots: &HashMap<Value, VecDeque<usize>>,
+    max_slot: usize,
+    value: Value,
+    min: usize,
+) -> Option<usize> {
+    let slots = value_slots.get(&value)?;
+    let idx = slots.partition_point(|&s| s < min);
+    slots.get(idx).copied().filter(|&s| s <= max_slot)
+}
+
+/// Drop slot `slot` (whose committed value is `value`) from the placement
+/// index. `slot` is the globally lowest live slot, so it is the front of
+/// its value's (sorted) list.
+fn remove_slot(value_slots: &mut HashMap<Value, VecDeque<usize>>, value: Value, slot: usize) {
+    if let Some(slots) = value_slots.get_mut(&value) {
+        debug_assert_eq!(slots.front().copied(), Some(slot));
+        slots.pop_front();
+        if slots.is_empty() {
+            value_slots.remove(&value);
+        }
+    }
+}
+
+/// Detection-event collector handed into the monitor.
+struct Sink<'a> {
+    temporal: bool,
+    detections: &'a mut Vec<OnlineViolation>,
+    latencies_us: &'a mut Vec<u64>,
+}
+
+impl Sink<'_> {
+    fn report(&mut self, violation: OnlineViolation, issued_us: u64) {
+        if !self.temporal {
+            return;
+        }
+        let now = obs::now_us();
+        if self.latencies_us.len() < LATENCY_CAP {
+            self.latencies_us.push(now.saturating_sub(issued_us));
+        }
+        if self.detections.len() < DETECTION_CAP {
+            self.detections.push(violation);
+        }
+    }
+}
+
+/// One routed operation event.
+struct RoutedOp {
+    addr: Addr,
+    op_ref: OpRef,
+    op: Op,
+    bytes: u32,
+    seq: u64,
+    /// `(initial, final)` on the first event touching this address.
+    meta: Option<(Value, Option<Value>)>,
+}
+
+/// A worker's world: the addresses it owns plus its accounting.
+struct Shard {
+    window: Option<usize>,
+    quantum: usize,
+    temporal: bool,
+    procs: usize,
+    addrs: HashMap<Addr, AddrStream>,
+    detections: Vec<OnlineViolation>,
+    latencies_us: Vec<u64>,
+    cur_units: u64,
+    peak_units: u64,
+    cur_windows: u64,
+    peak_windows: u64,
+    retired_ops: u64,
+    retired_bytes: u64,
+    retired_slots: u64,
+}
+
+impl Shard {
+    fn new(window: Option<usize>, temporal: bool, procs: usize) -> Shard {
+        Shard {
+            window,
+            quantum: window.unwrap_or(UNBOUNDED_SLAB).max(1),
+            temporal,
+            procs,
+            addrs: HashMap::new(),
+            detections: Vec::new(),
+            latencies_us: Vec::new(),
+            cur_units: 0,
+            peak_units: 0,
+            cur_windows: 0,
+            peak_windows: 0,
+            retired_ops: 0,
+            retired_bytes: 0,
+            retired_slots: 0,
+        }
+    }
+
+    fn apply(&mut self, event: RoutedOp) {
+        let procs = self.procs;
+        let state = self.addrs.entry(event.addr).or_insert_with(|| {
+            let (initial, final_value) = event.meta.unwrap_or((Value::INITIAL, None));
+            AddrStream::new(procs, initial, final_value)
+        });
+
+        state.class_track(&event.op);
+        if !(state.pinned && state.dropped) {
+            state.buffer[usize::from(event.op_ref.proc.0)].push((event.op_ref, event.op));
+            state.buffer_ops += 1;
+            state.buffer_bytes += u64::from(event.bytes);
+        }
+
+        let mut sink = Sink {
+            temporal: self.temporal,
+            detections: &mut self.detections,
+            latencies_us: &mut self.latencies_us,
+        };
+        state.monitor(
+            event.seq,
+            event.addr,
+            event.op_ref.proc,
+            event.op,
+            &mut sink,
+        );
+
+        if let Some(window) = self.window {
+            let (ops, bytes, slots) = state.retire(window);
+            if ops > 0 {
+                self.retired_ops += ops;
+                self.retired_bytes += bytes;
+                obs::counter_add("stream.retired_ops", ops);
+                obs::counter_add("stream.retired_bytes", bytes);
+            }
+            if slots > 0 {
+                self.retired_slots += slots;
+                obs::counter_add("stream.retired_slots", slots);
+            }
+        }
+
+        // O(1) retained-footprint accounting via cached per-address values.
+        let units = state.current_units();
+        let windows = units.div_ceil(self.quantum) as u64;
+        self.cur_units += units as u64;
+        self.cur_units -= state.units as u64;
+        self.cur_windows += windows;
+        self.cur_windows -= state.windows;
+        state.units = units;
+        if state.windows != windows {
+            state.windows = windows;
+            obs::gauge_set("stream.retained_windows", self.cur_windows);
+        }
+        self.peak_units = self.peak_units.max(self.cur_units);
+        self.peak_windows = self.peak_windows.max(self.cur_windows);
+    }
+}
+
+/// Everything frozen at end of input, awaiting (optional) replay and the
+/// final reduction.
+struct Ended {
+    merged: BTreeMap<Addr, AddrStream>,
+    detections: Vec<OnlineViolation>,
+    latencies_us: Vec<u64>,
+    metrics: StreamMetrics,
+    replay_set: BTreeSet<Addr>,
+    replay_reader: ChunkReader,
+    replay_store: BTreeMap<Addr, Vec<Vec<(OpRef, Op)>>>,
+}
+
+/// A shard lane: its queue sender, the router-side batch under
+/// construction, and the worker handle.
+struct Lane {
+    sender: SpscSender<Vec<RoutedOp>>,
+    batch: Vec<RoutedOp>,
+    handle: JoinHandle<Shard>,
+}
+
+/// The sharded bounded-memory streaming verification engine.
+///
+/// Lifecycle: [`ingest`](StreamVerifier::ingest) chunks →
+/// [`end_input`](StreamVerifier::end_input) → if
+/// [`needs_replay`](StreamVerifier::needs_replay), re-feed the same bytes
+/// through [`ingest_replay`](StreamVerifier::ingest_replay) →
+/// [`finish`](StreamVerifier::finish). [`verify_stream_bytes`] wraps the
+/// whole dance for in-memory streams.
+pub struct StreamVerifier {
+    window: Option<usize>,
+    jobs: usize,
+    temporal: bool,
+    verifier: VmcVerifier,
+    reader: ChunkReader,
+    procs: Option<u16>,
+    seq: u64,
+    initials: HashMap<Addr, Value>,
+    finals: HashMap<Addr, Value>,
+    seen: HashSet<Addr>,
+    inline: Option<Shard>,
+    lanes: Vec<Lane>,
+    ended: Option<Ended>,
+}
+
+impl StreamVerifier {
+    /// A fresh engine. Panics if the configured strategy is
+    /// [`Strategy::Sat`] — the SAT encoder needs a whole backing trace,
+    /// which a stream never materializes.
+    pub fn new(config: StreamConfig) -> StreamVerifier {
+        assert!(
+            config.verifier.strategy != Strategy::Sat,
+            "Strategy::Sat needs a whole backing trace; the streaming engine \
+             supports Auto and Backtracking"
+        );
+        let jobs = if config.jobs == 0 {
+            available_jobs()
+        } else {
+            config.jobs
+        }
+        .max(1);
+        StreamVerifier {
+            window: config.window,
+            jobs,
+            temporal: config.temporal,
+            verifier: config.verifier,
+            reader: ChunkReader::new(),
+            procs: None,
+            seq: 0,
+            initials: HashMap::new(),
+            finals: HashMap::new(),
+            seen: HashSet::new(),
+            inline: None,
+            lanes: Vec::new(),
+            ended: None,
+        }
+    }
+
+    /// Worker count in use (after resolving `jobs == 0`).
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Operation events consumed so far.
+    pub fn events(&self) -> u64 {
+        self.seq
+    }
+
+    /// Feed the next chunk of the binary stream (any chunking, including
+    /// mid-record splits). Decodes and routes every complete event.
+    pub fn ingest(&mut self, chunk: &[u8]) -> Result<(), DecodeError> {
+        assert!(self.ended.is_none(), "ingest after end_input");
+        self.reader.feed(chunk);
+        loop {
+            match self.reader.next() {
+                Ok(Some(event)) => self.route(event),
+                Ok(None) => break,
+                Err(DecodeError::NeedMoreBytes) => break,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    fn route(&mut self, event: StreamEvent) {
+        match event {
+            StreamEvent::Begin { procs, .. } => {
+                self.procs = Some(procs);
+                if self.jobs == 1 {
+                    self.inline = Some(Shard::new(self.window, self.temporal, usize::from(procs)));
+                } else {
+                    for i in 0..self.jobs {
+                        let (tx, rx) = spsc_channel::<Vec<RoutedOp>>(QUEUE_CAP);
+                        let (window, temporal) = (self.window, self.temporal);
+                        let handle = std::thread::Builder::new()
+                            .name(format!("vermem-stream-{i}"))
+                            .spawn(move || {
+                                let mut shard = Shard::new(window, temporal, usize::from(procs));
+                                while let Some(batch) = rx.recv() {
+                                    for routed in batch {
+                                        shard.apply(routed);
+                                    }
+                                }
+                                shard
+                            })
+                            .expect("spawn stream shard");
+                        self.lanes.push(Lane {
+                            sender: tx,
+                            batch: Vec::with_capacity(BATCH),
+                            handle,
+                        });
+                    }
+                }
+            }
+            StreamEvent::Init { addr, value } => {
+                self.initials.insert(addr, value);
+            }
+            StreamEvent::Final { addr, value } => {
+                self.finals.insert(addr, value);
+            }
+            StreamEvent::Op { op_ref, op, bytes } => {
+                let addr = op.addr();
+                let meta = if self.seen.insert(addr) {
+                    Some((
+                        self.initials.get(&addr).copied().unwrap_or(Value::INITIAL),
+                        self.finals.get(&addr).copied(),
+                    ))
+                } else {
+                    None
+                };
+                let routed = RoutedOp {
+                    addr,
+                    op_ref,
+                    op,
+                    bytes,
+                    seq: self.seq,
+                    meta,
+                };
+                self.seq += 1;
+                if let Some(shard) = self.inline.as_mut() {
+                    shard.apply(routed);
+                } else {
+                    let lane_count = self.lanes.len();
+                    let lane = &mut self.lanes[shard_of(addr, lane_count)];
+                    lane.batch.push(routed);
+                    if lane.batch.len() >= BATCH {
+                        let batch = std::mem::replace(&mut lane.batch, Vec::with_capacity(BATCH));
+                        // A send error means the worker died; its panic
+                        // resurfaces at join time in `end_input`.
+                        let _ = lane.sender.send(batch);
+                    }
+                }
+                if self.seq.is_multiple_of(4096) && obs::enabled() {
+                    obs::gauge_set("stream.ingested_events", self.seq);
+                }
+            }
+        }
+    }
+
+    /// Declare end of input: validates the stream ended on a record
+    /// boundary, drains the shards, flushes still-deferred reads as
+    /// end-of-stream detections, and computes which addresses need a
+    /// replay pass.
+    pub fn end_input(&mut self) -> Result<(), DecodeError> {
+        assert!(self.ended.is_none(), "end_input called twice");
+        self.reader.finish()?;
+
+        let mut shards: Vec<Shard> = Vec::new();
+        if let Some(shard) = self.inline.take() {
+            shards.push(shard);
+        }
+        for lane in self.lanes.drain(..) {
+            let Lane {
+                sender,
+                batch,
+                handle,
+            } = lane;
+            if !batch.is_empty() {
+                let _ = sender.send(batch);
+            }
+            sender.close();
+            shards.push(handle.join().expect("stream shard panicked"));
+        }
+
+        let mut merged: BTreeMap<Addr, AddrStream> = BTreeMap::new();
+        let mut detections: Vec<OnlineViolation> = Vec::new();
+        let mut latencies_us: Vec<u64> = Vec::new();
+        let mut metrics = StreamMetrics {
+            window: self.window,
+            ..StreamMetrics::default()
+        };
+        for shard in shards {
+            metrics.peak_retained_windows += shard.peak_windows;
+            metrics.peak_retained_units += shard.peak_units;
+            metrics.retired_ops += shard.retired_ops;
+            metrics.retired_bytes += shard.retired_bytes;
+            metrics.retired_slots += shard.retired_slots;
+            detections.extend(shard.detections);
+            latencies_us.extend(shard.latencies_us);
+            merged.extend(shard.addrs);
+        }
+
+        // End of stream: any still-deferred read pins its address (and on
+        // temporal streams surfaces as a detection, exactly like
+        // `OnlineVerifier::finish`).
+        let end = self.seq;
+        let now = obs::now_us();
+        let mut stragglers: Vec<OnlineViolation> = Vec::new();
+        for (&addr, state) in merged.iter_mut() {
+            if state.pending_total == 0 {
+                continue;
+            }
+            state.pinned = true;
+            for queue in state.pending.values_mut() {
+                for pr in queue.drain(..) {
+                    if self.temporal && latencies_us.len() < LATENCY_CAP {
+                        latencies_us.push(now.saturating_sub(pr.issued_us));
+                    }
+                    stragglers.push(OnlineViolation {
+                        detected_at: end,
+                        issued_at: pr.issued_at,
+                        proc: pr.proc,
+                        addr,
+                        value: pr.value,
+                        cause: OnlineCause::EndOfStream,
+                    });
+                }
+            }
+            state.pending_total = 0;
+        }
+        if self.temporal {
+            stragglers.sort_by_key(|v| (v.detected_at, v.issued_at, v.addr.0, v.proc.0));
+            detections.extend(stragglers);
+        }
+        detections.sort_by_key(|v| (v.detected_at, v.issued_at, v.addr.0, v.proc.0));
+        detections.truncate(DETECTION_CAP);
+
+        let replay_set: BTreeSet<Addr> = merged
+            .iter()
+            .filter(|(_, s)| s.dropped && !s.sealed_clean())
+            .map(|(&a, _)| a)
+            .collect();
+
+        self.ended = Some(Ended {
+            merged,
+            detections,
+            latencies_us,
+            metrics,
+            replay_set,
+            replay_reader: ChunkReader::new(),
+            replay_store: BTreeMap::new(),
+        });
+        Ok(())
+    }
+
+    /// True if some escalated address had its retention buffer retired:
+    /// the caller must re-feed the stream through
+    /// [`ingest_replay`](StreamVerifier::ingest_replay) before
+    /// [`finish`](StreamVerifier::finish).
+    pub fn needs_replay(&self) -> bool {
+        let ended = self.ended.as_ref().expect("call end_input first");
+        !ended
+            .replay_set
+            .is_subset(&ended.replay_store.keys().copied().collect())
+    }
+
+    /// The addresses whose raw ops must be re-materialized.
+    pub fn replay_addrs(&self) -> Vec<Addr> {
+        let ended = self.ended.as_ref().expect("call end_input first");
+        ended.replay_set.iter().copied().collect()
+    }
+
+    /// Second pass over the same stream bytes: re-collects the raw ops of
+    /// replay addresses only (every other event is decoded and discarded).
+    pub fn ingest_replay(&mut self, chunk: &[u8]) -> Result<(), DecodeError> {
+        let procs = usize::from(self.procs.unwrap_or(0));
+        let ended = self
+            .ended
+            .as_mut()
+            .expect("call end_input before ingest_replay");
+        ended.replay_reader.feed(chunk);
+        loop {
+            match ended.replay_reader.next() {
+                Ok(Some(StreamEvent::Op { op_ref, op, .. })) => {
+                    let addr = op.addr();
+                    if ended.replay_set.contains(&addr) {
+                        let lists = ended
+                            .replay_store
+                            .entry(addr)
+                            .or_insert_with(|| vec![Vec::new(); procs]);
+                        lists[usize::from(op_ref.proc.0)].push((op_ref, op));
+                    }
+                }
+                Ok(Some(_)) => {}
+                Ok(None) => break,
+                Err(DecodeError::NeedMoreBytes) => break,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Run the final reduction and produce the report.
+    ///
+    /// Sealed addresses are decided by their summary; every other address
+    /// is solved by the exact tiered kernel (fanned out over the
+    /// work-stealing pool, reduced in ascending address order with the
+    /// same first-failure determinism as [`crate::verify_execution_par`]).
+    ///
+    /// Panics if a replay was needed but not provided.
+    pub fn finish(mut self) -> StreamReport {
+        let mut ended = self.ended.take().expect("call end_input before finish");
+
+        let mut span = vermem_util::span!("stream.finish");
+
+        // Lay the addresses out in ascending order, materializing the op
+        // sets of escalated addresses (from the retention buffer, or from
+        // the replay store when the buffer was retired).
+        enum Slot {
+            Sealed,
+            Exact(usize),
+        }
+        let mut layout: Vec<(Addr, Slot)> = Vec::with_capacity(ended.merged.len());
+        let mut exact: Vec<AddrOps> = Vec::new();
+        let mut metrics = ended.metrics;
+        for (addr, mut state) in std::mem::take(&mut ended.merged) {
+            if state.sealed_clean() {
+                metrics.sealed_addresses += 1;
+                layout.push((addr, Slot::Sealed));
+                continue;
+            }
+            let lists = if !state.dropped {
+                std::mem::take(&mut state.buffer)
+            } else {
+                metrics.replayed_addresses += 1;
+                ended.replay_store.remove(&addr).unwrap_or_else(|| {
+                    panic!(
+                        "address {addr:?} escalated after its window was retired; \
+                         re-feed the stream via ingest_replay before finish"
+                    )
+                })
+            };
+            let ops = AddrOps::from_parts(addr, state.initial, state.final_value, lists);
+            layout.push((addr, Slot::Exact(exact.len())));
+            exact.push(ops);
+        }
+        metrics.exact_addresses = exact.len();
+
+        if span.is_recording() {
+            span.arg("addresses", layout.len() as u64);
+            span.arg("sealed", metrics.sealed_addresses as u64);
+            span.arg("exact", exact.len() as u64);
+        }
+
+        // Fan the escalated addresses out, then reduce in address order —
+        // the same determinism dance as `verify_execution_par`.
+        let verifier = &self.verifier;
+        let cancel = CancelToken::new();
+        let mut results = scoped_map(self.jobs, exact.len(), &cancel, |i| {
+            let out = verifier.verify_ops_detached(&exact[i]);
+            if !matches!(out.0, Verdict::Coherent(_)) {
+                cancel.cancel();
+            }
+            out
+        });
+
+        let mut stats = SearchStats::default();
+        let mut tiers = TierStats::default();
+        let mut verdict = StreamVerdict::Coherent;
+        for (addr, slot) in layout.iter() {
+            match slot {
+                Slot::Sealed => tiers.record(Tier::Frontline),
+                Slot::Exact(i) => {
+                    let (v, s, tier) = results[*i]
+                        .take()
+                        .unwrap_or_else(|| verifier.verify_ops_detached(&exact[*i]));
+                    stats.absorb(&s);
+                    tiers.record(tier);
+                    match v {
+                        Verdict::Coherent(_) => {}
+                        Verdict::Incoherent(violation) => {
+                            verdict = StreamVerdict::Incoherent(violation);
+                            break;
+                        }
+                        Verdict::Unknown => {
+                            verdict = StreamVerdict::Unknown { addr: *addr };
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+
+        StreamReport {
+            verdict,
+            stats,
+            tiers,
+            addresses: layout.len(),
+            events: self.seq,
+            jobs: self.jobs,
+            detections: ended.detections,
+            detect_latencies_us: ended.latencies_us,
+            metrics,
+        }
+    }
+}
+
+/// Deterministic address→shard assignment (Fibonacci-hash the address).
+fn shard_of(addr: Addr, shards: usize) -> usize {
+    let h = u64::from(addr.0).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    ((h >> 32) as usize) % shards
+}
+
+/// One-shot convenience: stream `bytes` through a [`StreamVerifier`],
+/// running the replay pass automatically when retirement requires it.
+pub fn verify_stream_bytes(
+    bytes: &[u8],
+    config: StreamConfig,
+) -> Result<StreamReport, DecodeError> {
+    let mut engine = StreamVerifier::new(config);
+    engine.ingest(bytes)?;
+    engine.end_input()?;
+    if engine.needs_replay() {
+        engine.ingest_replay(bytes)?;
+    }
+    Ok(engine.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{verify_execution_par, ExecutionVerdict};
+    use vermem_trace::binary::{encode_event_stream, encode_trace};
+    use vermem_trace::{Trace, TraceBuilder};
+
+    fn config(window: Option<usize>, jobs: usize, temporal: bool) -> StreamConfig {
+        StreamConfig {
+            window,
+            jobs,
+            temporal,
+            verifier: VmcVerifier::new(),
+        }
+    }
+
+    /// Batch-vs-stream parity on a v2 (proc-major) encoding of `trace`.
+    fn assert_parity(trace: &Trace, window: Option<usize>, jobs: usize, tag: &str) {
+        let bytes = encode_trace(trace);
+        let batch = verify_execution_par(trace, &VmcVerifier::new(), 1);
+        let report = verify_stream_bytes(&bytes, config(window, jobs, false)).expect("decode");
+        assert!(
+            report.verdict.matches_batch(&batch.verdict),
+            "{tag}: stream {:?} vs batch {:?}",
+            report.verdict,
+            batch.verdict
+        );
+        assert_eq!(report.stats, batch.stats, "{tag}: stats");
+        assert_eq!(report.tiers, batch.tiers, "{tag}: tiers");
+        assert_eq!(report.addresses, batch.addresses, "{tag}: addresses");
+    }
+
+    fn gen_trace(seed: u64) -> Trace {
+        let (t, _) = vermem_trace::gen::gen_sc_trace(&vermem_trace::gen::GenConfig {
+            procs: 4,
+            total_ops: 160,
+            addrs: 7,
+            seed,
+            ..Default::default()
+        });
+        t
+    }
+
+    #[test]
+    fn sealed_stream_is_coherent_with_frontline_tier() {
+        // Unique written values, reads in commit order: every address
+        // seals; no exact solve, no stats, all frontline.
+        let mut events = Vec::new();
+        for a in 0..4u32 {
+            events.push((ProcId(0), Op::write(a, u64::from(a) + 1)));
+            events.push((ProcId(1), Op::read(a, u64::from(a) + 1)));
+        }
+        let bytes = encode_event_stream(2, &BTreeMap::new(), &BTreeMap::new(), &events);
+        let report = verify_stream_bytes(&bytes, config(Some(2), 1, true)).expect("decode");
+        assert!(report.is_coherent());
+        assert_eq!(report.addresses, 4);
+        assert_eq!(report.metrics.sealed_addresses, 4);
+        assert_eq!(report.metrics.exact_addresses, 0);
+        assert_eq!(report.stats, SearchStats::default());
+        assert_eq!(report.tiers.frontline_decided, 4);
+        assert_eq!(report.tiers.escalated, 0);
+        assert!(report.detections.is_empty());
+    }
+
+    #[test]
+    fn parity_on_generated_traces_across_windows_and_jobs() {
+        for seed in 0..6u64 {
+            let t = gen_trace(seed);
+            for window in [Some(4), Some(64), None] {
+                for jobs in [1, 2] {
+                    assert_parity(
+                        &t,
+                        window,
+                        jobs,
+                        &format!("seed {seed} w {window:?} j {jobs}"),
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn first_violation_is_batch_identical() {
+        // Two independent violations (addresses 3 and 7): the stream must
+        // report address 3's violation, like the batch engine.
+        let t = TraceBuilder::new()
+            .proc([
+                Op::write(3u32, 1u64),
+                Op::write(7u32, 1u64),
+                Op::write(5u32, 2u64),
+            ])
+            .proc([
+                Op::read(7u32, 9u64),
+                Op::read(3u32, 8u64),
+                Op::read(5u32, 2u64),
+            ])
+            .build();
+        let batch = verify_execution_par(&t, &VmcVerifier::new(), 1);
+        let violation = match &batch.verdict {
+            ExecutionVerdict::Incoherent(v) => v.clone(),
+            other => panic!("expected incoherent, got {other:?}"),
+        };
+        for jobs in [1, 2, 8] {
+            let report =
+                verify_stream_bytes(&encode_trace(&t), config(Some(1), jobs, false)).expect("ok");
+            assert_eq!(
+                report.verdict,
+                StreamVerdict::Incoherent(violation.clone()),
+                "jobs {jobs}"
+            );
+            assert_eq!(report.stats, batch.stats, "jobs {jobs}");
+            assert_eq!(report.tiers, batch.tiers, "jobs {jobs}");
+        }
+    }
+
+    #[test]
+    fn report_is_window_and_jobs_invariant() {
+        let t = gen_trace(42);
+        let bytes = encode_trace(&t);
+        let baseline = verify_stream_bytes(&bytes, config(None, 1, false)).expect("ok");
+        for window in [Some(1), Some(2), Some(16), None] {
+            for jobs in [1, 2, 8] {
+                let report = verify_stream_bytes(&bytes, config(window, jobs, false)).expect("ok");
+                assert_eq!(report.verdict, baseline.verdict, "w {window:?} j {jobs}");
+                assert_eq!(report.stats, baseline.stats, "w {window:?} j {jobs}");
+                assert_eq!(report.tiers, baseline.tiers, "w {window:?} j {jobs}");
+            }
+        }
+    }
+
+    /// A long sealing stream: one writer of unique values, one reader in
+    /// lockstep, `addrs` addresses round-robin.
+    fn sealing_stream(addrs: u32, rounds: u64) -> Vec<u8> {
+        let mut events = Vec::new();
+        for i in 0..rounds {
+            let a = (i % u64::from(addrs)) as u32;
+            events.push((ProcId(0), Op::write(a, i + 1)));
+            events.push((ProcId(1), Op::read(a, i + 1)));
+        }
+        encode_event_stream(2, &BTreeMap::new(), &BTreeMap::new(), &events)
+    }
+
+    #[test]
+    fn retained_memory_is_independent_of_stream_length() {
+        let short = verify_stream_bytes(&sealing_stream(3, 2_000), config(Some(16), 1, true))
+            .expect("decode");
+        let long = verify_stream_bytes(&sealing_stream(3, 20_000), config(Some(16), 1, true))
+            .expect("decode");
+        assert!(short.is_coherent() && long.is_coherent());
+        assert_eq!(
+            short.metrics.peak_retained_windows, long.metrics.peak_retained_windows,
+            "peak retained windows must not grow with stream length"
+        );
+        assert!(long.metrics.retired_ops > short.metrics.retired_ops);
+        assert!(long.metrics.retired_bytes > short.metrics.retired_bytes);
+        assert!(long.metrics.retired_slots > short.metrics.retired_slots);
+        assert_eq!(long.metrics.sealed_addresses, 3);
+    }
+
+    #[test]
+    fn replay_rematerializes_retired_escalations() {
+        // Address 0 seals; address 1 writes a duplicate value *after* a
+        // long unique-value prefix has been retired, so its exact solve
+        // needs the replay pass.
+        let mut events = Vec::new();
+        for i in 0..200u64 {
+            events.push((ProcId(0), Op::write(0u32, i + 1)));
+            events.push((ProcId(1), Op::read(0u32, i + 1)));
+            events.push((ProcId(0), Op::write(1u32, i + 1000)));
+        }
+        events.push((ProcId(0), Op::write(1u32, 1000u64))); // duplicate of round 0
+        events.push((ProcId(1), Op::read(1u32, 1000u64)));
+        let bytes = encode_event_stream(2, &BTreeMap::new(), &BTreeMap::new(), &events);
+
+        let mut engine = StreamVerifier::new(config(Some(8), 1, true));
+        engine.ingest(&bytes).expect("decode");
+        engine.end_input().expect("clean end");
+        assert!(engine.needs_replay());
+        assert_eq!(engine.replay_addrs(), vec![Addr(1)]);
+        engine.ingest_replay(&bytes).expect("replay decode");
+        assert!(!engine.needs_replay());
+        let report = engine.finish();
+        assert!(report.is_coherent(), "verdict {:?}", report.verdict);
+        assert_eq!(report.metrics.sealed_addresses, 1);
+        assert_eq!(report.metrics.exact_addresses, 1);
+        assert_eq!(report.metrics.replayed_addresses, 1);
+        assert!(report.metrics.retired_ops > 0);
+    }
+
+    #[test]
+    fn chunked_ingest_matches_one_shot() {
+        let t = gen_trace(7);
+        let bytes = encode_trace(&t);
+        let oneshot = verify_stream_bytes(&bytes, config(Some(8), 1, false)).expect("ok");
+        for chunk in [1usize, 3, 17, 1024] {
+            let mut engine = StreamVerifier::new(config(Some(8), 1, false));
+            for piece in bytes.chunks(chunk) {
+                engine.ingest(piece).expect("decode");
+            }
+            engine.end_input().expect("clean end");
+            if engine.needs_replay() {
+                for piece in bytes.chunks(chunk) {
+                    engine.ingest_replay(piece).expect("replay decode");
+                }
+            }
+            let report = engine.finish();
+            assert_eq!(report.verdict, oneshot.verdict, "chunk {chunk}");
+            assert_eq!(report.stats, oneshot.stats, "chunk {chunk}");
+            assert_eq!(report.tiers, oneshot.tiers, "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn temporal_stream_reports_detections_with_latency() {
+        // P1 defers a read of a never-written value, then commits its own
+        // write: the window closes — a detection — and the address
+        // escalates to the exact kernel, which confirms the violation.
+        let events = vec![
+            (ProcId(0), Op::w(1u64)),
+            (ProcId(1), Op::r(9u64)),
+            (ProcId(1), Op::w(2u64)),
+        ];
+        let bytes = encode_event_stream(2, &BTreeMap::new(), &BTreeMap::new(), &events);
+        let report = verify_stream_bytes(&bytes, config(None, 1, true)).expect("decode");
+        assert!(!report.is_coherent());
+        assert_eq!(report.detections.len(), 1);
+        assert_eq!(report.detections[0].cause, OnlineCause::WindowClosed);
+        assert_eq!(report.detections[0].detected_at, 2);
+        assert_eq!(report.detections[0].issued_at, 1);
+        assert_eq!(report.detect_latencies_us.len(), 1);
+        assert!(report.p99_detect_latency_us().is_some());
+    }
+
+    #[test]
+    fn non_temporal_stream_suppresses_detections_but_not_verdicts() {
+        let events = vec![
+            (ProcId(0), Op::w(1u64)),
+            (ProcId(1), Op::r(9u64)),
+            (ProcId(1), Op::w(2u64)),
+        ];
+        let bytes = encode_event_stream(2, &BTreeMap::new(), &BTreeMap::new(), &events);
+        let report = verify_stream_bytes(&bytes, config(None, 1, false)).expect("decode");
+        assert!(!report.is_coherent());
+        assert!(report.detections.is_empty());
+        assert!(report.detect_latencies_us.is_empty());
+    }
+
+    #[test]
+    fn rmw_streams_escalate_and_match_batch() {
+        // A coherent RMW increment chain: never sealable (RMW pins), so it
+        // exercises the exact fallthrough.
+        let t = TraceBuilder::new()
+            .proc([Op::rw(0u64, 1u64), Op::rw(2u64, 3u64)])
+            .proc([Op::rw(1u64, 2u64), Op::rw(3u64, 4u64)])
+            .build();
+        assert_parity(&t, Some(1), 1, "rmw chain");
+        let report = verify_stream_bytes(&encode_trace(&t), config(Some(1), 1, false)).expect("ok");
+        assert_eq!(report.metrics.sealed_addresses, 0);
+        assert_eq!(report.metrics.exact_addresses, 1);
+    }
+
+    #[test]
+    fn initial_and_final_values_are_honored() {
+        let mut initials = BTreeMap::new();
+        initials.insert(Addr(0), Value(5));
+        let mut finals = BTreeMap::new();
+        finals.insert(Addr(0), Value(7));
+        let events = vec![(ProcId(0), Op::r(5u64)), (ProcId(0), Op::w(7u64))];
+        let bytes = encode_event_stream(1, &initials, &finals, &events);
+        let report = verify_stream_bytes(&bytes, config(None, 1, true)).expect("decode");
+        assert!(report.is_coherent());
+        assert_eq!(report.metrics.sealed_addresses, 1);
+
+        // Final mismatch: the summary refuses to seal and the exact kernel
+        // rules.
+        let mut finals = BTreeMap::new();
+        finals.insert(Addr(0), Value(9));
+        let bytes = encode_event_stream(1, &initials, &finals, &events);
+        let report = verify_stream_bytes(&bytes, config(None, 1, true)).expect("decode");
+        assert!(!report.is_coherent());
+        assert_eq!(report.metrics.sealed_addresses, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "Strategy::Sat")]
+    fn sat_strategy_is_rejected() {
+        let _ = StreamVerifier::new(StreamConfig {
+            verifier: VmcVerifier {
+                strategy: Strategy::Sat,
+                ..VmcVerifier::new()
+            },
+            ..StreamConfig::default()
+        });
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        assert_eq!(percentile(&[], 99), None);
+        assert_eq!(percentile(&[7], 99), Some(7));
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 99), Some(99));
+        assert_eq!(percentile(&v, 50), Some(50));
+    }
+}

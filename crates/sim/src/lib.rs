@@ -30,6 +30,7 @@ pub mod fault;
 pub mod machine;
 pub mod mesi;
 pub mod program;
+pub mod stream;
 pub mod workload;
 
 pub use directory::{DirState, DirectoryConfig, DirectoryMachine};
@@ -37,4 +38,5 @@ pub use fault::{FaultKind, FaultPlan};
 pub use machine::{CapturedExecution, Machine, MachineConfig, MachineStats};
 pub use mesi::MesiState;
 pub use program::{Instr, Program, RmwKind};
+pub use stream::{event_stream_bytes, StreamAdapterError};
 pub use workload::{ping_pong, producer_consumer, random_program, shared_counter, WorkloadConfig};

@@ -1,7 +1,11 @@
-//! Compact binary encoding of traces, for storing large captured executions.
+//! Compact binary encoding of traces, for storing large captured executions
+//! and for feeding them to the streaming verifier chunk by chunk.
 //!
 //! Built on the hand-rolled [`vermem_util::codec`] (fixed-width header,
-//! LEB128 varint body) — no external serialization crates. Layout:
+//! LEB128 varint body) — no external serialization crates. Two framings
+//! share the magic/header layout:
+//!
+//! **Version 2 — batch archival (proc-major):**
 //!
 //! ```text
 //! magic   u32 LE = 0x564D_454D ("VMEM")
@@ -12,6 +16,28 @@
 //! per process: n_ops uvarint, then n_ops × op
 //! op: tag u8 (0=R, 1=W, 2=RW), addr uvarint, value(s) uvarint [×2 for RW]
 //! ```
+//!
+//! **Version 3 — open-ended event stream (temporal/commit order):**
+//!
+//! ```text
+//! magic   u32 LE = 0x564D_454D, version u16 LE = 3, procs u16 LE
+//! n_init / n_final sections as in v2
+//! then events until end of input: proc uvarint, op (as in v2)
+//! ```
+//!
+//! v3 carries no operation counts: a stream ends when its producer stops,
+//! which is what a live capture feed looks like. Events are interleaved
+//! across processes in the order the memory system emitted them (writes at
+//! commit time), and each process's own events appear in its program order,
+//! so [`ChunkReader`] can assign every event its [`OpRef`] identity on the
+//! fly.
+//!
+//! [`ChunkReader`] is the incremental decoder both framings share: feed it
+//! arbitrary byte chunks (mmap windows, socket reads), drain complete
+//! events with [`ChunkReader::next`], and get a typed
+//! [`DecodeError::NeedMoreBytes`] — never a partial op — when a record is
+//! split across a chunk boundary. [`decode_trace`] is a thin whole-buffer
+//! wrapper over it, so batch and streaming decode paths cannot drift.
 //!
 //! Varints make the common case (small addresses and values) 1 byte per
 //! field, so a typical captured operation costs 3 bytes instead of the 13
@@ -24,13 +50,18 @@
 //! histories are encoded in process order, so equal traces always produce
 //! byte-identical buffers (asserted by the round-trip tests).
 
+use std::collections::BTreeMap;
+
 use crate::history::ProcessHistory;
-use crate::op::{Addr, Op, Value};
+use crate::op::{Addr, Op, OpRef, ProcId, Value};
 use crate::trace::Trace;
 use vermem_util::codec::{put_u16_le, put_u32_le, put_u8, put_uvarint, CodecError, Reader};
 
 const MAGIC: u32 = 0x564D_454D;
 const VERSION: u16 = 2;
+
+/// Version tag of the open-ended interleaved event-stream framing.
+pub const STREAM_VERSION: u16 = 3;
 
 /// A decode failure.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -41,10 +72,18 @@ pub enum DecodeError {
     BadVersion(u16),
     /// Input ended before the structure was complete.
     Truncated,
+    /// The buffered input ends mid-record, but the stream itself may simply
+    /// not be complete yet: feed more bytes and retry. Whole-buffer
+    /// decoders (where no more bytes can come) map this to [`Truncated`].
+    ///
+    /// [`Truncated`]: DecodeError::Truncated
+    NeedMoreBytes,
     /// A varint field was wider than 64 bits.
     BadVarint,
     /// Unknown operation tag byte.
     BadOpTag(u8),
+    /// An event named a process outside the header's declared range.
+    BadProc(u64),
     /// An address field exceeded the 32-bit address space.
     AddrOverflow(u64),
 }
@@ -55,8 +94,10 @@ impl std::fmt::Display for DecodeError {
             DecodeError::BadMagic(m) => write!(f, "bad magic 0x{m:08x}"),
             DecodeError::BadVersion(v) => write!(f, "unsupported version {v}"),
             DecodeError::Truncated => write!(f, "truncated input"),
+            DecodeError::NeedMoreBytes => write!(f, "record split across chunk boundary"),
             DecodeError::BadVarint => write!(f, "malformed varint"),
             DecodeError::BadOpTag(t) => write!(f, "unknown op tag {t}"),
+            DecodeError::BadProc(p) => write!(f, "process {p} outside declared range"),
             DecodeError::AddrOverflow(a) => write!(f, "address {a} exceeds 32 bits"),
         }
     }
@@ -73,7 +114,28 @@ impl From<CodecError> for DecodeError {
     }
 }
 
-/// Serialize a trace to the binary format.
+fn put_op(buf: &mut Vec<u8>, op: &Op) {
+    match *op {
+        Op::Read { addr, value } => {
+            put_u8(buf, 0);
+            put_uvarint(buf, u64::from(addr.0));
+            put_uvarint(buf, value.0);
+        }
+        Op::Write { addr, value } => {
+            put_u8(buf, 1);
+            put_uvarint(buf, u64::from(addr.0));
+            put_uvarint(buf, value.0);
+        }
+        Op::Rmw { addr, read, write } => {
+            put_u8(buf, 2);
+            put_uvarint(buf, u64::from(addr.0));
+            put_uvarint(buf, read.0);
+            put_uvarint(buf, write.0);
+        }
+    }
+}
+
+/// Serialize a trace to the binary format (version 2, proc-major).
 pub fn encode_trace(trace: &Trace) -> Vec<u8> {
     let mut buf = Vec::with_capacity(16 + trace.num_ops() * 4);
     put_u32_le(&mut buf, MAGIC);
@@ -89,84 +151,380 @@ pub fn encode_trace(trace: &Trace) -> Vec<u8> {
     for h in trace.histories() {
         put_uvarint(&mut buf, h.len() as u64);
         for op in h.iter() {
-            match op {
-                Op::Read { addr, value } => {
-                    put_u8(&mut buf, 0);
-                    put_uvarint(&mut buf, u64::from(addr.0));
-                    put_uvarint(&mut buf, value.0);
-                }
-                Op::Write { addr, value } => {
-                    put_u8(&mut buf, 1);
-                    put_uvarint(&mut buf, u64::from(addr.0));
-                    put_uvarint(&mut buf, value.0);
-                }
-                Op::Rmw { addr, read, write } => {
-                    put_u8(&mut buf, 2);
-                    put_uvarint(&mut buf, u64::from(addr.0));
-                    put_uvarint(&mut buf, read.0);
-                    put_uvarint(&mut buf, write.0);
-                }
-            }
+            put_op(&mut buf, &op);
         }
     }
     buf
 }
 
+/// Serialize the header of a version-3 event stream (magic, process count,
+/// initial/final value sections). Follow with [`encode_stream_op`] per event.
+pub fn encode_stream_header(
+    procs: u16,
+    initials: &BTreeMap<Addr, Value>,
+    finals: &BTreeMap<Addr, Value>,
+) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(16 + 4 * (initials.len() + finals.len()));
+    put_u32_le(&mut buf, MAGIC);
+    put_u16_le(&mut buf, STREAM_VERSION);
+    put_u16_le(&mut buf, procs);
+    for map in [initials, finals] {
+        put_uvarint(&mut buf, map.len() as u64);
+        for (&addr, &value) in map {
+            put_uvarint(&mut buf, u64::from(addr.0));
+            put_uvarint(&mut buf, value.0);
+        }
+    }
+    buf
+}
+
+/// Append one interleaved event record to a version-3 stream.
+pub fn encode_stream_op(buf: &mut Vec<u8>, proc: ProcId, op: &Op) {
+    put_uvarint(buf, u64::from(proc.0));
+    put_op(buf, op);
+}
+
+/// Serialize a whole event sequence as a version-3 stream. Each process's
+/// events must appear in its program order (the interleaving across
+/// processes is free — typically temporal/commit order).
+pub fn encode_event_stream(
+    procs: u16,
+    initials: &BTreeMap<Addr, Value>,
+    finals: &BTreeMap<Addr, Value>,
+    events: &[(ProcId, Op)],
+) -> Vec<u8> {
+    let mut buf = encode_stream_header(procs, initials, finals);
+    buf.reserve(events.len() * 4);
+    for (proc, op) in events {
+        encode_stream_op(&mut buf, *proc, op);
+    }
+    buf
+}
+
+/// Map a codec error for the incremental path: an exhausted buffer is
+/// "feed me more", not necessarily corruption.
+fn need(e: CodecError) -> DecodeError {
+    match e {
+        CodecError::Truncated => DecodeError::NeedMoreBytes,
+        CodecError::VarintOverflow => DecodeError::BadVarint,
+    }
+}
+
 fn get_addr(r: &mut Reader<'_>) -> Result<Addr, DecodeError> {
-    let raw = r.get_uvarint()?;
+    let raw = r.get_uvarint().map_err(need)?;
     let a = u32::try_from(raw).map_err(|_| DecodeError::AddrOverflow(raw))?;
     Ok(Addr(a))
 }
 
-/// Deserialize a trace from the binary format.
-pub fn decode_trace(input: &[u8]) -> Result<Trace, DecodeError> {
-    let mut r = Reader::new(input);
-    let magic = r.get_u32_le()?;
-    if magic != MAGIC {
-        return Err(DecodeError::BadMagic(magic));
+fn get_op(r: &mut Reader<'_>) -> Result<Op, DecodeError> {
+    let tag = r.get_u8().map_err(need)?;
+    match tag {
+        0 => Ok(Op::Read {
+            addr: get_addr(r)?,
+            value: Value(r.get_uvarint().map_err(need)?),
+        }),
+        1 => Ok(Op::Write {
+            addr: get_addr(r)?,
+            value: Value(r.get_uvarint().map_err(need)?),
+        }),
+        2 => Ok(Op::Rmw {
+            addr: get_addr(r)?,
+            read: Value(r.get_uvarint().map_err(need)?),
+            write: Value(r.get_uvarint().map_err(need)?),
+        }),
+        t => Err(DecodeError::BadOpTag(t)),
     }
-    let version = r.get_u16_le()?;
-    if version != VERSION {
-        return Err(DecodeError::BadVersion(version));
-    }
-    let procs = r.get_u16_le()? as usize;
+}
 
-    let mut trace = Trace::new();
-    let n_init = r.get_uvarint()?;
-    for _ in 0..n_init {
-        let addr = get_addr(&mut r)?;
-        let value = Value(r.get_uvarint()?);
-        trace.set_initial(addr, value);
+/// One decoded item from a [`ChunkReader`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StreamEvent {
+    /// The header parsed: format version and declared process count.
+    Begin {
+        /// Format version (2 = proc-major batch, 3 = interleaved events).
+        version: u16,
+        /// Number of processes the stream may reference.
+        procs: u16,
+    },
+    /// One initial-value declaration.
+    Init {
+        /// Declared location.
+        addr: Addr,
+        /// Its value before the execution.
+        value: Value,
+    },
+    /// One final-value declaration.
+    Final {
+        /// Declared location.
+        addr: Addr,
+        /// Its value after the execution.
+        value: Value,
+    },
+    /// One operation, with its program-order identity and encoded size.
+    Op {
+        /// Identity of the operation (process + program-order index),
+        /// assigned incrementally and identical to what
+        /// [`crate::index::AddrIndex`] assigns on the batch path.
+        op_ref: OpRef,
+        /// The operation itself.
+        op: Op,
+        /// Encoded size of this record in bytes (for retirement accounting).
+        bytes: u32,
+    },
+}
+
+#[derive(Clone, Copy, Debug)]
+enum ChunkState {
+    Header,
+    InitCount,
+    Init { left: u64 },
+    FinalCount,
+    Finals { left: u64 },
+    ProcCount { proc: u16 },
+    Ops { proc: u16, left: u64 },
+    Events,
+    Done,
+}
+
+/// Resumable incremental decoder for both binary framings (v2 batch files
+/// and v3 event streams).
+///
+/// Feed byte chunks of any size with [`feed`], then drain complete events
+/// with [`next`]. A record split across a chunk boundary is never partially
+/// consumed: [`next`] returns [`DecodeError::NeedMoreBytes`] and re-parses
+/// the record from its first byte once more input arrives. `Ok(None)` means
+/// the stream is structurally complete (only v2 declares its own end; a v3
+/// stream ends when the producer stops feeding — call [`finish`] to check
+/// it ended on a record boundary).
+///
+/// [`feed`]: ChunkReader::feed
+/// [`next`]: ChunkReader::next
+/// [`finish`]: ChunkReader::finish
+#[derive(Debug)]
+pub struct ChunkReader {
+    buf: Vec<u8>,
+    pos: usize,
+    state: ChunkState,
+    version: u16,
+    procs: u16,
+    op_counts: Vec<u32>,
+}
+
+impl Default for ChunkReader {
+    fn default() -> Self {
+        Self::new()
     }
-    let n_final = r.get_uvarint()?;
-    for _ in 0..n_final {
-        let addr = get_addr(&mut r)?;
-        let value = Value(r.get_uvarint()?);
-        trace.set_final(addr, value);
-    }
-    for _ in 0..procs {
-        let n_ops = r.get_uvarint()?;
-        let mut h = ProcessHistory::new();
-        for _ in 0..n_ops {
-            let tag = r.get_u8()?;
-            let op = match tag {
-                0 => Op::Read {
-                    addr: get_addr(&mut r)?,
-                    value: Value(r.get_uvarint()?),
-                },
-                1 => Op::Write {
-                    addr: get_addr(&mut r)?,
-                    value: Value(r.get_uvarint()?),
-                },
-                2 => Op::Rmw {
-                    addr: get_addr(&mut r)?,
-                    read: Value(r.get_uvarint()?),
-                    write: Value(r.get_uvarint()?),
-                },
-                t => return Err(DecodeError::BadOpTag(t)),
-            };
-            h.push(op);
+}
+
+impl ChunkReader {
+    /// Create a reader expecting a stream from its first byte.
+    pub fn new() -> Self {
+        ChunkReader {
+            buf: Vec::new(),
+            pos: 0,
+            state: ChunkState::Header,
+            version: 0,
+            procs: 0,
+            op_counts: Vec::new(),
         }
+    }
+
+    /// Append the next chunk of input.
+    pub fn feed(&mut self, chunk: &[u8]) {
+        // Compact the consumed prefix before growing, so a long stream
+        // holds O(chunk) bytes rather than the whole history.
+        if self.pos > 4096 && self.pos * 2 >= self.buf.len() {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Format version, once the header has been decoded.
+    pub fn version(&self) -> Option<u16> {
+        (self.version != 0).then_some(self.version)
+    }
+
+    /// Declared process count, once the header has been decoded.
+    pub fn procs(&self) -> Option<u16> {
+        (self.version != 0).then_some(self.procs)
+    }
+
+    /// Bytes fed but not yet consumed by complete records.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Decode the next event, if a complete record is buffered.
+    ///
+    /// `Ok(None)` = the stream declared its own end (v2 only).
+    /// [`DecodeError::NeedMoreBytes`] = the buffer ends mid-record (or, for
+    /// v3, possibly exactly on a record boundary — [`ChunkReader::finish`]
+    /// distinguishes a clean end from a split record).
+    // Not an `Iterator`: `NeedMoreBytes` is a resumable condition, not `None`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Result<Option<StreamEvent>, DecodeError> {
+        loop {
+            let tail = &self.buf[self.pos..];
+            let mut r = Reader::new(tail);
+            match self.state {
+                ChunkState::Header => {
+                    let magic = r.get_u32_le().map_err(need)?;
+                    if magic != MAGIC {
+                        return Err(DecodeError::BadMagic(magic));
+                    }
+                    let version = r.get_u16_le().map_err(need)?;
+                    if version != VERSION && version != STREAM_VERSION {
+                        return Err(DecodeError::BadVersion(version));
+                    }
+                    let procs = r.get_u16_le().map_err(need)?;
+                    self.pos += tail.len() - r.remaining();
+                    self.version = version;
+                    self.procs = procs;
+                    self.op_counts = vec![0; procs as usize];
+                    self.state = ChunkState::InitCount;
+                    return Ok(Some(StreamEvent::Begin { version, procs }));
+                }
+                ChunkState::InitCount => {
+                    let left = r.get_uvarint().map_err(need)?;
+                    self.pos += tail.len() - r.remaining();
+                    self.state = ChunkState::Init { left };
+                }
+                ChunkState::Init { left } => {
+                    if left == 0 {
+                        self.state = ChunkState::FinalCount;
+                        continue;
+                    }
+                    let addr = get_addr(&mut r)?;
+                    let value = Value(r.get_uvarint().map_err(need)?);
+                    self.pos += tail.len() - r.remaining();
+                    self.state = ChunkState::Init { left: left - 1 };
+                    return Ok(Some(StreamEvent::Init { addr, value }));
+                }
+                ChunkState::FinalCount => {
+                    let left = r.get_uvarint().map_err(need)?;
+                    self.pos += tail.len() - r.remaining();
+                    self.state = ChunkState::Finals { left };
+                }
+                ChunkState::Finals { left } => {
+                    if left == 0 {
+                        self.state = if self.version == STREAM_VERSION {
+                            ChunkState::Events
+                        } else if self.procs == 0 {
+                            ChunkState::Done
+                        } else {
+                            ChunkState::ProcCount { proc: 0 }
+                        };
+                        continue;
+                    }
+                    let addr = get_addr(&mut r)?;
+                    let value = Value(r.get_uvarint().map_err(need)?);
+                    self.pos += tail.len() - r.remaining();
+                    self.state = ChunkState::Finals { left: left - 1 };
+                    return Ok(Some(StreamEvent::Final { addr, value }));
+                }
+                ChunkState::ProcCount { proc } => {
+                    let left = r.get_uvarint().map_err(need)?;
+                    self.pos += tail.len() - r.remaining();
+                    self.state = ChunkState::Ops { proc, left };
+                }
+                ChunkState::Ops { proc, left } => {
+                    if left == 0 {
+                        let next = proc + 1;
+                        self.state = if usize::from(next) >= usize::from(self.procs) {
+                            ChunkState::Done
+                        } else {
+                            ChunkState::ProcCount { proc: next }
+                        };
+                        continue;
+                    }
+                    let op = get_op(&mut r)?;
+                    let consumed = tail.len() - r.remaining();
+                    self.pos += consumed;
+                    self.state = ChunkState::Ops {
+                        proc,
+                        left: left - 1,
+                    };
+                    let idx = self.op_counts[usize::from(proc)];
+                    self.op_counts[usize::from(proc)] += 1;
+                    return Ok(Some(StreamEvent::Op {
+                        op_ref: OpRef::new(proc, idx),
+                        op,
+                        bytes: consumed as u32,
+                    }));
+                }
+                ChunkState::Events => {
+                    if r.remaining() == 0 {
+                        return Err(DecodeError::NeedMoreBytes);
+                    }
+                    let raw_proc = r.get_uvarint().map_err(need)?;
+                    let proc = u16::try_from(raw_proc)
+                        .ok()
+                        .filter(|p| *p < self.procs)
+                        .ok_or(DecodeError::BadProc(raw_proc))?;
+                    let op = get_op(&mut r)?;
+                    let consumed = tail.len() - r.remaining();
+                    self.pos += consumed;
+                    let idx = self.op_counts[usize::from(proc)];
+                    self.op_counts[usize::from(proc)] += 1;
+                    return Ok(Some(StreamEvent::Op {
+                        op_ref: OpRef::new(proc, idx),
+                        op,
+                        bytes: consumed as u32,
+                    }));
+                }
+                ChunkState::Done => return Ok(None),
+            }
+        }
+    }
+
+    /// Declare end of input: `Ok(())` iff the stream ended on a complete
+    /// structure (v2: all declared histories consumed; v3: a record
+    /// boundary). Trailing bytes after a complete v2 structure are ignored,
+    /// matching [`decode_trace`].
+    pub fn finish(&self) -> Result<(), DecodeError> {
+        let clean = match self.state {
+            ChunkState::Done => true,
+            ChunkState::Events => self.pos >= self.buf.len(),
+            _ => false,
+        };
+        if clean {
+            Ok(())
+        } else {
+            Err(DecodeError::Truncated)
+        }
+    }
+}
+
+/// Deserialize a trace from a complete binary buffer (either framing).
+///
+/// Implemented over [`ChunkReader`] so the batch and streaming decode paths
+/// are one code path; a buffer that ends mid-record fails with
+/// [`DecodeError::Truncated`] (no more bytes can come).
+pub fn decode_trace(input: &[u8]) -> Result<Trace, DecodeError> {
+    let mut cr = ChunkReader::new();
+    cr.feed(input);
+    let mut trace = Trace::new();
+    let mut hists: Vec<ProcessHistory> = Vec::new();
+    loop {
+        match cr.next() {
+            Ok(Some(StreamEvent::Begin { procs, .. })) => {
+                hists = (0..procs).map(|_| ProcessHistory::new()).collect();
+            }
+            Ok(Some(StreamEvent::Init { addr, value })) => trace.set_initial(addr, value),
+            Ok(Some(StreamEvent::Final { addr, value })) => trace.set_final(addr, value),
+            Ok(Some(StreamEvent::Op { op_ref, op, .. })) => {
+                hists[usize::from(op_ref.proc.0)].push(op);
+            }
+            Ok(None) => break,
+            Err(DecodeError::NeedMoreBytes) => {
+                cr.finish()?;
+                break;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    for h in hists {
         trace.push_history(h);
     }
     Ok(trace)
@@ -177,6 +535,8 @@ mod tests {
     use super::*;
     use crate::gen::{gen_sc_trace, GenConfig};
     use crate::trace::TraceBuilder;
+    use vermem_util::prop::PropConfig;
+    use vermem_util::prop_check;
 
     #[test]
     fn round_trip_small() {
@@ -332,5 +692,242 @@ mod tests {
             decode_trace(&bytes),
             Err(DecodeError::AddrOverflow(u64::from(u32::MAX) + 1))
         );
+    }
+
+    // ---- ChunkReader: incremental decode ----
+
+    /// Drain every currently-decodable event; NeedMoreBytes is the normal
+    /// "buffer exhausted" signal between chunks, anything else is a bug.
+    fn drain(cr: &mut ChunkReader, sink: &mut Vec<StreamEvent>) -> bool {
+        loop {
+            match cr.next() {
+                Ok(Some(ev)) => sink.push(ev),
+                Ok(None) => return true,
+                Err(DecodeError::NeedMoreBytes) => return false,
+                Err(e) => panic!("unexpected decode error {e}"),
+            }
+        }
+    }
+
+    /// Rebuild a trace from drained events (both framings).
+    fn assemble(events: &[StreamEvent]) -> Trace {
+        let mut trace = Trace::new();
+        let mut hists: Vec<ProcessHistory> = Vec::new();
+        for ev in events {
+            match *ev {
+                StreamEvent::Begin { procs, .. } => {
+                    hists = (0..procs).map(|_| ProcessHistory::new()).collect();
+                }
+                StreamEvent::Init { addr, value } => trace.set_initial(addr, value),
+                StreamEvent::Final { addr, value } => trace.set_final(addr, value),
+                StreamEvent::Op { op_ref, op, .. } => hists[usize::from(op_ref.proc.0)].push(op),
+            }
+        }
+        for h in hists {
+            trace.push_history(h);
+        }
+        trace
+    }
+
+    #[test]
+    fn chunked_reassembly_matches_batch_decode_at_every_chunk_size() {
+        let (t, _) = gen_sc_trace(&GenConfig {
+            procs: 4,
+            total_ops: 160,
+            addrs: 5,
+            rmw_fraction: 0.25,
+            seed: 7,
+            ..Default::default()
+        });
+        let bytes = encode_trace(&t);
+        for chunk in [1usize, 2, 3, 5, 8, 13, 64, 1024] {
+            let mut cr = ChunkReader::new();
+            let mut events = Vec::new();
+            let mut done = false;
+            for piece in bytes.chunks(chunk) {
+                cr.feed(piece);
+                done = drain(&mut cr, &mut events);
+            }
+            assert!(done, "chunk size {chunk}: v2 stream must self-terminate");
+            cr.finish().unwrap();
+            assert_eq!(assemble(&events), t, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn every_strict_prefix_asks_for_more_bytes() {
+        // Satellite: partial input is a typed NeedMoreBytes, never a
+        // half-consumed record or a bogus structural error.
+        let t = TraceBuilder::new()
+            .proc([Op::w(1u64), Op::rmw(2u32, 0u64, 9u64)])
+            .proc([Op::read(0u32, 1u64)])
+            .initial(0u32, 2u64)
+            .final_value(2u32, 9u64)
+            .build();
+        let bytes = encode_trace(&t);
+        for cut in 0..bytes.len() {
+            let mut cr = ChunkReader::new();
+            cr.feed(&bytes[..cut]);
+            let mut events = Vec::new();
+            let done = drain(&mut cr, &mut events);
+            assert!(!done, "prefix {cut} must not look complete");
+            assert_eq!(cr.finish(), Err(DecodeError::Truncated), "prefix {cut}");
+            // Feeding the rest must pick up exactly where we stopped.
+            cr.feed(&bytes[cut..]);
+            assert!(drain(&mut cr, &mut events), "resume at {cut}");
+            cr.finish().unwrap();
+            assert_eq!(assemble(&events), t, "resume at {cut}");
+        }
+    }
+
+    #[test]
+    fn random_chunkings_reassemble_identically() {
+        prop_check!(
+            PropConfig::with_cases(48),
+            |rng, size| {
+                let (t, _) = gen_sc_trace(&GenConfig {
+                    procs: 1 + (size % 5),
+                    total_ops: 4 * size.max(1),
+                    addrs: 1 + (size % 4),
+                    rmw_fraction: 0.2,
+                    seed: rng.gen_range(0..u64::MAX),
+                    ..Default::default()
+                });
+                let bytes = encode_trace(&t);
+                // Random cut points, including empty chunks.
+                let mut cuts: Vec<usize> = (0..8).map(|_| rng.gen_range(0..=bytes.len())).collect();
+                cuts.sort_unstable();
+                (t, bytes, cuts)
+            },
+            |(t, bytes, cuts): &(Trace, Vec<u8>, Vec<usize>)| {
+                let mut cr = ChunkReader::new();
+                let mut events = Vec::new();
+                let mut prev = 0usize;
+                for &cut in cuts.iter().chain(std::iter::once(&bytes.len())) {
+                    cr.feed(&bytes[prev..cut]);
+                    drain(&mut cr, &mut events);
+                    prev = cut;
+                }
+                cr.finish().map_err(|e| format!("finish: {e}"))?;
+                vermem_util::prop_assert_eq!(&assemble(&events), t);
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    fn event_stream_round_trip_with_op_identities() {
+        // Interleave two processes' program orders; the reader must hand
+        // back the same events with correct per-process OpRef indices.
+        let events = vec![
+            (ProcId(0), Op::write(0u32, 1u64)),
+            (ProcId(1), Op::read(0u32, 1u64)),
+            (ProcId(0), Op::rmw(1u32, 0u64, 5u64)),
+            (ProcId(1), Op::read(1u32, 5u64)),
+            (ProcId(0), Op::write(0u32, 2u64)),
+        ];
+        let mut initials = BTreeMap::new();
+        initials.insert(Addr(1), Value(0));
+        let mut finals = BTreeMap::new();
+        finals.insert(Addr(0), Value(2));
+        let bytes = encode_event_stream(2, &initials, &finals, &events);
+
+        for chunk in [1usize, 3, 7, 4096] {
+            let mut cr = ChunkReader::new();
+            let mut got = Vec::new();
+            for piece in bytes.chunks(chunk) {
+                cr.feed(piece);
+                assert!(!drain(&mut cr, &mut got), "v3 streams never self-end");
+            }
+            cr.finish().unwrap();
+            assert_eq!(cr.version(), Some(STREAM_VERSION));
+            let ops: Vec<(OpRef, Op)> = got
+                .iter()
+                .filter_map(|ev| match *ev {
+                    StreamEvent::Op { op_ref, op, .. } => Some((op_ref, op)),
+                    _ => None,
+                })
+                .collect();
+            let want: Vec<(OpRef, Op)> = vec![
+                (OpRef::new(0u16, 0), events[0].1),
+                (OpRef::new(1u16, 0), events[1].1),
+                (OpRef::new(0u16, 1), events[2].1),
+                (OpRef::new(1u16, 1), events[3].1),
+                (OpRef::new(0u16, 2), events[4].1),
+            ];
+            assert_eq!(ops, want, "chunk {chunk}");
+            // decode_trace understands the stream framing too and rebuilds
+            // per-process program order from the interleaving.
+            let t = decode_trace(&bytes).unwrap();
+            assert_eq!(t.num_procs(), 2);
+            assert_eq!(t.histories()[0].len(), 3);
+            assert_eq!(t.histories()[1].len(), 2);
+            assert_eq!(assemble(&got), t);
+        }
+    }
+
+    #[test]
+    fn event_stream_rejects_out_of_range_process() {
+        let bytes = {
+            let mut b = encode_stream_header(1, &BTreeMap::new(), &BTreeMap::new());
+            encode_stream_op(&mut b, ProcId(5), &Op::w(1u64));
+            b
+        };
+        let mut cr = ChunkReader::new();
+        cr.feed(&bytes);
+        assert_eq!(
+            cr.next(),
+            Ok(Some(StreamEvent::Begin {
+                version: 3,
+                procs: 1
+            }))
+        );
+        assert_eq!(cr.next(), Err(DecodeError::BadProc(5)));
+    }
+
+    #[test]
+    fn split_record_is_never_partially_consumed() {
+        // Cut inside the RMW record's value fields: the reader must hold
+        // the whole record until it is complete, then emit it once.
+        let mut bytes = encode_stream_header(1, &BTreeMap::new(), &BTreeMap::new());
+        encode_stream_op(&mut bytes, ProcId(0), &Op::rmw(300u32, 77777u64, 88888u64));
+        let cut = bytes.len() - 2;
+        let mut cr = ChunkReader::new();
+        cr.feed(&bytes[..cut]);
+        let mut events = Vec::new();
+        assert!(!drain(&mut cr, &mut events));
+        assert_eq!(events.len(), 1, "only Begin so far");
+        let buffered = cr.buffered();
+        cr.feed(&bytes[cut..]);
+        assert!(cr.buffered() > buffered);
+        assert!(!drain(&mut cr, &mut events));
+        assert_eq!(
+            events.last(),
+            Some(&StreamEvent::Op {
+                op_ref: OpRef::new(0u16, 0),
+                op: Op::rmw(300u32, 77777u64, 88888u64),
+                bytes: (bytes.len() - 10) as u32,
+            })
+        );
+        cr.finish().unwrap();
+    }
+
+    #[test]
+    fn long_stream_buffer_stays_bounded() {
+        // Compaction: feeding a long stream in chunks must not accumulate
+        // the whole history in the reader's buffer.
+        let header = encode_stream_header(1, &BTreeMap::new(), &BTreeMap::new());
+        let mut cr = ChunkReader::new();
+        cr.feed(&header);
+        let mut events = Vec::new();
+        drain(&mut cr, &mut events);
+        let mut record = Vec::new();
+        encode_stream_op(&mut record, ProcId(0), &Op::w(1u64));
+        for _ in 0..100_000 {
+            cr.feed(&record);
+            drain(&mut cr, &mut events);
+            assert!(cr.buffered() < 16 * 1024, "reader buffer must stay bounded");
+        }
+        assert_eq!(events.len(), 1 + 100_000);
     }
 }

@@ -77,6 +77,38 @@ impl AddrOps {
         }
     }
 
+    /// Assemble an [`AddrOps`] directly from per-process `(OpRef, Op)`
+    /// lists, without a backing [`Trace`]. This is how the streaming
+    /// engine re-materialises an address for exact verification: the refs
+    /// must be the operations' original program-order identities and each
+    /// list must be in program order, exactly as [`AddrIndex::build`]
+    /// would have produced them, so the resulting value is
+    /// indistinguishable (`==`) from the batch-built index entry.
+    pub fn from_parts(
+        addr: Addr,
+        initial: Value,
+        final_value: Option<Value>,
+        per_proc: Vec<Vec<(OpRef, Op)>>,
+    ) -> AddrOps {
+        let mut ops = AddrOps {
+            addr,
+            initial,
+            final_value,
+            per_proc: vec![Vec::new(); per_proc.len()],
+            write_counts: BTreeMap::new(),
+            num_ops: 0,
+            rmw_ops: 0,
+        };
+        for (p, list) in per_proc.into_iter().enumerate() {
+            ops.per_proc[p] = Vec::with_capacity(list.len());
+            for (r, op) in list {
+                debug_assert_eq!(usize::from(r.proc.0), p, "ref/process mismatch");
+                ops.push(r, op);
+            }
+        }
+        ops
+    }
+
     /// Index the operations of `trace` at one `addr` (a single O(ops)
     /// scan). Prefer [`AddrIndex::build`] when several addresses are
     /// needed — it indexes them all in the same single scan.
@@ -338,6 +370,18 @@ mod tests {
         assert!(none.is_empty());
         assert!(none.all_rmw()); // vacuous, as for the solvers
         assert_eq!(none.max_writes_per_value(), 0);
+    }
+
+    #[test]
+    fn from_parts_is_indistinguishable_from_batch_index() {
+        let t = sample();
+        let idx = AddrIndex::build(&t);
+        for addr in t.addresses() {
+            let e = idx.get(addr).unwrap();
+            let rebuilt =
+                AddrOps::from_parts(addr, e.initial(), e.final_value(), e.per_proc().to_vec());
+            assert_eq!(&rebuilt, e);
+        }
     }
 
     #[test]

@@ -222,6 +222,131 @@ fn next_chunk(deques: &[Mutex<VecDeque<usize>>], w: usize) -> Option<(usize, boo
     None
 }
 
+/// Create a bounded single-producer single-consumer channel for the
+/// streaming verifier's shard pipeline: the ingest thread routes decoded
+/// events to per-shard queues, one worker drains each.
+///
+/// `send` applies **backpressure**: when the queue holds `capacity` items
+/// it blocks until the consumer catches up (each blocking episode counts
+/// into the `pool.spsc.backpressure_waits` counter, and queue depth after
+/// every push is published as the `pool.spsc.queue` gauge). Dropping the
+/// receiver unblocks a waiting sender with an error; dropping or
+/// [`closing`](SpscSender::close) the sender makes `recv` drain the
+/// remaining items and then return `None`.
+///
+/// `Mutex<VecDeque>` + two condvars, no `unsafe` — locks are uncontended
+/// in the steady state (one producer, one consumer), and the verifier
+/// batches events so the lock is taken once per batch, not per op.
+pub fn spsc_channel<T>(capacity: usize) -> (SpscSender<T>, SpscReceiver<T>) {
+    let shared = std::sync::Arc::new(SpscShared {
+        state: Mutex::new(SpscState {
+            buf: VecDeque::with_capacity(capacity.max(1)),
+            closed: false,
+        }),
+        not_full: std::sync::Condvar::new(),
+        not_empty: std::sync::Condvar::new(),
+        capacity: capacity.max(1),
+    });
+    (
+        SpscSender {
+            shared: shared.clone(),
+        },
+        SpscReceiver { shared },
+    )
+}
+
+#[derive(Debug)]
+struct SpscState<T> {
+    buf: VecDeque<T>,
+    closed: bool,
+}
+
+#[derive(Debug)]
+struct SpscShared<T> {
+    state: Mutex<SpscState<T>>,
+    not_full: std::sync::Condvar,
+    not_empty: std::sync::Condvar,
+    capacity: usize,
+}
+
+/// Producer half of [`spsc_channel`].
+#[derive(Debug)]
+pub struct SpscSender<T> {
+    shared: std::sync::Arc<SpscShared<T>>,
+}
+
+/// Consumer half of [`spsc_channel`].
+#[derive(Debug)]
+pub struct SpscReceiver<T> {
+    shared: std::sync::Arc<SpscShared<T>>,
+}
+
+impl<T> SpscSender<T> {
+    /// Enqueue `item`, blocking while the queue is full. Returns the item
+    /// back if the receiver is gone.
+    pub fn send(&self, item: T) -> Result<(), T> {
+        let mut st = self.shared.state.lock().expect("spsc poisoned");
+        if st.buf.len() >= self.shared.capacity && !st.closed {
+            obs::counter_add("pool.spsc.backpressure_waits", 1);
+            while st.buf.len() >= self.shared.capacity && !st.closed {
+                st = self.shared.not_full.wait(st).expect("spsc poisoned");
+            }
+        }
+        if st.closed {
+            return Err(item);
+        }
+        st.buf.push_back(item);
+        let depth = st.buf.len() as u64;
+        drop(st);
+        crate::gauge!("pool.spsc.queue", depth);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Signal end of stream: `recv` drains what is buffered, then `None`.
+    pub fn close(&self) {
+        let mut st = self.shared.state.lock().expect("spsc poisoned");
+        st.closed = true;
+        drop(st);
+        self.shared.not_empty.notify_one();
+        self.shared.not_full.notify_one();
+    }
+}
+
+impl<T> Drop for SpscSender<T> {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+impl<T> SpscReceiver<T> {
+    /// Dequeue the next item, blocking while the queue is empty; `None`
+    /// once the sender has closed and the queue is drained.
+    pub fn recv(&self) -> Option<T> {
+        let mut st = self.shared.state.lock().expect("spsc poisoned");
+        loop {
+            if let Some(item) = st.buf.pop_front() {
+                drop(st);
+                self.shared.not_full.notify_one();
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.shared.not_empty.wait(st).expect("spsc poisoned");
+        }
+    }
+}
+
+impl<T> Drop for SpscReceiver<T> {
+    fn drop(&mut self) {
+        let mut st = self.shared.state.lock().expect("spsc poisoned");
+        st.closed = true;
+        drop(st);
+        self.shared.not_full.notify_one();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -313,6 +438,63 @@ mod tests {
     #[test]
     fn available_jobs_is_positive() {
         assert!(available_jobs() >= 1);
+    }
+
+    #[test]
+    fn spsc_preserves_fifo_order_across_threads() {
+        let (tx, rx) = spsc_channel::<usize>(4);
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                for i in 0..1000 {
+                    tx.send(i).unwrap();
+                }
+            });
+            for i in 0..1000 {
+                assert_eq!(rx.recv(), Some(i));
+            }
+            assert_eq!(rx.recv(), None); // sender dropped at thread exit
+        });
+    }
+
+    #[test]
+    fn spsc_backpressure_blocks_until_consumer_catches_up() {
+        let (tx, rx) = spsc_channel::<usize>(2);
+        let sent = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for i in 0..10 {
+                    tx.send(i).unwrap();
+                    sent.fetch_add(1, Ordering::SeqCst);
+                }
+            });
+            // Give the producer time to hit the capacity wall.
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            assert!(sent.load(Ordering::SeqCst) <= 3, "capacity 2 must block");
+            for i in 0..10 {
+                assert_eq!(rx.recv(), Some(i));
+            }
+        });
+    }
+
+    #[test]
+    fn spsc_close_drains_then_ends() {
+        let (tx, rx) = spsc_channel::<usize>(8);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        tx.close();
+        assert_eq!(rx.recv(), Some(1));
+        assert_eq!(rx.recv(), Some(2));
+        assert_eq!(rx.recv(), None);
+        assert_eq!(tx.send(3), Err(3), "send after close fails");
+    }
+
+    #[test]
+    fn spsc_receiver_drop_unblocks_sender() {
+        let (tx, rx) = spsc_channel::<usize>(1);
+        tx.send(0).unwrap();
+        drop(rx);
+        // Queue is full and the receiver is gone: send must error, not hang.
+        assert_eq!(tx.send(1), Err(1));
     }
 
     #[test]

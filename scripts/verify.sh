@@ -88,9 +88,10 @@ tmp=$(mktemp -d)
 python3 - "$tmp/BENCH_vmc.json" "BENCH_vmc.json" <<'EOF'
 import json, sys
 d = json.load(open(sys.argv[1]))
-assert d["schema"] == "vermem-bench-vmc/v5", d["schema"]
+assert d["schema"] == "vermem-bench-vmc/v6", d["schema"]
 assert d["par_verify"] and d["memo_ablation"] and d["prune_ablation"] \
-    and d["model_kernel"] and d["tier_ablation"], "empty receipts"
+    and d["model_kernel"] and d["tier_ablation"] and d["estream"], \
+    "empty receipts"
 host = d["host_parallelism"]
 assert host >= 1, host
 for case in d["par_verify"]:
@@ -171,6 +172,33 @@ def tier_check(doc, which):
 
 tier_check(d, "fresh")
 
+# E-STREAM shape: one row per stream count {1, 4, 16} with throughput +
+# latency receipts; streaming verdicts bit-identical to batch; retained
+# state gated by the streams x window_slack bounded-memory budget; and
+# the 10x-length probe retains an identical peak.
+def estream_check(doc, which):
+    rows = doc["estream"]
+    assert [r["streams"] for r in rows] == [1, 4, 16], \
+        (which, [r["streams"] for r in rows])
+    for r in rows:
+        for k in ("window", "window_slack", "jobs", "events", "median_secs",
+                  "sustained_ops_per_sec", "detections",
+                  "p99_detect_latency_us", "peak_retained_windows",
+                  "incoherent", "verdict_parity"):
+            assert k in r, (which, k, sorted(r))
+        assert r["events"] > 0 and r["median_secs"] > 0, r
+        assert r["sustained_ops_per_sec"] > 0, r
+        assert r["verdict_parity"] is True, \
+            f"{which}: streaming vs batch verdict drift: {r}"
+        assert r["peak_retained_windows"] <= r["streams"] * r["window_slack"], \
+            f"{which}: peak retained windows exceed streams x slack: {r}"
+    bm = doc["estream_bounded_memory"]
+    assert bm["events_10x"] >= 10 * bm["events"], bm
+    assert bm["peak_retained_windows"] == bm["peak_retained_windows_10x"], \
+        f"{which}: peak retained windows grew with stream length: {bm}"
+
+estream_check(d, "fresh")
+
 # Headline claim: on the §5.2 blow-up instance, --prune=all shrinks
 # memo_misses (== states explored) by at least 5x vs --prune=none.
 e52 = by_case["e5.2-overcons"]
@@ -181,12 +209,13 @@ assert ratio >= 5.0, f"e5.2 prune ratio regressed to {ratio:.1f}x (< 5x)"
 # not explore more states than the committed run plus 5% slack (decided
 # rows are cap-independent, so fast/full receipts are comparable).
 committed = json.load(open(sys.argv[2]))
-if committed.get("schema") == "vermem-bench-vmc/v5":
-    # The committed receipt must itself pass the tier shape checks and the
-    # 90% healthy-sim frontline gate (acceptance: the checked-in
-    # BENCH_vmc.json shows the frontline deciding the majority of
-    # healthy-trace addresses).
+if committed.get("schema") == "vermem-bench-vmc/v6":
+    # The committed receipt must itself pass the tier and estream shape
+    # checks — including the 90% healthy-sim frontline gate, the
+    # streaming-vs-batch verdict-parity flags, and the bounded-memory
+    # 10x-length peak-retained-windows invariance.
     tier_check(committed, "committed")
+    estream_check(committed, "committed")
     comm_by_case = {}
     for row in committed["prune_ablation"]:
         comm_by_case.setdefault(row["case"], {})[row["config"]] = row
@@ -206,6 +235,7 @@ print(f"    ok ({len(d['par_verify'])} par cases, "
       f"{len(d['memo_ablation'])} memo rows, {len(prune)} prune rows, "
       f"{len(d['model_kernel'])} model-kernel rows, "
       f"{len(d['tier_ablation'])} tier rows, "
+      f"{len(d['estream'])} estream rows, "
       f"e5.2 prune ratio {ratio:.0f}x, "
       f"obs overhead {obs['enabled_overhead_pct']:+.2f}%)")
 EOF
@@ -230,5 +260,14 @@ assert all("dur" in e and e["dur"] >= 0 for e in durs), "X events need dur"
 print(f"    ok ({len(ev)} events, {len(names)} distinct names)")
 EOF
 rm -rf "$tmp"
+
+echo "==> vermem serve: streaming engine smoke (healthy + fault-injected)"
+out=$(target/release/vermem serve --streams 2 --instrs 60 --window 64 --jobs 1)
+grep -q "# serve: 2 stream(s), 0 incoherent" <<<"$out" \
+    || { echo "serve healthy run not coherent:" >&2; echo "$out" >&2; exit 1; }
+out=$(target/release/vermem serve --streams 3 --instrs 60 --fault --window 32)
+grep -q "VIOLATION at address" <<<"$out" \
+    || { echo "serve fault run surfaced no violation:" >&2; echo "$out" >&2; exit 1; }
+echo "    ok"
 
 echo "==> all checks passed"
