@@ -893,6 +893,18 @@ fn e_par_scaling(write_json: bool) {
         obs.enabled_overhead_pct
     );
 
+    let live_obs = live_obs_probe(reps, fast);
+    println!(
+        "live telemetry overhead ({} streams, {} events): off {:.3} ms, \
+         on {:.3} ms ({:+.2}%), {} forensic bundle(s)",
+        live_obs.streams,
+        live_obs.events,
+        live_obs.median_secs_off * 1e3,
+        live_obs.median_secs_on * 1e3,
+        live_obs.enabled_overhead_pct,
+        live_obs.forensic_bundles
+    );
+
     if write_json {
         let path = "BENCH_vmc.json";
         std::fs::write(
@@ -907,6 +919,7 @@ fn e_par_scaling(write_json: bool) {
                 &estream,
                 &bounded,
                 &obs,
+                &live_obs,
             ),
         )
         .expect("write BENCH_vmc.json");
@@ -1271,7 +1284,9 @@ struct EstreamRow {
     median_secs: f64,
     sustained_ops_per_sec: f64,
     detections: usize,
-    p99_detect_latency_us: u64,
+    /// `None` when the row saw no detections — serialized as JSON `null`
+    /// (a 0 would read as "instant detection", which is a lie).
+    p99_detect_latency_us: Option<u64>,
     peak_retained_windows: u64,
     incoherent: usize,
     verdict_parity: bool,
@@ -1286,6 +1301,11 @@ struct BoundedMemoryProbe {
     peak_retained_windows: u64,
     events_10x: u64,
     peak_retained_windows_10x: u64,
+    /// Peaks with the flight recorder enabled: the forensic ring is
+    /// counted into `peak_retained_windows`, so these are higher than the
+    /// plain peaks but must be equally length-invariant.
+    recorder_peak_retained_windows: u64,
+    recorder_peak_retained_windows_10x: u64,
 }
 
 /// N sim captures for one E-STREAM row: odd-indexed streams carry a
@@ -1362,6 +1382,7 @@ fn estream_bench(reps: usize, fast: bool) -> (Vec<EstreamRow>, BoundedMemoryProb
         jobs: 1,
         temporal: true,
         verifier: VmcVerifier::new(),
+        recorder: None,
     };
     let mut rows = Vec::new();
     for streams in [1usize, 4, 16] {
@@ -1415,8 +1436,7 @@ fn estream_bench(reps: usize, fast: bool) -> (Vec<EstreamRow>, BoundedMemoryProb
             median_secs: secs,
             sustained_ops_per_sec: events as f64 / secs,
             detections,
-            p99_detect_latency_us: vermem_coherence::stream::percentile(&latencies, 99)
-                .unwrap_or(0),
+            p99_detect_latency_us: vermem_coherence::stream::percentile(&latencies, 99),
             peak_retained_windows: peak,
             incoherent,
             verdict_parity: parity,
@@ -1427,7 +1447,7 @@ fn estream_bench(reps: usize, fast: bool) -> (Vec<EstreamRow>, BoundedMemoryProb
     // retain an identical peak (asserted here, gated again by verify.sh).
     const PROBE_WINDOW: usize = 64;
     let rounds = if fast { 400 } else { 2_000 };
-    let probe_run = |rounds: usize| {
+    let probe_run = |rounds: usize, recorder: Option<vermem_coherence::RecorderConfig>| {
         let bytes = periodic_stream(rounds, 3);
         let report = vermem_coherence::verify_stream_bytes(
             &bytes,
@@ -1436,17 +1456,27 @@ fn estream_bench(reps: usize, fast: bool) -> (Vec<EstreamRow>, BoundedMemoryProb
                 jobs: 1,
                 temporal: true,
                 verifier: VmcVerifier::new(),
+                recorder,
             },
         )
         .expect("stream decodes");
         assert!(report.is_coherent(), "periodic stream is coherent");
         (report.events, report.metrics.peak_retained_windows)
     };
-    let (events, peak) = probe_run(rounds);
-    let (events_10x, peak_10x) = probe_run(rounds * 10);
+    let (events, peak) = probe_run(rounds, None);
+    let (events_10x, peak_10x) = probe_run(rounds * 10, None);
     assert_eq!(
         peak, peak_10x,
         "peak retained windows must be independent of stream length"
+    );
+    // Same gate with the flight recorder on: its per-shard ring is charged
+    // to peak_retained_windows and must stay length-invariant too.
+    let recorder = || Some(vermem_coherence::RecorderConfig::default());
+    let (_, rec_peak) = probe_run(rounds, recorder());
+    let (_, rec_peak_10x) = probe_run(rounds * 10, recorder());
+    assert_eq!(
+        rec_peak, rec_peak_10x,
+        "recorder-on peak retained windows must be independent of stream length"
     );
     (
         rows,
@@ -1456,6 +1486,8 @@ fn estream_bench(reps: usize, fast: bool) -> (Vec<EstreamRow>, BoundedMemoryProb
             peak_retained_windows: peak,
             events_10x,
             peak_retained_windows_10x: peak_10x,
+            recorder_peak_retained_windows: rec_peak,
+            recorder_peak_retained_windows_10x: rec_peak_10x,
         },
     )
 }
@@ -1483,7 +1515,8 @@ fn print_estream_table(rows: &[EstreamRow], probe: &BoundedMemoryProbe) {
             r.median_secs * 1e3,
             r.sustained_ops_per_sec,
             r.detections,
-            r.p99_detect_latency_us,
+            r.p99_detect_latency_us
+                .map_or_else(|| "-".to_string(), |v| v.to_string()),
             r.peak_retained_windows,
             r.incoherent,
             r.verdict_parity
@@ -1491,12 +1524,14 @@ fn print_estream_table(rows: &[EstreamRow], probe: &BoundedMemoryProbe) {
     }
     println!(
         "bounded memory (window {}): {} events peak {} windows; 10x length \
-         ({} events) peak {} windows",
+         ({} events) peak {} windows; recorder-on peaks {} / {}",
         probe.window,
         probe.events,
         probe.peak_retained_windows,
         probe.events_10x,
-        probe.peak_retained_windows_10x
+        probe.peak_retained_windows_10x,
+        probe.recorder_peak_retained_windows,
+        probe.recorder_peak_retained_windows_10x
     );
 }
 
@@ -1548,6 +1583,82 @@ fn obs_overhead_probe(reps: usize, fast: bool) -> ObsOverhead {
         case: "e5.2-overcons-capped",
         median_secs_disabled: off,
         median_secs_enabled: on,
+        enabled_overhead_pct: (on / off - 1.0) * 100.0,
+    }
+}
+
+/// Live-telemetry cost on the streaming engine: the E-STREAM workload run
+/// plain vs with the whole observability stack enabled — per-shard flight
+/// recorder plus a rolling [`TimeSeries`] fed per stream — with verdict,
+/// stats and tier identity asserted between the two runs.
+struct LiveObsProbe {
+    streams: usize,
+    events: u64,
+    forensic_bundles: usize,
+    median_secs_off: f64,
+    median_secs_on: f64,
+    enabled_overhead_pct: f64,
+}
+
+use vermem_util::obs::timeseries::TimeSeries;
+
+fn live_obs_probe(reps: usize, fast: bool) -> LiveObsProbe {
+    let streams = 4usize;
+    let instrs = if fast { 30 } else { 120 };
+    let caps = estream_captures(streams, instrs);
+    let byte_streams: Vec<Vec<u8>> = caps
+        .iter()
+        .map(|c| vermem_sim::event_stream_bytes(c).expect("SC capture streams"))
+        .collect();
+    let config = |recorder| vermem_coherence::StreamConfig {
+        window: Some(256),
+        jobs: 1,
+        temporal: true,
+        verifier: VmcVerifier::new(),
+        recorder,
+    };
+    let recorder = || Some(vermem_coherence::RecorderConfig::default());
+
+    // Identity pass: telemetry on vs off must agree on everything the
+    // verifier reports (the obs-on/off contract, gated by verify.sh).
+    let mut events = 0u64;
+    let mut bundles = 0usize;
+    for bytes in &byte_streams {
+        let off = vermem_coherence::verify_stream_bytes(bytes, config(None)).expect("decodes");
+        let on = vermem_coherence::verify_stream_bytes(bytes, config(recorder())).expect("decodes");
+        assert_eq!(off.verdict, on.verdict, "recorder changed the verdict");
+        assert_eq!(off.stats, on.stats, "recorder changed the search stats");
+        assert_eq!(off.tiers, on.tiers, "recorder changed the tier accounting");
+        events += off.events;
+        bundles += on.forensics.len();
+    }
+
+    let off = median_secs(reps, || {
+        for bytes in &byte_streams {
+            let report =
+                vermem_coherence::verify_stream_bytes(bytes, config(None)).expect("decodes");
+            assert!(report.events > 0);
+        }
+    })
+    .max(1e-12);
+    let series = TimeSeries::new(8, 0);
+    let mut clock = 0u64;
+    let on = median_secs(reps, || {
+        for bytes in &byte_streams {
+            let report =
+                vermem_coherence::verify_stream_bytes(bytes, config(recorder())).expect("decodes");
+            series.record(report.events);
+        }
+        clock += 1_000_000;
+        series.rotate(clock);
+    })
+    .max(1e-12);
+    LiveObsProbe {
+        streams,
+        events,
+        forensic_bundles: bundles,
+        median_secs_off: off,
+        median_secs_on: on,
         enabled_overhead_pct: (on / off - 1.0) * 100.0,
     }
 }
@@ -1822,10 +1933,11 @@ fn bench_json(
     estream: &[EstreamRow],
     bounded: &BoundedMemoryProbe,
     obs: &ObsOverhead,
+    live_obs: &LiveObsProbe,
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"vermem-bench-vmc/v6\",\n");
+    s.push_str("  \"schema\": \"vermem-bench-vmc/v7\",\n");
     s.push_str(&format!("  \"host_parallelism\": {host},\n"));
     s.push_str("  \"par_verify\": [\n");
     for (i, c) in cases.iter().enumerate() {
@@ -1939,7 +2051,8 @@ fn bench_json(
             r.median_secs,
             r.sustained_ops_per_sec,
             r.detections,
-            r.p99_detect_latency_us,
+            r.p99_detect_latency_us
+                .map_or_else(|| "null".to_string(), |v| v.to_string()),
             r.peak_retained_windows,
             r.incoherent,
             r.verdict_parity
@@ -1950,17 +2063,33 @@ fn bench_json(
     s.push_str(&format!(
         "  \"estream_bounded_memory\": {{\"window\": {}, \"events\": {}, \
          \"peak_retained_windows\": {}, \"events_10x\": {}, \
-         \"peak_retained_windows_10x\": {}}},\n",
+         \"peak_retained_windows_10x\": {}, \
+         \"recorder_peak_retained_windows\": {}, \
+         \"recorder_peak_retained_windows_10x\": {}}},\n",
         bounded.window,
         bounded.events,
         bounded.peak_retained_windows,
         bounded.events_10x,
-        bounded.peak_retained_windows_10x
+        bounded.peak_retained_windows_10x,
+        bounded.recorder_peak_retained_windows,
+        bounded.recorder_peak_retained_windows_10x
     ));
     s.push_str(&format!(
         "  \"obs_overhead\": {{\"case\": \"{}\", \"median_secs_disabled\": {:.9}, \
-         \"median_secs_enabled\": {:.9}, \"enabled_overhead_pct\": {:.4}}}\n",
+         \"median_secs_enabled\": {:.9}, \"enabled_overhead_pct\": {:.4}}},\n",
         obs.case, obs.median_secs_disabled, obs.median_secs_enabled, obs.enabled_overhead_pct
+    ));
+    s.push_str(&format!(
+        "  \"e_live_obs\": {{\"streams\": {}, \"events\": {}, \
+         \"forensic_bundles\": {}, \"median_secs_off\": {:.9}, \
+         \"median_secs_on\": {:.9}, \"enabled_overhead_pct\": {:.4}, \
+         \"verdict_identical\": true}}\n",
+        live_obs.streams,
+        live_obs.events,
+        live_obs.forensic_bundles,
+        live_obs.median_secs_off,
+        live_obs.median_secs_on,
+        live_obs.enabled_overhead_pct
     ));
     s.push_str("}\n");
     s

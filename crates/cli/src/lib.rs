@@ -19,6 +19,7 @@
 //!            [--tier SPEC] [--prune SPEC] [--metrics[=json|text]] [--trace-out FILE]
 //! vermem serve [<stream.bin>...] [--streams N] [--window W|unbounded] [--jobs N] [--chunk BYTES]
 //!              [--cpus N] [--instrs N] [--addrs N] [--seed N] [--fault]
+//!              [--obs-addr HOST:PORT] [--forensics DIR]
 //!              [--metrics[=json|text]] [--trace-out FILE]
 //! vermem sat <dimacs>
 //! vermem litmus
@@ -31,11 +32,17 @@
 //! `--metrics` appends the unified [`RunReport`] (text by default,
 //! `--metrics=json` for the schema-tagged JSON form) to the command
 //! output; `--trace-out FILE` writes a Chrome trace-event file loadable
-//! in `chrome://tracing` / Perfetto. Neither flag changes verdicts or
+//! in `chrome://tracing` / Perfetto. `vermem serve` additionally takes
+//! `--obs-addr HOST:PORT` (live `/metrics`, `/healthz` and
+//! `/snapshot.json` endpoints on a built-in zero-dependency server) and
+//! `--forensics DIR` (flight-recorder bundles as JSONL, one file per
+//! stream with detections). None of these flags change verdicts or
 //! `SearchStats` — observability is a write-only side channel.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+
+mod obs_server;
 
 use std::fmt::Write as _;
 use vermem_coherence::{PruneConfig, SearchConfig, Strategy, TierConfig, Verdict, VmcVerifier};
@@ -80,7 +87,8 @@ USAGE:
              [--metrics[=json|text]] [--trace-out FILE]
   vermem serve [<stream.bin>...] [--streams N] [--window W|unbounded] [--jobs N]
                [--chunk BYTES] [--cpus N] [--instrs N] [--addrs N] [--seed N]
-               [--fault] [--metrics[=json|text]] [--trace-out FILE]
+               [--fault] [--obs-addr HOST:PORT] [--forensics DIR]
+               [--metrics[=json|text]] [--trace-out FILE]
   vermem sat <dimacs>
   vermem litmus
 
@@ -105,6 +113,15 @@ simulator event streams (--fault injects a protocol fault into each).
 --window W bounds retained state per address (ops/slots); 'unbounded' or
 0 disables retirement. Streaming verdicts are bit-identical to batch
 verification.
+--obs-addr HOST:PORT starts a built-in introspection server for the run:
+GET /metrics (Prometheus text), /healthz (per-stream liveness JSON) and
+/snapshot.json (the unified run report). Use port 0 for an ephemeral
+port (printed on a '# obs:' line).
+--forensics DIR enables the per-shard flight recorder: every online
+detection emits a forensic bundle (retained window ops, minimal
+incoherent core, issue/detect timestamps, tier provenance) written as
+JSONL, one file per stream with detections. Neither flag changes
+verdicts, stats or tier accounting.
 ";
 
 /// Minimal flag parser: positional arguments plus `--flag [value]` pairs
@@ -307,16 +324,25 @@ pub fn run(args: &[String], stdin: &str) -> Result<String, CliError> {
     }
 }
 
+/// Load the trace argument through one decode path: stdin (`-`) is
+/// always text, files are sniffed with [`vermem_trace::binary::looks_binary`]
+/// — the binary decoder itself accepts both the v2 batch and v3 temporal
+/// event-stream framings, so `verify`/`explain`/`classify` all take the
+/// same files `serve` does.
 fn load_trace(args: &Args, stdin: &str) -> Result<Trace, CliError> {
     let path = args
         .positional
         .first()
         .ok_or_else(|| err("expected a trace file argument (or '-')"))?;
-    let text = if path == "-" {
-        stdin.to_string()
-    } else {
-        std::fs::read_to_string(path).map_err(|e| err(format!("cannot read {path}: {e}")))?
-    };
+    if path == "-" {
+        return vermem_trace::fmt::parse_trace(stdin).map_err(|e| err(format!("parse error: {e}")));
+    }
+    let bytes = std::fs::read(path).map_err(|e| err(format!("cannot read {path}: {e}")))?;
+    if vermem_trace::binary::looks_binary(&bytes) {
+        return vermem_trace::binary::decode_trace(&bytes)
+            .map_err(|e| err(format!("{path}: binary decode error: {e}")));
+    }
+    let text = String::from_utf8(bytes).map_err(|e| err(format!("{path}: not UTF-8: {e}")))?;
     vermem_trace::fmt::parse_trace(&text).map_err(|e| err(format!("parse error: {e}")))
 }
 
@@ -779,6 +805,8 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
         "addrs",
         "seed",
         "fault",
+        "obs-addr",
+        "forensics",
         "metrics",
         "trace-out",
     ])?;
@@ -786,6 +814,17 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
     let window = parse_window(args)?;
     let jobs = args.num::<usize>("jobs", 0)?; // 0 = available_parallelism
     let chunk = args.num("chunk", 64 * 1024usize)?.max(1);
+    let obs_addr = args.flag("obs-addr").map(str::to_string);
+    let forensics_dir = args.flag("forensics").map(std::path::PathBuf::from);
+    // The flight recorder rides with --forensics; --obs-addr alone keeps
+    // the engine untouched (the server only reads shared state).
+    let recorder = forensics_dir
+        .as_ref()
+        .map(|_| vermem_coherence::RecorderConfig::default());
+    if let Some(dir) = &forensics_dir {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| err(format!("cannot create {}: {e}", dir.display())))?;
+    }
 
     // Gather the input streams: binary files if given, otherwise
     // synthesized simulator event logs (one SC machine run per stream).
@@ -842,6 +881,23 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
     let mut total_us = 0u64;
     let mut incoherent = 0usize;
     let mut peak_windows = 0u64;
+    let mut total_bundles = 0usize;
+
+    // Live introspection: shared state always exists (it is cheap); the
+    // server and the per-chunk clock reads only run with --obs-addr.
+    let names: Vec<String> = inputs.iter().map(|(n, _)| n.clone()).collect();
+    let state = obs_server::ServeState::new(&names, obs::now_us());
+    let server = match &obs_addr {
+        Some(addr) => {
+            let s = obs_server::ObsServer::start(addr, std::sync::Arc::clone(&state))
+                .map_err(|e| err(format!("cannot bind obs server on {addr}: {e}")))?;
+            let _ = writeln!(out, "# obs: serving on {}", s.local_addr());
+            Some(s)
+        }
+        None => None,
+    };
+    let live = server.is_some();
+
     for (i, (name, bytes)) in inputs.iter().enumerate() {
         // The v3 framing carries a temporal event log with meaningful
         // detection latencies; v2 proc-major files do not.
@@ -852,11 +908,16 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
             jobs,
             temporal,
             verifier: VmcVerifier::new(),
+            recorder: recorder.clone(),
         });
         for piece in bytes.chunks(chunk) {
+            let c0 = if live { obs::now_us() } else { 0 };
             engine
                 .ingest(piece)
                 .map_err(|e| err(format!("{name}: {e}")))?;
+            if live {
+                state.series.record(obs::now_us().saturating_sub(c0));
+            }
         }
         engine
             .end_input()
@@ -887,6 +948,35 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
                 format!("unknown at address {}", addr.0)
             }
         };
+        if live {
+            state.series.rotate(obs::now_us());
+        }
+        state.complete_stream(
+            i,
+            report.events,
+            report.detections.len() as u64,
+            &verdict,
+            report.is_coherent(),
+        );
+        if let Some(dir) = &forensics_dir {
+            total_bundles += report.forensics.len();
+            if !report.forensics.is_empty() {
+                let path = dir.join(format!("stream-{i}.forensics.jsonl"));
+                let mut doc = String::new();
+                for bundle in &report.forensics {
+                    doc.push_str(&bundle.to_json());
+                    doc.push('\n');
+                }
+                std::fs::write(&path, doc)
+                    .map_err(|e| err(format!("cannot write {}: {e}", path.display())))?;
+                let _ = writeln!(
+                    out,
+                    "# forensics: stream {i} — {} bundle(s) → {}",
+                    report.forensics.len(),
+                    path.display()
+                );
+            }
+        }
         let _ = writeln!(
             out,
             "# stream {i} ({name}): {verdict} — {} events, {} addrs, {} ops/s, \
@@ -913,6 +1003,9 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
                 .with("replayed_addresses", report.metrics.replayed_addresses)
                 .with("detections", report.detections.len()),
         );
+        if live {
+            state.set_snapshot(run.to_json());
+        }
     }
     let aggregate_ops = total_events.saturating_mul(1_000_000) / total_us.max(1);
     let p99 = vermem_coherence::stream::percentile(&latencies, 99);
@@ -939,7 +1032,16 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
     if let Some(p99) = p99 {
         serve_section = serve_section.with("p99_detect_latency_us", p99);
     }
+    if forensics_dir.is_some() {
+        serve_section = serve_section.with("forensic_bundles", total_bundles);
+    }
     run.push_section(serve_section);
+    if live {
+        state.set_snapshot(run.to_json());
+    }
+    if let Some(server) = server {
+        server.shutdown();
+    }
     if let Some(session) = session {
         session.finish(&mut out, run)?;
     }
@@ -1437,6 +1539,135 @@ mod tests {
         assert!(out.contains("peak_retained_windows"), "{out}");
         let e = run(&["serve".into(), "--bogus".into(), "7".into()], "").unwrap_err();
         assert!(e.0.contains("unknown flag"), "{}", e.0);
+    }
+
+    #[test]
+    fn serve_obs_addr_starts_introspection_server() {
+        // Ephemeral port: the bound address is printed on a '# obs:' line
+        // and the run's verdict lines are unchanged by the server.
+        let out = run_ok(
+            &[
+                "serve",
+                "--streams",
+                "1",
+                "--instrs",
+                "40",
+                "--obs-addr",
+                "127.0.0.1:0",
+            ],
+            "",
+        );
+        assert!(out.contains("# obs: serving on 127.0.0.1:"), "{out}");
+        assert!(out.contains("# stream 0 (sim:1): coherent"), "{out}");
+        assert!(out.contains("# serve: 1 stream(s), 0 incoherent"), "{out}");
+        let e = run(
+            &[
+                "serve".into(),
+                "--streams".into(),
+                "1".into(),
+                "--obs-addr".into(),
+                "not-an-addr".into(),
+            ],
+            "",
+        )
+        .unwrap_err();
+        assert!(e.0.contains("cannot bind obs server"), "{}", e.0);
+    }
+
+    #[test]
+    fn serve_forensics_writes_jsonl_bundles() {
+        let dir = scratch("forensics");
+        let dirs = dir.to_string_lossy().to_string();
+        let out = run_ok(
+            &[
+                "serve",
+                "--streams",
+                "3",
+                "--instrs",
+                "60",
+                "--fault",
+                "--window",
+                "32",
+                "--forensics",
+                &dirs,
+            ],
+            "",
+        );
+        assert!(out.contains("VIOLATION at address"), "{out}");
+        assert!(out.contains("# forensics: stream "), "{out}");
+        let mut bundles = 0usize;
+        for entry in std::fs::read_dir(&dir).expect("forensics dir exists") {
+            let path = entry.unwrap().path();
+            let doc = std::fs::read_to_string(&path).unwrap();
+            for line in doc.lines() {
+                let json = vermem_util::json::parse_json(line).expect("JSONL line parses");
+                assert_eq!(
+                    json.get("schema").and_then(|s| s.as_str()),
+                    Some(vermem_coherence::FORENSIC_SCHEMA)
+                );
+                assert!(json.get("latency_us").is_some(), "{line}");
+                assert!(json.get("window_ops").and_then(|w| w.as_arr()).is_some());
+                bundles += 1;
+            }
+        }
+        assert!(bundles > 0, "no forensic bundles written:\n{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serve_forensics_does_not_change_verdict_lines() {
+        let dir = scratch("forensics-parity");
+        let dirs = dir.to_string_lossy().to_string();
+        let args_base = ["serve", "--streams", "2", "--instrs", "50", "--fault"];
+        let plain = run_ok(&args_base, "");
+        let mut with = args_base.to_vec();
+        with.extend(["--forensics", &dirs]);
+        let recorded = run_ok(&with, "");
+        // Verdict lines are timing-free prefixes of the per-stream lines;
+        // they must agree exactly with the recorder enabled.
+        let verdicts = |s: &str| -> Vec<String> {
+            s.lines()
+                .filter(|l| l.starts_with("# stream "))
+                .map(|l| l.split(" — ").next().unwrap().to_string())
+                .collect()
+        };
+        assert_eq!(verdicts(&plain), verdicts(&recorded));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn explain_and_verify_accept_binary_trace_files() {
+        // Satellite: one decode path — binary files (v2 batch and v3
+        // event-stream framings) work everywhere text traces do.
+        let violating = vermem_trace::fmt::parse_trace(VIOLATING).unwrap();
+        let v2 = scratch("explain-v2");
+        std::fs::write(&v2, vermem_trace::binary::encode_trace(&violating)).unwrap();
+        let out = run_ok(&["explain", v2.to_str().unwrap()], "");
+        assert!(out.contains("minimal incoherent core"), "{out}");
+        let out = run_ok(&["verify", v2.to_str().unwrap()], "");
+        assert!(out.contains("NOT coherent"), "{out}");
+        let _ = std::fs::remove_file(&v2);
+
+        // v3 temporal framing from a healthy capture round-trips too.
+        let cap = vermem_sim::Machine::run(
+            &vermem_sim::random_program(&vermem_sim::WorkloadConfig {
+                cpus: 3,
+                instrs_per_cpu: 15,
+                addrs: 2,
+                write_fraction: 0.5,
+                rmw_fraction: 0.0,
+                seed: 9,
+            }),
+            vermem_sim::MachineConfig {
+                seed: 9,
+                ..Default::default()
+            },
+        );
+        let v3 = scratch("explain-v3");
+        std::fs::write(&v3, vermem_sim::event_stream_bytes(&cap).unwrap()).unwrap();
+        let out = run_ok(&["explain", v3.to_str().unwrap()], "");
+        assert!(out.contains("nothing to explain"), "{out}");
+        let _ = std::fs::remove_file(&v3);
     }
 
     #[test]

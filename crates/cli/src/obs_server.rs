@@ -1,0 +1,391 @@
+//! Zero-dependency introspection server behind `vermem serve --obs-addr`.
+//!
+//! A minimal HTTP/1.1 responder on [`std::net::TcpListener`] — no hyper,
+//! no tokio — serving three read-only endpoints over a shared
+//! [`ServeState`]:
+//!
+//! * `/metrics` — Prometheus text format: the global obs registry
+//!   ([`obs::snapshot`] via [`expo::prometheus_text`]) plus live serve
+//!   families — per-stream event/detection counters and the sliding
+//!   chunk-ingest histogram from [`TimeSeries::windowed`].
+//! * `/healthz` — JSON liveness: per-stream progress, verdict-so-far and
+//!   an aggregate `status` (`"ok"` until a stream verifies incoherent).
+//! * `/snapshot.json` — the latest unified run report
+//!   ([`vermem_util::obs::report::RunReport`]) rendered so far.
+//!
+//! The accept loop runs on one background thread, polls a [`CancelToken`]
+//! between non-blocking accepts, and is joined by [`ObsServer::shutdown`]
+//! — the server never outlives the command that started it. Scrapes are
+//! read-only over shared atomics and mutexes: they cannot perturb
+//! verdicts, `SearchStats` or tier accounting (the obs-on/off identity
+//! contract in DESIGN.md §6b).
+
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::{Arc, Mutex};
+use vermem_util::json::JsonWriter;
+use vermem_util::obs;
+use vermem_util::obs::expo;
+use vermem_util::obs::timeseries::TimeSeries;
+use vermem_util::pool::CancelToken;
+
+/// Liveness and verdict-so-far for one stream being served.
+#[derive(Debug, Default, Clone)]
+pub struct StreamHealth {
+    /// Input name (`sim:SEED` or the file path).
+    pub name: String,
+    /// Events verified so far (final count once `done`).
+    pub events: u64,
+    /// Online detections recorded for this stream.
+    pub detections: u64,
+    /// Rendered verdict once the stream finished, `None` while running.
+    pub verdict: Option<String>,
+    /// `Some(false)` once the stream verified incoherent or unknown.
+    pub coherent: Option<bool>,
+    /// True once the stream's engine has finished.
+    pub done: bool,
+}
+
+/// Shared state between `cmd_serve` (writer) and the scrape endpoints
+/// (readers). All methods take `&self`; share it behind an [`Arc`].
+#[derive(Debug)]
+pub struct ServeState {
+    /// Per-stream health rows, index-aligned with the serve inputs.
+    pub streams: Mutex<Vec<StreamHealth>>,
+    /// Sliding per-chunk ingest latency (µs), rotated once per stream.
+    pub series: TimeSeries,
+    /// Latest rendered run-report JSON (`{}` until the first stream ends).
+    pub snapshot_json: Mutex<String>,
+}
+
+impl ServeState {
+    /// Fresh state for `names` streams; `now_us` opens the first
+    /// time-series epoch ([`obs::now_us`]).
+    pub fn new(names: &[String], now_us: u64) -> Arc<ServeState> {
+        let rows = names
+            .iter()
+            .map(|n| StreamHealth {
+                name: n.clone(),
+                ..StreamHealth::default()
+            })
+            .collect();
+        Arc::new(ServeState {
+            streams: Mutex::new(rows),
+            series: TimeSeries::new(8, now_us),
+            snapshot_json: Mutex::new("{}".to_string()),
+        })
+    }
+
+    fn lock_streams(&self) -> std::sync::MutexGuard<'_, Vec<StreamHealth>> {
+        match self.streams.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Record a finished stream's results (index-aligned with `new`).
+    pub fn complete_stream(
+        &self,
+        i: usize,
+        events: u64,
+        detections: u64,
+        verdict: &str,
+        coherent: bool,
+    ) {
+        let mut rows = self.lock_streams();
+        if let Some(row) = rows.get_mut(i) {
+            row.events = events;
+            row.detections = detections;
+            row.verdict = Some(verdict.to_string());
+            row.coherent = Some(coherent);
+            row.done = true;
+        }
+    }
+
+    /// Replace the `/snapshot.json` document.
+    pub fn set_snapshot(&self, json: String) {
+        match self.snapshot_json.lock() {
+            Ok(mut g) => *g = json,
+            Err(poisoned) => *poisoned.into_inner() = json,
+        }
+    }
+
+    /// Render `/metrics`: registry families first, then the live serve
+    /// families. Deterministic given equal state.
+    pub fn metrics_text(&self, now_us: u64) -> String {
+        use std::fmt::Write as _;
+        let mut out = expo::prometheus_text(&obs::snapshot());
+        let (mut events, mut detections, mut done, mut incoherent) = (0u64, 0u64, 0u64, 0u64);
+        let total = {
+            let rows = self.lock_streams();
+            for r in rows.iter() {
+                events += r.events;
+                detections += r.detections;
+                done += u64::from(r.done);
+                incoherent += u64::from(r.coherent == Some(false));
+            }
+            rows.len() as u64
+        };
+        for (family, value) in [
+            ("vermem_serve_streams", total),
+            ("vermem_serve_streams_done", done),
+            ("vermem_serve_streams_incoherent", incoherent),
+            ("vermem_serve_events_total", events),
+            ("vermem_serve_detections_total", detections),
+        ] {
+            let _ = writeln!(out, "# TYPE {family} counter");
+            let _ = writeln!(out, "{family} {value}");
+        }
+        let _ = writeln!(out, "# TYPE vermem_serve_chunks_per_sec gauge");
+        let _ = writeln!(
+            out,
+            "vermem_serve_chunks_per_sec {}",
+            self.series.rate_per_sec(now_us)
+        );
+        expo::prometheus_histogram(
+            &mut out,
+            "vermem_serve_chunk_ingest_us",
+            &self.series.windowed(),
+        );
+        out
+    }
+
+    /// Render `/healthz`: aggregate status plus one row per stream.
+    pub fn healthz_json(&self) -> String {
+        let rows = self.lock_streams();
+        let status = if rows.iter().any(|r| r.coherent == Some(false)) {
+            "incoherent"
+        } else {
+            "ok"
+        };
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("status").string(status);
+        w.key("streams").begin_array();
+        for r in rows.iter() {
+            w.begin_object();
+            w.key("name").string(&r.name);
+            w.key("events").u64(r.events);
+            w.key("detections").u64(r.detections);
+            match &r.verdict {
+                Some(v) => w.key("verdict").string(v),
+                None => w.key("verdict").null(),
+            };
+            w.key("done").bool(r.done);
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+        w.finish()
+    }
+}
+
+/// Handle to the background introspection server. Dropping it (on any
+/// path, including errors) cancels the accept loop and joins the thread.
+#[derive(Debug)]
+pub struct ObsServer {
+    local: SocketAddr,
+    cancel: Arc<CancelToken>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ObsServer {
+    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and start
+    /// the accept loop on a background thread.
+    pub fn start(addr: &str, state: Arc<ServeState>) -> std::io::Result<ObsServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let cancel = Arc::new(CancelToken::new());
+        let token = Arc::clone(&cancel);
+        let handle = std::thread::spawn(move || accept_loop(&listener, &state, &token));
+        Ok(ObsServer {
+            local,
+            cancel,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolves `:0` to the actual ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local
+    }
+
+    /// Stop the accept loop and join the server thread.
+    pub fn shutdown(self) {
+        drop(self);
+    }
+
+    fn stop(&mut self) {
+        self.cancel.cancel();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ObsServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, state: &ServeState, cancel: &CancelToken) {
+    while !cancel.is_cancelled() {
+        match listener.accept() {
+            Ok((stream, _)) => handle_connection(stream, state),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(std::time::Duration::from_millis(5)),
+        }
+    }
+}
+
+/// Read one request (first line is enough — every endpoint is a GET with
+/// no body) and write the response. Errors are dropped: a half-closed
+/// scraper must not take the server down.
+fn handle_connection(mut stream: TcpStream, state: &ServeState) {
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(500)));
+    let mut buf = [0u8; 4096];
+    let mut req = Vec::new();
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                req.extend_from_slice(&buf[..n]);
+                if req.windows(4).any(|w| w == b"\r\n\r\n") || req.len() > 16 * 1024 {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let first_line = req
+        .split(|&b| b == b'\r' || b == b'\n')
+        .next()
+        .unwrap_or(&[]);
+    let path = std::str::from_utf8(first_line)
+        .ok()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .unwrap_or("/");
+    let (status, content_type, body) = match path {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4",
+            state.metrics_text(obs::now_us()),
+        ),
+        "/healthz" => ("200 OK", "application/json", state.healthz_json()),
+        "/snapshot.json" => {
+            let doc = match state.snapshot_json.lock() {
+                Ok(g) => g.clone(),
+                Err(poisoned) => poisoned.into_inner().clone(),
+            };
+            ("200 OK", "application/json", doc)
+        }
+        _ => ("404 Not Found", "text/plain", "not found\n".to_string()),
+    };
+    let _ = write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One-shot HTTP GET over a raw [`TcpStream`] — the same fetch the
+    /// verify.sh smoke uses (no curl in the loop).
+    fn fetch(addr: SocketAddr, path: &str) -> String {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        write!(
+            s,
+            "GET {path} HTTP/1.1\r\nHost: vermem\r\nConnection: close\r\n\r\n"
+        )
+        .expect("send request");
+        let mut out = String::new();
+        s.read_to_string(&mut out).expect("read response");
+        out
+    }
+
+    fn sample_state() -> Arc<ServeState> {
+        let state = ServeState::new(&["sim:1".to_string(), "sim:2".to_string()], 0);
+        state.series.record(120);
+        state.series.record(80);
+        state.complete_stream(0, 512, 0, "coherent", true);
+        state
+    }
+
+    #[test]
+    fn metrics_endpoint_serves_prometheus_text() {
+        let state = sample_state();
+        let server = ObsServer::start("127.0.0.1:0", Arc::clone(&state)).expect("bind");
+        let body = fetch(server.local_addr(), "/metrics");
+        server.shutdown();
+        assert!(body.starts_with("HTTP/1.1 200 OK\r\n"), "{body}");
+        assert!(
+            body.contains("# TYPE vermem_serve_streams counter"),
+            "{body}"
+        );
+        assert!(body.contains("vermem_serve_streams 2"), "{body}");
+        assert!(body.contains("vermem_serve_streams_done 1"), "{body}");
+        assert!(body.contains("vermem_serve_events_total 512"), "{body}");
+        assert!(
+            body.contains("vermem_serve_chunk_ingest_us_count 2"),
+            "{body}"
+        );
+        assert!(
+            body.contains("vermem_serve_chunk_ingest_us_bucket{le=\"+Inf\"} 2"),
+            "{body}"
+        );
+    }
+
+    #[test]
+    fn healthz_reports_per_stream_liveness_and_verdict() {
+        let state = sample_state();
+        let server = ObsServer::start("127.0.0.1:0", Arc::clone(&state)).expect("bind");
+        let body = fetch(server.local_addr(), "/healthz");
+        let doc = body.split("\r\n\r\n").nth(1).expect("body");
+        let json = vermem_util::json::parse_json(doc).expect("valid JSON");
+        assert_eq!(json.get("status").and_then(|s| s.as_str()), Some("ok"));
+        let streams = json.get("streams").and_then(|s| s.as_arr()).expect("rows");
+        assert_eq!(streams.len(), 2);
+        assert_eq!(
+            streams[0].get("verdict").and_then(|v| v.as_str()),
+            Some("coherent")
+        );
+        assert!(streams[1].get("verdict").unwrap().as_str().is_none());
+        // An incoherent stream flips the aggregate status.
+        state.complete_stream(1, 64, 3, "VIOLATION at address 2", false);
+        let body = fetch(server.local_addr(), "/healthz");
+        server.shutdown();
+        assert!(body.contains("\"status\":\"incoherent\""), "{body}");
+    }
+
+    #[test]
+    fn snapshot_endpoint_serves_latest_report_and_unknown_paths_404() {
+        let state = sample_state();
+        state.set_snapshot("{\"schema\":\"test\"}".to_string());
+        let server = ObsServer::start("127.0.0.1:0", Arc::clone(&state)).expect("bind");
+        let snap = fetch(server.local_addr(), "/snapshot.json");
+        let missing = fetch(server.local_addr(), "/nope");
+        server.shutdown();
+        assert!(snap.contains("{\"schema\":\"test\"}"), "{snap}");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+    }
+
+    #[test]
+    fn shutdown_joins_and_port_is_released() {
+        let state = ServeState::new(&[], 0);
+        let server = ObsServer::start("127.0.0.1:0", state).expect("bind");
+        let addr = server.local_addr();
+        server.shutdown();
+        // The listener is gone: a rebind on the same port succeeds.
+        let rebound = TcpListener::bind(addr);
+        assert!(rebound.is_ok(), "port still held after shutdown");
+    }
+}

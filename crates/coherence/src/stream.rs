@@ -61,13 +61,15 @@
 //! hardware error detection. They are metrics, not verdicts: the verdict
 //! always comes from the sealed/exact reduction above.
 
+use crate::explain::{minimize_incoherent_core, ExplainConfig};
 use crate::online::{OnlineCause, OnlineViolation};
 use crate::verdict::Verdict;
-use crate::{SearchStats, Strategy, Tier, TierStats, Violation, VmcVerifier};
+use crate::{SearchConfig, SearchStats, Strategy, Tier, TierStats, Violation, VmcVerifier};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 use std::thread::JoinHandle;
 use vermem_trace::binary::{ChunkReader, DecodeError, StreamEvent};
-use vermem_trace::{Addr, AddrOps, Op, OpRef, ProcId, Value};
+use vermem_trace::{Addr, AddrOps, Op, OpRef, ProcId, ProcessHistory, Trace, Value};
+use vermem_util::json::JsonWriter;
 use vermem_util::obs;
 use vermem_util::pool::{available_jobs, scoped_map, spsc_channel, CancelToken, SpscSender};
 
@@ -81,6 +83,13 @@ const DETECTION_CAP: usize = 1024;
 const LATENCY_CAP: usize = 65_536;
 /// Accounting quantum for `peak_retained_windows` when no window is set.
 const UNBOUNDED_SLAB: usize = 4096;
+/// Maximum forensic bundles captured per shard, and per run after the
+/// end-of-stream merge. Bundles carry op payloads and a budgeted solve
+/// each, so the cap sits far below `DETECTION_CAP`.
+const FORENSIC_CAP: usize = 32;
+
+/// Schema tag on every [`ForensicBundle::to_json`] document.
+pub const FORENSIC_SCHEMA: &str = "vermem-forensic/v1";
 
 /// Configuration for a [`StreamVerifier`].
 #[derive(Clone, Debug)]
@@ -102,6 +111,13 @@ pub struct StreamConfig {
     /// The tiered verifier escalated addresses fall through to. Must not
     /// be [`Strategy::Sat`] (the SAT encoder needs a whole trace).
     pub verifier: VmcVerifier,
+    /// Flight recorder: `Some` keeps a bounded per-shard ring of recent
+    /// events and captures a [`ForensicBundle`] on every detection event
+    /// (temporal streams only — detections are temporal-gated). `None`
+    /// (the default) records nothing. Never changes verdicts, stats, or
+    /// tiers; the ring's footprint is counted inside
+    /// [`StreamMetrics::peak_retained_windows`].
+    pub recorder: Option<RecorderConfig>,
 }
 
 impl Default for StreamConfig {
@@ -111,7 +127,238 @@ impl Default for StreamConfig {
             jobs: 1,
             temporal: true,
             verifier: VmcVerifier::new(),
+            recorder: None,
         }
+    }
+}
+
+/// Flight-recorder knobs (see [`StreamConfig::recorder`]).
+#[derive(Clone, Debug)]
+pub struct RecorderConfig {
+    /// Capacity of the per-shard recent-event ring, and the per-process
+    /// cap on retained window ops copied into a bundle. `0` disables the
+    /// ring (bundles then carry certificates only).
+    pub ring: usize,
+    /// Search-state budget for the per-detection certificate solve and
+    /// core minimization (`None` = unlimited). Detections fire mid-stream
+    /// on the hot path, so the default keeps each capture cheap.
+    pub core_budget: Option<u64>,
+}
+
+impl Default for RecorderConfig {
+    fn default() -> Self {
+        RecorderConfig {
+            ring: 256,
+            core_budget: Some(20_000),
+        }
+    }
+}
+
+/// One event retained by the flight-recorder ring.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RingEntry {
+    /// Global stream sequence number of the event.
+    pub seq: u64,
+    /// The operation's reference (process, program-order index).
+    pub op_ref: OpRef,
+    /// The operation itself.
+    pub op: Op,
+}
+
+/// A minimal incoherent core extracted from the retained window at
+/// detection time, with refs mapped back to the original stream
+/// coordinates.
+#[derive(Clone, Debug)]
+pub struct CoreCertificate {
+    /// Kept operations, as references into the *original* stream.
+    pub kept: Vec<OpRef>,
+    /// The violation the core exhibits.
+    pub violation: Violation,
+}
+
+/// The forensic record captured for one detection event: everything an
+/// operator needs to reconstruct *why* the monitor flagged the stream,
+/// without re-running it.
+///
+/// Bundles are diagnostics, not verdicts: capture reads the address state
+/// and runs a *budget-bounded* certificate solve on a clone of the
+/// retained ops, so enabling the recorder never perturbs the verdict,
+/// [`SearchStats`], or [`TierStats`] of the run (the differential suites
+/// prove this bit-identically).
+#[derive(Clone, Debug)]
+pub struct ForensicBundle {
+    /// The detection event this bundle explains.
+    pub violation: OnlineViolation,
+    /// Obs-clock microseconds at which the offending op was observed.
+    pub issued_us: u64,
+    /// Obs-clock microseconds at which the violation became certain.
+    pub detected_us: u64,
+    /// The retained window at the violating address: per process, the
+    /// most recent [`RecorderConfig::ring`] buffered ops (empty when the
+    /// window had already been retired).
+    pub window_ops: Vec<(OpRef, Op)>,
+    /// The shard's recent-event ring at capture time (all addresses),
+    /// oldest first.
+    pub recent: Vec<RingEntry>,
+    /// Which tier the budgeted certificate solve decided the retained
+    /// window with (`None` when no ops were retained to solve).
+    pub tier: Option<Tier>,
+    /// The minimized incoherent core, when the retained window is itself
+    /// provably incoherent within [`RecorderConfig::core_budget`].
+    pub core: Option<CoreCertificate>,
+}
+
+impl ForensicBundle {
+    /// Render the bundle as one JSON object — one line of the
+    /// `--forensics` JSONL file (schema [`FORENSIC_SCHEMA`]).
+    pub fn to_json(&self) -> String {
+        let v = &self.violation;
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("schema").string(FORENSIC_SCHEMA);
+        w.key("addr").u64(u64::from(v.addr.0));
+        w.key("proc").u64(u64::from(v.proc.0));
+        w.key("value").u64(v.value.0);
+        w.key("cause").string(match v.cause {
+            OnlineCause::RmwMismatch => "rmw-mismatch",
+            OnlineCause::WindowClosed => "window-closed",
+            OnlineCause::EndOfStream => "end-of-stream",
+        });
+        w.key("issued_at").u64(v.issued_at);
+        w.key("detected_at").u64(v.detected_at);
+        w.key("issued_us").u64(self.issued_us);
+        w.key("detected_us").u64(self.detected_us);
+        w.key("latency_us")
+            .u64(self.detected_us.saturating_sub(self.issued_us));
+        w.key("window_ops").begin_array();
+        for &(r, op) in &self.window_ops {
+            w.begin_object();
+            w.key("proc").u64(u64::from(r.proc.0));
+            w.key("index").u64(u64::from(r.index));
+            w.key("op").string(&op.to_string());
+            w.end_object();
+        }
+        w.end_array();
+        w.key("recent").begin_array();
+        for e in &self.recent {
+            w.begin_object();
+            w.key("seq").u64(e.seq);
+            w.key("proc").u64(u64::from(e.op_ref.proc.0));
+            w.key("index").u64(u64::from(e.op_ref.index));
+            w.key("op").string(&e.op.to_string());
+            w.end_object();
+        }
+        w.end_array();
+        match self.tier {
+            Some(Tier::Frontline) => w.key("tier").string("frontline"),
+            Some(Tier::Exact) => w.key("tier").string("exact"),
+            None => w.key("tier").null(),
+        };
+        match &self.core {
+            Some(core) => {
+                w.key("core").begin_object();
+                w.key("violation").string(&core.violation.to_string());
+                w.key("kept").begin_array();
+                for r in &core.kept {
+                    w.begin_object();
+                    w.key("proc").u64(u64::from(r.proc.0));
+                    w.key("index").u64(u64::from(r.index));
+                    w.end_object();
+                }
+                w.end_array();
+                w.end_object();
+            }
+            None => {
+                w.key("core").null();
+            }
+        }
+        w.end_object();
+        w.finish()
+    }
+}
+
+/// Build one forensic bundle from the address state at detection time.
+///
+/// `with_final` gates the declared final value into the certificate
+/// solve: mid-stream the final constraint is not yet meaningful (the
+/// stream is still running), so only end-of-stream captures apply it.
+fn capture_bundle(
+    rec: &RecorderConfig,
+    state: &AddrStream,
+    violation: OnlineViolation,
+    issued_us: u64,
+    detected_us: u64,
+    recent: Vec<RingEntry>,
+    with_final: bool,
+) -> ForensicBundle {
+    let mut window_ops: Vec<(OpRef, Op)> = Vec::new();
+    for list in &state.buffer {
+        let skip = list.len().saturating_sub(rec.ring);
+        window_ops.extend(list[skip..].iter().copied());
+    }
+    window_ops.sort_by_key(|(r, _)| (r.proc.0, r.index));
+
+    let (tier, core) = if state.buffer_ops == 0 {
+        (None, None)
+    } else {
+        let final_value = if with_final { state.final_value } else { None };
+        let probe = VmcVerifier {
+            search: SearchConfig {
+                max_states: rec.core_budget,
+                ..SearchConfig::default()
+            },
+            ..VmcVerifier::new()
+        };
+        let ops = AddrOps::from_parts(
+            violation.addr,
+            state.initial,
+            final_value,
+            state.buffer.clone(),
+        );
+        let (verdict, _, tier) = probe.verify_ops_detached(&ops);
+        let core = if matches!(verdict, Verdict::Incoherent(_)) {
+            // Rebuild the retained window as a trace; every op is at the
+            // violating address, so the minimizer's projected refs index
+            // straight into `state.buffer[proc]`.
+            let mut trace = Trace::from_histories(
+                state
+                    .buffer
+                    .iter()
+                    .map(|h| h.iter().map(|&(_, op)| op).collect::<ProcessHistory>()),
+            );
+            trace.set_initial(violation.addr, state.initial);
+            if let Some(f) = final_value {
+                trace.set_final(violation.addr, f);
+            }
+            minimize_incoherent_core(
+                &trace,
+                violation.addr,
+                &ExplainConfig {
+                    max_states: rec.core_budget,
+                },
+            )
+            .map(|mc| CoreCertificate {
+                kept: mc
+                    .kept
+                    .iter()
+                    .map(|r| state.buffer[usize::from(r.proc.0)][r.index as usize].0)
+                    .collect(),
+                violation: mc.violation,
+            })
+        } else {
+            None
+        };
+        (Some(tier), core)
+    };
+
+    ForensicBundle {
+        violation,
+        issued_us,
+        detected_us,
+        window_ops,
+        recent,
+        tier,
+        core,
     }
 }
 
@@ -208,6 +455,10 @@ pub struct StreamReport {
     pub detect_latencies_us: Vec<u64>,
     /// Retirement/memory accounting.
     pub metrics: StreamMetrics,
+    /// Flight-recorder bundles, one per captured detection event
+    /// ([`StreamConfig::recorder`]; empty when the recorder is off).
+    /// Sorted like `detections`, capped at a small fixed count.
+    pub forensics: Vec<ForensicBundle>,
 }
 
 impl StreamReport {
@@ -538,6 +789,9 @@ struct Sink<'a> {
     temporal: bool,
     detections: &'a mut Vec<OnlineViolation>,
     latencies_us: &'a mut Vec<u64>,
+    /// `(issued_us, detected_us)` per retained detection, index-aligned
+    /// with `detections` — the flight recorder's timing source.
+    meta: &'a mut Vec<(u64, u64)>,
 }
 
 impl Sink<'_> {
@@ -551,6 +805,7 @@ impl Sink<'_> {
         }
         if self.detections.len() < DETECTION_CAP {
             self.detections.push(violation);
+            self.meta.push((issued_us, now));
         }
     }
 }
@@ -572,9 +827,20 @@ struct Shard {
     quantum: usize,
     temporal: bool,
     procs: usize,
+    recorder: Option<RecorderConfig>,
     addrs: HashMap<Addr, AddrStream>,
     detections: Vec<OnlineViolation>,
     latencies_us: Vec<u64>,
+    /// `(issued_us, detected_us)` aligned with `detections`.
+    detect_meta: Vec<(u64, u64)>,
+    /// Flight-recorder ring of the shard's most recent routed events.
+    ring: VecDeque<RingEntry>,
+    /// Captured forensic bundles (capped at [`FORENSIC_CAP`]).
+    bundles: Vec<ForensicBundle>,
+    /// Cached ring footprint for O(1) accounting deltas (the ring counts
+    /// toward `cur_units`/`cur_windows` like a pseudo-address).
+    ring_units: usize,
+    ring_windows: u64,
     cur_units: u64,
     peak_units: u64,
     cur_windows: u64,
@@ -585,15 +851,26 @@ struct Shard {
 }
 
 impl Shard {
-    fn new(window: Option<usize>, temporal: bool, procs: usize) -> Shard {
+    fn new(
+        window: Option<usize>,
+        temporal: bool,
+        procs: usize,
+        recorder: Option<RecorderConfig>,
+    ) -> Shard {
         Shard {
             window,
             quantum: window.unwrap_or(UNBOUNDED_SLAB).max(1),
             temporal,
             procs,
+            recorder,
             addrs: HashMap::new(),
             detections: Vec::new(),
             latencies_us: Vec::new(),
+            detect_meta: Vec::new(),
+            ring: VecDeque::new(),
+            bundles: Vec::new(),
+            ring_units: 0,
+            ring_windows: 0,
             cur_units: 0,
             peak_units: 0,
             cur_windows: 0,
@@ -605,6 +882,20 @@ impl Shard {
     }
 
     fn apply(&mut self, event: RoutedOp) {
+        if let Some(rec) = &self.recorder {
+            if rec.ring > 0 {
+                if self.ring.len() == rec.ring {
+                    self.ring.pop_front();
+                }
+                self.ring.push_back(RingEntry {
+                    seq: event.seq,
+                    op_ref: event.op_ref,
+                    op: event.op,
+                });
+            }
+        }
+        let detections_before = self.detections.len();
+
         let procs = self.procs;
         let state = self.addrs.entry(event.addr).or_insert_with(|| {
             let (initial, final_value) = event.meta.unwrap_or((Value::INITIAL, None));
@@ -622,6 +913,7 @@ impl Shard {
             temporal: self.temporal,
             detections: &mut self.detections,
             latencies_us: &mut self.latencies_us,
+            meta: &mut self.detect_meta,
         };
         state.monitor(
             event.seq,
@@ -657,8 +949,51 @@ impl Shard {
             state.windows = windows;
             obs::gauge_set("stream.retained_windows", self.cur_windows);
         }
+        // The recorder ring counts toward the retained footprint exactly
+        // like an address's retention buffer.
+        if self.ring.len() != self.ring_units {
+            let units = self.ring.len();
+            let windows = (units as u64).div_ceil(self.quantum as u64);
+            self.cur_units += units as u64;
+            self.cur_units -= self.ring_units as u64;
+            self.cur_windows += windows;
+            self.cur_windows -= self.ring_windows;
+            self.ring_units = units;
+            self.ring_windows = windows;
+        }
         self.peak_units = self.peak_units.max(self.cur_units);
         self.peak_windows = self.peak_windows.max(self.cur_windows);
+
+        if self.recorder.is_some() && self.detections.len() > detections_before {
+            self.capture(event.addr, detections_before);
+        }
+    }
+
+    /// Capture forensic bundles for the detections `from..` (all raised by
+    /// the event just applied, hence all at `addr`).
+    fn capture(&mut self, addr: Addr, from: usize) {
+        let rec = self.recorder.clone().expect("recorder on");
+        let Some(state) = self.addrs.get(&addr) else {
+            return;
+        };
+        let recent: Vec<RingEntry> = self.ring.iter().copied().collect();
+        let mut fresh = Vec::new();
+        for i in from..self.detections.len() {
+            if self.bundles.len() + fresh.len() >= FORENSIC_CAP {
+                break;
+            }
+            let (issued_us, detected_us) = self.detect_meta.get(i).copied().unwrap_or((0, 0));
+            fresh.push(capture_bundle(
+                &rec,
+                state,
+                self.detections[i].clone(),
+                issued_us,
+                detected_us,
+                recent.clone(),
+                false,
+            ));
+        }
+        self.bundles.extend(fresh);
     }
 }
 
@@ -668,6 +1003,7 @@ struct Ended {
     merged: BTreeMap<Addr, AddrStream>,
     detections: Vec<OnlineViolation>,
     latencies_us: Vec<u64>,
+    forensics: Vec<ForensicBundle>,
     metrics: StreamMetrics,
     replay_set: BTreeSet<Addr>,
     replay_reader: ChunkReader,
@@ -695,6 +1031,7 @@ pub struct StreamVerifier {
     jobs: usize,
     temporal: bool,
     verifier: VmcVerifier,
+    recorder: Option<RecorderConfig>,
     reader: ChunkReader,
     procs: Option<u16>,
     seq: u64,
@@ -727,6 +1064,7 @@ impl StreamVerifier {
             jobs,
             temporal: config.temporal,
             verifier: config.verifier,
+            recorder: config.recorder,
             reader: ChunkReader::new(),
             procs: None,
             seq: 0,
@@ -770,15 +1108,22 @@ impl StreamVerifier {
             StreamEvent::Begin { procs, .. } => {
                 self.procs = Some(procs);
                 if self.jobs == 1 {
-                    self.inline = Some(Shard::new(self.window, self.temporal, usize::from(procs)));
+                    self.inline = Some(Shard::new(
+                        self.window,
+                        self.temporal,
+                        usize::from(procs),
+                        self.recorder.clone(),
+                    ));
                 } else {
                     for i in 0..self.jobs {
                         let (tx, rx) = spsc_channel::<Vec<RoutedOp>>(QUEUE_CAP);
                         let (window, temporal) = (self.window, self.temporal);
+                        let recorder = self.recorder.clone();
                         let handle = std::thread::Builder::new()
                             .name(format!("vermem-stream-{i}"))
                             .spawn(move || {
-                                let mut shard = Shard::new(window, temporal, usize::from(procs));
+                                let mut shard =
+                                    Shard::new(window, temporal, usize::from(procs), recorder);
                                 while let Some(batch) = rx.recv() {
                                     for routed in batch {
                                         shard.apply(routed);
@@ -868,6 +1213,8 @@ impl StreamVerifier {
         let mut merged: BTreeMap<Addr, AddrStream> = BTreeMap::new();
         let mut detections: Vec<OnlineViolation> = Vec::new();
         let mut latencies_us: Vec<u64> = Vec::new();
+        let mut forensics: Vec<ForensicBundle> = Vec::new();
+        let mut ring: Vec<RingEntry> = Vec::new();
         let mut metrics = StreamMetrics {
             window: self.window,
             ..StreamMetrics::default()
@@ -880,36 +1227,59 @@ impl StreamVerifier {
             metrics.retired_slots += shard.retired_slots;
             detections.extend(shard.detections);
             latencies_us.extend(shard.latencies_us);
+            forensics.extend(shard.bundles);
+            ring.extend(shard.ring);
             merged.extend(shard.addrs);
         }
+        ring.sort_by_key(|e| e.seq);
 
         // End of stream: any still-deferred read pins its address (and on
         // temporal streams surfaces as a detection, exactly like
         // `OnlineVerifier::finish`).
         let end = self.seq;
         let now = obs::now_us();
+        let recorder = self.recorder.clone();
         let mut stragglers: Vec<OnlineViolation> = Vec::new();
         for (&addr, state) in merged.iter_mut() {
             if state.pending_total == 0 {
                 continue;
             }
             state.pinned = true;
+            let mut drained: Vec<PendingRead> = Vec::new();
             for queue in state.pending.values_mut() {
-                for pr in queue.drain(..) {
-                    if self.temporal && latencies_us.len() < LATENCY_CAP {
-                        latencies_us.push(now.saturating_sub(pr.issued_us));
-                    }
-                    stragglers.push(OnlineViolation {
-                        detected_at: end,
-                        issued_at: pr.issued_at,
-                        proc: pr.proc,
-                        addr,
-                        value: pr.value,
-                        cause: OnlineCause::EndOfStream,
-                    });
-                }
+                drained.append(queue);
             }
             state.pending_total = 0;
+            for pr in drained {
+                if self.temporal && latencies_us.len() < LATENCY_CAP {
+                    latencies_us.push(now.saturating_sub(pr.issued_us));
+                }
+                let violation = OnlineViolation {
+                    detected_at: end,
+                    issued_at: pr.issued_at,
+                    proc: pr.proc,
+                    addr,
+                    value: pr.value,
+                    cause: OnlineCause::EndOfStream,
+                };
+                if self.temporal {
+                    if let Some(rec) = &recorder {
+                        if forensics.len() < FORENSIC_CAP {
+                            let recent = ring[ring.len().saturating_sub(rec.ring)..].to_vec();
+                            forensics.push(capture_bundle(
+                                rec,
+                                state,
+                                violation.clone(),
+                                pr.issued_us,
+                                now,
+                                recent,
+                                true,
+                            ));
+                        }
+                    }
+                }
+                stragglers.push(violation);
+            }
         }
         if self.temporal {
             stragglers.sort_by_key(|v| (v.detected_at, v.issued_at, v.addr.0, v.proc.0));
@@ -917,6 +1287,11 @@ impl StreamVerifier {
         }
         detections.sort_by_key(|v| (v.detected_at, v.issued_at, v.addr.0, v.proc.0));
         detections.truncate(DETECTION_CAP);
+        forensics.sort_by_key(|b| {
+            let v = &b.violation;
+            (v.detected_at, v.issued_at, v.addr.0, v.proc.0)
+        });
+        forensics.truncate(FORENSIC_CAP);
 
         let replay_set: BTreeSet<Addr> = merged
             .iter()
@@ -928,6 +1303,7 @@ impl StreamVerifier {
             merged,
             detections,
             latencies_us,
+            forensics,
             metrics,
             replay_set,
             replay_reader: ChunkReader::new(),
@@ -1084,6 +1460,7 @@ impl StreamVerifier {
             detections: ended.detections,
             detect_latencies_us: ended.latencies_us,
             metrics,
+            forensics: ended.forensics,
         }
     }
 }
@@ -1122,6 +1499,14 @@ mod tests {
             jobs,
             temporal,
             verifier: VmcVerifier::new(),
+            recorder: None,
+        }
+    }
+
+    fn recording(window: Option<usize>, jobs: usize, temporal: bool) -> StreamConfig {
+        StreamConfig {
+            recorder: Some(RecorderConfig::default()),
+            ..config(window, jobs, temporal)
         }
     }
 
@@ -1402,6 +1787,120 @@ mod tests {
             },
             ..StreamConfig::default()
         });
+    }
+
+    #[test]
+    fn recorder_changes_no_verdict_stats_or_tiers() {
+        for seed in [3u64, 42] {
+            let t = gen_trace(seed);
+            let bytes = encode_trace(&t);
+            for jobs in [1, 2, 8] {
+                let off = verify_stream_bytes(&bytes, config(Some(8), jobs, true)).expect("ok");
+                let on = verify_stream_bytes(&bytes, recording(Some(8), jobs, true)).expect("ok");
+                assert_eq!(on.verdict, off.verdict, "seed {seed} jobs {jobs}");
+                assert_eq!(on.stats, off.stats, "seed {seed} jobs {jobs}");
+                assert_eq!(on.tiers, off.tiers, "seed {seed} jobs {jobs}");
+                assert_eq!(on.addresses, off.addresses, "seed {seed} jobs {jobs}");
+            }
+        }
+    }
+
+    #[test]
+    fn forensic_bundle_captures_window_core_and_timing() {
+        // Same shape as `temporal_stream_reports_detections_with_latency`,
+        // now with the flight recorder on: one WindowClosed detection, one
+        // bundle with the retained ops, the ring, and a minimized core.
+        let events = vec![
+            (ProcId(0), Op::w(1u64)),
+            (ProcId(1), Op::r(9u64)),
+            (ProcId(1), Op::w(2u64)),
+        ];
+        let bytes = encode_event_stream(2, &BTreeMap::new(), &BTreeMap::new(), &events);
+        let report = verify_stream_bytes(&bytes, recording(None, 1, true)).expect("decode");
+        assert!(!report.is_coherent());
+        assert_eq!(report.forensics.len(), 1);
+        let b = &report.forensics[0];
+        assert_eq!(b.violation, report.detections[0]);
+        assert_eq!(b.violation.cause, OnlineCause::WindowClosed);
+        assert!(b.detected_us >= b.issued_us);
+        assert_eq!(b.recent.len(), 3, "whole stream fits the ring");
+        assert_eq!(b.window_ops.len(), 3);
+        assert_eq!(b.tier, Some(Tier::Frontline), "R9 is unservable on sight");
+        let core = b.core.as_ref().expect("retained window is incoherent");
+        assert!(!core.kept.is_empty());
+        // Kept refs are in original stream coordinates: each one names a
+        // retained window op.
+        for r in &core.kept {
+            assert!(b.window_ops.iter().any(|(wr, _)| wr == r), "{r:?}");
+        }
+
+        let parsed = vermem_util::json::parse_json(&b.to_json()).expect("valid JSON");
+        assert_eq!(
+            parsed.get("schema").and_then(|s| s.as_str()),
+            Some(FORENSIC_SCHEMA)
+        );
+        assert_eq!(
+            parsed.get("cause").and_then(|s| s.as_str()),
+            Some("window-closed")
+        );
+        assert_eq!(
+            parsed.get("tier").and_then(|s| s.as_str()),
+            Some("frontline")
+        );
+        assert!(parsed
+            .get("core")
+            .and_then(|c| c.get("kept"))
+            .and_then(|k| k.as_arr())
+            .is_some_and(|k| !k.is_empty()));
+    }
+
+    #[test]
+    fn end_of_stream_straggler_gets_a_bundle() {
+        let events = vec![(ProcId(0), Op::w(1u64)), (ProcId(1), Op::r(9u64))];
+        let bytes = encode_event_stream(2, &BTreeMap::new(), &BTreeMap::new(), &events);
+        let report = verify_stream_bytes(&bytes, recording(None, 1, true)).expect("decode");
+        assert!(!report.is_coherent());
+        assert_eq!(report.detections.len(), 1);
+        assert_eq!(report.detections[0].cause, OnlineCause::EndOfStream);
+        assert_eq!(report.forensics.len(), 1);
+        let b = &report.forensics[0];
+        assert_eq!(b.violation, report.detections[0]);
+        assert!(b.core.is_some());
+    }
+
+    #[test]
+    fn non_temporal_recorder_captures_nothing() {
+        let events = vec![
+            (ProcId(0), Op::w(1u64)),
+            (ProcId(1), Op::r(9u64)),
+            (ProcId(1), Op::w(2u64)),
+        ];
+        let bytes = encode_event_stream(2, &BTreeMap::new(), &BTreeMap::new(), &events);
+        let report = verify_stream_bytes(&bytes, recording(None, 1, false)).expect("decode");
+        assert!(!report.is_coherent());
+        assert!(report.forensics.is_empty());
+    }
+
+    #[test]
+    fn recorder_ring_is_counted_and_stays_bounded() {
+        let short = verify_stream_bytes(&sealing_stream(3, 2_000), recording(Some(16), 1, true))
+            .expect("decode");
+        let long = verify_stream_bytes(&sealing_stream(3, 20_000), recording(Some(16), 1, true))
+            .expect("decode");
+        assert!(short.is_coherent() && long.is_coherent());
+        assert_eq!(
+            short.metrics.peak_retained_windows, long.metrics.peak_retained_windows,
+            "peak retained windows must not grow with stream length, ring included"
+        );
+        let off = verify_stream_bytes(&sealing_stream(3, 2_000), config(Some(16), 1, true))
+            .expect("decode");
+        assert!(
+            short.metrics.peak_retained_windows > off.metrics.peak_retained_windows,
+            "the forensic ring must be counted inside the bounded-memory contract \
+             (recorder on {} vs off {})",
+            short.metrics.peak_retained_windows,
+            off.metrics.peak_retained_windows
+        );
     }
 
     #[test]

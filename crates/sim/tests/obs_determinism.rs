@@ -9,8 +9,13 @@
 //! on the toggle otherwise). The CLI and unit suites run in their own
 //! processes and are unaffected.
 
-use vermem_coherence::{verify_execution_par, verify_execution_with, VmcVerifier};
-use vermem_sim::{random_program, FaultKind, FaultPlan, Machine, MachineConfig, WorkloadConfig};
+use vermem_coherence::{
+    verify_execution_par, verify_execution_with, RecorderConfig, StreamConfig, VmcVerifier,
+};
+use vermem_sim::{
+    event_stream_bytes, random_program, FaultKind, FaultPlan, Machine, MachineConfig,
+    WorkloadConfig,
+};
 use vermem_trace::gen::{gen_sc_trace, GenConfig};
 use vermem_trace::Trace;
 use vermem_util::obs;
@@ -109,6 +114,39 @@ fn obs_toggle_changes_no_observable_result() {
             incoherent += 1;
         }
         check_trace(&off.trace, &verifier, &format!("faulty sim seed {seed}"));
+
+        // 4. The live-telemetry stack: streaming the same temporal event
+        //    log with the global obs toggle on AND the flight recorder
+        //    enabled must leave the stream verdict, stats and tier
+        //    accounting bit-identical to the plain obs-off run.
+        let cap = Machine::run(&program, faulty.clone());
+        let v3 = event_stream_bytes(&cap).expect("SC capture streams");
+        for jobs in JOBS {
+            let plain_cfg = || StreamConfig {
+                window: Some(64),
+                jobs,
+                temporal: true,
+                verifier: VmcVerifier::new(),
+                recorder: None,
+            };
+            let live_cfg = || StreamConfig {
+                recorder: Some(RecorderConfig::default()),
+                ..plain_cfg()
+            };
+            let (off, on) = differential(|| {
+                (
+                    vermem_coherence::verify_stream_bytes(&v3, plain_cfg()).expect("decodes"),
+                    vermem_coherence::verify_stream_bytes(&v3, live_cfg()).expect("decodes"),
+                )
+            });
+            for (label, report) in [("plain", &off.1), ("obs-on plain", &on.0), ("live", &on.1)] {
+                let ctx = format!("live obs seed {seed} jobs {jobs} ({label})");
+                assert_eq!(off.0.verdict, report.verdict, "{ctx}: verdict drift");
+                assert_eq!(off.0.stats, report.stats, "{ctx}: stats drift");
+                assert_eq!(off.0.tiers, report.tiers, "{ctx}: tier drift");
+                assert_eq!(off.0.addresses, report.addresses, "{ctx}: address drift");
+            }
+        }
     }
     assert!(
         incoherent >= 2,

@@ -10,7 +10,9 @@
 //! event log (`vermem_sim::event_stream_bytes`) — the feed a real memory
 //! system would emit — which must agree with the batch verdict too.
 
-use vermem_coherence::{verify_execution_par, ExecutionReport, StreamConfig, VmcVerifier};
+use vermem_coherence::{
+    verify_execution_par, ExecutionReport, RecorderConfig, StreamConfig, VmcVerifier,
+};
 use vermem_sim::{
     event_stream_bytes, random_program, FaultKind, FaultPlan, Machine, MachineConfig,
     WorkloadConfig,
@@ -28,6 +30,7 @@ fn stream_config(window: Option<usize>, jobs: usize, temporal: bool) -> StreamCo
         jobs,
         temporal,
         verifier: VmcVerifier::new(),
+        recorder: None,
     }
 }
 
@@ -158,6 +161,70 @@ fn fault_injected_captures_stream_bit_identically() {
         incoherent_runs >= 4,
         "too few incoherent executions to exercise the violation path: {incoherent_runs}/20"
     );
+}
+
+#[test]
+fn flight_recorder_never_perturbs_stream_results() {
+    // The forensic flight recorder is a write-only side channel: with the
+    // per-shard ring and certificate capture enabled, verdict, stats, tier
+    // accounting and address counts stay bit-identical to the batch report
+    // (and hence to the recorder-off stream) at every thread count —
+    // exercised on both healthy and fault-injected temporal streams.
+    for seed in 0..3u64 {
+        for faulty in [false, true] {
+            let faults = if faulty {
+                vec![FaultPlan {
+                    kind: FaultKind::CorruptFill {
+                        cpu: 1,
+                        xor: 0xDEAD_0000,
+                    },
+                    at_step: 6,
+                }]
+            } else {
+                Vec::new()
+            };
+            let cap = Machine::run(
+                &random_program(&WorkloadConfig {
+                    cpus: 4,
+                    instrs_per_cpu: 25,
+                    addrs: 3,
+                    write_fraction: 0.5,
+                    rmw_fraction: 0.0,
+                    seed: 500 + seed,
+                }),
+                MachineConfig {
+                    seed,
+                    faults,
+                    ..Default::default()
+                },
+            );
+            let v3 = event_stream_bytes(&cap).expect("SC capture streams");
+            let batch = verify_execution_par(&cap.trace, &VmcVerifier::new(), 1);
+            for jobs in JOBS {
+                let cfg = StreamConfig {
+                    recorder: Some(RecorderConfig::default()),
+                    ..stream_config(Some(64), jobs, true)
+                };
+                let report = vermem_coherence::verify_stream_bytes(&v3, cfg).expect("decode");
+                let ctx = format!("recorder seed {seed} faulty {faulty} jobs {jobs}");
+                assert!(
+                    report.verdict.matches_batch(&batch.verdict),
+                    "{ctx}: verdict drift: stream {:?} vs batch {:?}",
+                    report.verdict,
+                    batch.verdict
+                );
+                assert_eq!(report.stats, batch.stats, "{ctx}: stats drift");
+                assert_eq!(report.tiers, batch.tiers, "{ctx}: tier drift");
+                assert_eq!(report.addresses, batch.addresses, "{ctx}: address drift");
+                if faulty && !report.detections.is_empty() {
+                    assert!(
+                        !report.forensics.is_empty(),
+                        "{ctx}: detections without forensic bundles"
+                    );
+                }
+            }
+        }
+    }
 }
 
 #[test]

@@ -496,6 +496,13 @@ impl ChunkReader {
     }
 }
 
+/// True if `bytes` starts with the binary-trace magic number — the sniff
+/// CLI loaders use to pick between [`decode_trace`] (which itself accepts
+/// both the v2 batch and v3 event-stream framings) and the text parser.
+pub fn looks_binary(bytes: &[u8]) -> bool {
+    bytes.len() >= 4 && bytes[..4] == MAGIC.to_le_bytes()
+}
+
 /// Deserialize a trace from a complete binary buffer (either framing).
 ///
 /// Implemented over [`ChunkReader`] so the batch and streaming decode paths
@@ -778,6 +785,62 @@ mod tests {
             cr.finish().unwrap();
             assert_eq!(assemble(&events), t, "resume at {cut}");
         }
+    }
+
+    #[test]
+    fn zero_and_one_byte_chunks_interleaved_with_rotation_ticks() {
+        // Satellite: empty feeds are legal no-ops, 1-byte feeds reassemble
+        // records correctly, and a live-telemetry TimeSeries rotating
+        // mid-ingest still accounts for every decoded event — the exact
+        // shape of `vermem serve --obs-addr` ingesting a trickling stream.
+        use vermem_util::obs::timeseries::TimeSeries;
+        let mut src = Vec::new();
+        for i in 0..40u64 {
+            src.push((ProcId((i % 3) as u16), Op::write((i % 4) as u32, i + 1)));
+        }
+        let bytes = encode_event_stream(3, &BTreeMap::new(), &BTreeMap::new(), &src);
+
+        let mut oneshot = Vec::new();
+        let mut cr = ChunkReader::new();
+        cr.feed(&bytes);
+        drain(&mut cr, &mut oneshot);
+        cr.finish().unwrap();
+
+        let series = TimeSeries::new(4, 0);
+        let mut clock = 0u64;
+        let mut cr = ChunkReader::new();
+        let mut events = Vec::new();
+        for (i, byte) in bytes.iter().enumerate() {
+            cr.feed(&[]);
+            cr.feed(std::slice::from_ref(byte));
+            let before = events.len();
+            drain(&mut cr, &mut events);
+            for _ in before..events.len() {
+                series.record(1);
+            }
+            if i % 16 == 0 {
+                clock += 1_000;
+                series.rotate(clock);
+            }
+        }
+        cr.feed(&[]);
+        cr.finish().unwrap();
+
+        assert_eq!(events.len(), oneshot.len());
+        assert_eq!(assemble(&events), assemble(&oneshot));
+        assert_eq!(series.total().count(), events.len() as u64);
+        assert!(series.windowed().count() <= series.total().count());
+    }
+
+    #[test]
+    fn looks_binary_sniffs_both_framings_and_rejects_text() {
+        let t = TraceBuilder::new().proc([Op::w(1u64)]).build();
+        assert!(looks_binary(&encode_trace(&t)));
+        let v3 = encode_event_stream(1, &BTreeMap::new(), &BTreeMap::new(), &[]);
+        assert!(looks_binary(&v3));
+        assert!(!looks_binary(b"procs 2\n"));
+        assert!(!looks_binary(b""));
+        assert!(!looks_binary(&encode_trace(&t)[..3]));
     }
 
     #[test]

@@ -14,7 +14,12 @@
 //!   directly into `chrome://tracing` / [Perfetto](https://ui.perfetto.dev);
 //! * a unified serializable **[`report::RunReport`]** with deterministic
 //!   field order, rendered by one shared pretty-printer or the in-tree
-//!   JSON writer ([`crate::json`]).
+//!   JSON writer ([`crate::json`]);
+//! * lock-free **rolling time-series** ([`timeseries`]) — windowed
+//!   histograms over rotation epochs for live ops/s and sliding
+//!   percentiles — and deterministic **exposition encoders** ([`expo`])
+//!   rendering the registry as Prometheus text or JSON for the
+//!   `vermem serve --obs-addr` introspection endpoint.
 //!
 //! ## The zero-overhead-when-off contract
 //!
@@ -67,9 +72,11 @@
 //! ```
 
 pub mod chrome;
+pub mod expo;
 pub mod registry;
 pub mod report;
 pub mod span;
+pub mod timeseries;
 
 pub use registry::{Gauge, Histogram, MetricsSnapshot};
 pub use span::{Span, TraceEvent};

@@ -24,7 +24,9 @@ pub struct Gauge {
 
 /// Number of log2 buckets: bucket 0 holds the value 0, bucket `i ≥ 1`
 /// holds values in `[2^(i-1), 2^i)`; bucket 64 tops out at `u64::MAX`.
-const BUCKETS: usize = 65;
+/// Shared with the lock-free [`crate::obs::timeseries::AtomicHistogram`],
+/// which mirrors this layout in atomic cells.
+pub(super) const BUCKETS: usize = 65;
 
 /// A log2-bucketed histogram of `u64` samples with exact count/sum/min/max
 /// and bucket-resolution percentiles.
@@ -54,7 +56,7 @@ impl Default for Histogram {
     }
 }
 
-fn bucket_of(value: u64) -> usize {
+pub(super) fn bucket_of(value: u64) -> usize {
     (64 - value.leading_zeros()) as usize
 }
 
@@ -82,6 +84,25 @@ impl Histogram {
         self.min = self.min.min(value);
         self.max = self.max.max(value);
         self.buckets[bucket_of(value)] += 1;
+    }
+
+    /// Rebuild a histogram from raw cells — the bridge the lock-free
+    /// [`crate::obs::timeseries::AtomicHistogram`] snapshot uses. `min`
+    /// uses the empty sentinel `u64::MAX`, matching [`Default`].
+    pub(super) fn from_raw(
+        count: u64,
+        sum: u64,
+        min: u64,
+        max: u64,
+        buckets: [u64; BUCKETS],
+    ) -> Histogram {
+        Histogram {
+            count,
+            sum,
+            min,
+            max,
+            buckets,
+        }
     }
 
     /// Merge another histogram into this one.
@@ -164,6 +185,22 @@ impl Histogram {
     /// 99th percentile at bucket resolution.
     pub fn p99(&self) -> u64 {
         self.percentile(0.99)
+    }
+
+    /// The non-empty buckets as `(inclusive upper bound, cumulative
+    /// count)` pairs in ascending bound order — exactly the shape a
+    /// Prometheus histogram's `le` series needs (the final pair's count
+    /// equals [`Histogram::count`]). Empty histogram → empty vec.
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c > 0 {
+                seen += c;
+                out.push((bucket_top(i), seen));
+            }
+        }
+        out
     }
 }
 

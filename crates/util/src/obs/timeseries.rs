@@ -1,0 +1,363 @@
+//! Lock-free rolling time-series: a ring of rotation epochs, each holding
+//! an atomic log2 histogram, plus a lifetime total that never resets.
+//!
+//! The batch registry ([`super::registry`]) answers "what happened over
+//! the whole run"; a long-lived `vermem serve` process needs "what is
+//! happening *now*" — sliding ops/s and windowed p50/p90/p99 over the
+//! last N rotation epochs, scrape-able while the run is in flight. This
+//! module provides that without touching the global obs mutex:
+//!
+//! * [`AtomicHistogram`] mirrors [`Histogram`]'s log2 layout in atomic
+//!   cells, so recording is a handful of relaxed RMW operations — no lock,
+//!   safe to call from every shard thread concurrently (lock-free in the
+//!   literal sense: every operation is a bounded sequence of atomic RMWs).
+//! * [`TimeSeries`] is a fixed ring of epochs advanced by
+//!   [`TimeSeries::rotate`]. Recording lands in the current epoch *and* a
+//!   lifetime total; [`TimeSeries::windowed`] merges the retained epochs
+//!   into a plain [`Histogram`] for percentile queries, and
+//!   [`TimeSeries::rate_per_sec`] derives the sliding throughput.
+//!
+//! Two contracts, both proven by tests below:
+//!
+//! 1. **Monotone totals**: [`TimeSeries::total`] never decreases across
+//!    rotations, and merging the windowed epochs preserves per-epoch
+//!    totals (the `prop_check!` property).
+//! 2. **Zero coupling to the disabled path**: nothing here is called by
+//!    the `counter!`/`gauge!`/`histogram!`/`span!` macros, so the
+//!    disabled-path budget (one relaxed load) is untouched. Clock reads
+//!    are the caller's job — every timestamp arrives as a `now_us`
+//!    parameter (use [`super::now_us`] behind an [`super::enabled`]
+//!    check), keeping the module tree's single-`Instant::now` rule intact.
+//!
+//! Snapshots taken while another thread records are *eventually
+//! consistent*: `count`, `sum` and the buckets are loaded independently,
+//! so a concurrent snapshot may be off by in-flight samples. That is fine
+//! for metrics (they are a side channel, never a verdict input); the
+//! rotation owner should quiesce recorders only if it needs exact cuts.
+
+use super::registry::{bucket_of, Histogram, BUCKETS};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A lock-free log2-bucketed histogram: the atomic mirror of
+/// [`Histogram`], recordable from any number of threads without a lock.
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    /// `u64::MAX` when empty (same sentinel as [`Histogram`]).
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AtomicHistogram {
+    /// A fresh, empty atomic histogram.
+    pub fn new() -> AtomicHistogram {
+        AtomicHistogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: [(); BUCKETS].map(|()| AtomicU64::new(0)),
+        }
+    }
+
+    /// Record one sample: five relaxed atomic RMWs, no lock, no allocation.
+    pub fn record(&self, value: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // Saturate like the locked registry does (a CAS loop, still
+        // lock-free: some thread always makes progress).
+        let _ = self
+            .sum
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| {
+                Some(s.saturating_add(value))
+            });
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Copy the cells into a plain [`Histogram`] for percentile queries.
+    /// Eventually consistent under concurrent recording (see module docs).
+    pub fn snapshot(&self) -> Histogram {
+        let mut buckets = [0u64; BUCKETS];
+        for (b, cell) in buckets.iter_mut().zip(self.buckets.iter()) {
+            *b = cell.load(Ordering::Relaxed);
+        }
+        Histogram::from_raw(
+            self.count.load(Ordering::Relaxed),
+            self.sum.load(Ordering::Relaxed),
+            self.min.load(Ordering::Relaxed),
+            self.max.load(Ordering::Relaxed),
+            buckets,
+        )
+    }
+
+    /// Reset every cell to empty. Only the rotation owner calls this; a
+    /// sample racing the clear may land in either epoch (never lost from
+    /// the lifetime total, which is a different cell).
+    fn clear(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+        for cell in &self.buckets {
+            cell.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// One rotation epoch: its histogram and the timestamp it opened.
+#[derive(Debug)]
+struct Epoch {
+    hist: AtomicHistogram,
+    /// Microseconds (caller clock) when this epoch opened; `u64::MAX`
+    /// while the slot has never been used.
+    start_us: AtomicU64,
+}
+
+/// A rolling time-series: a fixed ring of [`AtomicHistogram`] epochs plus
+/// a lifetime total. All methods take `&self` — share it behind an `Arc`
+/// between recorder threads and a scrape endpoint.
+#[derive(Debug)]
+pub struct TimeSeries {
+    epochs: Box<[Epoch]>,
+    /// Total [`TimeSeries::rotate`] calls; current slot is `cursor % N`.
+    cursor: AtomicU64,
+    total: AtomicHistogram,
+}
+
+impl TimeSeries {
+    /// A series retaining `window` epochs (the current one plus the
+    /// `window - 1` most recently closed). `window` is clamped to ≥ 1.
+    /// `now_us` stamps the first epoch (pass [`super::now_us`]).
+    pub fn new(window: usize, now_us: u64) -> TimeSeries {
+        let epochs: Vec<Epoch> = (0..window.max(1))
+            .map(|i| Epoch {
+                hist: AtomicHistogram::new(),
+                start_us: AtomicU64::new(if i == 0 { now_us } else { u64::MAX }),
+            })
+            .collect();
+        TimeSeries {
+            epochs: epochs.into_boxed_slice(),
+            cursor: AtomicU64::new(0),
+            total: AtomicHistogram::new(),
+        }
+    }
+
+    /// Number of retained epochs (the ring size).
+    pub fn window(&self) -> usize {
+        self.epochs.len()
+    }
+
+    /// Rotations performed so far.
+    pub fn rotations(&self) -> u64 {
+        self.cursor.load(Ordering::Relaxed)
+    }
+
+    fn current(&self) -> &Epoch {
+        let slot = self.cursor.load(Ordering::Relaxed) as usize % self.epochs.len();
+        &self.epochs[slot]
+    }
+
+    /// Record one sample into the current epoch and the lifetime total.
+    pub fn record(&self, value: u64) {
+        self.current().hist.record(value);
+        self.total.record(value);
+    }
+
+    /// Close the current epoch and open the next ring slot (evicting the
+    /// oldest retained epoch). Call on a fixed cadence — per chunk, per
+    /// second — from the single rotation owner.
+    pub fn rotate(&self, now_us: u64) {
+        let next = self.cursor.load(Ordering::Relaxed).wrapping_add(1);
+        let slot = next as usize % self.epochs.len();
+        // Clear the evicted slot *before* publishing the new cursor so a
+        // racing recorder never lands a sample in stale-then-cleared state.
+        self.epochs[slot].hist.clear();
+        self.epochs[slot].start_us.store(now_us, Ordering::Relaxed);
+        self.cursor.store(next, Ordering::SeqCst);
+    }
+
+    /// Merge the retained epochs into one [`Histogram`] — the windowed
+    /// view behind sliding p50/p90/p99.
+    pub fn windowed(&self) -> Histogram {
+        let mut merged = Histogram::new();
+        for e in self.epochs.iter() {
+            if e.start_us.load(Ordering::Relaxed) != u64::MAX {
+                merged.merge(&e.hist.snapshot());
+            }
+        }
+        merged
+    }
+
+    /// The lifetime histogram (never reset by rotation).
+    pub fn total(&self) -> Histogram {
+        self.total.snapshot()
+    }
+
+    /// Sliding throughput: samples retained in the window divided by the
+    /// window's wall-clock span (oldest retained epoch start → `now_us`),
+    /// in samples per second. 0 while the window is empty.
+    pub fn rate_per_sec(&self, now_us: u64) -> u64 {
+        let count = self.windowed().count();
+        if count == 0 {
+            return 0;
+        }
+        let oldest = self
+            .epochs
+            .iter()
+            .map(|e| e.start_us.load(Ordering::Relaxed))
+            .filter(|&s| s != u64::MAX)
+            .min()
+            .unwrap_or(now_us);
+        let span_us = now_us.saturating_sub(oldest).max(1);
+        count.saturating_mul(1_000_000) / span_us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prop::PropConfig;
+    use crate::prop_check;
+
+    #[test]
+    fn atomic_histogram_matches_locked_histogram() {
+        let a = AtomicHistogram::new();
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 7, 1000, u64::MAX, 42, 42] {
+            a.record(v);
+            h.record(v);
+        }
+        assert_eq!(a.snapshot(), h);
+        assert_eq!(a.count(), 7);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let series = std::sync::Arc::new(TimeSeries::new(4, 0));
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let s = std::sync::Arc::clone(&series);
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        s.record(t * 1000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(series.total().count(), 4000);
+        assert_eq!(series.windowed().count(), 4000);
+    }
+
+    #[test]
+    fn rotation_evicts_oldest_epoch_but_not_the_total() {
+        let s = TimeSeries::new(3, 0);
+        for round in 0..5u64 {
+            s.record(round + 1);
+            s.rotate((round + 1) * 1_000_000);
+        }
+        // Ring of 3: only the last rounds remain in the window…
+        assert!(s.windowed().count() <= 3);
+        // …but the lifetime total saw everything.
+        assert_eq!(s.total().count(), 5);
+        assert_eq!(s.rotations(), 5);
+    }
+
+    #[test]
+    fn windowed_percentiles_track_recent_samples() {
+        let s = TimeSeries::new(2, 0);
+        for _ in 0..100 {
+            s.record(1_000_000); // old, slow epoch
+        }
+        s.rotate(1);
+        s.rotate(2); // evicts the slow epoch
+        for _ in 0..100 {
+            s.record(10);
+        }
+        assert!(s.windowed().p99() < 1000, "p99 {}", s.windowed().p99());
+        assert_eq!(s.total().count(), 200);
+    }
+
+    #[test]
+    fn rate_is_samples_over_window_span() {
+        let s = TimeSeries::new(4, 0);
+        for _ in 0..500 {
+            s.record(1);
+        }
+        // 500 samples over 0.5 s → 1000/s.
+        assert_eq!(s.rate_per_sec(500_000), 1000);
+        assert_eq!(TimeSeries::new(4, 0).rate_per_sec(1_000_000), 0);
+    }
+
+    #[test]
+    fn rotating_and_merging_preserves_totals() {
+        // The satellite property: over any interleaving of records and
+        // rotations, (a) the lifetime total equals every sample ever
+        // recorded and never decreases, and (b) the windowed merge equals
+        // the sum of the retained epochs' counts — merge never invents or
+        // drops samples.
+        prop_check!(
+            PropConfig::with_cases(48),
+            |rng, size| {
+                let window = rng.gen_range(1..5usize);
+                let ops: Vec<Option<u64>> = (0..size * 4)
+                    .map(|_| {
+                        if rng.gen_range(0..4u32) == 0 {
+                            None // rotate
+                        } else {
+                            Some(rng.gen_range(0..1_000_000u64))
+                        }
+                    })
+                    .collect();
+                (window, ops)
+            },
+            |input: &(usize, Vec<Option<u64>>)| {
+                let (window, ops) = input;
+                let s = TimeSeries::new(*window, 0);
+                let mut recorded = 0u64;
+                let mut last_total = 0u64;
+                let mut clock = 0u64;
+                for op in ops {
+                    match op {
+                        Some(v) => {
+                            s.record(*v);
+                            recorded += 1;
+                        }
+                        None => {
+                            clock += 1000;
+                            s.rotate(clock);
+                        }
+                    }
+                    let total = s.total().count();
+                    crate::prop_assert!(
+                        total >= last_total,
+                        "total decreased: {last_total} -> {total}"
+                    );
+                    last_total = total;
+                    crate::prop_assert_eq!(total, recorded);
+                    crate::prop_assert!(
+                        s.windowed().count() <= recorded,
+                        "windowed exceeds recorded"
+                    );
+                }
+                Ok(())
+            },
+        );
+    }
+}

@@ -88,7 +88,7 @@ tmp=$(mktemp -d)
 python3 - "$tmp/BENCH_vmc.json" "BENCH_vmc.json" <<'EOF'
 import json, sys
 d = json.load(open(sys.argv[1]))
-assert d["schema"] == "vermem-bench-vmc/v6", d["schema"]
+assert d["schema"] == "vermem-bench-vmc/v7", d["schema"]
 assert d["par_verify"] and d["memo_ablation"] and d["prune_ablation"] \
     and d["model_kernel"] and d["tier_ablation"] and d["estream"], \
     "empty receipts"
@@ -192,10 +192,26 @@ def estream_check(doc, which):
             f"{which}: streaming vs batch verdict drift: {r}"
         assert r["peak_retained_windows"] <= r["streams"] * r["window_slack"], \
             f"{which}: peak retained windows exceed streams x slack: {r}"
+        # p99 is null exactly when the row saw no detections (a 0 would
+        # read as "instant detection").
+        p99 = r["p99_detect_latency_us"]
+        if r["detections"] == 0:
+            assert p99 is None, \
+                f"{which}: p99 without detections must be null: {r}"
+        else:
+            assert isinstance(p99, int) and p99 >= 0, r
     bm = doc["estream_bounded_memory"]
     assert bm["events_10x"] >= 10 * bm["events"], bm
     assert bm["peak_retained_windows"] == bm["peak_retained_windows_10x"], \
         f"{which}: peak retained windows grew with stream length: {bm}"
+    # Same invariance with the flight recorder on: its per-shard ring is
+    # charged to the peak and must stay length-independent too.
+    assert bm["recorder_peak_retained_windows"] == \
+        bm["recorder_peak_retained_windows_10x"], \
+        f"{which}: recorder-on peak grew with stream length: {bm}"
+    assert bm["recorder_peak_retained_windows"] >= \
+        bm["peak_retained_windows"], \
+        f"{which}: recorder ring not counted into the peak: {bm}"
 
 estream_check(d, "fresh")
 
@@ -209,7 +225,7 @@ assert ratio >= 5.0, f"e5.2 prune ratio regressed to {ratio:.1f}x (< 5x)"
 # not explore more states than the committed run plus 5% slack (decided
 # rows are cap-independent, so fast/full receipts are comparable).
 committed = json.load(open(sys.argv[2]))
-if committed.get("schema") == "vermem-bench-vmc/v6":
+if committed.get("schema") == "vermem-bench-vmc/v7":
     # The committed receipt must itself pass the tier and estream shape
     # checks — including the 90% healthy-sim frontline gate, the
     # streaming-vs-batch verdict-parity flags, and the bounded-memory
@@ -231,13 +247,24 @@ if committed.get("schema") == "vermem-bench-vmc/v6":
 
 obs = d["obs_overhead"]
 assert obs["median_secs_disabled"] > 0 and obs["median_secs_enabled"] > 0, obs
+
+# E-LIVE-OBS receipt: the flight recorder + rolling time-series run on the
+# streaming workload with verdict/stats/tier identity asserted in-bench.
+live = d["e_live_obs"]
+assert live["streams"] >= 1 and live["events"] > 0, live
+assert live["median_secs_off"] > 0 and live["median_secs_on"] > 0, live
+assert live["verdict_identical"] is True, live
+assert live["forensic_bundles"] >= 0, live
+
 print(f"    ok ({len(d['par_verify'])} par cases, "
       f"{len(d['memo_ablation'])} memo rows, {len(prune)} prune rows, "
       f"{len(d['model_kernel'])} model-kernel rows, "
       f"{len(d['tier_ablation'])} tier rows, "
       f"{len(d['estream'])} estream rows, "
       f"e5.2 prune ratio {ratio:.0f}x, "
-      f"obs overhead {obs['enabled_overhead_pct']:+.2f}%)")
+      f"obs overhead {obs['enabled_overhead_pct']:+.2f}%, "
+      f"live obs {live['enabled_overhead_pct']:+.2f}% "
+      f"with {live['forensic_bundles']} bundle(s))")
 EOF
 rm -rf "$tmp"
 
@@ -269,5 +296,104 @@ out=$(target/release/vermem serve --streams 3 --instrs 60 --fault --window 32)
 grep -q "VIOLATION at address" <<<"$out" \
     || { echo "serve fault run surfaced no violation:" >&2; echo "$out" >&2; exit 1; }
 echo "    ok"
+
+echo "==> vermem serve --obs-addr: rust-test fetch on an ephemeral port (no curl)"
+# The introspection-server suite binds 127.0.0.1:0 and fetches /metrics,
+# /healthz and /snapshot.json over a raw TcpStream from the test itself.
+cargo test -q --offline -p vermem-cli obs_server:: > /dev/null
+echo "    ok"
+
+echo "==> vermem serve --obs-addr: live Prometheus scrape shape check"
+tmp=$(mktemp -d)
+port=47613
+# ~3.5s wall: ~1.3s input synthesis before the bind, then ~2.2s of live
+# verification the scraper races against (it polls the port from t=0).
+target/release/vermem serve --streams 8 --instrs 800000 --jobs 1 \
+    --obs-addr "127.0.0.1:$port" > "$tmp/serve.out" &
+serve_pid=$!
+python3 - "$port" <<'EOF'
+import json, re, socket, sys, time
+
+port = int(sys.argv[1])
+
+def fetch(path):
+    for _ in range(400):
+        try:
+            s = socket.create_connection(("127.0.0.1", port), timeout=1)
+            break
+        except OSError:
+            time.sleep(0.025)
+    else:
+        sys.exit("obs server never accepted a connection")
+    s.sendall(f"GET {path} HTTP/1.1\r\nHost: v\r\nConnection: close\r\n\r\n"
+              .encode())
+    data = b""
+    while chunk := s.recv(4096):
+        data += chunk
+    s.close()
+    head, _, body = data.partition(b"\r\n\r\n")
+    assert b" 200 OK" in head.splitlines()[0], head
+    return body.decode()
+
+metrics = fetch("/metrics")
+# Prometheus text format 0.0.4: every family has a `# TYPE` comment and
+# every sample line is `name[{le="..."}] value`.
+families = set()
+for line in metrics.splitlines():
+    if line.startswith("# TYPE "):
+        families.add(line.split()[2])
+        continue
+    assert not line.startswith("#"), repr(line)
+    m = re.match(
+        r'^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{le="[^"]+"\})? (-?\d+(\.\d+)?)$', line)
+    assert m, f"bad metrics line: {line!r}"
+    base = re.sub(r'_(bucket|sum|count)$', '', m.group(1))
+    assert m.group(1) in families or base in families, \
+        f"sample without TYPE comment: {line!r}"
+assert "vermem_serve_streams" in families, sorted(families)
+assert "vermem_serve_events_total" in families, sorted(families)
+assert "vermem_serve_chunk_ingest_us" in families, sorted(families)
+
+health = json.loads(fetch("/healthz"))
+assert health["status"] in ("ok", "incoherent"), health
+assert len(health["streams"]) == 8, health
+for row in health["streams"]:
+    assert set(row) == {"name", "events", "detections", "verdict", "done"}, row
+
+print(f"    ok ({len(families)} metric families, "
+      f"{sum(r['done'] for r in health['streams'])}/8 streams done at scrape)")
+EOF
+wait "$serve_pid"
+grep -q "# obs: serving on 127.0.0.1:$port" "$tmp/serve.out" \
+    || { echo "serve printed no '# obs:' line:" >&2; cat "$tmp/serve.out" >&2; exit 1; }
+grep -q "# serve: 8 stream(s)" "$tmp/serve.out" \
+    || { echo "serve aggregate line missing:" >&2; cat "$tmp/serve.out" >&2; exit 1; }
+rm -rf "$tmp"
+
+echo "==> vermem serve --forensics: flight-recorder bundles are valid JSONL"
+tmp=$(mktemp -d)
+out=$(target/release/vermem serve --streams 3 --instrs 60 --fault --window 32 \
+    --forensics "$tmp/forensics")
+grep -q "VIOLATION at address" <<<"$out" \
+    || { echo "forensics fault run surfaced no violation:" >&2; echo "$out" >&2; exit 1; }
+python3 - "$tmp/forensics" <<'EOF'
+import json, os, sys
+d = sys.argv[1]
+files = sorted(os.listdir(d)) if os.path.isdir(d) else []
+assert files, "no forensic JSONL files written"
+bundles = 0
+for name in files:
+    assert name.endswith(".forensics.jsonl"), name
+    for line in open(os.path.join(d, name)):
+        b = json.loads(line)
+        assert b["schema"] == "vermem-forensic/v1", b["schema"]
+        assert b["cause"] in ("rmw-mismatch", "window-closed", "end-of-stream")
+        assert b["detected_at"] >= b["issued_at"] >= 0, b
+        assert b["latency_us"] >= 0 and isinstance(b["window_ops"], list), b
+        assert b["tier"] in ("frontline", "exact", None), b
+        bundles += 1
+print(f"    ok ({bundles} bundle(s) across {len(files)} stream file(s))")
+EOF
+rm -rf "$tmp"
 
 echo "==> all checks passed"
