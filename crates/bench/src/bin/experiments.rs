@@ -150,6 +150,10 @@ fn main() {
         // Included in `epar`'s receipt run; also runnable standalone.
         e_stream();
     }
+    if filter == "ehotpath" {
+        // Included in `epar`'s receipt run; also runnable standalone.
+        e_hotpath();
+    }
 
     if obs_on {
         vermem_util::obs::set_enabled(false);
@@ -884,6 +888,10 @@ fn e_par_scaling(write_json: bool) {
     println!("\nE-STREAM sharded bounded-memory streaming engine:");
     print_estream_table(&estream, &bounded);
 
+    let hotpath = hotpath_ablation(reps);
+    println!("\nE-HOTPATH dense-slab ingest structures vs the std-HashMap baseline:");
+    print_hotpath_table(&hotpath);
+
     let obs = obs_overhead_probe(reps, fast);
     println!(
         "\nobservability overhead ({}): disabled {:.3} ms, enabled {:.3} ms ({:+.2}%)",
@@ -917,6 +925,7 @@ fn e_par_scaling(write_json: bool) {
                 &model_kernel,
                 &tier,
                 &estream,
+                &hotpath,
                 &bounded,
                 &obs,
                 &live_obs,
@@ -1292,6 +1301,24 @@ struct EstreamRow {
     verdict_parity: bool,
 }
 
+/// One row of the E-HOTPATH ablation: the E-STREAM workload ingested with
+/// the dense-slab hot-path structures vs the pre-dense std-`HashMap`
+/// baseline (`HotPathConfig::legacy_structures`). The two strategies are
+/// bit-identical in every report field (asserted in-harness at jobs 1, 2
+/// and 8); only the wall time differs.
+struct HotpathRow {
+    streams: usize,
+    config: &'static str,
+    jobs: usize,
+    events: u64,
+    median_secs: f64,
+    sustained_ops_per_sec: f64,
+    /// Legacy wall time over this configuration's wall time (1.0 on the
+    /// legacy rows by definition).
+    speedup_vs_legacy: f64,
+    verdict_parity: bool,
+}
+
 /// The bounded-memory demonstration: a periodic synthetic event stream at
 /// R rounds and 10R rounds retains an **identical** peak number of
 /// windows — memory is O(window × addresses), independent of length.
@@ -1383,6 +1410,7 @@ fn estream_bench(reps: usize, fast: bool) -> (Vec<EstreamRow>, BoundedMemoryProb
         temporal: true,
         verifier: VmcVerifier::new(),
         recorder: None,
+        hot_path: Default::default(),
     };
     let mut rows = Vec::new();
     for streams in [1usize, 4, 16] {
@@ -1457,6 +1485,7 @@ fn estream_bench(reps: usize, fast: bool) -> (Vec<EstreamRow>, BoundedMemoryProb
                 temporal: true,
                 verifier: VmcVerifier::new(),
                 recorder,
+                hot_path: Default::default(),
             },
         )
         .expect("stream decodes");
@@ -1545,6 +1574,132 @@ fn e_stream() {
     print_estream_table(&rows, &probe);
 }
 
+/// E-HOTPATH: the dense-slab storage ablation. The E-STREAM workload at
+/// 1/4/16 concurrent streams is ingested twice on the same binary — once
+/// with the dense index-addressed tables (the default), once with the
+/// pre-dense std-`HashMap` structures re-homed behind
+/// `HotPathConfig::legacy_structures` — after a parity pass asserting the
+/// two strategies produce bit-identical reports at jobs 1, 2 and 8.
+fn hotpath_ablation(reps: usize) -> Vec<HotpathRow> {
+    const WINDOW: usize = 256;
+    // Longer streams than E-STREAM: this ablation measures the *ingest*
+    // structures, so the workload must be ingest-dominated (the finish
+    // phase solves identical instances on both paths). The size is NOT
+    // reduced under VERMEM_BENCH_FAST — verify.sh gates the fast fresh
+    // rows' throughput against the committed full-mode receipt, so the
+    // two must measure the same workload (only `reps` differs).
+    let instrs = 1_500;
+    let config = |legacy: bool, jobs: usize| vermem_coherence::StreamConfig {
+        window: Some(WINDOW),
+        jobs,
+        temporal: true,
+        verifier: VmcVerifier::new(),
+        recorder: None,
+        hot_path: vermem_coherence::HotPathConfig {
+            legacy_structures: legacy,
+        },
+    };
+    let mut rows = Vec::new();
+    for streams in [1usize, 4, 16] {
+        let caps = estream_captures(streams, instrs);
+        let byte_streams: Vec<Vec<u8>> = caps
+            .iter()
+            .map(|c| vermem_sim::event_stream_bytes(c).expect("SC capture streams"))
+            .collect();
+        // Parity pass: the storage strategy must be unobservable in every
+        // report field, at every jobs rung.
+        let mut events = 0u64;
+        for bytes in &byte_streams {
+            for jobs in [1usize, 2, 8] {
+                let d = vermem_coherence::verify_stream_bytes(bytes, config(false, jobs))
+                    .expect("dense decodes");
+                let l = vermem_coherence::verify_stream_bytes(bytes, config(true, jobs))
+                    .expect("legacy decodes");
+                assert_eq!(
+                    d.verdict, l.verdict,
+                    "E-HOTPATH: verdict drift at {jobs} jobs"
+                );
+                assert_eq!(d.stats, l.stats, "E-HOTPATH: stats drift at {jobs} jobs");
+                assert_eq!(d.tiers, l.tiers, "E-HOTPATH: tier drift at {jobs} jobs");
+                assert_eq!(
+                    d.detections, l.detections,
+                    "E-HOTPATH: detection drift at {jobs} jobs"
+                );
+                assert_eq!(
+                    d.metrics, l.metrics,
+                    "E-HOTPATH: metric drift at {jobs} jobs"
+                );
+                if jobs == 1 {
+                    events += d.events;
+                }
+            }
+        }
+        let time = |legacy: bool| {
+            median_secs(reps, || {
+                for bytes in &byte_streams {
+                    let report = vermem_coherence::verify_stream_bytes(bytes, config(legacy, 1))
+                        .expect("stream decodes");
+                    assert!(report.events > 0);
+                }
+            })
+            .max(1e-12)
+        };
+        let dense_secs = time(false);
+        let legacy_secs = time(true);
+        rows.push(HotpathRow {
+            streams,
+            config: "dense",
+            jobs: 1,
+            events,
+            median_secs: dense_secs,
+            sustained_ops_per_sec: events as f64 / dense_secs,
+            speedup_vs_legacy: legacy_secs / dense_secs,
+            verdict_parity: true,
+        });
+        rows.push(HotpathRow {
+            streams,
+            config: "legacy",
+            jobs: 1,
+            events,
+            median_secs: legacy_secs,
+            sustained_ops_per_sec: events as f64 / legacy_secs,
+            speedup_vs_legacy: 1.0,
+            verdict_parity: true,
+        });
+    }
+    rows
+}
+
+fn print_hotpath_table(rows: &[HotpathRow]) {
+    println!(
+        "{:>8} {:>8} {:>5} {:>8} {:>12} {:>12} {:>9} {:>7}",
+        "streams", "config", "jobs", "events", "median (ms)", "ops/s", "speedup", "parity"
+    );
+    for r in rows {
+        println!(
+            "{:>8} {:>8} {:>5} {:>8} {:>12.3} {:>12.0} {:>8.2}x {:>7}",
+            r.streams,
+            r.config,
+            r.jobs,
+            r.events,
+            r.median_secs * 1e3,
+            r.sustained_ops_per_sec,
+            r.speedup_vs_legacy,
+            r.verdict_parity
+        );
+    }
+}
+
+/// Console-only entry for the E-HOTPATH ablation (`experiments ehotpath`);
+/// the `--json` receipt run includes the same rows in BENCH_vmc.json.
+fn e_hotpath() {
+    header("E-HOTPATH  dense-slab ingest structures vs the std-HashMap baseline");
+    let fast = std::env::var("VERMEM_BENCH_FAST").is_ok();
+    let reps = if fast { 3 } else { 7 };
+    let rows = hotpath_ablation(reps);
+    print_hotpath_table(&rows);
+}
+
 /// Measure the exact search on the E-5.2 over-constrained instance with the
 /// observability layer off and on. The off run is the production default;
 /// the delta is what `--metrics`/`--trace-out` cost. Restores the previous
@@ -1616,6 +1771,7 @@ fn live_obs_probe(reps: usize, fast: bool) -> LiveObsProbe {
         temporal: true,
         verifier: VmcVerifier::new(),
         recorder,
+        hot_path: Default::default(),
     };
     let recorder = || Some(vermem_coherence::RecorderConfig::default());
 
@@ -1931,13 +2087,14 @@ fn bench_json(
     model_kernel: &[ModelKernelRow],
     tier: &[TierRow],
     estream: &[EstreamRow],
+    hotpath: &[HotpathRow],
     bounded: &BoundedMemoryProbe,
     obs: &ObsOverhead,
     live_obs: &LiveObsProbe,
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"vermem-bench-vmc/v7\",\n");
+    s.push_str("  \"schema\": \"vermem-bench-vmc/v8\",\n");
     s.push_str(&format!("  \"host_parallelism\": {host},\n"));
     s.push_str("  \"par_verify\": [\n");
     for (i, c) in cases.iter().enumerate() {
@@ -2058,6 +2215,25 @@ fn bench_json(
             r.verdict_parity
         ));
         s.push_str(if i + 1 < estream.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"e_hotpath\": [\n");
+    for (i, r) in hotpath.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"streams\": {}, \"config\": \"{}\", \"jobs\": {}, \
+             \"events\": {}, \"median_secs\": {:.9}, \
+             \"sustained_ops_per_sec\": {:.1}, \"speedup_vs_legacy\": {:.4}, \
+             \"verdict_parity\": {}}}",
+            r.streams,
+            r.config,
+            r.jobs,
+            r.events,
+            r.median_secs,
+            r.sustained_ops_per_sec,
+            r.speedup_vs_legacy,
+            r.verdict_parity
+        ));
+        s.push_str(if i + 1 < hotpath.len() { ",\n" } else { "\n" });
     }
     s.push_str("  ],\n");
     s.push_str(&format!(

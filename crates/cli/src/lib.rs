@@ -809,11 +809,23 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
         "forensics",
         "metrics",
         "trace-out",
+        "hot-path",
     ])?;
     let session = ObsSession::start(args)?;
     let window = parse_window(args)?;
     let jobs = args.num::<usize>("jobs", 0)?; // 0 = available_parallelism
     let chunk = args.num("chunk", 64 * 1024usize)?.max(1);
+    let hot_path = match args.flag("hot-path").unwrap_or("dense") {
+        "dense" => vermem_coherence::HotPathConfig::default(),
+        "legacy" => vermem_coherence::HotPathConfig {
+            legacy_structures: true,
+        },
+        other => {
+            return Err(err(format!(
+                "invalid --hot-path value '{other}' (expected dense|legacy)"
+            )))
+        }
+    };
     let obs_addr = args.flag("obs-addr").map(str::to_string);
     let forensics_dir = args.flag("forensics").map(std::path::PathBuf::from);
     // The flight recorder rides with --forensics; --obs-addr alone keeps
@@ -908,7 +920,8 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
             jobs,
             temporal,
             verifier: VmcVerifier::new(),
-            recorder: recorder.clone(),
+            recorder,
+            hot_path,
         });
         for piece in bytes.chunks(chunk) {
             let c0 = if live { obs::now_us() } else { 0 };

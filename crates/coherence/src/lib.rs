@@ -66,8 +66,8 @@ pub use online::{OnlineCause, OnlineVerifier, OnlineViolation};
 pub use par::{verify_execution_par, ExecutionReport};
 pub use sat_encode::{encode_vmc, solve_sat, solve_sat_certified, VmcEncoding};
 pub use stream::{
-    verify_stream_bytes, CoreCertificate, ForensicBundle, RecorderConfig, RingEntry, StreamConfig,
-    StreamMetrics, StreamReport, StreamVerdict, StreamVerifier, FORENSIC_SCHEMA,
+    verify_stream_bytes, CoreCertificate, ForensicBundle, HotPathConfig, RecorderConfig, RingEntry,
+    StreamConfig, StreamMetrics, StreamReport, StreamVerdict, StreamVerifier, FORENSIC_SCHEMA,
 };
 pub use verdict::{Verdict, Violation, ViolationKind};
 pub use write_order::solve_with_write_order;

@@ -29,7 +29,7 @@ use std::collections::HashMap;
 use vermem_trace::{Addr, Op, ProcId, Value};
 
 /// A violation reported by the online checker.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct OnlineViolation {
     /// Index (in the event stream) at which the violation became certain.
     pub detected_at: u64,

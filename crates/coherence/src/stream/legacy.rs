@@ -1,0 +1,179 @@
+//! The pre-dense std-`HashMap` storage strategy, kept as the ablation
+//! baseline behind [`super::HotPathConfig::legacy_structures`].
+//!
+//! This is a faithful re-homing of the structures the streaming engine
+//! shipped with before the dense-slab rework: SipHash maps keyed by
+//! `Value`/`Addr`/proc id, a heap-allocated `VecDeque` per written value,
+//! and one `ChunkReader::next` call per event. It exists so the
+//! `e_hotpath` experiment can measure the dense path against the real
+//! predecessor on the same binary — and so the differential suites can
+//! assert the two strategies produce bit-identical reports.
+//!
+//! This module is the *only* part of the stream engine allowed to name
+//! `std::collections::HashMap` (enforced by a grep gate in
+//! `scripts/verify.sh`).
+
+use super::tables::{AddrMap, Router, Tables};
+use super::{AddrStream, PendingRead};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use vermem_trace::{Addr, Value};
+
+/// The pre-dense per-address tables: std `HashMap`s all the way down.
+pub(crate) struct LegacyTables {
+    /// For each value: the sorted live slots at which it is current.
+    value_slots: HashMap<Value, VecDeque<usize>>,
+    /// Per-process placement cursor.
+    min_slot: HashMap<u16, usize>,
+    /// Deferred reads, per process, in program order.
+    deferred: HashMap<u16, Vec<PendingRead>>,
+    /// Times each value was written.
+    write_counts: HashMap<Value, u32>,
+}
+
+impl Tables for LegacyTables {
+    type Router = LegacyRouter;
+    type AddrMap = LegacyAddrMap<LegacyTables>;
+    const BATCHED: bool = false;
+
+    fn new(_procs: usize, initial: Value) -> Self {
+        let mut value_slots = HashMap::new();
+        // Slot 0 carries the initial value.
+        value_slots.insert(initial, VecDeque::from([0usize]));
+        LegacyTables {
+            value_slots,
+            min_slot: HashMap::new(),
+            deferred: HashMap::new(),
+            write_counts: HashMap::new(),
+        }
+    }
+
+    fn place(&self, max_slot: usize, value: Value, min: usize) -> Option<usize> {
+        let slots = self.value_slots.get(&value)?;
+        let idx = slots.partition_point(|&s| s < min);
+        slots.get(idx).copied().filter(|&s| s <= max_slot)
+    }
+
+    fn commit_slot(&mut self, value: Value, slot: usize) {
+        self.value_slots.entry(value).or_default().push_back(slot);
+    }
+
+    fn retire_slot(&mut self, value: Value, slot: usize) {
+        if let Some(slots) = self.value_slots.get_mut(&value) {
+            debug_assert_eq!(slots.front().copied(), Some(slot));
+            slots.pop_front();
+            if slots.is_empty() {
+                self.value_slots.remove(&value);
+            }
+        }
+    }
+
+    fn cursor(&self, proc: u16) -> Option<usize> {
+        self.min_slot.get(&proc).copied()
+    }
+
+    fn set_cursor(&mut self, proc: u16, slot: usize) {
+        self.min_slot.insert(proc, slot);
+    }
+
+    fn cursor_floor(&self) -> usize {
+        self.min_slot.values().copied().min().unwrap_or(0)
+    }
+
+    fn pending(&self, proc: u16) -> &[PendingRead] {
+        self.deferred.get(&proc).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    fn pending_push(&mut self, proc: u16, pr: PendingRead) {
+        self.deferred.entry(proc).or_default().push(pr);
+    }
+
+    fn pending_pop_front(&mut self, proc: u16, n: usize) {
+        self.deferred
+            .get_mut(&proc)
+            .expect("queue exists")
+            .drain(..n);
+    }
+
+    fn pending_take(&mut self, proc: u16) -> Vec<PendingRead> {
+        self.deferred
+            .get_mut(&proc)
+            .map(std::mem::take)
+            .unwrap_or_default()
+    }
+
+    fn pending_restore(&mut self, proc: u16, queue: Vec<PendingRead>) {
+        self.deferred.insert(proc, queue);
+    }
+
+    fn pending_procs(&self, out: &mut Vec<u16>) {
+        let start = out.len();
+        out.extend(
+            self.deferred
+                .iter()
+                .filter(|(_, q)| !q.is_empty())
+                .map(|(&p, _)| p),
+        );
+        out[start..].sort_unstable();
+    }
+
+    fn bump_write(&mut self, value: Value) -> u32 {
+        let count = self.write_counts.entry(value).or_insert(0);
+        *count += 1;
+        *count
+    }
+}
+
+/// Router tables as shipped pre-dense: SipHash map/set per event.
+#[derive(Default)]
+pub(crate) struct LegacyRouter {
+    initials: HashMap<Addr, Value>,
+    finals: HashMap<Addr, Value>,
+    seen: HashSet<Addr>,
+}
+
+impl Router for LegacyRouter {
+    fn set_initial(&mut self, addr: Addr, value: Value) {
+        self.initials.insert(addr, value);
+    }
+
+    fn set_final(&mut self, addr: Addr, value: Value) {
+        self.finals.insert(addr, value);
+    }
+
+    fn first_touch(&mut self, addr: Addr) -> Option<(Value, Option<Value>)> {
+        if !self.seen.insert(addr) {
+            return None;
+        }
+        Some((
+            self.initials.get(&addr).copied().unwrap_or(Value::INITIAL),
+            self.finals.get(&addr).copied(),
+        ))
+    }
+}
+
+/// Per-shard address table on std `HashMap`.
+pub(crate) struct LegacyAddrMap<T: Tables>(HashMap<Addr, AddrStream<T>>);
+
+impl<T: Tables> Default for LegacyAddrMap<T> {
+    fn default() -> Self {
+        LegacyAddrMap(HashMap::new())
+    }
+}
+
+impl<T: Tables> AddrMap<T> for LegacyAddrMap<T> {
+    fn get(&self, addr: Addr) -> Option<&AddrStream<T>> {
+        self.0.get(&addr)
+    }
+
+    fn get_or_insert_with(
+        &mut self,
+        addr: Addr,
+        make: impl FnOnce() -> AddrStream<T>,
+    ) -> &mut AddrStream<T> {
+        self.0.entry(addr).or_insert_with(make)
+    }
+
+    fn drain_into(&mut self, out: &mut BTreeMap<Addr, AddrStream<T>>) {
+        out.extend(self.0.drain());
+    }
+}

@@ -61,12 +61,29 @@
 //! hardware error detection. They are metrics, not verdicts: the verdict
 //! always comes from the sealed/exact reduction above.
 
+//! ## Dense hot paths
+//!
+//! Steady-state ingest runs on dense, index-addressed storage: the
+//! open-addressing Fx-hash maps, slabs and arenas of
+//! [`vermem_util::densemap`], per-process cursor vectors, and block decode
+//! through [`ChunkReader::next_batch`] — no per-event heap allocation, no
+//! SipHash. The monitor logic is generic over an internal `Tables`
+//! contract, so the pre-dense std-`HashMap` strategy shares every line of
+//! it and produces bit-identical reports by construction; it is kept
+//! selectable through [`HotPathConfig`] for the `e_hotpath` ablation.
+
+mod legacy;
+mod tables;
+
 use crate::explain::{minimize_incoherent_core, ExplainConfig};
 use crate::online::{OnlineCause, OnlineViolation};
 use crate::verdict::Verdict;
 use crate::{SearchConfig, SearchStats, Strategy, Tier, TierStats, Violation, VmcVerifier};
-use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use legacy::LegacyTables;
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::thread::JoinHandle;
+use tables::{AddrMap, DenseTables, Router, Tables};
 use vermem_trace::binary::{ChunkReader, DecodeError, StreamEvent};
 use vermem_trace::{Addr, AddrOps, Op, OpRef, ProcId, ProcessHistory, Trace, Value};
 use vermem_util::json::JsonWriter;
@@ -118,6 +135,8 @@ pub struct StreamConfig {
     /// tiers; the ring's footprint is counted inside
     /// [`StreamMetrics::peak_retained_windows`].
     pub recorder: Option<RecorderConfig>,
+    /// Ingest-path storage ablation switch (see [`HotPathConfig`]).
+    pub hot_path: HotPathConfig,
 }
 
 impl Default for StreamConfig {
@@ -128,12 +147,27 @@ impl Default for StreamConfig {
             temporal: true,
             verifier: VmcVerifier::new(),
             recorder: None,
+            hot_path: HotPathConfig::default(),
         }
     }
 }
 
+/// Ablation switch selecting the ingest-path storage strategy — the
+/// streaming analogue of `legacy_memo_keys` in [`SearchConfig`]: both
+/// strategies are first-class, run the same monitor code over different
+/// representations (dense slab tables vs std `HashMap`s — reports are
+/// bit-identical by construction), and exist side by side so the `e_hotpath` experiment
+/// can measure one against the other on the same binary.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HotPathConfig {
+    /// Run the pre-dense std-`HashMap` structures and per-event decode
+    /// instead of the dense slab tables and block decode. Default `false`
+    /// (dense).
+    pub legacy_structures: bool,
+}
+
 /// Flight-recorder knobs (see [`StreamConfig::recorder`]).
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug)]
 pub struct RecorderConfig {
     /// Capacity of the per-shard recent-event ring, and the per-process
     /// cap on retained window ops copied into a bundle. `0` disables the
@@ -282,9 +316,9 @@ impl ForensicBundle {
 /// `with_final` gates the declared final value into the certificate
 /// solve: mid-stream the final constraint is not yet meaningful (the
 /// stream is still running), so only end-of-stream captures apply it.
-fn capture_bundle(
+fn capture_bundle<T: Tables>(
     rec: &RecorderConfig,
-    state: &AddrStream,
+    state: &AddrStream<T>,
     violation: OnlineViolation,
     issued_us: u64,
     detected_us: u64,
@@ -473,15 +507,30 @@ impl StreamReport {
     }
 }
 
+std::thread_local! {
+    /// Reusable scratch for [`percentile`]: the quickselect works on a
+    /// copy, and per-stream reporting queries several percentiles over the
+    /// same (large) latency array, so the copy's allocation is kept.
+    static PERCENTILE_SCRATCH: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
 /// The `p`-th percentile (nearest-rank) of `samples`, if non-empty.
+///
+/// O(n) via [`slice::select_nth_unstable`] on a reusable thread-local
+/// scratch copy — equivalent to sorting and indexing `rank - 1`, without
+/// the O(n log n) sort or a fresh allocation per query.
 pub fn percentile(samples: &[u64], p: u64) -> Option<u64> {
     if samples.is_empty() {
         return None;
     }
-    let mut sorted = samples.to_vec();
-    sorted.sort_unstable();
-    let rank = ((sorted.len() as u64 * p).div_ceil(100)).max(1) as usize;
-    Some(sorted[rank - 1])
+    let rank = ((samples.len() as u64 * p).div_ceil(100)).max(1) as usize;
+    PERCENTILE_SCRATCH.with(|scratch| {
+        let mut scratch = scratch.borrow_mut();
+        scratch.clear();
+        scratch.extend_from_slice(samples);
+        let (_, &mut v, _) = scratch.select_nth_unstable(rank - 1);
+        Some(v)
+    })
 }
 
 /// A deferred read waiting for its serving write to commit.
@@ -494,8 +543,10 @@ struct PendingRead {
 }
 
 /// Per-address streaming state: the greedy §5.2 monitor (summary), the
-/// read-map class bits, and the raw-op retention buffer.
-struct AddrStream {
+/// read-map class bits, and the raw-op retention buffer. Generic over the
+/// [`Tables`] storage strategy — the monitor logic below is the single
+/// source of truth for both the dense and the legacy configuration.
+struct AddrStream<T: Tables> {
     initial: Value,
     final_value: Option<Value>,
     // --- summary: the greedy placement monitor (cf. `crate::online`) ---
@@ -509,17 +560,15 @@ struct AddrStream {
     live_values: VecDeque<Value>,
     /// Value of the most recent committed write.
     last_value: Option<Value>,
-    /// For each value: the sorted live slots at which it is current.
-    value_slots: HashMap<Value, VecDeque<usize>>,
-    /// Per-process placement cursor (earliest slot its next read may use).
-    min_slot: HashMap<u16, usize>,
-    /// Deferred reads, per process, in program order.
-    pending: HashMap<u16, Vec<PendingRead>>,
-    pending_total: usize,
-    // --- read-map class bits (exact, kept for the whole stream) ---
-    /// Times each value was written. O(distinct written values) — the one
+    /// The placement index, per-process cursors, deferred-read queues, and
+    /// write counts — the four tables the storage strategy owns. The
+    /// write-count table is O(distinct written values), the one
     /// per-address map retirement does not bound (disclosed in DESIGN.md).
-    write_counts: HashMap<Value, u32>,
+    tables: T,
+    pending_total: usize,
+    /// Reusable scratch for the per-write deferred-read retry loop.
+    retry_procs: Vec<u16>,
+    // --- read-map class bits (exact, kept for the whole stream) ---
     rmw_seen: bool,
     dup_value: bool,
     wrote_initial: bool,
@@ -538,11 +587,8 @@ struct AddrStream {
     windows: u64,
 }
 
-impl AddrStream {
-    fn new(procs: usize, initial: Value, final_value: Option<Value>) -> AddrStream {
-        let mut value_slots = HashMap::new();
-        // Slot 0 carries the initial value.
-        value_slots.insert(initial, VecDeque::from([0usize]));
+impl<T: Tables> AddrStream<T> {
+    fn new(procs: usize, initial: Value, final_value: Option<Value>) -> AddrStream<T> {
         AddrStream {
             initial,
             final_value,
@@ -550,11 +596,9 @@ impl AddrStream {
             live_from: 0,
             live_values: VecDeque::new(),
             last_value: None,
-            value_slots,
-            min_slot: HashMap::new(),
-            pending: HashMap::new(),
+            tables: T::new(procs, initial),
             pending_total: 0,
-            write_counts: HashMap::new(),
+            retry_procs: Vec::new(),
             rmw_seen: false,
             dup_value: false,
             wrote_initial: false,
@@ -574,9 +618,7 @@ impl AddrStream {
             self.rmw_seen = true;
         }
         if let Some(v) = op.written_value() {
-            let count = self.write_counts.entry(v).or_insert(0);
-            *count += 1;
-            if *count > 1 {
+            if self.tables.bump_write(v) > 1 {
                 self.dup_value = true;
             }
             if v == self.initial {
@@ -592,30 +634,35 @@ impl AddrStream {
         // The issue timestamp is only needed for latency accounting on
         // reads that actually defer — keep the clock off the hot path.
         let stamp = || if temporal { obs::now_us() } else { 0 };
-        let queue = self.pending.entry(proc.0).or_default();
-        if !queue.is_empty() {
+        if !self.tables.pending(proc.0).is_empty() {
             // Preserve program order behind an already-deferred read.
-            queue.push(PendingRead {
-                proc,
-                value,
-                issued_at: seq,
-                issued_us: stamp(),
-            });
-            self.pending_total += 1;
-            return;
-        }
-        let min = self.min_slot.get(&proc.0).copied().unwrap_or(0);
-        match place(&self.value_slots, self.slots_len, value, min) {
-            Some(slot) => {
-                self.min_slot.insert(proc.0, slot);
-            }
-            None => {
-                self.pending.entry(proc.0).or_default().push(PendingRead {
+            self.tables.pending_push(
+                proc.0,
+                PendingRead {
                     proc,
                     value,
                     issued_at: seq,
                     issued_us: stamp(),
-                });
+                },
+            );
+            self.pending_total += 1;
+            return;
+        }
+        let min = self.tables.cursor(proc.0).unwrap_or(0);
+        match self.tables.place(self.slots_len, value, min) {
+            Some(slot) => {
+                self.tables.set_cursor(proc.0, slot);
+            }
+            None => {
+                self.tables.pending_push(
+                    proc.0,
+                    PendingRead {
+                        proc,
+                        value,
+                        issued_at: seq,
+                        issued_us: stamp(),
+                    },
+                );
                 self.pending_total += 1;
             }
         }
@@ -625,8 +672,9 @@ impl AddrStream {
         // The writer's own deferred reads' windows close now: they can
         // never be served, so the address escalates (and, on temporal
         // streams, the stall is reported as a detection).
-        if let Some(queue) = self.pending.get_mut(&proc.0) {
-            for stale in queue.drain(..) {
+        if !self.tables.pending(proc.0).is_empty() {
+            let mut stale_queue = self.tables.pending_take(proc.0);
+            for stale in stale_queue.drain(..) {
                 self.pending_total -= 1;
                 self.pinned = true;
                 sink.report(
@@ -641,28 +689,30 @@ impl AddrStream {
                     stale.issued_us,
                 );
             }
+            self.tables.pending_restore(proc.0, stale_queue);
         }
 
         // Commit the write as a new slot.
         let slot = self.slots_len + 1;
         self.slots_len = slot;
         self.live_values.push_back(value);
-        self.value_slots.entry(value).or_default().push_back(slot);
+        self.tables.commit_slot(value, slot);
         self.last_value = Some(value);
-        let cursor = self.min_slot.entry(proc.0).or_insert(0);
-        *cursor = (*cursor).max(slot);
+        let cursor = self.tables.cursor(proc.0).unwrap_or(0).max(slot);
+        self.tables.set_cursor(proc.0, cursor);
 
         // Retry deferred reads of every process, in program order, stopping
         // at the first that still cannot be placed. Processes are
         // independent here (each retry touches only its own cursor), so
-        // map iteration order cannot affect the outcome.
-        let procs: Vec<u16> = self.pending.keys().copied().collect();
-        for p in procs {
-            let queue = self.pending.get(&p).expect("listed");
-            let mut min = self.min_slot.get(&p).copied().unwrap_or(0);
+        // the proc listing order cannot affect the outcome.
+        let mut retry = std::mem::take(&mut self.retry_procs);
+        retry.clear();
+        self.tables.pending_procs(&mut retry);
+        for &p in &retry {
+            let mut min = self.tables.cursor(p).unwrap_or(0);
             let mut placed = 0;
-            for pr in queue.iter() {
-                match place(&self.value_slots, self.slots_len, pr.value, min) {
+            for pr in self.tables.pending(p) {
+                match self.tables.place(self.slots_len, pr.value, min) {
                     Some(slot) => {
                         min = slot;
                         placed += 1;
@@ -671,11 +721,12 @@ impl AddrStream {
                 }
             }
             if placed > 0 {
-                self.min_slot.insert(p, min);
-                self.pending.get_mut(&p).expect("listed").drain(..placed);
+                self.tables.set_cursor(p, min);
+                self.tables.pending_pop_front(p, placed);
                 self.pending_total -= placed;
             }
         }
+        self.retry_procs = retry;
     }
 
     fn monitor(&mut self, seq: u64, addr: Addr, proc: ProcId, op: Op, sink: &mut Sink) {
@@ -727,13 +778,13 @@ impl AddrStream {
         // defers, the address pins, and the exact kernel (with replayed
         // ops) decides: slower, never wrong.
         if self.slots_len - self.live_from > window {
-            let floor = self.min_slot.values().copied().min().unwrap_or(0);
+            let floor = self.tables.cursor_floor();
             while self.live_from < floor {
                 if self.live_from == 0 {
-                    remove_slot(&mut self.value_slots, self.initial, 0);
+                    self.tables.retire_slot(self.initial, 0);
                 } else {
                     let value = self.live_values.pop_front().expect("live slot value");
-                    remove_slot(&mut self.value_slots, value, self.live_from);
+                    self.tables.retire_slot(value, self.live_from);
                 }
                 self.live_from += 1;
                 retired.2 += 1;
@@ -755,31 +806,6 @@ impl AddrStream {
         match self.final_value {
             None => true,
             Some(f) => f == self.last_value.unwrap_or(self.initial),
-        }
-    }
-}
-
-/// Earliest live slot ≥ `min` where `value` is current, if any.
-fn place(
-    value_slots: &HashMap<Value, VecDeque<usize>>,
-    max_slot: usize,
-    value: Value,
-    min: usize,
-) -> Option<usize> {
-    let slots = value_slots.get(&value)?;
-    let idx = slots.partition_point(|&s| s < min);
-    slots.get(idx).copied().filter(|&s| s <= max_slot)
-}
-
-/// Drop slot `slot` (whose committed value is `value`) from the placement
-/// index. `slot` is the globally lowest live slot, so it is the front of
-/// its value's (sorted) list.
-fn remove_slot(value_slots: &mut HashMap<Value, VecDeque<usize>>, value: Value, slot: usize) {
-    if let Some(slots) = value_slots.get_mut(&value) {
-        debug_assert_eq!(slots.front().copied(), Some(slot));
-        slots.pop_front();
-        if slots.is_empty() {
-            value_slots.remove(&value);
         }
     }
 }
@@ -822,13 +848,13 @@ struct RoutedOp {
 }
 
 /// A worker's world: the addresses it owns plus its accounting.
-struct Shard {
+struct Shard<T: Tables> {
     window: Option<usize>,
     quantum: usize,
     temporal: bool,
     procs: usize,
     recorder: Option<RecorderConfig>,
-    addrs: HashMap<Addr, AddrStream>,
+    addrs: T::AddrMap,
     detections: Vec<OnlineViolation>,
     latencies_us: Vec<u64>,
     /// `(issued_us, detected_us)` aligned with `detections`.
@@ -850,20 +876,20 @@ struct Shard {
     retired_slots: u64,
 }
 
-impl Shard {
+impl<T: Tables> Shard<T> {
     fn new(
         window: Option<usize>,
         temporal: bool,
         procs: usize,
         recorder: Option<RecorderConfig>,
-    ) -> Shard {
+    ) -> Shard<T> {
         Shard {
             window,
             quantum: window.unwrap_or(UNBOUNDED_SLAB).max(1),
             temporal,
             procs,
             recorder,
-            addrs: HashMap::new(),
+            addrs: T::AddrMap::default(),
             detections: Vec::new(),
             latencies_us: Vec::new(),
             detect_meta: Vec::new(),
@@ -897,7 +923,7 @@ impl Shard {
         let detections_before = self.detections.len();
 
         let procs = self.procs;
-        let state = self.addrs.entry(event.addr).or_insert_with(|| {
+        let state = self.addrs.get_or_insert_with(event.addr, || {
             let (initial, final_value) = event.meta.unwrap_or((Value::INITIAL, None));
             AddrStream::new(procs, initial, final_value)
         });
@@ -972,8 +998,11 @@ impl Shard {
     /// Capture forensic bundles for the detections `from..` (all raised by
     /// the event just applied, hence all at `addr`).
     fn capture(&mut self, addr: Addr, from: usize) {
-        let rec = self.recorder.clone().expect("recorder on");
-        let Some(state) = self.addrs.get(&addr) else {
+        // `RecorderConfig` and `OnlineViolation` are `Copy`: capture takes
+        // no clones of configuration or detections (the op payloads in the
+        // bundle are the only owned data).
+        let rec = self.recorder.expect("recorder on");
+        let Some(state) = self.addrs.get(addr) else {
             return;
         };
         let recent: Vec<RingEntry> = self.ring.iter().copied().collect();
@@ -986,7 +1015,7 @@ impl Shard {
             fresh.push(capture_bundle(
                 &rec,
                 state,
-                self.detections[i].clone(),
+                self.detections[i],
                 issued_us,
                 detected_us,
                 recent.clone(),
@@ -999,8 +1028,8 @@ impl Shard {
 
 /// Everything frozen at end of input, awaiting (optional) replay and the
 /// final reduction.
-struct Ended {
-    merged: BTreeMap<Addr, AddrStream>,
+struct Ended<T: Tables> {
+    merged: BTreeMap<Addr, AddrStream<T>>,
     detections: Vec<OnlineViolation>,
     latencies_us: Vec<u64>,
     forensics: Vec<ForensicBundle>,
@@ -1012,10 +1041,10 @@ struct Ended {
 
 /// A shard lane: its queue sender, the router-side batch under
 /// construction, and the worker handle.
-struct Lane {
+struct Lane<T: Tables> {
     sender: SpscSender<Vec<RoutedOp>>,
     batch: Vec<RoutedOp>,
-    handle: JoinHandle<Shard>,
+    handle: JoinHandle<Shard<T>>,
 }
 
 /// The sharded bounded-memory streaming verification engine.
@@ -1026,21 +1055,28 @@ struct Lane {
 /// through [`ingest_replay`](StreamVerifier::ingest_replay) →
 /// [`finish`](StreamVerifier::finish). [`verify_stream_bytes`] wraps the
 /// whole dance for in-memory streams.
+///
+/// Internally this is an enum over the two [`HotPathConfig`] storage
+/// strategies; every method dispatches once and runs the shared generic
+/// engine.
 pub struct StreamVerifier {
-    window: Option<usize>,
-    jobs: usize,
-    temporal: bool,
-    verifier: VmcVerifier,
-    recorder: Option<RecorderConfig>,
-    reader: ChunkReader,
-    procs: Option<u16>,
-    seq: u64,
-    initials: HashMap<Addr, Value>,
-    finals: HashMap<Addr, Value>,
-    seen: HashSet<Addr>,
-    inline: Option<Shard>,
-    lanes: Vec<Lane>,
-    ended: Option<Ended>,
+    inner: EngineKind,
+}
+
+/// The two monomorphizations of the generic engine.
+enum EngineKind {
+    Dense(Engine<DenseTables>),
+    Legacy(Engine<LegacyTables>),
+}
+
+/// Dispatch `$body` over whichever engine variant is live, binding `$e`.
+macro_rules! with_engine {
+    ($inner:expr, $e:ident => $body:expr) => {
+        match $inner {
+            EngineKind::Dense($e) => $body,
+            EngineKind::Legacy($e) => $body,
+        }
+    };
 }
 
 impl StreamVerifier {
@@ -1053,13 +1089,97 @@ impl StreamVerifier {
             "Strategy::Sat needs a whole backing trace; the streaming engine \
              supports Auto and Backtracking"
         );
+        let inner = if config.hot_path.legacy_structures {
+            EngineKind::Legacy(Engine::new(config))
+        } else {
+            EngineKind::Dense(Engine::new(config))
+        };
+        StreamVerifier { inner }
+    }
+
+    /// Worker count in use (after resolving `jobs == 0`).
+    pub fn jobs(&self) -> usize {
+        with_engine!(&self.inner, e => e.jobs)
+    }
+
+    /// Operation events consumed so far.
+    pub fn events(&self) -> u64 {
+        with_engine!(&self.inner, e => e.seq)
+    }
+
+    /// Feed the next chunk of the binary stream (any chunking, including
+    /// mid-record splits). Decodes and routes every complete event.
+    pub fn ingest(&mut self, chunk: &[u8]) -> Result<(), DecodeError> {
+        with_engine!(&mut self.inner, e => e.ingest(chunk))
+    }
+
+    /// Declare end of input: validates the stream ended on a record
+    /// boundary, drains the shards, flushes still-deferred reads as
+    /// end-of-stream detections, and computes which addresses need a
+    /// replay pass.
+    pub fn end_input(&mut self) -> Result<(), DecodeError> {
+        with_engine!(&mut self.inner, e => e.end_input())
+    }
+
+    /// True if some escalated address had its retention buffer retired:
+    /// the caller must re-feed the stream through
+    /// [`ingest_replay`](StreamVerifier::ingest_replay) before
+    /// [`finish`](StreamVerifier::finish).
+    pub fn needs_replay(&self) -> bool {
+        with_engine!(&self.inner, e => e.needs_replay())
+    }
+
+    /// The addresses whose raw ops must be re-materialized.
+    pub fn replay_addrs(&self) -> Vec<Addr> {
+        with_engine!(&self.inner, e => e.replay_addrs())
+    }
+
+    /// Second pass over the same stream bytes: re-collects the raw ops of
+    /// replay addresses only (every other event is decoded and discarded).
+    pub fn ingest_replay(&mut self, chunk: &[u8]) -> Result<(), DecodeError> {
+        with_engine!(&mut self.inner, e => e.ingest_replay(chunk))
+    }
+
+    /// Run the final reduction and produce the report.
+    ///
+    /// Sealed addresses are decided by their summary; every other address
+    /// is solved by the exact tiered kernel (fanned out over the
+    /// work-stealing pool, reduced in ascending address order with the
+    /// same first-failure determinism as [`crate::verify_execution_par`]).
+    ///
+    /// Panics if a replay was needed but not provided.
+    pub fn finish(self) -> StreamReport {
+        with_engine!(self.inner, e => e.finish())
+    }
+}
+
+/// The generic engine body, monomorphized per storage strategy.
+struct Engine<T: Tables> {
+    window: Option<usize>,
+    jobs: usize,
+    temporal: bool,
+    verifier: VmcVerifier,
+    recorder: Option<RecorderConfig>,
+    reader: ChunkReader,
+    procs: Option<u16>,
+    seq: u64,
+    router: T::Router,
+    inline: Option<Shard<T>>,
+    lanes: Vec<Lane<T>>,
+    ended: Option<Ended<T>>,
+    /// Reusable block-decode buffer (dense path only).
+    scratch_events: Vec<StreamEvent>,
+}
+
+impl<T: Tables> Engine<T> {
+    fn new(config: StreamConfig) -> Engine<T> {
         let jobs = if config.jobs == 0 {
             available_jobs()
         } else {
             config.jobs
         }
         .max(1);
-        StreamVerifier {
+        Engine {
             window: config.window,
             jobs,
             temporal: config.temporal,
@@ -1068,36 +1188,47 @@ impl StreamVerifier {
             reader: ChunkReader::new(),
             procs: None,
             seq: 0,
-            initials: HashMap::new(),
-            finals: HashMap::new(),
-            seen: HashSet::new(),
+            router: T::Router::default(),
             inline: None,
             lanes: Vec::new(),
             ended: None,
+            scratch_events: Vec::new(),
         }
     }
 
-    /// Worker count in use (after resolving `jobs == 0`).
-    pub fn jobs(&self) -> usize {
-        self.jobs
-    }
-
-    /// Operation events consumed so far.
-    pub fn events(&self) -> u64 {
-        self.seq
-    }
-
-    /// Feed the next chunk of the binary stream (any chunking, including
-    /// mid-record splits). Decodes and routes every complete event.
-    pub fn ingest(&mut self, chunk: &[u8]) -> Result<(), DecodeError> {
+    fn ingest(&mut self, chunk: &[u8]) -> Result<(), DecodeError> {
         assert!(self.ended.is_none(), "ingest after end_input");
         self.reader.feed(chunk);
-        loop {
-            match self.reader.next() {
-                Ok(Some(event)) => self.route(event),
-                Ok(None) => break,
-                Err(DecodeError::NeedMoreBytes) => break,
-                Err(e) => return Err(e),
+        if T::BATCHED {
+            // Block decode: `next_batch` amortizes the per-event framing
+            // cost; completed events are routed even when the batch ends in
+            // a decode error (matching the per-event path, which routes
+            // every event up to the failing record).
+            let mut events = std::mem::take(&mut self.scratch_events);
+            loop {
+                events.clear();
+                let decoded = self.reader.next_batch(&mut events, BATCH);
+                for event in events.drain(..) {
+                    self.route(event);
+                }
+                match decoded {
+                    Ok(0) => break,
+                    Ok(_) => {}
+                    Err(e) => {
+                        self.scratch_events = events;
+                        return Err(e);
+                    }
+                }
+            }
+            self.scratch_events = events;
+        } else {
+            loop {
+                match self.reader.next() {
+                    Ok(Some(event)) => self.route(event),
+                    Ok(None) => break,
+                    Err(DecodeError::NeedMoreBytes) => break,
+                    Err(e) => return Err(e),
+                }
             }
         }
         Ok(())
@@ -1112,17 +1243,17 @@ impl StreamVerifier {
                         self.window,
                         self.temporal,
                         usize::from(procs),
-                        self.recorder.clone(),
+                        self.recorder,
                     ));
                 } else {
                     for i in 0..self.jobs {
                         let (tx, rx) = spsc_channel::<Vec<RoutedOp>>(QUEUE_CAP);
                         let (window, temporal) = (self.window, self.temporal);
-                        let recorder = self.recorder.clone();
+                        let recorder = self.recorder;
                         let handle = std::thread::Builder::new()
                             .name(format!("vermem-stream-{i}"))
                             .spawn(move || {
-                                let mut shard =
+                                let mut shard: Shard<T> =
                                     Shard::new(window, temporal, usize::from(procs), recorder);
                                 while let Some(batch) = rx.recv() {
                                     for routed in batch {
@@ -1141,21 +1272,14 @@ impl StreamVerifier {
                 }
             }
             StreamEvent::Init { addr, value } => {
-                self.initials.insert(addr, value);
+                self.router.set_initial(addr, value);
             }
             StreamEvent::Final { addr, value } => {
-                self.finals.insert(addr, value);
+                self.router.set_final(addr, value);
             }
             StreamEvent::Op { op_ref, op, bytes } => {
                 let addr = op.addr();
-                let meta = if self.seen.insert(addr) {
-                    Some((
-                        self.initials.get(&addr).copied().unwrap_or(Value::INITIAL),
-                        self.finals.get(&addr).copied(),
-                    ))
-                } else {
-                    None
-                };
+                let meta = self.router.first_touch(addr);
                 let routed = RoutedOp {
                     addr,
                     op_ref,
@@ -1185,15 +1309,11 @@ impl StreamVerifier {
         }
     }
 
-    /// Declare end of input: validates the stream ended on a record
-    /// boundary, drains the shards, flushes still-deferred reads as
-    /// end-of-stream detections, and computes which addresses need a
-    /// replay pass.
-    pub fn end_input(&mut self) -> Result<(), DecodeError> {
+    fn end_input(&mut self) -> Result<(), DecodeError> {
         assert!(self.ended.is_none(), "end_input called twice");
         self.reader.finish()?;
 
-        let mut shards: Vec<Shard> = Vec::new();
+        let mut shards: Vec<Shard<T>> = Vec::new();
         if let Some(shard) = self.inline.take() {
             shards.push(shard);
         }
@@ -1210,7 +1330,7 @@ impl StreamVerifier {
             shards.push(handle.join().expect("stream shard panicked"));
         }
 
-        let mut merged: BTreeMap<Addr, AddrStream> = BTreeMap::new();
+        let mut merged: BTreeMap<Addr, AddrStream<T>> = BTreeMap::new();
         let mut detections: Vec<OnlineViolation> = Vec::new();
         let mut latencies_us: Vec<u64> = Vec::new();
         let mut forensics: Vec<ForensicBundle> = Vec::new();
@@ -1219,7 +1339,7 @@ impl StreamVerifier {
             window: self.window,
             ..StreamMetrics::default()
         };
-        for shard in shards {
+        for mut shard in shards {
             metrics.peak_retained_windows += shard.peak_windows;
             metrics.peak_retained_units += shard.peak_units;
             metrics.retired_ops += shard.retired_ops;
@@ -1229,25 +1349,32 @@ impl StreamVerifier {
             latencies_us.extend(shard.latencies_us);
             forensics.extend(shard.bundles);
             ring.extend(shard.ring);
-            merged.extend(shard.addrs);
+            shard.addrs.drain_into(&mut merged);
         }
         ring.sort_by_key(|e| e.seq);
 
         // End of stream: any still-deferred read pins its address (and on
         // temporal streams surfaces as a detection, exactly like
-        // `OnlineVerifier::finish`).
+        // `OnlineVerifier::finish`). Queues drain in ascending proc order,
+        // so the capped forensic captures are deterministic regardless of
+        // the storage strategy.
         let end = self.seq;
         let now = obs::now_us();
-        let recorder = self.recorder.clone();
+        let recorder = self.recorder;
         let mut stragglers: Vec<OnlineViolation> = Vec::new();
+        let mut straggler_procs: Vec<u16> = Vec::new();
         for (&addr, state) in merged.iter_mut() {
             if state.pending_total == 0 {
                 continue;
             }
             state.pinned = true;
+            straggler_procs.clear();
+            state.tables.pending_procs(&mut straggler_procs);
             let mut drained: Vec<PendingRead> = Vec::new();
-            for queue in state.pending.values_mut() {
-                drained.append(queue);
+            for &p in &straggler_procs {
+                let mut queue = state.tables.pending_take(p);
+                drained.append(&mut queue);
+                state.tables.pending_restore(p, queue);
             }
             state.pending_total = 0;
             for pr in drained {
@@ -1269,7 +1396,7 @@ impl StreamVerifier {
                             forensics.push(capture_bundle(
                                 rec,
                                 state,
-                                violation.clone(),
+                                violation,
                                 pr.issued_us,
                                 now,
                                 recent,
@@ -1312,26 +1439,19 @@ impl StreamVerifier {
         Ok(())
     }
 
-    /// True if some escalated address had its retention buffer retired:
-    /// the caller must re-feed the stream through
-    /// [`ingest_replay`](StreamVerifier::ingest_replay) before
-    /// [`finish`](StreamVerifier::finish).
-    pub fn needs_replay(&self) -> bool {
+    fn needs_replay(&self) -> bool {
         let ended = self.ended.as_ref().expect("call end_input first");
         !ended
             .replay_set
             .is_subset(&ended.replay_store.keys().copied().collect())
     }
 
-    /// The addresses whose raw ops must be re-materialized.
-    pub fn replay_addrs(&self) -> Vec<Addr> {
+    fn replay_addrs(&self) -> Vec<Addr> {
         let ended = self.ended.as_ref().expect("call end_input first");
         ended.replay_set.iter().copied().collect()
     }
 
-    /// Second pass over the same stream bytes: re-collects the raw ops of
-    /// replay addresses only (every other event is decoded and discarded).
-    pub fn ingest_replay(&mut self, chunk: &[u8]) -> Result<(), DecodeError> {
+    fn ingest_replay(&mut self, chunk: &[u8]) -> Result<(), DecodeError> {
         let procs = usize::from(self.procs.unwrap_or(0));
         let ended = self
             .ended
@@ -1359,15 +1479,7 @@ impl StreamVerifier {
         Ok(())
     }
 
-    /// Run the final reduction and produce the report.
-    ///
-    /// Sealed addresses are decided by their summary; every other address
-    /// is solved by the exact tiered kernel (fanned out over the
-    /// work-stealing pool, reduced in ascending address order with the
-    /// same first-failure determinism as [`crate::verify_execution_par`]).
-    ///
-    /// Panics if a replay was needed but not provided.
-    pub fn finish(mut self) -> StreamReport {
+    fn finish(mut self) -> StreamReport {
         let mut ended = self.ended.take().expect("call end_input before finish");
 
         let mut span = vermem_util::span!("stream.finish");
@@ -1500,6 +1612,16 @@ mod tests {
             temporal,
             verifier: VmcVerifier::new(),
             recorder: None,
+            hot_path: HotPathConfig::default(),
+        }
+    }
+
+    fn legacy(window: Option<usize>, jobs: usize, temporal: bool) -> StreamConfig {
+        StreamConfig {
+            hot_path: HotPathConfig {
+                legacy_structures: true,
+            },
+            ..config(window, jobs, temporal)
         }
     }
 
@@ -1910,5 +2032,94 @@ mod tests {
         let v: Vec<u64> = (1..=100).collect();
         assert_eq!(percentile(&v, 99), Some(99));
         assert_eq!(percentile(&v, 50), Some(50));
+    }
+
+    /// Dense and legacy storage must produce the same report, field by
+    /// field, modulo wall-clock microseconds (latencies and capture
+    /// timestamps are obs-clock readings, so only their shapes compare).
+    fn assert_dense_legacy_identical(
+        bytes: &[u8],
+        cfg_d: StreamConfig,
+        cfg_l: StreamConfig,
+        tag: &str,
+    ) {
+        let d = verify_stream_bytes(bytes, cfg_d).expect("dense decodes");
+        let l = verify_stream_bytes(bytes, cfg_l).expect("legacy decodes");
+        assert_eq!(d.verdict, l.verdict, "{tag}: verdict");
+        assert_eq!(d.stats, l.stats, "{tag}: stats");
+        assert_eq!(d.tiers, l.tiers, "{tag}: tiers");
+        assert_eq!(d.addresses, l.addresses, "{tag}: addresses");
+        assert_eq!(d.events, l.events, "{tag}: events");
+        assert_eq!(d.detections, l.detections, "{tag}: detections");
+        assert_eq!(d.metrics, l.metrics, "{tag}: metrics");
+        assert_eq!(
+            d.detect_latencies_us.len(),
+            l.detect_latencies_us.len(),
+            "{tag}: latency count"
+        );
+        assert_eq!(d.forensics.len(), l.forensics.len(), "{tag}: bundle count");
+        for (bd, bl) in d.forensics.iter().zip(&l.forensics) {
+            assert_eq!(bd.violation, bl.violation, "{tag}: bundle violation");
+            assert_eq!(bd.window_ops, bl.window_ops, "{tag}: bundle window ops");
+            assert_eq!(bd.tier, bl.tier, "{tag}: bundle tier");
+        }
+    }
+
+    #[test]
+    fn dense_and_legacy_storage_agree_on_coherent_traces() {
+        for seed in [11, 12, 13] {
+            let bytes = encode_trace(&gen_trace(seed));
+            for jobs in [1, 2, 8] {
+                for window in [Some(16), Some(256), None] {
+                    assert_dense_legacy_identical(
+                        &bytes,
+                        config(window, jobs, false),
+                        legacy(window, jobs, false),
+                        &format!("seed {seed} jobs {jobs} window {window:?}"),
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dense_and_legacy_storage_agree_on_violations_and_forensics() {
+        // A stream with a read of a never-written value: end-of-stream
+        // detections, forensics, and the exact escalation all engage.
+        let events = vec![
+            (ProcId(0), Op::w(1u64)),
+            (ProcId(1), Op::r(9u64)),
+            (ProcId(1), Op::w(2u64)),
+            (ProcId(0), Op::r(2u64)),
+        ];
+        let bytes = encode_event_stream(2, &BTreeMap::new(), &BTreeMap::new(), &events);
+        for jobs in [1, 2, 8] {
+            assert_dense_legacy_identical(
+                &bytes,
+                recording(None, jobs, true),
+                StreamConfig {
+                    hot_path: HotPathConfig {
+                        legacy_structures: true,
+                    },
+                    ..recording(None, jobs, true)
+                },
+                &format!("violating stream jobs {jobs}"),
+            );
+        }
+    }
+
+    #[test]
+    fn dense_and_legacy_storage_agree_across_retirement_and_replay() {
+        // A long sealing stream with a tight window exercises retirement;
+        // verify_stream_bytes runs the replay pass when needed.
+        let bytes = sealing_stream(3, 2_000);
+        for jobs in [1, 2, 8] {
+            assert_dense_legacy_identical(
+                &bytes,
+                config(Some(16), jobs, true),
+                legacy(Some(16), jobs, true),
+                &format!("sealing stream jobs {jobs}"),
+            );
+        }
     }
 }

@@ -54,9 +54,11 @@
 //! always a true incoherence proof. Soundness arguments are spelled out in
 //! DESIGN.md §4b.
 
+use std::cell::RefCell;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use vermem_trace::{AddrOps, Op, OpRef, Value};
+use vermem_util::bitset::{BitRow, BitSet};
 use vermem_util::hash::{FxHashMap, FxHashSet};
 
 /// Per-operation feasible position windows, indexed densely by
@@ -140,6 +142,28 @@ fn add_edge(
     }
 }
 
+/// Reusable per-thread scratch for the fixpoint rounds. Every round of
+/// every address re-shapes these to its geometry and zeroes in place;
+/// memory is allocated only when an address outgrows the thread's
+/// high-water mark, so steady-state analysis rounds allocate nothing.
+#[derive(Default)]
+struct Scratch {
+    /// In-degrees of the must-precede graph (topological sort).
+    indeg: Vec<u32>,
+    /// Zero-in-degree work stack (topological sort).
+    queue: Vec<u32>,
+    /// The round's topological order.
+    order: Vec<u32>,
+    /// Transitive-closure matrix: row `i` holds the ops provably after `i`.
+    reach: BitSet,
+    /// Writes that must precede the read under scrutiny.
+    writes_before: BitRow,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::default());
+}
+
 struct ReadInfo {
     /// Dense id of the read (or RMW read component).
     id: u32,
@@ -159,6 +183,17 @@ struct ReadInfo {
 /// never-written values and unproducible finals; this pass assumes nothing
 /// beyond that and re-proves what it needs).
 pub fn analyze(ops: &AddrOps) -> WindowOutcome {
+    SCRATCH.with(|s| analyze_with(ops, &mut s.borrow_mut()))
+}
+
+fn analyze_with(ops: &AddrOps, scratch: &mut Scratch) -> WindowOutcome {
+    let Scratch {
+        indeg,
+        queue,
+        order,
+        reach,
+        writes_before,
+    } = scratch;
     let per_proc = ops.per_proc();
     let n = ops.num_ops();
     let initial = ops.initial();
@@ -297,7 +332,6 @@ pub fn analyze(ops: &AddrOps) -> WindowOutcome {
         }
     }
 
-    let mut order: Vec<u32> = Vec::with_capacity(n);
     let mut rounds = 0;
     let mut changed = true;
     while changed && rounds < MAX_ROUNDS && !skip_fixpoint {
@@ -306,8 +340,10 @@ pub fn analyze(ops: &AddrOps) -> WindowOutcome {
 
         // Longest-path window tightening over the must-precede DAG.
         order.clear();
-        let mut indeg: Vec<u32> = preds.iter().map(|p| p.len() as u32).collect();
-        let mut queue: Vec<u32> = (0..n as u32).filter(|&i| indeg[i as usize] == 0).collect();
+        indeg.clear();
+        indeg.extend(preds.iter().map(|p| p.len() as u32));
+        queue.clear();
+        queue.extend((0..n as u32).filter(|&i| indeg[i as usize] == 0));
         while let Some(i) = queue.pop() {
             order.push(i);
             for &s in &succs[i as usize] {
@@ -320,7 +356,7 @@ pub fn analyze(ops: &AddrOps) -> WindowOutcome {
         if order.len() < n {
             return WindowOutcome::Infeasible; // must-precede cycle
         }
-        for &i in &order {
+        for &i in order.iter() {
             for &pr in &preds[i as usize] {
                 let bound = lo[pr as usize] + 1;
                 if bound > lo[i as usize] {
@@ -346,39 +382,30 @@ pub fn analyze(ops: &AddrOps) -> WindowOutcome {
 
         // Transitive closure of this round's must-precede snapshot
         // (reverse-topological bitset accumulation), for the fr rules.
-        // `reach[i]` holds the ops strictly after `i` in every schedule.
-        let words = n.div_ceil(64);
-        let mut reach: Vec<u64> = Vec::new();
+        // Row `i` of `reach` holds the ops strictly after `i` in every
+        // schedule. Successor rows are final by the time `i` is visited,
+        // so each row accumulates in place — no per-row temporary.
         if deep {
-            reach = vec![0u64; n * words];
-            let mut row = vec![0u64; words];
+            reach.reset(n, n);
             for &i in order.iter().rev() {
-                row.iter_mut().for_each(|x| *x = 0);
                 for &s in &succs[i as usize] {
-                    row[(s >> 6) as usize] |= 1 << (s & 63);
-                    let base = s as usize * words;
-                    for (k, x) in row.iter_mut().enumerate() {
-                        *x |= reach[base + k];
-                    }
+                    reach.set(i as usize, s as usize);
+                    reach.union_row(i as usize, s as usize);
                 }
-                reach[i as usize * words..][..words].copy_from_slice(&row);
             }
         }
-        let reaches =
-            |a: u32, b: u32| reach[a as usize * words + (b >> 6) as usize] >> (b & 63) & 1 == 1;
 
         // Candidate filtering + forced serving edges + fr propagation.
-        let mut writes_before = vec![0u64; words];
         for r in &mut reads {
             let rid = r.id as usize;
             let before = r.cands.len();
             let prev = r.prev_write;
             // Writes that must precede this read (fr rules below).
             if deep {
-                writes_before.iter_mut().for_each(|x| *x = 0);
+                writes_before.reset(n);
                 for &w in &write_ids {
-                    if reaches(w, r.id) {
-                        writes_before[(w >> 6) as usize] |= 1 << (w & 63);
+                    if reach.test(w as usize, rid) {
+                        writes_before.set(w as usize);
                     }
                 }
             }
@@ -396,15 +423,8 @@ pub fn analyze(ops: &AddrOps) -> WindowOutcome {
                 }
                 // ...and the *latest* write before the read: it is dead
                 // when another write provably lands between the two.
-                if deep {
-                    let base = wid * words;
-                    if writes_before
-                        .iter()
-                        .enumerate()
-                        .any(|(k, &wb)| reach[base + k] & wb != 0)
-                    {
-                        return false;
-                    }
+                if deep && reach.row_intersects(wid, writes_before.words()) {
+                    return false;
                 }
                 true
             });
@@ -431,10 +451,10 @@ pub fn analyze(ops: &AddrOps) -> WindowOutcome {
                         if w2 == w || w2 == r.id {
                             continue;
                         }
-                        if reaches(w, w2) {
+                        if reach.test(w as usize, w2 as usize) {
                             changed |= add_edge(r.id, w2, &mut succs, &mut preds, &mut edge_seen);
                         }
-                        if writes_before[(w2 >> 6) as usize] >> (w2 & 63) & 1 == 1 {
+                        if writes_before.test(w2 as usize) {
                             changed |= add_edge(w2, w, &mut succs, &mut preds, &mut edge_seen);
                         }
                     }
@@ -461,7 +481,8 @@ pub fn analyze(ops: &AddrOps) -> WindowOutcome {
     // against the value it sees, so the order is itself the witness
     // schedule. Failure just falls through to DFS.
     if n > 0 && !skip_fixpoint {
-        let mut indeg: Vec<u32> = preds.iter().map(|p| p.len() as u32).collect();
+        indeg.clear();
+        indeg.extend(preds.iter().map(|p| p.len() as u32));
         // Released-but-unscheduled ops, bucketed by what can unblock them:
         // plain reads and RMWs wait for their read value to become
         // current; plain writes are always eligible.

@@ -1,0 +1,656 @@
+//! Dense, index-addressed storage for allocation-free hot paths.
+//!
+//! The streaming verifier's per-event work used to be dominated by
+//! `std::collections::HashMap` traffic: SipHash on every probe, a heap
+//! allocation per new key's bucket list, and pointer-chasing loads per
+//! lookup. This module provides the three flat building blocks the dense
+//! hot paths are rebuilt on:
+//!
+//! * [`DenseMap`] — an open-addressing hash map specialized for small
+//!   integer keys (`u16`/`u32`/`u64` newtypes like `Addr` and `Value`),
+//!   using the frozen Fx multiply-xor recipe from [`crate::hash`] instead
+//!   of SipHash, linear probing over a power-of-two table, and
+//!   backward-shift deletion (no tombstones, so probe chains never rot).
+//! * [`Slab`] — stable `u32`-indexed storage with a free list: `insert`
+//!   reuses the slot of the most recently removed entry, so a workload
+//!   that churns entries reaches a high-water mark and then never
+//!   allocates again.
+//! * [`Arena`] — a recycler for scratch collections (bucket lists, queues):
+//!   [`Arena::free`] clears a collection and shelves it,
+//!   [`Arena::alloc`] hands it back with its capacity intact.
+//!
+//! Steady-state discipline: every structure here allocates only to *grow*.
+//! Once a table, slab, or recycled collection has reached the working-set
+//! high-water mark, further insert/remove/probe cycles perform zero heap
+//! allocation — asserted by the counting-allocator harness in
+//! `tests/densemap_alloc.rs` and relied on by the `coherence::stream`
+//! ingest path.
+//!
+//! Iteration order over a [`DenseMap`] or [`Slab`] is unspecified (as for
+//! any hash map); nothing downstream may depend on it. The per-key hash
+//! values come from the frozen Fx stream ([`crate::hash`]'s KAT policy).
+
+use crate::hash::fx_hash_one;
+
+/// Keys a [`DenseMap`] accepts: cheap, copyable, and hashable as one
+/// 64-bit word through the frozen Fx recipe.
+pub trait DenseKey: Copy + Eq {
+    /// The key as a 64-bit word (the hash input).
+    fn as_u64(self) -> u64;
+}
+
+impl DenseKey for u16 {
+    #[inline]
+    fn as_u64(self) -> u64 {
+        u64::from(self)
+    }
+}
+
+impl DenseKey for u32 {
+    #[inline]
+    fn as_u64(self) -> u64 {
+        u64::from(self)
+    }
+}
+
+impl DenseKey for u64 {
+    #[inline]
+    fn as_u64(self) -> u64 {
+        self
+    }
+}
+
+impl DenseKey for usize {
+    #[inline]
+    fn as_u64(self) -> u64 {
+        self as u64
+    }
+}
+
+/// Open-addressing hash map for integer keys on the Fx hash stream.
+///
+/// Linear probing over a power-of-two slot array; max load factor 7/8;
+/// deletion backward-shifts the following probe chain instead of leaving
+/// tombstones. Lookups cost one multiply plus a short linear scan — no
+/// SipHash, no per-entry allocation.
+#[derive(Clone, Debug)]
+pub struct DenseMap<K: DenseKey, V> {
+    /// `None` = empty slot; `Some((k, v))` = occupied.
+    slots: Vec<Option<(K, V)>>,
+    len: usize,
+    /// `slots.len() - 1` (capacity is always a power of two, or 0).
+    mask: usize,
+}
+
+impl<K: DenseKey, V> Default for DenseMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: DenseKey, V> DenseMap<K, V> {
+    /// An empty map (no allocation until the first insert).
+    pub fn new() -> Self {
+        DenseMap {
+            slots: Vec::new(),
+            len: 0,
+            mask: 0,
+        }
+    }
+
+    /// An empty map pre-sized for `cap` entries without rehashing.
+    pub fn with_capacity(cap: usize) -> Self {
+        let mut m = Self::new();
+        if cap > 0 {
+            m.grow_to(slots_for(cap));
+        }
+        m
+    }
+
+    /// Number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the map holds no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Remove every entry, keeping the table's capacity.
+    pub fn clear(&mut self) {
+        for s in &mut self.slots {
+            *s = None;
+        }
+        self.len = 0;
+    }
+
+    #[inline]
+    fn slot_of(&self, key: K) -> usize {
+        (fx_hash_one(&key.as_u64()) as usize) & self.mask
+    }
+
+    /// Index of `key`'s slot, or of the empty slot its probe chain ends at.
+    #[inline]
+    fn probe(&self, key: K) -> usize {
+        let mut i = self.slot_of(key);
+        loop {
+            match &self.slots[i] {
+                Some((k, _)) if *k == key => return i,
+                Some(_) => i = (i + 1) & self.mask,
+                None => return i,
+            }
+        }
+    }
+
+    /// A reference to the value at `key`.
+    #[inline]
+    pub fn get(&self, key: K) -> Option<&V> {
+        if self.len == 0 {
+            return None;
+        }
+        self.slots[self.probe(key)].as_ref().map(|(_, v)| v)
+    }
+
+    /// A mutable reference to the value at `key`.
+    #[inline]
+    pub fn get_mut(&mut self, key: K) -> Option<&mut V> {
+        if self.len == 0 {
+            return None;
+        }
+        let i = self.probe(key);
+        self.slots[i].as_mut().map(|(_, v)| v)
+    }
+
+    /// True if `key` is present.
+    #[inline]
+    pub fn contains(&self, key: K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Insert `key → value`; returns the previous value if the key was
+    /// present.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        self.reserve_one();
+        let i = self.probe(key);
+        match &mut self.slots[i] {
+            Some((_, v)) => Some(std::mem::replace(v, value)),
+            slot @ None => {
+                *slot = Some((key, value));
+                self.len += 1;
+                None
+            }
+        }
+    }
+
+    /// The value at `key`, inserting `make()` first when absent.
+    pub fn get_or_insert_with(&mut self, key: K, make: impl FnOnce() -> V) -> &mut V {
+        self.reserve_one();
+        let i = self.probe(key);
+        if self.slots[i].is_none() {
+            self.slots[i] = Some((key, make()));
+            self.len += 1;
+        }
+        self.slots[i].as_mut().map(|(_, v)| v).expect("occupied")
+    }
+
+    /// Remove `key`, returning its value. Backward-shifts the following
+    /// probe chain so no tombstone is left behind.
+    pub fn remove(&mut self, key: K) -> Option<V> {
+        if self.len == 0 {
+            return None;
+        }
+        let i = self.probe(key);
+        let (_, value) = self.slots[i].take()?;
+        self.len -= 1;
+        // Backward-shift deletion: walk the chain after the hole; any entry
+        // whose home slot is "at or before" the hole (cyclically) moves in.
+        let mut hole = i;
+        let mut j = (i + 1) & self.mask;
+        while let Some((k, _)) = &self.slots[j] {
+            let home = self.slot_of(*k);
+            // `j` may fill `hole` iff `home` is not in the half-open cyclic
+            // range `(hole, j]` — i.e. moving it back never skips its home.
+            let dist_home = j.wrapping_sub(home) & self.mask;
+            let dist_hole = j.wrapping_sub(hole) & self.mask;
+            if dist_home >= dist_hole {
+                self.slots[hole] = self.slots[j].take();
+                hole = j;
+            }
+            j = (j + 1) & self.mask;
+        }
+        Some(value)
+    }
+
+    /// Drain every entry as `(key, value)` in unspecified order, leaving
+    /// the map empty (capacity retained).
+    pub fn drain(&mut self) -> impl Iterator<Item = (K, V)> + '_ {
+        self.len = 0;
+        self.slots.iter_mut().filter_map(|s| s.take())
+    }
+
+    /// Iterate `(key, &value)` in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (K, &V)> {
+        self.slots
+            .iter()
+            .filter_map(|s| s.as_ref().map(|(k, v)| (*k, v)))
+    }
+
+    /// Iterate `(key, &mut value)` in unspecified order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (K, &mut V)> {
+        self.slots
+            .iter_mut()
+            .filter_map(|s| s.as_mut().map(|(k, v)| (*k, &mut *v)))
+    }
+
+    /// Iterate the keys in unspecified order.
+    pub fn keys(&self) -> impl Iterator<Item = K> + '_ {
+        self.iter().map(|(k, _)| k)
+    }
+
+    /// Iterate the values in unspecified order.
+    pub fn values(&self) -> impl Iterator<Item = &V> {
+        self.iter().map(|(_, v)| v)
+    }
+
+    /// Grow when the next insert would cross the 7/8 load factor.
+    #[inline]
+    fn reserve_one(&mut self) {
+        if self.slots.is_empty() {
+            self.grow_to(8);
+        } else if (self.len + 1) * 8 > self.slots.len() * 7 {
+            self.grow_to(self.slots.len() * 2);
+        }
+    }
+
+    fn grow_to(&mut self, new_cap: usize) {
+        debug_assert!(new_cap.is_power_of_two());
+        let old = std::mem::replace(
+            &mut self.slots,
+            std::iter::repeat_with(|| None).take(new_cap).collect(),
+        );
+        self.mask = new_cap - 1;
+        for (k, v) in old.into_iter().flatten() {
+            let mut i = self.slot_of(k);
+            while self.slots[i].is_some() {
+                i = (i + 1) & self.mask;
+            }
+            self.slots[i] = Some((k, v));
+        }
+    }
+}
+
+/// Smallest power-of-two slot count that holds `entries` under the 7/8
+/// load-factor bound.
+fn slots_for(entries: usize) -> usize {
+    let mut cap = 8usize;
+    while entries * 8 > cap * 7 {
+        cap *= 2;
+    }
+    cap
+}
+
+/// Stable-index storage with free-list slot reuse.
+///
+/// [`Slab::insert`] returns a `u32` index that stays valid until the entry
+/// is [`Slab::remove`]d; removed slots are recycled LIFO, so churny
+/// workloads stop allocating once the live high-water mark is reached.
+#[derive(Clone, Debug, Default)]
+pub struct Slab<T> {
+    entries: Vec<Entry<T>>,
+    /// Head of the free list (`u32::MAX` = empty).
+    free_head: u32,
+    len: usize,
+}
+
+#[derive(Clone, Debug)]
+enum Entry<T> {
+    Occupied(T),
+    /// Next free slot index (`u32::MAX` terminates the list).
+    Free(u32),
+}
+
+/// Sentinel terminating a [`Slab`] free list.
+const NIL: u32 = u32::MAX;
+
+impl<T> Slab<T> {
+    /// An empty slab.
+    pub fn new() -> Self {
+        Slab {
+            entries: Vec::new(),
+            free_head: NIL,
+            len: 0,
+        }
+    }
+
+    /// Number of live entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no entries are live.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Store `value`, reusing a freed slot when one exists.
+    pub fn insert(&mut self, value: T) -> u32 {
+        self.len += 1;
+        if self.free_head != NIL {
+            let idx = self.free_head;
+            match self.entries[idx as usize] {
+                Entry::Free(next) => self.free_head = next,
+                Entry::Occupied(_) => unreachable!("free list points at occupied slot"),
+            }
+            self.entries[idx as usize] = Entry::Occupied(value);
+            idx
+        } else {
+            assert!(self.entries.len() < NIL as usize, "slab full");
+            self.entries.push(Entry::Occupied(value));
+            (self.entries.len() - 1) as u32
+        }
+    }
+
+    /// The entry at `idx`, if live.
+    #[inline]
+    pub fn get(&self, idx: u32) -> Option<&T> {
+        match self.entries.get(idx as usize) {
+            Some(Entry::Occupied(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The entry at `idx`, mutably, if live.
+    #[inline]
+    pub fn get_mut(&mut self, idx: u32) -> Option<&mut T> {
+        match self.entries.get_mut(idx as usize) {
+            Some(Entry::Occupied(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Remove and return the entry at `idx`; its slot joins the free list.
+    pub fn remove(&mut self, idx: u32) -> Option<T> {
+        match self.entries.get_mut(idx as usize) {
+            Some(e @ Entry::Occupied(_)) => {
+                let old = std::mem::replace(e, Entry::Free(self.free_head));
+                self.free_head = idx;
+                self.len -= 1;
+                match old {
+                    Entry::Occupied(v) => Some(v),
+                    Entry::Free(_) => unreachable!(),
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Iterate `(index, &entry)` over live entries, ascending by index.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &T)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| match e {
+                Entry::Occupied(v) => Some((i as u32, v)),
+                Entry::Free(_) => None,
+            })
+    }
+
+    /// Drain every live entry as `(index, entry)`, ascending by index,
+    /// leaving the slab empty (capacity retained).
+    pub fn drain(&mut self) -> impl Iterator<Item = (u32, T)> + '_ {
+        self.free_head = NIL;
+        self.len = 0;
+        self.entries
+            .drain(..)
+            .enumerate()
+            .filter_map(|(i, e)| match e {
+                Entry::Occupied(v) => Some((i as u32, v)),
+                Entry::Free(_) => None,
+            })
+    }
+}
+
+/// A recycler for scratch collections: cleared-but-capacitated values are
+/// shelved on [`free`](Arena::free) and handed back by
+/// [`alloc`](Arena::alloc), so steady-state churn reuses buffers instead
+/// of round-tripping the allocator.
+#[derive(Clone, Debug)]
+pub struct Arena<T: Recycle> {
+    shelf: Vec<T>,
+}
+
+impl<T: Recycle> Default for Arena<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Collections an [`Arena`] can recycle: resettable to empty while keeping
+/// their allocation.
+pub trait Recycle: Default {
+    /// Drop the contents, keep the capacity.
+    fn recycle(&mut self);
+}
+
+impl<T> Recycle for Vec<T> {
+    fn recycle(&mut self) {
+        self.clear();
+    }
+}
+
+impl<T> Recycle for std::collections::VecDeque<T> {
+    fn recycle(&mut self) {
+        self.clear();
+    }
+}
+
+impl<T: Recycle> Arena<T> {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Arena { shelf: Vec::new() }
+    }
+
+    /// A recycled (empty, capacitated) value, or a fresh default.
+    pub fn alloc(&mut self) -> T {
+        self.shelf.pop().unwrap_or_default()
+    }
+
+    /// Clear `value` and shelve it for reuse.
+    pub fn free(&mut self, mut value: T) {
+        value.recycle();
+        self.shelf.push(value);
+    }
+
+    /// Number of shelved values.
+    pub fn shelved(&self) -> usize {
+        self.shelf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut m: DenseMap<u32, String> = DenseMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.insert(7, "a".into()), None);
+        assert_eq!(m.insert(7, "b".into()), Some("a".into()));
+        assert_eq!(m.get(7).map(String::as_str), Some("b"));
+        assert_eq!(m.remove(7), Some("b".into()));
+        assert_eq!(m.remove(7), None);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn grows_through_collisions() {
+        let mut m: DenseMap<u64, u64> = DenseMap::new();
+        for i in 0..10_000u64 {
+            m.insert(i, i * 3);
+        }
+        assert_eq!(m.len(), 10_000);
+        for i in 0..10_000u64 {
+            assert_eq!(m.get(i), Some(&(i * 3)), "key {i}");
+        }
+        assert_eq!(m.get(10_001), None);
+    }
+
+    #[test]
+    fn backward_shift_deletion_keeps_chains_probeable() {
+        // Insert colliding keys, delete from the middle of the chain, and
+        // check everything else still resolves.
+        let mut m: DenseMap<u64, u64> = DenseMap::with_capacity(64);
+        let keys: Vec<u64> = (0..48).collect();
+        for &k in &keys {
+            m.insert(k, k + 100);
+        }
+        for &k in keys.iter().step_by(3) {
+            assert_eq!(m.remove(k), Some(k + 100));
+        }
+        for &k in &keys {
+            if k % 3 == 0 {
+                assert_eq!(m.get(k), None, "deleted key {k}");
+            } else {
+                assert_eq!(m.get(k), Some(&(k + 100)), "kept key {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn get_or_insert_with_inserts_once() {
+        let mut m: DenseMap<u16, Vec<u32>> = DenseMap::new();
+        m.get_or_insert_with(3, Vec::new).push(1);
+        m.get_or_insert_with(3, || panic!("present")).push(2);
+        assert_eq!(m.get(3), Some(&vec![1, 2]));
+    }
+
+    #[test]
+    fn clear_retains_capacity() {
+        let mut m: DenseMap<u32, u32> = DenseMap::new();
+        for i in 0..100 {
+            m.insert(i, i);
+        }
+        let cap = m.slots.len();
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.slots.len(), cap);
+        m.insert(5, 5);
+        assert_eq!(m.get(5), Some(&5));
+    }
+
+    #[test]
+    fn drain_empties_but_keeps_capacity() {
+        let mut m: DenseMap<u32, u32> = DenseMap::new();
+        for i in 0..50 {
+            m.insert(i, i * 2);
+        }
+        let cap = m.slots.len();
+        let mut drained: Vec<(u32, u32)> = m.drain().collect();
+        drained.sort_unstable();
+        assert_eq!(drained, (0..50).map(|i| (i, i * 2)).collect::<Vec<_>>());
+        assert!(m.is_empty());
+        assert_eq!(m.slots.len(), cap);
+        assert_eq!(m.get(7), None);
+        m.insert(7, 9);
+        assert_eq!(m.get(7), Some(&9));
+    }
+
+    #[test]
+    fn slab_reuses_freed_slots() {
+        let mut s: Slab<String> = Slab::new();
+        let a = s.insert("a".into());
+        let b = s.insert("b".into());
+        assert_ne!(a, b);
+        assert_eq!(s.remove(a), Some("a".into()));
+        let c = s.insert("c".into());
+        assert_eq!(c, a, "freed slot must be reused");
+        assert_eq!(s.get(c).map(String::as_str), Some("c"));
+        assert_eq!(s.get(b).map(String::as_str), Some("b"));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.remove(a), Some("c".into()));
+        assert_eq!(s.remove(a), None);
+    }
+
+    #[test]
+    fn slab_drain_yields_live_entries_in_index_order() {
+        let mut s: Slab<u32> = Slab::new();
+        let a = s.insert(10);
+        let _b = s.insert(20);
+        let _c = s.insert(30);
+        s.remove(a);
+        let drained: Vec<(u32, u32)> = s.drain().collect();
+        assert_eq!(drained, vec![(1, 20), (2, 30)]);
+        assert!(s.is_empty());
+        assert_eq!(s.insert(99), 0, "drained slab starts fresh");
+    }
+
+    #[test]
+    fn arena_recycles_capacity() {
+        let mut arena: Arena<Vec<u64>> = Arena::new();
+        let mut v = arena.alloc();
+        v.extend(0..100);
+        let cap = v.capacity();
+        arena.free(v);
+        assert_eq!(arena.shelved(), 1);
+        let v2 = arena.alloc();
+        assert!(v2.is_empty());
+        assert!(v2.capacity() >= cap, "capacity must survive recycling");
+        assert_eq!(arena.shelved(), 0);
+    }
+
+    #[test]
+    fn model_check_against_std_hashmap() {
+        use crate::prop::PropConfig;
+        use crate::prop_check;
+        use std::collections::HashMap;
+
+        // Random insert/remove/get scripts, replayed against std HashMap.
+        prop_check!(
+            PropConfig::with_cases(128).max_size(200),
+            |rng, size| {
+                (0..size * 4)
+                    .map(|_| {
+                        let key = rng.gen_range(0..(size as u64 + 1));
+                        match rng.gen_range(0..3u32) {
+                            0 => (0u8, key, rng.next_u64()),
+                            1 => (1u8, key, 0),
+                            _ => (2u8, key, 0),
+                        }
+                    })
+                    .collect::<Vec<(u8, u64, u64)>>()
+            },
+            |script: &Vec<(u8, u64, u64)>| {
+                let mut dense: DenseMap<u64, u64> = DenseMap::new();
+                let mut model: HashMap<u64, u64> = HashMap::new();
+                for &(op, key, val) in script {
+                    match op {
+                        0 => {
+                            crate::prop_assert_eq!(dense.insert(key, val), model.insert(key, val));
+                        }
+                        1 => {
+                            crate::prop_assert_eq!(dense.remove(key), model.remove(&key));
+                        }
+                        _ => {
+                            crate::prop_assert_eq!(dense.get(key), model.get(&key));
+                        }
+                    }
+                    crate::prop_assert_eq!(dense.len(), model.len());
+                }
+                // Full-content equivalence, both directions.
+                for (k, v) in dense.iter() {
+                    crate::prop_assert_eq!(Some(v), model.get(&k));
+                }
+                for (k, v) in &model {
+                    crate::prop_assert_eq!(dense.get(*k), Some(v));
+                }
+                Ok(())
+            },
+        );
+    }
+}

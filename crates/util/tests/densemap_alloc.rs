@@ -1,0 +1,128 @@
+//! Counting-allocator harness for `vermem_util::densemap`.
+//!
+//! The dense structures promise *steady-state* allocation freedom: they
+//! allocate only to grow past a high-water mark, never for churn at a
+//! reached mark. This binary installs a counting `#[global_allocator]`
+//! and asserts exactly that — warm each structure up to its working set,
+//! then run thousands of churn rounds and require the allocation counter
+//! to stay put. (The library crates `forbid(unsafe_code)`; the allocator
+//! shim lives here, in an integration-test binary, where the forbid does
+//! not apply.)
+//!
+//! The binary is `harness = false`: libtest's own threads (output
+//! capture, timing) allocate and would race the process-global counter,
+//! so the whole check runs as a plain single-threaded `main()`.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use vermem_util::densemap::{Arena, DenseMap, Slab};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// Count allocations across `f`, returning `(delta, result)`.
+fn counting<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = allocs();
+    let r = f();
+    (allocs() - before, r)
+}
+
+const KEYS: u64 = 1024;
+const ROUNDS: u64 = 2_000;
+
+fn main() {
+    // --- DenseMap: full insert/lookup/remove churn over a fixed key set.
+    let mut map: DenseMap<u64, u64> = DenseMap::new();
+    let (warm, ()) = counting(|| {
+        for k in 0..KEYS {
+            map.insert(k, k);
+        }
+    });
+    assert!(warm > 0, "the counter must see the warmup growth");
+    for k in 0..KEYS {
+        assert_eq!(map.remove(k), Some(k));
+    }
+    let (delta, ()) = counting(|| {
+        for round in 0..ROUNDS {
+            for k in 0..KEYS {
+                map.insert(k, k ^ round);
+            }
+            for k in 0..KEYS {
+                assert_eq!(map.get(k), Some(&(k ^ round)));
+            }
+            for k in 0..KEYS {
+                map.remove(k);
+            }
+        }
+    });
+    assert_eq!(delta, 0, "DenseMap steady-state churn allocated");
+
+    // --- Slab: insert/remove churn through the LIFO free list.
+    let mut slab: Slab<u64> = Slab::new();
+    let mut idxs: Vec<u32> = Vec::with_capacity(KEYS as usize);
+    for k in 0..KEYS {
+        idxs.push(slab.insert(k));
+    }
+    for &i in &idxs {
+        slab.remove(i);
+    }
+    let (delta, ()) = counting(|| {
+        for _ in 0..ROUNDS {
+            idxs.clear();
+            for k in 0..KEYS {
+                idxs.push(slab.insert(k));
+            }
+            for &i in &idxs {
+                assert!(slab.remove(i).is_some());
+            }
+        }
+    });
+    assert_eq!(delta, 0, "Slab steady-state churn allocated");
+
+    // --- Arena: alloc/free of capacity-carrying collections. Warm one
+    // buffer up to 256 elements; every later alloc round reuses it.
+    let mut arena: Arena<Vec<u64>> = Arena::new();
+    let mut v = arena.alloc();
+    v.extend(0..256u64);
+    arena.free(v);
+    let (delta, ()) = counting(|| {
+        for _ in 0..ROUNDS {
+            let mut v = arena.alloc();
+            assert!(v.is_empty());
+            v.extend(0..256u64);
+            arena.free(v);
+        }
+    });
+    assert_eq!(delta, 0, "Arena steady-state churn allocated");
+
+    println!("densemap_alloc: steady-state churn allocated 0 times — ok");
+}

@@ -65,6 +65,24 @@ if grep -rn 'visited: HashSet\|HashSet<(' crates/consistency/src; then
 fi
 echo "    ok"
 
+echo "==> stream hot path: no std HashMap outside the legacy ablation module"
+# The PR-9 contract: the ingest hot path (stream engine, dense tables,
+# batch decoder) runs on index-addressed dense structures only. Hashed
+# containers may appear solely in crates/coherence/src/stream/legacy.rs,
+# the preserved pre-dense baseline behind `--hot-path legacy`. Doc
+# comments may *name* HashMap (they describe the ablation); code may not.
+hash_sites=$(grep -n 'HashMap' \
+    crates/coherence/src/stream/mod.rs \
+    crates/coherence/src/stream/tables.rs \
+    crates/trace/src/binary.rs \
+    | grep -vE ':[0-9]+:[[:space:]]*//' || true)
+if [[ -n "$hash_sites" ]]; then
+    echo "std HashMap on the stream hot path (only legacy.rs may hash):" >&2
+    echo "$hash_sites" >&2
+    exit 1
+fi
+echo "    ok"
+
 echo "==> obs hot path: exactly one clock-read site in crates/util/src/obs/"
 # The zero-overhead-when-off contract (DESIGN.md §Observability): every
 # clock read funnels through obs::now_us(), which is only reached from
@@ -88,10 +106,10 @@ tmp=$(mktemp -d)
 python3 - "$tmp/BENCH_vmc.json" "BENCH_vmc.json" <<'EOF'
 import json, sys
 d = json.load(open(sys.argv[1]))
-assert d["schema"] == "vermem-bench-vmc/v7", d["schema"]
+assert d["schema"] == "vermem-bench-vmc/v8", d["schema"]
 assert d["par_verify"] and d["memo_ablation"] and d["prune_ablation"] \
-    and d["model_kernel"] and d["tier_ablation"] and d["estream"], \
-    "empty receipts"
+    and d["model_kernel"] and d["tier_ablation"] and d["estream"] \
+    and d["e_hotpath"], "empty receipts"
 host = d["host_parallelism"]
 assert host >= 1, host
 for case in d["par_verify"]:
@@ -215,6 +233,34 @@ def estream_check(doc, which):
 
 estream_check(d, "fresh")
 
+# E-HOTPATH shape: per stream count {1, 4, 16} exactly the dense and
+# legacy storage configs, measured on the same workload; report identity
+# (verdict_parity) asserted in-bench at jobs {1, 2, 8}; legacy is its own
+# speedup baseline (1.0 by construction).
+def hotpath_check(doc, which):
+    rows = doc["e_hotpath"]
+    assert [(r["streams"], r["config"]) for r in rows] == \
+        [(1, "dense"), (1, "legacy"), (4, "dense"), (4, "legacy"),
+         (16, "dense"), (16, "legacy")], \
+        (which, [(r["streams"], r["config"]) for r in rows])
+    by = {}
+    for r in rows:
+        assert r["events"] > 0 and r["median_secs"] > 0, r
+        assert r["sustained_ops_per_sec"] > 0, r
+        assert r["verdict_parity"] is True, \
+            f"{which}: dense vs legacy report drift: {r}"
+        by[(r["streams"], r["config"])] = r
+    for s in (1, 4, 16):
+        dn, lg = by[(s, "dense")], by[(s, "legacy")]
+        assert dn["events"] == lg["events"], (which, s, "workload mismatch")
+        assert lg["speedup_vs_legacy"] == 1.0, lg
+        ratio = lg["median_secs"] / dn["median_secs"]
+        assert abs(dn["speedup_vs_legacy"] - ratio) < 0.05 * ratio, \
+            f"{which}: speedup column inconsistent with medians at {s} streams"
+    return by
+
+fresh_hot = hotpath_check(d, "fresh")
+
 # Headline claim: on the §5.2 blow-up instance, --prune=all shrinks
 # memo_misses (== states explored) by at least 5x vs --prune=none.
 e52 = by_case["e5.2-overcons"]
@@ -225,13 +271,30 @@ assert ratio >= 5.0, f"e5.2 prune ratio regressed to {ratio:.1f}x (< 5x)"
 # not explore more states than the committed run plus 5% slack (decided
 # rows are cap-independent, so fast/full receipts are comparable).
 committed = json.load(open(sys.argv[2]))
-if committed.get("schema") == "vermem-bench-vmc/v7":
-    # The committed receipt must itself pass the tier and estream shape
-    # checks — including the 90% healthy-sim frontline gate, the
-    # streaming-vs-batch verdict-parity flags, and the bounded-memory
-    # 10x-length peak-retained-windows invariance.
+if committed.get("schema") == "vermem-bench-vmc/v8":
+    # The committed receipt must itself pass the tier, estream, and
+    # hotpath shape checks — including the 90% healthy-sim frontline
+    # gate, the streaming-vs-batch verdict-parity flags, and the
+    # bounded-memory 10x-length peak-retained-windows invariance.
     tier_check(committed, "committed")
     estream_check(committed, "committed")
+    comm_hot = hotpath_check(committed, "committed")
+    # Headline gate (PR-9): the committed full-reps receipt shows the
+    # dense structures >= 1.5x over the std-HashMap baseline at the
+    # 4-stream serve point.
+    headline = comm_hot[(4, "dense")]["speedup_vs_legacy"]
+    assert headline >= 1.5, \
+        f"committed 4-stream dense speedup regressed to {headline:.2f}x"
+    # Throughput non-regression: E-HOTPATH measures the identical
+    # workload under VERMEM_BENCH_FAST (only `reps` differs), so the
+    # fresh dense rows must hold the committed throughput minus 10%
+    # timing slack.
+    for s in (1, 4, 16):
+        fresh_ops = fresh_hot[(s, "dense")]["sustained_ops_per_sec"]
+        comm_ops = comm_hot[(s, "dense")]["sustained_ops_per_sec"]
+        assert fresh_ops >= comm_ops * 0.9, \
+            (f"dense ingest throughput regressed at {s} streams: "
+             f"{fresh_ops:.0f} < 90% of committed {comm_ops:.0f} ops/s")
     comm_by_case = {}
     for row in committed["prune_ablation"]:
         comm_by_case.setdefault(row["case"], {})[row["config"]] = row
@@ -261,6 +324,9 @@ print(f"    ok ({len(d['par_verify'])} par cases, "
       f"{len(d['model_kernel'])} model-kernel rows, "
       f"{len(d['tier_ablation'])} tier rows, "
       f"{len(d['estream'])} estream rows, "
+      f"{len(d['e_hotpath'])} hotpath rows "
+      f"(dense {fresh_hot[(4, 'dense')]['speedup_vs_legacy']:.2f}x at 4 "
+      f"streams), "
       f"e5.2 prune ratio {ratio:.0f}x, "
       f"obs overhead {obs['enabled_overhead_pct']:+.2f}%, "
       f"live obs {live['enabled_overhead_pct']:+.2f}% "
