@@ -13,7 +13,10 @@
 //! E-KERNEL operational-machine ablation (SC/TSO/PSO on the shared
 //! exact-search kernel, packed/interned vs legacy memo keys), the E-TIER
 //! tiered-verification ablation (closure frontline vs exact-only, per
-//! trace family), the E-STREAM streaming-engine family (sustained ops/s,
+//! trace family), the E-AXIOM declared-model ablation (every `ModelSpec`
+//! model through the operational compiler, the SAT compiler, and — for the
+//! base models — the verbatim legacy machines, plus the RA polynomial-tier
+//! decision-rate probe), the E-STREAM streaming-engine family (sustained ops/s,
 //! p99 detection latency, and the bounded-memory peak-retained-windows
 //! probe at 1/4/16 concurrent streams), and the observability-overhead
 //! probe, and writes machine-readable receipts (per-case medians, op/s,
@@ -35,8 +38,8 @@ use vermem_coherence::{
     VmcVerifier,
 };
 use vermem_consistency::{
-    merge_coherent_schedules, solve_sc_backtracking, verify_model_operational, KernelConfig,
-    MemoryModel, MergeOutcome,
+    merge_coherent_schedules, solve_sc_backtracking, verify_axiom, verify_model_operational,
+    AxiomConfig, Engine, KernelConfig, MemoryModel, MergeOutcome, ModelId,
 };
 use vermem_reductions::{
     example_fig_4_2, reduce_3sat_restricted, reduce_3sat_rmw, reduce_sat_to_lrc, reduce_sat_to_vmc,
@@ -48,7 +51,7 @@ use vermem_sim::{
     random_program, shared_counter, FaultKind, FaultPlan, Machine, MachineConfig, WorkloadConfig,
 };
 use vermem_trace::classify::InstanceProfile;
-use vermem_trace::gen::{gen_sc_trace, GenConfig};
+use vermem_trace::gen::{gen_sc_trace, inject_violation, GenConfig, ViolationKind};
 use vermem_trace::{Addr, OpRef, Trace};
 
 fn main() {
@@ -145,6 +148,10 @@ fn main() {
     if filter == "etier" {
         // Included in `epar`'s receipt run; also runnable standalone.
         e_tier();
+    }
+    if filter == "eaxiom" {
+        // Included in `epar`'s receipt run; also runnable standalone.
+        e_axiom();
     }
     if filter == "estream" {
         // Included in `epar`'s receipt run; also runnable standalone.
@@ -884,6 +891,10 @@ fn e_par_scaling(write_json: bool) {
     println!("\nE-TIER tiered verification (closure frontline vs exact-only):");
     print_tier_table(&tier);
 
+    let (axiom, ra_probe) = axiom_ablation(reps, fast);
+    println!("\nE-AXIOM declared models (operational compiler vs SAT vs legacy):");
+    print_axiom_table(&axiom, &ra_probe);
+
     let (estream, bounded) = estream_bench(reps, fast);
     println!("\nE-STREAM sharded bounded-memory streaming engine:");
     print_estream_table(&estream, &bounded);
@@ -924,6 +935,8 @@ fn e_par_scaling(write_json: bool) {
                 &prune,
                 &model_kernel,
                 &tier,
+                &axiom,
+                &ra_probe,
                 &estream,
                 &hotpath,
                 &bounded,
@@ -1278,6 +1291,247 @@ fn e_tier() {
     let reps = if fast { 3 } else { 7 };
     let rows = tier_ablation(reps, fast);
     print_tier_table(&rows);
+}
+
+/// One row of the E-AXIOM ablation: one declared model (`ModelSpec`) run
+/// through one of its engines over one trace family, with verdict-class
+/// counts. Parity is asserted in-harness: every engine must match the SAT
+/// oracle on consistency, and the compiled engine must be bit-identical
+/// (verdict value *and* `SearchStats`) to the verbatim legacy machines for
+/// the three machine-backed base models.
+struct AxiomRow {
+    model: &'static str,
+    engine: &'static str,
+    family: &'static str,
+    traces: usize,
+    median_secs: f64,
+    consistent: usize,
+    violating: usize,
+    unknown: usize,
+}
+
+/// The RA polynomial-tier decision-rate probe: healthy generated traces
+/// with no value reuse (every read names a unique writer), the population
+/// behind the verify.sh >= 90% decision-rate gate. The tier never decides
+/// against the exact-only pipeline (asserted per trace).
+struct RaFrontlineProbe {
+    traces: usize,
+    frontline_decided: usize,
+    decision_rate: f64,
+}
+
+/// The E-AXIOM trace families: the litmus corpus, healthy SC-generated
+/// workloads, and fault-injected mutations of the latter (the violating
+/// side of the differential).
+fn axiom_families(fast: bool) -> Vec<(&'static str, Vec<Trace>)> {
+    let litmus: Vec<Trace> = vermem_consistency::litmus::all_litmus_tests()
+        .into_iter()
+        .map(|t| t.trace)
+        .collect();
+    let gen_seeds = if fast { 2 } else { 5 };
+    let generated: Vec<Trace> = (0..gen_seeds)
+        .map(|seed| {
+            gen_sc_trace(&GenConfig {
+                procs: 3,
+                total_ops: 12,
+                addrs: 2,
+                value_reuse: 0.5,
+                seed: 70_000 + seed,
+                ..Default::default()
+            })
+            .0
+        })
+        .collect();
+    let kinds = [
+        ViolationKind::CorruptReadValue,
+        ViolationKind::StaleRead,
+        ViolationKind::LostWrite,
+        ViolationKind::ReorderAdjacent,
+    ];
+    let fault_seeds = if fast { 1 } else { 2 };
+    let faulty: Vec<Trace> = kinds
+        .into_iter()
+        .flat_map(|kind| {
+            (0..fault_seeds).filter_map(move |seed| {
+                let (t, _) = gen_sc_trace(&GenConfig {
+                    procs: 3,
+                    total_ops: 12,
+                    addrs: 2,
+                    value_reuse: 0.6,
+                    seed: 71_000 + seed,
+                    ..Default::default()
+                });
+                inject_violation(&t, kind, 72_000 + seed).map(|(bad, _)| bad)
+            })
+        })
+        .collect();
+    vec![
+        ("litmus", litmus),
+        ("generated", generated),
+        ("fault-injected", faulty),
+    ]
+}
+
+/// E-AXIOM: every declared model through each engine that supports it,
+/// timed per (family, model, engine), with the compiled/SAT/legacy parity
+/// contract re-asserted on every trace the rows are built from.
+fn axiom_ablation(reps: usize, fast: bool) -> (Vec<AxiomRow>, RaFrontlineProbe) {
+    let families = axiom_families(fast);
+    let mut rows = Vec::new();
+    for (family, traces) in &families {
+        for id in ModelId::ALL {
+            // SAT-oracle consistency bits, computed once per (family, model).
+            let oracle: Vec<bool> = traces
+                .iter()
+                .map(|t| {
+                    verify_axiom(
+                        t,
+                        id,
+                        &AxiomConfig {
+                            engine: Engine::Sat,
+                            ..AxiomConfig::default()
+                        },
+                    )
+                    .verdict
+                    .is_consistent()
+                })
+                .collect();
+            for engine in [Engine::Compiled, Engine::Legacy, Engine::Sat] {
+                if !engine.supports(id) {
+                    continue;
+                }
+                let cfg = AxiomConfig {
+                    engine,
+                    ..AxiomConfig::default()
+                };
+                let (mut consistent, mut violating, mut unknown) = (0usize, 0usize, 0usize);
+                for (t, &sat_ok) in traces.iter().zip(&oracle) {
+                    let report = verify_axiom(t, id, &cfg);
+                    if report.verdict.is_consistent() {
+                        consistent += 1;
+                    } else if report.verdict.is_violating() {
+                        violating += 1;
+                    } else {
+                        unknown += 1;
+                    }
+                    assert_eq!(
+                        report.verdict.is_consistent(),
+                        sat_ok,
+                        "E-AXIOM: {} via {} drifts from the SAT oracle ({family})",
+                        id.name(),
+                        engine.name()
+                    );
+                    // Bit-identity vs the verbatim legacy machines (the
+                    // CoherenceOnly legacy dispatch is itself the SAT
+                    // oracle, so only the machine-backed models compare).
+                    if engine == Engine::Legacy
+                        && matches!(id, ModelId::Sc | ModelId::Tso | ModelId::Pso)
+                    {
+                        let compiled = verify_axiom(t, id, &AxiomConfig::default());
+                        assert_eq!(
+                            compiled.verdict,
+                            report.verdict,
+                            "E-AXIOM: {} compiled/legacy verdict drift ({family})",
+                            id.name()
+                        );
+                        assert_eq!(
+                            compiled.stats,
+                            report.stats,
+                            "E-AXIOM: {} compiled/legacy stats drift ({family})",
+                            id.name()
+                        );
+                    }
+                }
+                let secs = median_secs(reps, || {
+                    for t in traces.iter() {
+                        let _ = verify_axiom(t, id, &cfg);
+                    }
+                })
+                .max(1e-12);
+                rows.push(AxiomRow {
+                    model: id.name(),
+                    engine: engine.name(),
+                    family,
+                    traces: traces.len(),
+                    median_secs: secs,
+                    consistent,
+                    violating,
+                    unknown,
+                });
+            }
+        }
+    }
+    let probe_traces = if fast { 8 } else { 24 };
+    let mut decided = 0usize;
+    for seed in 0..probe_traces as u64 {
+        let (t, _) = gen_sc_trace(&GenConfig {
+            procs: 3,
+            total_ops: 16,
+            addrs: 3,
+            value_reuse: 0.0,
+            seed: 73_000 + seed,
+            ..Default::default()
+        });
+        let tiered = verify_axiom(&t, ModelId::Ra, &AxiomConfig::default());
+        let exact = verify_axiom(
+            &t,
+            ModelId::Ra,
+            &AxiomConfig {
+                tier: TierConfig::exact_only(),
+                ..AxiomConfig::default()
+            },
+        );
+        assert_eq!(
+            tiered.verdict.is_consistent(),
+            exact.verdict.is_consistent(),
+            "E-AXIOM: RA frontline masked the exact verdict (seed {seed})"
+        );
+        if matches!(tiered.tier, vermem_coherence::closure::Tier::Frontline) {
+            decided += 1;
+        }
+    }
+    let probe = RaFrontlineProbe {
+        traces: probe_traces,
+        frontline_decided: decided,
+        decision_rate: decided as f64 / probe_traces as f64,
+    };
+    (rows, probe)
+}
+
+fn print_axiom_table(rows: &[AxiomRow], probe: &RaFrontlineProbe) {
+    println!(
+        "{:>15} {:>9} {:>9} {:>7} {:>12} {:>11} {:>10} {:>8}",
+        "family", "model", "engine", "traces", "median (ms)", "consistent", "violating", "unknown"
+    );
+    for r in rows {
+        println!(
+            "{:>15} {:>9} {:>9} {:>7} {:>12.3} {:>11} {:>10} {:>8}",
+            r.family,
+            r.model,
+            r.engine,
+            r.traces,
+            r.median_secs * 1e3,
+            r.consistent,
+            r.violating,
+            r.unknown
+        );
+    }
+    println!(
+        "RA frontline decided {}/{} healthy unique-value traces ({:.0}%)",
+        probe.frontline_decided,
+        probe.traces,
+        probe.decision_rate * 100.0
+    );
+}
+
+/// Console-only entry for the E-AXIOM ablation (`experiments eaxiom`);
+/// the `--json` receipt run includes the same rows in BENCH_vmc.json.
+fn e_axiom() {
+    header("E-AXIOM  declared models: operational compiler vs SAT vs legacy machines");
+    let fast = std::env::var("VERMEM_BENCH_FAST").is_ok();
+    let reps = if fast { 3 } else { 7 };
+    let (rows, probe) = axiom_ablation(reps, fast);
+    print_axiom_table(&rows, &probe);
 }
 
 /// One row of the E-STREAM receipt: the sharded bounded-memory streaming
@@ -2086,6 +2340,8 @@ fn bench_json(
     prune: &[PruneRow],
     model_kernel: &[ModelKernelRow],
     tier: &[TierRow],
+    axiom: &[AxiomRow],
+    ra_probe: &RaFrontlineProbe,
     estream: &[EstreamRow],
     hotpath: &[HotpathRow],
     bounded: &BoundedMemoryProbe,
@@ -2094,7 +2350,7 @@ fn bench_json(
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"vermem-bench-vmc/v8\",\n");
+    s.push_str("  \"schema\": \"vermem-bench-vmc/v9\",\n");
     s.push_str(&format!("  \"host_parallelism\": {host},\n"));
     s.push_str("  \"par_verify\": [\n");
     for (i, c) in cases.iter().enumerate() {
@@ -2192,6 +2448,29 @@ fn bench_json(
         s.push_str(if i + 1 < tier.len() { ",\n" } else { "\n" });
     }
     s.push_str("  ],\n");
+    s.push_str("  \"eaxiom\": [\n");
+    for (i, r) in axiom.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"model\": \"{}\", \"engine\": \"{}\", \"family\": \"{}\", \
+             \"traces\": {}, \"median_secs\": {:.9}, \"consistent\": {}, \
+             \"violating\": {}, \"unknown\": {}}}",
+            r.model,
+            r.engine,
+            r.family,
+            r.traces,
+            r.median_secs,
+            r.consistent,
+            r.violating,
+            r.unknown
+        ));
+        s.push_str(if i + 1 < axiom.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n");
+    s.push_str(&format!(
+        "  \"eaxiom_ra_frontline\": {{\"traces\": {}, \"frontline_decided\": {}, \
+         \"decision_rate\": {:.4}}},\n",
+        ra_probe.traces, ra_probe.frontline_decided, ra_probe.decision_rate
+    ));
     s.push_str("  \"estream\": [\n");
     for (i, r) in estream.iter().enumerate() {
         s.push_str(&format!(

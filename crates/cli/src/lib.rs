@@ -8,7 +8,8 @@
 //! vermem verify <trace> [--addr N] [--strategy auto|backtracking|sat] [--budget N] [--jobs N]
 //!               [--tier closure,exact|exact] [--prune all|none|windows,symmetry,nogoods]
 //!               [--metrics[=json|text]] [--trace-out FILE]
-//! vermem sc <trace> [--model sc|tso|pso|coherence] [--budget N]
+//! vermem sc <trace> [--model sc|tso|pso|coherence|ra|arm-dob]
+//!           [--engine compiled|legacy|sat] [--tier closure,exact|exact] [--budget N]
 //!           [--metrics[=json|text]] [--trace-out FILE]
 //! vermem classify <trace>
 //! vermem explain <trace> [--addr N]
@@ -46,7 +47,7 @@ mod obs_server;
 
 use std::fmt::Write as _;
 use vermem_coherence::{PruneConfig, SearchConfig, Strategy, TierConfig, Verdict, VmcVerifier};
-use vermem_consistency::MemoryModel;
+use vermem_consistency::{verify_axiom, AxiomConfig, Engine, ModelId};
 use vermem_trace::{Addr, Trace};
 use vermem_util::obs;
 use vermem_util::obs::report::{RunReport, RunReportSection};
@@ -75,8 +76,9 @@ USAGE:
   vermem verify <trace> [--addr N] [--strategy auto|backtracking|sat] [--budget N]
                 [--jobs N] [--tier SPEC] [--prune SPEC]
                 [--metrics[=json|text]] [--trace-out FILE]
-  vermem sc <trace> [--model sc|tso|pso|coherence] [--budget N]
-            [--metrics[=json|text]] [--trace-out FILE]
+  vermem sc <trace> [--model sc|tso|pso|coherence|ra|arm-dob]
+            [--engine compiled|legacy|sat] [--tier closure,exact|exact]
+            [--budget N] [--metrics[=json|text]] [--trace-out FILE]
   vermem classify <trace>
   vermem explain <trace> [--addr N]
   vermem gen --procs N --ops N [--addrs N] [--seed N] [--rmw PCT] [--reuse PCT]
@@ -103,6 +105,14 @@ bit-identical under both.
 --prune SPEC selects the verdict-preserving search prunings: 'all'
 (default), 'none', or a comma-separated subset of
 windows,symmetry,nogoods (e.g. --prune=windows,nogoods).
+sc decides consistency under a declared memory model, compiled from its
+axioms: the serialization-based four plus 'ra' (Release–Acquire) and
+'arm-dob' (ARM-like dependency ordering). --engine picks the decider —
+'compiled' (default) lowers the model onto the exact-search kernel,
+'legacy' runs the verbatim pre-refactor machines (base models only),
+'sat' runs the spec-to-CNF compiler. For models with a polynomial fast
+tier (ra), --tier exact disables it; the default pipeline tries the
+fast tier first and escalates only when it cannot decide.
 --metrics appends the unified run report (text, or JSON with
 --metrics=json); --trace-out FILE writes a Chrome trace-event JSON file
 loadable in chrome://tracing or https://ui.perfetto.dev.
@@ -484,41 +494,64 @@ fn cmd_verify(args: &Args, stdin: &str) -> Result<String, CliError> {
 }
 
 fn cmd_sc(args: &Args, stdin: &str) -> Result<String, CliError> {
-    args.expect_flags(&["model", "budget", "metrics", "trace-out"])?;
+    args.expect_flags(&["model", "engine", "tier", "budget", "metrics", "trace-out"])?;
     let session = ObsSession::start(args)?;
     let trace = load_trace(args, stdin)?;
-    let model = match args.flag("model").unwrap_or("sc") {
-        "sc" => MemoryModel::Sc,
-        "tso" => MemoryModel::Tso,
-        "pso" => MemoryModel::Pso,
-        "coherence" => MemoryModel::CoherenceOnly,
-        other => return Err(err(format!("unknown model '{other}'"))),
-    };
+    let model = ModelId::parse(args.flag("model").unwrap_or("sc")).ok_or_else(|| {
+        err(format!(
+            "unknown model '{}' (expected sc|tso|pso|coherence|ra|arm-dob)",
+            args.flag("model").unwrap_or_default()
+        ))
+    })?;
+    let engine = Engine::parse(args.flag("engine").unwrap_or("compiled")).ok_or_else(|| {
+        err(format!(
+            "unknown engine '{}' (expected compiled|legacy|sat)",
+            args.flag("engine").unwrap_or_default()
+        ))
+    })?;
+    if !engine.supports(model) {
+        return Err(err(format!(
+            "--engine {} has no implementation for model {}",
+            engine.name(),
+            model.name()
+        )));
+    }
     let budget = args.num::<u64>("budget", 0)?;
-    let cfg = vermem_consistency::KernelConfig {
-        max_states: (budget > 0).then_some(budget),
-        ..Default::default()
+    let cfg = AxiomConfig {
+        engine,
+        kernel: vermem_consistency::KernelConfig {
+            max_states: (budget > 0).then_some(budget),
+            ..Default::default()
+        },
+        tier: parse_tier(args)?,
     };
-    let (verdict, stats) = vermem_consistency::verify_model_operational(&trace, model, &cfg);
+    let report = verify_axiom(&trace, model, &cfg);
+    let stats = report.stats;
     let mut out = String::new();
-    let consistent = match &verdict {
+    let model_name = model.name();
+    let consistent = match &report.verdict {
         vermem_consistency::ConsistencyVerdict::Consistent(s) => {
-            let _ = writeln!(out, "{model}: consistent ({} ops serialized)", s.len());
+            let _ = writeln!(out, "{model_name}: consistent ({} ops serialized)", s.len());
             true
         }
         vermem_consistency::ConsistencyVerdict::Violating(v) => {
-            let _ = writeln!(out, "{model}: VIOLATION — {v}");
+            let _ = writeln!(out, "{model_name}: VIOLATION — {v}");
             false
         }
         vermem_consistency::ConsistencyVerdict::Unknown { stats } => {
             let _ = writeln!(
                 out,
-                "{model}: unknown (budget of {budget} states exhausted after {} states)",
+                "{model_name}: unknown (budget of {budget} states exhausted after {} states)",
                 stats.states
             );
             false
         }
     };
+    let tier_name = match report.tier {
+        vermem_coherence::closure::Tier::Frontline => "frontline",
+        vermem_coherence::closure::Tier::Exact => "exact",
+    };
+    let _ = writeln!(out, "# engine={} tier={tier_name}", engine.name());
     // Same pretty-printer path as `verify`: the kernel's SearchStats
     // rendered through the unified run-report section.
     let _ = writeln!(out, "# {}", stats.to_report().to_inline());
@@ -526,7 +559,9 @@ fn cmd_sc(args: &Args, stdin: &str) -> Result<String, CliError> {
         let mut run = RunReport::new();
         run.push_section(
             RunReportSection::new("sc")
-                .with("model", format!("{model}"))
+                .with("model", model_name)
+                .with("engine", engine.name())
+                .with("tier", tier_name)
                 .with("consistent", u64::from(consistent))
                 .with("budget", budget),
         );
@@ -1096,22 +1131,25 @@ fn cmd_sat(args: &Args, stdin: &str) -> Result<String, CliError> {
 }
 
 fn cmd_litmus() -> Result<String, CliError> {
+    // All six declared models, decided by the spec-generic SAT compiler
+    // (the axiomatic ground truth every other engine answers to).
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<10} {:>4} {:>4} {:>4} {:>10}",
-        "test", "SC", "TSO", "PSO", "Coherence"
+        "{:<15} {:>4} {:>4} {:>4} {:>10} {:>4} {:>8}",
+        "test", "SC", "TSO", "PSO", "Coherence", "RA", "ARM-dob"
     );
     for test in vermem_consistency::litmus::all_litmus_tests() {
         let mut cells = Vec::new();
-        for model in MemoryModel::ALL {
-            let got = vermem_consistency::solve_model_sat(&test.trace, model).is_consistent();
+        for id in ModelId::ALL {
+            let got = vermem_consistency::solve_spec_sat(&test.trace, vermem_consistency::spec(id))
+                .is_consistent();
             cells.push(if got { "yes" } else { "no" });
         }
         let _ = writeln!(
             out,
-            "{:<10} {:>4} {:>4} {:>4} {:>10}",
-            test.name, cells[0], cells[1], cells[2], cells[3]
+            "{:<15} {:>4} {:>4} {:>4} {:>10} {:>4} {:>8}",
+            test.name, cells[0], cells[1], cells[2], cells[3], cells[4], cells[5]
         );
     }
     Ok(out)
@@ -1357,6 +1395,70 @@ mod tests {
         )
         .expect_err("--jobs is not an sc flag");
         assert!(e.0.contains("unknown flag"), "{}", e.0);
+    }
+
+    #[test]
+    fn sc_axiom_models() {
+        // The declared models beyond the serialization-based four: MP is
+        // forbidden under RA (the flag rf carries happens-before) but
+        // allowed under ARM-dob (W→W is not dob-ordered).
+        let mp = "P0: W(0,1) W(1,1)\nP1: R(1,1) R(0,0)\n";
+        let out = run_ok(&["sc", "-", "--model", "ra"], mp);
+        assert!(out.contains("RA: VIOLATION"), "{out}");
+        let out = run_ok(&["sc", "-", "--model", "arm-dob"], mp);
+        assert!(out.contains("ARM-dob: consistent"), "{out}");
+        let e = run(
+            &["sc".into(), "-".into(), "--model".into(), "rmo".into()],
+            mp,
+        )
+        .expect_err("rmo is not a declared model");
+        assert!(e.0.contains("unknown model"), "{}", e.0);
+    }
+
+    #[test]
+    fn sc_engine_selection() {
+        let sb = "P0: W(0,1) R(1,0)\nP1: W(1,1) R(0,0)\n";
+        // All three engines agree on SB under TSO; the engine line names
+        // the decider that ran.
+        for engine in ["compiled", "legacy", "sat"] {
+            let out = run_ok(&["sc", "-", "--model", "tso", "--engine", engine], sb);
+            assert!(out.contains("TSO: consistent"), "{engine}:\n{out}");
+            assert!(out.contains(&format!("# engine={engine}")), "{out}");
+        }
+        // RA has no legacy machine: explicit error, not a silent fallback.
+        let e = run(
+            &[
+                "sc".into(),
+                "-".into(),
+                "--model".into(),
+                "ra".into(),
+                "--engine".into(),
+                "legacy".into(),
+            ],
+            sb,
+        )
+        .expect_err("legacy RA must be rejected");
+        assert!(e.0.contains("no implementation"), "{}", e.0);
+        let e = run(
+            &["sc".into(), "-".into(), "--engine".into(), "brute".into()],
+            sb,
+        )
+        .expect_err("brute is not an engine");
+        assert!(e.0.contains("unknown engine"), "{}", e.0);
+    }
+
+    #[test]
+    fn sc_ra_tier_pipeline() {
+        // SB has unique reads-from candidates, so the polynomial RA tier
+        // decides it; the `--tier exact` ablation reaches the same verdict
+        // through the exact graph search.
+        let sb = "P0: W(0,1) R(1,0)\nP1: W(1,1) R(0,0)\n";
+        let out = run_ok(&["sc", "-", "--model", "ra"], sb);
+        assert!(out.contains("RA: consistent"), "{out}");
+        assert!(out.contains("tier=frontline"), "{out}");
+        let out = run_ok(&["sc", "-", "--model", "ra", "--tier", "exact"], sb);
+        assert!(out.contains("RA: consistent"), "{out}");
+        assert!(out.contains("tier=exact"), "{out}");
     }
 
     #[test]
@@ -1688,6 +1790,14 @@ mod tests {
         let out = run_ok(&["litmus"], "");
         assert!(out.contains("SB"));
         assert!(out.contains("IRIW"));
+        // The six-model table: RA and ARM-dob columns, with IRIW showing
+        // the canonical split (RA yes, ARM-dob no).
+        assert!(out.contains("ARM-dob"), "{out}");
+        let iriw = out
+            .lines()
+            .find(|l| l.starts_with("IRIW "))
+            .expect("IRIW row");
+        assert!(iriw.trim_end().ends_with("yes       no"), "{iriw}");
     }
 
     #[test]
@@ -1801,12 +1911,57 @@ mod tests {
     }
 
     #[test]
+    fn serve_hot_path_flag_is_checked() {
+        // `--hot-path` itself parses (both spellings of the ablation) ...
+        let out = run_ok(
+            &[
+                "serve",
+                "--streams",
+                "1",
+                "--instrs",
+                "20",
+                "--hot-path",
+                "legacy",
+            ],
+            "",
+        );
+        assert!(out.contains("stream"), "{out}");
+        // ... bad values are rejected ...
+        let e = run(&["serve".into(), "--hot-path".into(), "bogus".into()], "")
+            .expect_err("--hot-path bogus must fail");
+        assert!(e.0.contains("invalid --hot-path"), "{}", e.0);
+        // ... and an unknown flag alongside it still fails the flag check
+        // instead of slipping through.
+        let e = run(
+            &[
+                "serve".into(),
+                "--hot-path".into(),
+                "dense".into(),
+                "--hotpath".into(),
+                "dense".into(),
+            ],
+            "",
+        )
+        .expect_err("--hotpath (typo) must fail");
+        assert!(e.0.contains("unknown flag --hotpath"), "{}", e.0);
+    }
+
+    #[test]
     fn unknown_flags_are_rejected() {
         for cmd in [
             vec!["sim", "--bogus"],
             vec!["sim", "--bogus", "3"],
             vec!["verify", "-", "--bogus"],
             vec!["sat", "-", "--metrics"],
+            // Every remaining command routes through expect_flags too.
+            vec!["sc", "-", "--bogus", "1"],
+            vec!["classify", "-", "--bogus", "1"],
+            vec!["explain", "-", "--bogus", "1"],
+            vec!["gen", "--procs", "1", "--ops", "1", "--bogus", "1"],
+            vec!["inject", "-", "--kind", "stale-read", "--bogus", "1"],
+            vec!["reduce", "-", "--bogus", "1"],
+            vec!["serve", "--bogus", "1"],
+            vec!["litmus", "--bogus", "1"],
         ] {
             let args: Vec<String> = cmd.iter().map(|s| s.to_string()).collect();
             let e = run(&args, COHERENT).expect_err(&format!("{cmd:?} should fail"));

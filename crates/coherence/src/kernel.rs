@@ -140,6 +140,21 @@ pub trait TransitionSystem {
     /// injectivity contract). `key` arrives empty.
     fn state_key(&self, key: &mut Vec<u64>);
 
+    /// Should the kernel memoize visited states? Default `true`.
+    ///
+    /// Systems whose state is uniquely determined by the path of moves
+    /// that reached it (tree-shaped state graphs — e.g. monotone
+    /// witness-construction searches where every decision is recorded
+    /// forever) may return `false`: no state is ever reachable twice, so
+    /// the memo could never hit and probing it is pure overhead. With
+    /// memoization off the kernel skips key construction entirely;
+    /// [`SearchStats::memo_hits`] and [`SearchStats::memo_misses`] stay 0
+    /// while [`SearchStats::states`] still counts every search node (so
+    /// budgets keep their meaning).
+    fn memoize(&self) -> bool {
+        true
+    }
+
     /// Enumerate the enabled state-changing moves, in preferred
     /// exploration order (first pushed is explored first).
     fn enabled_moves(&self, moves: &mut Vec<Self::Move>);
@@ -253,8 +268,9 @@ impl Memo {
 ///
 /// The returned [`SearchStats`] obey the same contract as the VMC
 /// engine's: always-on, deterministic, identical whether observability is
-/// enabled or not, with `memo_misses == states` (memoization is integral
-/// to the kernel). One observability batch-flush happens per call — never
+/// enabled or not, with `memo_misses == states` for memoizing systems
+/// (memoization is integral to the kernel; systems that opt out via
+/// [`TransitionSystem::memoize`] report `memo_hits == memo_misses == 0`). One observability batch-flush happens per call — never
 /// per state — under the same `search.*` counter names the VMC engine
 /// uses, plus `kernel.memo.*` for the key-tier accounting.
 pub fn run_search<S: TransitionSystem>(
@@ -263,9 +279,11 @@ pub fn run_search<S: TransitionSystem>(
     cancel: Option<&CancelToken>,
 ) -> (KernelOutcome, SearchStats) {
     let total = sys.total_commits();
+    let memoize = sys.memoize();
     let mut kernel = Kernel {
         sys,
         memo: Memo::new(cfg),
+        memoize,
         commits: Vec::with_capacity(total),
         total,
         max_states: cfg.max_states,
@@ -324,6 +342,8 @@ const CANCEL_POLL_MASK: u64 = 0x3FF;
 struct Kernel<'a, S: TransitionSystem> {
     sys: &'a mut S,
     memo: Memo,
+    /// Cached [`TransitionSystem::memoize`] answer for this run.
+    memoize: bool,
     commits: Vec<OpRef>,
     total: usize,
     max_states: Option<u64>,
@@ -365,17 +385,20 @@ impl<S: TransitionSystem> Kernel<'_, S> {
             fail!();
         }
 
-        // Memoization: one exact probe per state.
-        let mut key = std::mem::take(&mut self.key_scratch);
-        key.clear();
-        self.sys.state_key(&mut key);
-        let fresh = self.memo.insert(&key);
-        self.key_scratch = key;
-        if !fresh {
-            self.stats.memo_hits += 1;
-            fail!();
+        // Memoization: one exact probe per state (skipped entirely for
+        // tree-shaped systems that opted out — their memo never hits).
+        if self.memoize {
+            let mut key = std::mem::take(&mut self.key_scratch);
+            key.clear();
+            self.sys.state_key(&mut key);
+            let fresh = self.memo.insert(&key);
+            self.key_scratch = key;
+            if !fresh {
+                self.stats.memo_hits += 1;
+                fail!();
+            }
+            self.stats.memo_misses += 1;
         }
-        self.stats.memo_misses += 1;
         self.stats.states += 1;
         if let Some(h) = &mut self.depth_hist {
             h.record(self.commits.len() as u64);
@@ -525,6 +548,71 @@ mod tests {
             assert_eq!(o_fast, o_legacy, "n={n}");
             assert_eq!(s_fast, s_legacy, "n={n}");
         }
+    }
+
+    /// [`Counters`] with memoization opted out: the diamond lattice is
+    /// re-explored as a tree.
+    struct TreeCounters(Counters);
+
+    impl TransitionSystem for TreeCounters {
+        type Move = usize;
+
+        fn total_commits(&self) -> usize {
+            self.0.total_commits()
+        }
+        fn accepting(&self) -> bool {
+            self.0.accepting()
+        }
+        fn absorb(&mut self, commits: &mut Vec<OpRef>) {
+            self.0.absorb(commits)
+        }
+        fn retract_read(&mut self, r: OpRef) {
+            self.0.retract_read(r)
+        }
+        fn infeasible(&self) -> bool {
+            self.0.infeasible()
+        }
+        fn state_key(&self, key: &mut Vec<u64>) {
+            self.0.state_key(key)
+        }
+        fn memoize(&self) -> bool {
+            false
+        }
+        fn enabled_moves(&self, moves: &mut Vec<usize>) {
+            self.0.enabled_moves(moves)
+        }
+        fn apply(&mut self, p: usize) -> Option<OpRef> {
+            self.0.apply(p)
+        }
+        fn undo(&mut self, p: usize) {
+            self.0.undo(p)
+        }
+    }
+
+    #[test]
+    fn memoize_opt_out_counts_states_without_memo_traffic() {
+        let mut sys = TreeCounters(Counters {
+            vals: vec![0; 3],
+            limit: 2,
+            accept: false,
+        });
+        let (outcome, stats) = run_search(&mut sys, &KernelConfig::default(), None);
+        assert_eq!(outcome, KernelOutcome::Refuted);
+        assert_eq!(stats.memo_hits, 0, "no probes at all without memoization");
+        assert_eq!(stats.memo_misses, 0);
+        // The 3-counter lattice re-explored as a tree visits strictly more
+        // nodes than the 26 memoized interior points.
+        assert!(stats.states > 26, "tree exploration, not lattice");
+
+        // Budgets still bite without a memo.
+        let mut sys = TreeCounters(Counters {
+            vals: vec![0; 4],
+            limit: 2,
+            accept: false,
+        });
+        let (outcome, stats) = run_search(&mut sys, &KernelConfig::with_budget(5), None);
+        assert_eq!(outcome, KernelOutcome::BudgetExhausted);
+        assert!(stats.states > 5);
     }
 
     #[test]

@@ -36,6 +36,54 @@
 //! [`SearchStats`] are bit-identical either way (soundness argument in
 //! DESIGN.md §4d), and [`par::ExecutionReport::tiers`] reports how many
 //! addresses each tier decided.
+//!
+//! ## Streaming verification (`vermem serve`)
+//!
+//! Batch verification assumes the whole trace is in hand. The [`stream`]
+//! module drops that assumption: [`StreamVerifier`] ingests length-prefixed
+//! v3 binary event chunks from N concurrent streams, shards work per
+//! address, and holds memory **bounded** by `streams × window_slack`
+//! retained windows regardless of stream length — closed windows are
+//! verified through the same tiered pipeline and discarded. Detections
+//! surface while the stream is still running (the p99 detection latency is
+//! a first-class receipt), verdicts are bit-identical to a batch run over
+//! the same events, and the ingest hot path runs on allocation-free
+//! dense-slab tables (the pre-dense `HashMap` baseline survives behind
+//! [`HotPathConfig`] as the `--hot-path legacy` ablation). An optional
+//! flight recorder ([`RecorderConfig`]) keeps a per-shard ring of recent
+//! windows and emits [`ForensicBundle`] JSONL on each detection.
+//!
+//! ## The exact-search kernel and declared memory models
+//!
+//! The exponential tier itself is one reusable engine: [`kernel`] owns the
+//! memo table, packed/interned keys, state budget and cancellation, and
+//! searches anything implementing [`TransitionSystem`]. The VMC
+//! backtracking solver is one client; the `vermem-consistency` crate's
+//! *axiom framework* is another — memory models (SC, TSO, PSO, RA,
+//! ARM-dob, coherence-only) are declared as `ModelSpec` **data** (relation
+//! generators plus acyclicity/irreflexivity axioms) and lowered by an
+//! operational compiler onto this kernel, or by a SAT compiler onto CNF as
+//! a differential oracle:
+//!
+//! ```
+//! use vermem_consistency::{verify_axiom, AxiomConfig, Engine, ModelId};
+//! use vermem_trace::{Op, TraceBuilder};
+//!
+//! // Dekker's store-buffering idiom: both processes buffer a flag write,
+//! // then read the other flag as 0 — forbidden under SC, allowed by TSO.
+//! let sb = TraceBuilder::new()
+//!     .proc(vec![Op::write(0, 1), Op::read(1, 0)])
+//!     .proc(vec![Op::write(1, 1), Op::read(0, 0)])
+//!     .build();
+//! let sc = verify_axiom(&sb, ModelId::Sc, &AxiomConfig::default());
+//! let tso = verify_axiom(&sb, ModelId::Tso, &AxiomConfig::default());
+//! assert!(!sc.verdict.is_consistent());
+//! assert!(tso.verdict.is_consistent());
+//!
+//! // The SAT compiler lowers the *same* ModelSpec declaration to CNF.
+//! let sat = AxiomConfig { engine: Engine::Sat, ..AxiomConfig::default() };
+//! assert!(!verify_axiom(&sb, ModelId::Sc, &sat).verdict.is_consistent());
+//! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

@@ -1,0 +1,618 @@
+//! The pre-refactor hand-written machines, kept **verbatim** as the
+//! ablation baseline behind [`crate::axiom::Engine::Legacy`].
+//!
+//! The compiled engine ([`crate::axiom`]) is required to be bit-identical
+//! to these machines — same verdicts, same [`SearchStats`], same explored
+//! state sets — on every model they cover; the differential suite pins
+//! that equivalence. Nothing else in the crate may hand-roll a
+//! [`TransitionSystem`]: new models are declared as
+//! [`crate::axiom::ModelSpec`]s and compiled.
+
+use crate::machine::{outcome_to_verdict, MachineBase};
+use crate::models::{check_model_schedule, MemoryModel};
+use crate::verdict::ConsistencyVerdict;
+use crate::vsc::precheck_sc;
+use std::collections::VecDeque;
+use vermem_coherence::kernel::{run_search, KernelConfig, KernelOutcome, TransitionSystem};
+use vermem_coherence::SearchStats;
+use vermem_trace::{check_sc_schedule, Op, OpRef, Schedule, Trace, Value};
+use vermem_util::pool::CancelToken;
+
+/// Decide `trace` under `model` with the legacy machines (SC/TSO/PSO) or
+/// the legacy SAT dispatch (coherence-only, which predates the graph
+/// lowering and never had a search machine of its own).
+pub(crate) fn solve_legacy_with_stats(
+    trace: &Trace,
+    model: MemoryModel,
+    cfg: &KernelConfig,
+    cancel: Option<&CancelToken>,
+) -> (ConsistencyVerdict, SearchStats) {
+    if let Some(v) = precheck_sc(trace) {
+        return (ConsistencyVerdict::Violating(v), SearchStats::default());
+    }
+    match model {
+        MemoryModel::Sc => {
+            let mut sys = ScMachine {
+                base: MachineBase::new(trace),
+            };
+            let (outcome, stats) = run_search(&mut sys, cfg, cancel);
+            if let KernelOutcome::Accepted(commits) = &outcome {
+                let witness = Schedule::from_refs(commits.iter().copied());
+                debug_assert!(
+                    check_sc_schedule(trace, &witness).is_ok(),
+                    "legacy VSC machine produced invalid witness"
+                );
+            }
+            (outcome_to_verdict(outcome, stats), stats)
+        }
+        MemoryModel::Tso => {
+            let mut sys = TsoMachine {
+                base: MachineBase::new(trace),
+                buffers: vec![VecDeque::new(); trace.num_procs()],
+            };
+            let (outcome, stats) = run_search(&mut sys, cfg, cancel);
+            if let KernelOutcome::Accepted(commits) = &outcome {
+                let witness = Schedule::from_refs(commits.iter().copied());
+                debug_assert!(
+                    check_model_schedule(trace, MemoryModel::Tso, &witness).is_ok(),
+                    "legacy TSO machine produced an invalid commit order"
+                );
+            }
+            (outcome_to_verdict(outcome, stats), stats)
+        }
+        MemoryModel::Pso => {
+            let nprocs = trace.num_procs();
+            let nslots = trace.addresses().len();
+            let mut sys = PsoMachine {
+                base: MachineBase::new(trace),
+                queues: vec![vec![VecDeque::new(); nslots]; nprocs],
+                buffered: vec![0; nprocs],
+            };
+            let (outcome, stats) = run_search(&mut sys, cfg, cancel);
+            if let KernelOutcome::Accepted(commits) = &outcome {
+                let witness = Schedule::from_refs(commits.iter().copied());
+                debug_assert!(
+                    check_model_schedule(trace, MemoryModel::Pso, &witness).is_ok(),
+                    "legacy PSO machine produced an invalid commit order"
+                );
+            }
+            (outcome_to_verdict(outcome, stats), stats)
+        }
+        MemoryModel::CoherenceOnly => (
+            crate::sat_vsc::solve_model_sat(trace, model),
+            SearchStats::default(),
+        ),
+    }
+}
+
+/// The atomic-memory interleaving machine: every operation takes global
+/// effect at issue. Reads commit through kernel absorption; the branching
+/// moves are the write-capable issues.
+struct ScMachine {
+    base: MachineBase,
+}
+
+/// One write-capable issue by process `p`. `saved` is the memory value the
+/// write will overwrite, captured at enumeration time for undo.
+#[derive(Clone, Copy)]
+struct ScMove {
+    p: u16,
+    saved: Value,
+}
+
+impl TransitionSystem for ScMachine {
+    type Move = ScMove;
+
+    fn total_commits(&self) -> usize {
+        self.base.total
+    }
+
+    fn accepting(&self) -> bool {
+        self.base.finals_ok()
+    }
+
+    fn absorb(&mut self, commits: &mut Vec<OpRef>) {
+        for p in 0..self.base.frontier.len() {
+            while let Some(op) = self.base.next_op(p) {
+                match op {
+                    Op::Read { addr, value }
+                        if self.base.memory[self.base.slot(addr) as usize] == value =>
+                    {
+                        commits.push(self.base.op_ref(p));
+                        self.base.frontier[p] += 1;
+                    }
+                    _ => break,
+                }
+            }
+        }
+    }
+
+    fn retract_read(&mut self, r: OpRef) {
+        let p = r.proc.0 as usize;
+        self.base.frontier[p] -= 1;
+        debug_assert_eq!(self.base.frontier[p], r.index);
+    }
+
+    fn infeasible(&self) -> bool {
+        self.base.demand_infeasible()
+    }
+
+    fn state_key(&self, key: &mut Vec<u64>) {
+        self.base.key_base(key);
+    }
+
+    fn enabled_moves(&self, moves: &mut Vec<ScMove>) {
+        let demanded = self.base.demanded();
+        for p in 0..self.base.frontier.len() {
+            if let Some(op) = self.base.next_op(p) {
+                let enabled = match op {
+                    Op::Write { .. } => true,
+                    Op::Rmw { addr, read, .. } => {
+                        self.base.memory[self.base.slot(addr) as usize] == read
+                    }
+                    Op::Read { .. } => false, // reads commit via absorption
+                };
+                if enabled {
+                    let s = self.base.slot(op.addr());
+                    moves.push(ScMove {
+                        p: p as u16,
+                        saved: self.base.memory[s as usize],
+                    });
+                }
+            }
+        }
+        // Explore writes of demanded values first (stable, so program
+        // order breaks ties deterministically).
+        moves.sort_by_key(|m| {
+            let op = self.base.next_op(m.p as usize).expect("enabled");
+            let s = self.base.slot(op.addr());
+            let hot = op
+                .written_value()
+                .is_some_and(|v| demanded.contains(&(s, v)));
+            std::cmp::Reverse(hot)
+        });
+    }
+
+    fn apply(&mut self, mv: ScMove) -> Option<OpRef> {
+        let p = mv.p as usize;
+        let r = self.base.op_ref(p);
+        let op = self.base.next_op(p).expect("enabled");
+        let s = self.base.slot(op.addr());
+        let w = op.written_value().expect("write-capable");
+        self.base.frontier[p] += 1;
+        self.base.memory[s as usize] = w;
+        self.base.take_supply(s, w);
+        Some(r)
+    }
+
+    fn undo(&mut self, mv: ScMove) {
+        let p = mv.p as usize;
+        self.base.frontier[p] -= 1;
+        let op = self.base.next_op(p).expect("applied");
+        let s = self.base.slot(op.addr());
+        let w = op.written_value().expect("write-capable");
+        self.base.put_supply(s, w);
+        self.base.memory[s as usize] = mv.saved;
+    }
+}
+
+/// The TSO store-buffer machine. Buffer entries are
+/// `(slot, value, program index)`; stores commit at drain.
+struct TsoMachine {
+    base: MachineBase,
+    buffers: Vec<VecDeque<(u32, Value, u32)>>,
+}
+
+/// One state-changing TSO move, with undo state captured at enumeration.
+#[derive(Clone, Copy)]
+enum TsoMove {
+    /// Drain process `p`'s oldest buffered store (the captured entry);
+    /// `saved` is the memory value it overwrites.
+    Drain {
+        p: u16,
+        slot: u32,
+        value: Value,
+        index: u32,
+        saved: Value,
+    },
+    /// Issue process `p`'s next instruction (a `Write` entering the buffer,
+    /// or an enabled `Rmw` taking immediate effect; `saved` is meaningful
+    /// only for the latter). Loads are never issued as moves — they commit
+    /// through kernel absorption.
+    Issue { p: u16, saved: Value },
+}
+
+impl TsoMachine {
+    /// Does `p` hold a buffered store to `slot`? (No forwarding: such a
+    /// store blocks `p`'s loads from that address.)
+    fn blocked(&self, p: usize, slot: u32) -> bool {
+        self.buffers[p].iter().any(|&(s, _, _)| s == slot)
+    }
+}
+
+impl TransitionSystem for TsoMachine {
+    type Move = TsoMove;
+
+    fn total_commits(&self) -> usize {
+        self.base.total
+    }
+
+    fn accepting(&self) -> bool {
+        // Every commit implies every store drained: buffers are empty here.
+        debug_assert!(self.buffers.iter().all(VecDeque::is_empty));
+        self.base.finals_ok()
+    }
+
+    fn absorb(&mut self, commits: &mut Vec<OpRef>) {
+        for p in 0..self.base.frontier.len() {
+            while let Some(op) = self.base.next_op(p) {
+                match op {
+                    Op::Read { addr, value } => {
+                        let s = self.base.slot(addr);
+                        if !self.blocked(p, s) && self.base.memory[s as usize] == value {
+                            commits.push(self.base.op_ref(p));
+                            self.base.frontier[p] += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    _ => break,
+                }
+            }
+        }
+    }
+
+    fn retract_read(&mut self, r: OpRef) {
+        let p = r.proc.0 as usize;
+        self.base.frontier[p] -= 1;
+        debug_assert_eq!(self.base.frontier[p], r.index);
+    }
+
+    fn infeasible(&self) -> bool {
+        self.base.demand_infeasible()
+    }
+
+    fn state_key(&self, key: &mut Vec<u64>) {
+        self.base.key_base(key);
+        for b in &self.buffers {
+            key.push(b.len() as u64);
+            for &(slot, value, index) in b {
+                key.push((u64::from(slot) << 32) | u64::from(index));
+                key.push(value.0);
+            }
+        }
+    }
+
+    fn enabled_moves(&self, moves: &mut Vec<TsoMove>) {
+        let demanded = self.base.demanded();
+        for p in 0..self.base.frontier.len() {
+            if let Some(&(slot, value, index)) = self.buffers[p].front() {
+                moves.push(TsoMove::Drain {
+                    p: p as u16,
+                    slot,
+                    value,
+                    index,
+                    saved: self.base.memory[slot as usize],
+                });
+            }
+            if let Some(op) = self.base.next_op(p) {
+                match op {
+                    Op::Write { .. } => moves.push(TsoMove::Issue {
+                        p: p as u16,
+                        saved: Value::INITIAL, // unused for writes
+                    }),
+                    Op::Rmw { addr, read, .. } => {
+                        // Atomics drain first (issue only with an empty
+                        // buffer) and take effect immediately.
+                        let s = self.base.slot(addr);
+                        if self.buffers[p].is_empty() && self.base.memory[s as usize] == read {
+                            moves.push(TsoMove::Issue {
+                                p: p as u16,
+                                saved: self.base.memory[s as usize],
+                            });
+                        }
+                    }
+                    Op::Read { .. } => {} // absorption only
+                }
+            }
+        }
+        // Memory-effecting moves that supply a demanded value first.
+        moves.sort_by_key(|m| {
+            let hot = match *m {
+                TsoMove::Drain { slot, value, .. } => demanded.contains(&(slot, value)),
+                TsoMove::Issue { p, .. } => match self.base.next_op(p as usize) {
+                    Some(Op::Rmw { addr, write, .. }) => {
+                        demanded.contains(&(self.base.slot(addr), write))
+                    }
+                    _ => false, // a buffered write supplies nothing yet
+                },
+            };
+            std::cmp::Reverse(hot)
+        });
+    }
+
+    fn apply(&mut self, mv: TsoMove) -> Option<OpRef> {
+        match mv {
+            TsoMove::Drain {
+                p,
+                slot,
+                value,
+                index,
+                ..
+            } => {
+                let popped = self.buffers[p as usize].pop_front();
+                debug_assert_eq!(popped, Some((slot, value, index)));
+                self.base.memory[slot as usize] = value;
+                self.base.take_supply(slot, value);
+                Some(OpRef::new(p, index))
+            }
+            TsoMove::Issue { p, .. } => {
+                let p = p as usize;
+                let op = self.base.next_op(p).expect("enabled");
+                let index = self.base.frontier[p];
+                self.base.frontier[p] += 1;
+                match op {
+                    Op::Write { addr, value } => {
+                        let s = self.base.slot(addr);
+                        self.buffers[p].push_back((s, value, index));
+                        None // commits at drain
+                    }
+                    Op::Rmw { addr, write, .. } => {
+                        let s = self.base.slot(addr);
+                        self.base.memory[s as usize] = write;
+                        self.base.take_supply(s, write);
+                        Some(OpRef::new(p as u16, index))
+                    }
+                    Op::Read { .. } => unreachable!("reads are absorbed, not issued"),
+                }
+            }
+        }
+    }
+
+    fn undo(&mut self, mv: TsoMove) {
+        match mv {
+            TsoMove::Drain {
+                p,
+                slot,
+                value,
+                index,
+                saved,
+            } => {
+                self.base.put_supply(slot, value);
+                self.base.memory[slot as usize] = saved;
+                self.buffers[p as usize].push_front((slot, value, index));
+            }
+            TsoMove::Issue { p, saved } => {
+                let p = p as usize;
+                self.base.frontier[p] -= 1;
+                match self.base.next_op(p).expect("applied") {
+                    Op::Write { .. } => {
+                        self.buffers[p].pop_back();
+                    }
+                    Op::Rmw { addr, write, .. } => {
+                        let s = self.base.slot(addr);
+                        self.base.put_supply(s, write);
+                        self.base.memory[s as usize] = saved;
+                    }
+                    Op::Read { .. } => unreachable!("reads are absorbed, not issued"),
+                }
+            }
+        }
+    }
+}
+
+/// The PSO store-buffer machine: one FIFO queue of `(value, program index)`
+/// per (process, slot), plus a per-process buffered-store count for O(1)
+/// RMW empty-buffer checks.
+struct PsoMachine {
+    base: MachineBase,
+    queues: Vec<Vec<VecDeque<(Value, u32)>>>,
+    buffered: Vec<u32>,
+}
+
+/// One state-changing PSO move, with undo state captured at enumeration.
+#[derive(Clone, Copy)]
+enum PsoMove {
+    /// Drain the head of `p`'s queue for `slot` (the captured entry);
+    /// `saved` is the memory value it overwrites.
+    Drain {
+        p: u16,
+        slot: u32,
+        value: Value,
+        index: u32,
+        saved: Value,
+    },
+    /// Issue process `p`'s next instruction (a `Write` entering its
+    /// per-address queue, or an enabled `Rmw`; `saved` is meaningful only
+    /// for the latter). Loads commit through kernel absorption.
+    Issue { p: u16, saved: Value },
+}
+
+impl TransitionSystem for PsoMachine {
+    type Move = PsoMove;
+
+    fn total_commits(&self) -> usize {
+        self.base.total
+    }
+
+    fn accepting(&self) -> bool {
+        // Every commit implies every store drained: buffers are empty here.
+        debug_assert!(self.buffered.iter().all(|&n| n == 0));
+        self.base.finals_ok()
+    }
+
+    fn absorb(&mut self, commits: &mut Vec<OpRef>) {
+        for p in 0..self.base.frontier.len() {
+            while let Some(op) = self.base.next_op(p) {
+                match op {
+                    Op::Read { addr, value } => {
+                        let s = self.base.slot(addr);
+                        if self.queues[p][s as usize].is_empty()
+                            && self.base.memory[s as usize] == value
+                        {
+                            commits.push(self.base.op_ref(p));
+                            self.base.frontier[p] += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    _ => break,
+                }
+            }
+        }
+    }
+
+    fn retract_read(&mut self, r: OpRef) {
+        let p = r.proc.0 as usize;
+        self.base.frontier[p] -= 1;
+        debug_assert_eq!(self.base.frontier[p], r.index);
+    }
+
+    fn infeasible(&self) -> bool {
+        self.base.demand_infeasible()
+    }
+
+    fn state_key(&self, key: &mut Vec<u64>) {
+        self.base.key_base(key);
+        for qs in &self.queues {
+            let nonempty = qs.iter().filter(|q| !q.is_empty()).count();
+            key.push(nonempty as u64);
+            for (slot, q) in qs.iter().enumerate() {
+                if q.is_empty() {
+                    continue;
+                }
+                key.push(((slot as u64) << 32) | q.len() as u64);
+                for &(value, index) in q {
+                    key.push(value.0);
+                    key.push(u64::from(index));
+                }
+            }
+        }
+    }
+
+    fn enabled_moves(&self, moves: &mut Vec<PsoMove>) {
+        let demanded = self.base.demanded();
+        for p in 0..self.base.frontier.len() {
+            // Drains: the head of any non-empty per-address queue, in
+            // ascending slot order.
+            for (slot, q) in self.queues[p].iter().enumerate() {
+                if let Some(&(value, index)) = q.front() {
+                    moves.push(PsoMove::Drain {
+                        p: p as u16,
+                        slot: slot as u32,
+                        value,
+                        index,
+                        saved: self.base.memory[slot],
+                    });
+                }
+            }
+            if let Some(op) = self.base.next_op(p) {
+                match op {
+                    Op::Write { .. } => moves.push(PsoMove::Issue {
+                        p: p as u16,
+                        saved: Value::INITIAL, // unused for writes
+                    }),
+                    Op::Rmw { addr, read, .. } => {
+                        // Atomics drain the whole buffer first, then take
+                        // effect immediately.
+                        let s = self.base.slot(addr);
+                        if self.buffered[p] == 0 && self.base.memory[s as usize] == read {
+                            moves.push(PsoMove::Issue {
+                                p: p as u16,
+                                saved: self.base.memory[s as usize],
+                            });
+                        }
+                    }
+                    Op::Read { .. } => {} // absorption only
+                }
+            }
+        }
+        // Memory-effecting moves that supply a demanded value first.
+        moves.sort_by_key(|m| {
+            let hot = match *m {
+                PsoMove::Drain { slot, value, .. } => demanded.contains(&(slot, value)),
+                PsoMove::Issue { p, .. } => match self.base.next_op(p as usize) {
+                    Some(Op::Rmw { addr, write, .. }) => {
+                        demanded.contains(&(self.base.slot(addr), write))
+                    }
+                    _ => false,
+                },
+            };
+            std::cmp::Reverse(hot)
+        });
+    }
+
+    fn apply(&mut self, mv: PsoMove) -> Option<OpRef> {
+        match mv {
+            PsoMove::Drain {
+                p,
+                slot,
+                value,
+                index,
+                ..
+            } => {
+                let popped = self.queues[p as usize][slot as usize].pop_front();
+                debug_assert_eq!(popped, Some((value, index)));
+                self.buffered[p as usize] -= 1;
+                self.base.memory[slot as usize] = value;
+                self.base.take_supply(slot, value);
+                Some(OpRef::new(p, index))
+            }
+            PsoMove::Issue { p, .. } => {
+                let p = p as usize;
+                let op = self.base.next_op(p).expect("enabled");
+                let index = self.base.frontier[p];
+                self.base.frontier[p] += 1;
+                match op {
+                    Op::Write { addr, value } => {
+                        let s = self.base.slot(addr);
+                        self.queues[p][s as usize].push_back((value, index));
+                        self.buffered[p] += 1;
+                        None // commits at drain
+                    }
+                    Op::Rmw { addr, write, .. } => {
+                        let s = self.base.slot(addr);
+                        self.base.memory[s as usize] = write;
+                        self.base.take_supply(s, write);
+                        Some(OpRef::new(p as u16, index))
+                    }
+                    Op::Read { .. } => unreachable!("reads are absorbed, not issued"),
+                }
+            }
+        }
+    }
+
+    fn undo(&mut self, mv: PsoMove) {
+        match mv {
+            PsoMove::Drain {
+                p,
+                slot,
+                value,
+                index,
+                saved,
+            } => {
+                self.base.put_supply(slot, value);
+                self.base.memory[slot as usize] = saved;
+                self.queues[p as usize][slot as usize].push_front((value, index));
+                self.buffered[p as usize] += 1;
+            }
+            PsoMove::Issue { p, saved } => {
+                let p = p as usize;
+                self.base.frontier[p] -= 1;
+                match self.base.next_op(p).expect("applied") {
+                    Op::Write { addr, .. } => {
+                        let s = self.base.slot(addr);
+                        self.queues[p][s as usize].pop_back();
+                        self.buffered[p] -= 1;
+                    }
+                    Op::Rmw { addr, write, .. } => {
+                        let s = self.base.slot(addr);
+                        self.base.put_supply(s, write);
+                        self.base.memory[s as usize] = saved;
+                    }
+                    Op::Read { .. } => unreachable!("reads are absorbed, not issued"),
+                }
+            }
+        }
+    }
+}

@@ -3,13 +3,18 @@
 //! Memory *consistency* verification for the `vermem` suite, covering §6 of
 //! Cantin, Lipasti & Smith:
 //!
-//! * [`vsc`] — Verifying Sequential Consistency (Definition 6.1) by exact
-//!   memoized search on the shared exact-search kernel
-//!   ([`vermem_coherence::kernel`]), as are the operational
-//!   [`tso_operational`] and [`pso_operational`] machines;
-//! * [`sat_vsc`] — a model-parametric SAT encoding deciding adherence to
-//!   [`MemoryModel::Sc`], [`MemoryModel::Tso`], [`MemoryModel::Pso`] or bare
-//!   [`MemoryModel::CoherenceOnly`];
+//! * [`axiom`] — memory models as **data**: declarative [`ModelSpec`]s
+//!   (program-order enforcement table + axioms over `po`/`rf`/`mo`/`fr`)
+//!   compiled by two independent compilers — an operational lowering onto
+//!   the shared exact-search kernel ([`vermem_coherence::kernel`]) and a
+//!   SAT lowering — covering SC, TSO, PSO, coherence-only,
+//!   Release–Acquire and an ARM-like dob model, with a polynomial RA fast
+//!   tier ([`axiom::ra_fast`]);
+//! * [`vsc`] — Verifying Sequential Consistency (Definition 6.1): the SC
+//!   entry points over the compiled machine, as are the operational
+//!   [`tso_operational`] and [`pso_operational`] wrappers;
+//! * [`sat_vsc`] — the hand-written serialization SAT encoding for the
+//!   four base models (the compiled engines' independent oracle);
 //! * [`vsc_conflict`] — the O(n lg n) merge of per-address coherent
 //!   schedules into an SC schedule (and its §6.3 incompleteness);
 //! * [`vscc`] — the VSCC promise-problem pipeline (Definition 6.2):
@@ -21,10 +26,14 @@
 //! * [`litmus`] — the classic litmus suite with per-model expectations;
 //! * [`lrc`] — Lazy Release Consistency for fully synchronized traces
 //!   (Figure 6.1's target model).
+//!
+//! [`ModelSpec`]: axiom::ModelSpec
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod axiom;
+mod legacy;
 pub mod litmus;
 pub mod lrc;
 mod machine;
@@ -37,6 +46,10 @@ pub mod vsc;
 pub mod vsc_conflict;
 pub mod vscc;
 
+pub use axiom::{
+    check_witness, solve_spec_sat, spec, verify_axiom, verify_axiom_with, AxiomConfig, AxiomReport,
+    Engine, ModelId, ModelSpec, Witness,
+};
 pub use models::{check_model_schedule, MemoryModel};
 pub use pso_operational::{solve_pso_operational, solve_pso_operational_with_stats};
 pub use sat_vsc::{encode_model, solve_model_sat, VscEncoding};
@@ -75,12 +88,10 @@ pub fn verify_model(trace: &Trace, model: MemoryModel) -> ConsistencyVerdict {
     }
 }
 
-/// Decide adherence of `trace` to `model` with the *operational* engines
-/// where one exists: the kernel-backed SC, TSO and PSO machines (which
-/// honour `cfg`'s budget and report [`SearchStats`]), falling back to the
-/// SAT encoding for [`MemoryModel::CoherenceOnly`] (which has no
-/// operational machine; `cfg` is ignored there and the returned stats are
-/// zero).
+/// Decide adherence of `trace` to `model` with the *operational* engines:
+/// every model compiles to a kernel-backed machine (SC, TSO and PSO to
+/// store-buffer machines, [`MemoryModel::CoherenceOnly`] to the witness
+/// search) that honours `cfg`'s budget and reports [`SearchStats`].
 ///
 /// ```
 /// use vermem_consistency::{verify_model_operational, KernelConfig, MemoryModel};
@@ -106,12 +117,7 @@ pub fn verify_model_operational(
     model: MemoryModel,
     cfg: &KernelConfig,
 ) -> (ConsistencyVerdict, SearchStats) {
-    match model {
-        MemoryModel::Sc => solve_sc_backtracking_with_stats(trace, cfg, None),
-        MemoryModel::Tso => solve_tso_operational_with_stats(trace, cfg, None),
-        MemoryModel::Pso => solve_pso_operational_with_stats(trace, cfg, None),
-        MemoryModel::CoherenceOnly => (solve_model_sat(trace, model), SearchStats::default()),
-    }
+    axiom::solve_compiled_with_stats(trace, ModelId::from(model), cfg, None)
 }
 
 #[cfg(test)]

@@ -3,23 +3,23 @@
 //! idealized Partial-Store-Order multiprocessor.
 //!
 //! PSO's store buffer keeps stores to the *same* address in FIFO order but
-//! lets stores to different addresses drain in any order — modelled here as
-//! one FIFO queue per (processor, address slot). Loads take the memory
-//! value and stall on a buffered store to their address (no forwarding, as
-//! in the TSO machine); atomic RMWs drain the whole buffer and take effect
-//! immediately. Differential tests pin this operational semantics to the
-//! axiomatic [`crate::MemoryModel::Pso`] (write→write and write→read to
-//! different addresses relaxed). The search — memoized DFS with budgets,
-//! cancellation, statistics and observability — is
-//! [`vermem_coherence::kernel`]; this module only defines the machine.
+//! lets stores to different addresses drain in any order — modelled as one
+//! FIFO queue per (processor, address slot). Loads take the memory value
+//! and stall on a buffered store to their address (no forwarding, as in
+//! the TSO machine); atomic RMWs drain the whole buffer and take effect
+//! immediately. Since the axiom refactor the machine is *compiled* from
+//! [`crate::axiom::PSO_SPEC`] — the relaxed store→store entries in its
+//! enforcement table select the per-slot-FIFO buffer lowering — and this
+//! module only keeps the entry points. Differential tests pin the
+//! compiled semantics to the axiomatic [`crate::MemoryModel::Pso`]
+//! (write→write and write→read to different addresses relaxed) and to the
+//! verbatim pre-refactor machine in `crate::legacy`.
 
-use crate::machine::{outcome_to_verdict, MachineBase};
+use crate::axiom::{solve_compiled_with_stats, ModelId};
 use crate::verdict::ConsistencyVerdict;
-use crate::vsc::precheck_sc;
-use std::collections::VecDeque;
-use vermem_coherence::kernel::{run_search, KernelConfig, KernelOutcome, TransitionSystem};
+use vermem_coherence::kernel::KernelConfig;
 use vermem_coherence::SearchStats;
-use vermem_trace::{Op, OpRef, Schedule, Trace, Value};
+use vermem_trace::Trace;
 use vermem_util::pool::CancelToken;
 
 /// Decide operational-PSO reachability of `trace`. The witness is the
@@ -35,241 +35,7 @@ pub fn solve_pso_operational_with_stats(
     cfg: &KernelConfig,
     cancel: Option<&CancelToken>,
 ) -> (ConsistencyVerdict, SearchStats) {
-    if let Some(v) = precheck_sc(trace) {
-        return (ConsistencyVerdict::Violating(v), SearchStats::default());
-    }
-    let nprocs = trace.num_procs();
-    let nslots = trace.addresses().len();
-    let mut sys = PsoMachine {
-        base: MachineBase::new(trace),
-        queues: vec![vec![VecDeque::new(); nslots]; nprocs],
-        buffered: vec![0; nprocs],
-    };
-    let (outcome, stats) = run_search(&mut sys, cfg, cancel);
-    if let KernelOutcome::Accepted(commits) = &outcome {
-        let witness = Schedule::from_refs(commits.iter().copied());
-        debug_assert!(
-            crate::models::check_model_schedule(trace, crate::MemoryModel::Pso, &witness).is_ok(),
-            "operational PSO produced an invalid commit order"
-        );
-    }
-    (outcome_to_verdict(outcome, stats), stats)
-}
-
-/// The PSO store-buffer machine: one FIFO queue of `(value, program index)`
-/// per (process, slot), plus a per-process buffered-store count for O(1)
-/// RMW empty-buffer checks.
-struct PsoMachine {
-    base: MachineBase,
-    queues: Vec<Vec<VecDeque<(Value, u32)>>>,
-    buffered: Vec<u32>,
-}
-
-/// One state-changing PSO move, with undo state captured at enumeration.
-#[derive(Clone, Copy)]
-enum PsoMove {
-    /// Drain the head of `p`'s queue for `slot` (the captured entry);
-    /// `saved` is the memory value it overwrites.
-    Drain {
-        p: u16,
-        slot: u32,
-        value: Value,
-        index: u32,
-        saved: Value,
-    },
-    /// Issue process `p`'s next instruction (a `Write` entering its
-    /// per-address queue, or an enabled `Rmw`; `saved` is meaningful only
-    /// for the latter). Loads commit through kernel absorption.
-    Issue { p: u16, saved: Value },
-}
-
-impl TransitionSystem for PsoMachine {
-    type Move = PsoMove;
-
-    fn total_commits(&self) -> usize {
-        self.base.total
-    }
-
-    fn accepting(&self) -> bool {
-        // Every commit implies every store drained: buffers are empty here.
-        debug_assert!(self.buffered.iter().all(|&n| n == 0));
-        self.base.finals_ok()
-    }
-
-    fn absorb(&mut self, commits: &mut Vec<OpRef>) {
-        for p in 0..self.base.frontier.len() {
-            while let Some(op) = self.base.next_op(p) {
-                match op {
-                    Op::Read { addr, value } => {
-                        let s = self.base.slot(addr);
-                        if self.queues[p][s as usize].is_empty()
-                            && self.base.memory[s as usize] == value
-                        {
-                            commits.push(self.base.op_ref(p));
-                            self.base.frontier[p] += 1;
-                        } else {
-                            break;
-                        }
-                    }
-                    _ => break,
-                }
-            }
-        }
-    }
-
-    fn retract_read(&mut self, r: OpRef) {
-        let p = r.proc.0 as usize;
-        self.base.frontier[p] -= 1;
-        debug_assert_eq!(self.base.frontier[p], r.index);
-    }
-
-    fn infeasible(&self) -> bool {
-        self.base.demand_infeasible()
-    }
-
-    fn state_key(&self, key: &mut Vec<u64>) {
-        self.base.key_base(key);
-        for qs in &self.queues {
-            let nonempty = qs.iter().filter(|q| !q.is_empty()).count();
-            key.push(nonempty as u64);
-            for (slot, q) in qs.iter().enumerate() {
-                if q.is_empty() {
-                    continue;
-                }
-                key.push(((slot as u64) << 32) | q.len() as u64);
-                for &(value, index) in q {
-                    key.push(value.0);
-                    key.push(u64::from(index));
-                }
-            }
-        }
-    }
-
-    fn enabled_moves(&self, moves: &mut Vec<PsoMove>) {
-        let demanded = self.base.demanded();
-        for p in 0..self.base.frontier.len() {
-            // Drains: the head of any non-empty per-address queue, in
-            // ascending slot order.
-            for (slot, q) in self.queues[p].iter().enumerate() {
-                if let Some(&(value, index)) = q.front() {
-                    moves.push(PsoMove::Drain {
-                        p: p as u16,
-                        slot: slot as u32,
-                        value,
-                        index,
-                        saved: self.base.memory[slot],
-                    });
-                }
-            }
-            if let Some(op) = self.base.next_op(p) {
-                match op {
-                    Op::Write { .. } => moves.push(PsoMove::Issue {
-                        p: p as u16,
-                        saved: Value::INITIAL, // unused for writes
-                    }),
-                    Op::Rmw { addr, read, .. } => {
-                        // Atomics drain the whole buffer first, then take
-                        // effect immediately.
-                        let s = self.base.slot(addr);
-                        if self.buffered[p] == 0 && self.base.memory[s as usize] == read {
-                            moves.push(PsoMove::Issue {
-                                p: p as u16,
-                                saved: self.base.memory[s as usize],
-                            });
-                        }
-                    }
-                    Op::Read { .. } => {} // absorption only
-                }
-            }
-        }
-        // Memory-effecting moves that supply a demanded value first.
-        moves.sort_by_key(|m| {
-            let hot = match *m {
-                PsoMove::Drain { slot, value, .. } => demanded.contains(&(slot, value)),
-                PsoMove::Issue { p, .. } => match self.base.next_op(p as usize) {
-                    Some(Op::Rmw { addr, write, .. }) => {
-                        demanded.contains(&(self.base.slot(addr), write))
-                    }
-                    _ => false,
-                },
-            };
-            std::cmp::Reverse(hot)
-        });
-    }
-
-    fn apply(&mut self, mv: PsoMove) -> Option<OpRef> {
-        match mv {
-            PsoMove::Drain {
-                p,
-                slot,
-                value,
-                index,
-                ..
-            } => {
-                let popped = self.queues[p as usize][slot as usize].pop_front();
-                debug_assert_eq!(popped, Some((value, index)));
-                self.buffered[p as usize] -= 1;
-                self.base.memory[slot as usize] = value;
-                self.base.take_supply(slot, value);
-                Some(OpRef::new(p, index))
-            }
-            PsoMove::Issue { p, .. } => {
-                let p = p as usize;
-                let op = self.base.next_op(p).expect("enabled");
-                let index = self.base.frontier[p];
-                self.base.frontier[p] += 1;
-                match op {
-                    Op::Write { addr, value } => {
-                        let s = self.base.slot(addr);
-                        self.queues[p][s as usize].push_back((value, index));
-                        self.buffered[p] += 1;
-                        None // commits at drain
-                    }
-                    Op::Rmw { addr, write, .. } => {
-                        let s = self.base.slot(addr);
-                        self.base.memory[s as usize] = write;
-                        self.base.take_supply(s, write);
-                        Some(OpRef::new(p as u16, index))
-                    }
-                    Op::Read { .. } => unreachable!("reads are absorbed, not issued"),
-                }
-            }
-        }
-    }
-
-    fn undo(&mut self, mv: PsoMove) {
-        match mv {
-            PsoMove::Drain {
-                p,
-                slot,
-                value,
-                index,
-                saved,
-            } => {
-                self.base.put_supply(slot, value);
-                self.base.memory[slot as usize] = saved;
-                self.queues[p as usize][slot as usize].push_front((value, index));
-                self.buffered[p as usize] += 1;
-            }
-            PsoMove::Issue { p, saved } => {
-                let p = p as usize;
-                self.base.frontier[p] -= 1;
-                match self.base.next_op(p).expect("applied") {
-                    Op::Write { addr, .. } => {
-                        let s = self.base.slot(addr);
-                        self.queues[p][s as usize].pop_back();
-                        self.buffered[p] -= 1;
-                    }
-                    Op::Rmw { addr, write, .. } => {
-                        let s = self.base.slot(addr);
-                        self.base.put_supply(s, write);
-                        self.base.memory[s as usize] = saved;
-                    }
-                    Op::Read { .. } => unreachable!("reads are absorbed, not issued"),
-                }
-            }
-        }
-    }
+    solve_compiled_with_stats(trace, ModelId::Pso, cfg, cancel)
 }
 
 #[cfg(test)]

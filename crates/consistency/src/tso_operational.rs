@@ -10,23 +10,20 @@
 //! machines — a fact the test suite checks differentially on random traces,
 //! giving the model framework an executable semantics to answer to.
 //!
-//! State = (per-process instruction frontier, per-process FIFO buffer of
-//! pending stores, memory). Transitions: issue the next operation of some
-//! process (loads must match memory and have no buffered store to the same
-//! address — no forwarding; RMWs require an empty buffer and match memory),
-//! or drain the oldest buffered store of some process. The search itself —
-//! memoized DFS with budgets, cancellation, statistics and observability —
-//! is [`vermem_coherence::kernel`]; this module only defines the machine.
+//! Since the axiom refactor the store-buffer machine is *compiled* from
+//! [`crate::axiom::TSO_SPEC`] — the spec's relaxed store→load entries in
+//! its enforcement table select the per-process-FIFO buffer lowering —
+//! and this module only keeps the entry points (plus the differential
+//! tests, which now pin the compiled machine against both the axiomatic
+//! SAT oracle and the verbatim pre-refactor machine in `crate::legacy`).
 //! Exponential worst case, as it must be (§6.2: TSO verification is
 //! NP-hard).
 
-use crate::machine::{outcome_to_verdict, MachineBase};
+use crate::axiom::{solve_compiled_with_stats, ModelId};
 use crate::verdict::ConsistencyVerdict;
-use crate::vsc::precheck_sc;
-use std::collections::VecDeque;
-use vermem_coherence::kernel::{run_search, KernelConfig, KernelOutcome, TransitionSystem};
+use vermem_coherence::kernel::KernelConfig;
 use vermem_coherence::SearchStats;
-use vermem_trace::{Op, OpRef, Schedule, Trace, Value};
+use vermem_trace::Trace;
 use vermem_util::pool::CancelToken;
 
 /// Decide operational-TSO reachability of `trace`.
@@ -46,228 +43,7 @@ pub fn solve_tso_operational_with_stats(
     cfg: &KernelConfig,
     cancel: Option<&CancelToken>,
 ) -> (ConsistencyVerdict, SearchStats) {
-    if let Some(v) = precheck_sc(trace) {
-        return (ConsistencyVerdict::Violating(v), SearchStats::default());
-    }
-    let nprocs = trace.num_procs();
-    let mut sys = TsoMachine {
-        base: MachineBase::new(trace),
-        buffers: vec![VecDeque::new(); nprocs],
-    };
-    let (outcome, stats) = run_search(&mut sys, cfg, cancel);
-    if let KernelOutcome::Accepted(commits) = &outcome {
-        let witness = Schedule::from_refs(commits.iter().copied());
-        debug_assert!(
-            crate::models::check_model_schedule(trace, crate::MemoryModel::Tso, &witness).is_ok(),
-            "operational TSO produced an invalid commit order"
-        );
-    }
-    (outcome_to_verdict(outcome, stats), stats)
-}
-
-/// The TSO store-buffer machine. Buffer entries are
-/// `(slot, value, program index)`; stores commit at drain.
-struct TsoMachine {
-    base: MachineBase,
-    buffers: Vec<VecDeque<(u32, Value, u32)>>,
-}
-
-/// One state-changing TSO move, with undo state captured at enumeration.
-#[derive(Clone, Copy)]
-enum TsoMove {
-    /// Drain process `p`'s oldest buffered store (the captured entry);
-    /// `saved` is the memory value it overwrites.
-    Drain {
-        p: u16,
-        slot: u32,
-        value: Value,
-        index: u32,
-        saved: Value,
-    },
-    /// Issue process `p`'s next instruction (a `Write` entering the buffer,
-    /// or an enabled `Rmw` taking immediate effect; `saved` is meaningful
-    /// only for the latter). Loads are never issued as moves — they commit
-    /// through kernel absorption.
-    Issue { p: u16, saved: Value },
-}
-
-impl TsoMachine {
-    /// Does `p` hold a buffered store to `slot`? (No forwarding: such a
-    /// store blocks `p`'s loads from that address.)
-    fn blocked(&self, p: usize, slot: u32) -> bool {
-        self.buffers[p].iter().any(|&(s, _, _)| s == slot)
-    }
-}
-
-impl TransitionSystem for TsoMachine {
-    type Move = TsoMove;
-
-    fn total_commits(&self) -> usize {
-        self.base.total
-    }
-
-    fn accepting(&self) -> bool {
-        // Every commit implies every store drained: buffers are empty here.
-        debug_assert!(self.buffers.iter().all(VecDeque::is_empty));
-        self.base.finals_ok()
-    }
-
-    fn absorb(&mut self, commits: &mut Vec<OpRef>) {
-        for p in 0..self.base.frontier.len() {
-            while let Some(op) = self.base.next_op(p) {
-                match op {
-                    Op::Read { addr, value } => {
-                        let s = self.base.slot(addr);
-                        if !self.blocked(p, s) && self.base.memory[s as usize] == value {
-                            commits.push(self.base.op_ref(p));
-                            self.base.frontier[p] += 1;
-                        } else {
-                            break;
-                        }
-                    }
-                    _ => break,
-                }
-            }
-        }
-    }
-
-    fn retract_read(&mut self, r: OpRef) {
-        let p = r.proc.0 as usize;
-        self.base.frontier[p] -= 1;
-        debug_assert_eq!(self.base.frontier[p], r.index);
-    }
-
-    fn infeasible(&self) -> bool {
-        self.base.demand_infeasible()
-    }
-
-    fn state_key(&self, key: &mut Vec<u64>) {
-        self.base.key_base(key);
-        for b in &self.buffers {
-            key.push(b.len() as u64);
-            for &(slot, value, index) in b {
-                key.push((u64::from(slot) << 32) | u64::from(index));
-                key.push(value.0);
-            }
-        }
-    }
-
-    fn enabled_moves(&self, moves: &mut Vec<TsoMove>) {
-        let demanded = self.base.demanded();
-        for p in 0..self.base.frontier.len() {
-            if let Some(&(slot, value, index)) = self.buffers[p].front() {
-                moves.push(TsoMove::Drain {
-                    p: p as u16,
-                    slot,
-                    value,
-                    index,
-                    saved: self.base.memory[slot as usize],
-                });
-            }
-            if let Some(op) = self.base.next_op(p) {
-                match op {
-                    Op::Write { .. } => moves.push(TsoMove::Issue {
-                        p: p as u16,
-                        saved: Value::INITIAL, // unused for writes
-                    }),
-                    Op::Rmw { addr, read, .. } => {
-                        // Atomics drain first (issue only with an empty
-                        // buffer) and take effect immediately.
-                        let s = self.base.slot(addr);
-                        if self.buffers[p].is_empty() && self.base.memory[s as usize] == read {
-                            moves.push(TsoMove::Issue {
-                                p: p as u16,
-                                saved: self.base.memory[s as usize],
-                            });
-                        }
-                    }
-                    Op::Read { .. } => {} // absorption only
-                }
-            }
-        }
-        // Memory-effecting moves that supply a demanded value first.
-        moves.sort_by_key(|m| {
-            let hot = match *m {
-                TsoMove::Drain { slot, value, .. } => demanded.contains(&(slot, value)),
-                TsoMove::Issue { p, .. } => match self.base.next_op(p as usize) {
-                    Some(Op::Rmw { addr, write, .. }) => {
-                        demanded.contains(&(self.base.slot(addr), write))
-                    }
-                    _ => false, // a buffered write supplies nothing yet
-                },
-            };
-            std::cmp::Reverse(hot)
-        });
-    }
-
-    fn apply(&mut self, mv: TsoMove) -> Option<OpRef> {
-        match mv {
-            TsoMove::Drain {
-                p,
-                slot,
-                value,
-                index,
-                ..
-            } => {
-                let popped = self.buffers[p as usize].pop_front();
-                debug_assert_eq!(popped, Some((slot, value, index)));
-                self.base.memory[slot as usize] = value;
-                self.base.take_supply(slot, value);
-                Some(OpRef::new(p, index))
-            }
-            TsoMove::Issue { p, .. } => {
-                let p = p as usize;
-                let op = self.base.next_op(p).expect("enabled");
-                let index = self.base.frontier[p];
-                self.base.frontier[p] += 1;
-                match op {
-                    Op::Write { addr, value } => {
-                        let s = self.base.slot(addr);
-                        self.buffers[p].push_back((s, value, index));
-                        None // commits at drain
-                    }
-                    Op::Rmw { addr, write, .. } => {
-                        let s = self.base.slot(addr);
-                        self.base.memory[s as usize] = write;
-                        self.base.take_supply(s, write);
-                        Some(OpRef::new(p as u16, index))
-                    }
-                    Op::Read { .. } => unreachable!("reads are absorbed, not issued"),
-                }
-            }
-        }
-    }
-
-    fn undo(&mut self, mv: TsoMove) {
-        match mv {
-            TsoMove::Drain {
-                p,
-                slot,
-                value,
-                index,
-                saved,
-            } => {
-                self.base.put_supply(slot, value);
-                self.base.memory[slot as usize] = saved;
-                self.buffers[p as usize].push_front((slot, value, index));
-            }
-            TsoMove::Issue { p, saved } => {
-                let p = p as usize;
-                self.base.frontier[p] -= 1;
-                match self.base.next_op(p).expect("applied") {
-                    Op::Write { .. } => {
-                        self.buffers[p].pop_back();
-                    }
-                    Op::Rmw { addr, write, .. } => {
-                        let s = self.base.slot(addr);
-                        self.base.put_supply(s, write);
-                        self.base.memory[s as usize] = saved;
-                    }
-                    Op::Read { .. } => unreachable!("reads are absorbed, not issued"),
-                }
-            }
-        }
-    }
+    solve_compiled_with_stats(trace, ModelId::Tso, cfg, cancel)
 }
 
 #[cfg(test)]

@@ -8,17 +8,19 @@
 //! VSC is NP-complete (Gibbons & Korach; also by restriction from VMC,
 //! §6.1), so worst-case exponential behaviour is unavoidable.
 //!
-//! Since the kernel extraction, this module only defines the *machine* —
-//! an atomic-memory interleaving [`TransitionSystem`] — and delegates the
-//! search itself (memoization, budgets, cancellation, statistics,
-//! observability) to [`vermem_coherence::kernel`], the same engine that
-//! runs the production VMC search and the TSO/PSO machines.
+//! Since the axiom refactor this module holds only the per-address
+//! precheck and the SC entry points; the machine itself is *compiled*
+//! from [`crate::axiom::SC_SPEC`] by [`crate::axiom`]'s operational
+//! compiler onto [`vermem_coherence::kernel`] — the same engine that runs
+//! the production VMC search. The pre-refactor hand-written machine
+//! survives verbatim in `crate::legacy` as the ablation baseline, and
+//! the differential suite pins the two bit-identical.
 
-use crate::machine::{outcome_to_verdict, MachineBase};
+use crate::axiom::{solve_compiled_with_stats, ModelId};
 use crate::verdict::{ConsistencyVerdict, ConsistencyViolation, ViolationClass};
-use vermem_coherence::kernel::{run_search, KernelConfig, KernelOutcome, TransitionSystem};
+use vermem_coherence::kernel::KernelConfig;
 use vermem_coherence::SearchStats;
-use vermem_trace::{check_sc_schedule, Op, OpRef, Schedule, Trace, Value};
+use vermem_trace::Trace;
 use vermem_util::pool::CancelToken;
 
 /// Static prechecks: per-address unreadable values / unproducible finals.
@@ -45,138 +47,13 @@ pub fn solve_sc_backtracking_with_stats(
     cfg: &KernelConfig,
     cancel: Option<&CancelToken>,
 ) -> (ConsistencyVerdict, SearchStats) {
-    if let Some(v) = precheck_sc(trace) {
-        return (ConsistencyVerdict::Violating(v), SearchStats::default());
-    }
-    let mut sys = ScMachine {
-        base: MachineBase::new(trace),
-    };
-    let (outcome, stats) = run_search(&mut sys, cfg, cancel);
-    if let KernelOutcome::Accepted(commits) = &outcome {
-        let witness = Schedule::from_refs(commits.iter().copied());
-        debug_assert!(
-            check_sc_schedule(trace, &witness).is_ok(),
-            "VSC machine produced invalid witness"
-        );
-    }
-    (outcome_to_verdict(outcome, stats), stats)
-}
-
-/// The atomic-memory interleaving machine: every operation takes global
-/// effect at issue. Reads commit through kernel absorption; the branching
-/// moves are the write-capable issues.
-struct ScMachine {
-    base: MachineBase,
-}
-
-/// One write-capable issue by process `p`. `saved` is the memory value the
-/// write will overwrite, captured at enumeration time for undo.
-#[derive(Clone, Copy)]
-struct ScMove {
-    p: u16,
-    saved: Value,
-}
-
-impl TransitionSystem for ScMachine {
-    type Move = ScMove;
-
-    fn total_commits(&self) -> usize {
-        self.base.total
-    }
-
-    fn accepting(&self) -> bool {
-        self.base.finals_ok()
-    }
-
-    fn absorb(&mut self, commits: &mut Vec<OpRef>) {
-        for p in 0..self.base.frontier.len() {
-            while let Some(op) = self.base.next_op(p) {
-                match op {
-                    Op::Read { addr, value }
-                        if self.base.memory[self.base.slot(addr) as usize] == value =>
-                    {
-                        commits.push(self.base.op_ref(p));
-                        self.base.frontier[p] += 1;
-                    }
-                    _ => break,
-                }
-            }
-        }
-    }
-
-    fn retract_read(&mut self, r: OpRef) {
-        let p = r.proc.0 as usize;
-        self.base.frontier[p] -= 1;
-        debug_assert_eq!(self.base.frontier[p], r.index);
-    }
-
-    fn infeasible(&self) -> bool {
-        self.base.demand_infeasible()
-    }
-
-    fn state_key(&self, key: &mut Vec<u64>) {
-        self.base.key_base(key);
-    }
-
-    fn enabled_moves(&self, moves: &mut Vec<ScMove>) {
-        let demanded = self.base.demanded();
-        for p in 0..self.base.frontier.len() {
-            if let Some(op) = self.base.next_op(p) {
-                let enabled = match op {
-                    Op::Write { .. } => true,
-                    Op::Rmw { addr, read, .. } => {
-                        self.base.memory[self.base.slot(addr) as usize] == read
-                    }
-                    Op::Read { .. } => false, // reads commit via absorption
-                };
-                if enabled {
-                    let s = self.base.slot(op.addr());
-                    moves.push(ScMove {
-                        p: p as u16,
-                        saved: self.base.memory[s as usize],
-                    });
-                }
-            }
-        }
-        // Explore writes of demanded values first (stable, so program
-        // order breaks ties deterministically).
-        moves.sort_by_key(|m| {
-            let op = self.base.next_op(m.p as usize).expect("enabled");
-            let s = self.base.slot(op.addr());
-            let hot = op
-                .written_value()
-                .is_some_and(|v| demanded.contains(&(s, v)));
-            std::cmp::Reverse(hot)
-        });
-    }
-
-    fn apply(&mut self, mv: ScMove) -> Option<OpRef> {
-        let p = mv.p as usize;
-        let r = self.base.op_ref(p);
-        let op = self.base.next_op(p).expect("enabled");
-        let s = self.base.slot(op.addr());
-        let w = op.written_value().expect("write-capable");
-        self.base.frontier[p] += 1;
-        self.base.memory[s as usize] = w;
-        self.base.take_supply(s, w);
-        Some(r)
-    }
-
-    fn undo(&mut self, mv: ScMove) {
-        let p = mv.p as usize;
-        self.base.frontier[p] -= 1;
-        let op = self.base.next_op(p).expect("applied");
-        let s = self.base.slot(op.addr());
-        let w = op.written_value().expect("write-capable");
-        self.base.put_supply(s, w);
-        self.base.memory[s as usize] = mv.saved;
-    }
+    solve_compiled_with_stats(trace, ModelId::Sc, cfg, cancel)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vermem_trace::{Op, OpRef, TraceBuilder};
+    use vermem_trace::{check_sc_schedule, Op, OpRef, Schedule, TraceBuilder, Value};
 
     fn solve(t: &Trace) -> ConsistencyVerdict {
         solve_sc_backtracking(t, &KernelConfig::default())

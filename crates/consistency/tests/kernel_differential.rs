@@ -4,8 +4,8 @@
 //! combination — and budget-limited runs must be deterministic.
 
 use vermem_consistency::{
-    litmus::all_litmus_tests, solve_model_sat, verify_model_operational, KernelConfig, MemoryModel,
-    SearchStats,
+    litmus::all_litmus_tests, solve_model_sat, verify_axiom, verify_model_operational, AxiomConfig,
+    Engine, KernelConfig, MemoryModel, ModelId, SearchStats,
 };
 use vermem_trace::gen::{gen_sc_trace, inject_violation, GenConfig, ViolationKind};
 use vermem_trace::{Op, Trace, TraceBuilder};
@@ -185,6 +185,64 @@ fn random_traces_keep_kernel_parity() {
         let t = arb_trace(&mut rng);
         assert_kernel_parity(&t, &format!("random case {case}"));
     }
+}
+
+#[test]
+fn budget_exhaustion_parity_compiled_vs_legacy() {
+    // Satellite of the axiom refactor: on the E-5.2 blow-up family (the
+    // all-RMW 3SAT reduction of Figure 5.2, over-constrained at ratio
+    // 5.0) the compiled machines must exhaust a budget *identically* to
+    // the verbatim legacy machines — same `Unknown`, same stats, at the
+    // same `max_states` — so budget-limited production behaviour is
+    // unchanged by the refactor.
+    use vermem_reductions::reduce_3sat_rmw;
+    use vermem_sat::random::{gen_random_ksat, RandomSatConfig};
+
+    let cnf = gen_random_ksat(&RandomSatConfig::three_sat(3, 5.0, 93));
+    let trace = reduce_3sat_rmw(&cnf).trace;
+    let mut exhausted = 0u32;
+    for id in [ModelId::Sc, ModelId::Tso, ModelId::Pso] {
+        for budget in [16u64, 64, 256] {
+            let kernel = KernelConfig::with_budget(budget);
+            let compiled = verify_axiom(
+                &trace,
+                id,
+                &AxiomConfig {
+                    engine: Engine::Compiled,
+                    kernel,
+                    ..AxiomConfig::default()
+                },
+            );
+            let legacy = verify_axiom(
+                &trace,
+                id,
+                &AxiomConfig {
+                    engine: Engine::Legacy,
+                    kernel,
+                    ..AxiomConfig::default()
+                },
+            );
+            assert_eq!(
+                compiled.verdict,
+                legacy.verdict,
+                "{} budget={budget}: compiled/legacy verdict drift",
+                id.name()
+            );
+            assert_eq!(
+                compiled.stats,
+                legacy.stats,
+                "{} budget={budget}: compiled/legacy stats drift",
+                id.name()
+            );
+            if compiled.verdict.unknown_stats().is_some() {
+                exhausted += 1;
+                assert!(compiled.stats.states > budget, "stopped before the cap");
+            }
+        }
+    }
+    // The family must actually blow the small budgets, or this test
+    // proves nothing.
+    assert!(exhausted >= 3, "only {exhausted} budget exhaustions");
 }
 
 #[test]

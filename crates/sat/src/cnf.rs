@@ -54,6 +54,18 @@ impl Cnf {
         self.clauses.push(clause);
     }
 
+    /// Add the implication `guards → consequent` as a clause
+    /// (`¬g₁ ∨ … ∨ ¬gₙ ∨ consequent`). With no guards this asserts the
+    /// consequent outright.
+    pub fn add_impl(&mut self, guards: impl IntoIterator<Item = Lit>, consequent: Lit) {
+        let lits: Vec<Lit> = guards
+            .into_iter()
+            .map(|g| !g)
+            .chain(std::iter::once(consequent))
+            .collect();
+        self.add_clause(lits);
+    }
+
     /// The clauses.
     pub fn clauses(&self) -> &[Vec<Lit>] {
         &self.clauses
@@ -214,6 +226,18 @@ mod tests {
         let mut cnf = Cnf::new();
         cnf.add_clause([]);
         assert_eq!(cnf.eval(&Model::default()), Some(false));
+    }
+
+    #[test]
+    fn add_impl_is_the_guarded_clause() {
+        let mut cnf = Cnf::new();
+        let a = cnf.new_var();
+        let b = cnf.new_var();
+        let c = cnf.new_var();
+        cnf.add_impl([a.pos(), b.neg()], c.pos());
+        assert_eq!(cnf.clauses(), [vec![a.neg(), b.pos(), c.pos()]]);
+        cnf.add_impl([], c.neg());
+        assert_eq!(cnf.clauses()[1], vec![c.neg()]);
     }
 
     #[test]

@@ -65,6 +65,24 @@ if grep -rn 'visited: HashSet\|HashSet<(' crates/consistency/src; then
 fi
 echo "    ok"
 
+echo "==> axiom framework: transition systems only in the compilers + legacy ablation"
+# The PR-10 contract: memory models are declared as ModelSpec data and
+# lowered by the two compilers — axiom/operational.rs (buffer machines on
+# the shared kernel) and axiom/graph.rs (acyclicity models). The only
+# other TransitionSystem impls allowed in the consistency crate are the
+# verbatim pre-refactor machines preserved in legacy.rs behind
+# `--engine legacy`; a new impl anywhere else means a model grew its own
+# hand-rolled search again instead of a ModelSpec declaration.
+bad=$(grep -rl 'impl TransitionSystem' crates/consistency/src \
+    | grep -v -e '^crates/consistency/src/axiom/' \
+              -e '^crates/consistency/src/legacy.rs$' || true)
+if [[ -n "$bad" ]]; then
+    echo "hand-rolled transition systems outside the axiom compilers:" >&2
+    echo "$bad" >&2
+    exit 1
+fi
+echo "    ok"
+
 echo "==> stream hot path: no std HashMap outside the legacy ablation module"
 # The PR-9 contract: the ingest hot path (stream engine, dense tables,
 # batch decoder) runs on index-addressed dense structures only. Hashed
@@ -106,10 +124,10 @@ tmp=$(mktemp -d)
 python3 - "$tmp/BENCH_vmc.json" "BENCH_vmc.json" <<'EOF'
 import json, sys
 d = json.load(open(sys.argv[1]))
-assert d["schema"] == "vermem-bench-vmc/v8", d["schema"]
+assert d["schema"] == "vermem-bench-vmc/v9", d["schema"]
 assert d["par_verify"] and d["memo_ablation"] and d["prune_ablation"] \
-    and d["model_kernel"] and d["tier_ablation"] and d["estream"] \
-    and d["e_hotpath"], "empty receipts"
+    and d["model_kernel"] and d["tier_ablation"] and d["eaxiom"] \
+    and d["estream"] and d["e_hotpath"], "empty receipts"
 host = d["host_parallelism"]
 assert host >= 1, host
 for case in d["par_verify"]:
@@ -189,6 +207,49 @@ def tier_check(doc, which):
     return t_by
 
 tier_check(d, "fresh")
+
+# E-AXIOM shape: every declared model appears in every family through the
+# compiled and SAT engines (plus legacy for the four base models); all
+# engines report identical verdict-class counts (per-trace identity is
+# asserted in-bench; the receipt re-checks the aggregates); the litmus
+# corpus actually separates the models; and the RA polynomial frontline
+# decides >= 90% of healthy unique-value generated traces.
+def axiom_check(doc, which):
+    ax_by = {}
+    for row in doc["eaxiom"]:
+        assert row["model"] in ("SC", "TSO", "PSO", "Coherence", "RA",
+                                "ARM-dob"), row
+        assert row["engine"] in ("compiled", "legacy", "sat"), row
+        assert row["traces"] > 0 and row["median_secs"] > 0, row
+        assert row["consistent"] + row["violating"] + row["unknown"] \
+            == row["traces"], row
+        assert row["unknown"] == 0, \
+            f"{which}: unbudgeted eaxiom run returned unknown: {row}"
+        ax_by.setdefault((row["family"], row["model"]), {})[row["engine"]] = row
+    assert {f for (f, _) in ax_by} == {"litmus", "generated",
+                                       "fault-injected"}, sorted(ax_by)
+    for (family, model), rows in ax_by.items():
+        want = {"compiled", "sat"} if model in ("RA", "ARM-dob") \
+            else {"compiled", "legacy", "sat"}
+        assert set(rows) == want, (which, family, model, sorted(rows))
+        for k in ("traces", "consistent", "violating", "unknown"):
+            vals = {r[k] for r in rows.values()}
+            assert len(vals) == 1, \
+                f"{which}: {family}/{model} engines disagree on {k}: {rows}"
+    # Model-strength ordering on the litmus corpus: SC admits the fewest
+    # behaviours, coherence-only the most, RA/ARM-dob strictly between.
+    lit = {m: rows["compiled"]["consistent"]
+           for (f, m), rows in ax_by.items() if f == "litmus"}
+    assert lit["SC"] < lit["TSO"] <= lit["PSO"] < lit["Coherence"], lit
+    assert lit["SC"] < lit["RA"] < lit["Coherence"], lit
+    assert lit["SC"] < lit["ARM-dob"] < lit["Coherence"], lit
+    fl = doc["eaxiom_ra_frontline"]
+    assert fl["traces"] > 0 and 0.0 <= fl["decision_rate"] <= 1.0, fl
+    assert fl["frontline_decided"] * 10 >= fl["traces"] * 9, \
+        f"{which}: RA frontline decision rate below 90%: {fl}"
+    return ax_by
+
+axiom_check(d, "fresh")
 
 # E-STREAM shape: one row per stream count {1, 4, 16} with throughput +
 # latency receipts; streaming verdicts bit-identical to batch; retained
@@ -271,12 +332,14 @@ assert ratio >= 5.0, f"e5.2 prune ratio regressed to {ratio:.1f}x (< 5x)"
 # not explore more states than the committed run plus 5% slack (decided
 # rows are cap-independent, so fast/full receipts are comparable).
 committed = json.load(open(sys.argv[2]))
-if committed.get("schema") == "vermem-bench-vmc/v8":
-    # The committed receipt must itself pass the tier, estream, and
-    # hotpath shape checks — including the 90% healthy-sim frontline
-    # gate, the streaming-vs-batch verdict-parity flags, and the
-    # bounded-memory 10x-length peak-retained-windows invariance.
+if committed.get("schema") == "vermem-bench-vmc/v9":
+    # The committed receipt must itself pass the tier, axiom, estream,
+    # and hotpath shape checks — including the 90% healthy-sim frontline
+    # gate, the 90% RA decision-rate gate, the streaming-vs-batch
+    # verdict-parity flags, and the bounded-memory 10x-length
+    # peak-retained-windows invariance.
     tier_check(committed, "committed")
+    axiom_check(committed, "committed")
     estream_check(committed, "committed")
     comm_hot = hotpath_check(committed, "committed")
     # Headline gate (PR-9): the committed full-reps receipt shows the
@@ -323,6 +386,8 @@ print(f"    ok ({len(d['par_verify'])} par cases, "
       f"{len(d['memo_ablation'])} memo rows, {len(prune)} prune rows, "
       f"{len(d['model_kernel'])} model-kernel rows, "
       f"{len(d['tier_ablation'])} tier rows, "
+      f"{len(d['eaxiom'])} axiom rows "
+      f"(RA frontline {d['eaxiom_ra_frontline']['decision_rate']:.0%}), "
       f"{len(d['estream'])} estream rows, "
       f"{len(d['e_hotpath'])} hotpath rows "
       f"(dense {fresh_hot[(4, 'dense')]['speedup_vs_legacy']:.2f}x at 4 "
